@@ -1,0 +1,488 @@
+//! The Advanced Peripheral Bus and the AHB-to-APB bridge.
+//!
+//! The canonical AMBA architecture (paper, Section 5) pairs the
+//! high-performance AHB with a low-bandwidth APB behind a bridge: "Also
+//! located on the high-performance bus is a bridge to the lower bandwidth
+//! APB, where most of the system peripheral devices are located."
+//!
+//! This module implements AMBA 2.0 APB: an unpipelined two-cycle protocol
+//! (SETUP with PSEL, then ENABLE with PENABLE) driven here by an
+//! [`ApbBridge`] that is itself an AHB slave — every AHB transfer into the
+//! bridge's window becomes one APB access with one AHB wait state.
+
+use std::fmt;
+
+use crate::decoder::AddressMap;
+use crate::slave::AhbSlave;
+use crate::types::{AddressPhase, SlaveReply};
+
+/// A peripheral on the APB. APB has no wait states or error responses in
+/// AMBA 2.0, so the interface is a plain register-style read/write plus a
+/// per-cycle tick for autonomous behaviour.
+pub trait ApbPeripheral: std::any::Any {
+    /// PWRITE = 0: returns PRDATA for the addressed register.
+    fn read(&mut self, addr: u32) -> u32;
+
+    /// PWRITE = 1: accepts PWDATA for the addressed register.
+    fn write(&mut self, addr: u32, value: u32);
+
+    /// One PCLK cycle (runs even when not selected).
+    fn tick(&mut self) {}
+
+    /// Synchronous reset.
+    fn reset(&mut self) {}
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "apb-peripheral"
+    }
+}
+
+/// The APB wires during one cycle — observable for power analysis just like
+/// the AHB's [`crate::BusSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApbSnapshot {
+    /// PSELx (one-hot or all-zero).
+    pub psel: Vec<bool>,
+    /// PENABLE — second cycle of an access.
+    pub penable: bool,
+    /// PADDR.
+    pub paddr: u32,
+    /// PWRITE.
+    pub pwrite: bool,
+    /// PWDATA.
+    pub pwdata: u32,
+    /// PRDATA (valid in the enable cycle of reads).
+    pub prdata: u32,
+}
+
+/// Bridge FSM state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BridgeState {
+    Idle,
+    /// SETUP cycle pending for the latched transfer.
+    Setup,
+    /// ENABLE cycle pending.
+    Enable,
+}
+
+/// Aggregate APB statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ApbStats {
+    /// APB read accesses completed.
+    pub reads: u64,
+    /// APB write accesses completed.
+    pub writes: u64,
+    /// Accesses to addresses outside every peripheral window (read as 0,
+    /// writes dropped — APB has no error response).
+    pub unmapped: u64,
+}
+
+/// The AHB-to-APB bridge: an [`AhbSlave`] that owns an APB segment.
+///
+/// Each AHB transfer into the bridge takes one wait state (the APB SETUP
+/// cycle) and completes during the APB ENABLE cycle, matching the two-cycle
+/// APB protocol. The bridge decodes `PADDR` with its own [`AddressMap`]
+/// whose [`crate::SlaveId`]s index the attached peripherals.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{AddrRange, AddressMap, ApbBridge, RegisterFile, SlaveId};
+///
+/// let bridge = ApbBridge::new(
+///     AddressMap::new(vec![AddrRange::new(0x0, 0x100, SlaveId(0))])?,
+///     vec![Box::new(RegisterFile::new(16))],
+/// );
+/// assert_eq!(bridge.n_peripherals(), 1);
+/// # Ok::<(), ahbpower_ahb::BuildMapError>(())
+/// ```
+pub struct ApbBridge {
+    map: AddressMap,
+    peripherals: Vec<Box<dyn ApbPeripheral>>,
+    state: BridgeState,
+    pending: Option<AddressPhase>,
+    snapshot: ApbSnapshot,
+    stats: ApbStats,
+    /// Local-window mask applied to AHB addresses before APB decode.
+    addr_mask: u32,
+}
+
+impl ApbBridge {
+    /// Creates a bridge over `peripherals` with the given APB address map.
+    /// AHB addresses are reduced modulo `0x1_0000` (a 64 KB APB window) by
+    /// default; see [`ApbBridge::with_window`].
+    pub fn new(map: AddressMap, peripherals: Vec<Box<dyn ApbPeripheral>>) -> Self {
+        let n = peripherals.len();
+        ApbBridge {
+            map,
+            peripherals,
+            state: BridgeState::Idle,
+            pending: None,
+            snapshot: ApbSnapshot {
+                psel: vec![false; n],
+                ..ApbSnapshot::default()
+            },
+            stats: ApbStats::default(),
+            addr_mask: 0xFFFF,
+        }
+    }
+
+    /// Sets the APB window size (power of two) used to localize AHB
+    /// addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or not a power of two.
+    pub fn with_window(mut self, window: u32) -> Self {
+        assert!(
+            window > 0 && window.is_power_of_two(),
+            "window must be a power of two"
+        );
+        self.addr_mask = window - 1;
+        self
+    }
+
+    /// Number of attached peripherals.
+    pub fn n_peripherals(&self) -> usize {
+        self.peripherals.len()
+    }
+
+    /// Typed access to a peripheral.
+    pub fn peripheral_as<T: std::any::Any>(&self, i: usize) -> Option<&T> {
+        let p: &dyn std::any::Any = &*self.peripherals[i];
+        p.downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to a peripheral.
+    pub fn peripheral_as_mut<T: std::any::Any>(&mut self, i: usize) -> Option<&mut T> {
+        let p: &mut dyn std::any::Any = &mut *self.peripherals[i];
+        p.downcast_mut::<T>()
+    }
+
+    /// The APB wires of the most recent cycle.
+    pub fn snapshot(&self) -> &ApbSnapshot {
+        &self.snapshot
+    }
+
+    /// APB access statistics.
+    pub fn stats(&self) -> ApbStats {
+        self.stats
+    }
+
+    fn drive_idle(&mut self) {
+        self.snapshot.psel.iter_mut().for_each(|s| *s = false);
+        self.snapshot.penable = false;
+        // PADDR/PWRITE/PWDATA hold their last values on a real APB.
+    }
+}
+
+impl fmt::Debug for ApbBridge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ApbBridge")
+            .field("peripherals", &self.peripherals.len())
+            .field("state", &self.state)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl AhbSlave for ApbBridge {
+    fn address_phase(&mut self, phase: &AddressPhase) {
+        self.pending = Some(*phase);
+        self.state = BridgeState::Setup;
+    }
+
+    fn data_phase(&mut self, wdata: u32) -> SlaveReply {
+        match self.state {
+            BridgeState::Idle => {
+                // Data phase without a latched transfer: zero-wait OKAY.
+                self.drive_idle();
+                SlaveReply::Done { rdata: 0 }
+            }
+            BridgeState::Setup => {
+                let phase = self.pending.expect("setup implies a pending phase");
+                let paddr = phase.addr & self.addr_mask;
+                let sel = self.map.decode(paddr);
+                self.snapshot.paddr = paddr;
+                self.snapshot.pwrite = phase.write;
+                self.snapshot.penable = false;
+                for (i, s) in self.snapshot.psel.iter_mut().enumerate() {
+                    *s = sel.is_some_and(|id| id.index() == i);
+                }
+                self.state = BridgeState::Enable;
+                SlaveReply::Wait // the AHB waits out the SETUP cycle
+            }
+            BridgeState::Enable => {
+                let phase = self.pending.take().expect("enable implies a pending phase");
+                let paddr = phase.addr & self.addr_mask;
+                self.snapshot.penable = true;
+                self.snapshot.pwdata = if phase.write { wdata } else { 0 };
+                let rdata = match self.map.decode(paddr) {
+                    Some(id) => {
+                        let p = &mut self.peripherals[id.index()];
+                        if phase.write {
+                            p.write(paddr, wdata);
+                            self.stats.writes += 1;
+                            0
+                        } else {
+                            let v = p.read(paddr);
+                            self.stats.reads += 1;
+                            v
+                        }
+                    }
+                    None => {
+                        self.stats.unmapped += 1;
+                        0
+                    }
+                };
+                self.snapshot.prdata = rdata;
+                self.state = BridgeState::Idle;
+                SlaveReply::Done { rdata }
+            }
+        }
+    }
+
+    fn tick(&mut self) {
+        for p in &mut self.peripherals {
+            p.tick();
+        }
+        if self.state == BridgeState::Idle {
+            self.drive_idle();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = BridgeState::Idle;
+        self.pending = None;
+        self.drive_idle();
+        for p in &mut self.peripherals {
+            p.reset();
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ahb-apb-bridge"
+    }
+}
+
+/// A bank of 32-bit registers (word addressed).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    regs: Vec<u32>,
+}
+
+impl RegisterFile {
+    /// Creates `n` zeroed registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one register");
+        RegisterFile { regs: vec![0; n] }
+    }
+
+    /// Direct register access for tests.
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i % self.regs.len()]
+    }
+}
+
+impl ApbPeripheral for RegisterFile {
+    fn read(&mut self, addr: u32) -> u32 {
+        let i = (addr as usize / 4) % self.regs.len();
+        self.regs[i]
+    }
+
+    fn write(&mut self, addr: u32, value: u32) {
+        let i = (addr as usize / 4) % self.regs.len();
+        self.regs[i] = value;
+    }
+
+    fn reset(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = 0);
+    }
+
+    fn name(&self) -> &str {
+        "regfile"
+    }
+}
+
+/// A free-running timer: register 0 is the current count (writes set it),
+/// register 1 is a compare value, register 2 reads 1 once count ≥ compare.
+#[derive(Debug, Clone, Default)]
+pub struct ApbTimer {
+    count: u32,
+    compare: u32,
+}
+
+impl ApbTimer {
+    /// Creates a timer at zero.
+    pub fn new() -> Self {
+        ApbTimer::default()
+    }
+
+    /// Current count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
+impl ApbPeripheral for ApbTimer {
+    fn read(&mut self, addr: u32) -> u32 {
+        match (addr / 4) % 4 {
+            0 => self.count,
+            1 => self.compare,
+            2 => u32::from(self.count >= self.compare),
+            _ => 0,
+        }
+    }
+
+    fn write(&mut self, addr: u32, value: u32) {
+        match (addr / 4) % 4 {
+            0 => self.count = value,
+            1 => self.compare = value,
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self) {
+        self.count = self.count.wrapping_add(1);
+    }
+
+    fn reset(&mut self) {
+        self.count = 0;
+        self.compare = 0;
+    }
+
+    fn name(&self) -> &str {
+        "timer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::AddrRange;
+    use crate::types::{HBurst, HSize, HTrans, MasterId, SlaveId};
+
+    fn bridge() -> ApbBridge {
+        ApbBridge::new(
+            AddressMap::new(vec![
+                AddrRange::new(0x000, 0x100, SlaveId(0)),
+                AddrRange::new(0x100, 0x100, SlaveId(1)),
+            ])
+            .unwrap(),
+            vec![
+                Box::new(RegisterFile::new(8)),
+                Box::new(ApbTimer::new()),
+            ],
+        )
+    }
+
+    fn phase(addr: u32, write: bool) -> AddressPhase {
+        AddressPhase {
+            master: MasterId(0),
+            addr,
+            write,
+            size: HSize::Word,
+            burst: HBurst::Single,
+            trans: HTrans::NonSeq,
+            mastlock: false,
+        }
+    }
+
+    #[test]
+    fn two_cycle_apb_access() {
+        let mut b = bridge();
+        b.address_phase(&phase(0x8, true));
+        // SETUP cycle: wait state on the AHB, PSEL up, PENABLE down.
+        assert_eq!(b.data_phase(0xAB), SlaveReply::Wait);
+        assert_eq!(b.snapshot().psel, vec![true, false]);
+        assert!(!b.snapshot().penable);
+        assert_eq!(b.snapshot().paddr, 0x8);
+        // ENABLE cycle: access happens.
+        assert_eq!(b.data_phase(0xAB), SlaveReply::Done { rdata: 0 });
+        assert!(b.snapshot().penable);
+        assert_eq!(b.stats().writes, 1);
+        assert_eq!(b.peripheral_as::<RegisterFile>(0).unwrap().reg(2), 0xAB);
+    }
+
+    #[test]
+    fn read_returns_peripheral_data() {
+        let mut b = bridge();
+        b.peripheral_as_mut::<RegisterFile>(0).unwrap().write(0x4, 0x77);
+        b.address_phase(&phase(0x4, false));
+        assert_eq!(b.data_phase(0), SlaveReply::Wait);
+        assert_eq!(b.data_phase(0), SlaveReply::Done { rdata: 0x77 });
+        assert_eq!(b.snapshot().prdata, 0x77);
+        assert_eq!(b.stats().reads, 1);
+    }
+
+    #[test]
+    fn timer_counts_on_tick_and_compares() {
+        let mut b = bridge();
+        for _ in 0..10 {
+            b.tick();
+        }
+        b.address_phase(&phase(0x100, false)); // timer count register
+        let _ = b.data_phase(0);
+        let reply = b.data_phase(0);
+        assert_eq!(reply, SlaveReply::Done { rdata: 10 });
+        // Set compare = 12, then tick past it and read the match flag.
+        b.address_phase(&phase(0x104, true));
+        let _ = b.data_phase(12);
+        let _ = b.data_phase(12);
+        for _ in 0..5 {
+            b.tick();
+        }
+        b.address_phase(&phase(0x108, false));
+        let _ = b.data_phase(0);
+        assert_eq!(b.data_phase(0), SlaveReply::Done { rdata: 1 });
+    }
+
+    #[test]
+    fn unmapped_apb_addresses_read_zero() {
+        let mut b = bridge();
+        b.address_phase(&phase(0xF00, false));
+        let _ = b.data_phase(0);
+        assert_eq!(b.data_phase(0), SlaveReply::Done { rdata: 0 });
+        assert_eq!(b.stats().unmapped, 1);
+        assert_eq!(b.snapshot().psel, vec![false, false], "no PSEL");
+    }
+
+    #[test]
+    fn psel_drops_between_accesses() {
+        let mut b = bridge();
+        b.address_phase(&phase(0x0, false));
+        let _ = b.data_phase(0);
+        let _ = b.data_phase(0);
+        b.tick(); // idle cycle
+        assert_eq!(b.snapshot().psel, vec![false, false]);
+        assert!(!b.snapshot().penable);
+    }
+
+    #[test]
+    fn ahb_window_localizes_addresses() {
+        let mut b = bridge().with_window(0x1000);
+        // An AHB address high in the bridge's window maps into APB space.
+        b.address_phase(&phase(0x8000_0004, false));
+        let _ = b.data_phase(0);
+        let _ = b.data_phase(0);
+        assert_eq!(b.snapshot().paddr, 0x4);
+    }
+
+    #[test]
+    fn reset_clears_bridge_and_peripherals() {
+        let mut b = bridge();
+        for _ in 0..5 {
+            b.tick();
+        }
+        b.address_phase(&phase(0x0, true));
+        let _ = b.data_phase(1);
+        b.reset();
+        assert_eq!(b.peripheral_as::<ApbTimer>(1).unwrap().count(), 0);
+        assert!(matches!(b.data_phase(0), SlaveReply::Done { .. }));
+    }
+}

@@ -1,0 +1,247 @@
+//! The bus arbiter: HBUSREQx/HLOCKx → HGRANTx, with SPLIT masking.
+
+use std::fmt;
+
+use crate::types::MasterId;
+
+/// Arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Arbitration {
+    /// Master 0 has the highest priority, master N-1 the lowest.
+    #[default]
+    FixedPriority,
+    /// Rotating priority: after each grant the winner moves to the back.
+    RoundRobin,
+}
+
+impl fmt::Display for Arbitration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arbitration::FixedPriority => f.write_str("fixed-priority"),
+            Arbitration::RoundRobin => f.write_str("round-robin"),
+        }
+    }
+}
+
+/// The AHB arbiter state machine.
+///
+/// The fabric calls [`Arbiter::decide`] whenever the bus can change hands
+/// (HREADY high); [`Arbiter::mask_split`] when a slave answers SPLIT; and
+/// [`Arbiter::unmask`] with each cycle's HSPLIT bits.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{Arbiter, Arbitration, MasterId};
+///
+/// let mut arb = Arbiter::new(3, Arbitration::FixedPriority, MasterId(0));
+/// let g = arb.decide(&[false, true, true], MasterId(0), false);
+/// assert_eq!(g, MasterId(1)); // lowest requesting index wins
+/// let g = arb.decide(&[false, false, false], g, false);
+/// assert_eq!(g, MasterId(0)); // default master when nobody requests
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    policy: Arbitration,
+    default_master: MasterId,
+    /// `true` = master has an outstanding SPLIT and must not be granted.
+    split_mask: Vec<bool>,
+    /// Round-robin scan start.
+    rr_next: usize,
+    /// Grant decisions made (for statistics / fairness tests).
+    grants: Vec<u64>,
+}
+
+impl Arbiter {
+    /// Creates an arbiter for `n_masters` masters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_masters == 0` or `default_master` is out of range.
+    pub fn new(n_masters: usize, policy: Arbitration, default_master: MasterId) -> Self {
+        assert!(n_masters > 0, "need at least one master");
+        assert!(
+            default_master.index() < n_masters,
+            "default master out of range"
+        );
+        Arbiter {
+            policy,
+            default_master,
+            split_mask: vec![false; n_masters],
+            rr_next: 0,
+            grants: vec![0; n_masters],
+        }
+    }
+
+    /// Number of masters.
+    pub fn n_masters(&self) -> usize {
+        self.split_mask.len()
+    }
+
+    /// The configured arbitration policy.
+    pub fn policy(&self) -> Arbitration {
+        self.policy
+    }
+
+    /// The configured default master.
+    pub fn default_master(&self) -> MasterId {
+        self.default_master
+    }
+
+    /// Chooses the next address-phase owner.
+    ///
+    /// `owner_lock` is the current owner's HLOCK: a locked owner keeps the
+    /// bus regardless of other requests (the paper's "non-interruptible
+    /// WRITE-READ sequences").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` differs from the master count.
+    pub fn decide(&mut self, requests: &[bool], owner: MasterId, owner_lock: bool) -> MasterId {
+        assert_eq!(requests.len(), self.split_mask.len(), "request width");
+        if owner_lock && !self.split_mask[owner.index()] {
+            self.grants[owner.index()] += 1;
+            return owner;
+        }
+        let n = self.split_mask.len();
+        let winner = match self.policy {
+            Arbitration::FixedPriority => (0..n)
+                .find(|&i| requests[i] && !self.split_mask[i])
+                .map(|i| MasterId(i as u8)),
+            Arbitration::RoundRobin => {
+                let found = (0..n)
+                    .map(|k| (self.rr_next + k) % n)
+                    .find(|&i| requests[i] && !self.split_mask[i]);
+                if let Some(i) = found {
+                    self.rr_next = (i + 1) % n;
+                }
+                found.map(|i| MasterId(i as u8))
+            }
+        };
+        let g = winner.unwrap_or(self.default_master);
+        self.grants[g.index()] += 1;
+        g
+    }
+
+    /// Records a SPLIT response: `master` must not be granted until the
+    /// slave signals completion via [`Arbiter::unmask`].
+    pub fn mask_split(&mut self, master: MasterId) {
+        self.split_mask[master.index()] = true;
+    }
+
+    /// Applies an HSPLIT bit vector (bit *i* set = master *i* may be granted
+    /// again).
+    pub fn unmask(&mut self, hsplit: u16) {
+        for (i, m) in self.split_mask.iter_mut().enumerate() {
+            if hsplit & (1 << i) != 0 {
+                *m = false;
+            }
+        }
+    }
+
+    /// True if `master` currently has an outstanding SPLIT.
+    pub fn is_masked(&self, master: MasterId) -> bool {
+        self.split_mask[master.index()]
+    }
+
+    /// Grant counts per master since construction.
+    pub fn grant_counts(&self) -> &[u64] {
+        &self.grants
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_priority_prefers_low_index() {
+        let mut a = Arbiter::new(4, Arbitration::FixedPriority, MasterId(0));
+        assert_eq!(a.decide(&[false, true, false, true], MasterId(0), false), MasterId(1));
+        assert_eq!(a.decide(&[true, true, true, true], MasterId(1), false), MasterId(0));
+    }
+
+    #[test]
+    fn default_master_when_idle() {
+        let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(2));
+        assert_eq!(a.decide(&[false, false, false], MasterId(0), false), MasterId(2));
+    }
+
+    #[test]
+    fn locked_owner_keeps_bus() {
+        let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(0));
+        // Master 2 holds the lock; master 0 requesting cannot preempt.
+        assert_eq!(a.decide(&[true, false, true], MasterId(2), true), MasterId(2));
+        // Lock released: master 0 wins.
+        assert_eq!(a.decide(&[true, false, true], MasterId(2), false), MasterId(0));
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = Arbiter::new(3, Arbitration::RoundRobin, MasterId(0));
+        let all = [true, true, true];
+        let g1 = a.decide(&all, MasterId(0), false);
+        let g2 = a.decide(&all, g1, false);
+        let g3 = a.decide(&all, g2, false);
+        assert_eq!(
+            (g1, g2, g3),
+            (MasterId(0), MasterId(1), MasterId(2)),
+            "each master served in turn"
+        );
+        let g4 = a.decide(&all, g3, false);
+        assert_eq!(g4, MasterId(0), "wraps around");
+    }
+
+    #[test]
+    fn round_robin_is_fair_under_contention() {
+        let mut a = Arbiter::new(3, Arbitration::RoundRobin, MasterId(0));
+        let mut owner = MasterId(0);
+        for _ in 0..300 {
+            owner = a.decide(&[true, true, true], owner, false);
+        }
+        for &c in a.grant_counts() {
+            assert_eq!(c, 100);
+        }
+    }
+
+    #[test]
+    fn split_mask_blocks_and_unmask_restores() {
+        let mut a = Arbiter::new(2, Arbitration::FixedPriority, MasterId(0));
+        a.mask_split(MasterId(0));
+        assert!(a.is_masked(MasterId(0)));
+        // Master 0 requests but is masked: master 1 wins.
+        assert_eq!(a.decide(&[true, true], MasterId(0), false), MasterId(1));
+        // Nobody grantable: default master is granted even while masked
+        // (it will drive IDLE, which is harmless).
+        assert_eq!(a.decide(&[true, false], MasterId(1), false), MasterId(0));
+        a.unmask(0b01);
+        assert!(!a.is_masked(MasterId(0)));
+        assert_eq!(a.decide(&[true, true], MasterId(1), false), MasterId(0));
+    }
+
+    #[test]
+    fn unmask_only_named_bits() {
+        let mut a = Arbiter::new(4, Arbitration::FixedPriority, MasterId(0));
+        a.mask_split(MasterId(1));
+        a.mask_split(MasterId(3));
+        a.unmask(0b1000);
+        assert!(a.is_masked(MasterId(1)));
+        assert!(!a.is_masked(MasterId(3)));
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let a = Arbiter::new(2, Arbitration::RoundRobin, MasterId(0));
+        assert_eq!(a.n_masters(), 2);
+        assert_eq!(a.policy(), Arbitration::RoundRobin);
+        assert_eq!(Arbitration::RoundRobin.to_string(), "round-robin");
+        assert_eq!(Arbitration::FixedPriority.to_string(), "fixed-priority");
+    }
+
+    #[test]
+    #[should_panic(expected = "request width")]
+    fn wrong_request_width_panics() {
+        let mut a = Arbiter::new(2, Arbitration::FixedPriority, MasterId(0));
+        let _ = a.decide(&[true], MasterId(0), false);
+    }
+}

@@ -1,0 +1,471 @@
+//! An AHB-to-AHB bridge: hierarchical bus systems.
+//!
+//! Complex SoCs split traffic across bus segments so that slow peripherals
+//! do not stall the high-performance segment. [`AhbToAhbBridge`] is an AHB
+//! slave that owns a complete downstream [`AhbBus`]; upstream transfers are
+//! re-issued on the downstream segment by an internal port master, with the
+//! upstream side held in wait states until the downstream transfer
+//! completes. Both segments remain fully observable (each has its own
+//! snapshots), so power analysis can run per segment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::bus::AhbBus;
+use crate::lane::{from_lanes, to_lanes};
+use crate::master::AhbMaster;
+use crate::slave::AhbSlave;
+use crate::types::{
+    AddressPhase, HBurst, HResp, HSize, HTrans, MasterIn, MasterOut, SlaveReply,
+};
+
+/// A request travelling through the bridge's port.
+#[derive(Debug, Clone, Copy)]
+struct PortRequest {
+    addr: u32,
+    write: bool,
+    size: HSize,
+    wdata: u32,
+}
+
+/// Completion of a port request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PortResult {
+    Okay(u32),
+    Failed,
+}
+
+#[derive(Debug, Default)]
+struct PortState {
+    request: Option<PortRequest>,
+    result: Option<PortResult>,
+}
+
+/// The bridge's master on the downstream bus.
+struct PortMaster {
+    state: Rc<RefCell<PortState>>,
+    /// Request currently in its address phase.
+    ap: Option<PortRequest>,
+    /// Request currently in its data phase.
+    dp: Option<PortRequest>,
+    last_out: MasterOut,
+}
+
+impl PortMaster {
+    fn new(state: Rc<RefCell<PortState>>) -> Self {
+        PortMaster {
+            state,
+            ap: None,
+            dp: None,
+            last_out: MasterOut::default(),
+        }
+    }
+}
+
+impl AhbMaster for PortMaster {
+    fn cycle(&mut self, input: &MasterIn) -> MasterOut {
+        let mut st = self.state.borrow_mut();
+        if input.ready {
+            if let Some(req) = self.dp.take() {
+                let result = match input.resp {
+                    HResp::Okay => {
+                        PortResult::Okay(from_lanes(input.rdata, req.addr, req.size))
+                    }
+                    // The bridge maps any downstream failure to an upstream
+                    // ERROR (it cannot replay splits across segments).
+                    _ => PortResult::Failed,
+                };
+                st.result = Some(result);
+            }
+            self.dp = self.ap.take();
+        } else if matches!(input.resp, HResp::Retry | HResp::Split) {
+            // Downstream retry: give up and report failure upstream.
+            if self.dp.take().is_some() {
+                st.result = Some(PortResult::Failed);
+            }
+            self.ap = None;
+            let mut out = MasterOut {
+                busreq: st.request.is_some(),
+                ..MasterOut::default()
+            };
+            self.drive_wdata(&mut out);
+            self.last_out = out;
+            return out;
+        } else {
+            // Plain wait state: hold.
+            return self.last_out;
+        }
+        let mut out = MasterOut {
+            busreq: st.request.is_some(),
+            ..MasterOut::default()
+        };
+        if input.grant {
+            if let Some(req) = st.request.take() {
+                out.trans = HTrans::NonSeq;
+                out.addr = req.addr;
+                out.write = req.write;
+                out.size = req.size;
+                out.burst = HBurst::Single;
+                self.ap = Some(req);
+            }
+        }
+        drop(st);
+        self.drive_wdata(&mut out);
+        self.last_out = out;
+        out
+    }
+
+    fn name(&self) -> &str {
+        "bridge-port"
+    }
+}
+
+impl PortMaster {
+    fn drive_wdata(&self, out: &mut MasterOut) {
+        if let Some(req) = self.dp {
+            if req.write {
+                out.wdata = to_lanes(req.wdata, req.addr, req.size);
+            }
+        }
+    }
+}
+
+/// Bridge FSM on the upstream side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BridgeState {
+    Idle,
+    /// Waiting for the downstream transfer to finish.
+    Forwarding,
+}
+
+/// An AHB slave that forwards transfers onto a downstream [`AhbBus`].
+///
+/// Build the downstream bus with [`crate::AhbBusBuilder`], reserving master
+/// 0 for the bridge by passing the master returned from
+/// [`AhbToAhbBridge::port_master`].
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{AddressMap, AhbBusBuilder, AhbToAhbBridge, MemorySlave, Op,
+///                    ScriptedMaster};
+///
+/// let (port, handle) = AhbToAhbBridge::port_master();
+/// let downstream = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+///     .master(port)
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .build()?;
+/// let bridge = AhbToAhbBridge::new(downstream, handle);
+/// let mut system = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x20, 7), Op::read(0x20)])))
+///     .slave(Box::new(bridge))
+///     .build()?;
+/// system.run_until_done(100);
+/// let m = system.master_as::<ScriptedMaster>(0).expect("scripted");
+/// assert_eq!(m.reads().next(), Some((0x20, 7)));
+/// # Ok::<(), ahbpower_ahb::BuildBusError>(())
+/// ```
+pub struct AhbToAhbBridge {
+    downstream: AhbBus,
+    port: Rc<RefCell<PortState>>,
+    state: BridgeState,
+    pending: Option<AddressPhase>,
+    /// The transfer currently being forwarded (for upstream lane placement).
+    inflight: Option<AddressPhase>,
+    /// Downstream cycles per upstream cycle (clock ratio).
+    steps_per_tick: u32,
+    /// Mask applied to upstream addresses before re-issuing downstream.
+    addr_mask: u32,
+    forwarded: u64,
+    failed: u64,
+}
+
+/// Opaque handle linking a port master to its bridge.
+pub struct PortHandle(Rc<RefCell<PortState>>);
+
+impl AhbToAhbBridge {
+    /// Creates the downstream port master and its handle. Attach the master
+    /// to the downstream bus (conventionally as master 0), then pass the
+    /// handle to [`AhbToAhbBridge::new`].
+    pub fn port_master() -> (Box<dyn AhbMaster>, PortHandle) {
+        let state = Rc::new(RefCell::new(PortState::default()));
+        (
+            Box::new(PortMaster::new(Rc::clone(&state))),
+            PortHandle(state),
+        )
+    }
+
+    /// Assembles the bridge around its downstream bus.
+    pub fn new(downstream: AhbBus, handle: PortHandle) -> Self {
+        AhbToAhbBridge {
+            downstream,
+            port: handle.0,
+            state: BridgeState::Idle,
+            pending: None,
+            inflight: None,
+            steps_per_tick: 1,
+            addr_mask: u32::MAX,
+            forwarded: 0,
+            failed: 0,
+        }
+    }
+
+    /// Localizes upstream addresses into a `window`-byte downstream space
+    /// (power of two): the downstream map then starts at zero regardless of
+    /// where the bridge sits upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero, not a power of two, or smaller than a
+    /// word.
+    pub fn with_window(mut self, window: u32) -> Self {
+        assert!(
+            window >= 4 && window.is_power_of_two(),
+            "window must be a power of two of at least 4 bytes"
+        );
+        self.addr_mask = window - 1;
+        self
+    }
+
+    /// Sets the downstream:upstream clock ratio (downstream cycles per
+    /// upstream cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn with_clock_ratio(mut self, ratio: u32) -> Self {
+        assert!(ratio > 0, "clock ratio must be positive");
+        self.steps_per_tick = ratio;
+        self
+    }
+
+    /// The downstream bus (snapshots, statistics, typed slave access).
+    pub fn downstream(&self) -> &AhbBus {
+        &self.downstream
+    }
+
+    /// Mutable access to the downstream bus.
+    pub fn downstream_mut(&mut self) -> &mut AhbBus {
+        &mut self.downstream
+    }
+
+    /// Transfers successfully forwarded.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Transfers that failed downstream (reported upstream as ERROR).
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+}
+
+impl std::fmt::Debug for AhbToAhbBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AhbToAhbBridge")
+            .field("state", &self.state)
+            .field("forwarded", &self.forwarded)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl AhbSlave for AhbToAhbBridge {
+    fn address_phase(&mut self, phase: &AddressPhase) {
+        self.pending = Some(*phase);
+    }
+
+    fn data_phase(&mut self, wdata: u32) -> SlaveReply {
+        match self.state {
+            BridgeState::Idle => match self.pending.take() {
+                Some(phase) => {
+                    self.port.borrow_mut().request = Some(PortRequest {
+                        addr: phase.addr & self.addr_mask,
+                        write: phase.write,
+                        size: phase.size,
+                        wdata: from_lanes(wdata, phase.addr, phase.size),
+                    });
+                    self.port.borrow_mut().result = None;
+                    self.inflight = Some(phase);
+                    self.state = BridgeState::Forwarding;
+                    SlaveReply::Wait
+                }
+                None => SlaveReply::Done { rdata: 0 },
+            },
+            BridgeState::Forwarding => {
+                let result = self.port.borrow_mut().result.take();
+                match result {
+                    Some(PortResult::Okay(value)) => {
+                        self.state = BridgeState::Idle;
+                        self.forwarded += 1;
+                        let phase = self.inflight.take().expect("forwarding has a phase");
+                        SlaveReply::Done {
+                            rdata: to_lanes(value, phase.addr, phase.size),
+                        }
+                    }
+                    Some(PortResult::Failed) => {
+                        self.state = BridgeState::Idle;
+                        self.inflight = None;
+                        self.failed += 1;
+                        SlaveReply::Error
+                    }
+                    None => SlaveReply::Wait,
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self) {
+        for _ in 0..self.steps_per_tick {
+            self.downstream.step();
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = BridgeState::Idle;
+        self.pending = None;
+        self.inflight = None;
+        self.port.borrow_mut().request = None;
+        self.port.borrow_mut().result = None;
+        self.downstream.reset();
+    }
+
+    fn name(&self) -> &str {
+        "ahb-ahb-bridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::AhbBusBuilder;
+    use crate::decoder::AddressMap;
+    use crate::master::{Op, ScriptedMaster};
+    use crate::slave::{ErrorSlave, MemorySlave};
+
+    fn system(downstream_waits: u32, ops: Vec<Op>) -> AhbBus {
+        let (port, handle) = AhbToAhbBridge::port_master();
+        let downstream = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(port)
+            .slave(Box::new(MemorySlave::new(0x1000, downstream_waits, 0)))
+            .build()
+            .unwrap();
+        let bridge = AhbToAhbBridge::new(downstream, handle).with_window(0x1000);
+        AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(ops)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(bridge)) // bridge window at 0x1000
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trips_across_segments() {
+        let mut bus = system(0, vec![Op::write(0x1040, 0xBEEF), Op::read(0x1040)]);
+        let n = bus.run_until_done(200);
+        assert!(n < 200, "bridge transfer completes");
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.reads().next(), Some((0x1040, 0xBEEF)));
+        let bridge = bus.slave_as::<AhbToAhbBridge>(1).unwrap();
+        assert_eq!(bridge.forwarded(), 2);
+        assert_eq!(bridge.failed(), 0);
+        // The value really lives in the downstream memory.
+        let mem = bridge
+            .downstream()
+            .slave_as::<MemorySlave>(0)
+            .expect("downstream memory");
+        assert_eq!(mem.peek_word(0x40), 0xBEEF);
+    }
+
+    #[test]
+    fn bridge_adds_latency_but_not_errors() {
+        let mut direct = system(0, vec![Op::write(0x40, 1)]); // slave 0: direct
+        let n_direct = direct.run_until_done(100);
+        let mut bridged = system(0, vec![Op::write(0x1040, 1)]); // via bridge
+        let n_bridged = bridged.run_until_done(100);
+        assert!(
+            n_bridged > n_direct,
+            "bridge costs cycles: {n_bridged} vs {n_direct}"
+        );
+        assert_eq!(bridged.stats().errors, 0);
+        assert!(bridged.stats().wait_cycles > 0);
+    }
+
+    #[test]
+    fn downstream_waits_propagate_upstream() {
+        let mut fast = system(0, vec![Op::read(0x1000)]);
+        let mut slow = system(3, vec![Op::read(0x1000)]);
+        let n_fast = fast.run_until_done(100);
+        let n_slow = slow.run_until_done(100);
+        assert!(n_slow > n_fast, "{n_slow} vs {n_fast}");
+    }
+
+    #[test]
+    fn clock_ratio_speeds_up_downstream() {
+        let build = |ratio: u32| {
+            let (port, handle) = AhbToAhbBridge::port_master();
+            let downstream = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+                .master(port)
+                .slave(Box::new(MemorySlave::new(0x1000, 2, 0)))
+                .build()
+                .unwrap();
+            let bridge = AhbToAhbBridge::new(downstream, handle).with_clock_ratio(ratio);
+            AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+                .master(Box::new(ScriptedMaster::new(vec![
+                    Op::write(0x10, 1),
+                    Op::read(0x10),
+                ])))
+                .slave(Box::new(bridge))
+                .build()
+                .unwrap()
+        };
+        let mut slow = build(1);
+        let mut fast = build(4);
+        let n_slow = slow.run_until_done(200);
+        let n_fast = fast.run_until_done(200);
+        assert!(n_fast < n_slow, "{n_fast} vs {n_slow}");
+    }
+
+    #[test]
+    fn downstream_error_surfaces_as_upstream_error() {
+        let (port, handle) = AhbToAhbBridge::port_master();
+        let downstream = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(port)
+            .slave(Box::new(ErrorSlave::new()))
+            .build()
+            .unwrap();
+        let bridge = AhbToAhbBridge::new(downstream, handle);
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![Op::read(0x0)])))
+            .slave(Box::new(bridge))
+            .build()
+            .unwrap();
+        bus.run_until_done(100);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.completed(), 0);
+        let bridge = bus.slave_as::<AhbToAhbBridge>(0).unwrap();
+        assert_eq!(bridge.failed(), 1);
+    }
+
+    #[test]
+    fn byte_transfers_cross_the_bridge() {
+        let mut bus = system(
+            0,
+            vec![
+                Op::Write {
+                    addr: 0x1001,
+                    value: 0xAB,
+                    size: HSize::Byte,
+                },
+                Op::Read {
+                    addr: 0x1001,
+                    size: HSize::Byte,
+                },
+            ],
+        );
+        bus.run_until_done(200);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.reads().next(), Some((0x1001, 0xAB)));
+    }
+}

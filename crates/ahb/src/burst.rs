@@ -1,0 +1,166 @@
+//! Burst address arithmetic (AMBA AHB section 3.5).
+
+use crate::types::{HBurst, HSize};
+
+/// Computes the address of the beat following `addr` within a burst.
+///
+/// Incrementing bursts add the transfer size; wrapping bursts wrap at an
+/// address boundary equal to `beats × size`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{next_beat_addr, HBurst, HSize};
+///
+/// // WRAP4 of words starting at 0x38 wraps at the 16-byte boundary:
+/// assert_eq!(next_beat_addr(0x38, HSize::Word, HBurst::Wrap4), 0x3C);
+/// assert_eq!(next_beat_addr(0x3C, HSize::Word, HBurst::Wrap4), 0x30);
+/// // INCR just increments:
+/// assert_eq!(next_beat_addr(0x3C, HSize::Word, HBurst::Incr), 0x40);
+/// ```
+pub fn next_beat_addr(addr: u32, size: HSize, burst: HBurst) -> u32 {
+    let step = size.bytes();
+    match burst.beats() {
+        Some(beats) if burst.is_wrapping() => {
+            let window = step * beats as u32;
+            let base = addr & !(window - 1);
+            base | (addr.wrapping_add(step) & (window - 1))
+        }
+        _ => addr.wrapping_add(step),
+    }
+}
+
+/// The full beat-address sequence of a fixed-length burst starting at
+/// `start`. For SINGLE returns one address; for INCR (unspecified length)
+/// returns `incr_len` addresses.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{burst_addresses, HBurst, HSize};
+///
+/// let seq = burst_addresses(0x34, HSize::Word, HBurst::Wrap4, 0);
+/// assert_eq!(seq, vec![0x34, 0x38, 0x3C, 0x30]);
+/// ```
+pub fn burst_addresses(start: u32, size: HSize, burst: HBurst, incr_len: usize) -> Vec<u32> {
+    let n = match burst {
+        HBurst::Single => 1,
+        HBurst::Incr => incr_len.max(1),
+        _ => burst.beats().expect("fixed burst"),
+    };
+    let mut out = Vec::with_capacity(n);
+    let mut a = start;
+    for _ in 0..n {
+        out.push(a);
+        a = next_beat_addr(a, size, burst);
+    }
+    out
+}
+
+/// True if a fixed-length incrementing burst starting at `start` would cross
+/// a 1 KB address boundary — which the AHB specification forbids.
+/// Wrapping bursts never cross (their window is at most 64 bytes); INCR
+/// bursts are the master's responsibility beat by beat.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{crosses_1kb_boundary, HBurst, HSize};
+///
+/// assert!(!crosses_1kb_boundary(0x3C0, HSize::Word, HBurst::Incr16));
+/// assert!(crosses_1kb_boundary(0x3F4, HSize::Word, HBurst::Incr16));
+/// ```
+pub fn crosses_1kb_boundary(start: u32, size: HSize, burst: HBurst) -> bool {
+    match burst.beats() {
+        Some(beats) if !burst.is_wrapping() => {
+            let last = start + size.bytes() * (beats as u32 - 1);
+            (start >> 10) != (last >> 10)
+        }
+        _ => false,
+    }
+}
+
+/// True if `addr` is aligned to the transfer size, as required by the spec.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{is_aligned, HSize};
+///
+/// assert!(is_aligned(0x1004, HSize::Word));
+/// assert!(!is_aligned(0x1002, HSize::Word));
+/// assert!(is_aligned(0x1002, HSize::Half));
+/// ```
+pub fn is_aligned(addr: u32, size: HSize) -> bool {
+    addr.is_multiple_of(size.bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_sequences() {
+        assert_eq!(
+            burst_addresses(0x100, HSize::Word, HBurst::Incr4, 0),
+            vec![0x100, 0x104, 0x108, 0x10C]
+        );
+        assert_eq!(
+            burst_addresses(0x10, HSize::Byte, HBurst::Incr8, 0),
+            (0x10..0x18).collect::<Vec<u32>>()
+        );
+        assert_eq!(burst_addresses(0x20, HSize::Half, HBurst::Single, 0), vec![0x20]);
+        assert_eq!(
+            burst_addresses(0x20, HSize::Word, HBurst::Incr, 3),
+            vec![0x20, 0x24, 0x28]
+        );
+    }
+
+    #[test]
+    fn wrap_sequences_from_spec_examples() {
+        // AMBA spec table: WRAP8 word burst starting at 0x34.
+        assert_eq!(
+            burst_addresses(0x34, HSize::Word, HBurst::Wrap8, 0),
+            vec![0x34, 0x38, 0x3C, 0x20, 0x24, 0x28, 0x2C, 0x30]
+        );
+        // WRAP4 word starting at 0x38.
+        assert_eq!(
+            burst_addresses(0x38, HSize::Word, HBurst::Wrap4, 0),
+            vec![0x38, 0x3C, 0x30, 0x34]
+        );
+        // WRAP16 halfword starting at 0x12: window is 32 bytes.
+        let seq = burst_addresses(0x12, HSize::Half, HBurst::Wrap16, 0);
+        assert_eq!(seq.len(), 16);
+        assert_eq!(seq[0], 0x12);
+        assert_eq!(seq[6], 0x1E);
+        assert_eq!(seq[7], 0x00);
+        assert!(seq.iter().all(|&a| a < 0x20));
+    }
+
+    #[test]
+    fn wrap_visits_each_address_once() {
+        for burst in [HBurst::Wrap4, HBurst::Wrap8, HBurst::Wrap16] {
+            let seq = burst_addresses(0x5C, HSize::Word, burst, 0);
+            let set: std::collections::HashSet<_> = seq.iter().collect();
+            assert_eq!(set.len(), seq.len(), "{burst} repeats an address");
+        }
+    }
+
+    #[test]
+    fn boundary_checks() {
+        assert!(crosses_1kb_boundary(0x3FC, HSize::Word, HBurst::Incr4));
+        assert!(!crosses_1kb_boundary(0x3F0, HSize::Word, HBurst::Incr4));
+        // Wrapping bursts never cross.
+        assert!(!crosses_1kb_boundary(0x3FC, HSize::Word, HBurst::Wrap16));
+        // Singles never cross.
+        assert!(!crosses_1kb_boundary(0x3FF, HSize::Byte, HBurst::Single));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(is_aligned(0, HSize::Word));
+        assert!(is_aligned(0x7, HSize::Byte));
+        assert!(!is_aligned(0x6, HSize::Word));
+        assert!(is_aligned(0x6, HSize::Half));
+    }
+}

@@ -1,0 +1,858 @@
+//! The AHB bus fabric: masters + slaves + arbiter + decoder + muxes,
+//! advanced one clock cycle at a time.
+
+use std::any::Any;
+use std::error::Error;
+use std::fmt;
+
+use crate::arbiter::{Arbiter, Arbitration};
+use crate::decoder::AddressMap;
+use crate::master::AhbMaster;
+use crate::slave::AhbSlave;
+use crate::types::{
+    AddressPhase, BusSnapshot, HResp, HSize, HTrans, MasterId, MasterIn, MasterOut, SlaveId,
+    SlaveReply,
+};
+
+/// Errors detected when assembling an [`AhbBus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildBusError {
+    /// The bus needs at least one master.
+    NoMasters,
+    /// The address map selects a slave index that was not attached.
+    MissingSlave {
+        /// The slave the map references.
+        slave: SlaveId,
+        /// How many slaves are attached.
+        attached: usize,
+    },
+    /// More than 16 masters (HSPLIT is a 16-bit vector).
+    TooManyMasters(usize),
+}
+
+impl fmt::Display for BuildBusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildBusError::NoMasters => f.write_str("bus needs at least one master"),
+            BuildBusError::MissingSlave { slave, attached } => write!(
+                f,
+                "address map references {slave} but only {attached} slaves are attached"
+            ),
+            BuildBusError::TooManyMasters(n) => {
+                write!(f, "{n} masters attached; AHB supports at most 16")
+            }
+        }
+    }
+}
+
+impl Error for BuildBusError {}
+
+/// What the bus is processing in its data phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataPhase {
+    /// Nothing (reset, or after a stretched response).
+    None,
+    /// An IDLE/BUSY cycle: zero-wait OKAY.
+    NoTransfer,
+    /// A real transfer to `slave` (`None` = the built-in default slave).
+    Transfer {
+        master: MasterId,
+        slave: Option<SlaveId>,
+        write: bool,
+    },
+    /// Second cycle of a two-cycle ERROR/RETRY/SPLIT response.
+    Stretch(HResp),
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Bus cycles executed.
+    pub cycles: u64,
+    /// Data phases completed with OKAY.
+    pub transfers_ok: u64,
+    /// ERROR responses (counted once per transfer).
+    pub errors: u64,
+    /// RETRY responses.
+    pub retries: u64,
+    /// SPLIT responses.
+    pub splits: u64,
+    /// Wait-state cycles (HREADY low with OKAY).
+    pub wait_cycles: u64,
+    /// Bus ownership changes (HMASTER edges) — the paper's "bus handover".
+    pub handovers: u64,
+    /// Cycles with an IDLE address phase.
+    pub idle_cycles: u64,
+    /// Completed transfers per slave (default slave excluded).
+    pub per_slave_ok: Vec<u64>,
+    /// Completed transfers per master.
+    pub per_master_ok: Vec<u64>,
+}
+
+impl BusStats {
+    /// Fraction of cycles that completed a data transfer (0..=1).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.transfers_ok as f64 / self.cycles as f64
+    }
+
+    /// Average wait-state cycles per completed transfer.
+    pub fn avg_wait_per_transfer(&self) -> f64 {
+        if self.transfers_ok == 0 {
+            return 0.0;
+        }
+        self.wait_cycles as f64 / self.transfers_ok as f64
+    }
+
+    /// Data throughput in bytes per cycle, assuming word transfers (an
+    /// upper bound; narrow transfers move fewer bytes).
+    pub fn peak_throughput_bytes_per_cycle(&self) -> f64 {
+        self.utilization() * 4.0
+    }
+}
+
+/// Builder for an [`AhbBus`].
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{
+///     AddressMap, AhbBusBuilder, Arbitration, MemorySlave, Op, ScriptedMaster,
+/// };
+///
+/// let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+///     .arbitration(Arbitration::FixedPriority)
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 5)])))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .build()?;
+/// bus.run(8);
+/// assert_eq!(bus.stats().transfers_ok, 1);
+/// # Ok::<(), ahbpower_ahb::BuildBusError>(())
+/// ```
+pub struct AhbBusBuilder {
+    map: AddressMap,
+    policy: Arbitration,
+    default_master: MasterId,
+    masters: Vec<Box<dyn AhbMaster>>,
+    slaves: Vec<Box<dyn AhbSlave>>,
+}
+
+impl AhbBusBuilder {
+    /// Starts a builder over the given address map.
+    pub fn new(map: AddressMap) -> Self {
+        AhbBusBuilder {
+            map,
+            policy: Arbitration::FixedPriority,
+            default_master: MasterId(0),
+            masters: Vec::new(),
+            slaves: Vec::new(),
+        }
+    }
+
+    /// Sets the arbitration policy (default: fixed priority).
+    pub fn arbitration(mut self, policy: Arbitration) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the default master (default: master 0).
+    pub fn default_master(mut self, m: MasterId) -> Self {
+        self.default_master = m;
+        self
+    }
+
+    /// Attaches a master (priority = attach order).
+    pub fn master(mut self, m: Box<dyn AhbMaster>) -> Self {
+        self.masters.push(m);
+        self
+    }
+
+    /// Attaches a slave (index = attach order, matching the address map).
+    pub fn slave(mut self, s: Box<dyn AhbSlave>) -> Self {
+        self.slaves.push(s);
+        self
+    }
+
+    /// Builds the bus.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildBusError`].
+    pub fn build(self) -> Result<AhbBus, BuildBusError> {
+        if self.masters.is_empty() {
+            return Err(BuildBusError::NoMasters);
+        }
+        if self.masters.len() > 16 {
+            return Err(BuildBusError::TooManyMasters(self.masters.len()));
+        }
+        for r in self.map.ranges() {
+            if r.slave.index() >= self.slaves.len() {
+                return Err(BuildBusError::MissingSlave {
+                    slave: r.slave,
+                    attached: self.slaves.len(),
+                });
+            }
+        }
+        let n_masters = self.masters.len();
+        let n_slaves = self.slaves.len();
+        let arbiter = Arbiter::new(n_masters, self.policy, self.default_master);
+        Ok(AhbBus {
+            masters: self.masters,
+            slaves: self.slaves,
+            map: self.map,
+            arbiter,
+            addr_owner: self.default_master,
+            dp: DataPhase::None,
+            hready_r: true,
+            hresp_r: HResp::Okay,
+            hrdata_r: 0,
+            stats: BusStats {
+                per_slave_ok: vec![0; n_slaves],
+                per_master_ok: vec![0; n_masters],
+                ..BusStats::default()
+            },
+            snapshot: BusSnapshot {
+                cycle: 0,
+                haddr: 0,
+                htrans: HTrans::Idle,
+                hwrite: false,
+                hsize: HSize::Word,
+                hburst: crate::types::HBurst::Single,
+                hwdata: 0,
+                hrdata: 0,
+                hready: true,
+                hresp: HResp::Okay,
+                hmaster: self.default_master,
+                hmastlock: false,
+                hbusreq: vec![false; n_masters],
+                hgrant: vec![false; n_masters],
+                hsel: vec![false; n_slaves],
+            },
+        })
+    }
+}
+
+/// The assembled AHB system: call [`AhbBus::step`] once per clock cycle.
+///
+/// The per-cycle [`BusSnapshot`] exposes every protocol wire, which is what
+/// the power-analysis instrumentation observes.
+pub struct AhbBus {
+    masters: Vec<Box<dyn AhbMaster>>,
+    slaves: Vec<Box<dyn AhbSlave>>,
+    map: AddressMap,
+    arbiter: Arbiter,
+    /// Current address-phase owner (HMASTER).
+    addr_owner: MasterId,
+    dp: DataPhase,
+    /// HREADY as sampled by everyone at the last edge.
+    hready_r: bool,
+    hresp_r: HResp,
+    hrdata_r: u32,
+    stats: BusStats,
+    snapshot: BusSnapshot,
+}
+
+impl AhbBus {
+    /// Number of masters.
+    pub fn n_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Number of slaves.
+    pub fn n_slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// The address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// The arbiter (for grant statistics).
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The snapshot of the most recent cycle.
+    pub fn snapshot(&self) -> &BusSnapshot {
+        &self.snapshot
+    }
+
+    /// Typed access to a master (e.g. a [`crate::ScriptedMaster`]).
+    pub fn master_as<T: Any>(&self, i: usize) -> Option<&T> {
+        let m: &dyn Any = &*self.masters[i];
+        m.downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to a master.
+    pub fn master_as_mut<T: Any>(&mut self, i: usize) -> Option<&mut T> {
+        let m: &mut dyn Any = &mut *self.masters[i];
+        m.downcast_mut::<T>()
+    }
+
+    /// Typed access to a slave (e.g. a [`crate::MemorySlave`]).
+    pub fn slave_as<T: Any>(&self, i: usize) -> Option<&T> {
+        let s: &dyn Any = &*self.slaves[i];
+        s.downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to a slave.
+    pub fn slave_as_mut<T: Any>(&mut self, i: usize) -> Option<&mut T> {
+        let s: &mut dyn Any = &mut *self.slaves[i];
+        s.downcast_mut::<T>()
+    }
+
+    /// True when every master reports it has finished its work and no
+    /// transfer is in flight.
+    pub fn all_masters_done(&self) -> bool {
+        self.masters.iter().all(|m| m.done())
+            && matches!(self.dp, DataPhase::None | DataPhase::NoTransfer)
+    }
+
+    /// Synchronous reset: masters, slaves, fabric registers and bus
+    /// ownership (back to the default master). Statistics are preserved.
+    pub fn reset(&mut self) {
+        for m in &mut self.masters {
+            m.reset();
+        }
+        for s in &mut self.slaves {
+            s.reset();
+        }
+        self.dp = DataPhase::None;
+        self.hready_r = true;
+        self.hresp_r = HResp::Okay;
+        self.hrdata_r = 0;
+        self.addr_owner = self.arbiter.default_master();
+    }
+
+    /// Advances the bus by one clock cycle and returns the cycle's wires.
+    pub fn step(&mut self) -> &BusSnapshot {
+        // 1. Masters act on edge-sampled values.
+        let owner = self.addr_owner;
+        let outs: Vec<MasterOut> = {
+            let hready = self.hready_r;
+            let hresp = self.hresp_r;
+            let hrdata = self.hrdata_r;
+            self.masters
+                .iter_mut()
+                .enumerate()
+                .map(|(i, m)| {
+                    m.cycle(&MasterIn {
+                        grant: MasterId(i as u8) == owner,
+                        ready: hready,
+                        resp: hresp,
+                        rdata: hrdata,
+                    })
+                })
+                .collect()
+        };
+        let ap = outs[owner.index()];
+        // 2. M2S data mux: HWDATA comes from the data-phase owner.
+        let hwdata = match self.dp {
+            DataPhase::Transfer { master, write, .. } if write => outs[master.index()].wdata,
+            _ => 0,
+        };
+        // 3. Data-phase evaluation (S2M mux result).
+        let (hready, hresp, hrdata) = match self.dp {
+            DataPhase::None | DataPhase::NoTransfer => (true, HResp::Okay, 0),
+            DataPhase::Stretch(resp) => {
+                self.dp = DataPhase::None;
+                (true, resp, 0)
+            }
+            DataPhase::Transfer { master, slave, .. } => match slave {
+                None => {
+                    // Built-in default slave: ERROR every real transfer.
+                    self.stats.errors += 1;
+                    self.dp = DataPhase::Stretch(HResp::Error);
+                    (false, HResp::Error, 0)
+                }
+                Some(s) => match self.slaves[s.index()].data_phase(hwdata) {
+                    SlaveReply::Wait => {
+                        self.stats.wait_cycles += 1;
+                        (false, HResp::Okay, 0)
+                    }
+                    SlaveReply::Done { rdata } => {
+                        self.stats.transfers_ok += 1;
+                        self.stats.per_slave_ok[s.index()] += 1;
+                        self.stats.per_master_ok[master.index()] += 1;
+                        (true, HResp::Okay, rdata)
+                    }
+                    SlaveReply::Error => {
+                        self.stats.errors += 1;
+                        self.dp = DataPhase::Stretch(HResp::Error);
+                        (false, HResp::Error, 0)
+                    }
+                    SlaveReply::Retry => {
+                        self.stats.retries += 1;
+                        self.dp = DataPhase::Stretch(HResp::Retry);
+                        (false, HResp::Retry, 0)
+                    }
+                    SlaveReply::Split => {
+                        self.stats.splits += 1;
+                        self.arbiter.mask_split(master);
+                        self.dp = DataPhase::Stretch(HResp::Split);
+                        (false, HResp::Split, 0)
+                    }
+                },
+            },
+        };
+        // 4. HSPLIT collection and per-cycle slave ticks.
+        let mut hsplit = 0u16;
+        for s in &mut self.slaves {
+            hsplit |= s.split_done();
+            s.tick();
+        }
+        self.arbiter.unmask(hsplit);
+        // 5. Decode this cycle's address.
+        let decoded = self.map.decode(ap.addr);
+        // 6. Latch the address phase and re-arbitrate when the bus is ready.
+        let mut next_owner = self.addr_owner;
+        if hready {
+            self.dp = if ap.trans.is_transfer() {
+                match decoded {
+                    Some(s) => {
+                        self.slaves[s.index()].address_phase(&AddressPhase {
+                            master: self.addr_owner,
+                            addr: ap.addr,
+                            write: ap.write,
+                            size: ap.size,
+                            burst: ap.burst,
+                            trans: ap.trans,
+                            mastlock: ap.lock,
+                        });
+                        DataPhase::Transfer {
+                            master: self.addr_owner,
+                            slave: Some(s),
+                            write: ap.write,
+                        }
+                    }
+                    None => DataPhase::Transfer {
+                        master: self.addr_owner,
+                        slave: None,
+                        write: ap.write,
+                    },
+                }
+            } else {
+                DataPhase::NoTransfer
+            };
+            let requests: Vec<bool> = outs.iter().map(|o| o.busreq).collect();
+            next_owner = self.arbiter.decide(&requests, self.addr_owner, ap.lock);
+        }
+        if ap.trans == HTrans::Idle {
+            self.stats.idle_cycles += 1;
+        }
+        // 7. Publish this cycle's wires.
+        let n_slaves = self.slaves.len();
+        self.snapshot = BusSnapshot {
+            cycle: self.stats.cycles,
+            haddr: ap.addr,
+            htrans: ap.trans,
+            hwrite: ap.write,
+            hsize: ap.size,
+            hburst: ap.burst,
+            hwdata,
+            hrdata,
+            hready,
+            hresp,
+            hmaster: self.addr_owner,
+            hmastlock: ap.lock && ap.trans.is_transfer(),
+            hbusreq: outs.iter().map(|o| o.busreq).collect(),
+            hgrant: (0..self.masters.len())
+                .map(|i| MasterId(i as u8) == next_owner)
+                .collect(),
+            hsel: (0..n_slaves)
+                .map(|i| decoded == Some(SlaveId(i as u8)))
+                .collect(),
+        };
+        // 8. Advance registers.
+        if next_owner != self.addr_owner {
+            self.stats.handovers += 1;
+        }
+        self.addr_owner = next_owner;
+        self.hready_r = hready;
+        self.hresp_r = hresp;
+        self.hrdata_r = hrdata;
+        self.stats.cycles += 1;
+        &self.snapshot
+    }
+
+    /// Runs `cycles` bus cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs `cycles` bus cycles, handing each cycle's snapshot to `observer`.
+    pub fn run_with(&mut self, cycles: u64, mut observer: impl FnMut(&BusSnapshot)) {
+        for _ in 0..cycles {
+            observer(self.step());
+        }
+    }
+
+    /// Runs until every master is done (or `max_cycles` elapse); returns the
+    /// number of cycles executed.
+    pub fn run_until_done(&mut self, max_cycles: u64) -> u64 {
+        let mut n = 0;
+        while n < max_cycles && !self.all_masters_done() {
+            self.step();
+            n += 1;
+        }
+        n
+    }
+}
+
+impl fmt::Debug for AhbBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AhbBus")
+            .field("masters", &self.masters.len())
+            .field("slaves", &self.slaves.len())
+            .field("cycle", &self.stats.cycles)
+            .field("owner", &self.addr_owner)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::{IdleMaster, Op, ScriptedMaster};
+    use crate::slave::{ErrorSlave, MemorySlave, SplitSlave};
+    use crate::types::HBurst;
+
+    fn simple_bus(ops: Vec<Op>) -> AhbBus {
+        AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(ops)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut bus = simple_bus(vec![Op::write(0x10, 0xDEAD_BEEF), Op::read(0x10)]);
+        let n = bus.run_until_done(100);
+        assert!(n < 20, "should finish quickly, took {n}");
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.reads().next(), Some((0x10, 0xDEAD_BEEF)));
+        assert_eq!(bus.stats().transfers_ok, 2);
+    }
+
+    #[test]
+    fn transfers_route_by_address_map() {
+        let mut bus = simple_bus(vec![Op::write(0x0, 1), Op::write(0x1000, 2)]);
+        bus.run_until_done(100);
+        assert_eq!(bus.stats().per_slave_ok, vec![1, 1]);
+        assert_eq!(bus.slave_as::<MemorySlave>(0).unwrap().peek_word(0x0), 1);
+        assert_eq!(bus.slave_as::<MemorySlave>(1).unwrap().peek_word(0x0), 2);
+    }
+
+    #[test]
+    fn stats_utilization_and_latency() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x0, 1),
+                Op::write(0x4, 2),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 1, 0)))
+            .build()
+            .unwrap();
+        bus.run_until_done(50);
+        let s = bus.stats();
+        assert_eq!(s.transfers_ok, 2);
+        assert_eq!(s.avg_wait_per_transfer(), 1.0);
+        assert!(s.utilization() > 0.0 && s.utilization() < 1.0);
+        assert!(s.peak_throughput_bytes_per_cycle() <= 4.0);
+        assert_eq!(BusStats::default().utilization(), 0.0);
+        assert_eq!(BusStats::default().avg_wait_per_transfer(), 0.0);
+    }
+
+    #[test]
+    fn wait_states_stretch_transfers() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x0, 1),
+                Op::write(0x4, 2),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 2, 0)))
+            .build()
+            .unwrap();
+        let n = bus.run_until_done(100);
+        assert_eq!(bus.stats().transfers_ok, 2);
+        assert_eq!(bus.stats().wait_cycles, 4, "2 waits per NONSEQ transfer");
+        assert!(n >= 8);
+        let s = bus.slave_as::<MemorySlave>(0).unwrap();
+        assert_eq!(s.peek_word(0x0), 1);
+        assert_eq!(s.peek_word(0x4), 2);
+    }
+
+    #[test]
+    fn burst_transfers_complete_in_order() {
+        let data = vec![0x11, 0x22, 0x33, 0x44];
+        let mut bus = simple_bus(vec![Op::Burst {
+            write: true,
+            burst: HBurst::Incr4,
+            addr: 0x100,
+            data: data.clone(),
+            size: HSize::Word,
+            busy_between: 0,
+        }]);
+        bus.run_until_done(100);
+        let s = bus.slave_as::<MemorySlave>(0).unwrap();
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(s.peek_word(0x100 + 4 * i as u32), *d);
+        }
+        assert_eq!(bus.stats().transfers_ok, 4);
+    }
+
+    #[test]
+    fn wrapping_burst_reads_back() {
+        let mut bus = simple_bus(vec![
+            Op::write(0x30, 0xA0),
+            Op::write(0x34, 0xA1),
+            Op::write(0x38, 0xA2),
+            Op::write(0x3C, 0xA3),
+            Op::Burst {
+                write: false,
+                burst: HBurst::Wrap4,
+                addr: 0x38,
+                data: vec![0; 4],
+                size: HSize::Word,
+                busy_between: 0,
+            },
+        ]);
+        bus.run_until_done(100);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        let reads: Vec<(u32, u32)> = m.reads().collect();
+        assert_eq!(
+            reads,
+            vec![(0x38, 0xA2), (0x3C, 0xA3), (0x30, 0xA0), (0x34, 0xA1)]
+        );
+    }
+
+    #[test]
+    fn unmapped_address_hits_default_slave_error() {
+        let mut bus = simple_bus(vec![Op::write(0x9000_0000, 1), Op::write(0x0, 2)]);
+        bus.run_until_done(100);
+        assert_eq!(bus.stats().errors, 1);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.completed(), 1, "the mapped write still completes");
+    }
+
+    #[test]
+    fn error_slave_two_cycle_response() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![Op::read(0x0)])))
+            .slave(Box::new(ErrorSlave::new()))
+            .build()
+            .unwrap();
+        let mut saw_first = false;
+        let mut saw_second = false;
+        let mut prev: Option<(bool, HResp)> = None;
+        bus.run_with(20, |s| {
+            if s.hresp == HResp::Error && !s.hready {
+                saw_first = true;
+            }
+            if s.hresp == HResp::Error && s.hready {
+                saw_second = true;
+                assert_eq!(
+                    prev,
+                    Some((false, HResp::Error)),
+                    "second ERROR cycle must follow the first"
+                );
+            }
+            prev = Some((s.hready, s.hresp));
+        });
+        assert!(saw_first && saw_second);
+    }
+
+    #[test]
+    fn two_masters_arbitrate_and_both_finish() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x10, 1),
+                Op::Idle(2),
+                Op::write(0x14, 2),
+            ])))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x1010, 3),
+                Op::Idle(1),
+                Op::write(0x1014, 4),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap();
+        bus.run_until_done(200);
+        assert!(bus.all_masters_done());
+        assert_eq!(bus.stats().transfers_ok, 4);
+        assert!(bus.stats().handovers >= 2, "bus changed hands");
+        let s0 = bus.slave_as::<MemorySlave>(0).unwrap();
+        assert_eq!((s0.peek_word(0x10), s0.peek_word(0x14)), (1, 2));
+        let s1 = bus.slave_as::<MemorySlave>(1).unwrap();
+        assert_eq!((s1.peek_word(0x10), s1.peek_word(0x14)), (3, 4));
+    }
+
+    #[test]
+    fn locked_sequence_is_not_interrupted() {
+        // Master 1 (lower priority) runs a locked write+read; master 0
+        // floods single writes. The locked pair must complete back-to-back.
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x10000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::Idle(4),
+                Op::write(0x100, 1),
+                Op::write(0x104, 2),
+                Op::write(0x108, 3),
+            ])))
+            .master(Box::new(ScriptedMaster::new(vec![Op::Locked(vec![
+                Op::write(0x200, 0xAA),
+                Op::read(0x200),
+            ])])))
+            .slave(Box::new(MemorySlave::new(0x10000, 0, 0)))
+            .build()
+            .unwrap();
+        let mut owners = Vec::new();
+        for _ in 0..30 {
+            let s = bus.step().clone();
+            if s.htrans.is_transfer() {
+                owners.push((s.hmaster, s.haddr));
+            }
+            if bus.all_masters_done() {
+                break;
+            }
+        }
+        // Find master 1's two transfers: they must be adjacent.
+        let m1_positions: Vec<usize> = owners
+            .iter()
+            .enumerate()
+            .filter(|(_, (m, _))| *m == MasterId(1))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(m1_positions.len(), 2);
+        assert_eq!(
+            m1_positions[1],
+            m1_positions[0] + 1,
+            "locked transfers interleaved: {owners:?}"
+        );
+        let m1 = bus.master_as::<ScriptedMaster>(1).unwrap();
+        assert_eq!(m1.reads().next(), Some((0x200, 0xAA)));
+    }
+
+    #[test]
+    fn split_transfer_masks_master_then_completes() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![Op::read(0x8)])))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::Idle(1),
+                Op::write(0x20, 5),
+            ])))
+            .slave(Box::new(SplitSlave::new(0x1000, 2, 4)))
+            .build()
+            .unwrap();
+        let n = bus.run_until_done(100);
+        assert!(n < 100, "split transfer must eventually complete");
+        let m0 = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert!(m0.splits() >= 1);
+        assert_eq!(m0.completed(), 1);
+        // Both masters' first accesses are split by this slave.
+        assert!(bus.stats().splits >= 2);
+        assert_eq!(
+            bus.slave_as::<SplitSlave>(0).unwrap().splits_issued(),
+            2,
+            "one real split per master"
+        );
+        let m1 = bus.master_as::<ScriptedMaster>(1).unwrap();
+        assert!(m1.splits() >= 1);
+        assert_eq!(m1.completed(), 1);
+    }
+
+    #[test]
+    fn default_master_drives_idle_when_bus_unclaimed() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(IdleMaster::new()))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap();
+        bus.run(10);
+        assert_eq!(bus.stats().idle_cycles, 10);
+        assert_eq!(bus.stats().transfers_ok, 0);
+        let snap = bus.snapshot();
+        assert_eq!(snap.htrans, HTrans::Idle);
+        assert_eq!(snap.hmaster, MasterId(0));
+        assert!(snap.hready);
+    }
+
+    #[test]
+    fn reset_mid_burst_restores_a_clean_bus() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x10000))
+            .default_master(MasterId(1))
+            .master(Box::new(ScriptedMaster::new(vec![Op::Burst {
+                write: true,
+                burst: HBurst::Incr8,
+                addr: 0x100,
+                data: vec![7; 8],
+                size: HSize::Word,
+                busy_between: 0,
+            }])))
+            .master(Box::new(IdleMaster::new()))
+            .slave(Box::new(MemorySlave::new(0x10000, 1, 1)))
+            .build()
+            .unwrap();
+        bus.run(5); // somewhere inside the burst
+        assert!(!bus.all_masters_done());
+        bus.reset();
+        assert_eq!(bus.snapshot().hmaster, MasterId(0), "snapshot is stale");
+        // After reset the script restarts and completes cleanly.
+        let n = bus.run_until_done(200);
+        assert!(n < 200);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert!(m.completed() >= 8, "burst completed after reset");
+        // Ownership restarted from the default master at the reset boundary.
+        let mem = bus.slave_as::<MemorySlave>(0).unwrap();
+        assert_eq!(mem.peek_word(0x104), 7);
+    }
+
+    #[test]
+    fn build_errors() {
+        let e = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildBusError::NoMasters);
+        let e = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(IdleMaster::new()))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BuildBusError::MissingSlave { .. }));
+        assert!(e.to_string().contains("slaves are attached"));
+    }
+
+    #[test]
+    fn snapshot_wires_are_consistent() {
+        let mut bus = simple_bus(vec![Op::write(0x4, 0xAB)]);
+        let mut saw_transfer = false;
+        bus.run_with(10, |s| {
+            assert!(s.hgrant.iter().filter(|&&g| g).count() == 1, "grant one-hot");
+            assert!(s.hsel.iter().filter(|&&x| x).count() <= 1, "hsel one-hot");
+            if s.htrans == HTrans::NonSeq {
+                saw_transfer = true;
+                assert_eq!(s.haddr, 0x4);
+                assert!(s.hwrite);
+                assert!(s.hsel[0]);
+            }
+        });
+        assert!(saw_transfer);
+    }
+}

@@ -1,0 +1,525 @@
+//! A passive AHB protocol checker over per-cycle [`BusSnapshot`]s.
+//!
+//! Feed every cycle's snapshot to [`ProtocolChecker::check`]; violations are
+//! collected with their cycle numbers. The checker encodes the AMBA 2.0
+//! rules the rest of this crate relies on, and doubles as a regression net
+//! for the bus fabric and the master models.
+
+use std::fmt;
+
+use crate::burst::{is_aligned, next_beat_addr};
+use crate::types::{BusSnapshot, HBurst, HResp, HSize, HTrans};
+
+/// The protocol rule a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Address/control must not change while HREADY is low (plain waits).
+    AddressStableDuringWait,
+    /// HMASTER must not change while HREADY is low.
+    MasterStableDuringWait,
+    /// The cycle after the first RETRY/SPLIT cycle must drive IDLE.
+    IdleAfterRetrySplit,
+    /// A SEQ beat's address/control must continue its burst.
+    SeqContinuity,
+    /// BUSY is only legal inside a multi-beat burst.
+    BusyOnlyInBurst,
+    /// ERROR/RETRY/SPLIT must be two-cycle responses.
+    TwoCycleResponse,
+    /// HGRANT must be one-hot.
+    GrantOneHot,
+    /// HSEL must be at most one-hot.
+    SelAtMostOneHot,
+    /// Transfer addresses must be aligned to HSIZE.
+    Alignment,
+    /// A fixed-length burst must not carry more SEQ beats than its length.
+    BurstOverrun,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::AddressStableDuringWait => "address stable during wait states",
+            Rule::MasterStableDuringWait => "HMASTER stable during wait states",
+            Rule::IdleAfterRetrySplit => "IDLE after first RETRY/SPLIT cycle",
+            Rule::SeqContinuity => "SEQ burst continuity",
+            Rule::BusyOnlyInBurst => "BUSY only inside a burst",
+            Rule::TwoCycleResponse => "two-cycle ERROR/RETRY/SPLIT response",
+            Rule::GrantOneHot => "HGRANT one-hot",
+            Rule::SelAtMostOneHot => "HSEL at most one-hot",
+            Rule::Alignment => "address aligned to transfer size",
+            Rule::BurstOverrun => "fixed-length burst beat count",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Bus cycle at which the violation was observed.
+    pub cycle: u64,
+    /// The rule that was broken.
+    pub rule: Rule,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}: {} — {}", self.cycle, self.rule, self.detail)
+    }
+}
+
+/// The running checker state.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ProtocolChecker,
+///                    ScriptedMaster};
+///
+/// let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 1)])))
+///     .slave(Box::new(MemorySlave::new(0x1000, 1, 0)))
+///     .build()?;
+/// let mut checker = ProtocolChecker::new();
+/// for _ in 0..10 {
+///     checker.check(bus.step());
+/// }
+/// assert!(checker.violations().is_empty());
+/// # Ok::<(), ahbpower_ahb::BuildBusError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProtocolChecker {
+    prev: Option<BusSnapshot>,
+    /// The last accepted beat (for SEQ/BUSY continuity).
+    burst_ctx: Option<BurstCtx>,
+    violations: Vec<Violation>,
+    cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BurstCtx {
+    addr: u32,
+    size: HSize,
+    burst: HBurst,
+    write: bool,
+    /// Beats accepted so far in this burst (NONSEQ counts as the first).
+    beats: usize,
+}
+
+impl ProtocolChecker {
+    /// Creates a fresh checker.
+    pub fn new() -> Self {
+        ProtocolChecker::default()
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Cycles checked so far.
+    pub fn cycles_checked(&self) -> u64 {
+        self.cycles
+    }
+
+    fn report(&mut self, cycle: u64, rule: Rule, detail: String) {
+        self.violations.push(Violation {
+            cycle,
+            rule,
+            detail,
+        });
+    }
+
+    /// Checks one cycle's wires against the protocol rules.
+    pub fn check(&mut self, snap: &BusSnapshot) {
+        self.cycles += 1;
+        let c = snap.cycle;
+        // Static shape rules.
+        if snap.hgrant.iter().filter(|&&g| g).count() != 1 {
+            self.report(c, Rule::GrantOneHot, format!("HGRANT = {:?}", snap.hgrant));
+        }
+        if snap.hsel.iter().filter(|&&s| s).count() > 1 {
+            self.report(c, Rule::SelAtMostOneHot, format!("HSEL = {:?}", snap.hsel));
+        }
+        if snap.htrans.is_transfer() && !is_aligned(snap.haddr, snap.hsize) {
+            self.report(
+                c,
+                Rule::Alignment,
+                format!("{:#x} not aligned to {}", snap.haddr, snap.hsize),
+            );
+        }
+        // Response shape: a non-OKAY with HREADY high must be the second
+        // cycle of a pair.
+        if snap.hresp != HResp::Okay && snap.hready {
+            let ok = self
+                .prev
+                .as_ref()
+                .is_some_and(|p| !p.hready && p.hresp == snap.hresp);
+            if !ok {
+                self.report(
+                    c,
+                    Rule::TwoCycleResponse,
+                    format!("{} completed without a first cycle", snap.hresp),
+                );
+            }
+        }
+        if let Some(p) = self.prev.clone() {
+            if !p.hready {
+                match p.hresp {
+                    HResp::Retry | HResp::Split => {
+                        if snap.htrans != HTrans::Idle {
+                            self.report(
+                                c,
+                                Rule::IdleAfterRetrySplit,
+                                format!("drove {} after first {} cycle", snap.htrans, p.hresp),
+                            );
+                        }
+                    }
+                    _ => {
+                        // Plain wait (or first ERROR cycle where the master
+                        // continues): the address phase must hold.
+                        if (snap.haddr, snap.htrans, snap.hwrite, snap.hsize, snap.hburst)
+                            != (p.haddr, p.htrans, p.hwrite, p.hsize, p.hburst)
+                        {
+                            self.report(
+                                c,
+                                Rule::AddressStableDuringWait,
+                                format!(
+                                    "addr {:#x}->{:#x} trans {}->{}",
+                                    p.haddr, snap.haddr, p.htrans, snap.htrans
+                                ),
+                            );
+                        }
+                        if snap.hmaster != p.hmaster {
+                            self.report(
+                                c,
+                                Rule::MasterStableDuringWait,
+                                format!("{} -> {}", p.hmaster, snap.hmaster),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Burst continuity rules evaluated on newly presented phases only
+        // (wait-state repeats are covered by the stability rule above).
+        let newly_presented = self.prev.as_ref().is_none_or(|p| p.hready);
+        if newly_presented {
+            match snap.htrans {
+                HTrans::Seq => match self.burst_ctx {
+                    Some(ctx) => {
+                        if let Some(n) = ctx.burst.beats() {
+                            if ctx.beats >= n {
+                                self.report(
+                                    c,
+                                    Rule::BurstOverrun,
+                                    format!("beat {} of a {}-beat {}", ctx.beats + 1, n, ctx.burst),
+                                );
+                            }
+                        }
+                        let expect = next_beat_addr(ctx.addr, ctx.size, ctx.burst);
+                        if snap.haddr != expect
+                            || snap.hsize != ctx.size
+                            || snap.hwrite != ctx.write
+                        {
+                            self.report(
+                                c,
+                                Rule::SeqContinuity,
+                                format!(
+                                    "expected {:#x} {} {}, got {:#x} {} {}",
+                                    expect,
+                                    ctx.size,
+                                    if ctx.write { "W" } else { "R" },
+                                    snap.haddr,
+                                    snap.hsize,
+                                    if snap.hwrite { "W" } else { "R" },
+                                ),
+                            );
+                        }
+                    }
+                    None => {
+                        self.report(c, Rule::SeqContinuity, "SEQ without a burst".to_string());
+                    }
+                },
+                HTrans::Busy => {
+                    let in_burst = self
+                        .burst_ctx
+                        .is_some_and(|ctx| ctx.burst != HBurst::Single);
+                    if !in_burst {
+                        self.report(
+                            c,
+                            Rule::BusyOnlyInBurst,
+                            "BUSY outside a multi-beat burst".to_string(),
+                        );
+                    }
+                }
+                HTrans::Idle | HTrans::NonSeq => {}
+            }
+        }
+        // Update burst context on accepted phases.
+        if snap.hready {
+            match snap.htrans {
+                HTrans::NonSeq | HTrans::Seq => {
+                    let beats = match (snap.htrans, self.burst_ctx) {
+                        (HTrans::Seq, Some(ctx)) => ctx.beats + 1,
+                        _ => 1,
+                    };
+                    self.burst_ctx = Some(BurstCtx {
+                        addr: snap.haddr,
+                        size: snap.hsize,
+                        burst: snap.hburst,
+                        write: snap.hwrite,
+                        beats,
+                    });
+                }
+                HTrans::Idle => self.burst_ctx = None,
+                HTrans::Busy => {}
+            }
+        }
+        self.prev = Some(snap.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{MasterId, SlaveId};
+
+    fn snap(cycle: u64) -> BusSnapshot {
+        BusSnapshot {
+            cycle,
+            haddr: 0,
+            htrans: HTrans::Idle,
+            hwrite: false,
+            hsize: HSize::Word,
+            hburst: HBurst::Single,
+            hwdata: 0,
+            hrdata: 0,
+            hready: true,
+            hresp: HResp::Okay,
+            hmaster: MasterId(0),
+            hmastlock: false,
+            hbusreq: vec![false],
+            hgrant: vec![true],
+            hsel: vec![false],
+        }
+    }
+
+    #[test]
+    fn clean_idle_stream_has_no_violations() {
+        let mut ck = ProtocolChecker::new();
+        for i in 0..10 {
+            ck.check(&snap(i));
+        }
+        assert!(ck.violations().is_empty());
+        assert_eq!(ck.cycles_checked(), 10);
+    }
+
+    #[test]
+    fn grant_must_be_one_hot() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.hgrant = vec![true, true];
+        ck.check(&s);
+        assert_eq!(ck.violations()[0].rule, Rule::GrantOneHot);
+    }
+
+    #[test]
+    fn hsel_multi_hot_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.hsel = vec![true, true];
+        ck.check(&s);
+        assert_eq!(ck.violations()[0].rule, Rule::SelAtMostOneHot);
+        let _ = SlaveId(0); // silence unused import in some cfg combinations
+    }
+
+    #[test]
+    fn misaligned_transfer_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.htrans = HTrans::NonSeq;
+        s.haddr = 0x2;
+        s.hsize = HSize::Word;
+        ck.check(&s);
+        assert_eq!(ck.violations()[0].rule, Rule::Alignment);
+    }
+
+    #[test]
+    fn address_change_during_wait_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s0 = snap(0);
+        s0.htrans = HTrans::NonSeq;
+        s0.haddr = 0x10;
+        s0.hready = false; // wait state
+        ck.check(&s0);
+        let mut s1 = snap(1);
+        s1.htrans = HTrans::NonSeq;
+        s1.haddr = 0x20; // illegal change
+        ck.check(&s1);
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::AddressStableDuringWait));
+    }
+
+    #[test]
+    fn idle_required_after_retry_first_cycle() {
+        let mut ck = ProtocolChecker::new();
+        let mut s0 = snap(0);
+        s0.hready = false;
+        s0.hresp = HResp::Retry;
+        ck.check(&s0);
+        let mut s1 = snap(1);
+        s1.htrans = HTrans::NonSeq; // must be IDLE
+        s1.hready = true;
+        s1.hresp = HResp::Retry;
+        ck.check(&s1);
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::IdleAfterRetrySplit));
+    }
+
+    #[test]
+    fn single_cycle_error_flagged() {
+        let mut ck = ProtocolChecker::new();
+        ck.check(&snap(0));
+        let mut s1 = snap(1);
+        s1.hresp = HResp::Error;
+        s1.hready = true; // completes without the low-HREADY first cycle
+        ck.check(&s1);
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::TwoCycleResponse));
+    }
+
+    #[test]
+    fn proper_two_cycle_error_accepted() {
+        let mut ck = ProtocolChecker::new();
+        let mut s0 = snap(0);
+        s0.hready = false;
+        s0.hresp = HResp::Error;
+        ck.check(&s0);
+        let mut s1 = snap(1);
+        s1.hready = true;
+        s1.hresp = HResp::Error;
+        ck.check(&s1);
+        assert!(ck.violations().is_empty());
+    }
+
+    #[test]
+    fn seq_with_wrong_address_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s0 = snap(0);
+        s0.htrans = HTrans::NonSeq;
+        s0.haddr = 0x100;
+        s0.hburst = HBurst::Incr4;
+        ck.check(&s0);
+        let mut s1 = snap(1);
+        s1.htrans = HTrans::Seq;
+        s1.haddr = 0x110; // expected 0x104
+        s1.hburst = HBurst::Incr4;
+        ck.check(&s1);
+        assert!(ck.violations().iter().any(|v| v.rule == Rule::SeqContinuity));
+    }
+
+    #[test]
+    fn seq_correct_address_accepted() {
+        let mut ck = ProtocolChecker::new();
+        let mut s0 = snap(0);
+        s0.htrans = HTrans::NonSeq;
+        s0.haddr = 0x100;
+        s0.hburst = HBurst::Incr4;
+        ck.check(&s0);
+        let mut s1 = snap(1);
+        s1.htrans = HTrans::Seq;
+        s1.haddr = 0x104;
+        s1.hburst = HBurst::Incr4;
+        ck.check(&s1);
+        assert!(ck.violations().is_empty(), "{:?}", ck.violations());
+    }
+
+    #[test]
+    fn busy_outside_burst_flagged() {
+        let mut ck = ProtocolChecker::new();
+        ck.check(&snap(0)); // idle clears context
+        let mut s1 = snap(1);
+        s1.htrans = HTrans::Busy;
+        ck.check(&s1);
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::BusyOnlyInBurst));
+    }
+
+    #[test]
+    fn seq_without_any_burst_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.htrans = HTrans::Seq;
+        s.haddr = 0x4;
+        ck.check(&s);
+        assert!(ck.violations().iter().any(|v| v.rule == Rule::SeqContinuity));
+    }
+
+    #[test]
+    fn burst_overrun_flagged() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.htrans = HTrans::NonSeq;
+        s.haddr = 0x100;
+        s.hburst = HBurst::Incr4;
+        ck.check(&s);
+        for i in 1..=4u64 {
+            let mut b = snap(i);
+            b.htrans = HTrans::Seq;
+            b.haddr = 0x100 + 4 * i as u32;
+            b.hburst = HBurst::Incr4;
+            ck.check(&b);
+        }
+        // Beats 2-4 were legal; the 5th SEQ overruns INCR4.
+        let overruns: Vec<_> = ck
+            .violations()
+            .iter()
+            .filter(|v| v.rule == Rule::BurstOverrun)
+            .collect();
+        assert_eq!(overruns.len(), 1, "{:?}", ck.violations());
+        assert_eq!(overruns[0].cycle, 4);
+    }
+
+    #[test]
+    fn exact_length_burst_is_clean() {
+        let mut ck = ProtocolChecker::new();
+        let mut s = snap(0);
+        s.htrans = HTrans::NonSeq;
+        s.hburst = HBurst::Wrap4;
+        s.haddr = 0x8;
+        ck.check(&s);
+        let mut addr = 0x8;
+        for i in 1..4u64 {
+            addr = crate::burst::next_beat_addr(addr, HSize::Word, HBurst::Wrap4);
+            let mut b = snap(i);
+            b.htrans = HTrans::Seq;
+            b.haddr = addr;
+            b.hburst = HBurst::Wrap4;
+            ck.check(&b);
+        }
+        assert!(ck.violations().is_empty(), "{:?}", ck.violations());
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = Violation {
+            cycle: 7,
+            rule: Rule::SeqContinuity,
+            detail: "x".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("cycle 7"));
+        assert!(s.contains("SEQ"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The central address decoder: HADDR → one-hot HSELx.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::SlaveId;
+
+/// One slave's address window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrRange {
+    /// First address of the window.
+    pub start: u32,
+    /// Size of the window in bytes (must be positive).
+    pub size: u32,
+    /// The slave selected for this window.
+    pub slave: SlaveId,
+}
+
+impl AddrRange {
+    /// Creates a range after validating it does not wrap the address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `start + size` overflows.
+    pub fn new(start: u32, size: u32, slave: SlaveId) -> Self {
+        assert!(size > 0, "address range must be non-empty");
+        assert!(
+            start.checked_add(size - 1).is_some(),
+            "address range wraps past the end of the address space"
+        );
+        AddrRange { start, size, slave }
+    }
+
+    /// End of the window (inclusive).
+    pub fn end(&self) -> u32 {
+        self.start + (self.size - 1)
+    }
+
+    /// True if `addr` falls inside the window.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr <= self.end()
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}..={:#010x}] -> {}", self.start, self.end(), self.slave)
+    }
+}
+
+/// Errors raised when building an [`AddressMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildMapError {
+    /// Two windows overlap.
+    Overlap(AddrRange, AddrRange),
+}
+
+impl fmt::Display for BuildMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildMapError::Overlap(a, b) => write!(f, "address ranges overlap: {a} and {b}"),
+        }
+    }
+}
+
+impl Error for BuildMapError {}
+
+/// The bus's address map — the behaviour of the central decoder.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{AddrRange, AddressMap, SlaveId};
+///
+/// let map = AddressMap::new(vec![
+///     AddrRange::new(0x0000_0000, 0x1000, SlaveId(0)),
+///     AddrRange::new(0x2000_0000, 0x1000, SlaveId(1)),
+/// ])?;
+/// assert_eq!(map.decode(0x0000_0004), Some(SlaveId(0)));
+/// assert_eq!(map.decode(0x2000_0FFC), Some(SlaveId(1)));
+/// assert_eq!(map.decode(0x9000_0000), None); // default slave territory
+/// # Ok::<(), ahbpower_ahb::BuildMapError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMap {
+    ranges: Vec<AddrRange>,
+}
+
+impl AddressMap {
+    /// Builds a map, rejecting overlapping windows.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildMapError::Overlap`] if any two windows intersect.
+    pub fn new(mut ranges: Vec<AddrRange>) -> Result<Self, BuildMapError> {
+        ranges.sort_by_key(|r| r.start);
+        for pair in ranges.windows(2) {
+            if pair[1].start <= pair[0].end() {
+                return Err(BuildMapError::Overlap(pair[0], pair[1]));
+            }
+        }
+        Ok(AddressMap { ranges })
+    }
+
+    /// Builds the map the paper's testbench uses: `n_slaves` windows of
+    /// `window` bytes each, slave *i* at `i * window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_slaves == 0` or the windows would overflow.
+    pub fn evenly_spaced(n_slaves: usize, window: u32) -> Self {
+        assert!(n_slaves > 0, "need at least one slave");
+        let ranges = (0..n_slaves)
+            .map(|i| AddrRange::new(i as u32 * window, window, SlaveId(i as u8)))
+            .collect();
+        AddressMap::new(ranges).expect("evenly spaced windows cannot overlap")
+    }
+
+    /// Decodes an address to the selected slave, or `None` for unmapped
+    /// addresses (which the bus routes to its built-in default slave).
+    pub fn decode(&self, addr: u32) -> Option<SlaveId> {
+        let idx = self.ranges.partition_point(|r| r.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.ranges[idx - 1];
+        r.contains(addr).then_some(r.slave)
+    }
+
+    /// The windows, sorted by start address.
+    pub fn ranges(&self) -> &[AddrRange] {
+        &self.ranges
+    }
+
+    /// The largest slave index that appears in the map, plus one.
+    pub fn slave_count(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|r| r.slave.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_boundaries() {
+        let map = AddressMap::new(vec![
+            AddrRange::new(0x1000, 0x1000, SlaveId(0)),
+            AddrRange::new(0x2000, 0x1000, SlaveId(1)),
+        ])
+        .unwrap();
+        assert_eq!(map.decode(0x0FFF), None);
+        assert_eq!(map.decode(0x1000), Some(SlaveId(0)));
+        assert_eq!(map.decode(0x1FFF), Some(SlaveId(0)));
+        assert_eq!(map.decode(0x2000), Some(SlaveId(1)));
+        assert_eq!(map.decode(0x2FFF), Some(SlaveId(1)));
+        assert_eq!(map.decode(0x3000), None);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let err = AddressMap::new(vec![
+            AddrRange::new(0x1000, 0x1000, SlaveId(0)),
+            AddrRange::new(0x1800, 0x1000, SlaveId(1)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, BuildMapError::Overlap(..)));
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn adjacent_windows_are_fine() {
+        assert!(AddressMap::new(vec![
+            AddrRange::new(0x0, 0x100, SlaveId(0)),
+            AddrRange::new(0x100, 0x100, SlaveId(1)),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn evenly_spaced_map() {
+        let map = AddressMap::evenly_spaced(3, 0x1_0000);
+        assert_eq!(map.slave_count(), 3);
+        assert_eq!(map.decode(0x0_5000), Some(SlaveId(0)));
+        assert_eq!(map.decode(0x1_5000), Some(SlaveId(1)));
+        assert_eq!(map.decode(0x2_5000), Some(SlaveId(2)));
+        assert_eq!(map.decode(0x3_0000), None);
+    }
+
+    #[test]
+    fn range_display_and_contains() {
+        let r = AddrRange::new(0x100, 0x10, SlaveId(2));
+        assert!(r.contains(0x100));
+        assert!(r.contains(0x10F));
+        assert!(!r.contains(0x110));
+        assert!(r.to_string().contains("S2"));
+    }
+
+    #[test]
+    fn range_covering_top_of_address_space() {
+        let r = AddrRange::new(0xFFFF_F000, 0x1000, SlaveId(0));
+        assert_eq!(r.end(), 0xFFFF_FFFF);
+        assert!(r.contains(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps past the end")]
+    fn wrapping_range_panics() {
+        let _ = AddrRange::new(0xFFFF_F000, 0x2000, SlaveId(0));
+    }
+}

@@ -1,0 +1,122 @@
+//! Byte-lane placement on the 32-bit data bus.
+//!
+//! AHB is little-endian here: a transfer of `size` bytes at address `a`
+//! occupies byte lanes `a % 4 .. a % 4 + size` of HWDATA/HRDATA.
+
+use crate::types::HSize;
+
+/// The HWDATA/HRDATA bit mask occupied by a transfer.
+///
+/// # Panics
+///
+/// Panics if `addr` is not aligned to `size`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{lane_mask, HSize};
+///
+/// assert_eq!(lane_mask(0x1000, HSize::Word), 0xFFFF_FFFF);
+/// assert_eq!(lane_mask(0x1002, HSize::Half), 0xFFFF_0000);
+/// assert_eq!(lane_mask(0x1001, HSize::Byte), 0x0000_FF00);
+/// ```
+pub fn lane_mask(addr: u32, size: HSize) -> u32 {
+    assert!(
+        crate::burst::is_aligned(addr, size),
+        "unaligned transfer: {addr:#x} size {size}"
+    );
+    let offset = (addr % 4) * 8;
+    let width_mask: u32 = match size {
+        HSize::Byte => 0xFF,
+        HSize::Half => 0xFFFF,
+        HSize::Word => 0xFFFF_FFFF,
+    };
+    width_mask << offset
+}
+
+/// Places a right-aligned `value` onto its byte lanes.
+///
+/// # Panics
+///
+/// Panics if `addr` is not aligned to `size`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{to_lanes, HSize};
+///
+/// assert_eq!(to_lanes(0xAB, 0x1001, HSize::Byte), 0x0000_AB00);
+/// assert_eq!(to_lanes(0x1234, 0x1002, HSize::Half), 0x1234_0000);
+/// ```
+pub fn to_lanes(value: u32, addr: u32, size: HSize) -> u32 {
+    let offset = (addr % 4) * 8;
+    (value << offset) & lane_mask(addr, size)
+}
+
+/// Extracts a right-aligned value from its byte lanes.
+///
+/// # Panics
+///
+/// Panics if `addr` is not aligned to `size`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{from_lanes, HSize};
+///
+/// assert_eq!(from_lanes(0x0000_AB00, 0x1001, HSize::Byte), 0xAB);
+/// assert_eq!(from_lanes(0x1234_0000, 0x1002, HSize::Half), 0x1234);
+/// ```
+pub fn from_lanes(bus_word: u32, addr: u32, size: HSize) -> u32 {
+    let offset = (addr % 4) * 8;
+    let width_mask: u32 = match size {
+        HSize::Byte => 0xFF,
+        HSize::Half => 0xFFFF,
+        HSize::Word => 0xFFFF_FFFF,
+    };
+    (bus_word >> offset) & width_mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_offsets() {
+        for (addr, size) in [
+            (0u32, HSize::Byte),
+            (1, HSize::Byte),
+            (2, HSize::Byte),
+            (3, HSize::Byte),
+            (0, HSize::Half),
+            (2, HSize::Half),
+            (0, HSize::Word),
+        ] {
+            let value = 0xDEAD_BEEF
+                & match size {
+                    HSize::Byte => 0xFF,
+                    HSize::Half => 0xFFFF,
+                    HSize::Word => 0xFFFF_FFFF,
+                };
+            let on_bus = to_lanes(value, addr, size);
+            assert_eq!(from_lanes(on_bus, addr, size), value, "{addr} {size}");
+            assert_eq!(on_bus & !lane_mask(addr, size), 0);
+        }
+    }
+
+    #[test]
+    fn masks_are_disjoint_within_word() {
+        let m0 = lane_mask(0, HSize::Byte);
+        let m1 = lane_mask(1, HSize::Byte);
+        let m2 = lane_mask(2, HSize::Half);
+        assert_eq!(m0 & m1, 0);
+        assert_eq!((m0 | m1) & m2, 0);
+        assert_eq!(m0 | m1 | m2, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_half_panics() {
+        let _ = lane_mask(0x1001, HSize::Half);
+    }
+}

@@ -1,0 +1,375 @@
+//! A small text format for master transaction scripts — trace-driven
+//! stimulus in the spirit of instruction-based IP evaluation (Givargis et
+//! al., the paper's ref. [4]).
+//!
+//! ## Format
+//!
+//! One op per line; `#` starts a comment. Addresses and data are hex
+//! (optional `0x`), sizes are `b`/`h`/`w` (default `w`).
+//!
+//! ```text
+//! # write then read back
+//! write 0x100 deadbeef w
+//! read  0x100
+//! idle  5
+//! burst w incr4 0x200 11 22 33 44
+//! burst r wrap8 0x240
+//! lock
+//!   write 0x300 1
+//!   read  0x300
+//! endlock
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::master::Op;
+use crate::types::{HBurst, HSize};
+
+/// Errors produced by [`parse_ops`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseOpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseOpsError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseOpsError {
+    ParseOpsError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_hex(tok: &str, line: usize) -> Result<u32, ParseOpsError> {
+    let t = tok.strip_prefix("0x").unwrap_or(tok);
+    u32::from_str_radix(t, 16).map_err(|_| err(line, format!("bad hex value `{tok}`")))
+}
+
+fn parse_size(tok: Option<&str>, line: usize) -> Result<HSize, ParseOpsError> {
+    match tok {
+        None | Some("w") => Ok(HSize::Word),
+        Some("h") => Ok(HSize::Half),
+        Some("b") => Ok(HSize::Byte),
+        Some(other) => Err(err(line, format!("bad size `{other}` (use b/h/w)"))),
+    }
+}
+
+fn parse_burst_kind(tok: &str, line: usize) -> Result<HBurst, ParseOpsError> {
+    Ok(match tok.to_ascii_lowercase().as_str() {
+        "single" => HBurst::Single,
+        "incr" => HBurst::Incr,
+        "incr4" => HBurst::Incr4,
+        "incr8" => HBurst::Incr8,
+        "incr16" => HBurst::Incr16,
+        "wrap4" => HBurst::Wrap4,
+        "wrap8" => HBurst::Wrap8,
+        "wrap16" => HBurst::Wrap16,
+        other => return Err(err(line, format!("bad burst kind `{other}`"))),
+    })
+}
+
+/// Parses the text format into a list of [`Op`]s.
+///
+/// # Errors
+///
+/// Returns a [`ParseOpsError`] with the offending line for malformed input
+/// (unknown keyword, bad hex, unbalanced `lock`/`endlock`, …).
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{parse_ops, Op};
+///
+/// let ops = parse_ops("write 0x10 ff\nread 0x10\nidle 3\n")?;
+/// assert_eq!(ops[0], Op::write(0x10, 0xFF));
+/// assert_eq!(ops[2], Op::Idle(3));
+/// # Ok::<(), ahbpower_ahb::ParseOpsError>(())
+/// ```
+pub fn parse_ops(text: &str) -> Result<Vec<Op>, ParseOpsError> {
+    let mut out: Vec<Op> = Vec::new();
+    // Stack of pending locked groups (supports nesting).
+    let mut lock_stack: Vec<Vec<Op>> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let kw = toks.next().expect("non-empty line has a token");
+        let op = match kw.to_ascii_lowercase().as_str() {
+            "idle" => {
+                let n = toks
+                    .next()
+                    .ok_or_else(|| err(line_no, "idle needs a cycle count"))?
+                    .parse::<u32>()
+                    .map_err(|_| err(line_no, "bad idle cycle count"))?;
+                Some(Op::Idle(n))
+            }
+            "write" => {
+                let addr = parse_hex(
+                    toks.next().ok_or_else(|| err(line_no, "write needs addr"))?,
+                    line_no,
+                )?;
+                let value = parse_hex(
+                    toks.next()
+                        .ok_or_else(|| err(line_no, "write needs a value"))?,
+                    line_no,
+                )?;
+                let size = parse_size(toks.next(), line_no)?;
+                Some(Op::Write { addr, value, size })
+            }
+            "read" => {
+                let addr = parse_hex(
+                    toks.next().ok_or_else(|| err(line_no, "read needs addr"))?,
+                    line_no,
+                )?;
+                let size = parse_size(toks.next(), line_no)?;
+                Some(Op::Read { addr, size })
+            }
+            "burst" => {
+                let dir = toks
+                    .next()
+                    .ok_or_else(|| err(line_no, "burst needs r|w"))?;
+                let write = match dir {
+                    "w" => true,
+                    "r" => false,
+                    other => return Err(err(line_no, format!("bad burst direction `{other}`"))),
+                };
+                let burst = parse_burst_kind(
+                    toks.next()
+                        .ok_or_else(|| err(line_no, "burst needs a kind"))?,
+                    line_no,
+                )?;
+                let addr = parse_hex(
+                    toks.next().ok_or_else(|| err(line_no, "burst needs addr"))?,
+                    line_no,
+                )?;
+                let data: Vec<u32> = toks
+                    .map(|t| parse_hex(t, line_no))
+                    .collect::<Result<_, _>>()?;
+                let beats = burst.beats();
+                let data = if write {
+                    if let Some(n) = beats {
+                        if data.len() != n {
+                            return Err(err(
+                                line_no,
+                                format!("{burst} write burst needs {n} data words, got {}", data.len()),
+                            ));
+                        }
+                    } else if data.is_empty() {
+                        return Err(err(line_no, "write burst needs data"));
+                    }
+                    data
+                } else {
+                    // Reads: data tokens are forbidden; length comes from
+                    // the kind (INCR reads default to 4 beats).
+                    if !data.is_empty() {
+                        return Err(err(line_no, "read burst takes no data"));
+                    }
+                    vec![0; beats.unwrap_or(4)]
+                };
+                Some(Op::Burst {
+                    write,
+                    burst,
+                    addr,
+                    data,
+                    size: HSize::Word,
+                    busy_between: 0,
+                })
+            }
+            "lock" => {
+                lock_stack.push(Vec::new());
+                None
+            }
+            "endlock" => {
+                let inner = lock_stack
+                    .pop()
+                    .ok_or_else(|| err(line_no, "endlock without lock"))?;
+                Some(Op::Locked(inner))
+            }
+            other => return Err(err(line_no, format!("unknown keyword `{other}`"))),
+        };
+        if let Some(op) = op {
+            match lock_stack.last_mut() {
+                Some(group) => group.push(op),
+                None => out.push(op),
+            }
+        }
+    }
+    if !lock_stack.is_empty() {
+        return Err(err(text.lines().count(), "unterminated lock block"));
+    }
+    Ok(out)
+}
+
+/// Renders ops back to the text format ([`parse_ops`]'s inverse for
+/// everything the format can express).
+pub fn format_ops(ops: &[Op]) -> String {
+    let mut out = String::new();
+    fn push(out: &mut String, op: &Op, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match op {
+            Op::Idle(n) => out.push_str(&format!("{pad}idle {n}\n")),
+            Op::Write { addr, value, size } => {
+                out.push_str(&format!("{pad}write 0x{addr:x} 0x{value:x} {}\n", size_ch(*size)));
+            }
+            Op::Read { addr, size } => {
+                out.push_str(&format!("{pad}read 0x{addr:x} {}\n", size_ch(*size)));
+            }
+            Op::Burst {
+                write,
+                burst,
+                addr,
+                data,
+                ..
+            } => {
+                let dir = if *write { "w" } else { "r" };
+                let kind = burst.to_string().to_ascii_lowercase();
+                out.push_str(&format!("{pad}burst {dir} {kind} 0x{addr:x}"));
+                if *write {
+                    for d in data {
+                        out.push_str(&format!(" 0x{d:x}"));
+                    }
+                }
+                out.push('\n');
+            }
+            Op::Locked(inner) => {
+                out.push_str(&format!("{pad}lock\n"));
+                for o in inner {
+                    push(out, o, indent + 1);
+                }
+                out.push_str(&format!("{pad}endlock\n"));
+            }
+        }
+    }
+    fn size_ch(s: HSize) -> char {
+        match s {
+            HSize::Byte => 'b',
+            HSize::Half => 'h',
+            HSize::Word => 'w',
+        }
+    }
+    for op in ops {
+        push(&mut out, op, 0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_op_kinds() {
+        let text = "\
+# comment line
+write 0x100 deadbeef
+read 100 h
+idle 7
+
+burst w incr4 0x200 1 2 3 4
+burst r wrap8 0x240
+lock
+  write 0x300 1 b
+  read 0x300 b
+endlock
+";
+        let ops = parse_ops(text).unwrap();
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops[0], Op::write(0x100, 0xDEAD_BEEF));
+        assert_eq!(
+            ops[1],
+            Op::Read {
+                addr: 0x100,
+                size: HSize::Half
+            }
+        );
+        assert_eq!(ops[2], Op::Idle(7));
+        assert!(matches!(
+            &ops[3],
+            Op::Burst { write: true, burst: HBurst::Incr4, data, .. } if data == &vec![1, 2, 3, 4]
+        ));
+        assert!(matches!(
+            &ops[4],
+            Op::Burst { write: false, burst: HBurst::Wrap8, data, .. } if data.len() == 8
+        ));
+        assert!(matches!(&ops[5], Op::Locked(inner) if inner.len() == 2));
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        let text = "write 0x10 0xff w\nlock\n  read 0x10 w\n  write 0x14 0x1 h\nendlock\nburst w wrap4 0x20 0x1 0x2 0x3 0x4\nidle 2\n";
+        let ops = parse_ops(text).unwrap();
+        let rendered = format_ops(&ops);
+        let reparsed = parse_ops(&rendered).unwrap();
+        assert_eq!(ops, reparsed);
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let e = parse_ops("write 0x10\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("value"));
+        let e = parse_ops("read zz\n").unwrap_err();
+        assert!(e.message.contains("bad hex"));
+        let e = parse_ops("frobnicate 1\n").unwrap_err();
+        assert!(e.message.contains("unknown keyword"));
+        let e = parse_ops("idle\n").unwrap_err();
+        assert!(e.message.contains("cycle count"));
+        let e = parse_ops("write 1 2 q\n").unwrap_err();
+        assert!(e.message.contains("bad size"));
+    }
+
+    #[test]
+    fn lock_must_balance() {
+        assert!(parse_ops("lock\nwrite 0 1\n").unwrap_err().message.contains("unterminated"));
+        assert!(parse_ops("endlock\n").unwrap_err().message.contains("without lock"));
+    }
+
+    #[test]
+    fn burst_data_arity_checked() {
+        let e = parse_ops("burst w incr4 0 1 2\n").unwrap_err();
+        assert!(e.message.contains("needs 4 data words"));
+        let e = parse_ops("burst r incr4 0 1\n").unwrap_err();
+        assert!(e.message.contains("takes no data"));
+        let e = parse_ops("burst w incr 0\n").unwrap_err();
+        assert!(e.message.contains("needs data"));
+        let e = parse_ops("burst x incr4 0 1 2 3 4\n").unwrap_err();
+        assert!(e.message.contains("direction"));
+    }
+
+    #[test]
+    fn parsed_script_drives_a_master() {
+        use crate::bus::AhbBusBuilder;
+        use crate::decoder::AddressMap;
+        use crate::master::ScriptedMaster;
+        use crate::slave::MemorySlave;
+        let ops = parse_ops("write 0x40 0xabcd\nread 0x40\n").unwrap();
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(ops)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap();
+        bus.run_until_done(50);
+        let m = bus.master_as::<ScriptedMaster>(0).unwrap();
+        assert_eq!(m.reads().next(), Some((0x40, 0xABCD)));
+    }
+
+    #[test]
+    fn nested_locks_parse() {
+        let ops = parse_ops("lock\nwrite 0 1\nlock\nread 0\nendlock\nendlock\n").unwrap();
+        assert!(matches!(&ops[0], Op::Locked(inner)
+            if matches!(&inner[1], Op::Locked(_))));
+    }
+}

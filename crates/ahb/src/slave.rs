@@ -1,0 +1,433 @@
+//! The slave interface and built-in slave models.
+
+use crate::lane::{from_lanes, to_lanes};
+use crate::types::{AddressPhase, SlaveReply};
+
+/// An AHB slave as seen by the bus fabric.
+///
+/// The fabric pipelines transfers: it calls [`AhbSlave::address_phase`] when
+/// the decoder selects the slave and HREADY is high, then calls
+/// [`AhbSlave::data_phase`] every following cycle until the slave replies
+/// with something other than [`SlaveReply::Wait`]. The two-cycle wire
+/// sequences for ERROR/RETRY/SPLIT are produced by the fabric, so slave
+/// implementations reply with a plain [`SlaveReply`]. The `Any` supertrait
+/// allows typed access through [`crate::AhbBus::slave_as`].
+pub trait AhbSlave: std::any::Any {
+    /// Latches an address phase (HSELx high, HREADY high, HTRANS NONSEQ/SEQ).
+    fn address_phase(&mut self, phase: &AddressPhase);
+
+    /// Produces this cycle's data-phase reply. `wdata` is the HWDATA bus
+    /// (byte lanes per the transfer's address/size).
+    fn data_phase(&mut self, wdata: u32) -> SlaveReply;
+
+    /// HSPLITx: bit *i* set means master *i*'s split transfer can now
+    /// complete. Called once per cycle.
+    fn split_done(&mut self) -> u16 {
+        0
+    }
+
+    /// Called once per bus clock cycle regardless of selection — for slaves
+    /// with autonomous behaviour (timers, bridges clocking a sub-bus).
+    fn tick(&mut self) {}
+
+    /// Synchronous reset.
+    fn reset(&mut self) {}
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "slave"
+    }
+}
+
+/// A memory slave with configurable wait states.
+///
+/// The backing store covers `size` bytes (a power of two); bus addresses are
+/// reduced modulo `size`, so the slave can sit in any decoder window.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{AddressPhase, AhbSlave, HBurst, HSize, HTrans, MasterId, MemorySlave,
+///                    SlaveReply};
+///
+/// let mut mem = MemorySlave::new(0x1000, 0, 0);
+/// let phase = AddressPhase {
+///     master: MasterId(0), addr: 0x20, write: true, size: HSize::Word,
+///     burst: HBurst::Single, trans: HTrans::NonSeq, mastlock: false,
+/// };
+/// mem.address_phase(&phase);
+/// assert_eq!(mem.data_phase(0xCAFE_F00D), SlaveReply::Done { rdata: 0 });
+/// assert_eq!(mem.peek_word(0x20), 0xCAFE_F00D);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySlave {
+    data: Vec<u8>,
+    wait_first: u32,
+    wait_seq: u32,
+    pending: Option<Pending>,
+    reads: u64,
+    writes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    phase: AddressPhase,
+    waits_left: u32,
+}
+
+impl MemorySlave {
+    /// Creates a zero-initialized memory of `size` bytes with `wait_first`
+    /// wait states on NONSEQ beats and `wait_seq` on SEQ beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a power of two.
+    pub fn new(size: usize, wait_first: u32, wait_seq: u32) -> Self {
+        assert!(size > 0 && size.is_power_of_two(), "size must be a power of two");
+        MemorySlave {
+            data: vec![0; size],
+            wait_first,
+            wait_seq,
+            pending: None,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    fn local(&self, addr: u32) -> usize {
+        (addr as usize) & (self.data.len() - 1)
+    }
+
+    /// Reads a 32-bit word directly from the backing store (test access).
+    pub fn peek_word(&self, addr: u32) -> u32 {
+        let i = self.local(addr & !3);
+        u32::from_le_bytes([
+            self.data[i],
+            self.data[(i + 1) & (self.data.len() - 1)],
+            self.data[(i + 2) & (self.data.len() - 1)],
+            self.data[(i + 3) & (self.data.len() - 1)],
+        ])
+    }
+
+    /// Writes a 32-bit word directly into the backing store (test access).
+    pub fn poke_word(&mut self, addr: u32, value: u32) {
+        let i = self.local(addr & !3);
+        let len = self.data.len();
+        for (k, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.data[(i + k) & (len - 1)] = b;
+        }
+    }
+
+    /// Completed read transfers.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Completed write transfers.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl AhbSlave for MemorySlave {
+    fn address_phase(&mut self, phase: &AddressPhase) {
+        let waits = match phase.trans {
+            crate::types::HTrans::Seq => self.wait_seq,
+            _ => self.wait_first,
+        };
+        self.pending = Some(Pending {
+            phase: *phase,
+            waits_left: waits,
+        });
+    }
+
+    fn data_phase(&mut self, wdata: u32) -> SlaveReply {
+        let Some(p) = self.pending.as_mut() else {
+            // Data phase without a latched address: harmless zero-wait OKAY.
+            return SlaveReply::Done { rdata: 0 };
+        };
+        if p.waits_left > 0 {
+            p.waits_left -= 1;
+            return SlaveReply::Wait;
+        }
+        let phase = p.phase;
+        self.pending = None;
+        let word_addr = phase.addr & !3;
+        if phase.write {
+            let mask = crate::lane::lane_mask(phase.addr, phase.size);
+            let old = self.peek_word(word_addr);
+            self.poke_word(word_addr, (old & !mask) | (wdata & mask));
+            self.writes += 1;
+            SlaveReply::Done { rdata: 0 }
+        } else {
+            let word = self.peek_word(word_addr);
+            self.reads += 1;
+            // Drive only the addressed lanes; idle lanes read as zero.
+            let value = from_lanes(word, phase.addr, phase.size);
+            SlaveReply::Done {
+                rdata: to_lanes(value, phase.addr, phase.size),
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pending = None;
+    }
+
+    fn name(&self) -> &str {
+        "memory"
+    }
+}
+
+/// A slave that fails every transfer with a (two-cycle) ERROR response.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorSlave {
+    pending: bool,
+}
+
+impl ErrorSlave {
+    /// Creates an error slave.
+    pub fn new() -> Self {
+        ErrorSlave::default()
+    }
+}
+
+impl AhbSlave for ErrorSlave {
+    fn address_phase(&mut self, _phase: &AddressPhase) {
+        self.pending = true;
+    }
+
+    fn data_phase(&mut self, _wdata: u32) -> SlaveReply {
+        if self.pending {
+            self.pending = false;
+            SlaveReply::Error
+        } else {
+            SlaveReply::Done { rdata: 0 }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "error"
+    }
+}
+
+/// A slave exercising the SPLIT protocol: the **first** access from each
+/// master is split and completes `delay` cycles later (the slave raises the
+/// master's HSPLIT bit); the retried access is served from backing memory.
+#[derive(Debug, Clone)]
+pub struct SplitSlave {
+    delay: u32,
+    /// Per-master countdown until HSPLIT is raised.
+    countdown: Vec<Option<u32>>,
+    /// Per-master: the retried access will now be served.
+    ready: Vec<bool>,
+    pending: Option<AddressPhase>,
+    mem: MemorySlave,
+    splits_issued: u64,
+}
+
+impl SplitSlave {
+    /// Creates a split slave over `size` bytes of memory, releasing split
+    /// masters after `delay` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a power of two, or `n_masters == 0`.
+    pub fn new(size: usize, n_masters: usize, delay: u32) -> Self {
+        assert!(n_masters > 0, "need at least one master");
+        SplitSlave {
+            delay,
+            countdown: vec![None; n_masters],
+            ready: vec![false; n_masters],
+            pending: None,
+            mem: MemorySlave::new(size, 0, 0),
+            splits_issued: 0,
+        }
+    }
+
+    /// Number of SPLIT responses issued.
+    pub fn splits_issued(&self) -> u64 {
+        self.splits_issued
+    }
+}
+
+impl AhbSlave for SplitSlave {
+    fn address_phase(&mut self, phase: &AddressPhase) {
+        self.pending = Some(*phase);
+        if self.ready[phase.master.index()] {
+            self.mem.address_phase(phase);
+        }
+    }
+
+    fn data_phase(&mut self, wdata: u32) -> SlaveReply {
+        let Some(phase) = self.pending.take() else {
+            return SlaveReply::Done { rdata: 0 };
+        };
+        let m = phase.master.index();
+        if self.ready[m] {
+            self.ready[m] = false;
+            self.mem.data_phase(wdata)
+        } else {
+            // Idempotent: a premature retry (e.g. from a split-masked
+            // default master) must not restart the countdown, or the
+            // transfer would never complete.
+            if self.countdown[m].is_none() {
+                self.countdown[m] = Some(self.delay);
+                self.splits_issued += 1;
+            }
+            SlaveReply::Split
+        }
+    }
+
+    fn split_done(&mut self) -> u16 {
+        let mut mask = 0u16;
+        for (i, c) in self.countdown.iter_mut().enumerate() {
+            match c {
+                Some(0) => {
+                    *c = None;
+                    self.ready[i] = true;
+                    mask |= 1 << i;
+                }
+                Some(n) => *n -= 1,
+                None => {}
+            }
+        }
+        mask
+    }
+
+    fn reset(&mut self) {
+        self.pending = None;
+        self.countdown.iter_mut().for_each(|c| *c = None);
+        self.ready.iter_mut().for_each(|r| *r = false);
+        self.mem.reset();
+    }
+
+    fn name(&self) -> &str {
+        "split"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{HBurst, HSize, HTrans, MasterId};
+
+    fn phase(addr: u32, write: bool, size: HSize, trans: HTrans) -> AddressPhase {
+        AddressPhase {
+            master: MasterId(0),
+            addr,
+            write,
+            size,
+            burst: HBurst::Single,
+            trans,
+            mastlock: false,
+        }
+    }
+
+    #[test]
+    fn memory_word_write_then_read() {
+        let mut m = MemorySlave::new(256, 0, 0);
+        m.address_phase(&phase(0x10, true, HSize::Word, HTrans::NonSeq));
+        assert_eq!(m.data_phase(0x1122_3344), SlaveReply::Done { rdata: 0 });
+        m.address_phase(&phase(0x10, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(m.data_phase(0), SlaveReply::Done { rdata: 0x1122_3344 });
+        assert_eq!(m.reads(), 1);
+        assert_eq!(m.writes(), 1);
+    }
+
+    #[test]
+    fn memory_byte_lanes_update_only_addressed_byte() {
+        let mut m = MemorySlave::new(64, 0, 0);
+        m.poke_word(0x0, 0xAABB_CCDD);
+        m.address_phase(&phase(0x1, true, HSize::Byte, HTrans::NonSeq));
+        // Byte for address 1 travels on lanes 15:8.
+        let reply = m.data_phase(0x0000_7700);
+        assert_eq!(reply, SlaveReply::Done { rdata: 0 });
+        assert_eq!(m.peek_word(0x0), 0xAABB_77DD);
+    }
+
+    #[test]
+    fn memory_halfword_lanes() {
+        let mut m = MemorySlave::new(64, 0, 0);
+        m.address_phase(&phase(0x6, true, HSize::Half, HTrans::NonSeq));
+        let _ = m.data_phase(to_lanes(0xBEEF, 0x6, HSize::Half));
+        m.address_phase(&phase(0x6, false, HSize::Half, HTrans::NonSeq));
+        let reply = m.data_phase(0);
+        assert_eq!(
+            reply,
+            SlaveReply::Done {
+                rdata: to_lanes(0xBEEF, 0x6, HSize::Half)
+            }
+        );
+    }
+
+    #[test]
+    fn memory_wait_states_count_down() {
+        let mut m = MemorySlave::new(64, 2, 1);
+        m.address_phase(&phase(0x0, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(m.data_phase(0), SlaveReply::Wait);
+        assert_eq!(m.data_phase(0), SlaveReply::Wait);
+        assert!(matches!(m.data_phase(0), SlaveReply::Done { .. }));
+        // SEQ beats use the shorter latency.
+        m.address_phase(&phase(0x4, false, HSize::Word, HTrans::Seq));
+        assert_eq!(m.data_phase(0), SlaveReply::Wait);
+        assert!(matches!(m.data_phase(0), SlaveReply::Done { .. }));
+    }
+
+    #[test]
+    fn memory_mirrors_across_window() {
+        let mut m = MemorySlave::new(16, 0, 0);
+        m.address_phase(&phase(0x1000, true, HSize::Word, HTrans::NonSeq));
+        let _ = m.data_phase(0x55);
+        assert_eq!(m.peek_word(0x0), 0x55, "0x1000 mod 16 = 0");
+    }
+
+    #[test]
+    fn error_slave_always_errors_transfers() {
+        let mut s = ErrorSlave::new();
+        s.address_phase(&phase(0, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(s.data_phase(0), SlaveReply::Error);
+        // Without a pending transfer it is quiet.
+        assert!(matches!(s.data_phase(0), SlaveReply::Done { .. }));
+    }
+
+    #[test]
+    fn split_slave_splits_then_serves() {
+        let mut s = SplitSlave::new(64, 2, 3);
+        s.mem.poke_word(0x8, 0x1234_5678);
+        // First access: split.
+        s.address_phase(&phase(0x8, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(s.data_phase(0), SlaveReply::Split);
+        assert_eq!(s.splits_issued(), 1);
+        // HSPLIT raised after `delay` calls.
+        assert_eq!(s.split_done(), 0);
+        assert_eq!(s.split_done(), 0);
+        assert_eq!(s.split_done(), 0);
+        assert_eq!(s.split_done(), 0b01);
+        // Retried access is served.
+        s.address_phase(&phase(0x8, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(s.data_phase(0), SlaveReply::Done { rdata: 0x1234_5678 });
+    }
+
+    #[test]
+    fn split_slave_tracks_masters_independently() {
+        let mut s = SplitSlave::new(64, 2, 1);
+        let mut p1 = phase(0x0, false, HSize::Word, HTrans::NonSeq);
+        p1.master = MasterId(1);
+        s.address_phase(&p1);
+        assert_eq!(s.data_phase(0), SlaveReply::Split);
+        s.address_phase(&phase(0x4, false, HSize::Word, HTrans::NonSeq));
+        assert_eq!(s.data_phase(0), SlaveReply::Split);
+        assert_eq!(s.split_done(), 0);
+        assert_eq!(s.split_done(), 0b11, "both masters released together");
+    }
+
+    #[test]
+    fn reset_clears_pending_state() {
+        let mut m = MemorySlave::new(64, 3, 3);
+        m.address_phase(&phase(0, false, HSize::Word, HTrans::NonSeq));
+        m.reset();
+        // No pending transfer: immediate OKAY.
+        assert!(matches!(m.data_phase(0), SlaveReply::Done { .. }));
+    }
+}

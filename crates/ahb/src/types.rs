@@ -1,0 +1,473 @@
+//! Core AMBA AHB protocol types (AMBA Specification rev 2.0).
+
+use std::fmt;
+
+/// Index of a master attached to the bus (0 is the highest priority and,
+/// by default, the bus's default master).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MasterId(pub u8);
+
+impl MasterId {
+    /// The index as a usize (for slicing).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Index of a slave attached to the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlaveId(pub u8);
+
+impl SlaveId {
+    /// The index as a usize (for slicing).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// HTRANS\[1:0\] — transfer type driven by the granted master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HTrans {
+    /// No transfer this cycle.
+    #[default]
+    Idle,
+    /// Burst continues but the master needs a pause; no transfer this cycle.
+    Busy,
+    /// First transfer of a burst, or a single transfer.
+    NonSeq,
+    /// Subsequent transfer of a burst; address is derived from the previous
+    /// beat.
+    Seq,
+}
+
+impl HTrans {
+    /// The two-bit wire encoding from the AMBA specification.
+    pub fn bits(self) -> u8 {
+        match self {
+            HTrans::Idle => 0b00,
+            HTrans::Busy => 0b01,
+            HTrans::NonSeq => 0b10,
+            HTrans::Seq => 0b11,
+        }
+    }
+
+    /// True for NONSEQ and SEQ: a real data transfer will occur.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, HTrans::NonSeq | HTrans::Seq)
+    }
+}
+
+impl fmt::Display for HTrans {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HTrans::Idle => "IDLE",
+            HTrans::Busy => "BUSY",
+            HTrans::NonSeq => "NONSEQ",
+            HTrans::Seq => "SEQ",
+        };
+        f.write_str(s)
+    }
+}
+
+/// HBURST\[2:0\] — burst kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HBurst {
+    /// Single transfer.
+    #[default]
+    Single,
+    /// Incrementing burst of unspecified length.
+    Incr,
+    /// 4-beat wrapping burst.
+    Wrap4,
+    /// 4-beat incrementing burst.
+    Incr4,
+    /// 8-beat wrapping burst.
+    Wrap8,
+    /// 8-beat incrementing burst.
+    Incr8,
+    /// 16-beat wrapping burst.
+    Wrap16,
+    /// 16-beat incrementing burst.
+    Incr16,
+}
+
+impl HBurst {
+    /// The three-bit wire encoding from the AMBA specification.
+    pub fn bits(self) -> u8 {
+        match self {
+            HBurst::Single => 0b000,
+            HBurst::Incr => 0b001,
+            HBurst::Wrap4 => 0b010,
+            HBurst::Incr4 => 0b011,
+            HBurst::Wrap8 => 0b100,
+            HBurst::Incr8 => 0b101,
+            HBurst::Wrap16 => 0b110,
+            HBurst::Incr16 => 0b111,
+        }
+    }
+
+    /// Number of beats for fixed-length bursts; `None` for SINGLE/INCR.
+    pub fn beats(self) -> Option<usize> {
+        match self {
+            HBurst::Single | HBurst::Incr => None,
+            HBurst::Wrap4 | HBurst::Incr4 => Some(4),
+            HBurst::Wrap8 | HBurst::Incr8 => Some(8),
+            HBurst::Wrap16 | HBurst::Incr16 => Some(16),
+        }
+    }
+
+    /// True for the wrapping variants.
+    pub fn is_wrapping(self) -> bool {
+        matches!(self, HBurst::Wrap4 | HBurst::Wrap8 | HBurst::Wrap16)
+    }
+}
+
+impl fmt::Display for HBurst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HBurst::Single => "SINGLE",
+            HBurst::Incr => "INCR",
+            HBurst::Wrap4 => "WRAP4",
+            HBurst::Incr4 => "INCR4",
+            HBurst::Wrap8 => "WRAP8",
+            HBurst::Incr8 => "INCR8",
+            HBurst::Wrap16 => "WRAP16",
+            HBurst::Incr16 => "INCR16",
+        };
+        f.write_str(s)
+    }
+}
+
+/// HSIZE\[2:0\] — transfer size. Only sizes up to the 32-bit data bus of this
+/// model are representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HSize {
+    /// 8-bit transfer.
+    Byte,
+    /// 16-bit transfer.
+    Half,
+    /// 32-bit transfer.
+    #[default]
+    Word,
+}
+
+impl HSize {
+    /// The three-bit wire encoding.
+    pub fn bits(self) -> u8 {
+        match self {
+            HSize::Byte => 0b000,
+            HSize::Half => 0b001,
+            HSize::Word => 0b010,
+        }
+    }
+
+    /// Transfer width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            HSize::Byte => 1,
+            HSize::Half => 2,
+            HSize::Word => 4,
+        }
+    }
+}
+
+impl fmt::Display for HSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// HRESP\[1:0\] — slave response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HResp {
+    /// Transfer completed (or is completing) successfully.
+    #[default]
+    Okay,
+    /// Transfer failed.
+    Error,
+    /// Master must retry the transfer; arbitration continues normally.
+    Retry,
+    /// Master must retry; the arbiter masks the master until the slave
+    /// signals HSPLIT.
+    Split,
+}
+
+impl HResp {
+    /// The two-bit wire encoding.
+    pub fn bits(self) -> u8 {
+        match self {
+            HResp::Okay => 0b00,
+            HResp::Error => 0b01,
+            HResp::Retry => 0b10,
+            HResp::Split => 0b11,
+        }
+    }
+}
+
+impl fmt::Display for HResp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HResp::Okay => "OKAY",
+            HResp::Error => "ERROR",
+            HResp::Retry => "RETRY",
+            HResp::Split => "SPLIT",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The signals a master drives each cycle (its address-phase outputs plus
+/// arbitration requests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MasterOut {
+    /// HBUSREQx — the master wants the bus.
+    pub busreq: bool,
+    /// HLOCKx — the master wants its next transfers to be indivisible.
+    pub lock: bool,
+    /// HTRANS.
+    pub trans: HTrans,
+    /// HADDR.
+    pub addr: u32,
+    /// HWRITE.
+    pub write: bool,
+    /// HSIZE.
+    pub size: HSize,
+    /// HBURST.
+    pub burst: HBurst,
+    /// HWDATA for the transfer currently in its data phase.
+    pub wdata: u32,
+}
+
+/// The bus state a master samples at a clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterIn {
+    /// True iff this master owns the address phase this cycle.
+    pub grant: bool,
+    /// HREADY sampled at the edge (completion of the previous data phase).
+    pub ready: bool,
+    /// HRESP sampled at the edge.
+    pub resp: HResp,
+    /// HRDATA sampled at the edge (valid when `ready` and the completed
+    /// transfer was a read).
+    pub rdata: u32,
+}
+
+impl Default for MasterIn {
+    fn default() -> Self {
+        MasterIn {
+            grant: false,
+            ready: true,
+            resp: HResp::Okay,
+            rdata: 0,
+        }
+    }
+}
+
+/// The address-phase information a selected slave latches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressPhase {
+    /// The master performing the transfer (HMASTER).
+    pub master: MasterId,
+    /// HADDR.
+    pub addr: u32,
+    /// HWRITE.
+    pub write: bool,
+    /// HSIZE.
+    pub size: HSize,
+    /// HBURST.
+    pub burst: HBurst,
+    /// HTRANS (NONSEQ or SEQ).
+    pub trans: HTrans,
+    /// HMASTLOCK — the transfer is part of a locked sequence.
+    pub mastlock: bool,
+}
+
+/// A slave's reply for one data-phase cycle. The fabric expands `Error`,
+/// `Retry` and `Split` into the protocol's two-cycle response sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaveReply {
+    /// Insert a wait state (HREADY low, HRESP OKAY).
+    Wait,
+    /// Complete successfully; `rdata` is returned for reads (ignored for
+    /// writes).
+    Done {
+        /// HRDATA value.
+        rdata: u32,
+    },
+    /// Fail the transfer (two-cycle ERROR response).
+    Error,
+    /// Ask the master to retry (two-cycle RETRY response).
+    Retry,
+    /// Split the transfer: retry later, masked until HSPLIT (two-cycle
+    /// SPLIT response).
+    Split,
+}
+
+/// A full snapshot of the AHB wires during one bus cycle — the input to the
+/// power-analysis instrumentation (the paper's `get_activity` hook observes
+/// exactly this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusSnapshot {
+    /// Cycle counter (address phases since reset).
+    pub cycle: u64,
+    /// HADDR driven by the address-phase owner.
+    pub haddr: u32,
+    /// HTRANS.
+    pub htrans: HTrans,
+    /// HWRITE.
+    pub hwrite: bool,
+    /// HSIZE.
+    pub hsize: HSize,
+    /// HBURST.
+    pub hburst: HBurst,
+    /// HWDATA driven by the data-phase owner.
+    pub hwdata: u32,
+    /// HRDATA driven by the selected slave (valid when `hready`).
+    pub hrdata: u32,
+    /// HREADY — the current data phase completes this cycle.
+    pub hready: bool,
+    /// HRESP.
+    pub hresp: HResp,
+    /// HMASTER — current address-phase owner.
+    pub hmaster: MasterId,
+    /// HMASTLOCK.
+    pub hmastlock: bool,
+    /// HBUSREQx for every master.
+    pub hbusreq: Vec<bool>,
+    /// HGRANTx for every master (one-hot).
+    pub hgrant: Vec<bool>,
+    /// HSELx for every slave (one-hot or all-zero for unmapped/idle).
+    pub hsel: Vec<bool>,
+}
+
+impl BusSnapshot {
+    /// The control word observed by the M2S multiplexer besides the address:
+    /// trans, write, size, burst packed into one integer (for Hamming
+    /// distances).
+    pub fn control_bits(&self) -> u32 {
+        u32::from(self.htrans.bits())
+            | (u32::from(self.hwrite) << 2)
+            | (u32::from(self.hsize.bits()) << 3)
+            | (u32::from(self.hburst.bits()) << 6)
+    }
+
+    /// One-hot HSEL as an integer.
+    pub fn hsel_bits(&self) -> u32 {
+        self.hsel
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &s)| acc | (u32::from(s) << i))
+    }
+
+    /// One-hot HGRANT as an integer.
+    pub fn hgrant_bits(&self) -> u32 {
+        self.hgrant
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &s)| acc | (u32::from(s) << i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htrans_encoding_matches_spec() {
+        assert_eq!(HTrans::Idle.bits(), 0b00);
+        assert_eq!(HTrans::Busy.bits(), 0b01);
+        assert_eq!(HTrans::NonSeq.bits(), 0b10);
+        assert_eq!(HTrans::Seq.bits(), 0b11);
+        assert!(HTrans::NonSeq.is_transfer());
+        assert!(HTrans::Seq.is_transfer());
+        assert!(!HTrans::Idle.is_transfer());
+        assert!(!HTrans::Busy.is_transfer());
+    }
+
+    #[test]
+    fn hburst_encoding_and_beats() {
+        assert_eq!(HBurst::Single.bits(), 0b000);
+        assert_eq!(HBurst::Incr16.bits(), 0b111);
+        assert_eq!(HBurst::Single.beats(), None);
+        assert_eq!(HBurst::Incr.beats(), None);
+        assert_eq!(HBurst::Wrap4.beats(), Some(4));
+        assert_eq!(HBurst::Incr8.beats(), Some(8));
+        assert_eq!(HBurst::Wrap16.beats(), Some(16));
+        assert!(HBurst::Wrap8.is_wrapping());
+        assert!(!HBurst::Incr8.is_wrapping());
+    }
+
+    #[test]
+    fn hsize_bytes() {
+        assert_eq!(HSize::Byte.bytes(), 1);
+        assert_eq!(HSize::Half.bytes(), 2);
+        assert_eq!(HSize::Word.bytes(), 4);
+        assert_eq!(HSize::Word.bits(), 0b010);
+    }
+
+    #[test]
+    fn hresp_encoding() {
+        assert_eq!(HResp::Okay.bits(), 0b00);
+        assert_eq!(HResp::Error.bits(), 0b01);
+        assert_eq!(HResp::Retry.bits(), 0b10);
+        assert_eq!(HResp::Split.bits(), 0b11);
+    }
+
+    #[test]
+    fn displays_are_speclike() {
+        assert_eq!(HTrans::NonSeq.to_string(), "NONSEQ");
+        assert_eq!(HBurst::Wrap8.to_string(), "WRAP8");
+        assert_eq!(HResp::Split.to_string(), "SPLIT");
+        assert_eq!(HSize::Word.to_string(), "4B");
+        assert_eq!(MasterId(2).to_string(), "M2");
+        assert_eq!(SlaveId(1).to_string(), "S1");
+    }
+
+    #[test]
+    fn snapshot_bit_helpers() {
+        let snap = BusSnapshot {
+            cycle: 0,
+            haddr: 0,
+            htrans: HTrans::NonSeq,
+            hwrite: true,
+            hsize: HSize::Word,
+            hburst: HBurst::Incr4,
+            hwdata: 0,
+            hrdata: 0,
+            hready: true,
+            hresp: HResp::Okay,
+            hmaster: MasterId(0),
+            hmastlock: false,
+            hbusreq: vec![true, false],
+            hgrant: vec![true, false],
+            hsel: vec![false, true, false],
+        };
+        // trans=10 (2), write=1<<2, size=010<<3, burst=011<<6
+        assert_eq!(
+            snap.control_bits(),
+            0b10 | (1 << 2) | (0b010 << 3) | (0b011 << 6)
+        );
+        assert_eq!(snap.hsel_bits(), 0b010);
+        assert_eq!(snap.hgrant_bits(), 0b01);
+    }
+
+    #[test]
+    fn default_master_in_is_ready_okay() {
+        let d = MasterIn::default();
+        assert!(d.ready);
+        assert!(!d.grant);
+        assert_eq!(d.resp, HResp::Okay);
+    }
+}

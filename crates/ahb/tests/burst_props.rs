@@ -1,0 +1,104 @@
+//! Property-based tests of burst arithmetic and byte-lane placement.
+
+use ahbpower_ahb::{
+    burst_addresses, crosses_1kb_boundary, from_lanes, is_aligned, lane_mask, next_beat_addr,
+    to_lanes, HBurst, HSize,
+};
+use proptest::prelude::*;
+
+fn arb_size() -> impl Strategy<Value = HSize> {
+    prop_oneof![Just(HSize::Byte), Just(HSize::Half), Just(HSize::Word)]
+}
+
+fn arb_fixed_burst() -> impl Strategy<Value = HBurst> {
+    prop_oneof![
+        Just(HBurst::Wrap4),
+        Just(HBurst::Incr4),
+        Just(HBurst::Wrap8),
+        Just(HBurst::Incr8),
+        Just(HBurst::Wrap16),
+        Just(HBurst::Incr16),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Wrapping bursts stay inside their window and visit distinct,
+    /// size-aligned addresses.
+    #[test]
+    fn wrap_bursts_stay_in_window(start in any::<u32>(), size in arb_size(),
+                                  burst in arb_fixed_burst()) {
+        prop_assume!(burst.is_wrapping());
+        let start = start & !(size.bytes() - 1); // align
+        let beats = burst.beats().unwrap();
+        let window = size.bytes() * beats as u32;
+        let base = start & !(window - 1);
+        let seq = burst_addresses(start, size, burst, 0);
+        prop_assert_eq!(seq.len(), beats);
+        let set: std::collections::HashSet<_> = seq.iter().collect();
+        prop_assert_eq!(set.len(), beats, "distinct addresses");
+        for a in &seq {
+            prop_assert!(*a >= base && *a < base + window, "{a:#x} outside window");
+            prop_assert!(is_aligned(*a, size));
+        }
+    }
+
+    /// Incrementing bursts are strictly increasing by the transfer size.
+    #[test]
+    fn incr_bursts_increment(start in 0u32..0xFFFF_0000, size in arb_size(),
+                             burst in arb_fixed_burst()) {
+        prop_assume!(!burst.is_wrapping());
+        let start = start & !(size.bytes() - 1);
+        let seq = burst_addresses(start, size, burst, 0);
+        for w in seq.windows(2) {
+            prop_assert_eq!(w[1], w[0] + size.bytes());
+        }
+    }
+
+    /// `next_beat_addr` chains to the same sequence as `burst_addresses`.
+    #[test]
+    fn next_beat_addr_chains(start in any::<u32>(), size in arb_size(),
+                             burst in arb_fixed_burst()) {
+        let start = start & !(size.bytes() - 1);
+        let seq = burst_addresses(start, size, burst, 0);
+        let mut a = start;
+        for expect in &seq {
+            prop_assert_eq!(a, *expect);
+            a = next_beat_addr(a, size, burst);
+        }
+    }
+
+    /// The 1 KB rule: a fixed incrementing burst crosses iff its first and
+    /// last beats are in different 1 KB blocks.
+    #[test]
+    fn boundary_rule_matches_definition(start in 0u32..0x10_0000, size in arb_size(),
+                                        burst in arb_fixed_burst()) {
+        let start = start & !(size.bytes() - 1);
+        let seq = burst_addresses(start, size, burst, 0);
+        let crosses = crosses_1kb_boundary(start, size, burst);
+        let actual = (seq.first().unwrap() >> 10) != (seq.last().unwrap() >> 10);
+        if burst.is_wrapping() {
+            prop_assert!(!crosses, "wrapping bursts never cross");
+        } else {
+            prop_assert_eq!(crosses, actual);
+        }
+    }
+
+    /// Byte lanes: to/from round-trip, and the mask covers exactly the
+    /// written lanes.
+    #[test]
+    fn lanes_round_trip(addr in any::<u32>(), value in any::<u32>(), size in arb_size()) {
+        let addr = addr & !(size.bytes() - 1);
+        let keep = match size {
+            HSize::Byte => 0xFFu32,
+            HSize::Half => 0xFFFF,
+            HSize::Word => 0xFFFF_FFFF,
+        };
+        let v = value & keep;
+        let on_bus = to_lanes(v, addr, size);
+        prop_assert_eq!(from_lanes(on_bus, addr, size), v);
+        prop_assert_eq!(on_bus & !lane_mask(addr, size), 0);
+        prop_assert_eq!(lane_mask(addr, size).count_ones(), size.bytes() * 8);
+    }
+}

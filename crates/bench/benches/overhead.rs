@@ -1,0 +1,36 @@
+//! E6 — the paper's Section 6 claim: enabling power analysis roughly
+//! doubles simulation time. Compares functional-only simulation of the
+//! paper testbench against the same run instrumented with the power FSM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ahbpower::{AnalysisConfig, PowerSession};
+use ahbpower_bench::build_paper_bus;
+
+const CYCLES: u64 = 20_000;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overhead");
+    g.sample_size(20);
+    g.bench_function("functional_20k_cycles", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, 2003);
+            bus.run(CYCLES);
+            black_box(bus.stats().transfers_ok)
+        });
+    });
+    g.bench_function("power_instrumented_20k_cycles", |b| {
+        let cfg = AnalysisConfig::paper_testbench();
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, 2003);
+            let mut session = PowerSession::new(&cfg);
+            session.run(&mut bus, CYCLES);
+            black_box(session.total_energy())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

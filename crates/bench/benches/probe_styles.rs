@@ -1,0 +1,63 @@
+//! E8 — per-cycle cost of the three power-model styles (paper Fig. 1).
+//!
+//! A snapshot trace is pre-recorded so the benchmark isolates the probes'
+//! own cost from bus simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ahbpower::{
+    AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe,
+};
+use ahbpower_ahb::BusSnapshot;
+use ahbpower_bench::build_paper_bus;
+
+fn record_trace(cycles: u64) -> Vec<BusSnapshot> {
+    let mut bus = build_paper_bus(cycles, 2003);
+    (0..cycles).map(|_| bus.step().clone()).collect()
+}
+
+fn bench_probes(c: &mut Criterion) {
+    let cfg = AnalysisConfig::paper_testbench();
+    let model = AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    let trace = record_trace(10_000);
+    // Calibrate the FSM style once.
+    let mut calib = InlineProbe::new(model.clone());
+    for s in &trace {
+        calib.observe(s);
+    }
+    let table_source = calib.fsm().ledger().clone();
+
+    let mut g = c.benchmark_group("probe_styles_10k_cycles");
+    g.bench_function("inline", |b| {
+        b.iter(|| {
+            let mut p = InlineProbe::new(model.clone());
+            for s in &trace {
+                p.observe(s);
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.bench_function("fsm", |b| {
+        b.iter(|| {
+            let mut p = FsmProbe::from_calibration(&table_source);
+            for s in &trace {
+                p.observe(s);
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.bench_function("global", |b| {
+        b.iter(|| {
+            let mut p = GlobalProbe::new(model.clone());
+            for s in &trace {
+                p.observe(s);
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_probes);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of the three substrates: the discrete-event kernel, the
+//! gate-level simulator and the raw AHB fabric. These bound the cost model
+//! behind every experiment (how many cycles/second each layer sustains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ahbpower_bench::build_paper_bus;
+use ahbpower_gate::{one_hot_decoder, LogicSim};
+use ahbpower_sim::{Kernel, SimTime};
+
+fn bench_kernel(c: &mut Criterion) {
+    c.bench_function("kernel_clocked_counter_10k_cycles", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new();
+            let clk = k.clock("clk", SimTime::from_ns(10));
+            let q = k.signal("q", 0u32);
+            k.process("count", &[clk.id()], move |ctx| {
+                if ctx.posedge(clk) {
+                    let v = ctx.read(q);
+                    ctx.write(q, v + 1);
+                }
+            });
+            k.run_until(SimTime::from_us(100)).expect("no delta loop");
+            black_box(k.read(q))
+        });
+    });
+}
+
+fn bench_gatesim(c: &mut Criterion) {
+    let dec = one_hot_decoder(8);
+    c.bench_function("gatesim_decoder8_1k_vectors", |b| {
+        b.iter(|| {
+            let mut sim = LogicSim::new(&dec.netlist);
+            for i in 0..1_000u64 {
+                sim.set_bus(&dec.addr, i % 8);
+                sim.settle();
+            }
+            black_box(sim.total_toggles())
+        });
+    });
+}
+
+fn bench_ahb(c: &mut Criterion) {
+    c.bench_function("ahb_paper_testbench_10k_cycles", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(10_000, 7);
+            bus.run(10_000);
+            black_box(bus.stats().transfers_ok)
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernel, bench_gatesim, bench_ahb);
+criterion_main!(benches);

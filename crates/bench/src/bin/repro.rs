@@ -1,0 +1,379 @@
+//! Regenerates every table and figure of the DATE'03 paper.
+//!
+//! ```text
+//! cargo run --release -p ahbpower-bench --bin repro -- all
+//! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
+//! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation all
+//! ```
+//!
+//! Text goes to stdout; CSV artifacts go to `results/`.
+
+use std::fs;
+use std::time::Instant;
+
+use ahbpower::report;
+use ahbpower::{fit_ahb_power_model, AnalysisConfig, PowerSession, TracePoint};
+use ahbpower_bench::{build_paper_bus, compare_probe_styles, run_paper_experiment, PaperRun};
+use ahbpower_workloads::PaperTestbench;
+
+const DEFAULT_CYCLES: u64 = 5_000_000;
+const DEFAULT_SEED: u64 = 2003;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = "all".to_string();
+    let mut cycles = DEFAULT_CYCLES;
+    let mut seed = DEFAULT_SEED;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cycles" => {
+                cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cycles needs a number"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            other if !other.starts_with('-') => cmd = other.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    fs::create_dir_all("results").expect("create results/");
+    match cmd.as_str() {
+        "table1" => table1(&run(cycles, seed)),
+        "fig3" => fig(&run(cycles, seed), 3),
+        "fig4" => fig(&run(cycles, seed), 4),
+        "fig5" => fig(&run(cycles, seed), 5),
+        "fig6" => fig6(&run(cycles, seed)),
+        "validation" => validation(),
+        "styles" => styles(cycles.min(500_000), seed),
+        "overhead" => overhead(cycles.min(1_000_000), seed),
+        "ablation" => ablation(cycles.min(1_000_000), seed),
+        "coding" => coding(cycles.min(300_000), seed),
+        "dpm" => dpm(cycles.min(500_000), seed),
+        "all" => {
+            let r = run(cycles, seed);
+            table1(&r);
+            fig(&r, 3);
+            fig(&r, 4);
+            fig(&r, 5);
+            fig6(&r);
+            validation();
+            styles(cycles.min(500_000), seed);
+            overhead(cycles.min(1_000_000), seed);
+            ablation(cycles.min(1_000_000), seed);
+            coding(cycles.min(300_000), seed);
+            dpm(cycles.min(500_000), seed);
+        }
+        other => usage(&format!("unknown command {other}")),
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|all] [--cycles N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn run(cycles: u64, seed: u64) -> PaperRun {
+    eprintln!("running paper testbench: {cycles} cycles @ 100 MHz, seed {seed} ...");
+    let t0 = Instant::now();
+    let r = run_paper_experiment(cycles, seed);
+    eprintln!(
+        "  done in {:.2?} ({:.1} Mcycles/s), {} OK transfers, {} handovers",
+        t0.elapsed(),
+        cycles as f64 / 1e6 / t0.elapsed().as_secs_f64(),
+        r.bus.stats().transfers_ok,
+        r.bus.stats().handovers,
+    );
+    r
+}
+
+fn table1(r: &PaperRun) {
+    println!("== Table 1: instruction energy analysis ==");
+    println!(
+        "({} cycles = {:.3} ms simulated at 100 MHz)",
+        r.cycles,
+        r.cycles as f64 * 10e-9 * 1e3
+    );
+    print!("{}", report::table1_text(r.session.ledger()));
+    fs::write("results/table1.csv", report::table1_csv(r.session.ledger()))
+        .expect("write results/table1.csv");
+    println!("-> results/table1.csv\n");
+}
+
+fn fig(r: &PaperRun, which: u8) {
+    let horizon = 4e-6; // the paper plots the first 4 us
+    let pts: Vec<TracePoint> = r.session.trace().points_before(horizon).to_vec();
+    let (title, file, pick): (&str, &str, fn(&TracePoint) -> f64) = match which {
+        3 => ("total AHB power", "results/fig3_total_power.csv", |p| p.total_w),
+        4 => ("arbiter power", "results/fig4_arbiter_power.csv", |p| p.arb_w),
+        5 => ("M2S mux power", "results/fig5_m2s_power.csv", |p| p.m2s_w),
+        _ => unreachable!("fig() only handles 3, 4, 5"),
+    };
+    println!("== Fig {which}: {title}, first 4 us ==");
+    print!("{}", report::trace_ascii(&pts, pick, 50));
+    fs::write(file, report::trace_csv(&pts)).expect("write figure CSV");
+    println!("-> {file}\n");
+}
+
+fn fig6(r: &PaperRun) {
+    println!("== Fig 6: AHB sub-block power contributions ==");
+    print!("{}", r.session.blocks());
+    fs::write("results/fig6_blocks.csv", report::fig6_csv(r.session.blocks()))
+        .expect("write results/fig6_blocks.csv");
+    println!("-> results/fig6_blocks.csv\n");
+}
+
+fn validation() {
+    println!("== Sec 5.1: macromodel validation vs gate level (SIS substitute) ==");
+    let cfg = AnalysisConfig::paper_testbench();
+    let t0 = Instant::now();
+    let (_, validations) = fit_ahb_power_model(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    print!("{}", report::validation_text(&validations));
+    fs::write(
+        "results/validation.csv",
+        report::validation_csv(&validations),
+    )
+    .expect("write results/validation.csv");
+    println!("(characterization took {:.2?})", t0.elapsed());
+    println!("-> results/validation.csv\n");
+}
+
+fn styles(cycles: u64, seed: u64) {
+    println!("== Fig 1: power-model styles (accuracy) over {cycles} cycles ==");
+    let results = compare_probe_styles(cycles, seed);
+    let reference = results[0].1;
+    let mut csv = String::from("style,total_uj,error_vs_inline_pct\n");
+    for (style, e) in &results {
+        let err = (e - reference) / reference * 100.0;
+        println!("{style:<8} {:>10.3} uJ  ({err:+.2}% vs inline)", e * 1e6);
+        csv.push_str(&format!("{style},{:.5},{err:.3}\n", e * 1e6));
+    }
+    fs::write("results/probe_styles.csv", csv).expect("write results/probe_styles.csv");
+    println!("-> results/probe_styles.csv\n");
+}
+
+fn overhead(cycles: u64, seed: u64) {
+    println!("== Sec 6: simulation-time overhead of power analysis ==");
+    // Functional-only run.
+    let mut bus = build_paper_bus(cycles, seed);
+    let t0 = Instant::now();
+    bus.run(cycles);
+    let functional = t0.elapsed();
+    // Instrumented run (fresh bus, same traffic).
+    let cfg = AnalysisConfig::paper_testbench();
+    let mut bus = build_paper_bus(cycles, seed);
+    let mut session = PowerSession::new(&cfg);
+    let t0 = Instant::now();
+    session.run(&mut bus, cycles);
+    let instrumented = t0.elapsed();
+    let ratio = instrumented.as_secs_f64() / functional.as_secs_f64();
+    println!("functional:   {functional:.2?}  ({cycles} cycles)");
+    println!("instrumented: {instrumented:.2?}");
+    println!("ratio: {ratio:.2}x (paper reports ~2x for its SystemC setup)");
+    fs::write(
+        "results/overhead.csv",
+        format!(
+            "cycles,functional_s,instrumented_s,ratio\n{cycles},{:.6},{:.6},{ratio:.4}\n",
+            functional.as_secs_f64(),
+            instrumented.as_secs_f64()
+        ),
+    )
+    .expect("write results/overhead.csv");
+    println!("-> results/overhead.csv\n");
+}
+
+/// Dynamic power management study: clock-gating the arbiter FSM after N
+/// quiet cycles (the paper's run-time optimization outlook).
+fn dpm(cycles: u64, seed: u64) {
+    use ahbpower::{ClockGatePolicy, DpmProbe};
+    println!("== DPM study: arbiter clock gating over {cycles} cycles ==");
+    let cfg = AnalysisConfig::paper_testbench();
+    let model = ahbpower::AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    let mut bus = build_paper_bus(cycles, seed);
+    let mut probes: Vec<DpmProbe> = [0u32, 2, 4, 8, 16]
+        .iter()
+        .map(|&t| {
+            DpmProbe::new(
+                model.clone(),
+                ClockGatePolicy {
+                    idle_threshold: t,
+                    wake_penalty: 1,
+                },
+            )
+        })
+        .collect();
+    for _ in 0..cycles {
+        let snap = bus.step();
+        for p in &mut probes {
+            p.observe(snap);
+        }
+    }
+    let mut csv = String::from("idle_threshold,gated_pct,clock_savings_pct,wakes,latency_cycles\n");
+    for p in &probes {
+        let r = p.report();
+        println!(
+            "threshold {:>2}: gated {:>5.1}% of cycles, clock energy -{:>5.1}%, {:>6} wakes, +{} latency cycles",
+            p.policy().idle_threshold,
+            r.gated_cycles as f64 / r.cycles as f64 * 100.0,
+            r.savings() * 100.0,
+            r.wake_events,
+            r.added_latency_cycles
+        );
+        csv.push_str(&format!(
+            "{},{:.2},{:.2},{},{}\n",
+            p.policy().idle_threshold,
+            r.gated_cycles as f64 / r.cycles as f64 * 100.0,
+            r.savings() * 100.0,
+            r.wake_events,
+            r.added_latency_cycles
+        ));
+    }
+    fs::write("results/dpm.csv", csv).expect("write results/dpm.csv");
+    println!("-> results/dpm.csv\n");
+}
+
+/// Address-bus coding study: replay a burst-heavy trace with binary vs
+/// gray-coded addresses and compare the address-path energy — the kind of
+/// early design decision the paper's methodology is built to evaluate.
+fn coding(cycles: u64, seed: u64) {
+    use ahbpower::{InlineProbe, PowerProbe};
+    use ahbpower_workloads::SocScenario;
+    println!("== Address-coding study (binary vs gray) ==");
+    // Two traffics: a DMA engine streaming sequential bursts (where coding
+    // matters) and the interleaved SoC mix (where it should not).
+    let dma_bus = || {
+        ahbpower_ahb::AhbBusBuilder::new(ahbpower_ahb::AddressMap::evenly_spaced(2, 0x8000))
+            .master(Box::new(ahbpower_ahb::ScriptedMaster::new(
+                ahbpower_workloads::dma_script(seed, 400, 0x0, 0x8000, ahbpower_ahb::HBurst::Incr8),
+            )))
+            .slave(Box::new(ahbpower_ahb::MemorySlave::new(0x8000, 0, 0)))
+            .slave(Box::new(ahbpower_ahb::MemorySlave::new(0x8000, 0, 0)))
+            .build()
+            .expect("dma bus builds")
+    };
+    let soc_bus = || {
+        SocScenario {
+            seed,
+            ..SocScenario::default()
+        }
+        .build()
+        .expect("scenario builds")
+    };
+    let record = |mut bus: ahbpower_ahb::AhbBus| {
+        let mut trace = Vec::new();
+        let mut n = 0;
+        while n < cycles && !bus.all_masters_done() {
+            trace.push(bus.step().clone());
+            n += 1;
+        }
+        trace
+    };
+    let traces = [("dma-sequential", record(dma_bus())), ("soc-mixed", record(soc_bus()))];
+    let cfg = AnalysisConfig {
+        n_masters: ahbpower_workloads::SocScenario::N_MASTERS,
+        n_slaves: ahbpower_workloads::SocScenario::N_SLAVES,
+        ..AnalysisConfig::paper_testbench()
+    };
+    let model = ahbpower::AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    // Gray-code the *word* address: word-sequential traffic then moves a
+    // single address line per beat (the byte offset stays binary).
+    let gray = |x: u32| {
+        let w = x >> 2;
+        ((w ^ (w >> 1)) << 2) | (x & 3)
+    };
+    let mut csv = String::from("workload,coding,total_uj,dec_uj,m2s_uj\n");
+    for (workload, trace) in &traces {
+        let mut dec_binary = 0.0;
+        for (name, transform) in [
+            ("binary", None::<fn(u32) -> u32>),
+            ("gray", Some(gray as fn(u32) -> u32)),
+        ] {
+            let mut probe = InlineProbe::new(model.clone());
+            for snap in trace {
+                let mut s = snap.clone();
+                if let Some(f) = transform {
+                    s.haddr = f(s.haddr);
+                }
+                probe.observe(&s);
+            }
+            let b = probe.fsm().blocks().totals();
+            if name == "binary" {
+                dec_binary = b.dec;
+            }
+            let delta = if name == "gray" && dec_binary > 0.0 {
+                format!(" (addr-path {:+.1}%)", (b.dec / dec_binary - 1.0) * 100.0)
+            } else {
+                String::new()
+            };
+            println!(
+                "{workload:<16} {name:<8} total {:>9.3} uJ | DEC {:>7.4} uJ | M2S {:>8.3} uJ{delta}",
+                probe.total_energy() * 1e6,
+                b.dec * 1e6,
+                b.m2s * 1e6
+            );
+            csv.push_str(&format!(
+                "{workload},{name},{:.5},{:.5},{:.5}\n",
+                probe.total_energy() * 1e6,
+                b.dec * 1e6,
+                b.m2s * 1e6
+            ));
+        }
+    }
+    fs::write("results/coding.csv", csv).expect("write results/coding.csv");
+    println!(
+        "(Gray coding pays on sequential traffic and is a wash on mixed\n\
+         traffic — quantified before any RTL exists.)"
+    );
+    println!("-> results/coding.csv\n");
+}
+
+fn ablation(cycles: u64, seed: u64) {
+    println!("== Ablations: arbitration policy and idle mix ==");
+    let cfg = AnalysisConfig::paper_testbench();
+    let mut csv = String::from("variant,total_uj,handover_share_pct,m2s_share_pct\n");
+    for (name, arbitration) in [
+        ("fixed-priority", ahbpower_ahb::Arbitration::FixedPriority),
+        ("round-robin", ahbpower_ahb::Arbitration::RoundRobin),
+    ] {
+        let tb = PaperTestbench {
+            arbitration,
+            ..PaperTestbench::sized_for(cycles, seed)
+        };
+        let mut bus = tb.build().expect("testbench builds");
+        let mut session = PowerSession::new(&cfg);
+        session.run(&mut bus, cycles);
+        let total = session.total_energy();
+        let handover_energy: f64 = session
+            .ledger()
+            .rows()
+            .iter()
+            .filter(|r| {
+                r.instruction.from == ahbpower::ActivityMode::IdleHo
+                    || r.instruction.to == ahbpower::ActivityMode::IdleHo
+            })
+            .map(|r| r.total)
+            .sum();
+        let m2s_share = session.blocks().shares()[0].2;
+        println!(
+            "{name:<16} total {:>9.2} uJ | handover-instr share {:>5.2}% | M2S share {:>5.2}%",
+            total * 1e6,
+            handover_energy / total * 100.0,
+            m2s_share * 100.0
+        );
+        csv.push_str(&format!(
+            "{name},{:.4},{:.3},{:.3}\n",
+            total * 1e6,
+            handover_energy / total * 100.0,
+            m2s_share * 100.0
+        ));
+    }
+    fs::write("results/ablation.csv", csv).expect("write results/ablation.csv");
+    println!("-> results/ablation.csv\n");
+}

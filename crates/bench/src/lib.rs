@@ -1,0 +1,112 @@
+//! # ahbpower-bench — shared experiment plumbing
+//!
+//! The `repro` binary and the criterion benches both run the paper's
+//! testbench under power instrumentation; this library holds the shared
+//! steps so experiments stay consistent. See DESIGN.md's experiment index
+//! (E1-E8) for what maps where.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ahbpower::{AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe, PowerSession};
+use ahbpower_ahb::AhbBus;
+use ahbpower_workloads::PaperTestbench;
+
+/// The outcome of the main paper experiment (E1-E5 share one run).
+pub struct PaperRun {
+    /// The analysis configuration used.
+    pub config: AnalysisConfig,
+    /// The instrumented session (ledgers + traces).
+    pub session: PowerSession,
+    /// The bus after the run (statistics).
+    pub bus: AhbBus,
+    /// Cycles executed.
+    pub cycles: u64,
+}
+
+/// Builds the paper testbench sized for `cycles` and runs it under the
+/// power FSM. `seed` controls the workload.
+///
+/// # Panics
+///
+/// Panics if the testbench fails to build (impossible for valid configs).
+pub fn run_paper_experiment(cycles: u64, seed: u64) -> PaperRun {
+    let config = AnalysisConfig::paper_testbench();
+    let tb = PaperTestbench::sized_for(cycles, seed);
+    let mut bus = tb.build().expect("paper testbench is statically valid");
+    let mut session = PowerSession::new(&config);
+    session.run(&mut bus, cycles);
+    PaperRun {
+        config,
+        session,
+        bus,
+        cycles,
+    }
+}
+
+/// Builds a fresh paper testbench bus sized for `cycles` (functional only).
+///
+/// # Panics
+///
+/// Panics if the testbench fails to build (impossible for valid configs).
+pub fn build_paper_bus(cycles: u64, seed: u64) -> AhbBus {
+    PaperTestbench::sized_for(cycles, seed)
+        .build()
+        .expect("paper testbench is statically valid")
+}
+
+/// Runs all three probe styles over the same traffic and returns
+/// `(style, total_energy_joules)` triples — experiment E8's accuracy side.
+pub fn compare_probe_styles(cycles: u64, seed: u64) -> Vec<(&'static str, f64)> {
+    let config = AnalysisConfig::paper_testbench();
+    let model = ahbpower::AhbPowerModel::new(config.n_masters, config.n_slaves, &config.tech());
+    // Calibration run for the FSM style (half-length, different seed, so the
+    // styles genuinely diverge like the paper's accuracy/speed trade-off).
+    let mut calib = InlineProbe::new(model.clone());
+    let mut calib_bus = build_paper_bus(cycles / 2, seed ^ 0xCA11B);
+    for _ in 0..cycles / 2 {
+        calib.observe(calib_bus.step());
+    }
+    let mut inline = InlineProbe::new(model.clone());
+    let mut fsm = FsmProbe::from_calibration(calib.fsm().ledger());
+    let mut global = GlobalProbe::new(model);
+    let mut bus = build_paper_bus(cycles, seed);
+    for _ in 0..cycles {
+        let snap = bus.step();
+        inline.observe(snap);
+        fsm.observe(snap);
+        global.observe(snap);
+    }
+    vec![
+        ("inline", inline.total_energy()),
+        ("fsm", fsm.total_energy()),
+        ("global", global.total_energy()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_run_produces_energy_and_instructions() {
+        let run = run_paper_experiment(5_000, 2003);
+        assert!(run.session.total_energy() > 0.0);
+        let rows = run.session.ledger().rows();
+        assert!(rows.len() >= 4, "several instructions executed: {rows:?}");
+        assert!(run.bus.stats().transfers_ok > 100);
+    }
+
+    #[test]
+    fn probe_styles_are_comparable() {
+        let results = compare_probe_styles(4_000, 99);
+        let inline = results[0].1;
+        let fsm = results[1].1;
+        let global = results[2].1;
+        assert!(inline > 0.0);
+        // Global bookkeeping is exact for linear models.
+        assert!((global - inline).abs() < 1e-6 * inline);
+        // FSM style lands in the right ballpark (within 50%).
+        assert!((fsm - inline).abs() < 0.5 * inline, "{fsm} vs {inline}");
+    }
+}

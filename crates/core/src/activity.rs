@@ -1,0 +1,321 @@
+//! Signal-activity monitoring — the paper's `Activity` class.
+//!
+//! > "a specialized object class was added for the dynamic monitoring and
+//! > the storage of the activity of the I/O signals of the different
+//! > blocks" — Section 5.3.
+//!
+//! [`SignalActivity`] tracks one signal; [`ActivityMonitor`] tracks a set of
+//! named signals and is what the bus probes feed every cycle (the paper's
+//! `get_activity` / `bit_change_count` / `store_activity`).
+
+use std::fmt;
+
+/// Hamming distance between two consecutive words — the macromodels' main
+/// input parameter.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::hamming;
+///
+/// assert_eq!(hamming(0b1010, 0b0110), 2);
+/// assert_eq!(hamming(0, u64::MAX), 64);
+/// assert_eq!(hamming(7, 7), 0);
+/// ```
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+/// Running activity statistics of one signal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SignalActivity {
+    width: u32,
+    last: Option<u64>,
+    samples: u64,
+    bit_changes: u64,
+    word_changes: u64,
+    ones_accum: u64,
+}
+
+impl SignalActivity {
+    /// Creates statistics for a `width`-bit signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        SignalActivity {
+            width,
+            ..SignalActivity::default()
+        }
+    }
+
+    /// Records one sample (the paper's `store_activity`).
+    pub fn sample(&mut self, value: u64) {
+        let masked = if self.width == 64 {
+            value
+        } else {
+            value & ((1u64 << self.width) - 1)
+        };
+        if let Some(prev) = self.last {
+            let hd = hamming(prev, masked) as u64;
+            self.bit_changes += hd;
+            if hd > 0 {
+                self.word_changes += 1;
+            }
+        }
+        self.ones_accum += u64::from(masked.count_ones());
+        self.last = Some(masked);
+        self.samples += 1;
+    }
+
+    /// The Hamming distance the *next* sample would contribute.
+    pub fn hd_to(&self, value: u64) -> u32 {
+        match self.last {
+            Some(prev) => hamming(prev, value),
+            None => 0,
+        }
+    }
+
+    /// The signal's bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Total bit toggles (the paper's `bit_change_count`).
+    pub fn bit_changes(&self) -> u64 {
+        self.bit_changes
+    }
+
+    /// Samples on which at least one bit changed.
+    pub fn word_changes(&self) -> u64 {
+        self.word_changes
+    }
+
+    /// Average toggles per bit per sample transition — the classical
+    /// *switching activity* α.
+    pub fn switching_activity(&self) -> f64 {
+        if self.samples < 2 {
+            return 0.0;
+        }
+        self.bit_changes as f64 / ((self.samples - 1) as f64 * f64::from(self.width))
+    }
+
+    /// Average fraction of bits at logic 1 — the *signal probability*.
+    pub fn signal_probability(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.ones_accum as f64 / (self.samples as f64 * f64::from(self.width))
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<u64> {
+        self.last
+    }
+}
+
+/// A registry of monitored signals.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::ActivityMonitor;
+///
+/// let mut mon = ActivityMonitor::new();
+/// let haddr = mon.track("HADDR", 32);
+/// mon.sample(haddr, 0x0000_0000);
+/// mon.sample(haddr, 0x0000_00FF);
+/// assert_eq!(mon.stats(haddr).bit_changes(), 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ActivityMonitor {
+    names: Vec<String>,
+    signals: Vec<SignalActivity>,
+}
+
+/// Handle to a signal tracked by an [`ActivityMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProbeId(usize);
+
+impl ActivityMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        ActivityMonitor::default()
+    }
+
+    /// Registers a signal by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn track(&mut self, name: &str, width: u32) -> ProbeId {
+        self.names.push(name.to_string());
+        self.signals.push(SignalActivity::new(width));
+        ProbeId(self.signals.len() - 1)
+    }
+
+    /// Records one sample for a signal.
+    pub fn sample(&mut self, id: ProbeId, value: u64) {
+        self.signals[id.0].sample(value);
+    }
+
+    /// Statistics of one signal.
+    pub fn stats(&self, id: ProbeId) -> &SignalActivity {
+        &self.signals[id.0]
+    }
+
+    /// The name a signal was registered with.
+    pub fn name(&self, id: ProbeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(name, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SignalActivity)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.signals.iter())
+    }
+
+    /// Number of tracked signals.
+    pub fn len(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// True if no signals are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+}
+
+impl fmt::Display for ActivityMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>5} {:>12} {:>10} {:>8}",
+            "signal", "width", "bit-changes", "alpha", "P(1)"
+        )?;
+        for (name, s) in self.iter() {
+            writeln!(
+                f,
+                "{:<12} {:>5} {:>12} {:>10.4} {:>8.4}",
+                name,
+                s.width(),
+                s.bit_changes(),
+                s.switching_activity(),
+                s.signal_probability()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0xFF, 0x00), 8);
+        assert_eq!(hamming(0b101, 0b010), 3);
+    }
+
+    #[test]
+    fn first_sample_contributes_no_changes() {
+        let mut s = SignalActivity::new(8);
+        s.sample(0xFF);
+        assert_eq!(s.bit_changes(), 0);
+        assert_eq!(s.samples(), 1);
+        assert_eq!(s.last(), Some(0xFF));
+    }
+
+    #[test]
+    fn bit_and_word_changes_accumulate() {
+        let mut s = SignalActivity::new(8);
+        s.sample(0b0000_0000);
+        s.sample(0b0000_1111); // 4 bits
+        s.sample(0b0000_1111); // 0 bits
+        s.sample(0b1111_1111); // 4 bits
+        assert_eq!(s.bit_changes(), 8);
+        assert_eq!(s.word_changes(), 2);
+        assert_eq!(s.samples(), 4);
+    }
+
+    #[test]
+    fn switching_activity_is_normalized() {
+        let mut s = SignalActivity::new(4);
+        s.sample(0b0000);
+        s.sample(0b1111);
+        s.sample(0b0000);
+        // 8 toggles over 2 transitions of a 4-bit bus = alpha 1.0
+        assert!((s.switching_activity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signal_probability() {
+        let mut s = SignalActivity::new(4);
+        s.sample(0b1111);
+        s.sample(0b0000);
+        assert!((s.signal_probability() - 0.5).abs() < 1e-12);
+        let empty = SignalActivity::new(4);
+        assert_eq!(empty.signal_probability(), 0.0);
+        assert_eq!(empty.switching_activity(), 0.0);
+    }
+
+    #[test]
+    fn values_masked_to_width() {
+        let mut s = SignalActivity::new(4);
+        s.sample(0xF0); // low 4 bits = 0
+        s.sample(0xFF); // low 4 bits = F
+        assert_eq!(s.bit_changes(), 4);
+    }
+
+    #[test]
+    fn hd_to_previews_distance() {
+        let mut s = SignalActivity::new(8);
+        assert_eq!(s.hd_to(0xAA), 0, "no previous sample");
+        s.sample(0xAA);
+        assert_eq!(s.hd_to(0xAB), 1);
+        assert_eq!(s.bit_changes(), 0, "hd_to must not mutate");
+    }
+
+    #[test]
+    fn monitor_tracks_named_signals() {
+        let mut m = ActivityMonitor::new();
+        let a = m.track("a", 8);
+        let b = m.track("b", 16);
+        m.sample(a, 1);
+        m.sample(a, 2);
+        m.sample(b, 0xFFFF);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.name(a), "a");
+        assert_eq!(m.stats(a).bit_changes(), 2);
+        assert_eq!(m.stats(b).samples(), 1);
+        let table = m.to_string();
+        assert!(table.contains("bit-changes"));
+        assert!(table.contains('a'));
+    }
+
+    #[test]
+    fn width_64_signal_works() {
+        let mut s = SignalActivity::new(64);
+        s.sample(0);
+        s.sample(u64::MAX);
+        assert_eq!(s.bit_changes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be")]
+    fn zero_width_panics() {
+        let _ = SignalActivity::new(0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Macromodel characterization against gate level (paper Section 5.1).
+//!
+//! The authors validated their macromodels with SIS gate-level simulations;
+//! here the `ahbpower-gate` crate plays SIS: each sub-block is synthesized,
+//! swept over Hamming distances, and the macromodel coefficients are fitted
+//! by least squares. The returned [`ModelValidation`] compares *measured*
+//! energy to both the paper-form (analytic) and the fitted model.
+
+use ahbpower_gate::{
+    measure_arbiter, priority_arbiter, sweep_decoder, sweep_mux_data, sweep_mux_select, LogicSim,
+    SplitMix64,
+};
+
+use crate::macromodel::{
+    fit_linear, ArbiterModel, DecoderModel, LinearFit, MuxModel, TechParams,
+};
+
+/// One point of a validation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationPoint {
+    /// The swept quantity (input HD for decoder/mux sweeps; request
+    /// probability for the arbiter sweep).
+    pub x: f64,
+    /// Gate-level measured energy, joules.
+    pub measured: f64,
+    /// Paper-form (analytic) prediction, joules.
+    pub paper: f64,
+    /// Fitted-model prediction, joules.
+    pub fitted: f64,
+}
+
+/// Outcome of characterizing one sub-block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelValidation {
+    /// Which block was characterized.
+    pub block: String,
+    /// The sweep points.
+    pub points: Vec<ValidationPoint>,
+    /// The least-squares fit used for the fitted model.
+    pub fit: LinearFit,
+    /// Mean |relative error| of the paper-form model.
+    pub mean_rel_err_paper: f64,
+    /// Mean |relative error| of the fitted model.
+    pub mean_rel_err_fit: f64,
+}
+
+fn mean_rel_err(points: &[ValidationPoint], pick: impl Fn(&ValidationPoint) -> f64) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for p in points {
+        if p.measured > 0.0 {
+            sum += ((pick(p) - p.measured) / p.measured).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Characterizes a one-hot decoder with `n_outputs` outputs: exhaustive
+/// gate-level sweep, linear fit of energy vs. HD_IN, and comparison with
+/// the paper's closed-form model.
+///
+/// # Panics
+///
+/// Panics if `n_outputs < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::{fit_decoder_model, TechParams};
+///
+/// let (model, validation) = fit_decoder_model(4, &TechParams::default());
+/// assert!(validation.mean_rel_err_fit < 0.25);
+/// assert!(model.energy(1) > 0.0);
+/// ```
+pub fn fit_decoder_model(n_outputs: usize, tech: &TechParams) -> (DecoderModel, ModelValidation) {
+    let sweep = sweep_decoder(n_outputs, tech);
+    let xy: Vec<(f64, f64)> = sweep
+        .iter()
+        .map(|p| (f64::from(p.hd_in), p.energy))
+        .collect();
+    let fit = fit_linear(&xy);
+    let fitted = DecoderModel::from_fit(n_outputs, fit.slope, fit.intercept.max(0.0));
+    let paper = DecoderModel::from_paper(n_outputs, tech);
+    let points: Vec<ValidationPoint> = sweep
+        .iter()
+        .map(|p| ValidationPoint {
+            x: f64::from(p.hd_in),
+            measured: p.energy,
+            paper: paper.energy(p.hd_in),
+            fitted: fitted.energy(p.hd_in),
+        })
+        .collect();
+    let validation = ModelValidation {
+        block: format!("decoder (n_O = {n_outputs})"),
+        mean_rel_err_paper: mean_rel_err(&points, |p| p.paper),
+        mean_rel_err_fit: mean_rel_err(&points, |p| p.fitted),
+        points,
+        fit,
+    };
+    (fitted, validation)
+}
+
+/// Characterizes a `width` × `n_inputs` multiplexer: the data path is swept
+/// over HD_IN (select held), the select path over channel switches; both
+/// feed the fitted [`MuxModel`].
+///
+/// # Panics
+///
+/// Panics if `width == 0 || width > 64` or `n_inputs < 2`.
+pub fn fit_mux_model(
+    width: usize,
+    n_inputs: usize,
+    samples_per_hd: u64,
+    seed: u64,
+    tech: &TechParams,
+) -> (MuxModel, ModelValidation) {
+    let data_sweep = sweep_mux_data(width, n_inputs, samples_per_hd, tech, seed);
+    let xy: Vec<(f64, f64)> = data_sweep
+        .iter()
+        .map(|p| (f64::from(p.hd_in), p.energy))
+        .collect();
+    let fit = fit_linear(&xy);
+    // The slope blends internal and output-node energy; attribute the
+    // analytic output share and leave the rest as internal.
+    let a_out = tech.energy_per_toggle(tech.c_output).min(fit.slope);
+    let a_data = (fit.slope - a_out).max(0.0);
+    let sel_sweep = sweep_mux_select(width, n_inputs, samples_per_hd.max(1), tech, seed ^ 0xABCD);
+    let b_sel = {
+        let total: f64 = sel_sweep.iter().map(|p| p.energy * p.samples as f64).sum();
+        let n: u64 = sel_sweep.iter().map(|p| p.samples).sum();
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    };
+    let fitted = MuxModel::from_fit(width as u32, n_inputs, a_data, a_out, b_sel);
+    let paper = MuxModel::from_paper_form(width as u32, n_inputs, tech);
+    let points: Vec<ValidationPoint> = data_sweep
+        .iter()
+        .map(|p| ValidationPoint {
+            x: f64::from(p.hd_in),
+            measured: p.energy,
+            paper: paper.energy(p.hd_in, false),
+            fitted: fitted.energy(p.hd_in, false),
+        })
+        .collect();
+    let validation = ModelValidation {
+        block: format!("mux (w = {width}, n = {n_inputs})"),
+        mean_rel_err_paper: mean_rel_err(&points, |p| p.paper),
+        mean_rel_err_fit: mean_rel_err(&points, |p| p.fitted),
+        points,
+        fit,
+    };
+    (fitted, validation)
+}
+
+/// Characterizes an `n_masters` arbiter with two designed experiments
+/// (request toggling without handover; forced handover every cycle) and
+/// validates against random traffic at several request probabilities.
+///
+/// # Panics
+///
+/// Panics if `n_masters < 2`.
+pub fn fit_arbiter_model(n_masters: usize, tech: &TechParams) -> (ArbiterModel, ModelValidation) {
+    // Gather per-cycle (HD_req, handover, energy) samples under random
+    // traffic at several request intensities, then solve the two-feature
+    // least-squares system  E ≈ a_req·HD + b_grant·HO  (no intercept).
+    let arb = priority_arbiter(n_masters);
+    let mut sxx = 0.0;
+    let mut sxz = 0.0;
+    let mut szz = 0.0;
+    let mut sxy = 0.0;
+    let mut szy = 0.0;
+    for &prob in &[32u32, 96, 192] {
+        let mut rng = SplitMix64::new(9000 + u64::from(prob));
+        let mut sim = LogicSim::new(&arb.netlist);
+        let mut prev_req = 0u64;
+        let mut prev_grant = {
+            sim.step();
+            sim.bus_value(&arb.grant)
+        };
+        for _ in 0..256 {
+            let mut req = 0u64;
+            for (i, &r) in arb.req.iter().enumerate() {
+                let bit = rng.below(256) < u64::from(prob);
+                sim.set_input(r, bit);
+                req |= u64::from(bit) << i;
+            }
+            sim.reset_counters();
+            sim.step();
+            let y = ahbpower_gate::switching_energy(&sim, tech);
+            let grant = sim.bus_value(&arb.grant);
+            let x = f64::from((req ^ prev_req).count_ones());
+            let z = if grant != prev_grant { 1.0 } else { 0.0 };
+            sxx += x * x;
+            sxz += x * z;
+            szz += z * z;
+            sxy += x * y;
+            szy += z * y;
+            prev_req = req;
+            prev_grant = grant;
+        }
+    }
+    let det = sxx * szz - sxz * sxz;
+    let (a_req, b_grant) = if det.abs() > 1e-30 {
+        (
+            ((szz * sxy - sxz * szy) / det).max(0.0),
+            ((sxx * szy - sxz * sxy) / det).max(0.0),
+        )
+    } else {
+        // Degenerate traffic: fall back to the analytic form.
+        let p = ArbiterModel::from_paper_form(n_masters, tech);
+        (p.a_req, p.b_grant)
+    };
+    let e_clock = ArbiterModel::from_paper_form(n_masters, tech).e_clock;
+    let fitted = ArbiterModel::from_fit(n_masters, a_req, b_grant, e_clock);
+    let paper = ArbiterModel::from_paper_form(n_masters, tech);
+    // Validation: random traffic at several request probabilities; the
+    // models are evaluated on the *counted* per-cycle features.
+    let mut points = Vec::new();
+    for &prob in &[16u32, 64, 128, 224] {
+        let measured = measure_arbiter(n_masters, 512, prob, tech, 1234 + u64::from(prob));
+        let (hd_per_cycle, ho_per_cycle) =
+            arbiter_feature_rates(n_masters, 512, prob, 1234 + u64::from(prob));
+        let predict = |m: &ArbiterModel| {
+            hd_per_cycle * m.a_req + ho_per_cycle * m.b_grant
+        };
+        points.push(ValidationPoint {
+            x: f64::from(prob) / 256.0,
+            measured,
+            paper: predict(&paper),
+            fitted: predict(&fitted),
+        });
+    }
+    let fit = LinearFit {
+        slope: a_req,
+        intercept: b_grant,
+        r2: f64::NAN,
+    };
+    let validation = ModelValidation {
+        block: format!("arbiter (n = {n_masters})"),
+        mean_rel_err_paper: mean_rel_err(&points, |p| p.paper),
+        mean_rel_err_fit: mean_rel_err(&points, |p| p.fitted),
+        points,
+        fit,
+    };
+    (fitted, validation)
+}
+
+/// Replays the same random request stream `measure_arbiter` uses and counts
+/// the macromodel features: mean request-bit toggles and handovers per
+/// cycle.
+fn arbiter_feature_rates(n_masters: usize, cycles: u64, prob_256: u32, seed: u64) -> (f64, f64) {
+    let arb = priority_arbiter(n_masters);
+    let mut rng = SplitMix64::new(seed);
+    let mut sim = LogicSim::new(&arb.netlist);
+    let mut prev_req = 0u64;
+    let mut prev_grant = sim.bus_value(&arb.grant);
+    let mut hd_total = 0u64;
+    let mut handovers = 0u64;
+    for _ in 0..cycles {
+        let mut req = 0u64;
+        for (i, &r) in arb.req.iter().enumerate() {
+            let bit = rng.below(256) < u64::from(prob_256);
+            sim.set_input(r, bit);
+            req |= u64::from(bit) << i;
+        }
+        sim.step();
+        hd_total += u64::from((req ^ prev_req).count_ones());
+        let grant = sim.bus_value(&arb.grant);
+        if grant != prev_grant {
+            handovers += 1;
+        }
+        prev_req = req;
+        prev_grant = grant;
+    }
+    (
+        hd_total as f64 / cycles as f64,
+        handovers as f64 / cycles as f64,
+    )
+}
+
+/// Characterizes all four AHB sub-blocks and assembles a fitted
+/// [`crate::AhbPowerModel`].
+pub fn fit_ahb_power_model(
+    n_masters: usize,
+    n_slaves: usize,
+    tech: &TechParams,
+) -> (crate::AhbPowerModel, Vec<ModelValidation>) {
+    let (dec, v1) = fit_decoder_model(n_slaves.max(2), tech);
+    let (m2s, v2) = fit_mux_model(
+        (crate::model::ADDR_BITS + crate::model::CTRL_BITS) as usize,
+        n_masters.max(2),
+        24,
+        2003,
+        tech,
+    );
+    let (s2m, v3) = fit_mux_model(
+        (crate::model::RDATA_BITS + crate::model::RESP_BITS) as usize,
+        n_slaves + 1,
+        24,
+        2004,
+        tech,
+    );
+    let (arb, v4) = fit_arbiter_model(n_masters.max(2), tech);
+    // The fitted M2S mux characterized the addr+ctrl path; widen to include
+    // the write-data path, which shares the same per-bit coefficients.
+    let m2s = MuxModel::from_fit(
+        crate::model::ADDR_BITS + crate::model::CTRL_BITS + crate::model::WDATA_BITS,
+        n_masters.max(2),
+        m2s.a_data,
+        m2s.a_out,
+        m2s.b_sel * (f64::from(crate::model::ADDR_BITS + crate::model::CTRL_BITS
+            + crate::model::WDATA_BITS)
+            / f64::from(crate::model::ADDR_BITS + crate::model::CTRL_BITS)),
+    );
+    (
+        crate::AhbPowerModel::with_models(dec, m2s, s2m, arb),
+        vec![v1, v2, v3, v4],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoder_fit_is_tight() {
+        let (model, v) = fit_decoder_model(4, &TechParams::default());
+        assert!(v.fit.r2 > 0.9, "r2 = {}", v.fit.r2);
+        assert!(v.mean_rel_err_fit < 0.2, "fit err {}", v.mean_rel_err_fit);
+        assert!(
+            v.mean_rel_err_fit <= v.mean_rel_err_paper + 1e-12,
+            "fit ({}) must beat or match the analytic form ({})",
+            v.mean_rel_err_fit,
+            v.mean_rel_err_paper
+        );
+        assert!(model.alpha > 0.0);
+    }
+
+    #[test]
+    fn mux_fit_is_tight_on_data_path() {
+        let (model, v) = fit_mux_model(16, 4, 16, 7, &TechParams::default());
+        assert!(v.fit.r2 > 0.95, "r2 = {}", v.fit.r2);
+        assert!(v.mean_rel_err_fit < 0.25, "fit err {}", v.mean_rel_err_fit);
+        assert!(model.a_data > 0.0);
+        assert!(model.b_sel > 0.0, "select changes must cost energy");
+    }
+
+    #[test]
+    fn arbiter_fit_predicts_random_traffic() {
+        let (model, v) = fit_arbiter_model(3, &TechParams::default());
+        assert!(model.a_req > 0.0);
+        assert!(model.b_grant > 0.0);
+        assert!(
+            v.mean_rel_err_fit < 0.6,
+            "arbiter fit err {} (coarse two-point fit)",
+            v.mean_rel_err_fit
+        );
+        assert_eq!(v.points.len(), 4);
+    }
+
+    #[test]
+    fn full_model_fits() {
+        let (model, validations) = fit_ahb_power_model(2, 3, &TechParams::default());
+        assert_eq!(validations.len(), 4);
+        assert_eq!(model.m2s.width, 73);
+        assert!(model.decoder.alpha > 0.0);
+        assert!(model.s2m.a_data > 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Serializable configuration for a power-analysis run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::macromodel::TechParams;
+
+/// Everything a reproduction run needs to be repeatable: technology
+/// parameters, clock, topology and trace windowing.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::AnalysisConfig;
+///
+/// let cfg = AnalysisConfig::paper_testbench();
+/// assert_eq!(cfg.n_masters, 3); // two traffic masters + the default master
+/// assert_eq!(cfg.n_slaves, 3);
+/// assert_eq!(cfg.f_clk_hz, 100e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalysisConfig {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Internal node capacitance `C_PD`, farads.
+    pub c_pd: f64,
+    /// Output node capacitance `C_O`, farads.
+    pub c_o: f64,
+    /// Bus clock frequency, hertz.
+    pub f_clk_hz: f64,
+    /// Masters on the bus (including the default master).
+    pub n_masters: usize,
+    /// Slaves on the bus.
+    pub n_slaves: usize,
+    /// Power-trace window length, cycles.
+    pub window_cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl AnalysisConfig {
+    /// The paper's testbench configuration: two traffic masters plus a
+    /// simple default master, three slaves, 100 MHz.
+    pub fn paper_testbench() -> Self {
+        AnalysisConfig {
+            vdd: 3.3,
+            c_pd: 50e-15,
+            c_o: 150e-15,
+            f_clk_hz: 100e6,
+            n_masters: 3,
+            n_slaves: 3,
+            window_cycles: 20, // 200 ns windows at 100 MHz
+            seed: 2003,
+        }
+    }
+
+    /// The technology slice of the configuration.
+    pub fn tech(&self) -> TechParams {
+        TechParams {
+            vdd: self.vdd,
+            c_internal: self.c_pd,
+            c_output: self.c_o,
+        }
+    }
+
+    /// Clock period in picoseconds.
+    pub fn period_ps(&self) -> u64 {
+        (1e12 / self.f_clk_hz).round() as u64
+    }
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig::paper_testbench()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbench_values() {
+        let c = AnalysisConfig::paper_testbench();
+        assert_eq!(c.period_ps(), 10_000, "100 MHz = 10 ns");
+        let t = c.tech();
+        assert_eq!(t.vdd, 3.3);
+        assert_eq!(t.c_internal, 50e-15);
+        assert_eq!(t.c_output, 150e-15);
+        assert_eq!(c, AnalysisConfig::default());
+    }
+
+    #[test]
+    fn period_rounds_sanely() {
+        let mut c = AnalysisConfig::paper_testbench();
+        c.f_clk_hz = 333e6;
+        assert_eq!(c.period_ps(), 3003);
+    }
+}

@@ -1,0 +1,416 @@
+//! Energy macromodels of the AHB sub-blocks (paper Section 5.1).
+//!
+//! Each macromodel maps *IP parameters* (bus width, number of masters and
+//! slaves) and *data activity* (Hamming distances between consecutive
+//! values) to dynamic energy per bus cycle. The decoder model is the
+//! paper's closed-form formula; the multiplexer and arbiter models follow
+//! the same construction (the paper states only their functional form
+//! `E_MUX = f(w, n, HD_IN, HD_SEL)`). All three can alternatively be
+//! **fitted** to gate-level measurements from `ahbpower-gate`, reproducing
+//! the SIS-based characterization step.
+
+pub use ahbpower_gate::TechParams;
+
+/// `ceil(log2(n))` for `n >= 2` — the paper's "first integer greater than
+/// `log2(n_O - 1)`".
+pub fn ceil_log2(n: usize) -> u32 {
+    ahbpower_gate::addr_bits(n) as u32
+}
+
+/// Per-block energies of one bus cycle, in joules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockEnergy {
+    /// Address decoder.
+    pub dec: f64,
+    /// Masters-to-slaves mux (address/control/write-data path).
+    pub m2s: f64,
+    /// Slaves-to-masters mux (read-data/response path).
+    pub s2m: f64,
+    /// Arbiter.
+    pub arb: f64,
+}
+
+impl BlockEnergy {
+    /// Total energy across the four sub-blocks.
+    pub fn total(&self) -> f64 {
+        self.dec + self.m2s + self.s2m + self.arb
+    }
+}
+
+impl std::ops::Add for BlockEnergy {
+    type Output = BlockEnergy;
+    fn add(self, rhs: BlockEnergy) -> BlockEnergy {
+        BlockEnergy {
+            dec: self.dec + rhs.dec,
+            m2s: self.m2s + rhs.m2s,
+            s2m: self.s2m + rhs.s2m,
+            arb: self.arb + rhs.arb,
+        }
+    }
+}
+
+impl std::ops::AddAssign for BlockEnergy {
+    fn add_assign(&mut self, rhs: BlockEnergy) {
+        *self = *self + rhs;
+    }
+}
+
+/// The paper's parametric decoder macromodel:
+///
+/// ```text
+/// E_DEC = V_DD²/4 · (n_I · n_O · C_PD · HD_IN  +  2 · HD_OUT · C_O)
+/// ```
+///
+/// with `HD_OUT = 1` iff `HD_IN >= 1` (a one-hot decoder moves exactly two
+/// output bits whenever the selected output changes).
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::{DecoderModel, TechParams};
+///
+/// let dec = DecoderModel::from_paper(4, &TechParams::default());
+/// assert_eq!(dec.energy(0), 0.0);
+/// assert!(dec.energy(2) > dec.energy(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecoderModel {
+    /// Number of decoder outputs (slaves).
+    pub n_outputs: usize,
+    /// Number of address inputs `n_I`.
+    pub n_addr_bits: u32,
+    /// Energy per unit of input Hamming distance (joules).
+    pub alpha: f64,
+    /// Energy added whenever the input changes at all (output term, joules).
+    pub beta: f64,
+}
+
+impl DecoderModel {
+    /// Instantiates the paper's closed-form model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_outputs < 2`.
+    pub fn from_paper(n_outputs: usize, tech: &TechParams) -> Self {
+        let n_i = ceil_log2(n_outputs);
+        DecoderModel {
+            n_outputs,
+            n_addr_bits: n_i,
+            alpha: f64::from(n_i)
+                * n_outputs as f64
+                * tech.energy_per_toggle(tech.c_internal),
+            beta: 2.0 * tech.energy_per_toggle(tech.c_output),
+        }
+    }
+
+    /// Builds a model from fitted coefficients (see
+    /// [`crate::fit_decoder_model`]).
+    pub fn from_fit(n_outputs: usize, alpha: f64, beta: f64) -> Self {
+        DecoderModel {
+            n_outputs,
+            n_addr_bits: ceil_log2(n_outputs),
+            alpha,
+            beta,
+        }
+    }
+
+    /// Energy of one input transition with Hamming distance `hd_in`.
+    pub fn energy(&self, hd_in: u32) -> f64 {
+        if hd_in == 0 {
+            return 0.0;
+        }
+        self.alpha * f64::from(hd_in) + self.beta
+    }
+}
+
+/// The multiplexer macromodel `E_MUX = f(w, n, HD_IN, HD_SEL)`.
+///
+/// Derived for the AND-OR-tree structure `ahbpower-gate` synthesizes:
+/// a flipped bit of the *selected* channel propagates through one AND gate
+/// and `ceil(log2 n)` OR levels before reaching the output; a select change
+/// re-decodes the one-hot select lines and re-paths (on average) half the
+/// data bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuxModel {
+    /// Data width `w` in bits.
+    pub width: u32,
+    /// Number of input channels `n`.
+    pub n_inputs: usize,
+    /// Internal energy per flipped data bit (joules).
+    pub a_data: f64,
+    /// Output-node energy per flipped data bit (joules).
+    pub a_out: f64,
+    /// Energy of one select change (joules).
+    pub b_sel: f64,
+}
+
+impl MuxModel {
+    /// Instantiates the analytic model for a `width`-bit, `n_inputs`-channel
+    /// mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs < 2` or `width == 0`.
+    pub fn from_paper_form(width: u32, n_inputs: usize, tech: &TechParams) -> Self {
+        assert!(width > 0, "mux width must be positive");
+        let levels = f64::from(ceil_log2(n_inputs));
+        let e_pd = tech.energy_per_toggle(tech.c_internal);
+        let e_o = tech.energy_per_toggle(tech.c_output);
+        let w = f64::from(width);
+        let sel_bits = f64::from(ceil_log2(n_inputs));
+        MuxModel {
+            width,
+            n_inputs,
+            a_data: e_pd * (1.0 + levels),
+            a_out: e_o,
+            // Select decoder (inverters + lines) + half the data bits
+            // re-pathing through AND/OR levels + half the outputs moving.
+            b_sel: e_pd * (sel_bits + n_inputs as f64 + w * (1.0 + levels) / 2.0)
+                + e_o * (w / 2.0),
+        }
+    }
+
+    /// Builds a model from fitted coefficients (see
+    /// [`crate::fit_mux_model`]).
+    pub fn from_fit(width: u32, n_inputs: usize, a_data: f64, a_out: f64, b_sel: f64) -> Self {
+        MuxModel {
+            width,
+            n_inputs,
+            a_data,
+            a_out,
+            b_sel,
+        }
+    }
+
+    /// Energy of one cycle with `hd_in` flipped data bits and (optionally)
+    /// a select change.
+    pub fn energy(&self, hd_in: u32, sel_changed: bool) -> f64 {
+        let data = f64::from(hd_in) * (self.a_data + self.a_out);
+        let sel = if sel_changed { self.b_sel } else { 0.0 };
+        data + sel
+    }
+}
+
+/// The arbiter macromodel — a small FSM whose energy follows request
+/// activity and grant handovers ("a simple FSM was created to model the
+/// energy requirement of a simplified version of the arbiter").
+///
+/// Unlike the purely combinational decoder/mux models, the arbiter is a
+/// *clocked* block: its grant/state registers load the clock every cycle,
+/// so the model carries a constant per-cycle term `e_clock`. This is what
+/// gives the paper's IDLE instructions their non-zero average energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArbiterModel {
+    /// Number of masters.
+    pub n_masters: usize,
+    /// Energy per toggled HBUSREQ bit (priority-chain activity, joules).
+    pub a_req: f64,
+    /// Energy per bus handover (grant register + network re-path, joules).
+    pub b_grant: f64,
+    /// Clock-load energy per cycle (grant + FSM register clock pins,
+    /// joules). Dissipated every cycle regardless of activity.
+    pub e_clock: f64,
+}
+
+impl ArbiterModel {
+    /// Instantiates the analytic model for `n_masters` masters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_masters == 0`.
+    pub fn from_paper_form(n_masters: usize, tech: &TechParams) -> Self {
+        assert!(n_masters > 0, "need at least one master");
+        let e_pd = tech.energy_per_toggle(tech.c_internal);
+        let e_o = tech.energy_per_toggle(tech.c_output);
+        ArbiterModel {
+            n_masters,
+            // A toggled request ripples through the OR chain (~2 nodes).
+            a_req: e_pd * 2.0,
+            // A handover toggles two grant lines and re-paths the chain.
+            b_grant: e_pd * n_masters as f64 + e_o * 2.0,
+            // n grant registers + ~2 FSM state bits, two clock-pin toggles
+            // per cycle each.
+            e_clock: e_pd * 2.0 * (n_masters as f64 + 2.0),
+        }
+    }
+
+    /// Builds a model from fitted coefficients (see
+    /// [`crate::fit_arbiter_model`]). The gate-level reference does not
+    /// model clock-pin load, so `e_clock` is passed through analytically.
+    pub fn from_fit(n_masters: usize, a_req: f64, b_grant: f64, e_clock: f64) -> Self {
+        ArbiterModel {
+            n_masters,
+            a_req,
+            b_grant,
+            e_clock,
+        }
+    }
+
+    /// Energy of one cycle with `hd_req` toggled request bits and
+    /// (optionally) a handover. Includes the per-cycle clock term.
+    pub fn energy(&self, hd_req: u32, handover: bool) -> f64 {
+        self.e_clock
+            + f64::from(hd_req) * self.a_req
+            + if handover { self.b_grant } else { 0.0 }
+    }
+}
+
+/// An ordinary-least-squares line fit `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r2: f64,
+}
+
+/// Fits a line through `(x, y)` points.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or when all `x` are identical.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::fit_linear;
+///
+/// let fit = fit_linear(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r2 - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit_linear(points: &[(f64, f64)]) -> LinearFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-30, "x values are degenerate");
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit {
+        slope,
+        intercept,
+        r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechParams {
+        TechParams::default()
+    }
+
+    #[test]
+    fn decoder_model_matches_paper_formula() {
+        let t = tech();
+        let m = DecoderModel::from_paper(4, &t);
+        assert_eq!(m.n_addr_bits, 2);
+        // Hand-evaluate: V²/4 (nI nO C_PD HD + 2 C_O)
+        let v24 = t.vdd * t.vdd / 4.0;
+        let hd = 2u32;
+        let expect = v24 * (2.0 * 4.0 * t.c_internal * hd as f64 + 2.0 * t.c_output);
+        assert!((m.energy(hd) - expect).abs() < 1e-18);
+        assert_eq!(m.energy(0), 0.0);
+    }
+
+    #[test]
+    fn decoder_energy_grows_with_slave_count() {
+        let t = tech();
+        let small = DecoderModel::from_paper(2, &t);
+        let large = DecoderModel::from_paper(16, &t);
+        assert!(large.energy(1) > small.energy(1));
+    }
+
+    #[test]
+    fn mux_energy_scales_with_hd_and_select() {
+        let t = tech();
+        let m = MuxModel::from_paper_form(32, 3, &t);
+        assert_eq!(m.energy(0, false), 0.0);
+        assert!(m.energy(16, false) > m.energy(1, false));
+        assert!(m.energy(0, true) > 0.0, "select change alone costs energy");
+        assert!(
+            (m.energy(5, true) - (m.energy(5, false) + m.energy(0, true))).abs() < 1e-20,
+            "data and select terms are additive"
+        );
+    }
+
+    #[test]
+    fn wider_mux_has_costlier_select_change() {
+        let t = tech();
+        let narrow = MuxModel::from_paper_form(8, 3, &t);
+        let wide = MuxModel::from_paper_form(64, 3, &t);
+        assert!(wide.energy(0, true) > narrow.energy(0, true));
+    }
+
+    #[test]
+    fn arbiter_energy_terms() {
+        let t = tech();
+        let a = ArbiterModel::from_paper_form(3, &t);
+        assert_eq!(a.energy(0, false), a.e_clock, "idle cycles cost the clock");
+        assert!(a.e_clock > 0.0);
+        assert!(a.energy(2, false) > a.energy(1, false));
+        assert!(a.energy(0, true) > a.energy(2, false), "handover dominates");
+    }
+
+    #[test]
+    fn block_energy_arithmetic() {
+        let a = BlockEnergy {
+            dec: 1.0,
+            m2s: 2.0,
+            s2m: 3.0,
+            arb: 4.0,
+        };
+        let b = a + a;
+        assert_eq!(b.total(), 20.0);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, b);
+        assert_eq!(BlockEnergy::default().total(), 0.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_noiseless_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.5 * i as f64 - 2.0)).collect();
+        let f = fit_linear(&pts);
+        assert!((f.slope - 3.5).abs() < 1e-9);
+        assert!((f.intercept + 2.0).abs() < 1e-9);
+        assert!(f.r2 > 0.999_999);
+    }
+
+    #[test]
+    fn linear_fit_r2_degrades_with_noise() {
+        let pts = vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 5.0)];
+        let f = fit_linear(&pts);
+        assert!(f.r2 < 1.0);
+        assert!(f.r2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn fit_needs_points() {
+        let _ = fit_linear(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+    }
+}

@@ -1,0 +1,234 @@
+//! Rendering of experiment artifacts (text tables and CSV).
+
+use std::fmt::Write as _;
+
+use crate::characterize::ModelValidation;
+use crate::ledger::{BlockLedger, InstructionLedger};
+use crate::trace::TracePoint;
+
+/// Renders the paper's Table 1 as text (same columns: instruction, average
+/// energy, total energy, share).
+pub fn table1_text(ledger: &InstructionLedger) -> String {
+    ledger.to_string()
+}
+
+/// Renders Table 1 as CSV: `instruction,count,avg_pj,total_uj,share_pct`.
+pub fn table1_csv(ledger: &InstructionLedger) -> String {
+    let mut out = String::from("instruction,count,avg_pj,total_uj,share_pct\n");
+    for r in ledger.rows() {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{:.4},{:.3}",
+            r.instruction.name(),
+            r.count,
+            r.average * 1e12,
+            r.total * 1e6,
+            r.share * 100.0
+        );
+    }
+    out
+}
+
+/// Renders a power trace as CSV: `time_us,total_mw,dec_mw,m2s_mw,s2m_mw,arb_mw`.
+pub fn trace_csv(points: &[TracePoint]) -> String {
+    let mut out = String::from("time_us,total_mw,dec_mw,m2s_mw,s2m_mw,arb_mw\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.4},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            p.time_s * 1e6,
+            p.total_w * 1e3,
+            p.dec_w * 1e3,
+            p.m2s_w * 1e3,
+            p.s2m_w * 1e3,
+            p.arb_w * 1e3
+        );
+    }
+    out
+}
+
+/// Renders Fig. 6's sub-block shares as CSV: `block,energy_uj,share_pct`.
+pub fn fig6_csv(blocks: &BlockLedger) -> String {
+    let mut out = String::from("block,energy_uj,share_pct\n");
+    for (name, e, share) in blocks.shares() {
+        let _ = writeln!(out, "{},{:.4},{:.3}", name, e * 1e6, share * 100.0);
+    }
+    out
+}
+
+/// Renders an ASCII bar chart of a power trace (for terminal inspection of
+/// Figs. 3-5 without a plotting stack).
+pub fn trace_ascii(points: &[TracePoint], pick: impl Fn(&TracePoint) -> f64, width: usize) -> String {
+    let max = points.iter().map(&pick).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for p in points {
+        let v = pick(p);
+        let bar = if max > 0.0 {
+            (v / max * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{:>8.3} us |{:<width$}| {:.4} mW",
+            p.time_s * 1e6,
+            "#".repeat(bar),
+            v * 1e3,
+            width = width
+        );
+    }
+    out
+}
+
+/// Renders macromodel-validation results as text.
+pub fn validation_text(validations: &[ModelValidation]) -> String {
+    let mut out = String::new();
+    for v in validations {
+        let _ = writeln!(out, "== {} ==", v.block);
+        let _ = writeln!(
+            out,
+            "  fit: slope {:.4e} J, intercept {:.4e} J, r2 {:.4}",
+            v.fit.slope, v.fit.intercept, v.fit.r2
+        );
+        let _ = writeln!(
+            out,
+            "  mean |rel err|: paper-form {:.1}%  fitted {:.1}%",
+            v.mean_rel_err_paper * 100.0,
+            v.mean_rel_err_fit * 100.0
+        );
+        let _ = writeln!(out, "  {:>8} {:>12} {:>12} {:>12}", "x", "measured", "paper", "fitted");
+        for p in &v.points {
+            let _ = writeln!(
+                out,
+                "  {:>8.3} {:>9.3} pJ {:>9.3} pJ {:>9.3} pJ",
+                p.x,
+                p.measured * 1e12,
+                p.paper * 1e12,
+                p.fitted * 1e12
+            );
+        }
+    }
+    out
+}
+
+/// Renders validation results as CSV:
+/// `block,x,measured_pj,paper_pj,fitted_pj`.
+pub fn validation_csv(validations: &[ModelValidation]) -> String {
+    let mut out = String::from("block,x,measured_pj,paper_pj,fitted_pj\n");
+    for v in validations {
+        for p in &v.points {
+            let _ = writeln!(
+                out,
+                "{},{:.3},{:.5},{:.5},{:.5}",
+                v.block,
+                p.x,
+                p.measured * 1e12,
+                p.paper * 1e12,
+                p.fitted * 1e12
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{ActivityMode, Instruction};
+    use crate::macromodel::{BlockEnergy, LinearFit};
+
+    #[test]
+    fn table1_csv_has_header_and_rows() {
+        let mut l = InstructionLedger::new();
+        l.record(Instruction::new(ActivityMode::Write, ActivityMode::Read), 14.7e-12);
+        let csv = table1_csv(&l);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next(),
+            Some("instruction,count,avg_pj,total_uj,share_pct")
+        );
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("WRITE_READ,1,14.7"));
+    }
+
+    #[test]
+    fn trace_csv_formats_units() {
+        let pts = [TracePoint {
+            time_s: 2e-6,
+            total_w: 1e-3,
+            dec_w: 1e-4,
+            m2s_w: 5e-4,
+            s2m_w: 3e-4,
+            arb_w: 1e-4,
+        }];
+        let csv = trace_csv(&pts);
+        assert!(csv.contains("2.0000,1.000000"));
+    }
+
+    #[test]
+    fn fig6_csv_lists_four_blocks() {
+        let mut b = BlockLedger::new();
+        b.record(BlockEnergy {
+            dec: 1e-6,
+            m2s: 5e-6,
+            s2m: 3e-6,
+            arb: 1e-6,
+        });
+        let csv = fig6_csv(&b);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.contains("M2S,5.0000,50.000"));
+    }
+
+    #[test]
+    fn ascii_chart_scales_bars() {
+        let pts = [
+            TracePoint {
+                time_s: 0.0,
+                total_w: 1e-3,
+                dec_w: 0.0,
+                m2s_w: 0.0,
+                s2m_w: 0.0,
+                arb_w: 0.0,
+            },
+            TracePoint {
+                time_s: 1e-6,
+                total_w: 2e-3,
+                dec_w: 0.0,
+                m2s_w: 0.0,
+                s2m_w: 0.0,
+                arb_w: 0.0,
+            },
+        ];
+        let chart = trace_ascii(&pts, |p| p.total_w, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('#').count() == 20);
+        assert!(lines[0].matches('#').count() == 10);
+    }
+
+    #[test]
+    fn validation_renderers() {
+        let v = ModelValidation {
+            block: "decoder (n_O = 4)".into(),
+            points: vec![crate::characterize::ValidationPoint {
+                x: 1.0,
+                measured: 1e-12,
+                paper: 1.1e-12,
+                fitted: 1.05e-12,
+            }],
+            fit: LinearFit {
+                slope: 1e-12,
+                intercept: 0.0,
+                r2: 0.99,
+            },
+            mean_rel_err_paper: 0.1,
+            mean_rel_err_fit: 0.05,
+        };
+        let txt = validation_text(std::slice::from_ref(&v));
+        assert!(txt.contains("decoder"));
+        assert!(txt.contains("10.0%"));
+        let csv = validation_csv(std::slice::from_ref(&v));
+        assert!(csv.starts_with("block,x,"));
+        assert!(csv.contains("decoder (n_O = 4),1.000"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Running the bus + instrumentation on the discrete-event kernel.
+//!
+//! The paper's executable specification lives inside SystemC; this adapter
+//! plays the same role with `ahbpower-sim`: the AHB system becomes a clocked
+//! process, the power monitor a second process sensitive to the same clock —
+//! mirroring the paper's "further specific module" (global model) topology.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ahbpower_ahb::AhbBus;
+use ahbpower_sim::{Kernel, SimError, SimTime};
+
+use crate::session::PowerSession;
+
+/// The result of a kernel-hosted run.
+#[derive(Debug)]
+pub struct KernelRun {
+    /// The kernel (inspect time/stats or continue running).
+    pub kernel: Kernel,
+    /// The bus, extracted back out of the kernel processes.
+    pub bus: Rc<RefCell<AhbBus>>,
+    /// The power session, if instrumentation was attached.
+    pub session: Option<Rc<RefCell<PowerSession>>>,
+}
+
+/// Mounts `bus` as a clocked process on a fresh kernel and runs it for
+/// `cycles` clock cycles of `period`. When `session` is provided, a second
+/// process — the paper's separate power-analysis module — observes every
+/// cycle's snapshot.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the kernel (delta-cycle overflow).
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::{run_on_kernel, AnalysisConfig, PowerSession};
+/// use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
+/// use ahbpower_sim::SimTime;
+///
+/// let bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 1)])))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .build()?;
+/// let cfg = AnalysisConfig { n_masters: 1, n_slaves: 2, ..AnalysisConfig::paper_testbench() };
+/// let run = run_on_kernel(bus, Some(PowerSession::new(&cfg)), 20, SimTime::from_ns(10))?;
+/// assert_eq!(run.kernel.now(), SimTime::from_ns(200));
+/// assert!(run.session.unwrap().borrow().total_energy() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_on_kernel(
+    bus: AhbBus,
+    session: Option<PowerSession>,
+    cycles: u64,
+    period: SimTime,
+) -> Result<KernelRun, SimError> {
+    let mut kernel = Kernel::new();
+    let clk = kernel.clock("hclk", period);
+    let bus = Rc::new(RefCell::new(bus));
+    let session = session.map(|s| Rc::new(RefCell::new(s)));
+    // A broadcast "snapshot ready" signal: the bus process bumps it each
+    // cycle; the monitor process is sensitive to it (global-model topology).
+    let snap_seq = kernel.signal("snapshot_seq", 0u64);
+    {
+        let bus = Rc::clone(&bus);
+        kernel.process("ahb_bus", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                bus.borrow_mut().step();
+                let n = ctx.read(snap_seq);
+                ctx.write(snap_seq, n + 1);
+            }
+        });
+    }
+    if let Some(sess) = &session {
+        let bus = Rc::clone(&bus);
+        let sess = Rc::clone(sess);
+        kernel.process("power_monitor", &[snap_seq.id()], move |ctx| {
+            if ctx.changed(snap_seq) {
+                let b = bus.borrow();
+                sess.borrow_mut().observe(b.snapshot());
+            }
+        });
+    }
+    kernel.run_until(period * cycles)?;
+    Ok(KernelRun {
+        kernel,
+        bus,
+        session,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
+
+    fn bus() -> AhbBus {
+        AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x0, 0xAAAA_5555),
+                Op::read(0x0),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_run_executes_cycles() {
+        let run = run_on_kernel(bus(), None, 50, SimTime::from_ns(10)).unwrap();
+        assert_eq!(run.kernel.now(), SimTime::from_ns(500));
+        // 50 posedges -> 50 bus cycles.
+        assert_eq!(run.bus.borrow().stats().cycles, 50);
+        assert!(run.session.is_none());
+    }
+
+    #[test]
+    fn kernel_run_with_monitor_matches_direct_run() {
+        let cfg = AnalysisConfig {
+            n_masters: 1,
+            n_slaves: 2,
+            ..AnalysisConfig::paper_testbench()
+        };
+        let run = run_on_kernel(bus(), Some(PowerSession::new(&cfg)), 30, SimTime::from_ns(10))
+            .unwrap();
+        let kernel_energy = run.session.as_ref().unwrap().borrow().total_energy();
+        // Direct (kernel-less) execution of the same system.
+        let mut direct_bus = bus();
+        let mut direct = PowerSession::new(&cfg);
+        direct.run(&mut direct_bus, 30);
+        let direct_energy = direct.total_energy();
+        assert!(kernel_energy > 0.0);
+        assert!(
+            (kernel_energy - direct_energy).abs() < 1e-12 * direct_energy.max(1e-30),
+            "kernel-hosted and direct runs must agree: {kernel_energy} vs {direct_energy}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! One-stop analysis session: FSM + ledgers + power trace over a bus run.
+
+use ahbpower_ahb::{AhbBus, BusSnapshot};
+
+use crate::config::AnalysisConfig;
+use crate::ledger::{BlockLedger, InstructionLedger};
+use crate::model::AhbPowerModel;
+use crate::power_fsm::PowerFsm;
+use crate::trace::{PowerTrace, TracePoint};
+
+/// Couples a [`PowerFsm`] with a [`PowerTrace`] so a single observer
+/// produces Table 1, Fig. 6 and Figs. 3-5 data in one pass.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::{AnalysisConfig, PowerSession};
+/// use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
+///
+/// let cfg = AnalysisConfig::paper_testbench();
+/// let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 0xFF), Op::read(0x0)])))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .build()?;
+/// let mut session = PowerSession::new(&cfg);
+/// session.run(&mut bus, 50);
+/// assert!(session.total_energy() > 0.0);
+/// # Ok::<(), ahbpower_ahb::BuildBusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerSession {
+    fsm: PowerFsm,
+    trace: PowerTrace,
+}
+
+impl PowerSession {
+    /// Creates a session with paper-form macromodels sized from `cfg`.
+    pub fn new(cfg: &AnalysisConfig) -> Self {
+        let model = AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+        PowerSession::with_model(model, cfg.window_cycles, cfg.f_clk_hz)
+    }
+
+    /// Creates a session with explicit (e.g. fitted) macromodels.
+    pub fn with_model(model: AhbPowerModel, window_cycles: u64, f_clk_hz: f64) -> Self {
+        PowerSession {
+            fsm: PowerFsm::new(model),
+            trace: PowerTrace::new(window_cycles, f_clk_hz),
+        }
+    }
+
+    /// Observes one cycle.
+    pub fn observe(&mut self, snap: &BusSnapshot) {
+        let rec = self.fsm.observe(snap);
+        self.trace.push(rec.energy);
+    }
+
+    /// Runs `cycles` bus cycles under observation.
+    pub fn run(&mut self, bus: &mut AhbBus, cycles: u64) {
+        for _ in 0..cycles {
+            let snap = bus.step();
+            let rec = self.fsm.observe(snap);
+            self.trace.push(rec.energy);
+        }
+        self.trace.finish();
+    }
+
+    /// Per-instruction ledger (Table 1).
+    pub fn ledger(&self) -> &InstructionLedger {
+        self.fsm.ledger()
+    }
+
+    /// Per-block ledger (Fig. 6).
+    pub fn blocks(&self) -> &BlockLedger {
+        self.fsm.blocks()
+    }
+
+    /// Power-trace points (Figs. 3-5).
+    pub fn trace_points(&self) -> &[TracePoint] {
+        self.trace.points()
+    }
+
+    /// The trace accumulator itself.
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Total energy, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.fsm.total_energy()
+    }
+
+    /// Per-master energy attribution (index = master id), joules.
+    pub fn per_master_energy(&self) -> &[f64] {
+        self.fsm.per_master_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
+
+    fn bus() -> AhbBus {
+        AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x0, 0xFFFF_FFFF),
+                Op::read(0x0),
+                Op::Idle(3),
+                Op::write(0x1004, 0x1234_5678),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(MemorySlave::new(0x1000, 1, 0)))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn session_collects_all_artifacts() {
+        let mut cfg = AnalysisConfig::paper_testbench();
+        cfg.n_masters = 2;
+        cfg.n_slaves = 2;
+        cfg.window_cycles = 5;
+        let mut session = PowerSession::new(&cfg);
+        let mut b = bus();
+        session.run(&mut b, 40);
+        assert!(session.total_energy() > 0.0);
+        assert!(!session.ledger().rows().is_empty());
+        assert_eq!(session.blocks().cycles(), 40);
+        assert_eq!(session.trace_points().len(), 8);
+        // Ledger and trace must account the same energy.
+        let from_trace: f64 = session
+            .trace_points()
+            .iter()
+            .map(|p| p.total_w * session.trace().window_secs())
+            .sum();
+        let total = session.total_energy();
+        assert!((from_trace - total).abs() < 1e-9 * total.max(1e-30));
+    }
+}

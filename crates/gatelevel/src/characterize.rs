@@ -1,0 +1,326 @@
+//! Hamming-distance sweeps over synthesized blocks.
+//!
+//! This module is the measurement side of the paper's Section 5.1: it drives
+//! the gate-level decoder/mux/arbiter with input-vector pairs of controlled
+//! Hamming distance and records the average switching energy per transition.
+//! The `ahbpower` crate fits and validates its analytic macromodels against
+//! these records (the role SIS played for the authors).
+
+use crate::energy::{switching_energy, TechParams};
+use crate::sim::LogicSim;
+use crate::synth::{mux_tree, one_hot_decoder, priority_arbiter};
+
+/// One point of a characterization sweep: the average energy of a transition
+/// with the given input/select Hamming distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HdPoint {
+    /// Hamming distance between consecutive data/address vectors.
+    pub hd_in: u32,
+    /// Hamming distance between consecutive select vectors (0 for blocks
+    /// without a select input).
+    pub hd_sel: u32,
+    /// Mean switching energy per transition, joules.
+    pub energy: f64,
+    /// Number of transitions averaged.
+    pub samples: u64,
+}
+
+/// A minimal deterministic PRNG (SplitMix64) so characterization sweeps are
+/// reproducible without external dependencies.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection-free for our purposes; bias is negligible for small bounds.
+        self.next_u64() % bound
+    }
+
+    /// A random mask with exactly `k` of the low `width` bits set.
+    pub fn mask_with_weight(&mut self, width: u32, k: u32) -> u64 {
+        assert!(k <= width && width <= 64);
+        let mut mask = 0u64;
+        let mut remaining = k;
+        while remaining > 0 {
+            let bit = self.below(u64::from(width));
+            if mask & (1 << bit) == 0 {
+                mask |= 1 << bit;
+                remaining -= 1;
+            }
+        }
+        mask
+    }
+}
+
+/// Sweeps a one-hot decoder: for every ordered pair of addresses, measures
+/// the transition energy and groups the mean by input Hamming distance.
+///
+/// The sweep is exhaustive (the address space is tiny), hence deterministic.
+///
+/// # Panics
+///
+/// Panics if `n_outputs < 2`.
+pub fn sweep_decoder(n_outputs: usize, tech: &TechParams) -> Vec<HdPoint> {
+    let dec = one_hot_decoder(n_outputs);
+    let n_in = dec.addr.len() as u32;
+    let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); n_in as usize + 1];
+    let mut sim = LogicSim::new(&dec.netlist);
+    for from in 0..n_outputs as u64 {
+        for to in 0..n_outputs as u64 {
+            if from == to {
+                continue;
+            }
+            sim.set_bus(&dec.addr, from);
+            sim.settle();
+            sim.reset_counters();
+            sim.set_bus(&dec.addr, to);
+            sim.settle();
+            let e = switching_energy(&sim, tech);
+            let hd = (from ^ to).count_ones() as usize;
+            acc[hd].0 += e;
+            acc[hd].1 += 1;
+        }
+    }
+    collect_points(&acc, |hd| HdPoint {
+        hd_in: hd,
+        hd_sel: 0,
+        energy: 0.0,
+        samples: 0,
+    })
+}
+
+/// Sweeps a multiplexer's **data path**: select held constant, the selected
+/// channel's data toggled with controlled Hamming distance.
+///
+/// # Panics
+///
+/// Panics if `width == 0 || width > 64` or `n_inputs < 2`.
+pub fn sweep_mux_data(
+    width: usize,
+    n_inputs: usize,
+    samples_per_hd: u64,
+    tech: &TechParams,
+    seed: u64,
+) -> Vec<HdPoint> {
+    assert!(width <= 64, "sweep uses u64 vectors");
+    let mux = mux_tree(width, n_inputs);
+    let mut rng = SplitMix64::new(seed);
+    let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); width + 1];
+    let mut sim = LogicSim::new(&mux.netlist);
+    let lane_mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    for hd in 0..=width as u32 {
+        for _ in 0..samples_per_hd {
+            let ch = rng.below(n_inputs as u64) as usize;
+            let base = rng.next_u64() & lane_mask;
+            for (j, bits) in mux.data.iter().enumerate() {
+                sim.set_bus(bits, if j == ch { base } else { rng.next_u64() & lane_mask });
+            }
+            sim.set_bus(&mux.sel, ch as u64);
+            sim.settle();
+            sim.reset_counters();
+            let flip = rng.mask_with_weight(width as u32, hd);
+            sim.set_bus(&mux.data[ch], base ^ flip);
+            sim.settle();
+            let e = switching_energy(&sim, tech);
+            acc[hd as usize].0 += e;
+            acc[hd as usize].1 += 1;
+        }
+    }
+    collect_points(&acc, |hd| HdPoint {
+        hd_in: hd,
+        hd_sel: 0,
+        energy: 0.0,
+        samples: 0,
+    })
+}
+
+/// Sweeps a multiplexer's **select path**: data held constant on all
+/// channels, the select code switched between random channel pairs; points
+/// are grouped by select Hamming distance.
+///
+/// # Panics
+///
+/// Panics if `width == 0 || width > 64` or `n_inputs < 2`.
+pub fn sweep_mux_select(
+    width: usize,
+    n_inputs: usize,
+    samples_per_pair: u64,
+    tech: &TechParams,
+    seed: u64,
+) -> Vec<HdPoint> {
+    assert!(width <= 64, "sweep uses u64 vectors");
+    let mux = mux_tree(width, n_inputs);
+    let sel_bits = mux.sel.len();
+    let mut rng = SplitMix64::new(seed);
+    let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); sel_bits + 1];
+    let mut sim = LogicSim::new(&mux.netlist);
+    let lane_mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    for from in 0..n_inputs as u64 {
+        for to in 0..n_inputs as u64 {
+            if from == to {
+                continue;
+            }
+            for _ in 0..samples_per_pair {
+                for bits in &mux.data {
+                    sim.set_bus(bits, rng.next_u64() & lane_mask);
+                }
+                sim.set_bus(&mux.sel, from);
+                sim.settle();
+                sim.reset_counters();
+                sim.set_bus(&mux.sel, to);
+                sim.settle();
+                let e = switching_energy(&sim, tech);
+                let hd = (from ^ to).count_ones() as usize;
+                acc[hd].0 += e;
+                acc[hd].1 += 1;
+            }
+        }
+    }
+    collect_points(&acc, |hd| HdPoint {
+        hd_in: 0,
+        hd_sel: hd,
+        energy: 0.0,
+        samples: 0,
+    })
+}
+
+/// Measures the average per-cycle energy of the priority arbiter under a
+/// random request stream with the given request probability (per master, per
+/// cycle), in parts per 256.
+///
+/// # Panics
+///
+/// Panics if `n_masters < 2`.
+pub fn measure_arbiter(
+    n_masters: usize,
+    cycles: u64,
+    req_prob_256: u32,
+    tech: &TechParams,
+    seed: u64,
+) -> f64 {
+    let arb = priority_arbiter(n_masters);
+    let mut rng = SplitMix64::new(seed);
+    let mut sim = LogicSim::new(&arb.netlist);
+    sim.reset_counters();
+    for _ in 0..cycles {
+        for &r in &arb.req {
+            sim.set_input(r, rng.below(256) < u64::from(req_prob_256));
+        }
+        sim.step();
+    }
+    switching_energy(&sim, tech) / cycles as f64
+}
+
+fn collect_points(acc: &[(f64, u64)], proto: impl Fn(u32) -> HdPoint) -> Vec<HdPoint> {
+    acc.iter()
+        .enumerate()
+        .filter(|(_, (_, n))| *n > 0)
+        .map(|(hd, (e, n))| {
+            let mut p = proto(hd as u32);
+            p.energy = e / *n as f64;
+            p.samples = *n;
+            p
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let distinct: std::collections::HashSet<_> = va.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn mask_with_weight_has_exact_popcount() {
+        let mut rng = SplitMix64::new(7);
+        for k in 0..=16u32 {
+            let m = rng.mask_with_weight(16, k);
+            assert_eq!(m.count_ones(), k);
+            assert_eq!(m >> 16, 0);
+        }
+    }
+
+    #[test]
+    fn decoder_sweep_energy_grows_with_hd() {
+        let tech = TechParams::default();
+        let pts = sweep_decoder(8, &tech);
+        assert!(!pts.is_empty());
+        // Energy should be monotonically non-decreasing with HD on average:
+        // more flipped address bits -> more inverter and AND-tree activity.
+        for w in pts.windows(2) {
+            assert!(
+                w[1].energy >= w[0].energy * 0.8,
+                "HD {} -> {} energy dropped sharply: {} vs {}",
+                w[0].hd_in,
+                w[1].hd_in,
+                w[0].energy,
+                w[1].energy
+            );
+        }
+        // All samples accounted: ordered pairs of 8 distinct codes = 56.
+        let total: u64 = pts.iter().map(|p| p.samples).sum();
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn mux_data_sweep_scales_with_hd() {
+        let tech = TechParams::default();
+        let pts = sweep_mux_data(16, 4, 20, &tech, 1);
+        let hd0 = pts.iter().find(|p| p.hd_in == 0).unwrap();
+        let hd8 = pts.iter().find(|p| p.hd_in == 8).unwrap();
+        let hd16 = pts.iter().find(|p| p.hd_in == 16).unwrap();
+        assert!(hd0.energy < 1e-18, "no flips -> (almost) no energy");
+        assert!(hd8.energy > 0.0);
+        assert!(hd16.energy > hd8.energy);
+    }
+
+    #[test]
+    fn mux_select_sweep_produces_energy() {
+        let tech = TechParams::default();
+        let pts = sweep_mux_select(8, 4, 10, &tech, 3);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            assert!(p.hd_sel >= 1);
+            assert!(p.energy > 0.0, "select change must cost energy");
+        }
+    }
+
+    #[test]
+    fn arbiter_energy_scales_with_request_activity() {
+        let tech = TechParams::default();
+        let quiet = measure_arbiter(4, 400, 8, &tech, 5);
+        let busy = measure_arbiter(4, 400, 128, &tech, 5);
+        assert!(busy > quiet, "busy {busy} <= quiet {quiet}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Switching-energy accounting over gate-level activity.
+//!
+//! ## Energy convention
+//!
+//! Following the paper's macromodels (which carry a `V_DD²/4` prefactor), the
+//! energy attributed to **one toggle** (either direction) of a net with
+//! capacitance `C` is `C · V_DD² / 4`. Over a full charge/discharge pair this
+//! sums to `C·V²/2`, i.e. the usual dynamic-power convention with the energy
+//! split evenly between rising and falling transitions.
+
+use crate::netlist::Netlist;
+use crate::sim::LogicSim;
+
+/// Technology parameters shared by gate-level measurement and the analytic
+/// macromodels. Defaults approximate the paper's early-2000s process.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::TechParams;
+///
+/// let tech = TechParams::default();
+/// // One toggle of an internal node:
+/// let e = tech.energy_per_toggle(tech.c_internal);
+/// assert!(e > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Supply voltage swing in volts.
+    pub vdd: f64,
+    /// Equivalent capacitance of an internal gate node (the paper's `C_PD`),
+    /// in farads.
+    pub c_internal: f64,
+    /// Capacitance of a primary-output node (the paper's `C_O`), in farads.
+    pub c_output: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            vdd: 3.3,
+            c_internal: 50e-15, // 50 fF
+            c_output: 150e-15,  // 150 fF: output nodes drive long wires
+        }
+    }
+}
+
+impl TechParams {
+    /// Energy (joules) for one toggle of a node with capacitance `c` (F).
+    pub fn energy_per_toggle(&self, c: f64) -> f64 {
+        c * self.vdd * self.vdd / 4.0
+    }
+}
+
+/// Computes the total switching energy (joules) recorded by a simulator:
+/// internal nets are weighted with `C_PD`, primary outputs with `C_O`.
+/// Primary-input activity is charged to the driver, not this block, and is
+/// therefore excluded.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{switching_energy, LogicSim, Netlist, TechParams};
+///
+/// let mut n = Netlist::new("inv");
+/// let a = n.input("a");
+/// let y = n.not(a, "y");
+/// n.mark_output(y);
+/// let n = n.finalize()?;
+/// let mut sim = LogicSim::new(&n);
+/// sim.set_input(a, true);
+/// sim.settle();
+/// let tech = TechParams::default();
+/// let e = switching_energy(&sim, &tech);
+/// assert!((e - tech.energy_per_toggle(tech.c_output)).abs() < 1e-21);
+/// # Ok::<(), ahbpower_gate::BuildNetlistError>(())
+/// ```
+pub fn switching_energy(sim: &LogicSim<'_>, tech: &TechParams) -> f64 {
+    energy_breakdown(sim, tech).total()
+}
+
+/// Per-category energy of a measurement run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy on internal (non-output, non-input) nets, joules.
+    pub internal: f64,
+    /// Energy on primary-output nets, joules.
+    pub output: f64,
+    /// Toggles on internal nets.
+    pub internal_toggles: u64,
+    /// Toggles on output nets.
+    pub output_toggles: u64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in joules.
+    pub fn total(&self) -> f64 {
+        self.internal + self.output
+    }
+}
+
+/// Computes energy split into internal-node and output-node contributions.
+pub fn energy_breakdown(sim: &LogicSim<'_>, tech: &TechParams) -> EnergyBreakdown {
+    let netlist: &Netlist = sim.netlist();
+    let mut b = EnergyBreakdown::default();
+    let input_set: std::collections::HashSet<_> = netlist.inputs().iter().copied().collect();
+    for (idx, &t) in sim.toggle_counts().iter().enumerate() {
+        if t == 0 {
+            continue;
+        }
+        let net = crate::netlist::NetId(idx as u32);
+        if input_set.contains(&net) {
+            continue; // charged to whoever drives the input
+        }
+        if netlist.is_output(net) {
+            b.output += t as f64 * tech.energy_per_toggle(tech.c_output);
+            b.output_toggles += t;
+        } else {
+            b.internal += t as f64 * tech.energy_per_toggle(tech.c_internal);
+            b.internal_toggles += t;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn default_params_are_sane() {
+        let t = TechParams::default();
+        assert!(t.vdd > 0.0 && t.c_internal > 0.0 && t.c_output > 0.0);
+        // 50 fF at 3.3 V, one toggle: ~0.136 pJ
+        let e = t.energy_per_toggle(t.c_internal);
+        assert!((e - 1.36e-13).abs() < 1e-14, "e = {e}");
+    }
+
+    #[test]
+    fn breakdown_splits_internal_and_output() {
+        let mut n = Netlist::new("chain");
+        let a = n.input("a");
+        let b = n.not(a, "b"); // internal
+        let c = n.not(b, "c"); // output
+        n.mark_output(c);
+        let n = n.finalize().unwrap();
+        let a = n.inputs()[0];
+        let mut sim = LogicSim::new(&n);
+        let tech = TechParams::default();
+        sim.set_input(a, true);
+        sim.settle();
+        let bd = energy_breakdown(&sim, &tech);
+        assert_eq!(bd.internal_toggles, 1);
+        assert_eq!(bd.output_toggles, 1);
+        let expect = tech.energy_per_toggle(tech.c_internal)
+            + tech.energy_per_toggle(tech.c_output);
+        assert!((bd.total() - expect).abs() < 1e-21);
+        assert!((switching_energy(&sim, &tech) - expect).abs() < 1e-21);
+    }
+
+    #[test]
+    fn input_toggles_are_excluded() {
+        let mut n = Netlist::new("wire");
+        let a = n.input("a");
+        let y = n.gate(crate::GateKind::Buf, &[a], "y");
+        n.mark_output(y);
+        let n = n.finalize().unwrap();
+        let a = n.inputs()[0];
+        let mut sim = LogicSim::new(&n);
+        let tech = TechParams::default();
+        sim.set_input(a, true);
+        sim.settle();
+        let bd = energy_breakdown(&sim, &tech);
+        assert_eq!(bd.internal_toggles, 0);
+        assert_eq!(bd.output_toggles, 1);
+    }
+
+    #[test]
+    fn energy_scales_with_vdd_squared() {
+        let lo = TechParams {
+            vdd: 1.0,
+            ..TechParams::default()
+        };
+        let hi = TechParams {
+            vdd: 2.0,
+            ..TechParams::default()
+        };
+        let c = 1e-13;
+        assert!((hi.energy_per_toggle(c) / lo.energy_per_toggle(c) - 4.0).abs() < 1e-12);
+    }
+}

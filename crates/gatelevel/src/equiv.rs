@@ -1,0 +1,202 @@
+//! Exhaustive combinational equivalence checking.
+//!
+//! After importing a netlist from BLIF (or regenerating one differently),
+//! [`check_equivalence`] proves two combinational netlists implement the
+//! same boolean function by exhausting the input space — the classic
+//! "formality-lite" companion to interchange formats.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::Netlist;
+use crate::sim::LogicSim;
+
+/// Why two netlists could not be compared or differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceError {
+    /// Interfaces differ (input/output counts).
+    InterfaceMismatch {
+        /// (inputs, outputs) of the first netlist.
+        a: (usize, usize),
+        /// (inputs, outputs) of the second netlist.
+        b: (usize, usize),
+    },
+    /// Exhaustive checking is capped at this many inputs.
+    TooManyInputs {
+        /// The offending input count.
+        inputs: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// Sequential netlists (flip-flops) are out of scope.
+    Sequential,
+    /// A differing input vector was found.
+    Mismatch {
+        /// The input assignment (bit i = input i).
+        input: u64,
+        /// First netlist's outputs.
+        a_out: u64,
+        /// Second netlist's outputs.
+        b_out: u64,
+    },
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivalenceError::InterfaceMismatch { a, b } => write!(
+                f,
+                "interface mismatch: {}x{} vs {}x{} (inputs x outputs)",
+                a.0, a.1, b.0, b.1
+            ),
+            EquivalenceError::TooManyInputs { inputs, max } => {
+                write!(f, "{inputs} inputs exceed the exhaustive limit of {max}")
+            }
+            EquivalenceError::Sequential => f.write_str("netlists with flip-flops not supported"),
+            EquivalenceError::Mismatch { input, a_out, b_out } => write!(
+                f,
+                "functions differ at input {input:#b}: {a_out:#b} vs {b_out:#b}"
+            ),
+        }
+    }
+}
+
+impl Error for EquivalenceError {}
+
+/// Maximum inputs for exhaustive equivalence checking.
+pub const MAX_EQUIV_INPUTS: usize = 20;
+
+/// Proves two combinational netlists equivalent by exhausting all input
+/// assignments (inputs and outputs are matched by position).
+///
+/// # Errors
+///
+/// See [`EquivalenceError`]; `Ok(())` means the functions are identical.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{check_equivalence, from_blif, to_blif, one_hot_decoder};
+///
+/// let dec = one_hot_decoder(4);
+/// let round = from_blif(&to_blif(&dec.netlist)).expect("round-trips");
+/// check_equivalence(&dec.netlist, &round)?;
+/// # Ok::<(), ahbpower_gate::EquivalenceError>(())
+/// ```
+pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<(), EquivalenceError> {
+    let ia = a.inputs().len();
+    let ib = b.inputs().len();
+    let oa = a.outputs().len();
+    let ob = b.outputs().len();
+    if (ia, oa) != (ib, ob) {
+        return Err(EquivalenceError::InterfaceMismatch {
+            a: (ia, oa),
+            b: (ib, ob),
+        });
+    }
+    if !a.dffs().is_empty() || !b.dffs().is_empty() {
+        return Err(EquivalenceError::Sequential);
+    }
+    if ia > MAX_EQUIV_INPUTS {
+        return Err(EquivalenceError::TooManyInputs {
+            inputs: ia,
+            max: MAX_EQUIV_INPUTS,
+        });
+    }
+    let mut sim_a = LogicSim::new(a);
+    let mut sim_b = LogicSim::new(b);
+    let ins_a = a.inputs().to_vec();
+    let ins_b = b.inputs().to_vec();
+    for input in 0..(1u64 << ia) {
+        sim_a.set_bus(&ins_a, input);
+        sim_a.settle();
+        sim_b.set_bus(&ins_b, input);
+        sim_b.settle();
+        let a_out = sim_a.bus_value(a.outputs());
+        let b_out = sim_b.bus_value(b.outputs());
+        if a_out != b_out {
+            return Err(EquivalenceError::Mismatch { input, a_out, b_out });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blif::{from_blif, to_blif};
+    use crate::netlist::GateKind;
+    use crate::synth::{mux_tree, one_hot_decoder, priority_arbiter};
+
+    #[test]
+    fn blif_round_trips_are_equivalent() {
+        for n_out in [2usize, 3, 5, 8, 16] {
+            let dec = one_hot_decoder(n_out);
+            let round = from_blif(&to_blif(&dec.netlist)).unwrap();
+            check_equivalence(&dec.netlist, &round)
+                .unwrap_or_else(|e| panic!("decoder({n_out}): {e}"));
+        }
+        let mux = mux_tree(4, 4);
+        let round = from_blif(&to_blif(&mux.netlist)).unwrap();
+        check_equivalence(&mux.netlist, &round).unwrap();
+    }
+
+    #[test]
+    fn different_functions_are_caught() {
+        let mut a = Netlist::new("and");
+        let x = a.input("x");
+        let y = a.input("y");
+        let o = a.and2(x, y, "o");
+        a.mark_output(o);
+        let a = a.finalize().unwrap();
+        let mut b = Netlist::new("or");
+        let x = b.input("x");
+        let y = b.input("y");
+        let o = b.or2(x, y, "o");
+        b.mark_output(o);
+        let b = b.finalize().unwrap();
+        let err = check_equivalence(&a, &b).unwrap_err();
+        assert!(matches!(err, EquivalenceError::Mismatch { .. }));
+        assert!(err.to_string().contains("differ"));
+    }
+
+    #[test]
+    fn demorgan_equivalence_holds() {
+        // NOT(a AND b) == NOT(a) OR NOT(b)
+        let mut lhs = Netlist::new("nand");
+        let a = lhs.input("a");
+        let b = lhs.input("b");
+        let o = lhs.gate(GateKind::Nand, &[a, b], "o");
+        lhs.mark_output(o);
+        let lhs = lhs.finalize().unwrap();
+        let mut rhs = Netlist::new("demorgan");
+        let a = rhs.input("a");
+        let b = rhs.input("b");
+        let na = rhs.not(a, "na");
+        let nb = rhs.not(b, "nb");
+        let o = rhs.or2(na, nb, "o");
+        rhs.mark_output(o);
+        let rhs = rhs.finalize().unwrap();
+        check_equivalence(&lhs, &rhs).unwrap();
+    }
+
+    #[test]
+    fn guards_reject_out_of_scope_inputs() {
+        let dec2 = one_hot_decoder(2);
+        let dec4 = one_hot_decoder(4);
+        assert!(matches!(
+            check_equivalence(&dec2.netlist, &dec4.netlist),
+            Err(EquivalenceError::InterfaceMismatch { .. })
+        ));
+        let arb = priority_arbiter(2);
+        assert_eq!(
+            check_equivalence(&arb.netlist, &arb.netlist),
+            Err(EquivalenceError::Sequential)
+        );
+        let wide = mux_tree(12, 4); // 48 data + 2 select inputs
+        assert!(matches!(
+            check_equivalence(&wide.netlist, &wide.netlist),
+            Err(EquivalenceError::TooManyInputs { .. })
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! # ahbpower-gate — gate-level reference substrate
+//!
+//! The DATE'03 paper validated its analytic energy macromodels against
+//! gate-level descriptions simulated with Berkeley's SIS. This crate plays
+//! that role from scratch:
+//!
+//! - [`Netlist`]: primitive-gate netlists (NOT/AND/OR/… + D flip-flops) with
+//!   structural checking and topological ordering;
+//! - [`LogicSim`]: two-valued simulation counting per-net switching activity;
+//! - [`switching_energy`]: `C·V²/4`-per-toggle energy accounting
+//!   ([`TechParams`] carries `V_DD`, `C_PD`, `C_O`);
+//! - [`one_hot_decoder`] / [`mux_tree`] / [`priority_arbiter`]: generators
+//!   for exactly the structures the paper synthesized (one-hot decoder from
+//!   NOT+AND gates, AND-OR-tree multiplexers, a priority arbiter);
+//! - [`sweep_decoder`] & friends: Hamming-distance characterization sweeps
+//!   whose output the `ahbpower` crate fits macromodels to.
+//!
+//! ## Example: measure a decoder transition
+//!
+//! ```
+//! use ahbpower_gate::{one_hot_decoder, switching_energy, LogicSim, TechParams};
+//!
+//! let dec = one_hot_decoder(4);
+//! let mut sim = LogicSim::new(&dec.netlist);
+//! sim.set_bus(&dec.addr, 0);
+//! sim.settle();
+//! sim.reset_counters();
+//! sim.set_bus(&dec.addr, 3); // HD_IN = 2
+//! sim.settle();
+//! let energy = switching_energy(&sim, &TechParams::default());
+//! assert!(energy > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blif;
+mod characterize;
+mod equiv;
+mod energy;
+mod netlist;
+mod sim;
+mod synth;
+
+pub use blif::{from_blif, to_blif, ParseBlifError};
+pub use equiv::{check_equivalence, EquivalenceError, MAX_EQUIV_INPUTS};
+pub use characterize::{
+    measure_arbiter, sweep_decoder, sweep_mux_data, sweep_mux_select, HdPoint, SplitMix64,
+};
+pub use energy::{energy_breakdown, switching_energy, EnergyBreakdown, TechParams};
+pub use netlist::{BuildNetlistError, Dff, Gate, GateKind, NetId, Netlist, NetlistStats};
+pub use sim::LogicSim;
+pub use synth::{addr_bits, mux_tree, one_hot_decoder, priority_arbiter, Arbiter, Decoder, Mux};

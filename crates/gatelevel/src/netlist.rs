@@ -1,0 +1,602 @@
+//! Gate-level netlist representation and builder.
+//!
+//! A [`Netlist`] is a directed graph of nets driven by primitive gates or
+//! D flip-flops. The builder API creates nets implicitly as gate outputs;
+//! [`Netlist::finalize`] checks structural sanity and computes a topological
+//! evaluation order for the combinational portion.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Primitive combinational gate kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Identity (single input).
+    Buf,
+    /// Inversion (single input).
+    Not,
+    /// Logical AND (two or more inputs).
+    And,
+    /// Logical OR (two or more inputs).
+    Or,
+    /// Inverted AND.
+    Nand,
+    /// Inverted OR.
+    Nor,
+    /// Exclusive OR (two or more inputs, parity).
+    Xor,
+    /// Inverted XOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// Evaluates the gate function over its input values.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Buf => inputs[0],
+            GateKind::Not => !inputs[0],
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+
+    fn min_inputs(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    fn max_inputs(self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            _ => usize::MAX,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The boolean function.
+    pub kind: GateKind,
+    /// Input nets.
+    pub inputs: Vec<NetId>,
+    /// The net this gate drives.
+    pub output: NetId,
+}
+
+/// A D flip-flop: `q` takes the value of `d` at each clock step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dff {
+    /// Data input net.
+    pub d: NetId,
+    /// Registered output net.
+    pub q: NetId,
+}
+
+/// Errors detected by [`Netlist::finalize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildNetlistError {
+    /// A combinational cycle exists through the listed net.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A net has no driver and is not a primary input or DFF output.
+    Undriven {
+        /// The floating net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A net is driven by more than one gate/flip-flop/input.
+    MultipleDrivers {
+        /// The contended net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildNetlistError::CombinationalCycle { net, name } => {
+                write!(f, "combinational cycle through {net} ({name})")
+            }
+            BuildNetlistError::Undriven { net, name } => {
+                write!(f, "net {net} ({name}) has no driver")
+            }
+            BuildNetlistError::MultipleDrivers { net, name } => {
+                write!(f, "net {net} ({name}) has multiple drivers")
+            }
+        }
+    }
+}
+
+impl Error for BuildNetlistError {}
+
+/// Gate-count statistics for a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Total nets.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// D flip-flops.
+    pub dffs: usize,
+}
+
+/// A gate-level netlist.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{GateKind, Netlist};
+///
+/// let mut n = Netlist::new("half_adder");
+/// let a = n.input("a");
+/// let b = n.input("b");
+/// let sum = n.gate(GateKind::Xor, &[a, b], "sum");
+/// let carry = n.gate(GateKind::And, &[a, b], "carry");
+/// n.mark_output(sum);
+/// n.mark_output(carry);
+/// let n = n.finalize()?;
+/// assert_eq!(n.stats().gates, 2);
+/// # Ok::<(), ahbpower_gate::BuildNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    /// Gate evaluation order (indices into `gates`); valid after `finalize`.
+    topo_order: Vec<usize>,
+    finalized: bool,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: &str) -> Self {
+        Netlist {
+            name: name.to_string(),
+            net_names: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+            dffs: Vec::new(),
+            topo_order: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// The netlist's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_net(&mut self, name: &str) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.to_string());
+        id
+    }
+
+    /// Declares a primary input net.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let id = self.new_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Declares a vector of primary inputs named `name[0..width]`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Declares a net with no driver yet. Useful for feedback structures;
+    /// drive it later with [`Netlist::gate_into`], or [`Netlist::finalize`]
+    /// reports it as undriven.
+    pub fn wire(&mut self, name: &str) -> NetId {
+        self.new_net(name)
+    }
+
+    /// Adds a gate driving a fresh net named `out_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is invalid for `kind` (e.g. a two-input
+    /// NOT), or if the netlist was already finalized.
+    pub fn gate(&mut self, kind: GateKind, inputs: &[NetId], out_name: &str) -> NetId {
+        let output = self.new_net(out_name);
+        self.gate_into(kind, inputs, output);
+        output
+    }
+
+    /// Adds a gate driving the pre-declared net `output` (see
+    /// [`Netlist::wire`]). This is the only way to close feedback loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count is invalid for `kind` or the netlist was
+    /// already finalized.
+    pub fn gate_into(&mut self, kind: GateKind, inputs: &[NetId], output: NetId) {
+        assert!(!self.finalized, "netlist already finalized");
+        assert!(
+            inputs.len() >= kind.min_inputs() && inputs.len() <= kind.max_inputs(),
+            "{kind} gate cannot take {} inputs",
+            inputs.len()
+        );
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+    }
+
+    /// Convenience: NOT gate.
+    pub fn not(&mut self, a: NetId, out_name: &str) -> NetId {
+        self.gate(GateKind::Not, &[a], out_name)
+    }
+
+    /// Convenience: two-input AND gate.
+    pub fn and2(&mut self, a: NetId, b: NetId, out_name: &str) -> NetId {
+        self.gate(GateKind::And, &[a, b], out_name)
+    }
+
+    /// Convenience: two-input OR gate.
+    pub fn or2(&mut self, a: NetId, b: NetId, out_name: &str) -> NetId {
+        self.gate(GateKind::Or, &[a, b], out_name)
+    }
+
+    /// Adds a D flip-flop driving a fresh net named `q_name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist was already finalized.
+    pub fn dff(&mut self, d: NetId, q_name: &str) -> NetId {
+        assert!(!self.finalized, "netlist already finalized");
+        let q = self.new_net(q_name);
+        self.dffs.push(Dff { d, q });
+        q
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// All flip-flops.
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// The name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// True if the net is a primary output.
+    pub fn is_output(&self, net: NetId) -> bool {
+        self.outputs.contains(&net)
+    }
+
+    /// Gate evaluation order. Valid only after [`Netlist::finalize`].
+    pub(crate) fn topo_order(&self) -> &[usize] {
+        debug_assert!(self.finalized, "topo order requires finalize()");
+        &self.topo_order
+    }
+
+    /// Gate-count statistics.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            nets: self.net_names.len(),
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.gates.len(),
+            dffs: self.dffs.len(),
+        }
+    }
+
+    /// Checks structural sanity (every net driven exactly once, no
+    /// combinational cycles) and computes the evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildNetlistError::Undriven`] if a non-input net has no driver;
+    /// [`BuildNetlistError::CombinationalCycle`] if the gate graph is cyclic
+    /// (paths through flip-flops are fine).
+    pub fn finalize(mut self) -> Result<Netlist, BuildNetlistError> {
+        let n = self.net_names.len();
+        // Classify drivers, rejecting contention.
+        let mut driven = vec![false; n];
+        let claim = |driven: &mut Vec<bool>, id: NetId, names: &[String]| {
+            if driven[id.index()] {
+                return Err(BuildNetlistError::MultipleDrivers {
+                    net: id,
+                    name: names[id.index()].clone(),
+                });
+            }
+            driven[id.index()] = true;
+            Ok(())
+        };
+        for id in &self.inputs {
+            claim(&mut driven, *id, &self.net_names)?;
+        }
+        for dff in &self.dffs {
+            claim(&mut driven, dff.q, &self.net_names)?;
+        }
+        let mut driver_gate: Vec<Option<usize>> = vec![None; n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            claim(&mut driven, g.output, &self.net_names)?;
+            driver_gate[g.output.index()] = Some(gi);
+        }
+        for (i, d) in driven.iter().enumerate() {
+            if !d {
+                return Err(BuildNetlistError::Undriven {
+                    net: NetId(i as u32),
+                    name: self.net_names[i].clone(),
+                });
+            }
+        }
+        // Kahn's algorithm over gates; edges only through combinational nets.
+        let mut indegree = vec![0usize; self.gates.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for input in &g.inputs {
+                if let Some(src) = driver_gate[input.index()] {
+                    indegree[gi] += 1;
+                    dependents[src].push(gi);
+                }
+            }
+        }
+        let mut queue: VecDeque<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gi) = queue.pop_front() {
+            order.push(gi);
+            for &dep in &dependents[gi] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            let cyclic = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .expect("a cyclic gate must remain");
+            let net = self.gates[cyclic].output;
+            return Err(BuildNetlistError::CombinationalCycle {
+                net,
+                name: self.net_names[net.index()].clone(),
+            });
+        }
+        self.topo_order = order;
+        self.finalized = true;
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_kind_truth_tables() {
+        use GateKind::*;
+        assert!(And.eval(&[true, true]));
+        assert!(!And.eval(&[true, false]));
+        assert!(Or.eval(&[false, true]));
+        assert!(!Or.eval(&[false, false]));
+        assert!(Not.eval(&[false]));
+        assert!(!Not.eval(&[true]));
+        assert!(Buf.eval(&[true]));
+        assert!(Nand.eval(&[true, false]));
+        assert!(!Nand.eval(&[true, true]));
+        assert!(Nor.eval(&[false, false]));
+        assert!(!Nor.eval(&[true, false]));
+        assert!(Xor.eval(&[true, false, false]));
+        assert!(!Xor.eval(&[true, true, false]));
+        assert!(Xnor.eval(&[true, true]));
+        assert!(!Xnor.eval(&[true, false]));
+    }
+
+    #[test]
+    fn builder_and_stats() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.and2(a, b, "x");
+        let y = n.not(x, "y");
+        n.mark_output(y);
+        n.mark_output(y); // idempotent
+        let n = n.finalize().unwrap();
+        let s = n.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.nets, 4);
+        assert_eq!(n.net_name(a), "a");
+        assert!(n.is_output(y));
+        assert!(!n.is_output(x));
+        assert_eq!(n.name(), "t");
+    }
+
+    #[test]
+    fn input_bus_names_bits() {
+        let mut n = Netlist::new("t");
+        let bus = n.input_bus("addr", 3);
+        assert_eq!(bus.len(), 3);
+        assert_eq!(n.net_name(bus[2]), "addr[2]");
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        // Build a chain in reverse declaration order is impossible with the
+        // builder (outputs are fresh), so build forward and check order.
+        let b = n.not(a, "b");
+        let c = n.not(b, "c");
+        let d = n.and2(a, c, "d");
+        n.mark_output(d);
+        let n = n.finalize().unwrap();
+        let order = n.topo_order();
+        let pos = |gi: usize| order.iter().position(|&x| x == gi).unwrap();
+        assert!(pos(0) < pos(1)); // b before c
+        assert!(pos(1) < pos(2)); // c before d
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let fb = n.wire("fb");
+        let x = n.and2(a, fb, "x");
+        n.gate_into(GateKind::Not, &[x], fb); // fb = NOT(a AND fb): a loop
+        n.mark_output(x);
+        let err = n.finalize().unwrap_err();
+        assert!(matches!(err, BuildNetlistError::CombinationalCycle { .. }));
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn feedback_through_dff_is_legal() {
+        let mut n = Netlist::new("toggle");
+        let q = n.wire("q_comb_placeholder");
+        let _ = q; // wire() exists independent of DFF usage
+        let en = n.input("en");
+        let q_ff = n.dff(en, "q"); // q follows en one step late
+        let d = n.and2(en, q_ff, "d");
+        n.mark_output(d);
+        assert!(matches!(
+            n.finalize(),
+            Err(BuildNetlistError::Undriven { .. })
+        ));
+        // The placeholder wire above was never driven: that is the undriven
+        // error path. Rebuild without it to show DFF feedback itself is fine.
+        let mut n = Netlist::new("toggle");
+        let en = n.input("en");
+        let q_ff = n.dff(en, "q");
+        let d = n.and2(en, q_ff, "d");
+        n.mark_output(d);
+        assert!(n.finalize().is_ok());
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let w = n.wire("floating");
+        let y = n.and2(a, w, "y");
+        n.mark_output(y);
+        let err = n.finalize().unwrap_err();
+        assert!(matches!(err, BuildNetlistError::Undriven { .. }));
+        assert!(err.to_string().contains("no driver"));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.not(a, "y");
+        n.gate_into(GateKind::Not, &[b], y); // second driver on y
+        n.mark_output(y);
+        let err = n.finalize().unwrap_err();
+        assert!(matches!(err, BuildNetlistError::MultipleDrivers { .. }));
+        assert!(err.to_string().contains("multiple drivers"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn invalid_gate_arity_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let _ = n.gate(GateKind::Not, &[a, a], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn single_input_and_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let _ = n.gate(GateKind::And, &[a], "bad");
+    }
+}

@@ -1,0 +1,316 @@
+//! Two-valued logic simulation with per-net switching-activity counters.
+//!
+//! This is the measurement half of the SIS-replacement: apply input vectors,
+//! settle the combinational logic, and count how many nets toggled — the raw
+//! data behind every energy macromodel in the `ahbpower` crate.
+
+use crate::netlist::{NetId, Netlist};
+
+/// A logic simulator bound to a finalized [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{GateKind, LogicSim, Netlist};
+///
+/// let mut n = Netlist::new("inv");
+/// let a = n.input("a");
+/// let y = n.not(a, "y");
+/// n.mark_output(y);
+/// let n = n.finalize()?;
+///
+/// let mut sim = LogicSim::new(&n);
+/// sim.set_input(a, true);
+/// sim.settle();
+/// assert!(!sim.value(y));
+/// assert_eq!(sim.toggles(y), 1); // y fell from its settled initial value (true)
+/// # Ok::<(), ahbpower_gate::BuildNetlistError>(())
+/// ```
+#[derive(Debug)]
+pub struct LogicSim<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    toggles: Vec<u64>,
+    /// Vectors applied since the counters were last reset.
+    vectors: u64,
+}
+
+impl<'a> LogicSim<'a> {
+    /// Creates a simulator with all nets initially low, then settles the
+    /// combinational logic so internal nets are consistent.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut sim = LogicSim {
+            netlist,
+            values: vec![false; netlist.net_count()],
+            toggles: vec![0; netlist.net_count()],
+            vectors: 0,
+        };
+        // Initial settle establishes consistency without counting activity.
+        sim.propagate();
+        sim.reset_counters();
+        sim
+    }
+
+    /// Sets a primary-input value (takes effect at the next [`settle`]).
+    ///
+    /// [`settle`]: LogicSim::settle
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        if self.values[net.index()] != value {
+            self.values[net.index()] = value;
+            self.toggles[net.index()] += 1;
+        }
+    }
+
+    /// Sets a bus of primary inputs from the low bits of `value` (bit 0 ->
+    /// `nets[0]`).
+    pub fn set_bus(&mut self, nets: &[NetId], value: u64) {
+        for (i, net) in nets.iter().enumerate() {
+            self.set_input(*net, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Propagates input changes through the combinational logic, counting
+    /// every net that changes value.
+    pub fn settle(&mut self) {
+        self.vectors += 1;
+        self.eval_counting();
+    }
+
+    /// Advances one clock cycle: settles the combinational logic with the
+    /// current inputs, clocks every flip-flop (q <= d, all sampled before
+    /// any q updates), and settles again. Counts activity throughout.
+    pub fn step(&mut self) {
+        self.vectors += 1;
+        // Let pending input changes reach the d pins before the edge.
+        self.eval_counting();
+        let sampled: Vec<(NetId, bool)> = self
+            .netlist
+            .dffs()
+            .iter()
+            .map(|ff| (ff.q, self.values[ff.d.index()]))
+            .collect();
+        for (q, v) in sampled {
+            if self.values[q.index()] != v {
+                self.values[q.index()] = v;
+                self.toggles[q.index()] += 1;
+            }
+        }
+        self.eval_counting();
+    }
+
+    fn eval_counting(&mut self) {
+        for &gi in self.netlist.topo_order() {
+            let gate = &self.netlist.gates()[gi];
+            let inputs: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|n| self.values[n.index()])
+                .collect();
+            let new = gate.kind.eval(&inputs);
+            let out = gate.output.index();
+            if self.values[out] != new {
+                self.values[out] = new;
+                self.toggles[out] += 1;
+            }
+        }
+    }
+
+    /// Settles without counting (used for initialization).
+    fn propagate(&mut self) {
+        for &gi in self.netlist.topo_order() {
+            let gate = &self.netlist.gates()[gi];
+            let inputs: Vec<bool> = gate
+                .inputs
+                .iter()
+                .map(|n| self.values[n.index()])
+                .collect();
+            self.values[gate.output.index()] = gate.kind.eval(&inputs);
+        }
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Reads a bus as an integer (`nets[0]` is bit 0).
+    pub fn bus_value(&self, nets: &[NetId]) -> u64 {
+        nets.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, n)| acc | (u64::from(self.value(*n)) << i))
+    }
+
+    /// Toggle count of one net since the last counter reset.
+    pub fn toggles(&self, net: NetId) -> u64 {
+        self.toggles[net.index()]
+    }
+
+    /// Per-net toggle counters (indexed by net id).
+    pub fn toggle_counts(&self) -> &[u64] {
+        &self.toggles
+    }
+
+    /// Sum of all toggle counters.
+    pub fn total_toggles(&self) -> u64 {
+        self.toggles.iter().sum()
+    }
+
+    /// Number of vectors applied since the last reset.
+    pub fn vectors_applied(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Zeroes the activity counters (values are kept).
+    pub fn reset_counters(&mut self) {
+        self.toggles.iter_mut().for_each(|t| *t = 0);
+        self.vectors = 0;
+    }
+
+    /// The netlist this simulator runs.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GateKind;
+
+    fn xor_netlist() -> Netlist {
+        let mut n = Netlist::new("xor");
+        let a = n.input("a");
+        let b = n.input("b");
+        let y = n.gate(GateKind::Xor, &[a, b], "y");
+        n.mark_output(y);
+        n.finalize().unwrap()
+    }
+
+    #[test]
+    fn combinational_evaluation() {
+        let n = xor_netlist();
+        let (a, b) = (n.inputs()[0], n.inputs()[1]);
+        let y = n.outputs()[0];
+        let mut sim = LogicSim::new(&n);
+        for (va, vb, vy) in [
+            (false, false, false),
+            (true, false, true),
+            (true, true, false),
+            (false, true, true),
+        ] {
+            sim.set_input(a, va);
+            sim.set_input(b, vb);
+            sim.settle();
+            assert_eq!(sim.value(y), vy, "xor({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn toggle_counting() {
+        let n = xor_netlist();
+        let (a, b) = (n.inputs()[0], n.inputs()[1]);
+        let y = n.outputs()[0];
+        let mut sim = LogicSim::new(&n);
+        sim.set_input(a, true); // a: 1 toggle, y will toggle
+        sim.settle();
+        sim.set_input(b, true); // b: 1 toggle, y toggles back
+        sim.settle();
+        assert_eq!(sim.toggles(a), 1);
+        assert_eq!(sim.toggles(b), 1);
+        assert_eq!(sim.toggles(y), 2);
+        assert_eq!(sim.total_toggles(), 4);
+        assert_eq!(sim.vectors_applied(), 2);
+        sim.reset_counters();
+        assert_eq!(sim.total_toggles(), 0);
+        assert_eq!(sim.vectors_applied(), 0);
+    }
+
+    #[test]
+    fn same_vector_causes_no_activity() {
+        let n = xor_netlist();
+        let (a, b) = (n.inputs()[0], n.inputs()[1]);
+        let mut sim = LogicSim::new(&n);
+        sim.set_input(a, true);
+        sim.set_input(b, false);
+        sim.settle();
+        sim.reset_counters();
+        sim.set_input(a, true);
+        sim.set_input(b, false);
+        sim.settle();
+        assert_eq!(sim.total_toggles(), 0);
+    }
+
+    #[test]
+    fn bus_helpers_round_trip() {
+        let mut n = Netlist::new("bus");
+        let addr = n.input_bus("addr", 4);
+        let y = n.gate(GateKind::Or, &addr, "y");
+        n.mark_output(y);
+        let n = n.finalize().unwrap();
+        let addr: Vec<NetId> = n.inputs().to_vec();
+        let mut sim = LogicSim::new(&n);
+        sim.set_bus(&addr, 0b1010);
+        sim.settle();
+        assert_eq!(sim.bus_value(&addr), 0b1010);
+        assert!(sim.value(n.outputs()[0]));
+    }
+
+    #[test]
+    fn dff_step_registers_data() {
+        let mut n = Netlist::new("reg");
+        let d = n.input("d");
+        let q = n.dff(d, "q");
+        let y = n.not(q, "y");
+        n.mark_output(y);
+        let n = n.finalize().unwrap();
+        let d = n.inputs()[0];
+        let q = n.dffs()[0].q;
+        let mut sim = LogicSim::new(&n);
+        sim.set_input(d, true);
+        sim.settle();
+        assert!(!sim.value(q), "q updates only on step()");
+        sim.step();
+        assert!(sim.value(q));
+        assert!(!sim.value(n.outputs()[0]));
+        // Shift-register timing: change d, q keeps old value until next step.
+        sim.set_input(d, false);
+        sim.settle();
+        assert!(sim.value(q));
+        sim.step();
+        assert!(!sim.value(q));
+    }
+
+    #[test]
+    fn dffs_sample_before_update() {
+        // Two DFFs in a chain must shift, not fall through, in one step.
+        let mut n = Netlist::new("shift2");
+        let d = n.input("d");
+        let q0 = n.dff(d, "q0");
+        let q1 = n.dff(q0, "q1");
+        n.mark_output(q1);
+        let n = n.finalize().unwrap();
+        let d = n.inputs()[0];
+        let (q0, q1) = (n.dffs()[0].q, n.dffs()[1].q);
+        let mut sim = LogicSim::new(&n);
+        sim.set_input(d, true);
+        sim.step();
+        assert!(sim.value(q0));
+        assert!(!sim.value(q1), "value must take two steps to reach q1");
+        sim.step();
+        assert!(sim.value(q1));
+    }
+
+    #[test]
+    fn initialization_settles_without_counting() {
+        let mut n = Netlist::new("invchain");
+        let a = n.input("a");
+        let b = n.not(a, "b"); // b is true when a=false
+        let c = n.not(b, "c");
+        n.mark_output(c);
+        let n = n.finalize().unwrap();
+        let sim = LogicSim::new(&n);
+        // b settled to true during init but no toggles were counted.
+        assert!(sim.value(n.gates()[0].output));
+        assert_eq!(sim.total_toggles(), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Generators that synthesize the paper's AHB sub-blocks at gate level.
+//!
+//! The paper characterizes its macromodels against gate-level descriptions:
+//! the address decoder is "a simple one-hot decoding behavior ... synthesized
+//! only with NOT and AND gates"; multiplexers are AND-OR trees; the arbiter
+//! is a small priority network with registered grants. These generators
+//! produce exactly those structures so the `characterize` module can measure
+//! them.
+
+use crate::netlist::{GateKind, NetId, Netlist};
+
+/// Number of select/address bits needed to distinguish `n` alternatives.
+///
+/// Matches the paper's "first integer number greater than `log2(n_O - 1)`",
+/// which equals `ceil(log2(n))` for every `n >= 2`.
+pub fn addr_bits(n: usize) -> usize {
+    assert!(n >= 2, "need at least two alternatives");
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// A synthesized one-hot address decoder (NOT + AND gates only).
+#[derive(Debug)]
+pub struct Decoder {
+    /// The finalized netlist.
+    pub netlist: Netlist,
+    /// Address input nets (bit 0 first).
+    pub addr: Vec<NetId>,
+    /// One-hot output nets, `outputs[i]` high iff the address equals `i`.
+    pub outputs: Vec<NetId>,
+}
+
+/// Synthesizes a one-hot decoder with `n_outputs` outputs.
+///
+/// Outputs for addresses `>= n_outputs` simply do not exist (as in the
+/// paper's slave-select decoder, where unmapped addresses go to a default
+/// slave chosen elsewhere).
+///
+/// # Panics
+///
+/// Panics if `n_outputs < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{one_hot_decoder, LogicSim};
+///
+/// let dec = one_hot_decoder(4);
+/// let mut sim = LogicSim::new(&dec.netlist);
+/// sim.set_bus(&dec.addr, 2);
+/// sim.settle();
+/// assert_eq!(sim.bus_value(&dec.outputs), 0b0100);
+/// ```
+pub fn one_hot_decoder(n_outputs: usize) -> Decoder {
+    assert!(n_outputs >= 2, "decoder needs at least two outputs");
+    let n_in = addr_bits(n_outputs);
+    let mut n = Netlist::new(&format!("decoder{n_outputs}"));
+    let addr = n.input_bus("a", n_in);
+    let inv: Vec<NetId> = addr
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| n.not(a, &format!("na[{i}]")))
+        .collect();
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for code in 0..n_outputs {
+        let literals: Vec<NetId> = (0..n_in)
+            .map(|bit| {
+                if (code >> bit) & 1 == 1 {
+                    addr[bit]
+                } else {
+                    inv[bit]
+                }
+            })
+            .collect();
+        // AND chain of 2-input gates exposes internal nodes that switch.
+        let out = if literals.len() == 1 {
+            n.gate(GateKind::Buf, &[literals[0]], &format!("y[{code}]"))
+        } else {
+            let mut acc = literals[0];
+            for (k, &lit) in literals.iter().enumerate().skip(1) {
+                let name = if k == literals.len() - 1 {
+                    format!("y[{code}]")
+                } else {
+                    format!("y{code}_p{k}")
+                };
+                acc = n.and2(acc, lit, &name);
+            }
+            acc
+        };
+        n.mark_output(out);
+        outputs.push(out);
+    }
+    let netlist = n
+        .finalize()
+        .expect("generated decoder is structurally sound");
+    Decoder {
+        netlist,
+        addr,
+        outputs,
+    }
+}
+
+/// A synthesized AND-OR-tree multiplexer.
+#[derive(Debug)]
+pub struct Mux {
+    /// The finalized netlist.
+    pub netlist: Netlist,
+    /// `data[j]` is the bit vector of input channel `j` (bit 0 first).
+    pub data: Vec<Vec<NetId>>,
+    /// Select input nets (binary-encoded channel index, bit 0 first).
+    pub sel: Vec<NetId>,
+    /// Output bit nets (bit 0 first).
+    pub outputs: Vec<NetId>,
+}
+
+/// Synthesizes a `width`-bit multiplexer with `n_inputs` channels:
+/// a shared one-hot select decoder, per-bit AND gating and an OR tree.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `n_inputs < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{mux_tree, LogicSim};
+///
+/// let mux = mux_tree(8, 3);
+/// let mut sim = LogicSim::new(&mux.netlist);
+/// sim.set_bus(&mux.data[2], 0xAB);
+/// sim.set_bus(&mux.sel, 2);
+/// sim.settle();
+/// assert_eq!(sim.bus_value(&mux.outputs), 0xAB);
+/// ```
+pub fn mux_tree(width: usize, n_inputs: usize) -> Mux {
+    assert!(width > 0, "mux width must be positive");
+    assert!(n_inputs >= 2, "mux needs at least two inputs");
+    let s_bits = addr_bits(n_inputs);
+    let mut n = Netlist::new(&format!("mux{width}x{n_inputs}"));
+    let data: Vec<Vec<NetId>> = (0..n_inputs)
+        .map(|j| n.input_bus(&format!("d{j}"), width))
+        .collect();
+    let sel = n.input_bus("s", s_bits);
+    // Shared select decoder (NOT + AND), one line per channel.
+    let inv: Vec<NetId> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| n.not(s, &format!("ns[{i}]")))
+        .collect();
+    let mut lines = Vec::with_capacity(n_inputs);
+    for j in 0..n_inputs {
+        let literals: Vec<NetId> = (0..s_bits)
+            .map(|bit| if (j >> bit) & 1 == 1 { sel[bit] } else { inv[bit] })
+            .collect();
+        let line = if literals.len() == 1 {
+            n.gate(GateKind::Buf, &[literals[0]], &format!("line[{j}]"))
+        } else {
+            let mut acc = literals[0];
+            for (k, &lit) in literals.iter().enumerate().skip(1) {
+                let name = if k == literals.len() - 1 {
+                    format!("line[{j}]")
+                } else {
+                    format!("line{j}_p{k}")
+                };
+                acc = n.and2(acc, lit, &name);
+            }
+            acc
+        };
+        lines.push(line);
+    }
+    // Per output bit: gate each channel with its line, then OR-tree.
+    let mut outputs = Vec::with_capacity(width);
+    #[allow(clippy::needless_range_loop)] // k indexes into every channel's bit vector
+    for k in 0..width {
+        let mut layer: Vec<NetId> = (0..n_inputs)
+            .map(|j| n.and2(data[j][k], lines[j], &format!("g{k}_{j}")))
+            .collect();
+        let mut depth = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    let is_root = layer.len() == 2;
+                    let name = if is_root {
+                        format!("y[{k}]")
+                    } else {
+                        format!("or{k}_{depth}_{}", next.len())
+                    };
+                    next.push(n.or2(pair[0], pair[1], &name));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+            depth += 1;
+        }
+        let out = layer[0];
+        n.mark_output(out);
+        outputs.push(out);
+    }
+    let netlist = n.finalize().expect("generated mux is structurally sound");
+    Mux {
+        netlist,
+        data,
+        sel,
+        outputs,
+    }
+}
+
+/// A synthesized fixed-priority arbiter with registered grants.
+#[derive(Debug)]
+pub struct Arbiter {
+    /// The finalized netlist.
+    pub netlist: Netlist,
+    /// Request inputs, `req[0]` has the highest priority.
+    pub req: Vec<NetId>,
+    /// Combinational (next-cycle) grant nets, one-hot.
+    pub grant_next: Vec<NetId>,
+    /// Registered grant outputs (one-hot, updates on [`step`]).
+    ///
+    /// [`step`]: crate::LogicSim::step
+    pub grant: Vec<NetId>,
+}
+
+/// Synthesizes an `n`-master fixed-priority arbiter. Master 0 is also the
+/// default master: it is granted when nobody requests (as in AMBA AHB).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_gate::{priority_arbiter, LogicSim};
+///
+/// let arb = priority_arbiter(3);
+/// let mut sim = LogicSim::new(&arb.netlist);
+/// sim.set_input(arb.req[1], true);
+/// sim.set_input(arb.req[2], true);
+/// sim.step(); // grants are registered
+/// assert_eq!(sim.bus_value(&arb.grant), 0b010); // master 1 wins
+/// ```
+pub fn priority_arbiter(n_masters: usize) -> Arbiter {
+    assert!(n_masters >= 2, "arbiter needs at least two masters");
+    let mut n = Netlist::new(&format!("arbiter{n_masters}"));
+    let req = n.input_bus("req", n_masters);
+    // Cumulative "someone above me requested" chain.
+    let mut cum = req[0];
+    let mut cum_chain = vec![cum];
+    for (i, &r) in req.iter().enumerate().skip(1) {
+        cum = n.or2(cum, r, &format!("cum[{i}]"));
+        cum_chain.push(cum);
+    }
+    let any = cum_chain[n_masters - 1];
+    let none = n.not(any, "none");
+    // grant_next[0] = req[0] OR nobody-requests (default master).
+    let mut grant_next = Vec::with_capacity(n_masters);
+    grant_next.push(n.or2(req[0], none, "gn[0]"));
+    for i in 1..n_masters {
+        let above = cum_chain[i - 1];
+        let quiet = n.not(above, &format!("quiet[{i}]"));
+        grant_next.push(n.and2(req[i], quiet, &format!("gn[{i}]")));
+    }
+    let grant: Vec<NetId> = grant_next
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| n.dff(g, &format!("grant[{i}]")))
+        .collect();
+    for &g in &grant {
+        n.mark_output(g);
+    }
+    let netlist = n
+        .finalize()
+        .expect("generated arbiter is structurally sound");
+    Arbiter {
+        netlist,
+        req,
+        grant_next,
+        grant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::LogicSim;
+
+    #[test]
+    fn addr_bits_matches_paper_formula() {
+        // "first integer greater than log2(n_O - 1)"
+        assert_eq!(addr_bits(2), 1);
+        assert_eq!(addr_bits(3), 2);
+        assert_eq!(addr_bits(4), 2);
+        assert_eq!(addr_bits(5), 3);
+        assert_eq!(addr_bits(8), 3);
+        assert_eq!(addr_bits(9), 4);
+        assert_eq!(addr_bits(16), 4);
+    }
+
+    #[test]
+    fn decoder_is_one_hot_for_all_codes() {
+        for n_out in [2usize, 3, 4, 5, 8, 11, 16] {
+            let dec = one_hot_decoder(n_out);
+            let mut sim = LogicSim::new(&dec.netlist);
+            for code in 0..n_out {
+                sim.set_bus(&dec.addr, code as u64);
+                sim.settle();
+                assert_eq!(
+                    sim.bus_value(&dec.outputs),
+                    1u64 << code,
+                    "decoder({n_out}) code {code}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_uses_only_not_and_buf_and() {
+        let dec = one_hot_decoder(8);
+        for g in dec.netlist.gates() {
+            assert!(
+                matches!(g.kind, GateKind::Not | GateKind::And | GateKind::Buf),
+                "unexpected gate {:?}",
+                g.kind
+            );
+        }
+    }
+
+    #[test]
+    fn mux_selects_each_channel() {
+        let mux = mux_tree(16, 5);
+        let mut sim = LogicSim::new(&mux.netlist);
+        for (j, pattern) in [(0usize, 0x1234u64), (1, 0xFFFF), (2, 0x0001), (3, 0x8000), (4, 0xA5A5)]
+        {
+            for (ch, bits) in mux.data.iter().enumerate() {
+                sim.set_bus(bits, if ch == j { pattern } else { !pattern & 0xFFFF });
+            }
+            sim.set_bus(&mux.sel, j as u64);
+            sim.settle();
+            assert_eq!(sim.bus_value(&mux.outputs), pattern, "channel {j}");
+        }
+    }
+
+    #[test]
+    fn mux_output_follows_selected_input_changes_only() {
+        let mux = mux_tree(8, 2);
+        let mut sim = LogicSim::new(&mux.netlist);
+        sim.set_bus(&mux.data[0], 0x00);
+        sim.set_bus(&mux.data[1], 0xFF);
+        sim.set_bus(&mux.sel, 0);
+        sim.settle();
+        sim.reset_counters();
+        // Changing the unselected channel must not move the output.
+        sim.set_bus(&mux.data[1], 0x0F);
+        sim.settle();
+        assert_eq!(sim.bus_value(&mux.outputs), 0x00);
+        let out_toggles: u64 = mux.outputs.iter().map(|&o| sim.toggles(o)).sum();
+        assert_eq!(out_toggles, 0);
+    }
+
+    #[test]
+    fn arbiter_grants_highest_priority_requester() {
+        let arb = priority_arbiter(4);
+        let mut sim = LogicSim::new(&arb.netlist);
+        sim.set_bus(&arb.req, 0b1100); // masters 2 and 3 request
+        sim.step();
+        assert_eq!(sim.bus_value(&arb.grant), 0b0100); // master 2 wins
+        sim.set_bus(&arb.req, 0b1101);
+        sim.step();
+        assert_eq!(sim.bus_value(&arb.grant), 0b0001); // master 0 preempts
+    }
+
+    #[test]
+    fn arbiter_default_master_when_idle() {
+        let arb = priority_arbiter(3);
+        let mut sim = LogicSim::new(&arb.netlist);
+        sim.set_bus(&arb.req, 0);
+        sim.step();
+        assert_eq!(sim.bus_value(&arb.grant), 0b001, "default master granted");
+    }
+
+    #[test]
+    fn arbiter_grant_is_registered_one_cycle_late() {
+        let arb = priority_arbiter(2);
+        let mut sim = LogicSim::new(&arb.netlist);
+        sim.set_bus(&arb.req, 0b10);
+        sim.settle(); // combinational only: grant_next moves, grant does not
+        assert_eq!(sim.bus_value(&arb.grant), 0b00);
+        let gn: u64 = sim.bus_value(&arb.grant_next);
+        assert_eq!(gn, 0b10);
+        sim.step();
+        assert_eq!(sim.bus_value(&arb.grant), 0b10);
+    }
+
+    #[test]
+    fn grant_is_always_one_hot() {
+        let arb = priority_arbiter(4);
+        let mut sim = LogicSim::new(&arb.netlist);
+        for pattern in 0u64..16 {
+            sim.set_bus(&arb.req, pattern);
+            sim.step();
+            let g = sim.bus_value(&arb.grant);
+            assert_eq!(g.count_ones(), 1, "req {pattern:04b} -> grant {g:04b}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests of the gate-level substrate.
+
+use ahbpower_gate::{
+    check_equivalence, from_blif, mux_tree, one_hot_decoder, priority_arbiter, switching_energy,
+    to_blif, GateKind, LogicSim, Netlist, TechParams,
+};
+use proptest::prelude::*;
+
+/// A random combinational netlist description: `(n_inputs, gate plan)` where
+/// each gate picks a kind and input indices from the nets created so far.
+fn arb_netlist_plan() -> impl Strategy<Value = (usize, Vec<(u8, u16, u16, u16)>)> {
+    (
+        2usize..6,
+        prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()), 1..15),
+    )
+}
+
+fn build_from_plan(n_inputs: usize, plan: &[(u8, u16, u16, u16)]) -> Netlist {
+    let kinds = [
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+    let mut n = Netlist::new("random");
+    let mut nets = n.input_bus("x", n_inputs);
+    for (gi, (k, a, b, c)) in plan.iter().enumerate() {
+        let kind = kinds[*k as usize % kinds.len()];
+        let pick = |sel: u16, nets: &[ahbpower_gate::NetId]| nets[sel as usize % nets.len()];
+        let out = match kind {
+            GateKind::Buf | GateKind::Not => {
+                n.gate(kind, &[pick(*a, &nets)], &format!("g{gi}"))
+            }
+            _ => {
+                // 2 or 3 inputs depending on the third selector's parity.
+                if c % 2 == 0 {
+                    n.gate(kind, &[pick(*a, &nets), pick(*b, &nets)], &format!("g{gi}"))
+                } else {
+                    n.gate(
+                        kind,
+                        &[pick(*a, &nets), pick(*b, &nets), pick(*c, &nets)],
+                        &format!("g{gi}"),
+                    )
+                }
+            }
+        };
+        nets.push(out);
+    }
+    let last = *nets.last().expect("at least the inputs exist");
+    n.mark_output(last);
+    n.finalize().expect("plan-built netlists are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The decoder output is one-hot and matches the input code for every
+    /// size and code, including after arbitrary code sequences.
+    #[test]
+    fn decoder_tracks_any_code_sequence(
+        n_out in 2usize..17,
+        codes in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let dec = one_hot_decoder(n_out);
+        let mut sim = LogicSim::new(&dec.netlist);
+        for c in codes {
+            let code = c % n_out as u64;
+            sim.set_bus(&dec.addr, code);
+            sim.settle();
+            prop_assert_eq!(sim.bus_value(&dec.outputs), 1u64 << code);
+        }
+    }
+
+    /// The mux always outputs the selected channel's data.
+    #[test]
+    fn mux_outputs_selected_channel(
+        width in 1usize..33,
+        n in 2usize..7,
+        data in prop::collection::vec(any::<u64>(), 6),
+        sel in any::<usize>(),
+    ) {
+        let mux = mux_tree(width, n);
+        let mut sim = LogicSim::new(&mux.netlist);
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        for (j, bits) in mux.data.iter().enumerate() {
+            sim.set_bus(bits, data[j % data.len()] & mask);
+        }
+        let ch = sel % n;
+        sim.set_bus(&mux.sel, ch as u64);
+        sim.settle();
+        prop_assert_eq!(sim.bus_value(&mux.outputs), data[ch % data.len()] & mask);
+    }
+
+    /// The arbiter always produces a one-hot grant and honours priority.
+    #[test]
+    fn arbiter_priority_invariant(
+        n in 2usize..9,
+        reqs in prop::collection::vec(any::<u16>(), 1..20),
+    ) {
+        let arb = priority_arbiter(n);
+        let mut sim = LogicSim::new(&arb.netlist);
+        for r in reqs {
+            let pattern = u64::from(r) & ((1 << n) - 1);
+            sim.set_bus(&arb.req, pattern);
+            sim.step();
+            let grant = sim.bus_value(&arb.grant);
+            prop_assert_eq!(grant.count_ones(), 1);
+            if pattern != 0 {
+                let winner = pattern.trailing_zeros();
+                prop_assert_eq!(grant, 1 << winner, "req {:b}", pattern);
+            } else {
+                prop_assert_eq!(grant, 1, "default master");
+            }
+        }
+    }
+
+    /// Applying a vector twice in a row never adds activity; toggles are
+    /// reversible (returning to a previous vector costs the same).
+    #[test]
+    fn activity_is_change_driven(
+        width in 2usize..16,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let mut n = Netlist::new("xor_reduce");
+        let ins = n.input_bus("x", width);
+        let y = n.gate(GateKind::Xor, &ins, "y");
+        n.mark_output(y);
+        let n = n.finalize().expect("sound");
+        let ins: Vec<_> = n.inputs().to_vec();
+        let mut sim = LogicSim::new(&n);
+        sim.set_bus(&ins, a);
+        sim.settle();
+        sim.reset_counters();
+        sim.set_bus(&ins, a);
+        sim.settle();
+        prop_assert_eq!(sim.total_toggles(), 0, "no change, no activity");
+        sim.set_bus(&ins, b);
+        sim.settle();
+        let forward = sim.total_toggles();
+        sim.reset_counters();
+        sim.set_bus(&ins, a);
+        sim.settle();
+        let back = sim.total_toggles();
+        prop_assert_eq!(forward, back, "a->b and b->a toggle the same nets");
+    }
+
+    /// Energy equals (toggle count) x (per-toggle energy) for single-node
+    /// netlists, for any tech parameters.
+    #[test]
+    fn energy_scales_with_toggles(
+        vdd in 0.5f64..5.0,
+        c in 1e-15f64..1e-12,
+        flips in 1usize..30,
+    ) {
+        let mut n = Netlist::new("inv");
+        let a = n.input("a");
+        let y = n.not(a, "y");
+        n.mark_output(y);
+        let n = n.finalize().expect("sound");
+        let a = n.inputs()[0];
+        let mut sim = LogicSim::new(&n);
+        for i in 0..flips {
+            sim.set_input(a, i % 2 == 0);
+            sim.settle();
+        }
+        let tech = TechParams { vdd, c_internal: c, c_output: c };
+        let e = switching_energy(&sim, &tech);
+        let expect = flips as f64 * c * vdd * vdd / 4.0;
+        prop_assert!((e - expect).abs() < 1e-9 * expect, "{e} vs {expect}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random combinational netlist survives a BLIF round-trip with its
+    /// boolean function provably intact.
+    #[test]
+    fn blif_round_trip_preserves_function((n_inputs, plan) in arb_netlist_plan()) {
+        let original = build_from_plan(n_inputs, &plan);
+        let blif = to_blif(&original);
+        let parsed = from_blif(&blif)
+            .map_err(|e| TestCaseError::fail(format!("parse: {e}\n{blif}")))?;
+        check_equivalence(&original, &parsed)
+            .map_err(|e| TestCaseError::fail(format!("equivalence: {e}\n{blif}")))?;
+    }
+}
+
+#[test]
+fn decoder_gate_count_grows_linearly_with_outputs() {
+    let g4 = one_hot_decoder(4).netlist.stats().gates;
+    let g8 = one_hot_decoder(8).netlist.stats().gates;
+    let g16 = one_hot_decoder(16).netlist.stats().gates;
+    assert!(g8 > g4 && g16 > g8);
+    // AND-chain construction: roughly n_out * (n_in - 1) + n_in gates.
+    assert_eq!(g16, 16 * 3 + 4);
+}

@@ -1,0 +1,81 @@
+//! Timed events: the kernel's future-time agenda.
+
+use std::cmp::Ordering;
+
+use crate::process::ProcessId;
+use crate::signal::SignalId;
+use crate::time::SimTime;
+
+/// What happens when a timed event fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Make a process runnable.
+    Wake(ProcessId),
+    /// Toggle a `Signal<bool>` and reschedule after `half_period`
+    /// (free-running clock generator).
+    ClockToggle {
+        signal: SignalId,
+        half_period: SimTime,
+    },
+}
+
+/// An event scheduled at an absolute time. `seq` breaks ties so that events
+/// scheduled earlier fire earlier (stable FIFO order at equal timestamps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TimedEvent {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl Ord for TimedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(t: u64, seq: u64) -> TimedEvent {
+        TimedEvent {
+            time: SimTime::from_ps(t),
+            seq,
+            kind: EventKind::Wake(ProcessId(0)),
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(30, 0));
+        h.push(ev(10, 1));
+        h.push(ev(20, 2));
+        assert_eq!(h.pop().unwrap().time, SimTime::from_ps(10));
+        assert_eq!(h.pop().unwrap().time, SimTime::from_ps(20));
+        assert_eq!(h.pop().unwrap().time, SimTime::from_ps(30));
+    }
+
+    #[test]
+    fn equal_times_pop_in_schedule_order() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 5));
+        h.push(ev(10, 2));
+        h.push(ev(10, 9));
+        assert_eq!(h.pop().unwrap().seq, 2);
+        assert_eq!(h.pop().unwrap().seq, 5);
+        assert_eq!(h.pop().unwrap().seq, 9);
+    }
+}

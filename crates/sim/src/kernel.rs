@@ -1,0 +1,876 @@
+//! The discrete-event simulation kernel.
+//!
+//! Semantics mirror SystemC's evaluate/update model:
+//!
+//! 1. **Evaluate**: every runnable process executes; signal writes are
+//!    buffered as *next* values and are not yet visible.
+//! 2. **Update**: buffered writes commit; signals whose value actually
+//!    changed notify their sensitive processes, which become runnable in the
+//!    next *delta cycle* at the same simulation time.
+//! 3. When no process is runnable, time advances to the earliest timed event.
+
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+use crate::event::{EventKind, TimedEvent};
+use crate::process::{Process, ProcessBody, ProcessId};
+use crate::signal::{AnySlot, Signal, SignalId, Slot};
+use crate::time::SimTime;
+use crate::trace::{VcdTrace, VcdVarId};
+use crate::value::SignalValue;
+
+/// Errors produced while running a [`Kernel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The delta-cycle count at a single timestamp exceeded the configured
+    /// limit — almost always a zero-delay feedback loop in the model.
+    DeltaLimit {
+        /// Timestamp at which the model failed to settle.
+        time: SimTime,
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DeltaLimit { time, limit } => write!(
+                f,
+                "model did not settle at {time}: more than {limit} delta cycles (combinational loop?)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Cumulative kernel statistics, useful for overhead studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Total delta cycles executed.
+    pub deltas: u64,
+    /// Total process activations.
+    pub activations: u64,
+    /// Total committed signal value changes.
+    pub signal_changes: u64,
+}
+
+/// The simulation kernel: owns signals, processes and the event agenda.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_sim::{Kernel, SimTime};
+///
+/// let mut k = Kernel::new();
+/// let clk = k.clock("clk", SimTime::from_ns(10));
+/// let count = k.signal("count", 0u32);
+/// k.process("counter", &[clk.id()], move |ctx| {
+///     if ctx.posedge(clk) {
+///         let c = ctx.read(count);
+///         ctx.write(count, c + 1);
+///     }
+/// });
+/// k.run_until(SimTime::from_ns(100))?;
+/// assert_eq!(k.read(count), 10);
+/// # Ok::<(), ahbpower_sim::SimError>(())
+/// ```
+pub struct Kernel {
+    now: SimTime,
+    slots: Vec<Box<dyn AnySlot>>,
+    processes: Vec<Process>,
+    /// Per-signal list of sensitive processes.
+    sensitive: Vec<Vec<ProcessId>>,
+    /// Per-signal one-shot waiters (dynamic sensitivity).
+    waiters: Vec<Vec<ProcessId>>,
+    queue: BinaryHeap<TimedEvent>,
+    seq: u64,
+    runnable: Vec<ProcessId>,
+    pending_writes: Vec<SignalId>,
+    recently_changed: Vec<SignalId>,
+    deltas_at_now: u64,
+    delta_limit: u64,
+    stop_requested: bool,
+    initialized: bool,
+    tracer: Option<VcdTrace>,
+    /// Signals with a declared VCD variable.
+    traced: Vec<Option<VcdVarId>>,
+    stats: KernelStats,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("now", &self.now)
+            .field("signals", &self.slots.len())
+            .field("processes", &self.processes.len())
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates an empty kernel at time zero.
+    pub fn new() -> Self {
+        Kernel {
+            now: SimTime::ZERO,
+            slots: Vec::new(),
+            processes: Vec::new(),
+            sensitive: Vec::new(),
+            waiters: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            runnable: Vec::new(),
+            pending_writes: Vec::new(),
+            recently_changed: Vec::new(),
+            deltas_at_now: 0,
+            delta_limit: 10_000,
+            stop_requested: false,
+            initialized: false,
+            tracer: None,
+            traced: Vec::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Sets the maximum number of delta cycles allowed at one timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn set_delta_limit(&mut self, limit: u64) {
+        assert!(limit > 0, "delta limit must be positive");
+        self.delta_limit = limit;
+    }
+
+    /// Creates a new signal carrying `initial`.
+    pub fn signal<T: SignalValue>(&mut self, name: &str, initial: T) -> Signal<T> {
+        let id = SignalId(self.slots.len() as u32);
+        self.slots.push(Box::new(Slot::new(name.to_string(), initial)));
+        self.sensitive.push(Vec::new());
+        self.waiters.push(Vec::new());
+        Signal::new(id)
+    }
+
+    fn slot<T: SignalValue>(&self, s: Signal<T>) -> &Slot<T> {
+        self.slots[s.id.index()]
+            .as_any()
+            .downcast_ref::<Slot<T>>()
+            .expect("signal handle used with a kernel of a different type")
+    }
+
+    fn slot_mut<T: SignalValue>(&mut self, s: Signal<T>) -> &mut Slot<T> {
+        self.slots[s.id.index()]
+            .as_any_mut()
+            .downcast_mut::<Slot<T>>()
+            .expect("signal handle used with a kernel of a different type")
+    }
+
+    /// Reads the committed value of a signal.
+    pub fn read<T: SignalValue>(&self, s: Signal<T>) -> T {
+        self.slot(s).current.clone()
+    }
+
+    /// Buffers a write; it commits at the next update phase.
+    pub fn write<T: SignalValue>(&mut self, s: Signal<T>, value: T) {
+        let slot = self.slot_mut(s);
+        if slot.next.is_none() {
+            self.pending_writes.push(s.id);
+        }
+        let slot = self.slot_mut(s);
+        slot.next = Some(value);
+    }
+
+    /// True iff `s` changed value in the most recent update phase.
+    pub fn changed<T: SignalValue>(&self, s: Signal<T>) -> bool {
+        self.slots[s.id.index()].recently_changed()
+    }
+
+    /// True iff `s` rose to `true` in the most recent update phase.
+    pub fn posedge(&self, s: Signal<bool>) -> bool {
+        self.changed(s) && self.read(s)
+    }
+
+    /// True iff `s` fell to `false` in the most recent update phase.
+    pub fn negedge(&self, s: Signal<bool>) -> bool {
+        self.changed(s) && !self.read(s)
+    }
+
+    /// Time of the last committed change of `s`.
+    pub fn last_change<T: SignalValue>(&self, s: Signal<T>) -> SimTime {
+        self.slots[s.id.index()].last_change()
+    }
+
+    /// The name a signal was registered with.
+    pub fn signal_name(&self, id: SignalId) -> &str {
+        self.slots[id.index()].name()
+    }
+
+    /// Debug rendering of a signal's current value (for diagnostics).
+    pub fn signal_value_string(&self, id: SignalId) -> String {
+        self.slots[id.index()].debug_value()
+    }
+
+    /// The name a process was registered with.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.processes[pid.index()].name
+    }
+
+    /// The static sensitivity list of a process.
+    pub fn process_sensitivity(&self, pid: ProcessId) -> &[SignalId] {
+        &self.processes[pid.index()].sensitivity
+    }
+
+    /// Registers a process sensitive to the given signals. Every process also
+    /// runs once during initialization at time zero.
+    pub fn process(
+        &mut self,
+        name: &str,
+        sensitivity: &[SignalId],
+        body: impl FnMut(&mut ProcCtx<'_>) + 'static,
+    ) -> ProcessId {
+        let pid = ProcessId(self.processes.len() as u32);
+        let sens: Vec<SignalId> = sensitivity.to_vec();
+        for id in &sens {
+            self.sensitive[id.index()].push(pid);
+        }
+        self.processes
+            .push(Process::new(name.to_string(), sens, Box::new(body) as ProcessBody));
+        pid
+    }
+
+    /// Schedules a process wake-up at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn wake_at(&mut self, pid: ProcessId, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule a wake-up in the past");
+        self.push_event(at, EventKind::Wake(pid));
+    }
+
+    /// Registers `pid` to run once when `id` next changes value (dynamic
+    /// sensitivity; cleared after firing).
+    pub fn wake_on_change(&mut self, pid: ProcessId, id: SignalId) {
+        if !self.waiters[id.index()].contains(&pid) {
+            self.waiters[id.index()].push(pid);
+        }
+    }
+
+    /// Creates a free-running clock signal: starts low, first rising edge at
+    /// `period / 2`, then toggles every half period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd (in picoseconds).
+    pub fn clock(&mut self, name: &str, period: SimTime) -> Signal<bool> {
+        assert!(period > SimTime::ZERO, "clock period must be positive");
+        assert!(
+            period.as_ps().is_multiple_of(2),
+            "clock period must be an even number of picoseconds"
+        );
+        let half = SimTime::from_ps(period.as_ps() / 2);
+        let sig = self.signal(name, false);
+        self.push_event(
+            self.now + half,
+            EventKind::ClockToggle {
+                signal: sig.id,
+                half_period: half,
+            },
+        );
+        sig
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(TimedEvent { time, seq, kind });
+    }
+
+    /// Requests the run loop to stop after the current delta cycle.
+    pub fn request_stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// True if a stop was requested (and not yet cleared by a new run).
+    pub fn stop_requested(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// Enables VCD tracing of `s`. Call before running for a complete dump.
+    pub fn trace<T: SignalValue>(&mut self, s: Signal<T>) {
+        let width = match self.slots[s.id.index()].vcd_width() {
+            Some(w) => w,
+            None => return,
+        };
+        let name = self.slots[s.id.index()].name().to_string();
+        let initial = self.slots[s.id.index()].vcd_bits();
+        let var = self
+            .tracer
+            .get_or_insert_with(VcdTrace::new)
+            .add_var(&name, width, &initial);
+        if self.traced.len() <= s.id.index() {
+            self.traced.resize(s.id.index() + 1, None);
+        }
+        self.traced[s.id.index()] = Some(var);
+    }
+
+    /// Returns the VCD trace accumulated so far, if tracing was enabled.
+    pub fn vcd(&self) -> Option<String> {
+        self.tracer.as_ref().map(VcdTrace::render)
+    }
+
+    /// Runs until simulation time reaches `until`, all activity is exhausted,
+    /// or a stop is requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DeltaLimit`] if the model fails to settle at a
+    /// single timestamp.
+    pub fn run_until(&mut self, until: SimTime) -> Result<(), SimError> {
+        self.stop_requested = false;
+        if !self.initialized {
+            self.initialized = true;
+            for pid in 0..self.processes.len() {
+                self.enqueue(ProcessId(pid as u32));
+            }
+        }
+        loop {
+            if self.stop_requested {
+                return Ok(());
+            }
+            if !self.runnable.is_empty() {
+                self.execute_delta()?;
+                continue;
+            }
+            if !self.pending_writes.is_empty() {
+                self.bump_delta()?;
+                self.update_and_notify();
+                continue;
+            }
+            // Quiescent: advance time.
+            let next_time = match self.queue.peek() {
+                Some(ev) => ev.time,
+                None => {
+                    self.now = until;
+                    return Ok(());
+                }
+            };
+            if next_time > until {
+                self.now = until;
+                return Ok(());
+            }
+            self.advance_to(next_time);
+        }
+    }
+
+    /// Runs for a relative duration from the current time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Kernel::run_until`].
+    pub fn run_for(&mut self, duration: SimTime) -> Result<(), SimError> {
+        self.run_until(self.now.saturating_add(duration))
+    }
+
+    fn advance_to(&mut self, time: SimTime) {
+        self.now = time;
+        self.deltas_at_now = 0;
+        // Edge flags from the previous timestamp must not leak forward.
+        for id in self.recently_changed.drain(..) {
+            self.slots[id.index()].clear_recent_change();
+        }
+        while let Some(ev) = self.queue.peek() {
+            if ev.time != time {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            match ev.kind {
+                EventKind::Wake(pid) => self.enqueue(pid),
+                EventKind::ClockToggle {
+                    signal,
+                    half_period,
+                } => {
+                    self.toggle_bool(signal);
+                    self.push_event(
+                        time + half_period,
+                        EventKind::ClockToggle {
+                            signal,
+                            half_period,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn toggle_bool(&mut self, id: SignalId) {
+        let slot = self.slots[id.index()]
+            .as_any_mut()
+            .downcast_mut::<Slot<bool>>()
+            .expect("clock toggle on a non-bool signal");
+        let v = !slot.current;
+        if slot.next.is_none() {
+            self.pending_writes.push(id);
+        }
+        let slot = self.slots[id.index()]
+            .as_any_mut()
+            .downcast_mut::<Slot<bool>>()
+            .expect("clock toggle on a non-bool signal");
+        slot.next = Some(v);
+    }
+
+    fn enqueue(&mut self, pid: ProcessId) {
+        let p = &mut self.processes[pid.index()];
+        if !p.queued {
+            p.queued = true;
+            self.runnable.push(pid);
+        }
+    }
+
+    fn bump_delta(&mut self) -> Result<(), SimError> {
+        self.deltas_at_now += 1;
+        self.stats.deltas += 1;
+        if self.deltas_at_now > self.delta_limit {
+            return Err(SimError::DeltaLimit {
+                time: self.now,
+                limit: self.delta_limit,
+            });
+        }
+        Ok(())
+    }
+
+    fn execute_delta(&mut self) -> Result<(), SimError> {
+        self.bump_delta()?;
+        let to_run = std::mem::take(&mut self.runnable);
+        for pid in &to_run {
+            self.processes[pid.index()].queued = false;
+        }
+        for pid in to_run {
+            let mut body = self.processes[pid.index()]
+                .body
+                .take()
+                .expect("process body re-entered");
+            let mut ctx = ProcCtx { kernel: self, pid };
+            body(&mut ctx);
+            self.stats.activations += 1;
+            self.processes[pid.index()].body = Some(body);
+        }
+        self.update_and_notify();
+        Ok(())
+    }
+
+    fn update_and_notify(&mut self) {
+        for id in self.recently_changed.drain(..) {
+            self.slots[id.index()].clear_recent_change();
+        }
+        let writes = std::mem::take(&mut self.pending_writes);
+        for id in writes {
+            if self.slots[id.index()].apply_update(self.now) {
+                self.stats.signal_changes += 1;
+                self.recently_changed.push(id);
+                if let Some(tr) = &mut self.tracer {
+                    if let Some(Some(var)) = self.traced.get(id.index()) {
+                        let bits = self.slots[id.index()].vcd_bits();
+                        tr.record_var(self.now, *var, &bits);
+                    }
+                }
+                let sensitive = std::mem::take(&mut self.sensitive[id.index()]);
+                for pid in &sensitive {
+                    self.enqueue(*pid);
+                }
+                self.sensitive[id.index()] = sensitive;
+                for pid in std::mem::take(&mut self.waiters[id.index()]) {
+                    self.enqueue(pid);
+                }
+            }
+        }
+    }
+}
+
+/// Execution context handed to a running process.
+///
+/// Gives the process read/write access to signals, the current time, and
+/// scheduling facilities.
+pub struct ProcCtx<'a> {
+    kernel: &'a mut Kernel,
+    pid: ProcessId,
+}
+
+impl ProcCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// The id of the running process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// Reads the committed value of a signal.
+    pub fn read<T: SignalValue>(&self, s: Signal<T>) -> T {
+        self.kernel.read(s)
+    }
+
+    /// Buffers a write; it commits at the next update phase.
+    pub fn write<T: SignalValue>(&mut self, s: Signal<T>, value: T) {
+        self.kernel.write(s, value);
+    }
+
+    /// True iff `s` changed in the update phase that triggered this delta.
+    pub fn changed<T: SignalValue>(&self, s: Signal<T>) -> bool {
+        self.kernel.changed(s)
+    }
+
+    /// True iff `s` rose to `true` in the triggering update phase.
+    pub fn posedge(&self, s: Signal<bool>) -> bool {
+        self.kernel.posedge(s)
+    }
+
+    /// True iff `s` fell to `false` in the triggering update phase.
+    pub fn negedge(&self, s: Signal<bool>) -> bool {
+        self.kernel.negedge(s)
+    }
+
+    /// Schedules this process to run again after `delay`.
+    pub fn wake_after(&mut self, delay: SimTime) {
+        let at = self.kernel.now.saturating_add(delay);
+        self.kernel.wake_at(self.pid, at);
+    }
+
+    /// Schedules this process to run again at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn wake_at(&mut self, at: SimTime) {
+        self.kernel.wake_at(self.pid, at);
+    }
+
+    /// Requests the simulation to stop after the current delta cycle.
+    pub fn stop(&mut self) {
+        self.kernel.request_stop();
+    }
+
+    /// Runs this process once when `s` next changes (one-shot dynamic
+    /// sensitivity, SystemC's `next_trigger`-style).
+    pub fn wake_on_change<T: SignalValue>(&mut self, s: Signal<T>) {
+        let pid = self.pid;
+        self.kernel.wake_on_change(pid, s.id());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signals_have_initial_values() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", 41u32);
+        assert_eq!(k.read(a), 41);
+        assert_eq!(k.signal_name(a.id()), "a");
+    }
+
+    #[test]
+    fn writes_commit_at_update_phase() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", 0u32);
+        let b = k.signal("b", 0u32);
+        // b follows a + 1.
+        k.process("follow", &[a.id()], move |ctx| {
+            let v = ctx.read(a);
+            ctx.write(b, v + 1);
+        });
+        k.write(a, 10);
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        assert_eq!(k.read(a), 10);
+        assert_eq!(k.read(b), 11);
+    }
+
+    #[test]
+    fn chained_processes_settle_over_deltas() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", 0u32);
+        let b = k.signal("b", 0u32);
+        let c = k.signal("c", 0u32);
+        k.process("ab", &[a.id()], move |ctx| {
+            let v = ctx.read(a);
+            ctx.write(b, v * 2);
+        });
+        k.process("bc", &[b.id()], move |ctx| {
+            let v = ctx.read(b);
+            ctx.write(c, v + 1);
+        });
+        k.write(a, 5);
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        assert_eq!(k.read(c), 11);
+        // No timed events: the kernel still reaches the requested horizon.
+        assert_eq!(k.now(), SimTime::from_ns(1));
+    }
+
+    #[test]
+    fn clock_produces_expected_edges() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let edges = k.signal("edges", 0u32);
+        k.process("count", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let e = ctx.read(edges);
+                ctx.write(edges, e + 1);
+            }
+        });
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        // Rising edges at 5, 15, ..., 95 ns -> 10 edges.
+        assert_eq!(k.read(edges), 10);
+    }
+
+    #[test]
+    fn negedge_and_changed() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let falls = k.signal("falls", 0u32);
+        k.process("count", &[clk.id()], move |ctx| {
+            assert!(ctx.changed(clk) || ctx.now() == SimTime::ZERO);
+            if ctx.negedge(clk) {
+                let f = ctx.read(falls);
+                ctx.write(falls, f + 1);
+            }
+        });
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        // Falling edges at 10, 20, ..., 100 ns (the event at exactly 100 ns
+        // still fires) -> 10 edges.
+        assert_eq!(k.read(falls), 10);
+    }
+
+    #[test]
+    fn same_value_write_does_not_wake_sensitive_process() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", 3u32);
+        let runs = k.signal("runs", 0u32);
+        k.process("watch", &[a.id()], move |ctx| {
+            let r = ctx.read(runs);
+            ctx.write(runs, r + 1);
+        });
+        k.run_until(SimTime::ZERO).unwrap();
+        let after_init = k.read(runs);
+        k.write(a, 3); // same value: no change, no wake
+        k.run_until(SimTime::from_ns(1)).unwrap();
+        assert_eq!(k.read(runs), after_init);
+        k.write(a, 4);
+        k.run_until(SimTime::from_ns(2)).unwrap();
+        assert_eq!(k.read(runs), after_init + 1);
+    }
+
+    #[test]
+    fn delta_limit_detects_oscillation() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", false);
+        k.set_delta_limit(50);
+        // Zero-delay inverter feeding itself: never settles.
+        k.process("osc", &[a.id()], move |ctx| {
+            let v = ctx.read(a);
+            ctx.write(a, !v);
+        });
+        let err = k.run_until(SimTime::from_ns(1)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::DeltaLimit {
+                time: SimTime::ZERO,
+                limit: 50
+            }
+        );
+        assert!(err.to_string().contains("delta"));
+    }
+
+    #[test]
+    fn wake_after_periodic_process() {
+        let mut k = Kernel::new();
+        let ticks = k.signal("ticks", 0u32);
+        k.process("timer", &[], move |ctx| {
+            let t = ctx.read(ticks);
+            ctx.write(ticks, t + 1);
+            ctx.wake_after(SimTime::from_ns(7));
+        });
+        k.run_until(SimTime::from_ns(50)).unwrap();
+        // Runs at 0, 7, 14, 21, 28, 35, 42, 49 -> 8 activations.
+        assert_eq!(k.read(ticks), 8);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let n = k.signal("n", 0u32);
+        k.process("stopper", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let v = ctx.read(n) + 1;
+                ctx.write(n, v);
+                if v == 3 {
+                    ctx.stop();
+                }
+            }
+        });
+        k.run_until(SimTime::from_us(1)).unwrap();
+        assert_eq!(k.read(n), 3);
+        assert_eq!(k.now(), SimTime::from_ns(25));
+        assert!(k.stop_requested());
+        // A new run clears the stop and continues.
+        k.run_until(SimTime::from_ns(45)).unwrap();
+        assert_eq!(k.read(n), 5);
+    }
+
+    #[test]
+    fn run_for_is_relative() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let _ = clk;
+        k.run_for(SimTime::from_ns(30)).unwrap();
+        assert_eq!(k.now(), SimTime::from_ns(30));
+        k.run_for(SimTime::from_ns(30)).unwrap();
+        assert_eq!(k.now(), SimTime::from_ns(60));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        k.process("noop", &[clk.id()], |_| {});
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        let s = k.stats();
+        assert!(s.deltas >= 19);
+        assert!(s.activations >= 19);
+        assert!(s.signal_changes >= 19);
+    }
+
+    #[test]
+    fn vcd_tracing_records_changes() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(2));
+        let data = k.signal("data", 0u8);
+        k.trace(clk);
+        k.trace(data);
+        k.process("drv", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let d = ctx.read(data);
+                ctx.write(data, d.wrapping_add(1));
+            }
+        });
+        k.run_until(SimTime::from_ns(10)).unwrap();
+        let vcd = k.vcd().expect("tracing enabled");
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$var wire 8"));
+        assert!(vcd.contains("#1000"));
+        assert!(vcd.contains("b00000001"));
+    }
+
+    #[test]
+    fn untraceable_signal_is_silently_skipped() {
+        let mut k = Kernel::new();
+        let s = k.signal("label", String::from("x"));
+        k.trace(s);
+        assert!(k.vcd().is_none());
+    }
+
+    #[test]
+    fn edge_flags_do_not_leak_across_time() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let seen_stale = k.signal("stale", false);
+        let probe = k.process("probe", &[], move |ctx| {
+            if ctx.now() > SimTime::ZERO && ctx.posedge(clk) {
+                // Woken by a timer between edges: posedge must be false.
+                ctx.write(seen_stale, true);
+            }
+        });
+        // Wake the probe at 7 ns: clock rose at 5 ns, flag must be cleared.
+        k.wake_at(probe, SimTime::from_ns(7));
+        k.run_until(SimTime::from_ns(20)).unwrap();
+        assert!(!k.read(seen_stale));
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_clock_panics() {
+        let mut k = Kernel::new();
+        let _ = k.clock("clk", SimTime::ZERO);
+    }
+
+    #[test]
+    fn dynamic_sensitivity_is_one_shot() {
+        let mut k = Kernel::new();
+        let a = k.signal("a", 0u32);
+        let fired = k.signal("fired", 0u32);
+        k.process("waiter", &[], move |ctx| {
+            if ctx.now() == SimTime::ZERO {
+                // Arm once during initialization.
+                ctx.wake_on_change(a);
+            } else {
+                let f = ctx.read(fired);
+                ctx.write(fired, f + 1);
+                // Not re-armed: subsequent changes must not wake us.
+            }
+        });
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        k.process("driver", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let v = ctx.read(a);
+                ctx.write(a, v + 1);
+            }
+        });
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        assert_eq!(k.read(fired), 1, "one-shot waiter fired exactly once");
+    }
+
+    #[test]
+    fn dynamic_sensitivity_rearmed_follows_every_change(){
+        let mut k = Kernel::new();
+        let a = k.signal("a", 0u32);
+        let copies = k.signal("copies", 0u32);
+        k.process("follower", &[], move |ctx| {
+            if ctx.now() > SimTime::ZERO {
+                let c = ctx.read(copies);
+                ctx.write(copies, c + 1);
+            }
+            ctx.wake_on_change(a); // re-arm every activation
+        });
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        k.process("driver", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let v = ctx.read(a);
+                ctx.write(a, v + 1);
+            }
+        });
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        assert_eq!(k.read(copies), 10, "followed all ten changes");
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn wake_in_the_past_panics() {
+        let mut k = Kernel::new();
+        let p = k.process("p", &[], |_| {});
+        k.run_until(SimTime::from_ns(10)).unwrap();
+        k.wake_at(p, SimTime::from_ns(5));
+    }
+}

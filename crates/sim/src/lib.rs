@@ -1,0 +1,53 @@
+//! # ahbpower-sim — discrete-event simulation kernel
+//!
+//! A compact, SystemC-style discrete-event simulation kernel: typed
+//! [`Signal`]s with evaluate/update (delta-cycle) semantics, [`Kernel`]
+//! processes with static sensitivity lists, free-running clocks, and VCD
+//! tracing. It is the executable-specification substrate on which the
+//! AMBA AHB model of the `ahbpower-ahb` crate and the power-analysis
+//! methodology of the `ahbpower` crate run.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ahbpower_sim::{Kernel, SimTime};
+//!
+//! let mut k = Kernel::new();
+//! let clk = k.clock("clk", SimTime::from_ns(10)); // 100 MHz
+//! let q = k.signal("q", 0u32);
+//! k.process("counter", &[clk.id()], move |ctx| {
+//!     if ctx.posedge(clk) {
+//!         let v = ctx.read(q);
+//!         ctx.write(q, v + 1);
+//!     }
+//! });
+//! k.run_until(SimTime::from_us(1))?;
+//! assert_eq!(k.read(q), 100);
+//! # Ok::<(), ahbpower_sim::SimError>(())
+//! ```
+//!
+//! ## Semantics
+//!
+//! Writes made during a delta cycle are buffered and commit at the update
+//! phase; processes sensitive to a signal run in the *next* delta only if the
+//! committed value actually changed. Zero-delay feedback loops are caught by
+//! a configurable delta limit ([`Kernel::set_delta_limit`]) instead of
+//! hanging the simulation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod kernel;
+mod process;
+mod signal;
+mod time;
+mod trace;
+mod value;
+
+pub use kernel::{Kernel, KernelStats, ProcCtx, SimError};
+pub use process::ProcessId;
+pub use signal::{Signal, SignalId};
+pub use time::SimTime;
+pub use trace::{VcdTrace, VcdVarId};
+pub use value::SignalValue;

@@ -1,0 +1,65 @@
+//! Processes: the kernel's unit of executable behaviour.
+
+use std::fmt;
+
+use crate::kernel::ProcCtx;
+use crate::signal::SignalId;
+
+/// Identifier of a process registered with a [`crate::Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// The closure type executed when a process runs.
+pub type ProcessBody = Box<dyn FnMut(&mut ProcCtx<'_>)>;
+
+pub(crate) struct Process {
+    pub(crate) name: String,
+    /// Taken out while the process runs so the kernel can be borrowed mutably.
+    pub(crate) body: Option<ProcessBody>,
+    pub(crate) sensitivity: Vec<SignalId>,
+    /// Guards against double-queuing within one delta.
+    pub(crate) queued: bool,
+}
+
+impl Process {
+    pub(crate) fn new(name: String, sensitivity: Vec<SignalId>, body: ProcessBody) -> Self {
+        Process {
+            name,
+            body: Some(body),
+            sensitivity,
+            queued: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(7).to_string(), "proc#7");
+        assert_eq!(ProcessId(7).index(), 7);
+    }
+
+    #[test]
+    fn process_holds_body_and_sensitivity() {
+        let p = Process::new("p".into(), vec![SignalId(1)], Box::new(|_| {}));
+        assert_eq!(p.name, "p");
+        assert_eq!(p.sensitivity, vec![SignalId(1)]);
+        assert!(p.body.is_some());
+        assert!(!p.queued);
+    }
+}

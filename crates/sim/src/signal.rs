@@ -1,0 +1,210 @@
+//! Typed signals with SystemC-style evaluate/update semantics.
+//!
+//! A [`Signal`] is a cheap, `Copy` handle; the value itself lives inside the
+//! kernel. Writes performed during a delta cycle become visible only at the
+//! following update phase, exactly like `sc_signal`.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::time::SimTime;
+use crate::value::SignalValue;
+
+/// Identifier of a signal inside a [`crate::Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig#{}", self.0)
+    }
+}
+
+/// A typed handle to a signal owned by a [`crate::Kernel`].
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_sim::Kernel;
+///
+/// let mut k = Kernel::new();
+/// let s = k.signal("data", 0u32);
+/// assert_eq!(k.read(s), 0);
+/// ```
+pub struct Signal<T> {
+    pub(crate) id: SignalId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Signal<T> {
+    pub(crate) fn new(id: SignalId) -> Self {
+        Signal {
+            id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The untyped id of this signal.
+    pub fn id(&self) -> SignalId {
+        self.id
+    }
+}
+
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Signal<T> {}
+
+impl<T> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signal({})", self.id)
+    }
+}
+
+impl<T> PartialEq for Signal<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl<T> Eq for Signal<T> {}
+
+/// Storage for one signal: committed value + pending next value.
+pub(crate) struct Slot<T: SignalValue> {
+    pub(crate) name: String,
+    pub(crate) current: T,
+    pub(crate) next: Option<T>,
+    pub(crate) last_change: SimTime,
+    /// True iff the most recent update phase changed this signal's value.
+    pub(crate) recently_changed: bool,
+}
+
+impl<T: SignalValue> Slot<T> {
+    pub(crate) fn new(name: String, initial: T) -> Self {
+        Slot {
+            name,
+            current: initial,
+            next: None,
+            last_change: SimTime::ZERO,
+            recently_changed: false,
+        }
+    }
+}
+
+/// Object-safe view of a [`Slot`] used by the kernel's update machinery.
+pub(crate) trait AnySlot {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn name(&self) -> &str;
+    /// Commits the pending value if any. Returns true iff the committed
+    /// value differs from the previous one.
+    fn apply_update(&mut self, now: SimTime) -> bool;
+    fn clear_recent_change(&mut self);
+    fn recently_changed(&self) -> bool;
+    fn last_change(&self) -> SimTime;
+    /// VCD bit width, if the carried type is traceable.
+    fn vcd_width(&self) -> Option<usize>;
+    /// Current value as VCD bits (MSB first).
+    fn vcd_bits(&self) -> String;
+    fn debug_value(&self) -> String;
+}
+
+impl<T: SignalValue> AnySlot for Slot<T> {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply_update(&mut self, now: SimTime) -> bool {
+        match self.next.take() {
+            Some(v) if v != self.current => {
+                self.current = v;
+                self.last_change = now;
+                self.recently_changed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn clear_recent_change(&mut self) {
+        self.recently_changed = false;
+    }
+
+    fn recently_changed(&self) -> bool {
+        self.recently_changed
+    }
+
+    fn last_change(&self) -> SimTime {
+        self.last_change
+    }
+
+    fn vcd_width(&self) -> Option<usize> {
+        T::vcd_width()
+    }
+
+    fn vcd_bits(&self) -> String {
+        self.current.vcd_bits()
+    }
+
+    fn debug_value(&self) -> String {
+        format!("{:?}", self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_update_commits_only_changes() {
+        let mut s = Slot::new("x".into(), 1u32);
+        assert!(!s.apply_update(SimTime::from_ns(1)));
+        s.next = Some(1);
+        assert!(!s.apply_update(SimTime::from_ns(2)));
+        assert_eq!(s.last_change, SimTime::ZERO);
+        s.next = Some(7);
+        assert!(s.apply_update(SimTime::from_ns(3)));
+        assert_eq!(s.current, 7);
+        assert_eq!(s.last_change, SimTime::from_ns(3));
+        assert!(s.recently_changed);
+        s.clear_recent_change();
+        assert!(!s.recently_changed);
+    }
+
+    #[test]
+    fn any_slot_vcd_hooks() {
+        let s = Slot::new("b".into(), true);
+        let any: &dyn AnySlot = &s;
+        assert_eq!(any.vcd_width(), Some(1));
+        assert_eq!(any.vcd_bits(), "1");
+        assert_eq!(any.debug_value(), "true");
+        assert_eq!(any.name(), "b");
+    }
+
+    #[test]
+    fn signal_handle_is_copy_and_eq() {
+        let a: Signal<u8> = Signal::new(SignalId(3));
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.id(), SignalId(3));
+        assert_eq!(format!("{a:?}"), "Signal(sig#3)");
+    }
+}

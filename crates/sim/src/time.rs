@@ -1,0 +1,185 @@
+//! Simulation time types.
+//!
+//! The kernel measures time in integer **picoseconds**, which is fine-grained
+//! enough for multi-GHz clocks while leaving headroom for ~0.2 years of
+//! simulated time in a `u64`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// An absolute simulation timestamp, in picoseconds since time zero.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_sim::SimTime;
+///
+/// let t = SimTime::from_ns(10);
+/// assert_eq!(t.as_ps(), 10_000);
+/// assert_eq!(t + SimTime::from_ns(5), SimTime::from_ns(15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+
+    /// Returns the timestamp in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the timestamp in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the timestamp in seconds as a float (for power = energy/time).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0 ps")
+        } else if ps.is_multiple_of(1_000_000_000) {
+            write!(f, "{} ms", ps / 1_000_000_000)
+        } else if ps.is_multiple_of(1_000_000) {
+            write!(f, "{} us", ps / 1_000_000)
+        } else if ps.is_multiple_of(1_000) {
+            write!(f, "{} ns", ps / 1_000)
+        } else {
+            write!(f, "{ps} ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_ns(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_us(50).as_ns(), 50_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(10);
+        let b = SimTime::from_ns(3);
+        assert_eq!(a + b, SimTime::from_ns(13));
+        assert_eq!(a - b, SimTime::from_ns(7));
+        assert_eq!(b * 4, SimTime::from_ns(12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_ns(13));
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn checked_and_saturating() {
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimTime::from_ps(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::from_ps(1).checked_add(SimTime::from_ps(2)),
+            Some(SimTime::from_ps(3))
+        );
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimTime::ZERO.to_string(), "0 ps");
+        assert_eq!(SimTime::from_ps(5).to_string(), "5 ps");
+        assert_eq!(SimTime::from_ns(5).to_string(), "5 ns");
+        assert_eq!(SimTime::from_us(5).to_string(), "5 us");
+        assert_eq!(SimTime::from_ms(5).to_string(), "5 ms");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let t = SimTime::from_us(4);
+        assert!((t.as_secs_f64() - 4e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+    }
+}

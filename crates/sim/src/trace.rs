@@ -1,0 +1,181 @@
+//! Value-change tracing (VCD output).
+
+use crate::time::SimTime;
+
+/// Handle to a variable declared in a [`VcdTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VcdVarId(usize);
+
+/// Accumulates value changes and renders them as a
+/// [VCD](https://en.wikipedia.org/wiki/Value_change_dump) document.
+///
+/// The kernel feeds this automatically for signals registered with
+/// [`crate::Kernel::trace`]; it can also be used standalone (e.g. the AHB
+/// crate's bus tracer) via [`VcdTrace::add_var`] / [`VcdTrace::record_var`].
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_sim::{SimTime, VcdTrace};
+///
+/// let mut t = VcdTrace::new();
+/// let clk = t.add_var("clk", 1, "0");
+/// t.record_var(SimTime::from_ns(5), clk, "1");
+/// assert!(t.render().contains("$var wire 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct VcdTrace {
+    vars: Vec<VcdVar>,
+    /// (time, var, bits)
+    changes: Vec<(SimTime, VcdVarId, String)>,
+}
+
+#[derive(Debug)]
+struct VcdVar {
+    name: String,
+    width: usize,
+    code: String,
+    initial: String,
+}
+
+/// Builds a short printable VCD identifier from an index.
+fn code_for(mut n: usize) -> String {
+    // Printable ASCII identifiers: '!' (33) .. '~' (126), base-94.
+    let mut s = String::new();
+    loop {
+        s.push(char::from(33 + (n % 94) as u8));
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+impl VcdTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        VcdTrace::default()
+    }
+
+    /// Declares a variable. `initial` is its value (MSB-first bits) at time
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn add_var(&mut self, name: &str, width: usize, initial: &str) -> VcdVarId {
+        assert!(width > 0, "vcd variables need a positive width");
+        let id = VcdVarId(self.vars.len());
+        self.vars.push(VcdVar {
+            name: name.to_string(),
+            width,
+            code: code_for(id.0),
+            initial: initial.to_string(),
+        });
+        id
+    }
+
+    /// Records a value change at `time` (times must be non-decreasing for a
+    /// well-formed dump; this is the caller's responsibility).
+    pub fn record_var(&mut self, time: SimTime, id: VcdVarId, bits: &str) {
+        self.changes.push((time, id, bits.to_string()));
+    }
+
+    /// Number of declared variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// True if no changes were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Renders the trace as a VCD document with a 1 ps timescale.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ps $end\n");
+        out.push_str("$scope module top $end\n");
+        for var in &self.vars {
+            out.push_str(&format!(
+                "$var wire {} {} {} $end\n",
+                var.width, var.code, var.name
+            ));
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        out.push_str("#0\n$dumpvars\n");
+        for var in &self.vars {
+            push_change(&mut out, var.width, &var.initial, &var.code);
+        }
+        out.push_str("$end\n");
+        let mut last_time: Option<SimTime> = None;
+        for (time, id, bits) in &self.changes {
+            if last_time != Some(*time) {
+                out.push_str(&format!("#{}\n", time.as_ps()));
+                last_time = Some(*time);
+            }
+            let var = &self.vars[id.0];
+            push_change(&mut out, var.width, bits, &var.code);
+        }
+        out
+    }
+}
+
+fn push_change(out: &mut String, width: usize, bits: &str, code: &str) {
+    if width == 1 {
+        out.push_str(bits);
+        out.push_str(code);
+    } else {
+        out.push('b');
+        out.push_str(bits);
+        out.push(' ');
+        out.push_str(code);
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..500 {
+            let c = code_for(n);
+            assert!(c.chars().all(|ch| ('!'..='~').contains(&ch)));
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn render_contains_header_and_changes() {
+        let mut t = VcdTrace::new();
+        let clk = t.add_var("clk", 1, "0");
+        let addr = t.add_var("addr", 8, "00000000");
+        t.record_var(SimTime::from_ps(5), clk, "1");
+        t.record_var(SimTime::from_ps(5), addr, "00000001");
+        t.record_var(SimTime::from_ps(10), clk, "0");
+        let vcd = t.render();
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 1 ! clk $end"));
+        assert!(vcd.contains("$var wire 8 \" addr $end"));
+        assert!(vcd.contains("#5\n1!\nb00000001 \"\n#10\n0!"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.var_count(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_var_panics() {
+        let mut t = VcdTrace::new();
+        let _ = t.add_var("x", 0, "");
+    }
+}

@@ -1,0 +1,102 @@
+//! The [`SignalValue`] trait: what can live on a kernel signal.
+
+use std::fmt;
+
+/// Values that can be carried by a [`crate::Signal`].
+///
+/// Any `Clone + PartialEq + Debug + 'static` type qualifies; the optional
+/// VCD hooks let a value appear in waveform traces. Types without a natural
+/// bit-level representation simply stay untraced.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_sim::SignalValue;
+///
+/// assert_eq!(bool::vcd_width(), Some(1));
+/// assert_eq!(true.vcd_bits(), "1");
+/// assert_eq!(u8::vcd_width(), Some(8));
+/// assert_eq!(5u8.vcd_bits(), "00000101");
+/// ```
+pub trait SignalValue: Clone + PartialEq + fmt::Debug + 'static {
+    /// Bit width for VCD tracing, or `None` if the type is not traceable.
+    fn vcd_width() -> Option<usize> {
+        None
+    }
+
+    /// Binary string (MSB first) for VCD tracing. Only meaningful when
+    /// [`SignalValue::vcd_width`] returns `Some`.
+    fn vcd_bits(&self) -> String {
+        String::new()
+    }
+}
+
+impl SignalValue for bool {
+    fn vcd_width() -> Option<usize> {
+        Some(1)
+    }
+
+    fn vcd_bits(&self) -> String {
+        if *self { "1".into() } else { "0".into() }
+    }
+}
+
+macro_rules! impl_signal_value_uint {
+    ($($t:ty => $w:expr),* $(,)?) => {
+        $(
+            impl SignalValue for $t {
+                fn vcd_width() -> Option<usize> {
+                    Some($w)
+                }
+
+                fn vcd_bits(&self) -> String {
+                    format!(concat!("{:0", stringify!($w), "b}"), self)
+                }
+            }
+        )*
+    };
+}
+
+impl_signal_value_uint!(u8 => 8, u16 => 16, u32 => 32, u64 => 64);
+
+impl SignalValue for i32 {}
+impl SignalValue for i64 {}
+impl SignalValue for usize {}
+impl SignalValue for String {}
+impl SignalValue for () {}
+
+impl<T: SignalValue> SignalValue for Option<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_vcd() {
+        assert_eq!(bool::vcd_width(), Some(1));
+        assert_eq!(true.vcd_bits(), "1");
+        assert_eq!(false.vcd_bits(), "0");
+    }
+
+    #[test]
+    fn uint_vcd_widths() {
+        assert_eq!(u8::vcd_width(), Some(8));
+        assert_eq!(u16::vcd_width(), Some(16));
+        assert_eq!(u32::vcd_width(), Some(32));
+        assert_eq!(u64::vcd_width(), Some(64));
+    }
+
+    #[test]
+    fn uint_vcd_bits_are_padded() {
+        assert_eq!(0xA5u8.vcd_bits(), "10100101");
+        assert_eq!(1u32.vcd_bits().len(), 32);
+        assert_eq!(u64::MAX.vcd_bits(), "1".repeat(64));
+    }
+
+    #[test]
+    fn untraceable_types_default() {
+        assert_eq!(String::vcd_width(), None);
+        assert_eq!(<Option<u8>>::vcd_width(), None);
+        assert_eq!("x".to_string().vcd_bits(), "");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the discrete-event kernel.
+
+use ahbpower_sim::{Kernel, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A clocked counter counts exactly the number of rising edges,
+    /// independent of period and horizon.
+    #[test]
+    fn counter_counts_posedges(period_ns in 1u64..40, horizon_ns in 1u64..2_000) {
+        let period = SimTime::from_ns(period_ns * 2); // keep the period even
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", period);
+        let q = k.signal("q", 0u64);
+        k.process("count", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let v = ctx.read(q);
+                ctx.write(q, v + 1);
+            }
+        });
+        k.run_until(SimTime::from_ns(horizon_ns)).expect("no delta loops");
+        // Rising edges occur at period/2 + k*period for k = 0, 1, ...
+        let half = period_ns; // ns
+        let expected = if horizon_ns >= half {
+            (horizon_ns - half) / (2 * half) + 1
+        } else {
+            0
+        };
+        prop_assert_eq!(k.read(q), expected);
+        prop_assert_eq!(k.now(), SimTime::from_ns(horizon_ns));
+    }
+
+    /// Two identically-constructed kernels produce identical results
+    /// (determinism), and chunked runs equal one long run.
+    #[test]
+    fn chunked_run_equals_single_run(chunks in prop::collection::vec(1u64..500, 1..8)) {
+        let build = |k: &mut Kernel| {
+            let clk = k.clock("clk", SimTime::from_ns(10));
+            let acc = k.signal("acc", 0u64);
+            k.process("mix", &[clk.id()], move |ctx| {
+                if ctx.posedge(clk) {
+                    let v = ctx.read(acc);
+                    ctx.write(acc, v.wrapping_mul(6364136223846793005).wrapping_add(1));
+                }
+            });
+            acc
+        };
+        let total: u64 = chunks.iter().sum();
+        let mut k1 = Kernel::new();
+        let acc1 = build(&mut k1);
+        k1.run_until(SimTime::from_ns(total)).expect("runs");
+        let mut k2 = Kernel::new();
+        let acc2 = build(&mut k2);
+        for c in &chunks {
+            k2.run_for(SimTime::from_ns(*c)).expect("runs");
+        }
+        prop_assert_eq!(k1.read(acc1), k2.read(acc2));
+        prop_assert_eq!(k1.now(), k2.now());
+    }
+
+    /// Delta-cycle settling: a chain of N zero-delay stages settles to the
+    /// correct value regardless of length.
+    #[test]
+    fn combinational_chain_settles(n in 1usize..30, input in any::<u32>()) {
+        let mut k = Kernel::new();
+        let src = k.signal("src", 0u32);
+        let mut prev = src;
+        for i in 0..n {
+            let next = k.signal(&format!("s{i}"), 0u32);
+            k.process(&format!("p{i}"), &[prev.id()], move |ctx| {
+                let v = ctx.read(prev);
+                ctx.write(next, v.wrapping_add(1));
+            });
+            prev = next;
+        }
+        k.write(src, input);
+        k.run_until(SimTime::from_ns(1)).expect("no loops");
+        prop_assert_eq!(k.read(prev), input.wrapping_add(n as u32));
+        // The chain needed at least n delta cycles.
+        prop_assert!(k.stats().deltas >= n as u64);
+    }
+
+    /// Timed wake-ups fire exactly once each, in order.
+    #[test]
+    fn wakeups_fire_once_in_order(mut times in prop::collection::vec(1u64..10_000, 1..20)) {
+        times.sort_unstable();
+        times.dedup();
+        let mut k = Kernel::new();
+        let log = k.signal("log", 0usize);
+        let expected = times.clone();
+        let mut iter = 0usize;
+        let checker = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let c2 = checker.clone();
+        let pid = k.process("waker", &[], move |ctx| {
+            if ctx.now() > SimTime::ZERO {
+                c2.borrow_mut().push(ctx.now().as_ps());
+                let v = ctx.read(log);
+                ctx.write(log, v + 1);
+            }
+            let _ = iter;
+            iter += 1;
+        });
+        for t in &times {
+            k.wake_at(pid, SimTime::from_ps(*t));
+        }
+        k.run_until(SimTime::from_ps(20_000)).expect("runs");
+        prop_assert_eq!(k.read(log), expected.len());
+        prop_assert_eq!(checker.borrow().clone(), expected);
+    }
+}
+
+#[test]
+fn vcd_contains_every_committed_change() {
+    let mut k = Kernel::new();
+    let clk = k.clock("clk", SimTime::from_ns(2));
+    let data = k.signal("data", 0u8);
+    k.trace(clk);
+    k.trace(data);
+    k.process("drv", &[clk.id()], move |ctx| {
+        if ctx.posedge(clk) {
+            let d = ctx.read(data);
+            ctx.write(data, d.wrapping_add(3));
+        }
+    });
+    k.run_until(SimTime::from_ns(20)).unwrap();
+    let vcd = k.vcd().expect("traced");
+    // 10 rising edges -> 10 data changes, each rendered as b... lines.
+    let changes = vcd.lines().filter(|l| l.starts_with('b') && !l.contains("00000000 ")).count();
+    assert!(changes >= 10, "vcd:\n{vcd}");
+    assert!(vcd.contains("$enddefinitions"));
+}

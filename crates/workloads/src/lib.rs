@@ -1,0 +1,29 @@
+//! # ahbpower-workloads — traffic generators for the AHB experiments
+//!
+//! - [`PaperTestbench`]: the DATE'03 evaluation setup — two masters running
+//!   non-interruptible WRITE-READ sequences with random idle gaps, a simple
+//!   default master, three memory slaves;
+//! - [`SocScenario`]: a CPU + DMA + streaming-producer mix for the
+//!   architecture-exploration extension experiments;
+//! - [`write_read_script`], [`dma_script`], [`cpu_script`],
+//!   [`stream_script`]: the underlying seedable op generators.
+//!
+//! ```
+//! use ahbpower_workloads::PaperTestbench;
+//!
+//! let mut bus = PaperTestbench::default().build()?;
+//! bus.run(1_000);
+//! assert!(bus.stats().transfers_ok > 0);
+//! # Ok::<(), ahbpower_ahb::BuildBusError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod paper;
+mod scenario;
+
+pub use gen::{cpu_script, dma_script, stream_script, write_read_script};
+pub use paper::PaperTestbench;
+pub use scenario::SocScenario;

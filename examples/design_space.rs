@@ -1,0 +1,70 @@
+//! Architecture exploration with the power dimension — the use case the
+//! paper's introduction motivates: "in a small time it is possible to
+//! evaluate hundreds of different configurations and architectures".
+//!
+//! Sweeps arbitration policy and slave wait states over an SoC-style
+//! workload (CPU + DMA + streaming producer) and reports, per variant,
+//! runtime, energy, average power and the energy hot-spot.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ahbpower::{AnalysisConfig, PowerSession};
+use ahbpower_ahb::Arbitration;
+use ahbpower_workloads::SocScenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<28} {:>9} {:>11} {:>9} {:>12}",
+        "variant", "cycles", "energy", "avg pwr", "hot-spot"
+    );
+    for arbitration in [Arbitration::FixedPriority, Arbitration::RoundRobin] {
+        for wait_states in [0u32, 1, 3] {
+            let scenario = SocScenario {
+                arbitration,
+                wait_states,
+                ..SocScenario::default()
+            };
+            let mut bus = scenario.build()?;
+            let cfg = AnalysisConfig {
+                n_masters: SocScenario::N_MASTERS,
+                n_slaves: SocScenario::N_SLAVES,
+                ..AnalysisConfig::paper_testbench()
+            };
+            let mut session = PowerSession::new(&cfg);
+            // Run to completion under instrumentation.
+            let mut cycles = 0u64;
+            while cycles < 200_000 && !bus.all_masters_done() {
+                let snap = bus.step();
+                session.observe(snap);
+                cycles += 1;
+            }
+            let energy = session.total_energy();
+            let seconds = cycles as f64 / cfg.f_clk_hz;
+            let hot = session
+                .blocks()
+                .shares()
+                .into_iter()
+                .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite shares"))
+                .expect("four blocks");
+            println!(
+                "{:<28} {:>9} {:>8.2} uJ {:>6.2} mW {:>6} {:>4.1}%",
+                format!("{arbitration}, {wait_states} waits"),
+                cycles,
+                energy * 1e6,
+                energy / seconds * 1e3,
+                hot.0,
+                hot.2 * 100.0
+            );
+        }
+    }
+    println!(
+        "\nReading: wait states stretch runtime (same work, lower average\n\
+         power, same energy order); arbitration policy shifts energy by\n\
+         changing the number of bus handovers. The hot-spot column is the\n\
+         paper's takeaway — optimization effort belongs on the data path\n\
+         (M2S), not the arbitration logic."
+    );
+    Ok(())
+}

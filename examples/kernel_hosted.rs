@@ -1,0 +1,43 @@
+//! Hosting the instrumented bus on the discrete-event kernel — the paper's
+//! SystemC topology: the bus is one clocked module, the power monitor a
+//! separate module communicating through a signal (the "global model" of
+//! Fig. 1). See the `trace_driven` example for waveform (VCD) dumping.
+//!
+//! ```text
+//! cargo run --release --example kernel_hosted
+//! ```
+
+use ahbpower::{run_on_kernel, AnalysisConfig, PowerSession};
+use ahbpower_sim::SimTime;
+use ahbpower_workloads::PaperTestbench;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = AnalysisConfig::paper_testbench();
+    let bus = PaperTestbench::sized_for(2_000, cfg.seed).build()?;
+    let session = PowerSession::new(&cfg);
+
+    let period = SimTime::from_ps(cfg.period_ps());
+    let run = run_on_kernel(bus, Some(session), 2_000, period)?;
+
+    println!("kernel time:   {}", run.kernel.now());
+    let stats = run.kernel.stats();
+    println!(
+        "kernel stats:  {} deltas, {} activations, {} signal changes",
+        stats.deltas, stats.activations, stats.signal_changes
+    );
+    let bus = run.bus.borrow();
+    println!(
+        "bus stats:     {} cycles, {} transfers OK, {} handovers",
+        bus.stats().cycles,
+        bus.stats().transfers_ok,
+        bus.stats().handovers
+    );
+    let session = run.session.as_ref().expect("instrumentation attached");
+    println!(
+        "energy:        {:.3} nJ over {} observed cycles",
+        session.borrow().total_energy() * 1e9,
+        session.borrow().blocks().cycles()
+    );
+    print!("{}", session.borrow().blocks());
+    Ok(())
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full local CI: build, lint, docs, tests, examples, experiments smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --workspace --all-targets
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== examples =="
+for e in quickstart instruction_energy design_space macromodel_validation \
+         kernel_hosted soc_with_apb trace_driven; do
+    cargo run --release --example "$e" > /dev/null
+    echo "  $e ok"
+done
+
+echo "== experiments (smoke, 100k cycles) =="
+cargo run --release -p ahbpower-bench --bin repro -- all --cycles 100000 > /dev/null
+echo "  repro ok (artifacts in results/)"
+
+echo "ALL CHECKS PASSED"

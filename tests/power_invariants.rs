@@ -1,0 +1,182 @@
+//! Property-based invariants of the power-analysis layer.
+
+use ahbpower::{
+    hamming, AhbPowerModel, AnalysisConfig, BlockEnergy, GlobalProbe, InlineProbe, PowerProbe,
+    PowerSession, PowerTrace, TechParams,
+};
+use ahbpower_ahb::{BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
+use proptest::prelude::*;
+
+fn arb_snapshot() -> impl Strategy<Value = BusSnapshot> {
+    (
+        any::<u32>(),
+        0u8..4,
+        any::<bool>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..3,
+        any::<bool>(),
+        prop::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(
+            |(haddr, trans, hwrite, hwdata, hrdata, master, hready, hbusreq)| {
+                let htrans = match trans {
+                    0 => HTrans::Idle,
+                    1 => HTrans::Busy,
+                    2 => HTrans::NonSeq,
+                    _ => HTrans::Seq,
+                };
+                BusSnapshot {
+                    cycle: 0,
+                    haddr,
+                    htrans,
+                    hwrite,
+                    hsize: HSize::Word,
+                    hburst: HBurst::Single,
+                    hwdata,
+                    hrdata,
+                    hready,
+                    hresp: HResp::Okay,
+                    hmaster: MasterId(master),
+                    hmastlock: false,
+                    hbusreq,
+                    hgrant: vec![master == 0, master == 1, master == 2],
+                    hsel: vec![haddr % 3 == 0, haddr % 3 == 1, haddr % 3 == 2],
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cycle_energy_is_finite_and_nonnegative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+    ) {
+        let model = AhbPowerModel::new(3, 3, &TechParams::default());
+        let e = model.cycle_energy(&a, &b);
+        for v in [e.dec, e.m2s, e.s2m, e.arb, e.total()] {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_energy_is_zero_hd_symmetric(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+    ) {
+        // Hamming distances are symmetric, and so is every model term that
+        // depends only on them. The handover/select indicators are also
+        // symmetric (inequality). Hence E(a->b) == E(b->a).
+        let model = AhbPowerModel::new(3, 3, &TechParams::default());
+        let ab = model.cycle_energy(&a, &b).total();
+        let ba = model.cycle_energy(&b, &a).total();
+        prop_assert!((ab - ba).abs() <= 1e-12 * ab.max(1.0));
+    }
+
+    #[test]
+    fn energy_is_monotone_in_wdata_bits(
+        base in arb_snapshot(),
+        word in any::<u32>(),
+    ) {
+        let model = AhbPowerModel::new(3, 3, &TechParams::default());
+        let mut few = base.clone();
+        few.hwdata = base.hwdata ^ 1; // one bit flipped
+        let mut many = base.clone();
+        many.hwdata = base.hwdata ^ (word | 1); // at least one bit flipped
+        let e_few = model.cycle_energy(&base, &few).m2s;
+        let e_many = model.cycle_energy(&base, &many).m2s;
+        let hd_few = hamming(u64::from(base.hwdata), u64::from(few.hwdata));
+        let hd_many = hamming(u64::from(base.hwdata), u64::from(many.hwdata));
+        if hd_many >= hd_few {
+            prop_assert!(e_many >= e_few - 1e-18);
+        } else {
+            prop_assert!(e_few >= e_many - 1e-18);
+        }
+    }
+
+    #[test]
+    fn global_probe_matches_inline_on_any_trace(
+        snaps in prop::collection::vec(arb_snapshot(), 2..40),
+    ) {
+        let model = AhbPowerModel::new(3, 3, &TechParams::default());
+        let mut inline = InlineProbe::new(model.clone());
+        let mut global = GlobalProbe::new(model);
+        for s in &snaps {
+            inline.observe(s);
+            global.observe(s);
+        }
+        let a = inline.total_energy();
+        let b = global.total_energy();
+        prop_assert!((a - b).abs() <= 1e-9 * a.max(1e-18), "{a} vs {b}");
+    }
+
+    #[test]
+    fn trace_energy_equals_sum_of_inputs(
+        energies in prop::collection::vec(0.0f64..1e-9, 1..100),
+        window in 1u64..20,
+    ) {
+        let mut trace = PowerTrace::new(window, 100e6);
+        let mut total_in = 0.0;
+        for &e in &energies {
+            trace.push(BlockEnergy {
+                dec: e * 0.1,
+                m2s: e * 0.4,
+                s2m: e * 0.3,
+                arb: e * 0.2,
+            });
+            total_in += e;
+        }
+        trace.finish();
+        let total_out: f64 = trace
+            .points()
+            .iter()
+            .map(|p| p.total_w)
+            .zip(window_durations(&trace, energies.len() as u64, window))
+            .map(|(w, dt)| w * dt)
+            .sum();
+        prop_assert!(
+            (total_in - total_out).abs() <= 1e-9 * total_in.max(1e-18),
+            "{total_in} vs {total_out}"
+        );
+    }
+
+    #[test]
+    fn hamming_properties(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assert_eq!(hamming(a, a), 0);
+        prop_assert_eq!(hamming(a, b), hamming(b, a));
+        // Triangle inequality over the hypercube metric.
+        prop_assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+    }
+}
+
+/// Durations of each emitted window (the last may be partial).
+fn window_durations(trace: &PowerTrace, n: u64, window: u64) -> Vec<f64> {
+    let full = (n / window) as usize;
+    let mut out = vec![window as f64 / 100e6; full];
+    let rem = n % window;
+    if rem > 0 {
+        out.push(rem as f64 / 100e6);
+    }
+    assert_eq!(out.len(), trace.points().len());
+    out
+}
+
+#[test]
+fn ledger_and_blocks_account_identically_on_real_traffic() {
+    let cfg = AnalysisConfig::paper_testbench();
+    let mut bus = ahbpower_workloads::PaperTestbench::sized_for(10_000, 9)
+        .build()
+        .expect("builds");
+    let mut session = PowerSession::new(&cfg);
+    session.run(&mut bus, 10_000);
+    let a = session.ledger().total_energy();
+    let b = session.blocks().totals().total();
+    assert!(a > 0.0);
+    assert!((a - b).abs() < 1e-12 * a);
+    assert_eq!(session.ledger().total_count(), 10_000);
+    assert_eq!(session.blocks().cycles(), 10_000);
+}
