@@ -374,10 +374,7 @@ mod tests {
                 AddrRange::new(0x100, 0x100, SlaveId(1)),
             ])
             .unwrap(),
-            vec![
-                Box::new(RegisterFile::new(8)),
-                Box::new(ApbTimer::new()),
-            ],
+            vec![Box::new(RegisterFile::new(8)), Box::new(ApbTimer::new())],
         )
     }
 
@@ -412,7 +409,9 @@ mod tests {
     #[test]
     fn read_returns_peripheral_data() {
         let mut b = bridge();
-        b.peripheral_as_mut::<RegisterFile>(0).unwrap().write(0x4, 0x77);
+        b.peripheral_as_mut::<RegisterFile>(0)
+            .unwrap()
+            .write(0x4, 0x77);
         b.address_phase(&phase(0x4, false));
         assert_eq!(b.data_phase(0), SlaveReply::Wait);
         assert_eq!(b.data_phase(0), SlaveReply::Done { rdata: 0x77 });

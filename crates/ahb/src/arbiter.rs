@@ -157,23 +157,38 @@ mod tests {
     #[test]
     fn fixed_priority_prefers_low_index() {
         let mut a = Arbiter::new(4, Arbitration::FixedPriority, MasterId(0));
-        assert_eq!(a.decide(&[false, true, false, true], MasterId(0), false), MasterId(1));
-        assert_eq!(a.decide(&[true, true, true, true], MasterId(1), false), MasterId(0));
+        assert_eq!(
+            a.decide(&[false, true, false, true], MasterId(0), false),
+            MasterId(1)
+        );
+        assert_eq!(
+            a.decide(&[true, true, true, true], MasterId(1), false),
+            MasterId(0)
+        );
     }
 
     #[test]
     fn default_master_when_idle() {
         let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(2));
-        assert_eq!(a.decide(&[false, false, false], MasterId(0), false), MasterId(2));
+        assert_eq!(
+            a.decide(&[false, false, false], MasterId(0), false),
+            MasterId(2)
+        );
     }
 
     #[test]
     fn locked_owner_keeps_bus() {
         let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(0));
         // Master 2 holds the lock; master 0 requesting cannot preempt.
-        assert_eq!(a.decide(&[true, false, true], MasterId(2), true), MasterId(2));
+        assert_eq!(
+            a.decide(&[true, false, true], MasterId(2), true),
+            MasterId(2)
+        );
         // Lock released: master 0 wins.
-        assert_eq!(a.decide(&[true, false, true], MasterId(2), false), MasterId(0));
+        assert_eq!(
+            a.decide(&[true, false, true], MasterId(2), false),
+            MasterId(0)
+        );
     }
 
     #[test]

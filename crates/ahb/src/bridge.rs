@@ -15,9 +15,7 @@ use crate::bus::AhbBus;
 use crate::lane::{from_lanes, to_lanes};
 use crate::master::AhbMaster;
 use crate::slave::AhbSlave;
-use crate::types::{
-    AddressPhase, HBurst, HResp, HSize, HTrans, MasterIn, MasterOut, SlaveReply,
-};
+use crate::types::{AddressPhase, HBurst, HResp, HSize, HTrans, MasterIn, MasterOut, SlaveReply};
 
 /// A request travelling through the bridge's port.
 #[derive(Debug, Clone, Copy)]
@@ -68,9 +66,7 @@ impl AhbMaster for PortMaster {
         if input.ready {
             if let Some(req) = self.dp.take() {
                 let result = match input.resp {
-                    HResp::Okay => {
-                        PortResult::Okay(from_lanes(input.rdata, req.addr, req.size))
-                    }
+                    HResp::Okay => PortResult::Okay(from_lanes(input.rdata, req.addr, req.size)),
                     // The bridge maps any downstream failure to an upstream
                     // ERROR (it cannot replay splits across segments).
                     _ => PortResult::Failed,

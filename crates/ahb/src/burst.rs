@@ -109,7 +109,10 @@ mod tests {
             burst_addresses(0x10, HSize::Byte, HBurst::Incr8, 0),
             (0x10..0x18).collect::<Vec<u32>>()
         );
-        assert_eq!(burst_addresses(0x20, HSize::Half, HBurst::Single, 0), vec![0x20]);
+        assert_eq!(
+            burst_addresses(0x20, HSize::Half, HBurst::Single, 0),
+            vec![0x20]
+        );
         assert_eq!(
             burst_addresses(0x20, HSize::Word, HBurst::Incr, 3),
             vec![0x20, 0x24, 0x28]

@@ -844,7 +844,10 @@ mod tests {
         let mut bus = simple_bus(vec![Op::write(0x4, 0xAB)]);
         let mut saw_transfer = false;
         bus.run_with(10, |s| {
-            assert!(s.hgrant.iter().filter(|&&g| g).count() == 1, "grant one-hot");
+            assert!(
+                s.hgrant.iter().filter(|&&g| g).count() == 1,
+                "grant one-hot"
+            );
             assert!(s.hsel.iter().filter(|&&x| x).count() <= 1, "hsel one-hot");
             if s.htrans == HTrans::NonSeq {
                 saw_transfer = true;

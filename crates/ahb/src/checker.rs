@@ -180,8 +180,13 @@ impl ProtocolChecker {
                     _ => {
                         // Plain wait (or first ERROR cycle where the master
                         // continues): the address phase must hold.
-                        if (snap.haddr, snap.htrans, snap.hwrite, snap.hsize, snap.hburst)
-                            != (p.haddr, p.htrans, p.hwrite, p.hsize, p.hburst)
+                        if (
+                            snap.haddr,
+                            snap.htrans,
+                            snap.hwrite,
+                            snap.hsize,
+                            snap.hburst,
+                        ) != (p.haddr, p.htrans, p.hwrite, p.hsize, p.hburst)
                         {
                             self.report(
                                 c,
@@ -424,7 +429,10 @@ mod tests {
         s1.haddr = 0x110; // expected 0x104
         s1.hburst = HBurst::Incr4;
         ck.check(&s1);
-        assert!(ck.violations().iter().any(|v| v.rule == Rule::SeqContinuity));
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::SeqContinuity));
     }
 
     #[test]
@@ -463,7 +471,10 @@ mod tests {
         s.htrans = HTrans::Seq;
         s.haddr = 0x4;
         ck.check(&s);
-        assert!(ck.violations().iter().any(|v| v.rule == Rule::SeqContinuity));
+        assert!(ck
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::SeqContinuity));
     }
 
     #[test]

@@ -44,7 +44,13 @@ impl AddrRange {
 
 impl fmt::Display for AddrRange {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:#010x}..={:#010x}] -> {}", self.start, self.end(), self.slave)
+        write!(
+            f,
+            "[{:#010x}..={:#010x}] -> {}",
+            self.start,
+            self.end(),
+            self.slave
+        )
     }
 }
 

@@ -47,6 +47,7 @@ mod checker;
 mod decoder;
 mod lane;
 mod master;
+mod perf;
 mod script;
 mod slave;
 mod types;
@@ -61,10 +62,13 @@ pub use checker::{ProtocolChecker, Rule, Violation};
 pub use decoder::{AddrRange, AddressMap, BuildMapError};
 pub use lane::{from_lanes, lane_mask, to_lanes};
 pub use master::{AhbMaster, IdleMaster, Op, ScriptedMaster};
+pub use perf::{
+    BusPerfAnalyzer, CycleHistogram, MasterPerf, ARBITRATION_LATENCY_BOUNDS, BURST_BEATS_BOUNDS,
+};
 pub use script::{format_ops, parse_ops, ParseOpsError};
-pub use vcd::BusTracer;
 pub use slave::{AhbSlave, ErrorSlave, MemorySlave, SplitSlave};
 pub use types::{
     AddressPhase, BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId, MasterIn, MasterOut,
     SlaveId, SlaveReply,
 };
+pub use vcd::BusTracer;

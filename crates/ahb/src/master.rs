@@ -518,7 +518,11 @@ impl AhbMaster for ScriptedMaster {
                         out.addr = addr;
                         out.write = write;
                         out.size = size;
-                        out.burst = if self.restart_incr { HBurst::Incr } else { burst };
+                        out.burst = if self.restart_incr {
+                            HBurst::Incr
+                        } else {
+                            burst
+                        };
                         out.lock = lock;
                         self.pos += 1;
                     }
@@ -693,7 +697,10 @@ mod tests {
             busy_between: 0,
         }]);
         let o0 = m.cycle(&granted_ready());
-        assert_eq!((o0.trans, o0.addr, o0.burst), (HTrans::NonSeq, 0x200, HBurst::Incr4));
+        assert_eq!(
+            (o0.trans, o0.addr, o0.burst),
+            (HTrans::NonSeq, 0x200, HBurst::Incr4)
+        );
         let o1 = m.cycle(&granted_ready());
         assert_eq!((o1.trans, o1.addr), (HTrans::Seq, 0x204));
         assert_eq!(o1.wdata, 1, "beat 0 in data phase");
@@ -730,7 +737,7 @@ mod tests {
         let mut m = ScriptedMaster::new(vec![Op::write(0x10, 7), Op::write(0x14, 8)]);
         let _ = m.cycle(&granted_ready()); // issue 0x10
         let _ = m.cycle(&granted_ready()); // 0x10 in dp, issue 0x14
-        // First RETRY cycle: ready low.
+                                           // First RETRY cycle: ready low.
         let retry1 = MasterIn {
             grant: true,
             ready: false,
@@ -762,7 +769,7 @@ mod tests {
         let mut m = ScriptedMaster::new(vec![Op::write(0x10, 1), Op::write(0x14, 2)]);
         let _ = m.cycle(&granted_ready()); // issue 0x10
         let _ = m.cycle(&granted_ready()); // 0x10 dp, issue 0x14
-        // Two-cycle ERROR for 0x10.
+                                           // Two-cycle ERROR for 0x10.
         let e1 = MasterIn {
             grant: true,
             ready: false,
@@ -818,10 +825,7 @@ mod tests {
 
     #[test]
     fn locked_sequence_asserts_lock_until_last_beat() {
-        let mut m = ScriptedMaster::new(vec![Op::Locked(vec![
-            Op::write(0x0, 1),
-            Op::read(0x0),
-        ])]);
+        let mut m = ScriptedMaster::new(vec![Op::Locked(vec![Op::write(0x0, 1), Op::read(0x0)])]);
         let o0 = m.cycle(&granted_ready());
         assert!(o0.lock, "first locked beat holds HLOCK");
         let o1 = m.cycle(&granted_ready());

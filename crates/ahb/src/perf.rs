@@ -1,0 +1,473 @@
+//! Bus-performance analysis: per-master service counters and latency /
+//! burst-length histograms derived from the per-cycle [`BusSnapshot`].
+//!
+//! [`BusPerfAnalyzer`] is a passive observer like the protocol checker: it
+//! sees every cycle's wires and derives the performance quantities the
+//! power methodology correlates energy against — who got the bus, how long
+//! requests waited for a grant, how slaves stretched transfers with wait
+//! states, and how traffic batches into bursts. All counters are plain
+//! integers updated in place; observing a cycle allocates nothing.
+
+use crate::types::{BusSnapshot, HResp, HTrans, MasterId};
+
+/// A fixed-bucket histogram over integer-valued cycle counts.
+///
+/// Buckets are defined by inclusive upper bounds plus an implicit overflow
+/// bucket, mirroring Prometheus' cumulative `le` convention when exported.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::CycleHistogram;
+///
+/// let mut h = CycleHistogram::new(&[1, 2, 4]);
+/// h.observe(1);
+/// h.observe(3);
+/// h.observe(100);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 104);
+/// assert_eq!(h.bucket_counts(), &[1, 0, 1, 1]); // <=1, <=2, <=4, +Inf
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHistogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl CycleHistogram {
+    /// Creates a histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        CycleHistogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The inclusive upper bounds (the final overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cumulative counts in Prometheus `le` style; the last entry equals
+    /// [`CycleHistogram::count`].
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observed value (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-master service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterPerf {
+    /// Cycles this master owned the address phase (HMASTER).
+    pub grant_cycles: u64,
+    /// Data transfers this master completed with OKAY.
+    pub transfers_ok: u64,
+    /// Wait-state cycles inserted into this master's data phases.
+    pub wait_cycles: u64,
+    /// Cycles this master spent requesting the bus without owning it.
+    pub request_wait_cycles: u64,
+}
+
+/// Passive per-cycle bus-performance analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{
+///     AddressMap, AhbBusBuilder, BusPerfAnalyzer, MemorySlave, Op, ScriptedMaster,
+/// };
+///
+/// let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+///     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 1), Op::read(0x0)])))
+///     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+///     .build()?;
+/// let mut perf = BusPerfAnalyzer::new(1);
+/// for _ in 0..20 {
+///     perf.observe(bus.step());
+/// }
+/// perf.finish();
+/// assert_eq!(perf.cycles(), 20);
+/// assert_eq!(perf.master(0).transfers_ok, 2);
+/// # Ok::<(), ahbpower_ahb::BuildBusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BusPerfAnalyzer {
+    cycles: u64,
+    handovers: u64,
+    data_transfer_cycles: u64,
+    idle_cycles: u64,
+    masters: Vec<MasterPerf>,
+    /// Cycle each master's current request started waiting, if any.
+    request_since: Vec<Option<u64>>,
+    arbitration_latency: CycleHistogram,
+    burst_beats: CycleHistogram,
+    /// Beats observed in the burst currently in flight.
+    open_burst_beats: u64,
+    /// Owner of the data phase in flight (`None` while the pipe is empty).
+    dp_master: Option<MasterId>,
+    prev_hmaster: Option<MasterId>,
+}
+
+/// Default arbitration-latency bucket bounds, cycles.
+pub const ARBITRATION_LATENCY_BOUNDS: [u64; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+/// Default burst-length bucket bounds, beats (AHB's fixed burst kinds).
+pub const BURST_BEATS_BOUNDS: [u64; 5] = [1, 2, 4, 8, 16];
+
+impl BusPerfAnalyzer {
+    /// Creates an analyzer for a bus with `n_masters` masters.
+    pub fn new(n_masters: usize) -> Self {
+        BusPerfAnalyzer {
+            cycles: 0,
+            handovers: 0,
+            data_transfer_cycles: 0,
+            idle_cycles: 0,
+            masters: vec![MasterPerf::default(); n_masters],
+            request_since: vec![None; n_masters],
+            arbitration_latency: CycleHistogram::new(&ARBITRATION_LATENCY_BOUNDS),
+            burst_beats: CycleHistogram::new(&BURST_BEATS_BOUNDS),
+            open_burst_beats: 0,
+            dp_master: None,
+            prev_hmaster: None,
+        }
+    }
+
+    /// Observes one cycle's wires. Allocation-free.
+    pub fn observe(&mut self, snap: &BusSnapshot) {
+        let owner = snap.hmaster.index();
+        if self.masters.len() <= owner {
+            // A master the constructor did not know about (defensive).
+            self.masters.resize(owner + 1, MasterPerf::default());
+            self.request_since.resize(owner + 1, None);
+        }
+        self.masters[owner].grant_cycles += 1;
+        if let Some(prev) = self.prev_hmaster {
+            if prev != snap.hmaster {
+                self.handovers += 1;
+            }
+        }
+        self.prev_hmaster = Some(snap.hmaster);
+
+        // Data-phase accounting: the transfer in flight belongs to the
+        // master that issued its address phase, not the current owner.
+        if snap.hready {
+            if let Some(m) = self.dp_master.take() {
+                self.masters[m.index()].transfers_ok += u64::from(snap.hresp == HResp::Okay);
+                self.data_transfer_cycles += 1;
+            }
+        } else if snap.hresp == HResp::Okay {
+            if let Some(m) = self.dp_master {
+                self.masters[m.index()].wait_cycles += 1;
+            }
+        }
+        if snap.hready && snap.htrans.is_transfer() {
+            self.dp_master = Some(snap.hmaster);
+        }
+
+        // Arbitration latency: cycles from a master raising HBUSREQ to its
+        // first owning cycle.
+        for (i, &req) in snap.hbusreq.iter().enumerate() {
+            if i >= self.request_since.len() {
+                break;
+            }
+            if i == owner {
+                if let Some(since) = self.request_since[i].take() {
+                    self.arbitration_latency.observe(self.cycles - since);
+                }
+            } else if req {
+                if self.request_since[i].is_none() {
+                    self.request_since[i] = Some(self.cycles);
+                }
+                self.masters[i].request_wait_cycles += 1;
+            } else {
+                self.request_since[i] = None;
+            }
+        }
+
+        // Burst shape: NONSEQ opens a burst, SEQ extends it, IDLE closes it.
+        match snap.htrans {
+            HTrans::NonSeq => {
+                self.close_burst();
+                self.open_burst_beats = 1;
+            }
+            HTrans::Seq => self.open_burst_beats += 1,
+            HTrans::Busy => {}
+            HTrans::Idle => {
+                self.close_burst();
+                self.idle_cycles += 1;
+            }
+        }
+        self.cycles += 1;
+    }
+
+    fn close_burst(&mut self) {
+        if self.open_burst_beats > 0 {
+            self.burst_beats.observe(self.open_burst_beats);
+            self.open_burst_beats = 0;
+        }
+    }
+
+    /// Closes any burst still in flight; call once after the run.
+    pub fn finish(&mut self) {
+        self.close_burst();
+    }
+
+    /// Cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Bus ownership changes.
+    pub fn handovers(&self) -> u64 {
+        self.handovers
+    }
+
+    /// Cycles with an IDLE address phase.
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+
+    /// Per-master counters (index = master id).
+    pub fn masters(&self) -> &[MasterPerf] {
+        &self.masters
+    }
+
+    /// Counters for one master.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn master(&self, i: usize) -> &MasterPerf {
+        &self.masters[i]
+    }
+
+    /// The request-to-grant latency histogram, cycles.
+    pub fn arbitration_latency(&self) -> &CycleHistogram {
+        &self.arbitration_latency
+    }
+
+    /// The burst-length histogram, beats.
+    pub fn burst_beats(&self) -> &CycleHistogram {
+        &self.burst_beats
+    }
+
+    /// Fraction of cycles that completed a data transfer (0..=1).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.data_transfer_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Handovers per cycle (0..=1).
+    pub fn handover_rate(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.handovers as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::AhbBusBuilder;
+    use crate::decoder::AddressMap;
+    use crate::master::{Op, ScriptedMaster};
+    use crate::slave::MemorySlave;
+    use crate::types::HBurst;
+
+    #[test]
+    fn histogram_buckets_and_cumulative() {
+        let mut h = CycleHistogram::new(&[0, 2, 8]);
+        for v in [0, 0, 1, 5, 9, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4, 6]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 115);
+        assert!((h.mean() - 115.0 / 6.0).abs() < 1e-12);
+        assert_eq!(CycleHistogram::new(&[1]).mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = CycleHistogram::new(&[2, 1]);
+    }
+
+    fn run_analyzed(ops0: Vec<Op>, ops1: Vec<Op>, cycles: u64) -> BusPerfAnalyzer {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+            .master(Box::new(ScriptedMaster::new(ops0)))
+            .master(Box::new(ScriptedMaster::new(ops1)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+            .build()
+            .unwrap();
+        let mut perf = BusPerfAnalyzer::new(2);
+        for _ in 0..cycles {
+            perf.observe(bus.step());
+        }
+        perf.finish();
+        perf
+    }
+
+    #[test]
+    fn transfers_attributed_to_data_phase_owner() {
+        let perf = run_analyzed(
+            vec![Op::write(0x0, 1), Op::read(0x0)],
+            vec![Op::Idle(1), Op::write(0x1000, 2)],
+            40,
+        );
+        assert_eq!(perf.master(0).transfers_ok, 2);
+        assert_eq!(perf.master(1).transfers_ok, 1);
+        assert_eq!(perf.cycles(), 40);
+        assert!(perf.handovers() >= 2, "bus changed hands");
+        assert!(perf.utilization() > 0.0 && perf.utilization() < 1.0);
+        assert!(perf.handover_rate() > 0.0);
+        let grants: u64 = perf.masters().iter().map(|m| m.grant_cycles).sum();
+        assert_eq!(grants, 40, "every cycle has exactly one owner");
+    }
+
+    #[test]
+    fn wait_states_counted_per_master() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::write(0x0, 1),
+                Op::write(0x4, 2),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x1000, 2, 0)))
+            .build()
+            .unwrap();
+        let mut perf = BusPerfAnalyzer::new(1);
+        for _ in 0..40 {
+            perf.observe(bus.step());
+        }
+        perf.finish();
+        assert_eq!(perf.master(0).transfers_ok, 2);
+        assert_eq!(perf.master(0).wait_cycles, 4, "2 wait states per write");
+    }
+
+    #[test]
+    fn arbitration_latency_recorded_for_waiting_master() {
+        // Master 1 requests while master 0 (higher priority) transfers:
+        // its grant is delayed, producing a non-zero latency observation.
+        let perf = run_analyzed(
+            vec![
+                Op::write(0x0, 1),
+                Op::write(0x4, 2),
+                Op::write(0x8, 3),
+                Op::Idle(6),
+            ],
+            vec![Op::Idle(1), Op::write(0x1000, 9), Op::Idle(6)],
+            60,
+        );
+        // Master 0 owns the bus from reset (default master) and never
+        // waits; only master 1's delayed grant produces an observation.
+        let h = perf.arbitration_latency();
+        assert!(h.count() >= 1, "master 1 was eventually granted: {h:?}");
+        assert!(h.sum() > 0, "master 1 waited for the bus: {h:?}");
+        assert!(perf.master(1).request_wait_cycles > 0);
+    }
+
+    #[test]
+    fn burst_lengths_land_in_buckets() {
+        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x10000))
+            .master(Box::new(ScriptedMaster::new(vec![
+                Op::Burst {
+                    write: true,
+                    burst: HBurst::Incr4,
+                    addr: 0x0,
+                    data: vec![1, 2, 3, 4],
+                    size: crate::types::HSize::Word,
+                    busy_between: 0,
+                },
+                Op::Idle(2),
+                Op::write(0x100, 7),
+            ])))
+            .slave(Box::new(MemorySlave::new(0x10000, 0, 0)))
+            .build()
+            .unwrap();
+        let mut perf = BusPerfAnalyzer::new(1);
+        for _ in 0..40 {
+            perf.observe(bus.step());
+        }
+        perf.finish();
+        let h = perf.burst_beats();
+        assert_eq!(h.count(), 2, "one 4-beat burst + one single: {h:?}");
+        assert_eq!(h.sum(), 5);
+        // Bucket bounds are [1, 2, 4, 8, 16]: the single lands in <=1 and
+        // the 4-beat burst in <=4.
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[2], 1);
+    }
+
+    #[test]
+    fn empty_analyzer_rates_are_zero() {
+        let perf = BusPerfAnalyzer::new(2);
+        assert_eq!(perf.utilization(), 0.0);
+        assert_eq!(perf.handover_rate(), 0.0);
+        assert_eq!(perf.cycles(), 0);
+        assert_eq!(perf.masters().len(), 2);
+    }
+}

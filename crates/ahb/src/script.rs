@@ -118,7 +118,8 @@ pub fn parse_ops(text: &str) -> Result<Vec<Op>, ParseOpsError> {
             }
             "write" => {
                 let addr = parse_hex(
-                    toks.next().ok_or_else(|| err(line_no, "write needs addr"))?,
+                    toks.next()
+                        .ok_or_else(|| err(line_no, "write needs addr"))?,
                     line_no,
                 )?;
                 let value = parse_hex(
@@ -138,9 +139,7 @@ pub fn parse_ops(text: &str) -> Result<Vec<Op>, ParseOpsError> {
                 Some(Op::Read { addr, size })
             }
             "burst" => {
-                let dir = toks
-                    .next()
-                    .ok_or_else(|| err(line_no, "burst needs r|w"))?;
+                let dir = toks.next().ok_or_else(|| err(line_no, "burst needs r|w"))?;
                 let write = match dir {
                     "w" => true,
                     "r" => false,
@@ -152,7 +151,8 @@ pub fn parse_ops(text: &str) -> Result<Vec<Op>, ParseOpsError> {
                     line_no,
                 )?;
                 let addr = parse_hex(
-                    toks.next().ok_or_else(|| err(line_no, "burst needs addr"))?,
+                    toks.next()
+                        .ok_or_else(|| err(line_no, "burst needs addr"))?,
                     line_no,
                 )?;
                 let data: Vec<u32> = toks
@@ -164,7 +164,10 @@ pub fn parse_ops(text: &str) -> Result<Vec<Op>, ParseOpsError> {
                         if data.len() != n {
                             return Err(err(
                                 line_no,
-                                format!("{burst} write burst needs {n} data words, got {}", data.len()),
+                                format!(
+                                    "{burst} write burst needs {n} data words, got {}",
+                                    data.len()
+                                ),
                             ));
                         }
                     } else if data.is_empty() {
@@ -222,7 +225,10 @@ pub fn format_ops(ops: &[Op]) -> String {
         match op {
             Op::Idle(n) => out.push_str(&format!("{pad}idle {n}\n")),
             Op::Write { addr, value, size } => {
-                out.push_str(&format!("{pad}write 0x{addr:x} 0x{value:x} {}\n", size_ch(*size)));
+                out.push_str(&format!(
+                    "{pad}write 0x{addr:x} 0x{value:x} {}\n",
+                    size_ch(*size)
+                ));
             }
             Op::Read { addr, size } => {
                 out.push_str(&format!("{pad}read 0x{addr:x} {}\n", size_ch(*size)));
@@ -333,8 +339,14 @@ endlock
 
     #[test]
     fn lock_must_balance() {
-        assert!(parse_ops("lock\nwrite 0 1\n").unwrap_err().message.contains("unterminated"));
-        assert!(parse_ops("endlock\n").unwrap_err().message.contains("without lock"));
+        assert!(parse_ops("lock\nwrite 0 1\n")
+            .unwrap_err()
+            .message
+            .contains("unterminated"));
+        assert!(parse_ops("endlock\n")
+            .unwrap_err()
+            .message
+            .contains("without lock"));
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl MemorySlave {
     ///
     /// Panics if `size` is zero or not a power of two.
     pub fn new(size: usize, wait_first: u32, wait_seq: u32) -> Self {
-        assert!(size > 0 && size.is_power_of_two(), "size must be a power of two");
+        assert!(
+            size > 0 && size.is_power_of_two(),
+            "size must be a power of two"
+        );
         MemorySlave {
             data: vec![0; size],
             wait_first,

@@ -120,9 +120,11 @@ impl BusTracer {
                 "hresp" => u64::from(s.hresp.bits()),
                 "hmaster" => u64::from(s.hmaster.0),
                 "hmastlock" => u64::from(s.hmastlock),
-                "hbusreq" => s.hbusreq.iter().enumerate().fold(0, |a, (i, &b)| {
-                    a | (u64::from(b) << i)
-                }),
+                "hbusreq" => s
+                    .hbusreq
+                    .iter()
+                    .enumerate()
+                    .fold(0, |a, (i, &b)| a | (u64::from(b) << i)),
                 "hgrant" => u64::from(s.hgrant_bits()),
                 "hsel" => u64::from(s.hsel_bits()),
                 _ => unreachable!("unknown field {name}"),

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use ahbpower::telemetry::TelemetryConfig;
 use ahbpower::{AnalysisConfig, PowerSession};
 use ahbpower_bench::build_paper_bus;
 
@@ -26,6 +27,28 @@ fn bench_overhead(c: &mut Criterion) {
             let mut bus = build_paper_bus(CYCLES, 2003);
             let mut session = PowerSession::new(&cfg);
             session.run(&mut bus, CYCLES);
+            black_box(session.total_energy())
+        });
+    });
+    // The acceptance gate for the telemetry subsystem: a session built
+    // with telemetry disabled (the default config) must track the plain
+    // instrumented run above, and the enabled run shows the full cost.
+    g.bench_function("telemetry_disabled_20k_cycles", |b| {
+        let cfg = AnalysisConfig::paper_testbench();
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, 2003);
+            let mut session = PowerSession::with_telemetry(&cfg, TelemetryConfig::default());
+            session.run(&mut bus, CYCLES);
+            black_box(session.total_energy())
+        });
+    });
+    g.bench_function("telemetry_enabled_20k_cycles", |b| {
+        let cfg = AnalysisConfig::paper_testbench();
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, 2003);
+            let mut session = PowerSession::with_telemetry(&cfg, TelemetryConfig::enabled("bench"));
+            session.run(&mut bus, CYCLES);
+            session.finish_telemetry();
             black_box(session.total_energy())
         });
     });

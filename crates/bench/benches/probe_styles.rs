@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use ahbpower::{
-    AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe,
-};
+use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
 use ahbpower_ahb::BusSnapshot;
 use ahbpower_bench::build_paper_bus;
 

@@ -3,17 +3,29 @@
 //! ```text
 //! cargo run --release -p ahbpower-bench --bin repro -- all
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
-//! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation all
+//! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
+//!              coding dpm telemetry telemetry-overhead all
 //! ```
 //!
-//! Text goes to stdout; CSV artifacts go to `results/`.
+//! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
+//! to any figure/table command to also emit `results/telemetry.{jsonl,csv,prom}`
+//! from the same run; the `telemetry` subcommand does that plus a kernel-hosted
+//! profiling pass, and `telemetry-overhead` measures the cost of the subsystem
+//! and writes `BENCH_telemetry.json`.
 
 use std::fs;
 use std::time::Instant;
 
 use ahbpower::report;
-use ahbpower::{fit_ahb_power_model, AnalysisConfig, PowerSession, TracePoint};
-use ahbpower_bench::{build_paper_bus, compare_probe_styles, run_paper_experiment, PaperRun};
+use ahbpower::telemetry::TelemetryConfig;
+use ahbpower::{
+    fit_ahb_power_model, run_on_kernel_profiled, AnalysisConfig, PowerSession, TracePoint,
+};
+use ahbpower_bench::{
+    build_paper_bus, compare_probe_styles, run_paper_experiment, run_paper_experiment_telemetered,
+    PaperRun,
+};
+use ahbpower_sim::SimTime;
 use ahbpower_workloads::PaperTestbench;
 
 const DEFAULT_CYCLES: u64 = 5_000_000;
@@ -24,9 +36,11 @@ fn main() {
     let mut cmd = "all".to_string();
     let mut cycles = DEFAULT_CYCLES;
     let mut seed = DEFAULT_SEED;
+    let mut telemetry = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--telemetry" => telemetry = true,
             "--cycles" => {
                 cycles = it
                     .next()
@@ -45,24 +59,26 @@ fn main() {
     }
     fs::create_dir_all("results").expect("create results/");
     match cmd.as_str() {
-        "table1" => table1(&run(cycles, seed)),
-        "fig3" => fig(&run(cycles, seed), 3),
-        "fig4" => fig(&run(cycles, seed), 4),
-        "fig5" => fig(&run(cycles, seed), 5),
-        "fig6" => fig6(&run(cycles, seed)),
+        "table1" => table1(&mut run(cycles, seed, telemetry)),
+        "fig3" => fig(&mut run(cycles, seed, telemetry), 3),
+        "fig4" => fig(&mut run(cycles, seed, telemetry), 4),
+        "fig5" => fig(&mut run(cycles, seed, telemetry), 5),
+        "fig6" => fig6(&mut run(cycles, seed, telemetry)),
         "validation" => validation(),
         "styles" => styles(cycles.min(500_000), seed),
         "overhead" => overhead(cycles.min(1_000_000), seed),
         "ablation" => ablation(cycles.min(1_000_000), seed),
         "coding" => coding(cycles.min(300_000), seed),
         "dpm" => dpm(cycles.min(500_000), seed),
+        "telemetry" => telemetry_run(cycles.min(1_000_000), seed),
+        "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed),
         "all" => {
-            let r = run(cycles, seed);
-            table1(&r);
-            fig(&r, 3);
-            fig(&r, 4);
-            fig(&r, 5);
-            fig6(&r);
+            let mut r = run(cycles, seed, telemetry);
+            table1(&mut r);
+            fig(&mut r, 3);
+            fig(&mut r, 4);
+            fig(&mut r, 5);
+            fig6(&mut r);
             validation();
             styles(cycles.min(500_000), seed);
             overhead(cycles.min(1_000_000), seed);
@@ -76,14 +92,20 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|all] [--cycles N] [--seed S]");
+    eprintln!(
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|telemetry|telemetry-overhead|all] [--cycles N] [--seed S] [--telemetry]"
+    );
     std::process::exit(2);
 }
 
-fn run(cycles: u64, seed: u64) -> PaperRun {
+fn run(cycles: u64, seed: u64, telemetry: bool) -> PaperRun {
     eprintln!("running paper testbench: {cycles} cycles @ 100 MHz, seed {seed} ...");
     let t0 = Instant::now();
-    let r = run_paper_experiment(cycles, seed);
+    let mut r = if telemetry {
+        run_paper_experiment_telemetered(cycles, seed)
+    } else {
+        run_paper_experiment(cycles, seed)
+    };
     eprintln!(
         "  done in {:.2?} ({:.1} Mcycles/s), {} OK transfers, {} handovers",
         t0.elapsed(),
@@ -91,10 +113,103 @@ fn run(cycles: u64, seed: u64) -> PaperRun {
         r.bus.stats().transfers_ok,
         r.bus.stats().handovers,
     );
+    export_telemetry(&mut r);
     r
 }
 
-fn table1(r: &PaperRun) {
+/// Writes `results/telemetry.{jsonl,csv,prom}` when the run carries
+/// telemetry; a no-op otherwise.
+fn export_telemetry(r: &mut PaperRun) {
+    let Some(t) = r.session.finish_telemetry() else {
+        return;
+    };
+    fs::write("results/telemetry.jsonl", t.to_jsonl()).expect("write results/telemetry.jsonl");
+    fs::write("results/telemetry.csv", t.to_csv()).expect("write results/telemetry.csv");
+    fs::write("results/telemetry.prom", t.to_prometheus()).expect("write results/telemetry.prom");
+    println!("-> results/telemetry.jsonl, results/telemetry.csv, results/telemetry.prom\n");
+}
+
+/// The telemetry showcase: an enabled run (bus-performance analyzers +
+/// observer spans + power ledgers) plus a kernel-hosted profiling pass so
+/// the `sim_*` span metrics are populated too.
+fn telemetry_run(cycles: u64, seed: u64) {
+    println!("== Telemetry: metrics registry over {cycles} cycles ==");
+    let mut r = run_paper_experiment_telemetered(cycles, seed);
+    // A short kernel-hosted pass with wall-clock profiling enabled feeds
+    // the sim-kernel span metrics.
+    let kernel_cycles = cycles.min(20_000);
+    let kr = run_on_kernel_profiled(
+        build_paper_bus(kernel_cycles, seed),
+        None,
+        kernel_cycles,
+        SimTime::from_ns(10),
+        true,
+    )
+    .expect("kernel-hosted run succeeds");
+    let t = r.session.telemetry_mut().expect("telemetry enabled");
+    t.record_kernel(&kr.kernel.stats(), kr.kernel.profile(), &["ahb_bus"]);
+
+    let t = r.session.finish_telemetry().expect("telemetry enabled");
+    let perf = t.perf();
+    println!(
+        "bus utilization {:.1}%, {} handovers ({:.4}/cycle), mean arbitration latency {:.2} cycles",
+        perf.utilization() * 100.0,
+        perf.handovers(),
+        perf.handover_rate(),
+        perf.arbitration_latency().mean()
+    );
+    for (i, m) in perf.masters().iter().enumerate() {
+        println!(
+            "master {i}: {:>7} grant cycles, {:>6} transfers, {:>5} wait cycles, {:>6} request-wait cycles",
+            m.grant_cycles, m.transfers_ok, m.wait_cycles, m.request_wait_cycles
+        );
+    }
+    fs::write("results/telemetry.jsonl", t.to_jsonl()).expect("write results/telemetry.jsonl");
+    fs::write("results/telemetry.csv", t.to_csv()).expect("write results/telemetry.csv");
+    fs::write("results/telemetry.prom", t.to_prometheus()).expect("write results/telemetry.prom");
+    println!("-> results/telemetry.jsonl, results/telemetry.csv, results/telemetry.prom\n");
+}
+
+/// Measures what telemetry costs: functional-only vs power session with
+/// telemetry disabled (the default) vs enabled. Writes `BENCH_telemetry.json`.
+fn telemetry_overhead(cycles: u64, seed: u64) {
+    println!("== Telemetry overhead over {cycles} cycles ==");
+    let cfg = AnalysisConfig::paper_testbench();
+    let mut bus = build_paper_bus(cycles, seed);
+    let t0 = Instant::now();
+    bus.run(cycles);
+    let functional = t0.elapsed().as_secs_f64();
+
+    let mut bus = build_paper_bus(cycles, seed);
+    let mut session = PowerSession::with_telemetry(&cfg, TelemetryConfig::default());
+    let t0 = Instant::now();
+    session.run(&mut bus, cycles);
+    let disabled = t0.elapsed().as_secs_f64();
+
+    let mut bus = build_paper_bus(cycles, seed);
+    let tcfg = TelemetryConfig::enabled(PaperTestbench::LABEL).with_seed(seed);
+    let mut session = PowerSession::with_telemetry(&cfg, tcfg);
+    let t0 = Instant::now();
+    session.run(&mut bus, cycles);
+    let enabled = t0.elapsed().as_secs_f64();
+    session.finish_telemetry();
+
+    let enabled_pct = (enabled / disabled - 1.0) * 100.0;
+    println!("functional only:      {functional:.4} s");
+    println!(
+        "power session (telemetry off): {disabled:.4} s ({:.2}x functional)",
+        disabled / functional
+    );
+    println!("power session (telemetry on):  {enabled:.4} s ({enabled_pct:+.1}% vs off)");
+    let json = format!(
+        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"functional_s\": {functional:.6},\n  \"telemetry_disabled_s\": {disabled:.6},\n  \"telemetry_enabled_s\": {enabled:.6},\n  \"instrumentation_ratio\": {:.4},\n  \"enabled_overhead_pct\": {enabled_pct:.2}\n}}\n",
+        disabled / functional
+    );
+    fs::write("BENCH_telemetry.json", json).expect("write BENCH_telemetry.json");
+    println!("-> BENCH_telemetry.json\n");
+}
+
+fn table1(r: &mut PaperRun) {
     println!("== Table 1: instruction energy analysis ==");
     println!(
         "({} cycles = {:.3} ms simulated at 100 MHz)",
@@ -107,12 +222,16 @@ fn table1(r: &PaperRun) {
     println!("-> results/table1.csv\n");
 }
 
-fn fig(r: &PaperRun, which: u8) {
+fn fig(r: &mut PaperRun, which: u8) {
     let horizon = 4e-6; // the paper plots the first 4 us
     let pts: Vec<TracePoint> = r.session.trace().points_before(horizon).to_vec();
     let (title, file, pick): (&str, &str, fn(&TracePoint) -> f64) = match which {
-        3 => ("total AHB power", "results/fig3_total_power.csv", |p| p.total_w),
-        4 => ("arbiter power", "results/fig4_arbiter_power.csv", |p| p.arb_w),
+        3 => ("total AHB power", "results/fig3_total_power.csv", |p| {
+            p.total_w
+        }),
+        4 => ("arbiter power", "results/fig4_arbiter_power.csv", |p| {
+            p.arb_w
+        }),
         5 => ("M2S mux power", "results/fig5_m2s_power.csv", |p| p.m2s_w),
         _ => unreachable!("fig() only handles 3, 4, 5"),
     };
@@ -122,11 +241,14 @@ fn fig(r: &PaperRun, which: u8) {
     println!("-> {file}\n");
 }
 
-fn fig6(r: &PaperRun) {
+fn fig6(r: &mut PaperRun) {
     println!("== Fig 6: AHB sub-block power contributions ==");
     print!("{}", r.session.blocks());
-    fs::write("results/fig6_blocks.csv", report::fig6_csv(r.session.blocks()))
-        .expect("write results/fig6_blocks.csv");
+    fs::write(
+        "results/fig6_blocks.csv",
+        report::fig6_csv(r.session.blocks()),
+    )
+    .expect("write results/fig6_blocks.csv");
     println!("-> results/fig6_blocks.csv\n");
 }
 
@@ -275,7 +397,10 @@ fn coding(cycles: u64, seed: u64) {
         }
         trace
     };
-    let traces = [("dma-sequential", record(dma_bus())), ("soc-mixed", record(soc_bus()))];
+    let traces = [
+        ("dma-sequential", record(dma_bus())),
+        ("soc-mixed", record(soc_bus())),
+    ];
     let cfg = AnalysisConfig {
         n_masters: ahbpower_workloads::SocScenario::N_MASTERS,
         n_slaves: ahbpower_workloads::SocScenario::N_SLAVES,

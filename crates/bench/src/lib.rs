@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use ahbpower::telemetry::TelemetryConfig;
 use ahbpower::{AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe, PowerSession};
 use ahbpower_ahb::AhbBus;
 use ahbpower_workloads::PaperTestbench;
@@ -35,6 +36,29 @@ pub fn run_paper_experiment(cycles: u64, seed: u64) -> PaperRun {
     let tb = PaperTestbench::sized_for(cycles, seed);
     let mut bus = tb.build().expect("paper testbench is statically valid");
     let mut session = PowerSession::new(&config);
+    session.run(&mut bus, cycles);
+    PaperRun {
+        config,
+        session,
+        bus,
+        cycles,
+    }
+}
+
+/// Like [`run_paper_experiment`], with telemetry enabled: the session
+/// carries a live [`ahbpower::telemetry::Telemetry`] labelled
+/// [`PaperTestbench::LABEL`]; call
+/// [`PowerSession::finish_telemetry`] on the returned session to export.
+///
+/// # Panics
+///
+/// Panics if the testbench fails to build (impossible for valid configs).
+pub fn run_paper_experiment_telemetered(cycles: u64, seed: u64) -> PaperRun {
+    let config = AnalysisConfig::paper_testbench();
+    let tb = PaperTestbench::sized_for(cycles, seed);
+    let mut bus = tb.build().expect("paper testbench is statically valid");
+    let tcfg = TelemetryConfig::enabled(PaperTestbench::LABEL).with_seed(seed);
+    let mut session = PowerSession::with_telemetry(&config, tcfg);
     session.run(&mut bus, cycles);
     PaperRun {
         config,
@@ -95,6 +119,32 @@ mod tests {
         let rows = run.session.ledger().rows();
         assert!(rows.len() >= 4, "several instructions executed: {rows:?}");
         assert!(run.bus.stats().transfers_ok > 100);
+    }
+
+    #[test]
+    fn telemetered_run_matches_plain_run_and_exports() {
+        let plain = run_paper_experiment(5_000, 2003);
+        let mut telemetered = run_paper_experiment_telemetered(5_000, 2003);
+        assert_eq!(
+            telemetered.session.total_energy(),
+            plain.session.total_energy(),
+            "telemetry must not perturb the energy analysis"
+        );
+        let t = telemetered.session.finish_telemetry().expect("enabled");
+        let reg = t.registry();
+        assert_eq!(reg.counter_value("ahb_cycles_total", &[]), Some(5_000.0));
+        // Per-master wait-state counters exist for all three masters.
+        for m in ["0", "1", "2"] {
+            assert!(
+                reg.counter_value("ahb_master_wait_cycles_total", &[("master", m)])
+                    .is_some(),
+                "master {m} wait counter"
+            );
+        }
+        assert!(t.to_jsonl().contains("\"scenario\":\"paper_testbench\""));
+        assert!(t
+            .to_prometheus()
+            .contains("ahb_arbitration_latency_cycles_bucket"));
     }
 
     #[test]

@@ -11,9 +11,7 @@ use ahbpower_gate::{
     SplitMix64,
 };
 
-use crate::macromodel::{
-    fit_linear, ArbiterModel, DecoderModel, LinearFit, MuxModel, TechParams,
-};
+use crate::macromodel::{fit_linear, ArbiterModel, DecoderModel, LinearFit, MuxModel, TechParams};
 
 /// One point of a validation sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,9 +226,7 @@ pub fn fit_arbiter_model(n_masters: usize, tech: &TechParams) -> (ArbiterModel, 
         let measured = measure_arbiter(n_masters, 512, prob, tech, 1234 + u64::from(prob));
         let (hd_per_cycle, ho_per_cycle) =
             arbiter_feature_rates(n_masters, 512, prob, 1234 + u64::from(prob));
-        let predict = |m: &ArbiterModel| {
-            hd_per_cycle * m.a_req + ho_per_cycle * m.b_grant
-        };
+        let predict = |m: &ArbiterModel| hd_per_cycle * m.a_req + ho_per_cycle * m.b_grant;
         points.push(ValidationPoint {
             x: f64::from(prob) / 256.0,
             measured,
@@ -316,9 +312,10 @@ pub fn fit_ahb_power_model(
         n_masters.max(2),
         m2s.a_data,
         m2s.a_out,
-        m2s.b_sel * (f64::from(crate::model::ADDR_BITS + crate::model::CTRL_BITS
-            + crate::model::WDATA_BITS)
-            / f64::from(crate::model::ADDR_BITS + crate::model::CTRL_BITS)),
+        m2s.b_sel
+            * (f64::from(
+                crate::model::ADDR_BITS + crate::model::CTRL_BITS + crate::model::WDATA_BITS,
+            ) / f64::from(crate::model::ADDR_BITS + crate::model::CTRL_BITS)),
     );
     (
         crate::AhbPowerModel::with_models(dec, m2s, s2m, arb),

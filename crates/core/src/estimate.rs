@@ -63,7 +63,10 @@ impl TrafficStats {
             (0.0..=1.0).contains(&write_fraction),
             "write fraction in [0,1]"
         );
-        assert!((0.0..=1.0).contains(&handover_rate), "handover rate in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&handover_rate),
+            "handover rate in [0,1]"
+        );
         assert!(addr_bits <= ADDR_BITS, "at most 32 address bits");
         let u = utilization;
         let w = write_fraction;
@@ -108,11 +111,11 @@ pub fn estimate_cycle_energy(model: &AhbPowerModel, stats: &TrafficStats) -> Blo
     let dec =
         model.decoder.alpha * stats.addr_toggles + model.decoder.beta * stats.addr_change_rate;
     let m2s_bits = stats.addr_toggles + stats.ctrl_toggles + stats.wdata_toggles;
-    let m2s = m2s_bits * (model.m2s.a_data + model.m2s.a_out)
-        + stats.handover_rate * model.m2s.b_sel;
+    let m2s =
+        m2s_bits * (model.m2s.a_data + model.m2s.a_out) + stats.handover_rate * model.m2s.b_sel;
     let s2m_bits = stats.rdata_toggles + stats.resp_toggles;
-    let s2m = s2m_bits * (model.s2m.a_data + model.s2m.a_out)
-        + stats.s2m_select_rate * model.s2m.b_sel;
+    let s2m =
+        s2m_bits * (model.s2m.a_data + model.s2m.a_out) + stats.s2m_select_rate * model.s2m.b_sel;
     let arb = stats.busreq_toggles * model.arbiter.a_req
         + stats.handover_rate * model.arbiter.b_grant
         + model.arbiter.e_clock;
@@ -153,7 +156,11 @@ mod tests {
         let mk = |i: u32| BusSnapshot {
             cycle: u64::from(i),
             haddr: i.wrapping_mul(0x1357),
-            htrans: if i.is_multiple_of(2) { HTrans::NonSeq } else { HTrans::Idle },
+            htrans: if i.is_multiple_of(2) {
+                HTrans::NonSeq
+            } else {
+                HTrans::Idle
+            },
             hwrite: i % 4 < 2,
             hsize: HSize::Word,
             hburst: HBurst::Single,
@@ -173,8 +180,7 @@ mod tests {
             probe.observe(&mk(i));
         }
         let stats = probe.traffic_stats();
-        let predicted_total =
-            estimate_cycle_energy(&model(), &stats).total() * (cycles - 1) as f64;
+        let predicted_total = estimate_cycle_energy(&model(), &stats).total() * (cycles - 1) as f64;
         let measured = probe.total_energy();
         assert!(
             (predicted_total - measured).abs() < 1e-6 * measured,

@@ -214,7 +214,13 @@ impl fmt::Display for BlockLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<6} {:>14} {:>8}", "block", "energy", "share")?;
         for (name, e, share) in self.shares() {
-            writeln!(f, "{:<6} {:>14} {:>7.2}%", name, fmt_energy(e), share * 100.0)?;
+            writeln!(
+                f,
+                "{:<6} {:>14} {:>7.2}%",
+                name,
+                fmt_energy(e),
+                share * 100.0
+            )?;
         }
         Ok(())
     }

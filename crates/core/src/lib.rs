@@ -25,7 +25,10 @@
 //! - [`InlineProbe`], [`FsmProbe`], [`GlobalProbe`] — the three power-model
 //!   integration styles of the paper's Fig. 1;
 //! - [`PowerSession`] / [`run_on_kernel`] — turnkey analysis, optionally
-//!   hosted on the `ahbpower-sim` discrete-event kernel.
+//!   hosted on the `ahbpower-sim` discrete-event kernel;
+//! - [`telemetry`] — opt-in (default-off) observability: a metrics
+//!   registry, hot-loop spans, bus-performance analyzers, and
+//!   JSONL/CSV/Prometheus exporters.
 //!
 //! ## Quick start
 //!
@@ -67,8 +70,9 @@ mod power_fsm;
 mod probe;
 pub mod report;
 mod sc;
-mod sram;
 mod session;
+mod sram;
+pub mod telemetry;
 mod trace;
 
 pub use activity::{hamming, ActivityMonitor, ProbeId, SignalActivity};
@@ -82,13 +86,12 @@ pub use estimate::{estimate_cycle_energy, estimate_power, TrafficStats};
 pub use instruction::{classify_mode, ActivityMode, Instruction, INSTRUCTION_COUNT};
 pub use ledger::{fmt_energy, BlockLedger, InstructionLedger, InstructionRow, BLOCK_NAMES};
 pub use macromodel::{
-    ceil_log2, fit_linear, ArbiterModel, BlockEnergy, DecoderModel, LinearFit, MuxModel,
-    TechParams,
+    ceil_log2, fit_linear, ArbiterModel, BlockEnergy, DecoderModel, LinearFit, MuxModel, TechParams,
 };
 pub use model::{AhbPowerModel, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS, WDATA_BITS};
 pub use power_fsm::{CycleRecord, PowerFsm};
 pub use probe::{FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
-pub use sc::{run_on_kernel, KernelRun};
-pub use sram::{SramLedger, SramMode, SramModel, SramProbe};
+pub use sc::{run_on_kernel, run_on_kernel_profiled, KernelRun};
 pub use session::PowerSession;
+pub use sram::{SramLedger, SramMode, SramModel, SramProbe};
 pub use trace::{PowerTrace, TracePoint};

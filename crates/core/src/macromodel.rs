@@ -96,9 +96,7 @@ impl DecoderModel {
         DecoderModel {
             n_outputs,
             n_addr_bits: n_i,
-            alpha: f64::from(n_i)
-                * n_outputs as f64
-                * tech.energy_per_toggle(tech.c_internal),
+            alpha: f64::from(n_i) * n_outputs as f64 * tech.energy_per_toggle(tech.c_internal),
             beta: 2.0 * tech.energy_per_toggle(tech.c_output),
         }
     }
@@ -165,8 +163,7 @@ impl MuxModel {
             a_out: e_o,
             // Select decoder (inverters + lines) + half the data bits
             // re-pathing through AND/OR levels + half the outputs moving.
-            b_sel: e_pd * (sel_bits + n_inputs as f64 + w * (1.0 + levels) / 2.0)
-                + e_o * (w / 2.0),
+            b_sel: e_pd * (sel_bits + n_inputs as f64 + w * (1.0 + levels) / 2.0) + e_o * (w / 2.0),
         }
     }
 
@@ -249,9 +246,7 @@ impl ArbiterModel {
     /// Energy of one cycle with `hd_req` toggled request bits and
     /// (optionally) a handover. Includes the per-cycle clock term.
     pub fn energy(&self, hd_req: u32, handover: bool) -> f64 {
-        self.e_clock
-            + f64::from(hd_req) * self.a_req
-            + if handover { self.b_grant } else { 0.0 }
+        self.e_clock + f64::from(hd_req) * self.a_req + if handover { self.b_grant } else { 0.0 }
     }
 }
 
@@ -299,7 +294,11 @@ pub fn fit_linear(points: &[(f64, f64)]) -> LinearFit {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     LinearFit {
         slope,
         intercept,

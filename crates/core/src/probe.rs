@@ -237,10 +237,7 @@ impl PowerProbe for GlobalProbe {
         if self.prev_master.is_some_and(|m| m != snap.hmaster) {
             self.handovers += 1;
         }
-        if self
-            .prev_hsel
-            .is_some_and(|s| s != snap.hsel_bits())
-        {
+        if self.prev_hsel.is_some_and(|s| s != snap.hsel_bits()) {
             self.s2m_sel_changes += 1;
         }
         self.prev_master = Some(snap.hmaster);
@@ -285,7 +282,11 @@ mod tests {
         BusSnapshot {
             cycle: u64::from(i),
             haddr: i.wrapping_mul(0x0101_0105),
-            htrans: if i.is_multiple_of(3) { HTrans::NonSeq } else { HTrans::Idle },
+            htrans: if i.is_multiple_of(3) {
+                HTrans::NonSeq
+            } else {
+                HTrans::Idle
+            },
             hwrite: i.is_multiple_of(2),
             hsize: HSize::Word,
             hburst: HBurst::Single,

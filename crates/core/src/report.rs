@@ -58,7 +58,11 @@ pub fn fig6_csv(blocks: &BlockLedger) -> String {
 
 /// Renders an ASCII bar chart of a power trace (for terminal inspection of
 /// Figs. 3-5 without a plotting stack).
-pub fn trace_ascii(points: &[TracePoint], pick: impl Fn(&TracePoint) -> f64, width: usize) -> String {
+pub fn trace_ascii(
+    points: &[TracePoint],
+    pick: impl Fn(&TracePoint) -> f64,
+    width: usize,
+) -> String {
     let max = points.iter().map(&pick).fold(0.0f64, f64::max);
     let mut out = String::new();
     for p in points {
@@ -96,7 +100,11 @@ pub fn validation_text(validations: &[ModelValidation]) -> String {
             v.mean_rel_err_paper * 100.0,
             v.mean_rel_err_fit * 100.0
         );
-        let _ = writeln!(out, "  {:>8} {:>12} {:>12} {:>12}", "x", "measured", "paper", "fitted");
+        let _ = writeln!(
+            out,
+            "  {:>8} {:>12} {:>12} {:>12}",
+            "x", "measured", "paper", "fitted"
+        );
         for p in &v.points {
             let _ = writeln!(
                 out,
@@ -140,7 +148,10 @@ mod tests {
     #[test]
     fn table1_csv_has_header_and_rows() {
         let mut l = InstructionLedger::new();
-        l.record(Instruction::new(ActivityMode::Write, ActivityMode::Read), 14.7e-12);
+        l.record(
+            Instruction::new(ActivityMode::Write, ActivityMode::Read),
+            14.7e-12,
+        );
         let csv = table1_csv(&l);
         let mut lines = csv.lines();
         assert_eq!(

@@ -57,7 +57,29 @@ pub fn run_on_kernel(
     cycles: u64,
     period: SimTime,
 ) -> Result<KernelRun, SimError> {
+    run_on_kernel_profiled(bus, session, cycles, period, false)
+}
+
+/// Like [`run_on_kernel`], with opt-in wall-clock profiling of the kernel
+/// hot loop: when `profile` is true, the returned kernel carries a
+/// [`ahbpower_sim::KernelProfile`] (see [`ahbpower_sim::Kernel::profile`])
+/// with per-delta-cycle and per-process timing, ready to publish through
+/// [`crate::telemetry::Telemetry::record_kernel`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the kernel (delta-cycle overflow).
+pub fn run_on_kernel_profiled(
+    bus: AhbBus,
+    session: Option<PowerSession>,
+    cycles: u64,
+    period: SimTime,
+    profile: bool,
+) -> Result<KernelRun, SimError> {
     let mut kernel = Kernel::new();
+    if profile {
+        kernel.enable_profiling();
+    }
     let clk = kernel.clock("hclk", period);
     let bus = Rc::new(RefCell::new(bus));
     let session = session.map(|s| Rc::new(RefCell::new(s)));
@@ -120,14 +142,28 @@ mod tests {
     }
 
     #[test]
+    fn profiled_kernel_run_carries_a_profile() {
+        let run = run_on_kernel_profiled(bus(), None, 20, SimTime::from_ns(10), true).unwrap();
+        let p = run.kernel.profile().expect("profiling was requested");
+        assert!(p.delta.count > 0);
+        let unprofiled = run_on_kernel(bus(), None, 20, SimTime::from_ns(10)).unwrap();
+        assert!(unprofiled.kernel.profile().is_none());
+    }
+
+    #[test]
     fn kernel_run_with_monitor_matches_direct_run() {
         let cfg = AnalysisConfig {
             n_masters: 1,
             n_slaves: 2,
             ..AnalysisConfig::paper_testbench()
         };
-        let run = run_on_kernel(bus(), Some(PowerSession::new(&cfg)), 30, SimTime::from_ns(10))
-            .unwrap();
+        let run = run_on_kernel(
+            bus(),
+            Some(PowerSession::new(&cfg)),
+            30,
+            SimTime::from_ns(10),
+        )
+        .unwrap();
         let kernel_energy = run.session.as_ref().unwrap().borrow().total_energy();
         // Direct (kernel-less) execution of the same system.
         let mut direct_bus = bus();

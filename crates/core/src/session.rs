@@ -1,11 +1,14 @@
 //! One-stop analysis session: FSM + ledgers + power trace over a bus run.
 
+use std::time::Instant;
+
 use ahbpower_ahb::{AhbBus, BusSnapshot};
 
 use crate::config::AnalysisConfig;
 use crate::ledger::{BlockLedger, InstructionLedger};
 use crate::model::AhbPowerModel;
 use crate::power_fsm::PowerFsm;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::trace::{PowerTrace, TracePoint};
 
 /// Couples a [`PowerFsm`] with a [`PowerTrace`] so a single observer
@@ -32,6 +35,9 @@ use crate::trace::{PowerTrace, TracePoint};
 pub struct PowerSession {
     fsm: PowerFsm,
     trace: PowerTrace,
+    /// `None` unless telemetry was enabled at construction; the disabled
+    /// hot path tests one `Option` discriminant per run, not per cycle.
+    telemetry: Option<Box<Telemetry>>,
 }
 
 impl PowerSession {
@@ -46,23 +52,70 @@ impl PowerSession {
         PowerSession {
             fsm: PowerFsm::new(model),
             trace: PowerTrace::new(window_cycles, f_clk_hz),
+            telemetry: None,
         }
+    }
+
+    /// Creates a session with telemetry governed by `tcfg`. A disabled
+    /// config yields a session identical to [`PowerSession::new`].
+    pub fn with_telemetry(cfg: &AnalysisConfig, tcfg: TelemetryConfig) -> Self {
+        let mut session = PowerSession::new(cfg);
+        if tcfg.enabled {
+            session.telemetry = Some(Box::new(Telemetry::new(tcfg, cfg.n_masters)));
+        }
+        session
     }
 
     /// Observes one cycle.
     pub fn observe(&mut self, snap: &BusSnapshot) {
-        let rec = self.fsm.observe(snap);
-        self.trace.push(rec.energy);
+        match &mut self.telemetry {
+            None => {
+                let rec = self.fsm.observe(snap);
+                self.trace.push(rec.energy);
+            }
+            Some(t) => {
+                let t0 = Instant::now();
+                let rec = self.fsm.observe(snap);
+                self.trace.push(rec.energy);
+                t.observe_bus(snap);
+                t.record_observe(t0.elapsed());
+            }
+        }
     }
 
     /// Runs `cycles` bus cycles under observation.
     pub fn run(&mut self, bus: &mut AhbBus, cycles: u64) {
-        for _ in 0..cycles {
-            let snap = bus.step();
-            let rec = self.fsm.observe(snap);
-            self.trace.push(rec.energy);
+        if self.telemetry.is_none() {
+            // The pre-telemetry hot loop, untouched: sessions without
+            // telemetry pay one branch per run for the feature.
+            for _ in 0..cycles {
+                let snap = bus.step();
+                let rec = self.fsm.observe(snap);
+                self.trace.push(rec.energy);
+            }
+        } else {
+            for _ in 0..cycles {
+                let snap = bus.step();
+                self.observe(snap);
+            }
         }
         self.trace.finish();
+    }
+
+    /// Finishes the run's telemetry: closes the analyzers, publishes the
+    /// power ledgers and spans into the registry, and returns the
+    /// telemetry for export. `None` when telemetry is disabled.
+    pub fn finish_telemetry(&mut self) -> Option<&Telemetry> {
+        let fsm = &self.fsm;
+        self.telemetry.as_mut().map(|t| {
+            t.finalize(fsm);
+            &**t
+        })
+    }
+
+    /// Live telemetry access (`None` when disabled).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_deref_mut()
     }
 
     /// Per-instruction ledger (Table 1).
@@ -136,5 +189,57 @@ mod tests {
             .sum();
         let total = session.total_energy();
         assert!((from_trace - total).abs() < 1e-9 * total.max(1e-30));
+    }
+
+    #[test]
+    fn disabled_telemetry_is_absent_and_free_of_state() {
+        let cfg = AnalysisConfig::paper_testbench();
+        let mut session = PowerSession::with_telemetry(&cfg, TelemetryConfig::default());
+        let mut b = bus();
+        session.run(&mut b, 20);
+        assert!(session.finish_telemetry().is_none());
+        assert!(session.telemetry_mut().is_none());
+    }
+
+    #[test]
+    fn enabled_telemetry_matches_untelemetered_energy() {
+        let mut cfg = AnalysisConfig::paper_testbench();
+        cfg.n_masters = 2;
+        cfg.n_slaves = 2;
+        let mut plain = PowerSession::new(&cfg);
+        let mut b = bus();
+        plain.run(&mut b, 40);
+
+        let tcfg = TelemetryConfig::enabled("session_test").with_seed(9);
+        let mut telemetered = PowerSession::with_telemetry(&cfg, tcfg);
+        let mut b = bus();
+        telemetered.run(&mut b, 40);
+        let plain_energy = plain.total_energy();
+        assert_eq!(
+            telemetered.total_energy(),
+            plain_energy,
+            "telemetry must not perturb the analysis"
+        );
+
+        let t = telemetered.finish_telemetry().expect("enabled");
+        let reg = t.registry();
+        assert_eq!(reg.counter_value("ahb_cycles_total", &[]), Some(40.0));
+        let booked = reg.counter_value("power_total_energy_joules", &[]).unwrap();
+        assert!((booked - plain_energy).abs() < 1e-18);
+        // The observer span timed every cycle.
+        assert_eq!(
+            reg.counter_value(
+                "telemetry_span_invocations_total",
+                &[("span", "session_observe")]
+            ),
+            Some(40.0)
+        );
+        let jsonl = t.to_jsonl();
+        assert!(jsonl.starts_with("{\"event\":\"meta\",\"scenario\":\"session_test\""));
+        assert!(jsonl.contains("\"seed\":9"));
+        assert!(t.to_csv().contains("ahb_master_transfers_total,master=0"));
+        assert!(t
+            .to_prometheus()
+            .contains("# TYPE ahb_arbitration_latency_cycles histogram"));
     }
 }

@@ -181,15 +181,10 @@ impl SramProbe {
 
     /// Processes one cycle's wires.
     pub fn observe(&mut self, snap: &BusSnapshot) {
-        let selected = snap
-            .hsel
-            .get(self.slave.index())
-            .copied()
-            .unwrap_or(false);
+        let selected = snap.hsel.get(self.slave.index()).copied().unwrap_or(false);
         let accessed = selected && snap.htrans.is_transfer() && snap.hready;
         let (mode, hd) = if accessed {
-            let word_addr =
-                (snap.haddr / 4) % self.model.words as u32;
+            let word_addr = (snap.haddr / 4) % self.model.words as u32;
             let hd = self
                 .last_addr
                 .map(|prev| hamming(u64::from(prev), u64::from(word_addr)))
@@ -228,9 +223,7 @@ impl SramProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ahbpower_ahb::{
-        AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster,
-    };
+    use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
 
     fn model() -> SramModel {
         SramModel::new(1024, 32, &TechParams::default())

@@ -1,0 +1,357 @@
+//! Exporters: render a [`MetricsRegistry`] as JSONL, CSV or Prometheus
+//! text exposition.
+//!
+//! All three formats are produced by hand (the workspace's vendored
+//! `serde` is an offline no-op stub), which also keeps the output format
+//! under test here rather than behind a derive.
+
+use std::fmt::Write as _;
+
+use crate::telemetry::registry::{MetricMeta, MetricsRegistry};
+
+/// Run-level metadata stamped into exports.
+#[derive(Debug, Clone, Default)]
+pub struct ExportMeta {
+    /// Scenario label (e.g. `paper_testbench`).
+    pub scenario: String,
+    /// Bus cycles simulated.
+    pub cycles: u64,
+    /// Seed the workload was generated from.
+    pub seed: u64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON-compatible number (JSON has no infinities
+/// or NaN; those become `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_labels(meta: &MetricMeta) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in meta.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the registry as a JSONL event stream: one `meta` event, then
+/// one event per metric. Histogram events carry bucket bounds, per-bucket
+/// counts, sum and count.
+pub fn to_jsonl(reg: &MetricsRegistry, meta: &ExportMeta) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"event\":\"meta\",\"scenario\":\"{}\",\"cycles\":{},\"seed\":{}}}",
+        json_escape(&meta.scenario),
+        meta.cycles,
+        meta.seed
+    );
+    for c in reg.counters() {
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"counter\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            json_escape(&c.meta.name),
+            json_labels(&c.meta),
+            json_num(c.value)
+        );
+    }
+    for g in reg.gauges() {
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"gauge\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            json_escape(&g.meta.name),
+            json_labels(&g.meta),
+            json_num(g.value)
+        );
+    }
+    for h in reg.histograms() {
+        let bounds: Vec<String> = h.hist.bounds().iter().map(|b| b.to_string()).collect();
+        let counts: Vec<String> = h
+            .hist
+            .bucket_counts()
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"event\":\"histogram\",\"name\":\"{}\",\"labels\":{},\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+            json_escape(&h.meta.name),
+            json_labels(&h.meta),
+            bounds.join(","),
+            counts.join(","),
+            h.hist.sum(),
+            h.hist.count()
+        );
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_labels(meta: &MetricMeta) -> String {
+    let joined: Vec<String> = meta
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    csv_field(&joined.join(";"))
+}
+
+/// Renders the registry as CSV with columns `kind,name,labels,field,value`.
+/// Scalars emit one `value` row; histograms emit one row per bucket
+/// (`field` = `le=<bound>` / `le=+Inf`, cumulative counts) plus `sum` and
+/// `count` rows.
+pub fn to_csv(reg: &MetricsRegistry) -> String {
+    let mut out = String::from("kind,name,labels,field,value\n");
+    for c in reg.counters() {
+        let _ = writeln!(
+            out,
+            "counter,{},{},value,{}",
+            csv_field(&c.meta.name),
+            csv_labels(&c.meta),
+            c.value
+        );
+    }
+    for g in reg.gauges() {
+        let _ = writeln!(
+            out,
+            "gauge,{},{},value,{}",
+            csv_field(&g.meta.name),
+            csv_labels(&g.meta),
+            g.value
+        );
+    }
+    for h in reg.histograms() {
+        let name = csv_field(&h.meta.name);
+        let labels = csv_labels(&h.meta);
+        let cumulative = h.hist.cumulative_counts();
+        for (i, cum) in cumulative.iter().enumerate() {
+            let le = match h.hist.bounds().get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "histogram,{name},{labels},le={le},{cum}");
+        }
+        let _ = writeln!(out, "histogram,{name},{labels},sum,{}", h.hist.sum());
+        let _ = writeln!(out, "histogram,{name},{labels},count,{}", h.hist.count());
+    }
+    out
+}
+
+fn prom_escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prom_labels(meta: &MetricMeta, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = meta
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", prom_escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn prom_header(out: &mut String, seen: &mut Vec<String>, name: &str, help: &str, kind: &str) {
+    if seen.iter().any(|n| n == name) {
+        return;
+    }
+    seen.push(name.to_string());
+    let _ = writeln!(out, "# HELP {name} {}", help.replace('\n', " "));
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers, one sample line per
+/// counter/gauge, and cumulative `_bucket{le=...}`/`_sum`/`_count`
+/// series per histogram.
+pub fn to_prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<String> = Vec::new();
+    for c in reg.counters() {
+        prom_header(&mut out, &mut seen, &c.meta.name, &c.meta.help, "counter");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            c.meta.name,
+            prom_labels(&c.meta, None),
+            c.value
+        );
+    }
+    for g in reg.gauges() {
+        prom_header(&mut out, &mut seen, &g.meta.name, &g.meta.help, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            g.meta.name,
+            prom_labels(&g.meta, None),
+            g.value
+        );
+    }
+    for h in reg.histograms() {
+        prom_header(&mut out, &mut seen, &h.meta.name, &h.meta.help, "histogram");
+        let cumulative = h.hist.cumulative_counts();
+        for (i, cum) in cumulative.iter().enumerate() {
+            let le = match h.hist.bounds().get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.meta.name,
+                prom_labels(&h.meta, Some(("le", le.as_str()))),
+                cum
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            h.meta.name,
+            prom_labels(&h.meta, None),
+            h.hist.sum()
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            h.meta.name,
+            prom_labels(&h.meta, None),
+            h.hist.count()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("ahb_cycles_total", "Bus cycles.", &[]);
+        reg.add(c, 100.0);
+        let c = reg.counter("ahb_master_wait_cycles_total", "Waits.", &[("master", "0")]);
+        reg.add(c, 7.0);
+        let c = reg.counter("ahb_master_wait_cycles_total", "Waits.", &[("master", "1")]);
+        reg.add(c, 3.0);
+        let g = reg.gauge("ahb_bus_utilization_ratio", "Utilization.", &[]);
+        reg.set(g, 0.5);
+        let h = reg.histogram("ahb_arbitration_latency_cycles", "Latency.", &[], &[1, 4]);
+        reg.observe(h, 0);
+        reg.observe(h, 2);
+        reg.observe(h, 99);
+        reg
+    }
+
+    #[test]
+    fn jsonl_is_line_delimited_json() {
+        let reg = sample_registry();
+        let meta = ExportMeta {
+            scenario: "paper_testbench".to_string(),
+            cycles: 100,
+            seed: 2003,
+        };
+        let out = to_jsonl(&reg, &meta);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines.len(),
+            1 + 3 + 1 + 1,
+            "meta + 3 counters + gauge + histogram"
+        );
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"meta\",\"scenario\":\"paper_testbench\",\"cycles\":100,\"seed\":2003}"
+        );
+        assert!(lines[2].contains("\"labels\":{\"master\":\"0\"}"));
+        assert!(lines[5].contains("\"bounds\":[1,4]"));
+        assert!(lines[5].contains("\"counts\":[1,1,1]"));
+        assert!(lines[5].contains("\"sum\":101"));
+        // Every line is a standalone JSON object.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_expands_histogram_buckets() {
+        let out = to_csv(&sample_registry());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "kind,name,labels,field,value");
+        assert!(lines.contains(&"counter,ahb_master_wait_cycles_total,master=0,value,7"));
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,le=1,1"));
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,le=+Inf,3"));
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,sum,101"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let out = to_prometheus(&sample_registry());
+        assert!(out.contains("# HELP ahb_cycles_total Bus cycles.\n"));
+        assert!(out.contains("# TYPE ahb_cycles_total counter\n"));
+        assert!(out.contains("ahb_cycles_total 100\n"));
+        assert!(out.contains("ahb_master_wait_cycles_total{master=\"0\"} 7\n"));
+        assert!(out.contains("ahb_master_wait_cycles_total{master=\"1\"} 3\n"));
+        // HELP/TYPE emitted once per family, not per labelled series.
+        assert_eq!(
+            out.matches("# TYPE ahb_master_wait_cycles_total").count(),
+            1
+        );
+        assert!(out.contains("# TYPE ahb_bus_utilization_ratio gauge\n"));
+        assert!(out.contains("# TYPE ahb_arbitration_latency_cycles histogram\n"));
+        assert!(out.contains("ahb_arbitration_latency_cycles_bucket{le=\"1\"} 1\n"));
+        assert!(out.contains("ahb_arbitration_latency_cycles_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("ahb_arbitration_latency_cycles_sum 101\n"));
+        assert!(out.contains("ahb_arbitration_latency_cycles_count 3\n"));
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("weird_total", "Help with \"quotes\".", &[("k", "a\"b,c")]);
+        reg.add(c, 1.0);
+        let jsonl = to_jsonl(&reg, &ExportMeta::default());
+        assert!(jsonl.contains("\"k\":\"a\\\"b,c\""));
+        let csv = to_csv(&reg);
+        assert!(csv.contains("\"k=a\"\"b,c\""));
+        let prom = to_prometheus(&reg);
+        assert!(prom.contains("weird_total{k=\"a\\\"b,c\"} 1"));
+    }
+}

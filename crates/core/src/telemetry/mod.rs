@@ -1,0 +1,237 @@
+//! Unified telemetry: a metrics registry, hot-loop spans, bus-performance
+//! analyzers and JSONL/CSV/Prometheus exporters.
+//!
+//! Telemetry is **off by default** and opt-in at runtime through
+//! [`TelemetryConfig`]: a disabled [`crate::PowerSession`] carries no
+//! telemetry state at all and its hot loop is the same code path as before
+//! this module existed (one `Option` discriminant test per run, not per
+//! cycle). When enabled, the session feeds every [`BusSnapshot`] to a
+//! [`BusPerfAnalyzer`] and times its own observer loop; at the end of the
+//! run [`Telemetry::finalize`] folds the analyzers, the power FSM's
+//! ledgers and any kernel profile into a [`MetricsRegistry`], which the
+//! exporters render in three formats.
+//!
+//! ```
+//! use ahbpower::telemetry::{Telemetry, TelemetryConfig};
+//! use ahbpower::{AnalysisConfig, PowerSession};
+//! use ahbpower_ahb::{AddressMap, AhbBusBuilder, MemorySlave, Op, ScriptedMaster};
+//!
+//! let cfg = AnalysisConfig::paper_testbench();
+//! let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x1000))
+//!     .master(Box::new(ScriptedMaster::new(vec![Op::write(0x0, 1), Op::read(0x0)])))
+//!     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+//!     .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))
+//!     .build()?;
+//! let mut session =
+//!     PowerSession::with_telemetry(&cfg, TelemetryConfig::enabled("doc_example"));
+//! session.run(&mut bus, 50);
+//! let telemetry = session.finish_telemetry().expect("telemetry was enabled");
+//! assert!(telemetry.to_prometheus().contains("ahb_cycles_total 50"));
+//! # Ok::<(), ahbpower_ahb::BuildBusError>(())
+//! ```
+//!
+//! [`BusSnapshot`]: ahbpower_ahb::BusSnapshot
+
+mod analyzers;
+mod export;
+mod registry;
+mod span;
+
+pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
+pub use export::{to_csv, to_jsonl, to_prometheus, ExportMeta};
+pub use registry::{
+    Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricMeta, MetricsRegistry,
+};
+pub use span::{SpanId, SpanSet};
+
+use std::time::Duration;
+
+use ahbpower_ahb::{BusPerfAnalyzer, BusSnapshot};
+use ahbpower_sim::{KernelProfile, KernelStats};
+
+use crate::power_fsm::PowerFsm;
+
+/// Runtime switchboard for the telemetry subsystem. Default: disabled.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Master switch; `false` means the session allocates no telemetry
+    /// state whatsoever.
+    pub enabled: bool,
+    /// Scenario label stamped into exports.
+    pub scenario: String,
+    /// Workload seed stamped into exports.
+    pub seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            scenario: "default".to_string(),
+            seed: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled configuration with the given scenario label.
+    pub fn enabled(scenario: &str) -> Self {
+        TelemetryConfig {
+            enabled: true,
+            scenario: scenario.to_string(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the workload seed stamped into exports.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Live telemetry state for one analysis run: the bus-performance
+/// analyzer fed per cycle, the span set timing the observer loop, and the
+/// registry everything is published into at the end.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    registry: MetricsRegistry,
+    perf: BusPerfAnalyzer,
+    spans: SpanSet,
+    observe_span: SpanId,
+    finalized: bool,
+}
+
+impl Telemetry {
+    /// Creates live telemetry for a bus with `n_masters` masters.
+    pub fn new(config: TelemetryConfig, n_masters: usize) -> Self {
+        let mut spans = SpanSet::new();
+        let observe_span = spans.register("session_observe");
+        Telemetry {
+            config,
+            registry: MetricsRegistry::new(),
+            perf: BusPerfAnalyzer::new(n_masters),
+            spans,
+            observe_span,
+            finalized: false,
+        }
+    }
+
+    /// The configuration this telemetry was created with.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Feeds one cycle's wires to the bus-performance analyzer.
+    #[inline]
+    pub fn observe_bus(&mut self, snap: &BusSnapshot) {
+        self.perf.observe(snap);
+    }
+
+    /// Books one timed pass of the session's observer hot loop.
+    #[inline]
+    pub fn record_observe(&mut self, elapsed: Duration) {
+        self.spans.record(self.observe_span, elapsed);
+    }
+
+    /// The bus-performance analyzer.
+    pub fn perf(&self) -> &BusPerfAnalyzer {
+        &self.perf
+    }
+
+    /// The span set (register more spans for custom instrumentation).
+    pub fn spans_mut(&mut self) -> &mut SpanSet {
+        &mut self.spans
+    }
+
+    /// The metrics registry (populated by [`Telemetry::finalize`]).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable registry access for publishing extra metrics.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Publishes a kernel run's statistics and optional wall-clock
+    /// profile (see [`publish_kernel`]).
+    pub fn record_kernel(
+        &mut self,
+        stats: &KernelStats,
+        profile: Option<&KernelProfile>,
+        process_names: &[&str],
+    ) {
+        publish_kernel(&mut self.registry, stats, profile, process_names);
+    }
+
+    /// Closes the analyzers and publishes everything into the registry.
+    /// Idempotent: only the first call publishes.
+    pub fn finalize(&mut self, fsm: &PowerFsm) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        self.perf.finish();
+        publish_bus_perf(&mut self.registry, &self.perf);
+        publish_power(&mut self.registry, fsm);
+        publish_spans(&mut self.registry, &self.spans);
+    }
+
+    fn export_meta(&self) -> ExportMeta {
+        ExportMeta {
+            scenario: self.config.scenario.clone(),
+            cycles: self.perf.cycles(),
+            seed: self.config.seed,
+        }
+    }
+
+    /// Renders the registry as a JSONL event stream.
+    pub fn to_jsonl(&self) -> String {
+        to_jsonl(&self.registry, &self.export_meta())
+    }
+
+    /// Renders the registry as CSV.
+    pub fn to_csv(&self) -> String {
+        to_csv(&self.registry)
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        to_prometheus(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_to_disabled() {
+        let cfg = TelemetryConfig::default();
+        assert!(!cfg.enabled);
+        let cfg = TelemetryConfig::enabled("x").with_seed(7);
+        assert!(cfg.enabled);
+        assert_eq!(cfg.scenario, "x");
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        use crate::config::AnalysisConfig;
+        use crate::model::AhbPowerModel;
+
+        let acfg = AnalysisConfig::paper_testbench();
+        let fsm = PowerFsm::new(AhbPowerModel::new(1, 1, &acfg.tech()));
+        let mut t = Telemetry::new(TelemetryConfig::enabled("idem"), 1);
+        t.finalize(&fsm);
+        let first = t.to_prometheus();
+        t.finalize(&fsm);
+        assert_eq!(
+            t.to_prometheus(),
+            first,
+            "double finalize must not double-count"
+        );
+    }
+}

@@ -208,4 +208,68 @@ mod tests {
     fn zero_window_panics() {
         let _ = PowerTrace::new(0, 1e6);
     }
+
+    #[test]
+    #[should_panic(expected = "clock frequency must be positive")]
+    fn zero_clock_panics() {
+        let _ = PowerTrace::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency must be positive")]
+    fn negative_clock_panics() {
+        let _ = PowerTrace::new(10, -100e6);
+    }
+
+    #[test]
+    fn finish_on_empty_trace_emits_nothing() {
+        let mut t = PowerTrace::new(10, 100e6);
+        t.finish();
+        assert!(t.points().is_empty());
+        assert_eq!(t.cycles(), 0);
+        assert_eq!(t.peak_power(), 0.0);
+        assert_eq!(t.average_power(), 0.0);
+    }
+
+    #[test]
+    fn partial_window_power_uses_actual_duration() {
+        // 3 trailing cycles of 2 pJ each: the partial window must divide
+        // by 3 cycles' worth of time, not the nominal 10, or its power
+        // would be understated by 10/3.
+        let mut t = PowerTrace::new(10, 100e6);
+        for _ in 0..3 {
+            t.push(e(2.0));
+        }
+        t.finish();
+        let pts = t.points();
+        assert_eq!(pts.len(), 1);
+        // 2 pJ per 10 ns cycle = 0.2 mW regardless of window fill.
+        assert!((pts[0].total_w - 0.2e-3).abs() < 1e-9, "{}", pts[0].total_w);
+    }
+
+    #[test]
+    fn window_boundary_energy_attribution() {
+        // Cycles 0-4 carry 1 pJ, cycles 5-9 carry 3 pJ, window = 5: each
+        // window must contain exactly its own cycles' energy — no bleed
+        // across the boundary.
+        let mut t = PowerTrace::new(5, 100e6);
+        for _ in 0..5 {
+            t.push(e(1.0));
+        }
+        for _ in 0..5 {
+            t.push(e(3.0));
+        }
+        let pts = t.points();
+        assert_eq!(pts.len(), 2);
+        // 1 pJ / 10 ns = 0.1 mW; 3 pJ / 10 ns = 0.3 mW.
+        assert!((pts[0].total_w - 0.1e-3).abs() < 1e-9, "{}", pts[0].total_w);
+        assert!((pts[1].total_w - 0.3e-3).abs() < 1e-9, "{}", pts[1].total_w);
+        // Window start times align to the boundary cycle.
+        assert!((pts[0].time_s - 0.0).abs() < 1e-15);
+        assert!((pts[1].time_s - 50e-9).abs() < 1e-15);
+        // Energy reconstructed from the two windows equals what was pushed.
+        let window = t.window_secs();
+        let total: f64 = pts.iter().map(|p| p.total_w * window).sum();
+        assert!((total - 20.0e-12).abs() < 1e-20, "{total}");
+    }
 }

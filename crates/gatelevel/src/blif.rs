@@ -118,7 +118,11 @@ fn perr(line: usize, message: impl Into<String>) -> ParseBlifError {
 }
 
 /// Classifies a `.names` cover back into a gate kind.
-fn classify_cover(n_inputs: usize, rows: &[String], line: usize) -> Result<GateKind, ParseBlifError> {
+fn classify_cover(
+    n_inputs: usize,
+    rows: &[String],
+    line: usize,
+) -> Result<GateKind, ParseBlifError> {
     let single = |pat: String| rows.len() == 1 && rows[0] == format!("{pat} 1");
     if n_inputs == 1 {
         if single("1".into()) {
@@ -266,8 +270,7 @@ pub fn from_blif(text: &str) -> Result<Netlist, ParseBlifError> {
                 if signals.len() < 2 {
                     return Err(perr(*line, ".names needs inputs and an output"));
                 }
-                let (out_name, in_names) =
-                    signals.split_last().expect("checked length above");
+                let (out_name, in_names) = signals.split_last().expect("checked length above");
                 let mut rows = Vec::new();
                 while i + 1 < statements.len() && !statements[i + 1].1.starts_with('.') {
                     i += 1;
@@ -425,8 +428,8 @@ mod tests {
         assert!(e.to_string().contains("unsupported"));
         let e = from_blif(".model m\n.inputs a\n.names a\n1 1\n.end\n").unwrap_err();
         assert!(e.message.contains("inputs and an output"));
-        let e = from_blif(".model m\n.inputs a b\n.names a b y\n10 1\n01 1\n11 1\n.end\n")
-            .unwrap_err();
+        let e =
+            from_blif(".model m\n.inputs a b\n.names a b y\n10 1\n01 1\n11 1\n.end\n").unwrap_err();
         assert!(e.message.contains("canonical"));
         let e = from_blif(".model m\n.inputs a\n.names a y\n1 1\n").unwrap_err();
         assert!(e.message.contains(".end"));

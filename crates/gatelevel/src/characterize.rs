@@ -129,13 +129,24 @@ pub fn sweep_mux_data(
     let mut rng = SplitMix64::new(seed);
     let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); width + 1];
     let mut sim = LogicSim::new(&mux.netlist);
-    let lane_mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let lane_mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     for hd in 0..=width as u32 {
         for _ in 0..samples_per_hd {
             let ch = rng.below(n_inputs as u64) as usize;
             let base = rng.next_u64() & lane_mask;
             for (j, bits) in mux.data.iter().enumerate() {
-                sim.set_bus(bits, if j == ch { base } else { rng.next_u64() & lane_mask });
+                sim.set_bus(
+                    bits,
+                    if j == ch {
+                        base
+                    } else {
+                        rng.next_u64() & lane_mask
+                    },
+                );
             }
             sim.set_bus(&mux.sel, ch as u64);
             sim.settle();
@@ -176,7 +187,11 @@ pub fn sweep_mux_select(
     let mut rng = SplitMix64::new(seed);
     let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); sel_bits + 1];
     let mut sim = LogicSim::new(&mux.netlist);
-    let lane_mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+    let lane_mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
     for from in 0..n_inputs as u64 {
         for to in 0..n_inputs as u64 {
             if from == to {

@@ -153,8 +153,8 @@ mod tests {
         let bd = energy_breakdown(&sim, &tech);
         assert_eq!(bd.internal_toggles, 1);
         assert_eq!(bd.output_toggles, 1);
-        let expect = tech.energy_per_toggle(tech.c_internal)
-            + tech.energy_per_toggle(tech.c_output);
+        let expect =
+            tech.energy_per_toggle(tech.c_internal) + tech.energy_per_toggle(tech.c_output);
         assert!((bd.total() - expect).abs() < 1e-21);
         assert!((switching_energy(&sim, &tech) - expect).abs() < 1e-21);
     }

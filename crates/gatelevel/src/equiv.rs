@@ -53,7 +53,11 @@ impl fmt::Display for EquivalenceError {
                 write!(f, "{inputs} inputs exceed the exhaustive limit of {max}")
             }
             EquivalenceError::Sequential => f.write_str("netlists with flip-flops not supported"),
-            EquivalenceError::Mismatch { input, a_out, b_out } => write!(
+            EquivalenceError::Mismatch {
+                input,
+                a_out,
+                b_out,
+            } => write!(
                 f,
                 "functions differ at input {input:#b}: {a_out:#b} vs {b_out:#b}"
             ),
@@ -115,7 +119,11 @@ pub fn check_equivalence(a: &Netlist, b: &Netlist) -> Result<(), EquivalenceErro
         let a_out = sim_a.bus_value(a.outputs());
         let b_out = sim_b.bus_value(b.outputs());
         if a_out != b_out {
-            return Err(EquivalenceError::Mismatch { input, a_out, b_out });
+            return Err(EquivalenceError::Mismatch {
+                input,
+                a_out,
+                b_out,
+            });
         }
     }
     Ok(())

@@ -36,18 +36,18 @@
 
 mod blif;
 mod characterize;
-mod equiv;
 mod energy;
+mod equiv;
 mod netlist;
 mod sim;
 mod synth;
 
 pub use blif::{from_blif, to_blif, ParseBlifError};
-pub use equiv::{check_equivalence, EquivalenceError, MAX_EQUIV_INPUTS};
 pub use characterize::{
     measure_arbiter, sweep_decoder, sweep_mux_data, sweep_mux_select, HdPoint, SplitMix64,
 };
 pub use energy::{energy_breakdown, switching_energy, EnergyBreakdown, TechParams};
+pub use equiv::{check_equivalence, EquivalenceError, MAX_EQUIV_INPUTS};
 pub use netlist::{BuildNetlistError, Dff, Gate, GateKind, NetId, Netlist, NetlistStats};
 pub use sim::LogicSim;
 pub use synth::{addr_bits, mux_tree, one_hot_decoder, priority_arbiter, Arbiter, Decoder, Mux};

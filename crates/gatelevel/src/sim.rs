@@ -101,11 +101,7 @@ impl<'a> LogicSim<'a> {
     fn eval_counting(&mut self) {
         for &gi in self.netlist.topo_order() {
             let gate = &self.netlist.gates()[gi];
-            let inputs: Vec<bool> = gate
-                .inputs
-                .iter()
-                .map(|n| self.values[n.index()])
-                .collect();
+            let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.index()]).collect();
             let new = gate.kind.eval(&inputs);
             let out = gate.output.index();
             if self.values[out] != new {
@@ -119,11 +115,7 @@ impl<'a> LogicSim<'a> {
     fn propagate(&mut self) {
         for &gi in self.netlist.topo_order() {
             let gate = &self.netlist.gates()[gi];
-            let inputs: Vec<bool> = gate
-                .inputs
-                .iter()
-                .map(|n| self.values[n.index()])
-                .collect();
+            let inputs: Vec<bool> = gate.inputs.iter().map(|n| self.values[n.index()]).collect();
             self.values[gate.output.index()] = gate.kind.eval(&inputs);
         }
     }

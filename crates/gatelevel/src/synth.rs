@@ -149,7 +149,13 @@ pub fn mux_tree(width: usize, n_inputs: usize) -> Mux {
     let mut lines = Vec::with_capacity(n_inputs);
     for j in 0..n_inputs {
         let literals: Vec<NetId> = (0..s_bits)
-            .map(|bit| if (j >> bit) & 1 == 1 { sel[bit] } else { inv[bit] })
+            .map(|bit| {
+                if (j >> bit) & 1 == 1 {
+                    sel[bit]
+                } else {
+                    inv[bit]
+                }
+            })
             .collect();
         let line = if literals.len() == 1 {
             n.gate(GateKind::Buf, &[literals[0]], &format!("line[{j}]"))
@@ -330,8 +336,13 @@ mod tests {
     fn mux_selects_each_channel() {
         let mux = mux_tree(16, 5);
         let mut sim = LogicSim::new(&mux.netlist);
-        for (j, pattern) in [(0usize, 0x1234u64), (1, 0xFFFF), (2, 0x0001), (3, 0x8000), (4, 0xA5A5)]
-        {
+        for (j, pattern) in [
+            (0usize, 0x1234u64),
+            (1, 0xFFFF),
+            (2, 0x0001),
+            (3, 0x8000),
+            (4, 0xA5A5),
+        ] {
             for (ch, bits) in mux.data.iter().enumerate() {
                 sim.set_bus(bits, if ch == j { pattern } else { !pattern & 0xFFFF });
             }

@@ -11,7 +11,10 @@ use proptest::prelude::*;
 fn arb_netlist_plan() -> impl Strategy<Value = (usize, Vec<(u8, u16, u16, u16)>)> {
     (
         2usize..6,
-        prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()), 1..15),
+        prop::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u16>()),
+            1..15,
+        ),
     )
 }
 
@@ -32,9 +35,7 @@ fn build_from_plan(n_inputs: usize, plan: &[(u8, u16, u16, u16)]) -> Netlist {
         let kind = kinds[*k as usize % kinds.len()];
         let pick = |sel: u16, nets: &[ahbpower_gate::NetId]| nets[sel as usize % nets.len()];
         let out = match kind {
-            GateKind::Buf | GateKind::Not => {
-                n.gate(kind, &[pick(*a, &nets)], &format!("g{gi}"))
-            }
+            GateKind::Buf | GateKind::Not => n.gate(kind, &[pick(*a, &nets)], &format!("g{gi}")),
             _ => {
                 // 2 or 3 inputs depending on the third selector's parity.
                 if c % 2 == 0 {

@@ -12,9 +12,11 @@
 use std::collections::BinaryHeap;
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 
 use crate::event::{EventKind, TimedEvent};
 use crate::process::{Process, ProcessBody, ProcessId};
+use crate::profile::KernelProfile;
 use crate::signal::{AnySlot, Signal, SignalId, Slot};
 use crate::time::SimTime;
 use crate::trace::{VcdTrace, VcdVarId};
@@ -98,6 +100,7 @@ pub struct Kernel {
     /// Signals with a declared VCD variable.
     traced: Vec<Option<VcdVarId>>,
     stats: KernelStats,
+    profiler: Option<KernelProfile>,
 }
 
 impl Default for Kernel {
@@ -139,7 +142,22 @@ impl Kernel {
             tracer: None,
             traced: Vec::new(),
             stats: KernelStats::default(),
+            profiler: None,
         }
+    }
+
+    /// Enables wall-clock profiling of delta cycles and process bodies.
+    /// Call before running; accumulators cover everything executed from
+    /// this point on.
+    pub fn enable_profiling(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(KernelProfile::new());
+        }
+    }
+
+    /// The accumulated profile, if profiling was enabled.
+    pub fn profile(&self) -> Option<&KernelProfile> {
+        self.profiler.as_ref()
     }
 
     /// Current simulation time.
@@ -165,7 +183,8 @@ impl Kernel {
     /// Creates a new signal carrying `initial`.
     pub fn signal<T: SignalValue>(&mut self, name: &str, initial: T) -> Signal<T> {
         let id = SignalId(self.slots.len() as u32);
-        self.slots.push(Box::new(Slot::new(name.to_string(), initial)));
+        self.slots
+            .push(Box::new(Slot::new(name.to_string(), initial)));
         self.sensitive.push(Vec::new());
         self.waiters.push(Vec::new());
         Signal::new(id)
@@ -253,8 +272,11 @@ impl Kernel {
         for id in &sens {
             self.sensitive[id.index()].push(pid);
         }
-        self.processes
-            .push(Process::new(name.to_string(), sens, Box::new(body) as ProcessBody));
+        self.processes.push(Process::new(
+            name.to_string(),
+            sens,
+            Box::new(body) as ProcessBody,
+        ));
         pid
     }
 
@@ -364,7 +386,11 @@ impl Kernel {
             }
             if !self.pending_writes.is_empty() {
                 self.bump_delta()?;
+                let update_t0 = self.profiler.is_some().then(Instant::now);
                 self.update_and_notify();
+                if let (Some(t0), Some(p)) = (update_t0, &mut self.profiler) {
+                    p.update.record(t0.elapsed());
+                }
                 continue;
             }
             // Quiescent: advance time.
@@ -461,6 +487,8 @@ impl Kernel {
 
     fn execute_delta(&mut self) -> Result<(), SimError> {
         self.bump_delta()?;
+        let profiling = self.profiler.is_some();
+        let delta_t0 = profiling.then(Instant::now);
         let to_run = std::mem::take(&mut self.runnable);
         for pid in &to_run {
             self.processes[pid.index()].queued = false;
@@ -470,12 +498,23 @@ impl Kernel {
                 .body
                 .take()
                 .expect("process body re-entered");
+            let body_t0 = profiling.then(Instant::now);
             let mut ctx = ProcCtx { kernel: self, pid };
             body(&mut ctx);
+            if let (Some(t0), Some(p)) = (body_t0, &mut self.profiler) {
+                p.process_mut(pid.index()).record(t0.elapsed());
+            }
             self.stats.activations += 1;
             self.processes[pid.index()].body = Some(body);
         }
+        let update_t0 = profiling.then(Instant::now);
         self.update_and_notify();
+        if let (Some(t0), Some(p)) = (update_t0, &mut self.profiler) {
+            p.update.record(t0.elapsed());
+        }
+        if let (Some(t0), Some(p)) = (delta_t0, &mut self.profiler) {
+            p.delta.record(t0.elapsed());
+        }
         Ok(())
     }
 
@@ -843,7 +882,7 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_sensitivity_rearmed_follows_every_change(){
+    fn dynamic_sensitivity_rearmed_follows_every_change() {
         let mut k = Kernel::new();
         let a = k.signal("a", 0u32);
         let copies = k.signal("copies", 0u32);
@@ -863,6 +902,34 @@ mod tests {
         });
         k.run_until(SimTime::from_ns(100)).unwrap();
         assert_eq!(k.read(copies), 10, "followed all ten changes");
+    }
+
+    #[test]
+    fn profiling_times_deltas_and_processes() {
+        let mut k = Kernel::new();
+        let clk = k.clock("clk", SimTime::from_ns(10));
+        let n = k.signal("n", 0u32);
+        k.process("spin", &[clk.id()], move |ctx| {
+            if ctx.posedge(clk) {
+                let v = ctx.read(n);
+                ctx.write(n, v + 1);
+            }
+        });
+        assert!(k.profile().is_none(), "profiling is opt-in");
+        k.enable_profiling();
+        k.enable_profiling(); // idempotent: must not reset accumulators
+        k.run_until(SimTime::from_ns(100)).unwrap();
+        let p = k.profile().expect("profiling enabled");
+        // Evaluate deltas are timed by the delta span; update-only deltas
+        // (clock toggles with no runnable process) appear as update spans.
+        assert!(p.delta.count > 0 && p.delta.count <= k.stats().deltas);
+        assert_eq!(p.update.count, k.stats().deltas);
+        let activations: u64 = p.per_process.iter().map(|s| s.count).sum();
+        assert_eq!(activations, k.stats().activations);
+        assert!(
+            p.delta.total >= p.process_time(),
+            "delta span covers bodies"
+        );
     }
 
     #[test]

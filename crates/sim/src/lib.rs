@@ -40,6 +40,7 @@
 mod event;
 mod kernel;
 mod process;
+mod profile;
 mod signal;
 mod time;
 mod trace;
@@ -47,6 +48,7 @@ mod value;
 
 pub use kernel::{Kernel, KernelStats, ProcCtx, SimError};
 pub use process::ProcessId;
+pub use profile::{KernelProfile, SpanStat};
 pub use signal::{Signal, SignalId};
 pub use time::SimTime;
 pub use trace::{VcdTrace, VcdVarId};

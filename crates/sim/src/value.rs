@@ -37,7 +37,11 @@ impl SignalValue for bool {
     }
 
     fn vcd_bits(&self) -> String {
-        if *self { "1".into() } else { "0".into() }
+        if *self {
+            "1".into()
+        } else {
+            "0".into()
+        }
     }
 }
 

@@ -127,7 +127,10 @@ fn vcd_contains_every_committed_change() {
     k.run_until(SimTime::from_ns(20)).unwrap();
     let vcd = k.vcd().expect("traced");
     // 10 rising edges -> 10 data changes, each rendered as b... lines.
-    let changes = vcd.lines().filter(|l| l.starts_with('b') && !l.contains("00000000 ")).count();
+    let changes = vcd
+        .lines()
+        .filter(|l| l.starts_with('b') && !l.contains("00000000 "))
+        .count();
     assert!(changes >= 10, "vcd:\n{vcd}");
     assert!(vcd.contains("$enddefinitions"));
 }

@@ -1,8 +1,56 @@
 //! Op-script generators for the different traffic classes.
+//!
+//! Every generator comes in two flavours: a `try_*` form returning
+//! [`Result`] — so malformed scenario parameters surface as [`GenError`]s
+//! a caller can report — and a panicking convenience wrapper with the
+//! historical signature.
+
+use std::error::Error;
+use std::fmt;
 
 use ahbpower_ahb::{HBurst, HSize, Op};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Why a script generator rejected its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A count parameter (rounds, repeats, blocks, accesses, frames) was
+    /// zero; the field names what was missing.
+    EmptyCount(&'static str),
+    /// The address span cannot hold a single word access.
+    AddrSpanTooSmall {
+        /// The offending span, bytes.
+        span: u32,
+    },
+    /// The idle range has `max < min`.
+    InvertedIdleRange {
+        /// Minimum idle cycles requested.
+        min: u32,
+        /// Maximum idle cycles requested.
+        max: u32,
+    },
+    /// A generated script contained an op the scenario does not allow
+    /// (reported by shape validators).
+    UnexpectedOp(String),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::EmptyCount(what) => write!(f, "need at least one {what}"),
+            GenError::AddrSpanTooSmall { span } => {
+                write!(f, "address span must hold a word (got {span} bytes)")
+            }
+            GenError::InvertedIdleRange { min, max } => {
+                write!(f, "idle range is inverted ({min}..={max})")
+            }
+            GenError::UnexpectedOp(op) => write!(f, "unexpected op {op}"),
+        }
+    }
+}
+
+impl Error for GenError {}
 
 /// The paper's testbench script for one traffic master:
 /// "WRITE-READ non-interruptible sequences and IDLE commands, for a random
@@ -12,21 +60,23 @@ use rand::{RngExt, SeedableRng};
 /// addresses inside `[addr_base, addr_base + addr_span)`, then idles for
 /// `idle_min..=idle_max` cycles (releasing the bus).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `rounds == 0`, `max_repeat == 0`, `addr_span < 4`, or
-/// `idle_max < idle_min`.
+/// Returns [`GenError`] if `rounds == 0`, `max_repeat == 0`,
+/// `addr_span < 4`, or `idle_max < idle_min`.
 ///
 /// # Examples
 ///
 /// ```
-/// use ahbpower_workloads::write_read_script;
+/// use ahbpower_workloads::try_write_read_script;
 ///
-/// let ops = write_read_script(42, 5, 3, 0x0, 0x3000, 2, 6);
+/// let ops = try_write_read_script(42, 5, 3, 0x0, 0x3000, 2, 6)?;
 /// assert!(!ops.is_empty());
+/// assert!(try_write_read_script(42, 0, 3, 0x0, 0x3000, 2, 6).is_err());
+/// # Ok::<(), ahbpower_workloads::GenError>(())
 /// ```
 #[allow(clippy::too_many_arguments)]
-pub fn write_read_script(
+pub fn try_write_read_script(
     seed: u64,
     rounds: u32,
     max_repeat: u32,
@@ -34,11 +84,22 @@ pub fn write_read_script(
     addr_span: u32,
     idle_min: u32,
     idle_max: u32,
-) -> Vec<Op> {
-    assert!(rounds > 0, "need at least one round");
-    assert!(max_repeat > 0, "need at least one repeat");
-    assert!(addr_span >= 4, "address span must hold a word");
-    assert!(idle_max >= idle_min, "idle range is inverted");
+) -> Result<Vec<Op>, GenError> {
+    if rounds == 0 {
+        return Err(GenError::EmptyCount("round"));
+    }
+    if max_repeat == 0 {
+        return Err(GenError::EmptyCount("repeat"));
+    }
+    if addr_span < 4 {
+        return Err(GenError::AddrSpanTooSmall { span: addr_span });
+    }
+    if idle_max < idle_min {
+        return Err(GenError::InvertedIdleRange {
+            min: idle_min,
+            max: idle_max,
+        });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
     for _ in 0..rounds {
@@ -50,17 +111,46 @@ pub fn write_read_script(
         }
         ops.push(Op::Idle(rng.random_range(idle_min..=idle_max)));
     }
-    ops
+    Ok(ops)
+}
+
+/// Panicking convenience wrapper around [`try_write_read_script`].
+///
+/// # Panics
+///
+/// Panics with the [`GenError`] message on invalid parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn write_read_script(
+    seed: u64,
+    rounds: u32,
+    max_repeat: u32,
+    addr_base: u32,
+    addr_span: u32,
+    idle_min: u32,
+    idle_max: u32,
+) -> Vec<Op> {
+    try_write_read_script(
+        seed, rounds, max_repeat, addr_base, addr_span, idle_min, idle_max,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A DMA-style script: block copies as INCR bursts (read burst from source,
 /// write burst to destination), separated by short idle gaps.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `blocks == 0`.
-pub fn dma_script(seed: u64, blocks: u32, src_base: u32, dst_base: u32, burst: HBurst) -> Vec<Op> {
-    assert!(blocks > 0, "need at least one block");
+/// Returns [`GenError::EmptyCount`] if `blocks == 0`.
+pub fn try_dma_script(
+    seed: u64,
+    blocks: u32,
+    src_base: u32,
+    dst_base: u32,
+    burst: HBurst,
+) -> Result<Vec<Op>, GenError> {
+    if blocks == 0 {
+        return Err(GenError::EmptyCount("block"));
+    }
     let beats = burst.beats().unwrap_or(8);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
@@ -85,18 +175,36 @@ pub fn dma_script(seed: u64, blocks: u32, src_base: u32, dst_base: u32, burst: H
         });
         ops.push(Op::Idle(rng.random_range(1..4)));
     }
-    ops
+    Ok(ops)
+}
+
+/// Panicking convenience wrapper around [`try_dma_script`].
+///
+/// # Panics
+///
+/// Panics with the [`GenError`] message on invalid parameters.
+pub fn dma_script(seed: u64, blocks: u32, src_base: u32, dst_base: u32, burst: HBurst) -> Vec<Op> {
+    try_dma_script(seed, blocks, src_base, dst_base, burst).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A CPU-like script: mostly single reads with occasional writes, mixed
 /// transfer sizes, and idle gaps mimicking cache hits.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `accesses == 0` or `addr_span < 4`.
-pub fn cpu_script(seed: u64, accesses: u32, addr_base: u32, addr_span: u32) -> Vec<Op> {
-    assert!(accesses > 0, "need at least one access");
-    assert!(addr_span >= 4, "address span must hold a word");
+/// Returns [`GenError`] if `accesses == 0` or `addr_span < 4`.
+pub fn try_cpu_script(
+    seed: u64,
+    accesses: u32,
+    addr_base: u32,
+    addr_span: u32,
+) -> Result<Vec<Op>, GenError> {
+    if accesses == 0 {
+        return Err(GenError::EmptyCount("access"));
+    }
+    if addr_span < 4 {
+        return Err(GenError::AddrSpanTooSmall { span: addr_span });
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
     for _ in 0..accesses {
@@ -125,17 +233,33 @@ pub fn cpu_script(seed: u64, accesses: u32, addr_base: u32, addr_span: u32) -> V
             ops.push(Op::Idle(rng.random_range(1..8)));
         }
     }
-    ops
+    Ok(ops)
+}
+
+/// Panicking convenience wrapper around [`try_cpu_script`].
+///
+/// # Panics
+///
+/// Panics with the [`GenError`] message on invalid parameters.
+pub fn cpu_script(seed: u64, accesses: u32, addr_base: u32, addr_span: u32) -> Vec<Op> {
+    try_cpu_script(seed, accesses, addr_base, addr_span).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A streaming script: periodic fixed-length write bursts (a producer
 /// pushing frames), with BUSY pauses inside bursts to model source jitter.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `frames == 0`.
-pub fn stream_script(seed: u64, frames: u32, dst_base: u32, period_idle: u32) -> Vec<Op> {
-    assert!(frames > 0, "need at least one frame");
+/// Returns [`GenError::EmptyCount`] if `frames == 0`.
+pub fn try_stream_script(
+    seed: u64,
+    frames: u32,
+    dst_base: u32,
+    period_idle: u32,
+) -> Result<Vec<Op>, GenError> {
+    if frames == 0 {
+        return Err(GenError::EmptyCount("frame"));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ops = Vec::new();
     for f in 0..frames {
@@ -150,7 +274,16 @@ pub fn stream_script(seed: u64, frames: u32, dst_base: u32, period_idle: u32) ->
         });
         ops.push(Op::Idle(period_idle));
     }
-    ops
+    Ok(ops)
+}
+
+/// Panicking convenience wrapper around [`try_stream_script`].
+///
+/// # Panics
+///
+/// Panics with the [`GenError`] message on invalid parameters.
+pub fn stream_script(seed: u64, frames: u32, dst_base: u32, period_idle: u32) -> Vec<Op> {
+    try_stream_script(seed, frames, dst_base, period_idle).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -169,6 +302,7 @@ mod tests {
     #[test]
     fn write_read_script_shape() {
         let ops = write_read_script(1, 3, 2, 0x100, 0x200, 2, 4);
+        let mut shape_errors: Vec<GenError> = Vec::new();
         // Each round ends with an Idle; pairs are Locked.
         let idles = ops.iter().filter(|o| matches!(o, Op::Idle(_))).count();
         assert_eq!(idles, 3);
@@ -186,9 +320,10 @@ mod tests {
                     }
                 }
                 Op::Idle(n) => assert!((2..=4).contains(n)),
-                other => panic!("unexpected op {other:?}"),
+                other => shape_errors.push(GenError::UnexpectedOp(format!("{other:?}"))),
             }
         }
+        assert_eq!(shape_errors, Vec::new());
     }
 
     #[test]
@@ -196,11 +331,19 @@ mod tests {
         let ops = dma_script(3, 2, 0x0, 0x1000, HBurst::Incr8);
         assert!(matches!(
             ops[0],
-            Op::Burst { write: false, addr: 0x0, .. }
+            Op::Burst {
+                write: false,
+                addr: 0x0,
+                ..
+            }
         ));
         assert!(matches!(
             ops[1],
-            Op::Burst { write: true, addr: 0x1000, .. }
+            Op::Burst {
+                write: true,
+                addr: 0x1000,
+                ..
+            }
         ));
         if let Op::Burst { data, .. } = &ops[1] {
             assert_eq!(data.len(), 8);
@@ -210,6 +353,7 @@ mod tests {
     #[test]
     fn cpu_script_addresses_are_aligned() {
         let ops = cpu_script(11, 200, 0x2000, 0x800);
+        let mut shape_errors: Vec<GenError> = Vec::new();
         for op in &ops {
             match op {
                 Op::Read { addr, size } | Op::Write { addr, size, .. } => {
@@ -217,9 +361,10 @@ mod tests {
                     assert!(*addr >= 0x2000 && *addr < 0x2800);
                 }
                 Op::Idle(_) => {}
-                other => panic!("unexpected op {other:?}"),
+                other => shape_errors.push(GenError::UnexpectedOp(format!("{other:?}"))),
             }
         }
+        assert_eq!(shape_errors, Vec::new());
     }
 
     #[test]
@@ -236,5 +381,37 @@ mod tests {
     #[should_panic(expected = "idle range")]
     fn inverted_idle_range_panics() {
         let _ = write_read_script(1, 1, 1, 0, 0x100, 5, 2);
+    }
+
+    #[test]
+    fn try_variants_surface_errors_instead_of_aborting() {
+        assert_eq!(
+            try_write_read_script(1, 0, 1, 0, 0x100, 1, 2),
+            Err(GenError::EmptyCount("round"))
+        );
+        assert_eq!(
+            try_write_read_script(1, 1, 1, 0, 2, 1, 2),
+            Err(GenError::AddrSpanTooSmall { span: 2 })
+        );
+        let e = try_write_read_script(1, 1, 1, 0, 0x100, 5, 2).unwrap_err();
+        assert_eq!(e, GenError::InvertedIdleRange { min: 5, max: 2 });
+        assert!(e.to_string().contains("idle range"));
+        assert_eq!(
+            try_dma_script(1, 0, 0, 0, HBurst::Incr8),
+            Err(GenError::EmptyCount("block"))
+        );
+        assert_eq!(
+            try_cpu_script(1, 0, 0, 0x100),
+            Err(GenError::EmptyCount("access"))
+        );
+        assert_eq!(
+            try_stream_script(1, 0, 0, 1),
+            Err(GenError::EmptyCount("frame"))
+        );
+        // Valid parameters produce the same script as the panicking form.
+        assert_eq!(
+            try_write_read_script(7, 4, 3, 0, 0x1000, 1, 5).unwrap(),
+            write_read_script(7, 4, 3, 0, 0x1000, 1, 5)
+        );
     }
 }

@@ -24,6 +24,9 @@ mod gen;
 mod paper;
 mod scenario;
 
-pub use gen::{cpu_script, dma_script, stream_script, write_read_script};
+pub use gen::{
+    cpu_script, dma_script, stream_script, try_cpu_script, try_dma_script, try_stream_script,
+    try_write_read_script, write_read_script, GenError,
+};
 pub use paper::PaperTestbench;
 pub use scenario::SocScenario;

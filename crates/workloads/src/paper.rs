@@ -49,6 +49,8 @@ impl PaperTestbench {
     pub const N_MASTERS: usize = 3;
     /// Number of slaves on the bus.
     pub const N_SLAVES: usize = 3;
+    /// Scenario label stamped into telemetry exports of this testbench.
+    pub const LABEL: &'static str = "paper_testbench";
 
     /// Builds the bus: masters 0 and 1 run WRITE-READ/IDLE scripts over the
     /// three slave windows; master 2 is the "simple default master".

@@ -17,7 +17,10 @@ fn main() {
     // Show what the "synthesis" step produced, like a SIS session would.
     println!("== synthesized reference netlists ==");
     for (name, stats) in [
-        ("one-hot decoder (3 slaves)", one_hot_decoder(3).netlist.stats()),
+        (
+            "one-hot decoder (3 slaves)",
+            one_hot_decoder(3).netlist.stats(),
+        ),
         ("M2S mux (41 x 3)", mux_tree(41, 3).netlist.stats()),
         ("S2M mux (35 x 4)", mux_tree(35, 4).netlist.stats()),
         ("priority arbiter (3)", priority_arbiter(3).netlist.stats()),

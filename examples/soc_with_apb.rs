@@ -21,10 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             AddrRange::new(0x000, 0x100, SlaveId(0)),
             AddrRange::new(0x100, 0x100, SlaveId(1)),
         ])?,
-        vec![
-            Box::new(RegisterFile::new(16)),
-            Box::new(ApbTimer::new()),
-        ],
+        vec![Box::new(RegisterFile::new(16)), Box::new(ApbTimer::new())],
     )
     .with_window(0x1000);
 
@@ -34,10 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Op::write(0x1008, 0x42),        // APB regfile[2]
         Op::read(0x1008),               // read it back (two-cycle APB access)
         Op::Idle(3),
-        Op::write(0x1104, 50),          // timer compare = 50
+        Op::write(0x1104, 50), // timer compare = 50
         Op::Idle(40),
-        Op::read(0x1108),               // timer match flag
-        Op::read(0x1100),               // timer count
+        Op::read(0x1108), // timer match flag
+        Op::read(0x1100), // timer count
     ];
     let mut bus = AhbBusBuilder::new(AddressMap::new(vec![
         AddrRange::new(0x0000, 0x1000, SlaveId(0)),
@@ -77,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bridge.stats().writes,
         bridge.stats().unmapped
     );
-    println!("\nenergy: {:.2} pJ over {cycles} cycles", session.total_energy() * 1e12);
+    println!(
+        "\nenergy: {:.2} pJ over {cycles} cycles",
+        session.total_energy() * 1e12
+    );
     for (i, e) in session.per_master_energy().iter().enumerate() {
         println!(
             "  master {i}: {:>8.2} pJ ({:.1}%)",

@@ -9,9 +9,7 @@
 use std::fs;
 
 use ahbpower::{AnalysisConfig, PowerSession};
-use ahbpower_ahb::{
-    parse_ops, AddressMap, AhbBusBuilder, BusTracer, MemorySlave, ScriptedMaster,
-};
+use ahbpower_ahb::{parse_ops, AddressMap, AhbBusBuilder, BusTracer, MemorySlave, ScriptedMaster};
 use ahbpower_sim::SimTime;
 
 const DEFAULT_SCRIPT: &str = "\
@@ -34,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => DEFAULT_SCRIPT.to_string(),
     };
     let ops = parse_ops(&text)?;
-    println!("parsed {} ops:\n{}", ops.len(), ahbpower_ahb::format_ops(&ops));
+    println!(
+        "parsed {} ops:\n{}",
+        ops.len(),
+        ahbpower_ahb::format_ops(&ops)
+    );
 
     let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
         .master(Box::new(ScriptedMaster::new(ops)))
@@ -57,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("--- energy by instruction ---");
     print!("{}", ahbpower::report::table1_text(session.ledger()));
-    let m = bus
-        .master_as::<ScriptedMaster>(0)
-        .expect("scripted master");
+    let m = bus.master_as::<ScriptedMaster>(0).expect("scripted master");
     println!(
         "completed {} transfers in {cycles} cycles; reads: {:x?}",
         m.completed(),

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Snapshot the telemetry-overhead numbers into BENCH_telemetry.json at the
+# repo root: functional-only vs power session with telemetry disabled
+# (default) vs enabled, over the paper testbench.
+#
+# usage: scripts/bench_snapshot.sh [cycles] [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CYCLES="${1:-1000000}"
+SEED="${2:-2003}"
+
+cargo run --release -p ahbpower-bench --bin repro -- telemetry-overhead \
+    --cycles "$CYCLES" --seed "$SEED"
+echo "snapshot written to BENCH_telemetry.json"

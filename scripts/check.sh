@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --all -- --check
+
 echo "== build =="
 cargo build --workspace --all-targets
 
@@ -25,5 +28,9 @@ done
 echo "== experiments (smoke, 100k cycles) =="
 cargo run --release -p ahbpower-bench --bin repro -- all --cycles 100000 > /dev/null
 echo "  repro ok (artifacts in results/)"
+
+echo "== telemetry (smoke, 100k cycles) =="
+cargo run --release -p ahbpower-bench --bin repro -- telemetry --cycles 100000 > /dev/null
+echo "  telemetry ok (results/telemetry.{jsonl,csv,prom})"
 
 echo "ALL CHECKS PASSED"

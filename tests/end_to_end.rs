@@ -49,7 +49,10 @@ fn paper_experiment_reproduces_table1_shape() {
         })
         .map(|r| r.share)
         .sum();
-    assert!(ho_share > 0.005 && ho_share < 0.4, "handover share {ho_share}");
+    assert!(
+        ho_share > 0.005 && ho_share < 0.4,
+        "handover share {ho_share}"
+    );
     // Shares sum to one.
     let total_share: f64 = rows.iter().map(|r| r.share).sum();
     assert!((total_share - 1.0).abs() < 1e-9);
@@ -99,7 +102,10 @@ fn runs_are_deterministic_per_seed() {
     let (a, _) = run_session(77);
     let (b, _) = run_session(77);
     let (c, _) = run_session(78);
-    assert_eq!(report::table1_csv(a.ledger()), report::table1_csv(b.ledger()));
+    assert_eq!(
+        report::table1_csv(a.ledger()),
+        report::table1_csv(b.ledger())
+    );
     assert!((a.total_energy() - b.total_energy()).abs() < 1e-30);
     assert!(
         (a.total_energy() - c.total_energy()).abs() > 0.0,
@@ -131,7 +137,9 @@ fn protocol_is_clean_under_instrumentation() {
 fn kernel_hosted_run_matches_direct_run() {
     let cfg = AnalysisConfig::paper_testbench();
     let cycles = 3_000u64;
-    let bus = PaperTestbench::sized_for(cycles, 11).build().expect("builds");
+    let bus = PaperTestbench::sized_for(cycles, 11)
+        .build()
+        .expect("builds");
     let run = ahbpower::run_on_kernel(
         bus,
         Some(PowerSession::new(&cfg)),
@@ -141,7 +149,9 @@ fn kernel_hosted_run_matches_direct_run() {
     .expect("kernel run");
     let kernel_energy = run.session.as_ref().unwrap().borrow().total_energy();
 
-    let mut direct_bus = PaperTestbench::sized_for(cycles, 11).build().expect("builds");
+    let mut direct_bus = PaperTestbench::sized_for(cycles, 11)
+        .build()
+        .expect("builds");
     let mut direct = PowerSession::new(&cfg);
     direct.run(&mut direct_bus, cycles);
 

@@ -3,8 +3,8 @@
 //! probing, trace-driven stimulus, and VCD dumping.
 
 use ahbpower::{
-    estimate_power, AnalysisConfig, GlobalProbe, InlineProbe, PowerProbe, PowerSession,
-    SramModel, SramProbe, TechParams, TrafficStats,
+    estimate_power, AnalysisConfig, GlobalProbe, InlineProbe, PowerProbe, PowerSession, SramModel,
+    SramProbe, TechParams, TrafficStats,
 };
 use ahbpower_ahb::{
     parse_ops, AddrRange, AddressMap, AhbBusBuilder, ApbBridge, ApbTimer, BusTracer, IdleMaster,
@@ -23,11 +23,13 @@ fn apb_system(program: Vec<Op>) -> ahbpower_ahb::AhbBus {
         vec![Box::new(RegisterFile::new(16)), Box::new(ApbTimer::new())],
     )
     .with_window(0x1000);
-    AhbBusBuilder::new(AddressMap::new(vec![
-        AddrRange::new(0x0000, 0x1000, SlaveId(0)),
-        AddrRange::new(0x1000, 0x1000, SlaveId(1)),
-    ])
-    .expect("map builds"))
+    AhbBusBuilder::new(
+        AddressMap::new(vec![
+            AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+            AddrRange::new(0x1000, 0x1000, SlaveId(1)),
+        ])
+        .expect("map builds"),
+    )
     .default_master(MasterId(1))
     .master(Box::new(ScriptedMaster::new(program)))
     .master(Box::new(IdleMaster::new()))
@@ -79,7 +81,9 @@ fn apb_timer_advances_with_bus_cycles() {
 #[test]
 fn statistical_estimate_tracks_simulation_within_2x() {
     let cfg = AnalysisConfig::paper_testbench();
-    let mut bus = PaperTestbench::sized_for(30_000, 7).build().expect("builds");
+    let mut bus = PaperTestbench::sized_for(30_000, 7)
+        .build()
+        .expect("builds");
     let model = ahbpower::AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
     let mut inline = InlineProbe::new(model.clone());
     for _ in 0..30_000 {
@@ -118,7 +122,9 @@ fn measured_stats_round_trip_through_estimator() {
 #[test]
 fn sram_probe_and_bus_probe_coexist_on_one_stream() {
     let cfg = AnalysisConfig::paper_testbench();
-    let mut bus = PaperTestbench::sized_for(8_000, 11).build().expect("builds");
+    let mut bus = PaperTestbench::sized_for(8_000, 11)
+        .build()
+        .expect("builds");
     let mut session = PowerSession::new(&cfg);
     let tech = TechParams::default();
     let mut srams: Vec<SramProbe> = (0..3)
@@ -135,7 +141,8 @@ fn sram_probe_and_bus_probe_coexist_on_one_stream() {
     for (i, p) in srams.iter().enumerate() {
         let rows = p.ledger().rows();
         assert!(
-            rows.iter().any(|(n, _, _)| n.contains("READ") || n.contains("WRITE")),
+            rows.iter()
+                .any(|(n, _, _)| n.contains("READ") || n.contains("WRITE")),
             "slave {i} saw no accesses: {rows:?}"
         );
     }
@@ -147,10 +154,8 @@ fn sram_probe_and_bus_probe_coexist_on_one_stream() {
 
 #[test]
 fn trace_script_runs_with_instrumentation_and_vcd() {
-    let ops = parse_ops(
-        "write 0x10 0xff\nread 0x10\nidle 2\nburst w incr4 0x40 1 2 3 4\n",
-    )
-    .expect("parses");
+    let ops = parse_ops("write 0x10 0xff\nread 0x10\nidle 2\nburst w incr4 0x40 1 2 3 4\n")
+        .expect("parses");
     let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(1, 0x1000))
         .master(Box::new(ScriptedMaster::new(ops)))
         .slave(Box::new(MemorySlave::new(0x1000, 0, 0)))

@@ -27,15 +27,16 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             size: HSize::Byte,
         }),
         // Bursts, with optional BUSY insertion (kept inside one 1 KB block).
-        (0u32..0x2C0, 0u32..2, prop::collection::vec(any::<u32>(), 4))
-            .prop_map(|(a, busy, data)| Op::Burst {
+        (0u32..0x2C0, 0u32..2, prop::collection::vec(any::<u32>(), 4)).prop_map(
+            |(a, busy, data)| Op::Burst {
                 write: true,
                 burst: HBurst::Incr4,
                 addr: (a & !3) % 0xB00,
                 data,
                 size: HSize::Word,
                 busy_between: busy,
-            }),
+            }
+        ),
         (0u32..0x2C0).prop_map(|a| Op::Burst {
             write: false,
             burst: HBurst::Wrap8,

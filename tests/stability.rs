@@ -23,8 +23,11 @@ fn golden_total_energy_is_stable() {
     let (session, _) = run();
     let pj = session.total_energy() * 1e12;
     // Exact value pinned from the current model; the band allows only
-    // floating-point noise, not semantic drift.
-    let expected = 65_345.7;
+    // floating-point noise, not semantic drift. Pinned against the
+    // vendored deterministic RNG (vendor/rand) — the workload stream, and
+    // hence this constant, is stable per seed but differs from upstream
+    // rand 0.10.
+    let expected = 65_156.5;
     assert!(
         (pj - expected).abs() < 1.0,
         "total energy drifted: {pj:.1} pJ (expected ~{expected:.1} pJ) — if \
@@ -44,8 +47,17 @@ fn golden_instruction_mix_is_stable() {
     );
     // The five paper instructions and nothing unexpected beyond the two
     // start-up transients.
-    let rows: Vec<&str> = csv.lines().skip(1).map(|l| l.split(',').next().expect("field")).collect();
-    for name in ["WRITE_READ", "READ_IDLE_HO", "IDLE_HO_WRITE", "IDLE_HO_IDLE_HO"] {
+    let rows: Vec<&str> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().expect("field"))
+        .collect();
+    for name in [
+        "WRITE_READ",
+        "READ_IDLE_HO",
+        "IDLE_HO_WRITE",
+        "IDLE_HO_IDLE_HO",
+    ] {
         assert!(rows.contains(&name), "{name} missing from {rows:?}");
     }
 }
@@ -58,10 +70,14 @@ fn golden_bus_statistics_are_stable() {
     // Deterministic workload: exact transfer/handover counts.
     assert_eq!(
         (s.transfers_ok, s.errors, s.retries, s.splits),
-        (1418, 0, 0, 0),
+        (1413, 0, 0, 0),
         "functional behaviour drifted: {s:?}"
     );
-    assert!(s.handovers > 100, "handover traffic expected: {}", s.handovers);
+    assert!(
+        s.handovers > 100,
+        "handover traffic expected: {}",
+        s.handovers
+    );
 }
 
 #[test]

@@ -1,0 +1,216 @@
+//! Offline stub of the `rand 0.10` API subset this workspace uses.
+//!
+//! The container cannot reach crates.io, so the workspace vendors a small,
+//! deterministic replacement: [`rngs::StdRng`] is a SplitMix64-seeded
+//! xoshiro256++ generator exposing `seed_from_u64`, `random`,
+//! `random_range` and `random_bool`. Streams are deterministic per seed
+//! (which is all the workload generators rely on) but do **not** match the
+//! real `rand` crate's output bit-for-bit.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG types.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256++ core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types that [`RngExt::random`] can produce.
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to u64 for sampling arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows back from u64.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges that [`RngExt::random_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = (self.start.to_u64(), self.end.to_u64());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_u64(lo + rng.next_u64() % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = (self.start().to_u64(), self.end().to_u64());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        let span = hi.wrapping_sub(lo).wrapping_add(1);
+        let v = if span == 0 {
+            rng.next_u64() // full u64 domain
+        } else {
+            lo + rng.next_u64() % span
+        };
+        T::from_u64(v)
+    }
+}
+
+/// The `rand 0.10` convenience methods the workspace uses.
+pub trait RngExt {
+    /// A uniformly random value of `T`.
+    fn random<T: StandardSample>(&mut self) -> T;
+    /// A uniformly random value inside `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample(self) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u32> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.random()).collect();
+        let vc: Vec<u32> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u8 = rng.random_range(3..=5);
+            assert!((3..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` facade.
+//!
+//! This container has no access to crates.io, so the workspace vendors a
+//! minimal API-compatible subset: the `Serialize`/`Deserialize` traits and
+//! their derive macros (which expand to nothing). The repo serializes its
+//! own artifacts by hand (see `ahbpower::telemetry::export`), so only the
+//! trait/derive *names* need to resolve.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,15 @@
+//! Offline stub of `serde_derive`: the derives are accepted and expand to
+//! nothing, so `#[derive(Serialize, Deserialize)]` compiles without pulling
+//! the real implementation from the network.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
