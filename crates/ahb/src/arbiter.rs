@@ -29,23 +29,29 @@ impl fmt::Display for Arbitration {
 /// (HREADY high); [`Arbiter::mask_split`] when a slave answers SPLIT; and
 /// [`Arbiter::unmask`] with each cycle's HSPLIT bits.
 ///
+/// Requests and SPLIT state travel as packed little-endian bitmask words
+/// (bit `i` = master `i`), matching [`crate::BusSnapshot`], so the per-cycle
+/// decision is a few bit operations.
+///
 /// # Examples
 ///
 /// ```
 /// use ahbpower_ahb::{Arbiter, Arbitration, MasterId};
 ///
 /// let mut arb = Arbiter::new(3, Arbitration::FixedPriority, MasterId(0));
-/// let g = arb.decide(&[false, true, true], MasterId(0), false);
+/// let g = arb.decide(0b110, MasterId(0), false);
 /// assert_eq!(g, MasterId(1)); // lowest requesting index wins
-/// let g = arb.decide(&[false, false, false], g, false);
+/// let g = arb.decide(0b000, g, false);
 /// assert_eq!(g, MasterId(0)); // default master when nobody requests
 /// ```
 #[derive(Debug, Clone)]
 pub struct Arbiter {
     policy: Arbitration,
     default_master: MasterId,
-    /// `true` = master has an outstanding SPLIT and must not be granted.
-    split_mask: Vec<bool>,
+    n_masters: usize,
+    /// Bit `i` set = master `i` has an outstanding SPLIT and must not be
+    /// granted.
+    split_mask: u32,
     /// Round-robin scan start.
     rr_next: usize,
     /// Grant decisions made (for statistics / fairness tests).
@@ -57,9 +63,11 @@ impl Arbiter {
     ///
     /// # Panics
     ///
-    /// Panics if `n_masters == 0` or `default_master` is out of range.
+    /// Panics if `n_masters == 0`, `n_masters > 32` (the packed request
+    /// word is 32 bits wide) or `default_master` is out of range.
     pub fn new(n_masters: usize, policy: Arbitration, default_master: MasterId) -> Self {
         assert!(n_masters > 0, "need at least one master");
+        assert!(n_masters <= 32, "at most 32 masters fit the request word");
         assert!(
             default_master.index() < n_masters,
             "default master out of range"
@@ -67,7 +75,8 @@ impl Arbiter {
         Arbiter {
             policy,
             default_master,
-            split_mask: vec![false; n_masters],
+            n_masters,
+            split_mask: 0,
             rr_next: 0,
             grants: vec![0; n_masters],
         }
@@ -75,7 +84,7 @@ impl Arbiter {
 
     /// Number of masters.
     pub fn n_masters(&self) -> usize {
-        self.split_mask.len()
+        self.n_masters
     }
 
     /// The configured arbitration policy.
@@ -88,7 +97,8 @@ impl Arbiter {
         self.default_master
     }
 
-    /// Chooses the next address-phase owner.
+    /// Chooses the next address-phase owner. `requests` is the packed
+    /// HBUSREQ word (bit `i` = master `i`).
     ///
     /// `owner_lock` is the current owner's HLOCK: a locked owner keeps the
     /// bus regardless of other requests (the paper's "non-interruptible
@@ -96,22 +106,28 @@ impl Arbiter {
     ///
     /// # Panics
     ///
-    /// Panics if `requests.len()` differs from the master count.
-    pub fn decide(&mut self, requests: &[bool], owner: MasterId, owner_lock: bool) -> MasterId {
-        assert_eq!(requests.len(), self.split_mask.len(), "request width");
-        if owner_lock && !self.split_mask[owner.index()] {
+    /// Panics if `requests` has a bit set at or above the master count.
+    pub fn decide(&mut self, requests: u32, owner: MasterId, owner_lock: bool) -> MasterId {
+        let width_mask = width_mask(self.n_masters);
+        assert_eq!(requests & !width_mask, 0, "request width");
+        if owner_lock && !self.is_masked(owner) {
             self.grants[owner.index()] += 1;
             return owner;
         }
-        let n = self.split_mask.len();
+        let grantable = requests & !self.split_mask;
         let winner = match self.policy {
-            Arbitration::FixedPriority => (0..n)
-                .find(|&i| requests[i] && !self.split_mask[i])
-                .map(|i| MasterId(i as u8)),
+            Arbitration::FixedPriority => {
+                if grantable != 0 {
+                    Some(MasterId(grantable.trailing_zeros() as u8))
+                } else {
+                    None
+                }
+            }
             Arbitration::RoundRobin => {
+                let n = self.n_masters;
                 let found = (0..n)
                     .map(|k| (self.rr_next + k) % n)
-                    .find(|&i| requests[i] && !self.split_mask[i]);
+                    .find(|&i| (grantable >> i) & 1 == 1);
                 if let Some(i) = found {
                     self.rr_next = (i + 1) % n;
                 }
@@ -126,27 +142,32 @@ impl Arbiter {
     /// Records a SPLIT response: `master` must not be granted until the
     /// slave signals completion via [`Arbiter::unmask`].
     pub fn mask_split(&mut self, master: MasterId) {
-        self.split_mask[master.index()] = true;
+        self.split_mask |= 1 << master.index();
     }
 
     /// Applies an HSPLIT bit vector (bit *i* set = master *i* may be granted
     /// again).
     pub fn unmask(&mut self, hsplit: u16) {
-        for (i, m) in self.split_mask.iter_mut().enumerate() {
-            if hsplit & (1 << i) != 0 {
-                *m = false;
-            }
-        }
+        self.split_mask &= !u32::from(hsplit);
     }
 
     /// True if `master` currently has an outstanding SPLIT.
     pub fn is_masked(&self, master: MasterId) -> bool {
-        self.split_mask[master.index()]
+        (self.split_mask >> master.index()) & 1 == 1
     }
 
     /// Grant counts per master since construction.
     pub fn grant_counts(&self) -> &[u64] {
         &self.grants
+    }
+}
+
+/// All-ones over the low `n` bits (`n <= 32`).
+fn width_mask(n: usize) -> u32 {
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
     }
 }
 
@@ -157,53 +178,38 @@ mod tests {
     #[test]
     fn fixed_priority_prefers_low_index() {
         let mut a = Arbiter::new(4, Arbitration::FixedPriority, MasterId(0));
-        assert_eq!(
-            a.decide(&[false, true, false, true], MasterId(0), false),
-            MasterId(1)
-        );
-        assert_eq!(
-            a.decide(&[true, true, true, true], MasterId(1), false),
-            MasterId(0)
-        );
+        assert_eq!(a.decide(0b1010, MasterId(0), false), MasterId(1));
+        assert_eq!(a.decide(0b1111, MasterId(1), false), MasterId(0));
     }
 
     #[test]
     fn default_master_when_idle() {
         let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(2));
-        assert_eq!(
-            a.decide(&[false, false, false], MasterId(0), false),
-            MasterId(2)
-        );
+        assert_eq!(a.decide(0b000, MasterId(0), false), MasterId(2));
     }
 
     #[test]
     fn locked_owner_keeps_bus() {
         let mut a = Arbiter::new(3, Arbitration::FixedPriority, MasterId(0));
         // Master 2 holds the lock; master 0 requesting cannot preempt.
-        assert_eq!(
-            a.decide(&[true, false, true], MasterId(2), true),
-            MasterId(2)
-        );
+        assert_eq!(a.decide(0b101, MasterId(2), true), MasterId(2));
         // Lock released: master 0 wins.
-        assert_eq!(
-            a.decide(&[true, false, true], MasterId(2), false),
-            MasterId(0)
-        );
+        assert_eq!(a.decide(0b101, MasterId(2), false), MasterId(0));
     }
 
     #[test]
     fn round_robin_rotates() {
         let mut a = Arbiter::new(3, Arbitration::RoundRobin, MasterId(0));
-        let all = [true, true, true];
-        let g1 = a.decide(&all, MasterId(0), false);
-        let g2 = a.decide(&all, g1, false);
-        let g3 = a.decide(&all, g2, false);
+        let all = 0b111;
+        let g1 = a.decide(all, MasterId(0), false);
+        let g2 = a.decide(all, g1, false);
+        let g3 = a.decide(all, g2, false);
         assert_eq!(
             (g1, g2, g3),
             (MasterId(0), MasterId(1), MasterId(2)),
             "each master served in turn"
         );
-        let g4 = a.decide(&all, g3, false);
+        let g4 = a.decide(all, g3, false);
         assert_eq!(g4, MasterId(0), "wraps around");
     }
 
@@ -212,7 +218,7 @@ mod tests {
         let mut a = Arbiter::new(3, Arbitration::RoundRobin, MasterId(0));
         let mut owner = MasterId(0);
         for _ in 0..300 {
-            owner = a.decide(&[true, true, true], owner, false);
+            owner = a.decide(0b111, owner, false);
         }
         for &c in a.grant_counts() {
             assert_eq!(c, 100);
@@ -225,13 +231,13 @@ mod tests {
         a.mask_split(MasterId(0));
         assert!(a.is_masked(MasterId(0)));
         // Master 0 requests but is masked: master 1 wins.
-        assert_eq!(a.decide(&[true, true], MasterId(0), false), MasterId(1));
+        assert_eq!(a.decide(0b11, MasterId(0), false), MasterId(1));
         // Nobody grantable: default master is granted even while masked
         // (it will drive IDLE, which is harmless).
-        assert_eq!(a.decide(&[true, false], MasterId(1), false), MasterId(0));
+        assert_eq!(a.decide(0b01, MasterId(1), false), MasterId(0));
         a.unmask(0b01);
         assert!(!a.is_masked(MasterId(0)));
-        assert_eq!(a.decide(&[true, true], MasterId(1), false), MasterId(0));
+        assert_eq!(a.decide(0b11, MasterId(1), false), MasterId(0));
     }
 
     #[test]
@@ -257,6 +263,13 @@ mod tests {
     #[should_panic(expected = "request width")]
     fn wrong_request_width_panics() {
         let mut a = Arbiter::new(2, Arbitration::FixedPriority, MasterId(0));
-        let _ = a.decide(&[true], MasterId(0), false);
+        let _ = a.decide(0b100, MasterId(0), false);
+    }
+
+    #[test]
+    fn width_mask_covers_the_word() {
+        assert_eq!(width_mask(1), 0b1);
+        assert_eq!(width_mask(16), 0xFFFF);
+        assert_eq!(width_mask(32), u32::MAX);
     }
 }

@@ -28,6 +28,8 @@ pub enum BuildBusError {
     },
     /// More than 16 masters (HSPLIT is a 16-bit vector).
     TooManyMasters(usize),
+    /// More than 32 slaves (HSEL is packed into a 32-bit snapshot word).
+    TooManySlaves(usize),
 }
 
 impl fmt::Display for BuildBusError {
@@ -40,6 +42,9 @@ impl fmt::Display for BuildBusError {
             ),
             BuildBusError::TooManyMasters(n) => {
                 write!(f, "{n} masters attached; AHB supports at most 16")
+            }
+            BuildBusError::TooManySlaves(n) => {
+                write!(f, "{n} slaves attached; this fabric supports at most 32")
             }
         }
     }
@@ -188,6 +193,9 @@ impl AhbBusBuilder {
         if self.masters.len() > 16 {
             return Err(BuildBusError::TooManyMasters(self.masters.len()));
         }
+        if self.slaves.len() > 32 {
+            return Err(BuildBusError::TooManySlaves(self.slaves.len()));
+        }
         for r in self.map.ranges() {
             if r.slave.index() >= self.slaves.len() {
                 return Err(BuildBusError::MissingSlave {
@@ -209,6 +217,7 @@ impl AhbBusBuilder {
             hready_r: true,
             hresp_r: HResp::Okay,
             hrdata_r: 0,
+            outs: Vec::with_capacity(n_masters),
             stats: BusStats {
                 per_slave_ok: vec![0; n_slaves],
                 per_master_ok: vec![0; n_masters],
@@ -227,9 +236,9 @@ impl AhbBusBuilder {
                 hresp: HResp::Okay,
                 hmaster: self.default_master,
                 hmastlock: false,
-                hbusreq: vec![false; n_masters],
-                hgrant: vec![false; n_masters],
-                hsel: vec![false; n_slaves],
+                hbusreq: 0,
+                hgrant: 0,
+                hsel: 0,
             },
         })
     }
@@ -251,6 +260,9 @@ pub struct AhbBus {
     hready_r: bool,
     hresp_r: HResp,
     hrdata_r: u32,
+    /// Reusable per-cycle master-output buffer: cleared and refilled every
+    /// cycle so the hot loop never reallocates.
+    outs: Vec<MasterOut>,
     stats: BusStats,
     snapshot: BusSnapshot,
 }
@@ -335,29 +347,31 @@ impl AhbBus {
 
     /// Advances the bus by one clock cycle and returns the cycle's wires.
     pub fn step(&mut self) -> &BusSnapshot {
-        // 1. Masters act on edge-sampled values.
+        // 1. Masters act on edge-sampled values. The outputs land in the
+        // reusable `outs` buffer and the request wires in a packed word, so
+        // this phase performs no heap allocation after the first cycle.
         let owner = self.addr_owner;
-        let outs: Vec<MasterOut> = {
+        let mut busreq = 0u32;
+        {
             let hready = self.hready_r;
             let hresp = self.hresp_r;
             let hrdata = self.hrdata_r;
-            self.masters
-                .iter_mut()
-                .enumerate()
-                .map(|(i, m)| {
-                    m.cycle(&MasterIn {
-                        grant: MasterId(i as u8) == owner,
-                        ready: hready,
-                        resp: hresp,
-                        rdata: hrdata,
-                    })
-                })
-                .collect()
-        };
-        let ap = outs[owner.index()];
+            self.outs.clear();
+            for (i, m) in self.masters.iter_mut().enumerate() {
+                let out = m.cycle(&MasterIn {
+                    grant: MasterId(i as u8) == owner,
+                    ready: hready,
+                    resp: hresp,
+                    rdata: hrdata,
+                });
+                busreq |= u32::from(out.busreq) << i;
+                self.outs.push(out);
+            }
+        }
+        let ap = self.outs[owner.index()];
         // 2. M2S data mux: HWDATA comes from the data-phase owner.
         let hwdata = match self.dp {
-            DataPhase::Transfer { master, write, .. } if write => outs[master.index()].wdata,
+            DataPhase::Transfer { master, write, .. } if write => self.outs[master.index()].wdata,
             _ => 0,
         };
         // 3. Data-phase evaluation (S2M mux result).
@@ -443,34 +457,31 @@ impl AhbBus {
             } else {
                 DataPhase::NoTransfer
             };
-            let requests: Vec<bool> = outs.iter().map(|o| o.busreq).collect();
-            next_owner = self.arbiter.decide(&requests, self.addr_owner, ap.lock);
+            next_owner = self.arbiter.decide(busreq, self.addr_owner, ap.lock);
         }
         if ap.trans == HTrans::Idle {
             self.stats.idle_cycles += 1;
         }
-        // 7. Publish this cycle's wires.
-        let n_slaves = self.slaves.len();
-        self.snapshot = BusSnapshot {
-            cycle: self.stats.cycles,
-            haddr: ap.addr,
-            htrans: ap.trans,
-            hwrite: ap.write,
-            hsize: ap.size,
-            hburst: ap.burst,
-            hwdata,
-            hrdata,
-            hready,
-            hresp,
-            hmaster: self.addr_owner,
-            hmastlock: ap.lock && ap.trans.is_transfer(),
-            hbusreq: outs.iter().map(|o| o.busreq).collect(),
-            hgrant: (0..self.masters.len())
-                .map(|i| MasterId(i as u8) == next_owner)
-                .collect(),
-            hsel: (0..n_slaves)
-                .map(|i| decoded == Some(SlaveId(i as u8)))
-                .collect(),
+        // 7. Publish this cycle's wires by updating the snapshot in place —
+        // the struct is plain-old-data now, so this is a handful of stores.
+        let snap = &mut self.snapshot;
+        snap.cycle = self.stats.cycles;
+        snap.haddr = ap.addr;
+        snap.htrans = ap.trans;
+        snap.hwrite = ap.write;
+        snap.hsize = ap.size;
+        snap.hburst = ap.burst;
+        snap.hwdata = hwdata;
+        snap.hrdata = hrdata;
+        snap.hready = hready;
+        snap.hresp = hresp;
+        snap.hmaster = self.addr_owner;
+        snap.hmastlock = ap.lock && ap.trans.is_transfer();
+        snap.hbusreq = busreq;
+        snap.hgrant = 1u32 << next_owner.index();
+        snap.hsel = match decoded {
+            Some(s) => 1u32 << s.index(),
+            None => 0,
         };
         // 8. Advance registers.
         if next_owner != self.addr_owner {
@@ -598,12 +609,12 @@ mod tests {
 
     #[test]
     fn burst_transfers_complete_in_order() {
-        let data = vec![0x11, 0x22, 0x33, 0x44];
+        let data = [0x11, 0x22, 0x33, 0x44];
         let mut bus = simple_bus(vec![Op::Burst {
             write: true,
             burst: HBurst::Incr4,
             addr: 0x100,
-            data: data.clone(),
+            data: data.to_vec(),
             size: HSize::Word,
             busy_between: 0,
         }]);
@@ -724,7 +735,7 @@ mod tests {
             .unwrap();
         let mut owners = Vec::new();
         for _ in 0..30 {
-            let s = bus.step().clone();
+            let s = *bus.step();
             if s.htrans.is_transfer() {
                 owners.push((s.hmaster, s.haddr));
             }
@@ -844,16 +855,13 @@ mod tests {
         let mut bus = simple_bus(vec![Op::write(0x4, 0xAB)]);
         let mut saw_transfer = false;
         bus.run_with(10, |s| {
-            assert!(
-                s.hgrant.iter().filter(|&&g| g).count() == 1,
-                "grant one-hot"
-            );
-            assert!(s.hsel.iter().filter(|&&x| x).count() <= 1, "hsel one-hot");
+            assert_eq!(s.hgrant.count_ones(), 1, "grant one-hot");
+            assert!(s.hsel.count_ones() <= 1, "hsel one-hot");
             if s.htrans == HTrans::NonSeq {
                 saw_transfer = true;
                 assert_eq!(s.haddr, 0x4);
                 assert!(s.hwrite);
-                assert!(s.hsel[0]);
+                assert!(s.hsel_bit(0));
             }
         });
         assert!(saw_transfer);

@@ -137,11 +137,11 @@ impl ProtocolChecker {
         self.cycles += 1;
         let c = snap.cycle;
         // Static shape rules.
-        if snap.hgrant.iter().filter(|&&g| g).count() != 1 {
-            self.report(c, Rule::GrantOneHot, format!("HGRANT = {:?}", snap.hgrant));
+        if snap.hgrant.count_ones() != 1 {
+            self.report(c, Rule::GrantOneHot, format!("HGRANT = {:#b}", snap.hgrant));
         }
-        if snap.hsel.iter().filter(|&&s| s).count() > 1 {
-            self.report(c, Rule::SelAtMostOneHot, format!("HSEL = {:?}", snap.hsel));
+        if snap.hsel.count_ones() > 1 {
+            self.report(c, Rule::SelAtMostOneHot, format!("HSEL = {:#b}", snap.hsel));
         }
         if snap.htrans.is_transfer() && !is_aligned(snap.haddr, snap.hsize) {
             self.report(
@@ -165,7 +165,7 @@ impl ProtocolChecker {
                 );
             }
         }
-        if let Some(p) = self.prev.clone() {
+        if let Some(p) = self.prev {
             if !p.hready {
                 match p.hresp {
                     HResp::Retry | HResp::Split => {
@@ -283,7 +283,7 @@ impl ProtocolChecker {
                 HTrans::Busy => {}
             }
         }
-        self.prev = Some(snap.clone());
+        self.prev = Some(*snap);
     }
 }
 
@@ -306,9 +306,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(0),
             hmastlock: false,
-            hbusreq: vec![false],
-            hgrant: vec![true],
-            hsel: vec![false],
+            hbusreq: 0b0,
+            hgrant: 0b1,
+            hsel: 0b0,
         }
     }
 
@@ -326,7 +326,7 @@ mod tests {
     fn grant_must_be_one_hot() {
         let mut ck = ProtocolChecker::new();
         let mut s = snap(0);
-        s.hgrant = vec![true, true];
+        s.hgrant = 0b11;
         ck.check(&s);
         assert_eq!(ck.violations()[0].rule, Rule::GrantOneHot);
     }
@@ -335,7 +335,7 @@ mod tests {
     fn hsel_multi_hot_flagged() {
         let mut ck = ProtocolChecker::new();
         let mut s = snap(0);
-        s.hsel = vec![true, true];
+        s.hsel = 0b11;
         ck.check(&s);
         assert_eq!(ck.violations()[0].rule, Rule::SelAtMostOneHot);
         let _ = SlaveId(0); // silence unused import in some cfg combinations

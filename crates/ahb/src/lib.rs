@@ -68,7 +68,7 @@ pub use perf::{
 pub use script::{format_ops, parse_ops, ParseOpsError};
 pub use slave::{AhbSlave, ErrorSlave, MemorySlave, SplitSlave};
 pub use types::{
-    AddressPhase, BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId, MasterIn, MasterOut,
-    SlaveId, SlaveReply,
+    pack_wires, AddressPhase, BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId, MasterIn,
+    MasterOut, SlaveId, SlaveReply,
 };
 pub use vcd::BusTracer;

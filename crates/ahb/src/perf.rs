@@ -223,10 +223,8 @@ impl BusPerfAnalyzer {
 
         // Arbitration latency: cycles from a master raising HBUSREQ to its
         // first owning cycle.
-        for (i, &req) in snap.hbusreq.iter().enumerate() {
-            if i >= self.request_since.len() {
-                break;
-            }
+        for i in 0..self.request_since.len() {
+            let req = snap.hbusreq_bit(i);
             if i == owner {
                 if let Some(since) = self.request_since[i].take() {
                     self.arbitration_latency.observe(self.cycles - since);

@@ -318,7 +318,12 @@ pub enum SlaveReply {
 /// A full snapshot of the AHB wires during one bus cycle — the input to the
 /// power-analysis instrumentation (the paper's `get_activity` hook observes
 /// exactly this).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The per-master and per-slave wires (`hbusreq`, `hgrant`, `hsel`) are
+/// packed little-endian into `u32` words — bit `i` is wire `i` — so the
+/// snapshot is `Copy`, observation never allocates, and probes can take
+/// Hamming distances with a single `xor`/`count_ones`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusSnapshot {
     /// Cycle counter (address phases since reset).
     pub cycle: u64,
@@ -344,12 +349,13 @@ pub struct BusSnapshot {
     pub hmaster: MasterId,
     /// HMASTLOCK.
     pub hmastlock: bool,
-    /// HBUSREQx for every master.
-    pub hbusreq: Vec<bool>,
-    /// HGRANTx for every master (one-hot).
-    pub hgrant: Vec<bool>,
-    /// HSELx for every slave (one-hot or all-zero for unmapped/idle).
-    pub hsel: Vec<bool>,
+    /// HBUSREQx for every master, packed (bit `i` = master `i`).
+    pub hbusreq: u32,
+    /// HGRANTx for every master, packed one-hot (bit `i` = master `i`).
+    pub hgrant: u32,
+    /// HSELx for every slave, packed one-hot or all-zero for unmapped/idle
+    /// (bit `i` = slave `i`).
+    pub hsel: u32,
 }
 
 impl BusSnapshot {
@@ -363,21 +369,53 @@ impl BusSnapshot {
             | (u32::from(self.hburst.bits()) << 6)
     }
 
-    /// One-hot HSEL as an integer.
+    /// One-hot HSEL as an integer (the packed word itself).
     pub fn hsel_bits(&self) -> u32 {
         self.hsel
-            .iter()
-            .enumerate()
-            .fold(0, |acc, (i, &s)| acc | (u32::from(s) << i))
     }
 
-    /// One-hot HGRANT as an integer.
+    /// One-hot HGRANT as an integer (the packed word itself).
     pub fn hgrant_bits(&self) -> u32 {
         self.hgrant
-            .iter()
-            .enumerate()
-            .fold(0, |acc, (i, &s)| acc | (u32::from(s) << i))
     }
+
+    /// HBUSREQ for master `i` (`false` for out-of-range indices).
+    pub fn hbusreq_bit(&self, i: usize) -> bool {
+        i < 32 && (self.hbusreq >> i) & 1 == 1
+    }
+
+    /// HGRANT for master `i` (`false` for out-of-range indices).
+    pub fn hgrant_bit(&self, i: usize) -> bool {
+        i < 32 && (self.hgrant >> i) & 1 == 1
+    }
+
+    /// HSEL for slave `i` (`false` for out-of-range indices).
+    pub fn hsel_bit(&self, i: usize) -> bool {
+        i < 32 && (self.hsel >> i) & 1 == 1
+    }
+}
+
+/// Packs an iterator of wire levels into a little-endian bitmask word (bit
+/// `i` = the `i`-th yielded level). Convenience for tests and generators
+/// that think in per-wire terms.
+///
+/// # Panics
+///
+/// Panics if more than 32 levels are yielded.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::pack_wires;
+/// assert_eq!(pack_wires([true, false, true]), 0b101);
+/// ```
+pub fn pack_wires<I: IntoIterator<Item = bool>>(wires: I) -> u32 {
+    let mut word = 0u32;
+    for (i, level) in wires.into_iter().enumerate() {
+        assert!(i < 32, "at most 32 wires fit a packed word");
+        word |= u32::from(level) << i;
+    }
+    word
 }
 
 #[cfg(test)]
@@ -450,9 +488,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(0),
             hmastlock: false,
-            hbusreq: vec![true, false],
-            hgrant: vec![true, false],
-            hsel: vec![false, true, false],
+            hbusreq: pack_wires([true, false]),
+            hgrant: pack_wires([true, false]),
+            hsel: pack_wires([false, true, false]),
         };
         // trans=10 (2), write=1<<2, size=010<<3, burst=011<<6
         assert_eq!(
@@ -461,6 +499,19 @@ mod tests {
         );
         assert_eq!(snap.hsel_bits(), 0b010);
         assert_eq!(snap.hgrant_bits(), 0b01);
+        assert!(snap.hbusreq_bit(0));
+        assert!(!snap.hbusreq_bit(1));
+        assert!(snap.hgrant_bit(0));
+        assert!(snap.hsel_bit(1));
+        assert!(!snap.hsel_bit(0));
+        assert!(!snap.hsel_bit(64), "out-of-range wires read as low");
+    }
+
+    #[test]
+    fn pack_wires_is_little_endian() {
+        assert_eq!(pack_wires([]), 0);
+        assert_eq!(pack_wires([true]), 1);
+        assert_eq!(pack_wires([false, true, true]), 0b110);
     }
 
     #[test]

@@ -46,6 +46,8 @@ pub struct BusTracer {
     hbusreq: VcdVarId,
     hgrant: VcdVarId,
     hsel: VcdVarId,
+    n_masters: usize,
+    n_slaves: usize,
     prev: Option<BusSnapshot>,
     cycles: u64,
 }
@@ -83,6 +85,8 @@ impl BusTracer {
             hbusreq: t.add_var("hbusreq", n_masters, &"0".repeat(n_masters)),
             hgrant: t.add_var("hgrant", n_masters, &"0".repeat(n_masters)),
             hsel: t.add_var("hsel", n_slaves, &"0".repeat(n_slaves)),
+            n_masters,
+            n_slaves,
             trace: t,
             period,
             prev: None,
@@ -93,8 +97,8 @@ impl BusTracer {
     /// Records one cycle's wires (only actual changes are written).
     pub fn observe(&mut self, snap: &BusSnapshot) {
         let time = self.period * self.cycles;
-        let n_masters = snap.hbusreq.len();
-        let n_slaves = snap.hsel.len();
+        let n_masters = self.n_masters;
+        let n_slaves = self.n_slaves;
         macro_rules! rec {
             ($field:ident, $width:expr, $value:expr) => {
                 if self
@@ -120,11 +124,7 @@ impl BusTracer {
                 "hresp" => u64::from(s.hresp.bits()),
                 "hmaster" => u64::from(s.hmaster.0),
                 "hmastlock" => u64::from(s.hmastlock),
-                "hbusreq" => s
-                    .hbusreq
-                    .iter()
-                    .enumerate()
-                    .fold(0, |a, (i, &b)| a | (u64::from(b) << i)),
+                "hbusreq" => u64::from(s.hbusreq),
                 "hgrant" => u64::from(s.hgrant_bits()),
                 "hsel" => u64::from(s.hsel_bits()),
                 _ => unreachable!("unknown field {name}"),
@@ -141,10 +141,10 @@ impl BusTracer {
         rec!(hresp, 2, u64::from(snap.hresp.bits()));
         rec!(hmaster, 4, u64::from(snap.hmaster.0));
         rec!(hmastlock, 1, u64::from(snap.hmastlock));
-        rec!(hbusreq, n_masters, field_of(snap, "hbusreq"));
+        rec!(hbusreq, n_masters, u64::from(snap.hbusreq));
         rec!(hgrant, n_masters, u64::from(snap.hgrant_bits()));
         rec!(hsel, n_slaves, u64::from(snap.hsel_bits()));
-        self.prev = Some(snap.clone());
+        self.prev = Some(*snap);
         self.cycles += 1;
     }
 
@@ -207,9 +207,9 @@ mod tests {
             hresp: crate::HResp::Okay,
             hmaster: crate::MasterId(0),
             hmastlock: false,
-            hbusreq: vec![true],
-            hgrant: vec![true],
-            hsel: vec![true],
+            hbusreq: 0b1,
+            hgrant: 0b1,
+            hsel: 0b1,
         };
         let mut tracer = BusTracer::new(1, 1, SimTime::from_ns(10));
         tracer.observe(&snap);

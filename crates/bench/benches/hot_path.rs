@@ -1,0 +1,87 @@
+//! Per-cycle cost of the simulate→probe hot path.
+//!
+//! The packed-bitmask [`ahbpower_ahb::BusSnapshot`] made `bus.step()` plus
+//! every probe's `observe` allocation-free; this bench measures what one
+//! cycle of each pipeline stage costs so regressions show up as ns/cycle,
+//! not just as aggregate wall time.
+//!
+//! Groups:
+//! - `step`: bare functional simulation (the floor everything else adds to);
+//! - `step+inline` / `step+fsm` / `step+global`: simulation with each probe
+//!   style observing every cycle, i.e. the paper's instrumented loop;
+//! - `sweep_point`: one full seed×style sweep point as the parallel engine
+//!   runs it, including bus construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
+use ahbpower_bench::{build_paper_bus, run_sweep_point, ProbeStyle, SweepPoint};
+
+const CYCLES: u64 = 10_000;
+const SEED: u64 = 2003;
+
+fn bench_hot_path(c: &mut Criterion) {
+    let cfg = AnalysisConfig::paper_testbench();
+    let model = AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    // Calibrate the FSM style once, outside the timed region.
+    let mut calib = InlineProbe::new(model.clone());
+    let mut calib_bus = build_paper_bus(CYCLES, SEED ^ 0xCA11B);
+    for _ in 0..CYCLES {
+        calib.observe(calib_bus.step());
+    }
+    let table = calib.fsm().ledger().clone();
+
+    let mut g = c.benchmark_group("hot_path_10k_cycles");
+    g.bench_function("step", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, SEED);
+            for _ in 0..CYCLES {
+                black_box(bus.step());
+            }
+            black_box(bus.stats().transfers_ok)
+        });
+    });
+    g.bench_function("step+inline", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, SEED);
+            let mut p = InlineProbe::new(model.clone());
+            for _ in 0..CYCLES {
+                p.observe(bus.step());
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.bench_function("step+fsm", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, SEED);
+            let mut p = FsmProbe::from_calibration(&table);
+            for _ in 0..CYCLES {
+                p.observe(bus.step());
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.bench_function("step+global", |b| {
+        b.iter(|| {
+            let mut bus = build_paper_bus(CYCLES, SEED);
+            let mut p = GlobalProbe::new(model.clone());
+            for _ in 0..CYCLES {
+                p.observe(bus.step());
+            }
+            black_box(p.total_energy())
+        });
+    });
+    g.bench_function("sweep_point", |b| {
+        let point = SweepPoint {
+            cycles: CYCLES,
+            seed: SEED,
+            style: ProbeStyle::Inline,
+        };
+        b.iter(|| black_box(run_sweep_point(&point)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

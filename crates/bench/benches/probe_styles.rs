@@ -12,7 +12,7 @@ use ahbpower_bench::build_paper_bus;
 
 fn record_trace(cycles: u64) -> Vec<BusSnapshot> {
     let mut bus = build_paper_bus(cycles, 2003);
-    (0..cycles).map(|_| bus.step().clone()).collect()
+    (0..cycles).map(|_| *bus.step()).collect()
 }
 
 fn bench_probes(c: &mut Criterion) {

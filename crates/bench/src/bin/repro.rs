@@ -4,7 +4,7 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- all
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
-//!              coding dpm telemetry telemetry-overhead all
+//!              coding dpm sweep sweep-bench telemetry telemetry-overhead all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -12,6 +12,13 @@
 //! from the same run; the `telemetry` subcommand does that plus a kernel-hosted
 //! profiling pass, and `telemetry-overhead` measures the cost of the subsystem
 //! and writes `BENCH_telemetry.json`.
+//!
+//! Sweep-shaped subcommands (`validation`, `styles`, `ablation`, `coding`,
+//! `dpm`, `sweep`) shard their independent points across OS threads; pass
+//! `--jobs N` to control the worker count (default: all available cores,
+//! `--jobs 1` for serial). Results are byte-identical for any job count.
+//! `sweep-bench` times a serial vs parallel seed×style sweep and writes
+//! `BENCH_sweep.json`.
 
 use std::fs;
 use std::time::Instant;
@@ -19,17 +26,21 @@ use std::time::Instant;
 use ahbpower::report;
 use ahbpower::telemetry::TelemetryConfig;
 use ahbpower::{
-    fit_ahb_power_model, run_on_kernel_profiled, AnalysisConfig, PowerSession, TracePoint,
+    fit_arbiter_model, fit_decoder_model, fit_mux_model, run_on_kernel_profiled, AnalysisConfig,
+    ModelValidation, PowerSession, TracePoint, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS,
 };
 use ahbpower_bench::{
-    build_paper_bus, compare_probe_styles, run_paper_experiment, run_paper_experiment_telemetered,
-    PaperRun,
+    available_jobs, build_paper_bus, compare_probe_styles_parallel, run_paper_experiment,
+    run_paper_experiment_telemetered, run_sweep, sweep_csv, sweep_grid, sweep_report, PaperRun,
+    ProbeStyle, SweepPoint, SweepRunner,
 };
 use ahbpower_sim::SimTime;
 use ahbpower_workloads::PaperTestbench;
 
 const DEFAULT_CYCLES: u64 = 5_000_000;
 const DEFAULT_SEED: u64 = 2003;
+/// Seeds per sweep (base, base+1, …), each crossed with all probe styles.
+const SWEEP_SEEDS: usize = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +48,7 @@ fn main() {
     let mut cycles = DEFAULT_CYCLES;
     let mut seed = DEFAULT_SEED;
     let mut telemetry = false;
+    let mut jobs = available_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -53,6 +65,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--jobs needs a positive number"));
+            }
             other if !other.starts_with('-') => cmd = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -64,12 +83,14 @@ fn main() {
         "fig4" => fig(&mut run(cycles, seed, telemetry), 4),
         "fig5" => fig(&mut run(cycles, seed, telemetry), 5),
         "fig6" => fig6(&mut run(cycles, seed, telemetry)),
-        "validation" => validation(),
-        "styles" => styles(cycles.min(500_000), seed),
+        "validation" => validation(jobs),
+        "styles" => styles(cycles.min(500_000), seed, jobs),
         "overhead" => overhead(cycles.min(1_000_000), seed),
-        "ablation" => ablation(cycles.min(1_000_000), seed),
-        "coding" => coding(cycles.min(300_000), seed),
-        "dpm" => dpm(cycles.min(500_000), seed),
+        "ablation" => ablation(cycles.min(1_000_000), seed, jobs),
+        "coding" => coding(cycles.min(300_000), seed, jobs),
+        "dpm" => dpm(cycles.min(500_000), seed, jobs),
+        "sweep" => sweep(cycles.min(200_000), seed, jobs),
+        "sweep-bench" => sweep_bench(cycles.min(200_000), seed, jobs),
         "telemetry" => telemetry_run(cycles.min(1_000_000), seed),
         "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed),
         "all" => {
@@ -79,12 +100,13 @@ fn main() {
             fig(&mut r, 4);
             fig(&mut r, 5);
             fig6(&mut r);
-            validation();
-            styles(cycles.min(500_000), seed);
+            validation(jobs);
+            styles(cycles.min(500_000), seed, jobs);
             overhead(cycles.min(1_000_000), seed);
-            ablation(cycles.min(1_000_000), seed);
-            coding(cycles.min(300_000), seed);
-            dpm(cycles.min(500_000), seed);
+            ablation(cycles.min(1_000_000), seed, jobs);
+            coding(cycles.min(300_000), seed, jobs);
+            dpm(cycles.min(500_000), seed, jobs);
+            sweep(cycles.min(200_000), seed, jobs);
         }
         other => usage(&format!("unknown command {other}")),
     }
@@ -93,7 +115,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|telemetry|telemetry-overhead|all] [--cycles N] [--seed S] [--telemetry]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|all] [--cycles N] [--seed S] [--jobs N] [--telemetry]"
     );
     std::process::exit(2);
 }
@@ -252,24 +274,62 @@ fn fig6(r: &mut PaperRun) {
     println!("-> results/fig6_blocks.csv\n");
 }
 
-fn validation() {
+/// The four AHB sub-block characterizations are independent gate-level
+/// experiments with fixed seeds, so they run as four sweep points; the
+/// ordered merge matches `fit_ahb_power_model`'s serial output exactly.
+fn validation(jobs: usize) {
     println!("== Sec 5.1: macromodel validation vs gate level (SIS substitute) ==");
     let cfg = AnalysisConfig::paper_testbench();
+    let tech = cfg.tech();
     let t0 = Instant::now();
-    let (_, validations) = fit_ahb_power_model(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+    #[derive(Clone, Copy)]
+    enum Fit {
+        Decoder,
+        M2sMux,
+        S2mMux,
+        Arbiter,
+    }
+    let fits = [Fit::Decoder, Fit::M2sMux, Fit::S2mMux, Fit::Arbiter];
+    let validations: Vec<ModelValidation> = SweepRunner::new(jobs).run(&fits, |_, f| match f {
+        Fit::Decoder => fit_decoder_model(cfg.n_slaves.max(2), &tech).1,
+        Fit::M2sMux => {
+            fit_mux_model(
+                (ADDR_BITS + CTRL_BITS) as usize,
+                cfg.n_masters.max(2),
+                24,
+                2003,
+                &tech,
+            )
+            .1
+        }
+        Fit::S2mMux => {
+            fit_mux_model(
+                (RDATA_BITS + RESP_BITS) as usize,
+                cfg.n_slaves + 1,
+                24,
+                2004,
+                &tech,
+            )
+            .1
+        }
+        Fit::Arbiter => fit_arbiter_model(cfg.n_masters.max(2), &tech).1,
+    });
     print!("{}", report::validation_text(&validations));
     fs::write(
         "results/validation.csv",
         report::validation_csv(&validations),
     )
     .expect("write results/validation.csv");
-    println!("(characterization took {:.2?})", t0.elapsed());
+    println!(
+        "(characterization took {:.2?} on {jobs} jobs)",
+        t0.elapsed()
+    );
     println!("-> results/validation.csv\n");
 }
 
-fn styles(cycles: u64, seed: u64) {
+fn styles(cycles: u64, seed: u64, jobs: usize) {
     println!("== Fig 1: power-model styles (accuracy) over {cycles} cycles ==");
-    let results = compare_probe_styles(cycles, seed);
+    let results = compare_probe_styles_parallel(cycles, seed, jobs);
     let reference = results[0].1;
     let mut csv = String::from("style,total_uj,error_vs_inline_pct\n");
     for (style, e) in &results {
@@ -311,50 +371,117 @@ fn overhead(cycles: u64, seed: u64) {
     println!("-> results/overhead.csv\n");
 }
 
+/// Cycles a sweep actually simulates: each point runs its bus for `cycles`,
+/// and FSM-style points add a half-length calibration run.
+fn simulated_cycles(points: &[SweepPoint]) -> u64 {
+    points
+        .iter()
+        .map(|p| match p.style {
+            ProbeStyle::Fsm => p.cycles + p.cycles / 2,
+            _ => p.cycles,
+        })
+        .sum()
+}
+
+/// The standard seed×style sweep: prints the merged report and writes
+/// `results/sweep.csv` (byte-identical for any `--jobs` value).
+fn sweep(cycles: u64, seed: u64, jobs: usize) {
+    let points = sweep_grid(cycles, seed, SWEEP_SEEDS);
+    println!(
+        "== Sweep: {SWEEP_SEEDS} seeds x {} styles, {cycles} cycles each, {jobs} jobs ==",
+        points.len() / SWEEP_SEEDS
+    );
+    let t0 = Instant::now();
+    let outcomes = run_sweep(&points, jobs);
+    let elapsed = t0.elapsed();
+    print!("{}", sweep_report(&outcomes));
+    println!(
+        "({} points in {elapsed:.2?}, {:.1} Mcycles/s aggregate)",
+        points.len(),
+        simulated_cycles(&points) as f64 / 1e6 / elapsed.as_secs_f64()
+    );
+    fs::write("results/sweep.csv", sweep_csv(&outcomes)).expect("write results/sweep.csv");
+    println!("-> results/sweep.csv\n");
+}
+
+/// Times the same sweep serial (one job) vs parallel, checks the outputs
+/// are byte-identical, and writes `BENCH_sweep.json`.
+fn sweep_bench(cycles: u64, seed: u64, jobs: usize) {
+    let points = sweep_grid(cycles, seed, SWEEP_SEEDS);
+    let total_cycles = simulated_cycles(&points);
+    println!(
+        "== Sweep bench: {} points x {cycles} cycles, serial vs {jobs} jobs ==",
+        points.len()
+    );
+    let t0 = Instant::now();
+    let serial = run_sweep(&points, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = run_sweep(&points, jobs);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    let identical = sweep_csv(&serial) == sweep_csv(&parallel);
+    assert!(identical, "parallel sweep diverged from serial");
+    let speedup = serial_s / parallel_s;
+    let serial_ns = serial_s * 1e9 / total_cycles as f64;
+    let parallel_ns = parallel_s * 1e9 / total_cycles as f64;
+    println!("serial   (1 job):   {serial_s:.3} s  ({serial_ns:.1} ns/cycle)");
+    println!("parallel ({jobs} jobs): {parallel_s:.3} s  ({parallel_ns:.1} ns/cycle)");
+    println!("speedup: {speedup:.2}x, outputs byte-identical: {identical}");
+    let json = format!(
+        "{{\n  \"cycles_per_point\": {cycles},\n  \"points\": {},\n  \"simulated_cycles\": {total_cycles},\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"available_cores\": {},\n  \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \"speedup\": {speedup:.4},\n  \"serial_ns_per_cycle\": {serial_ns:.2},\n  \"parallel_ns_per_cycle\": {parallel_ns:.2},\n  \"outputs_identical\": {identical}\n}}\n",
+        points.len(),
+        available_jobs()
+    );
+    fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
+    println!("-> BENCH_sweep.json\n");
+}
+
 /// Dynamic power management study: clock-gating the arbiter FSM after N
-/// quiet cycles (the paper's run-time optimization outlook).
-fn dpm(cycles: u64, seed: u64) {
+/// quiet cycles (the paper's run-time optimization outlook). Each threshold
+/// replays the same seed-deterministic traffic on its own thread.
+fn dpm(cycles: u64, seed: u64, jobs: usize) {
     use ahbpower::{ClockGatePolicy, DpmProbe};
     println!("== DPM study: arbiter clock gating over {cycles} cycles ==");
     let cfg = AnalysisConfig::paper_testbench();
     let model = ahbpower::AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
-    let mut bus = build_paper_bus(cycles, seed);
-    let mut probes: Vec<DpmProbe> = [0u32, 2, 4, 8, 16]
-        .iter()
-        .map(|&t| {
-            DpmProbe::new(
-                model.clone(),
-                ClockGatePolicy {
-                    idle_threshold: t,
-                    wake_penalty: 1,
-                },
-            )
-        })
-        .collect();
-    for _ in 0..cycles {
-        let snap = bus.step();
-        for p in &mut probes {
-            p.observe(snap);
-        }
+    let thresholds = [0u32, 2, 4, 8, 16];
+    struct DpmRow {
+        threshold: u32,
+        gated_pct: f64,
+        savings_pct: f64,
+        wakes: u64,
+        latency: u64,
     }
+    let rows: Vec<DpmRow> = SweepRunner::new(jobs).run(&thresholds, |_, &t| {
+        let mut bus = build_paper_bus(cycles, seed);
+        let mut probe = DpmProbe::new(
+            model.clone(),
+            ClockGatePolicy {
+                idle_threshold: t,
+                wake_penalty: 1,
+            },
+        );
+        for _ in 0..cycles {
+            probe.observe(bus.step());
+        }
+        let r = probe.report();
+        DpmRow {
+            threshold: t,
+            gated_pct: r.gated_cycles as f64 / r.cycles as f64 * 100.0,
+            savings_pct: r.savings() * 100.0,
+            wakes: r.wake_events,
+            latency: r.added_latency_cycles,
+        }
+    });
     let mut csv = String::from("idle_threshold,gated_pct,clock_savings_pct,wakes,latency_cycles\n");
-    for p in &probes {
-        let r = p.report();
+    for r in &rows {
         println!(
             "threshold {:>2}: gated {:>5.1}% of cycles, clock energy -{:>5.1}%, {:>6} wakes, +{} latency cycles",
-            p.policy().idle_threshold,
-            r.gated_cycles as f64 / r.cycles as f64 * 100.0,
-            r.savings() * 100.0,
-            r.wake_events,
-            r.added_latency_cycles
+            r.threshold, r.gated_pct, r.savings_pct, r.wakes, r.latency
         );
         csv.push_str(&format!(
             "{},{:.2},{:.2},{},{}\n",
-            p.policy().idle_threshold,
-            r.gated_cycles as f64 / r.cycles as f64 * 100.0,
-            r.savings() * 100.0,
-            r.wake_events,
-            r.added_latency_cycles
+            r.threshold, r.gated_pct, r.savings_pct, r.wakes, r.latency
         ));
     }
     fs::write("results/dpm.csv", csv).expect("write results/dpm.csv");
@@ -364,7 +491,8 @@ fn dpm(cycles: u64, seed: u64) {
 /// Address-bus coding study: replay a burst-heavy trace with binary vs
 /// gray-coded addresses and compare the address-path energy — the kind of
 /// early design decision the paper's methodology is built to evaluate.
-fn coding(cycles: u64, seed: u64) {
+/// The trace recordings and the four workload×coding replays parallelize.
+fn coding(cycles: u64, seed: u64, jobs: usize) {
     use ahbpower::{InlineProbe, PowerProbe};
     use ahbpower_workloads::SocScenario;
     println!("== Address-coding study (binary vs gray) ==");
@@ -392,15 +520,17 @@ fn coding(cycles: u64, seed: u64) {
         let mut trace = Vec::new();
         let mut n = 0;
         while n < cycles && !bus.all_masters_done() {
-            trace.push(bus.step().clone());
+            trace.push(*bus.step());
             n += 1;
         }
         trace
     };
-    let traces = [
-        ("dma-sequential", record(dma_bus())),
-        ("soc-mixed", record(soc_bus())),
-    ];
+    let workloads = ["dma-sequential", "soc-mixed"];
+    let runner = SweepRunner::new(jobs);
+    let recorded = runner.run(&[0usize, 1], |_, &w| match w {
+        0 => record(dma_bus()),
+        _ => record(soc_bus()),
+    });
     let cfg = AnalysisConfig {
         n_masters: ahbpower_workloads::SocScenario::N_MASTERS,
         n_slaves: ahbpower_workloads::SocScenario::N_SLAVES,
@@ -413,43 +543,41 @@ fn coding(cycles: u64, seed: u64) {
         let w = x >> 2;
         ((w ^ (w >> 1)) << 2) | (x & 3)
     };
-    let mut csv = String::from("workload,coding,total_uj,dec_uj,m2s_uj\n");
-    for (workload, trace) in &traces {
-        let mut dec_binary = 0.0;
-        for (name, transform) in [
-            ("binary", None::<fn(u32) -> u32>),
-            ("gray", Some(gray as fn(u32) -> u32)),
-        ] {
-            let mut probe = InlineProbe::new(model.clone());
-            for snap in trace {
-                let mut s = snap.clone();
-                if let Some(f) = transform {
-                    s.haddr = f(s.haddr);
-                }
-                probe.observe(&s);
+    // Binary precedes gray within each workload; dec deltas rely on that.
+    let combos = [(0usize, "binary"), (0, "gray"), (1, "binary"), (1, "gray")];
+    let replayed = runner.run(&combos, |_, &(w, name)| {
+        let mut probe = InlineProbe::new(model.clone());
+        for snap in &recorded[w] {
+            let mut s = *snap;
+            if name == "gray" {
+                s.haddr = gray(s.haddr);
             }
-            let b = probe.fsm().blocks().totals();
-            if name == "binary" {
-                dec_binary = b.dec;
-            }
-            let delta = if name == "gray" && dec_binary > 0.0 {
-                format!(" (addr-path {:+.1}%)", (b.dec / dec_binary - 1.0) * 100.0)
-            } else {
-                String::new()
-            };
-            println!(
-                "{workload:<16} {name:<8} total {:>9.3} uJ | DEC {:>7.4} uJ | M2S {:>8.3} uJ{delta}",
-                probe.total_energy() * 1e6,
-                b.dec * 1e6,
-                b.m2s * 1e6
-            );
-            csv.push_str(&format!(
-                "{workload},{name},{:.5},{:.5},{:.5}\n",
-                probe.total_energy() * 1e6,
-                b.dec * 1e6,
-                b.m2s * 1e6
-            ));
+            probe.observe(&s);
         }
+        let b = probe.fsm().blocks().totals();
+        (probe.total_energy(), b.dec, b.m2s)
+    });
+    let mut csv = String::from("workload,coding,total_uj,dec_uj,m2s_uj\n");
+    for (&(w, name), &(total, dec, m2s)) in combos.iter().zip(&replayed) {
+        let workload = workloads[w];
+        let dec_binary = replayed[w * 2].1;
+        let delta = if name == "gray" && dec_binary > 0.0 {
+            format!(" (addr-path {:+.1}%)", (dec / dec_binary - 1.0) * 100.0)
+        } else {
+            String::new()
+        };
+        println!(
+            "{workload:<16} {name:<8} total {:>9.3} uJ | DEC {:>7.4} uJ | M2S {:>8.3} uJ{delta}",
+            total * 1e6,
+            dec * 1e6,
+            m2s * 1e6
+        );
+        csv.push_str(&format!(
+            "{workload},{name},{:.5},{:.5},{:.5}\n",
+            total * 1e6,
+            dec * 1e6,
+            m2s * 1e6
+        ));
     }
     fs::write("results/coding.csv", csv).expect("write results/coding.csv");
     println!(
@@ -459,14 +587,15 @@ fn coding(cycles: u64, seed: u64) {
     println!("-> results/coding.csv\n");
 }
 
-fn ablation(cycles: u64, seed: u64) {
+/// Both arbitration variants run as independent sweep points.
+fn ablation(cycles: u64, seed: u64, jobs: usize) {
     println!("== Ablations: arbitration policy and idle mix ==");
     let cfg = AnalysisConfig::paper_testbench();
-    let mut csv = String::from("variant,total_uj,handover_share_pct,m2s_share_pct\n");
-    for (name, arbitration) in [
+    let variants = [
         ("fixed-priority", ahbpower_ahb::Arbitration::FixedPriority),
         ("round-robin", ahbpower_ahb::Arbitration::RoundRobin),
-    ] {
+    ];
+    let rows = SweepRunner::new(jobs).run(&variants, |_, &(name, arbitration)| {
         let tb = PaperTestbench {
             arbitration,
             ..PaperTestbench::sized_for(cycles, seed)
@@ -486,17 +615,26 @@ fn ablation(cycles: u64, seed: u64) {
             .map(|r| r.total)
             .sum();
         let m2s_share = session.blocks().shares()[0].2;
+        (
+            name,
+            total,
+            handover_energy / total * 100.0,
+            m2s_share * 100.0,
+        )
+    });
+    let mut csv = String::from("variant,total_uj,handover_share_pct,m2s_share_pct\n");
+    for (name, total, handover_pct, m2s_pct) in rows {
         println!(
             "{name:<16} total {:>9.2} uJ | handover-instr share {:>5.2}% | M2S share {:>5.2}%",
             total * 1e6,
-            handover_energy / total * 100.0,
-            m2s_share * 100.0
+            handover_pct,
+            m2s_pct
         );
         csv.push_str(&format!(
             "{name},{:.4},{:.3},{:.3}\n",
             total * 1e6,
-            handover_energy / total * 100.0,
-            m2s_share * 100.0
+            handover_pct,
+            m2s_pct
         ));
     }
     fs::write("results/ablation.csv", csv).expect("write results/ablation.csv");

@@ -8,6 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod sweep;
+
+pub use sweep::{
+    available_jobs, run_sweep, run_sweep_point, sweep_csv, sweep_grid, sweep_report, ProbeStyle,
+    SweepOutcome, SweepPoint, SweepRunner,
+};
+
 use ahbpower::telemetry::TelemetryConfig;
 use ahbpower::{AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe, PowerSession};
 use ahbpower_ahb::AhbBus;
@@ -108,6 +115,28 @@ pub fn compare_probe_styles(cycles: u64, seed: u64) -> Vec<(&'static str, f64)> 
     ]
 }
 
+/// Like [`compare_probe_styles`], but each style replays the (identical,
+/// seed-deterministic) traffic on its own thread via [`SweepRunner`]. The
+/// returned energies are bit-identical to the serial version for any `jobs`.
+pub fn compare_probe_styles_parallel(
+    cycles: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<(&'static str, f64)> {
+    let points: Vec<SweepPoint> = ProbeStyle::ALL
+        .iter()
+        .map(|&style| SweepPoint {
+            cycles,
+            seed,
+            style,
+        })
+        .collect();
+    run_sweep(&points, jobs)
+        .into_iter()
+        .map(|o| (o.point.style.name(), o.total_energy))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +187,16 @@ mod tests {
         assert!((global - inline).abs() < 1e-6 * inline);
         // FSM style lands in the right ballpark (within 50%).
         assert!((fsm - inline).abs() < 0.5 * inline, "{fsm} vs {inline}");
+    }
+
+    #[test]
+    fn parallel_styles_match_shared_bus_run_bitwise() {
+        let serial = compare_probe_styles(4_000, 99);
+        let parallel = compare_probe_styles_parallel(4_000, 99, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for ((sn, se), (pn, pe)) in serial.iter().zip(&parallel) {
+            assert_eq!(sn, pn);
+            assert_eq!(se.to_bits(), pe.to_bits(), "style {sn} diverged");
+        }
     }
 }

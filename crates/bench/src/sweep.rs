@@ -1,0 +1,309 @@
+//! Parallel sweep engine: shard independent `(seed, style)` runs across OS
+//! threads with a deterministic ordered merge.
+//!
+//! Every figure and table in the paper is a sweep — over seeds, arbitration
+//! policies, probe styles or power-management thresholds — and each sweep
+//! point is an independent, seed-deterministic simulation. [`SweepRunner`]
+//! exploits exactly that: worker threads pull point indices from a shared
+//! atomic counter, results land in their point's slot, and the merged
+//! output is returned in point order. Because each point's computation is
+//! deterministic and isolated, the merged results (and anything rendered
+//! from them) are **byte-identical** for any `--jobs` value, including 1.
+//!
+//! No dependencies beyond `std`: threads are scoped
+//! ([`std::thread::scope`]), so borrowed sweep points need no `'static`
+//! bounds or reference counting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
+
+use crate::build_paper_bus;
+
+/// Shards independent work items across OS threads.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_bench::SweepRunner;
+///
+/// let squares = SweepRunner::new(4).run(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]); // order preserved
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// Creates a runner using `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// Creates a runner sized to the machine's available parallelism.
+    pub fn max_parallel() -> Self {
+        SweepRunner::new(available_jobs())
+    }
+
+    /// Worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `f(index, &point)` for every point and returns the results in
+    /// point order, regardless of which thread computed what or when.
+    ///
+    /// With one job (or one point) the work runs on the calling thread; no
+    /// threads are spawned. Panics in `f` propagate to the caller.
+    pub fn run<P, T, F>(&self, points: &[P], f: F) -> Vec<T>
+    where
+        P: Sync,
+        T: Send,
+        F: Fn(usize, &P) -> T + Sync,
+    {
+        let n = points.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots = Mutex::new(slots);
+        let next = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i, &points[i]);
+                    slots.lock().expect("sweep slot store poisoned")[i] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("sweep slot store poisoned")
+            .into_iter()
+            .map(|o| o.expect("every sweep slot filled"))
+            .collect()
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be determined).
+pub fn available_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A probe style a sweep point runs under (experiment E8's axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeStyle {
+    /// Exact per-cycle probe (wraps the power FSM).
+    Inline,
+    /// Calibrated per-instruction means.
+    Fsm,
+    /// Aggregate statistics, exact for linear models.
+    Global,
+}
+
+impl ProbeStyle {
+    /// All styles, in sweep order.
+    pub const ALL: [ProbeStyle; 3] = [ProbeStyle::Inline, ProbeStyle::Fsm, ProbeStyle::Global];
+
+    /// The style's spelling (matches [`PowerProbe::style`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeStyle::Inline => "inline",
+            ProbeStyle::Fsm => "fsm",
+            ProbeStyle::Global => "global",
+        }
+    }
+}
+
+/// One point of a paper-testbench sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Cycles to simulate.
+    pub cycles: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Probe style to run under.
+    pub style: ProbeStyle,
+}
+
+/// The result of one sweep point, with everything the report needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOutcome {
+    /// The point that produced this outcome.
+    pub point: SweepPoint,
+    /// Total energy booked by the probe, joules.
+    pub total_energy: f64,
+    /// Completed OKAY transfers.
+    pub transfers_ok: u64,
+    /// Bus ownership changes.
+    pub handovers: u64,
+    /// Instruction-ledger rows (inline style only; 0 otherwise).
+    pub ledger_rows: usize,
+}
+
+/// The standard sweep grid: `n_seeds` seeds (base, base+1, …) × all three
+/// probe styles, each at `cycles` cycles.
+pub fn sweep_grid(cycles: u64, base_seed: u64, n_seeds: usize) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(n_seeds * ProbeStyle::ALL.len());
+    for k in 0..n_seeds {
+        for style in ProbeStyle::ALL {
+            points.push(SweepPoint {
+                cycles,
+                seed: base_seed + k as u64,
+                style,
+            });
+        }
+    }
+    points
+}
+
+/// Runs one sweep point: a fresh paper-testbench bus under the point's
+/// probe style. Fully deterministic in the point, so replaying the same
+/// point always produces bit-identical energies.
+pub fn run_sweep_point(p: &SweepPoint) -> SweepOutcome {
+    let config = AnalysisConfig::paper_testbench();
+    let model = AhbPowerModel::new(config.n_masters, config.n_slaves, &config.tech());
+    let mut bus = build_paper_bus(p.cycles, p.seed);
+    let (total_energy, ledger_rows) = match p.style {
+        ProbeStyle::Inline => {
+            let mut probe = InlineProbe::new(model);
+            for _ in 0..p.cycles {
+                probe.observe(bus.step());
+            }
+            (probe.total_energy(), probe.fsm().ledger().rows().len())
+        }
+        ProbeStyle::Fsm => {
+            // Same calibration protocol as `compare_probe_styles`:
+            // half-length run on a decorrelated seed.
+            let mut calib = InlineProbe::new(model);
+            let mut calib_bus = build_paper_bus(p.cycles / 2, p.seed ^ 0xCA11B);
+            for _ in 0..p.cycles / 2 {
+                calib.observe(calib_bus.step());
+            }
+            let mut probe = FsmProbe::from_calibration(calib.fsm().ledger());
+            for _ in 0..p.cycles {
+                probe.observe(bus.step());
+            }
+            (probe.total_energy(), 0)
+        }
+        ProbeStyle::Global => {
+            let mut probe = GlobalProbe::new(model);
+            for _ in 0..p.cycles {
+                probe.observe(bus.step());
+            }
+            (probe.total_energy(), 0)
+        }
+    };
+    SweepOutcome {
+        point: *p,
+        total_energy,
+        transfers_ok: bus.stats().transfers_ok,
+        handovers: bus.stats().handovers,
+        ledger_rows,
+    }
+}
+
+/// Runs every point of a sweep on `jobs` threads; outcomes come back in
+/// point order and are byte-identical to a `jobs = 1` run.
+pub fn run_sweep(points: &[SweepPoint], jobs: usize) -> Vec<SweepOutcome> {
+    SweepRunner::new(jobs).run(points, |_, p| run_sweep_point(p))
+}
+
+/// Renders sweep outcomes as CSV. The energy column carries both a decimal
+/// rendering and the exact f64 bit pattern, so files diff bit-for-bit.
+pub fn sweep_csv(outcomes: &[SweepOutcome]) -> String {
+    let mut out =
+        String::from("seed,style,cycles,total_energy_j,energy_bits,transfers_ok,handovers\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "{},{},{},{:.9e},{:#018x},{},{}\n",
+            o.point.seed,
+            o.point.style.name(),
+            o.point.cycles,
+            o.total_energy,
+            o.total_energy.to_bits(),
+            o.transfers_ok,
+            o.handovers,
+        ));
+    }
+    out
+}
+
+/// Renders a human-readable sweep report (also deterministic).
+pub fn sweep_report(outcomes: &[SweepOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("seed  style   total energy [J]  transfers  handovers\n");
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:<5} {:<7} {:>16.9e} {:>10} {:>10}\n",
+            o.point.seed,
+            o.point.style.name(),
+            o.total_energy,
+            o.transfers_ok,
+            o.handovers,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_preserves_order_under_contention() {
+        let points: Vec<usize> = (0..64).collect();
+        let serial = SweepRunner::new(1).run(&points, |i, &p| i * 1000 + p);
+        let parallel = SweepRunner::new(8).run(&points, |i, &p| i * 1000 + p);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 5005);
+    }
+
+    #[test]
+    fn runner_clamps_jobs_and_handles_empty() {
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
+        assert!(SweepRunner::max_parallel().jobs() >= 1);
+        let empty: Vec<u32> = SweepRunner::new(4).run(&[] as &[u32], |_, &x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn grid_covers_seeds_times_styles() {
+        let g = sweep_grid(100, 7, 2);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g[0].style, ProbeStyle::Inline);
+        assert_eq!(g[3].seed, 8);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let points = sweep_grid(2_000, 2003, 2);
+        let serial = run_sweep(&points, 1);
+        let parallel = run_sweep(&points, 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(sweep_csv(&serial), sweep_csv(&parallel));
+        assert_eq!(sweep_report(&serial), sweep_report(&parallel));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.total_energy.to_bits(), p.total_energy.to_bits());
+        }
+    }
+
+    #[test]
+    fn csv_carries_exact_bits() {
+        let points = sweep_grid(500, 1, 1);
+        let outcomes = run_sweep(&points, 2);
+        let csv = sweep_csv(&outcomes);
+        assert!(csv.starts_with("seed,style,cycles"));
+        let first_bits = format!("{:#018x}", outcomes[0].total_energy.to_bits());
+        assert!(csv.contains(&first_bits), "{csv}");
+    }
+}

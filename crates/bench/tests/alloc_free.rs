@@ -1,0 +1,134 @@
+//! Proves the simulate→probe hot path is allocation-free with a counting
+//! global allocator.
+//!
+//! Before the packed-bitmask snapshot, every `bus.step()` heap-allocated
+//! three `Vec<bool>`s (hbusreq/hgrant/hsel) — ~3 allocations per cycle,
+//! every cycle. These assertions pin the new behaviour:
+//!
+//! 1. the three probe styles observe pre-recorded snapshots with **zero**
+//!    allocations;
+//! 2. `bus.step()` itself is **zero**-allocation on write-only traffic
+//!    (read completions are recorded into a master-side queue, the one
+//!    remaining amortized allocation site);
+//! 3. on the full paper testbench the allocation count does not scale with
+//!    the cycle count (bounded bookkeeping, not per-cycle garbage).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
+use ahbpower_ahb::{AddressMap, AhbBusBuilder, BusSnapshot, MemorySlave, ScriptedMaster};
+use ahbpower_bench::build_paper_bus;
+use ahbpower_workloads::stream_script;
+
+// One test body: the counter is process-global, so phases run sequentially
+// instead of racing with a parallel test-harness sibling.
+#[test]
+fn hot_path_does_not_allocate_per_cycle() {
+    let cfg = AnalysisConfig::paper_testbench();
+    let model = AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+
+    // --- 1. Probes over a pre-recorded trace: exactly zero allocations. ---
+    let mut bus = build_paper_bus(10_000, 2003);
+    let trace: Vec<BusSnapshot> = (0..10_000).map(|_| *bus.step()).collect();
+    let mut inline = InlineProbe::new(model.clone());
+    let mut fsm_calib = InlineProbe::new(model.clone());
+    for s in &trace {
+        fsm_calib.observe(s);
+    }
+    let mut fsm = FsmProbe::from_calibration(fsm_calib.fsm().ledger());
+    let mut global = GlobalProbe::new(model.clone());
+    // Warm-up: the inline FSM lazily creates its (bounded, ~7-row)
+    // instruction-ledger rows on first sight of each instruction.
+    for s in &trace[..2_000] {
+        inline.observe(s);
+        fsm.observe(s);
+        global.observe(s);
+    }
+    let before = allocations();
+    for s in &trace[2_000..] {
+        inline.observe(s);
+        fsm.observe(s);
+        global.observe(s);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "probe observe path must not allocate"
+    );
+    assert!(inline.total_energy() > 0.0);
+
+    // --- 2. bus.step() on write-only traffic: exactly zero allocations. ---
+    // (Write bursts only: read completions would grow the master's
+    // read-record queue, the one remaining amortized allocation site.)
+    let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x8000))
+        .master(Box::new(ScriptedMaster::new(stream_script(7, 800, 0x0, 2))))
+        .slave(Box::new(MemorySlave::new(0x8000, 0, 0)))
+        .slave(Box::new(MemorySlave::new(0x8000, 0, 0)))
+        .build()
+        .expect("stream bus builds");
+    let mut probe = InlineProbe::new(model);
+    // Warm-up covers both the bus pipeline and the probe's lazily created
+    // (bounded) instruction-ledger rows.
+    for _ in 0..500 {
+        probe.observe(bus.step());
+    }
+    let before = allocations();
+    for _ in 0..5_000 {
+        probe.observe(bus.step());
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "bus.step + probe.observe must not allocate on write traffic"
+    );
+
+    // --- 3. Paper testbench: allocations are bounded, not per-cycle. ------
+    let mut bus = build_paper_bus(50_000, 2003);
+    for _ in 0..1_000 {
+        bus.step();
+    }
+    let before = allocations();
+    for _ in 0..40_000 {
+        bus.step();
+    }
+    let during = allocations() - before;
+    // Read completions grow a per-master queue by doubling: O(log cycles)
+    // allocations, vs ~3 *per cycle* (120k here) before the packed snapshot.
+    assert!(
+        during < 100,
+        "paper bus allocated {during} times over 40k cycles — per-cycle garbage is back"
+    );
+}

@@ -1,0 +1,67 @@
+//! Table 1 regression: the packed-bitmask snapshot must not move a single
+//! bit of the paper experiment's energies.
+//!
+//! The golden values below are `f64::to_bits` of the seed commit's output
+//! (pre-packing, `Vec<bool>` snapshot) for two seeds of the paper
+//! testbench. Any change to arbitration, decoding, the power FSM, or the
+//! snapshot encoding that perturbs even the last ulp fails here.
+
+use ahbpower_bench::run_paper_experiment;
+
+struct Golden {
+    seed: u64,
+    total: u64,
+    dec: u64,
+    m2s: u64,
+    s2m: u64,
+    arb: u64,
+    rows: usize,
+}
+
+const CYCLES: u64 = 100_000;
+
+const GOLDENS: [Golden; 2] = [
+    Golden {
+        seed: 2003,
+        total: 0x3ecb2bdc3025a9fa,
+        dec: 0x3e8d409c9cd297c8,
+        m2s: 0x3eba4688a0dd3f47,
+        s2m: 0x3eb5c757b1fceeb7,
+        arb: 0x3e850e23ceb658b9,
+        rows: 7,
+    },
+    Golden {
+        seed: 7,
+        total: 0x3ecb36d24b922fc7,
+        dec: 0x3e8d49ad1cb1c609,
+        m2s: 0x3eba458d7afbbf18,
+        s2m: 0x3eb5ddcd4eb9166e,
+        arb: 0x3e8508a14eca4bce,
+        rows: 7,
+    },
+];
+
+#[test]
+fn paper_experiment_energies_are_bit_identical_to_seed_commit() {
+    for g in &GOLDENS {
+        let run = run_paper_experiment(CYCLES, g.seed);
+        let b = run.session.blocks().totals();
+        assert_eq!(
+            run.session.total_energy().to_bits(),
+            g.total,
+            "seed {}: total energy moved (got {:#018x})",
+            g.seed,
+            run.session.total_energy().to_bits()
+        );
+        assert_eq!(b.dec.to_bits(), g.dec, "seed {}: decoder energy", g.seed);
+        assert_eq!(b.m2s.to_bits(), g.m2s, "seed {}: M2S mux energy", g.seed);
+        assert_eq!(b.s2m.to_bits(), g.s2m, "seed {}: S2M mux energy", g.seed);
+        assert_eq!(b.arb.to_bits(), g.arb, "seed {}: arbiter energy", g.seed);
+        assert_eq!(
+            run.session.ledger().rows().len(),
+            g.rows,
+            "seed {}: Table 1 row count",
+            g.seed
+        );
+    }
+}

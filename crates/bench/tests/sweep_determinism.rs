@@ -1,0 +1,40 @@
+//! End-to-end determinism of the parallel sweep engine: an 8-job run must
+//! produce byte-identical artifacts (outcomes, CSV, report text) to a
+//! serial run — the property that makes `--jobs` safe to default on.
+
+use ahbpower_bench::{run_sweep, sweep_csv, sweep_grid, sweep_report, SweepRunner};
+
+#[test]
+fn eight_job_sweep_is_byte_identical_to_serial() {
+    let points = sweep_grid(3_000, 2003, 2);
+    let serial = run_sweep(&points, 1);
+    let parallel = run_sweep(&points, 8);
+    assert_eq!(serial, parallel, "outcomes diverged");
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.total_energy.to_bits(),
+            p.total_energy.to_bits(),
+            "energy bits diverged at seed {} style {}",
+            s.point.seed,
+            s.point.style.name()
+        );
+    }
+    assert_eq!(sweep_csv(&serial), sweep_csv(&parallel), "CSV diverged");
+    assert_eq!(
+        sweep_report(&serial),
+        sweep_report(&parallel),
+        "report text diverged"
+    );
+}
+
+#[test]
+fn oversubscribed_runner_is_stable_across_repeats() {
+    // More jobs than points and repeated runs: same bytes every time.
+    let points = sweep_grid(1_000, 42, 1);
+    let first =
+        sweep_csv(&SweepRunner::new(16).run(&points, |_, p| ahbpower_bench::run_sweep_point(p)));
+    for _ in 0..3 {
+        let again = sweep_csv(&run_sweep(&points, 16));
+        assert_eq!(first, again);
+    }
+}

@@ -96,7 +96,7 @@ impl DpmProbe {
 
     /// Processes one cycle's wires.
     pub fn observe(&mut self, snap: &BusSnapshot) {
-        let quiet = !snap.htrans.is_transfer() && !snap.hbusreq.iter().any(|&r| r);
+        let quiet = !snap.htrans.is_transfer() && snap.hbusreq == 0;
         let e_clock = self.model.arbiter.e_clock;
         self.report.cycles += 1;
         self.report.baseline_clock_energy += e_clock;
@@ -151,9 +151,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(0),
             hmastlock: false,
-            hbusreq: vec![busreq, false],
-            hgrant: vec![true, false],
-            hsel: vec![false, false],
+            hbusreq: u32::from(busreq),
+            hgrant: 0b01,
+            hsel: 0b00,
         }
     }
 

@@ -152,7 +152,7 @@ mod tests {
     fn estimate_from_measured_stats_matches_global_probe() {
         // Feed the global probe a synthetic trace, extract its stats, and
         // check the analytic estimate reproduces its total (linearity).
-        use ahbpower_ahb::{BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
+        use ahbpower_ahb::{pack_wires, BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
         let mk = |i: u32| BusSnapshot {
             cycle: u64::from(i),
             haddr: i.wrapping_mul(0x1357),
@@ -170,9 +170,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId((i % 3) as u8),
             hmastlock: false,
-            hbusreq: vec![i.is_multiple_of(2), i.is_multiple_of(3), false],
-            hgrant: vec![i.is_multiple_of(3), i % 3 == 1, i % 3 == 2],
-            hsel: vec![i.is_multiple_of(2), false, false],
+            hbusreq: pack_wires([i.is_multiple_of(2), i.is_multiple_of(3), false]),
+            hgrant: pack_wires([i.is_multiple_of(3), i % 3 == 1, i % 3 == 2]),
+            hsel: pack_wires([i.is_multiple_of(2), false, false]),
         };
         let mut probe = GlobalProbe::new(model());
         let cycles = 500u32;

@@ -77,7 +77,7 @@ impl fmt::Display for ActivityMode {
 /// # let mut snap = BusSnapshot { cycle: 0, haddr: 0, htrans: HTrans::NonSeq,
 /// #   hwrite: true, hsize: HSize::Word, hburst: HBurst::Single, hwdata: 0,
 /// #   hrdata: 0, hready: true, hresp: HResp::Okay, hmaster: MasterId(0),
-/// #   hmastlock: false, hbusreq: vec![], hgrant: vec![], hsel: vec![] };
+/// #   hmastlock: false, hbusreq: 0, hgrant: 0, hsel: 0 };
 /// assert_eq!(classify_mode(&snap, None), ActivityMode::Write);
 /// snap.htrans = HTrans::Idle;
 /// // Bus parked with master 0 after master 1 transferred: handover idle.
@@ -173,9 +173,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(0),
             hmastlock: false,
-            hbusreq: vec![],
-            hgrant: vec![],
-            hsel: vec![],
+            hbusreq: 0,
+            hgrant: 0,
+            hsel: 0,
         }
     }
 

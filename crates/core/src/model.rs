@@ -78,10 +78,9 @@ impl AhbPowerModel {
     /// between consecutive values, per the paper).
     pub fn cycle_energy(&self, prev: &BusSnapshot, cur: &BusSnapshot) -> BlockEnergy {
         let handover = cur.hmaster != prev.hmaster;
-        let dec = self
-            .decoder
-            .energy(hamming(u64::from(prev.haddr), u64::from(cur.haddr)));
-        let m2s_hd = hamming(u64::from(prev.haddr), u64::from(cur.haddr))
+        let addr_hd = hamming(u64::from(prev.haddr), u64::from(cur.haddr));
+        let dec = self.decoder.energy(addr_hd);
+        let m2s_hd = addr_hd
             + hamming(
                 u64::from(prev.control_bits()),
                 u64::from(cur.control_bits()),
@@ -103,12 +102,9 @@ fn resp_bits(s: &BusSnapshot) -> u32 {
     u32::from(s.hresp.bits()) | (u32::from(s.hready) << 2)
 }
 
-/// Packs HBUSREQx into an integer.
+/// Packs HBUSREQx into an integer (already packed in the snapshot).
 fn busreq_bits(s: &BusSnapshot) -> u32 {
     s.hbusreq
-        .iter()
-        .enumerate()
-        .fold(0, |acc, (i, &b)| acc | (u32::from(b) << i))
 }
 
 #[cfg(test)]
@@ -130,9 +126,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(0),
             hmastlock: false,
-            hbusreq: vec![false, false],
-            hgrant: vec![true, false],
-            hsel: vec![false, false, false],
+            hbusreq: 0b00,
+            hgrant: 0b01,
+            hsel: 0b000,
         }
     }
 
@@ -198,7 +194,7 @@ mod tests {
         let m = AhbPowerModel::new(2, 3, &TechParams::default());
         let a = snap();
         let mut b = snap();
-        b.hbusreq = vec![true, true];
+        b.hbusreq = 0b11;
         let e = m.cycle_energy(&a, &b);
         assert!(e.arb > m.arbiter.e_clock, "request activity adds energy");
         assert_eq!(e.m2s, 0.0);
@@ -208,9 +204,9 @@ mod tests {
     fn hsel_change_charges_s2m_select() {
         let m = AhbPowerModel::new(2, 3, &TechParams::default());
         let mut a = snap();
-        a.hsel = vec![true, false, false];
+        a.hsel = 0b001;
         let mut b = snap();
-        b.hsel = vec![false, true, false];
+        b.hsel = 0b010;
         let e = m.cycle_energy(&a, &b);
         assert!(e.s2m > 0.0);
     }

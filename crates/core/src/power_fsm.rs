@@ -88,7 +88,7 @@ impl PowerFsm {
             self.last_transfer_master = Some(snap.hmaster);
         }
         self.state = mode;
-        self.prev = Some(snap.clone());
+        self.prev = Some(*snap);
         CycleRecord {
             instruction,
             energy,
@@ -147,9 +147,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId(master),
             hmastlock: false,
-            hbusreq: vec![false, false],
-            hgrant: vec![true, false],
-            hsel: vec![false, false],
+            hbusreq: 0b00,
+            hgrant: 0b01,
+            hsel: 0b00,
         }
     }
 
@@ -193,7 +193,7 @@ mod tests {
             s.haddr = i * 4;
             s.hwdata = i.wrapping_mul(0x9E37_79B9);
             s.hmaster = MasterId((i % 2) as u8);
-            fsm.observe(&s.clone());
+            fsm.observe(&s);
         }
         let a = fsm.total_energy();
         let b = fsm.blocks().totals().total();

@@ -228,12 +228,7 @@ impl PowerProbe for GlobalProbe {
         self.rdata.sample(u64::from(snap.hrdata));
         self.resp
             .sample(u64::from(snap.hresp.bits()) | (u64::from(snap.hready) << 2));
-        let busreq_bits = snap
-            .hbusreq
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i));
-        self.busreq.sample(busreq_bits);
+        self.busreq.sample(u64::from(snap.hbusreq));
         if self.prev_master.is_some_and(|m| m != snap.hmaster) {
             self.handovers += 1;
         }
@@ -276,7 +271,7 @@ impl PowerProbe for GlobalProbe {
 mod tests {
     use super::*;
     use crate::macromodel::TechParams;
-    use ahbpower_ahb::{HBurst, HResp, HSize, HTrans};
+    use ahbpower_ahb::{pack_wires, HBurst, HResp, HSize, HTrans};
 
     fn snap(i: u32) -> BusSnapshot {
         BusSnapshot {
@@ -296,9 +291,9 @@ mod tests {
             hresp: HResp::Okay,
             hmaster: MasterId((i % 2) as u8),
             hmastlock: false,
-            hbusreq: vec![i.is_multiple_of(2), i.is_multiple_of(3)],
-            hgrant: vec![i.is_multiple_of(2), i % 2 == 1],
-            hsel: vec![i.is_multiple_of(3), false],
+            hbusreq: pack_wires([i.is_multiple_of(2), i.is_multiple_of(3)]),
+            hgrant: pack_wires([i.is_multiple_of(2), i % 2 == 1]),
+            hsel: pack_wires([i.is_multiple_of(3), false]),
         }
     }
 

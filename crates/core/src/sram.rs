@@ -181,7 +181,7 @@ impl SramProbe {
 
     /// Processes one cycle's wires.
     pub fn observe(&mut self, snap: &BusSnapshot) {
-        let selected = snap.hsel.get(self.slave.index()).copied().unwrap_or(false);
+        let selected = snap.hsel_bit(self.slave.index());
         let accessed = selected && snap.htrans.is_transfer() && snap.hready;
         let (mode, hd) = if accessed {
             let word_addr = (snap.haddr / 4) % self.model.words as u32;

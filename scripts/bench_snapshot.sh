@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Snapshot the telemetry-overhead numbers into BENCH_telemetry.json at the
-# repo root: functional-only vs power session with telemetry disabled
-# (default) vs enabled, over the paper testbench.
+# Snapshot the performance numbers into the repo root:
+#   BENCH_telemetry.json — functional-only vs power session with telemetry
+#                          disabled (default) vs enabled;
+#   BENCH_sweep.json     — serial vs parallel seed×style sweep (wall time,
+#                          speedup, ns/cycle, byte-identity check).
+# Both over the paper testbench.
 #
-# usage: scripts/bench_snapshot.sh [cycles] [seed]
+# usage: scripts/bench_snapshot.sh [cycles] [seed] [jobs]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CYCLES="${1:-1000000}"
 SEED="${2:-2003}"
+JOBS="${3:-$(nproc 2>/dev/null || echo 2)}"
 
 cargo run --release -p ahbpower-bench --bin repro -- telemetry-overhead \
     --cycles "$CYCLES" --seed "$SEED"
-echo "snapshot written to BENCH_telemetry.json"
+cargo run --release -p ahbpower-bench --bin repro -- sweep-bench \
+    --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
+echo "snapshots written to BENCH_telemetry.json and BENCH_sweep.json"

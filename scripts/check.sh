@@ -33,4 +33,8 @@ echo "== telemetry (smoke, 100k cycles) =="
 cargo run --release -p ahbpower-bench --bin repro -- telemetry --cycles 100000 > /dev/null
 echo "  telemetry ok (results/telemetry.{jsonl,csv,prom})"
 
+echo "== parallel sweep (smoke, 2 threads, 20k cycles) =="
+cargo run --release -p ahbpower-bench --bin repro -- sweep --cycles 20000 --jobs 2 > /dev/null
+echo "  sweep ok (results/sweep.csv)"
+
 echo "ALL CHECKS PASSED"

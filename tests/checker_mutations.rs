@@ -30,7 +30,7 @@ fn clean_stream() -> Vec<BusSnapshot> {
         .expect("bus builds");
     let mut out = Vec::new();
     for _ in 0..40 {
-        out.push(bus.step().clone());
+        out.push(*bus.step());
         if bus.all_masters_done() {
             break;
         }
@@ -102,14 +102,14 @@ fn injected_single_cycle_error_is_caught() {
 #[test]
 fn injected_double_grant_is_caught() {
     let mut stream = clean_stream();
-    stream[3].hgrant = vec![true, true];
+    stream[3].hgrant = 0b11;
     assert!(violations_for(&stream).contains(&Rule::GrantOneHot));
 }
 
 #[test]
 fn injected_multi_hsel_is_caught() {
     let mut stream = clean_stream();
-    stream[2].hsel = vec![true, true];
+    stream[2].hsel = 0b11;
     assert!(violations_for(&stream).contains(&Rule::SelAtMostOneHot));
 }
 
@@ -150,7 +150,7 @@ fn injected_burst_overrun_is_caught() {
         .iter()
         .rposition(|s| s.htrans == HTrans::Seq)
         .expect("burst in stream");
-    let mut extra = stream[last_seq].clone();
+    let mut extra = stream[last_seq];
     extra.haddr += 4;
     stream.insert(last_seq + 1, extra);
     let v = violations_for(&stream);
@@ -162,7 +162,7 @@ fn each_mutation_is_localized() {
     // Sanity: a clean stream with one grant mutation yields exactly one
     // violation (no cascade).
     let mut stream = clean_stream();
-    stream[5].hgrant = vec![false, false];
+    stream[5].hgrant = 0b00;
     let v = violations_for(&stream);
     assert_eq!(v, vec![Rule::GrantOneHot]);
 }

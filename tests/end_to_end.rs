@@ -170,7 +170,7 @@ fn fsm_probe_table_round_trips_through_all_instructions() {
     let cfg = AnalysisConfig::paper_testbench();
     let model = ahbpower::AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
     let mut bus = PaperTestbench::sized_for(5_000, 3).build().expect("builds");
-    let trace: Vec<_> = (0..5_000).map(|_| bus.step().clone()).collect();
+    let trace: Vec<_> = (0..5_000).map(|_| *bus.step()).collect();
     let mut inline = ahbpower::InlineProbe::new(model);
     for s in &trace {
         ahbpower::PowerProbe::observe(&mut inline, s);

@@ -4,7 +4,7 @@ use ahbpower::{
     hamming, AhbPowerModel, AnalysisConfig, BlockEnergy, GlobalProbe, InlineProbe, PowerProbe,
     PowerSession, PowerTrace, TechParams,
 };
-use ahbpower_ahb::{BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
+use ahbpower_ahb::{pack_wires, BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
 use proptest::prelude::*;
 
 fn arb_snapshot() -> impl Strategy<Value = BusSnapshot> {
@@ -16,7 +16,7 @@ fn arb_snapshot() -> impl Strategy<Value = BusSnapshot> {
         any::<u32>(),
         0u8..3,
         any::<bool>(),
-        prop::collection::vec(any::<bool>(), 3),
+        0u32..8,
     )
         .prop_map(
             |(haddr, trans, hwrite, hwdata, hrdata, master, hready, hbusreq)| {
@@ -40,8 +40,8 @@ fn arb_snapshot() -> impl Strategy<Value = BusSnapshot> {
                     hmaster: MasterId(master),
                     hmastlock: false,
                     hbusreq,
-                    hgrant: vec![master == 0, master == 1, master == 2],
-                    hsel: vec![haddr % 3 == 0, haddr % 3 == 1, haddr % 3 == 2],
+                    hgrant: pack_wires([master == 0, master == 1, master == 2]),
+                    hsel: pack_wires([haddr % 3 == 0, haddr % 3 == 1, haddr % 3 == 2]),
                 }
             },
         )
@@ -83,9 +83,9 @@ proptest! {
         word in any::<u32>(),
     ) {
         let model = AhbPowerModel::new(3, 3, &TechParams::default());
-        let mut few = base.clone();
+        let mut few = base;
         few.hwdata = base.hwdata ^ 1; // one bit flipped
-        let mut many = base.clone();
+        let mut many = base;
         many.hwdata = base.hwdata ^ (word | 1); // at least one bit flipped
         let e_few = model.cycle_energy(&base, &few).m2s;
         let e_many = model.cycle_energy(&base, &many).m2s;
