@@ -80,6 +80,31 @@ pub fn crosses_1kb_boundary(start: u32, size: HSize, burst: HBurst) -> bool {
     }
 }
 
+/// True if an unspecified-length incrementing (INCR) burst of `beats` beats
+/// starting at `start` would cross a 1 KB address boundary.
+///
+/// The AHB specification makes this the master's responsibility: INCR has
+/// no architected length, so the dynamic checker can only see it beat by
+/// beat — but a *scripted* INCR burst has a known length, and a static
+/// analyzer can reject it up front.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{incr_crosses_1kb_boundary, HSize};
+///
+/// assert!(!incr_crosses_1kb_boundary(0x3F8, HSize::Word, 2));
+/// assert!(incr_crosses_1kb_boundary(0x3F8, HSize::Word, 3));
+/// assert!(!incr_crosses_1kb_boundary(0x3F8, HSize::Word, 0));
+/// ```
+pub fn incr_crosses_1kb_boundary(start: u32, size: HSize, beats: usize) -> bool {
+    if beats == 0 {
+        return false;
+    }
+    let last = start.wrapping_add(size.bytes() * (beats as u32 - 1));
+    (start >> 10) != (last >> 10)
+}
+
 /// True if `addr` is aligned to the transfer size, as required by the spec.
 ///
 /// # Examples

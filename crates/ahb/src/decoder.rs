@@ -40,6 +40,23 @@ impl AddrRange {
     pub fn contains(&self, addr: u32) -> bool {
         addr >= self.start && addr <= self.end()
     }
+
+    /// True if the two windows share at least one address.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ahbpower_ahb::{AddrRange, SlaveId};
+    ///
+    /// let a = AddrRange::new(0x0000, 0x1000, SlaveId(0));
+    /// let b = AddrRange::new(0x0800, 0x1000, SlaveId(1));
+    /// let c = AddrRange::new(0x1000, 0x1000, SlaveId(2));
+    /// assert!(a.overlaps(&b));
+    /// assert!(!a.overlaps(&c));
+    /// ```
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start <= other.end() && other.start <= self.end()
+    }
 }
 
 impl fmt::Display for AddrRange {
@@ -136,6 +153,38 @@ impl AddressMap {
     /// The windows, sorted by start address.
     pub fn ranges(&self) -> &[AddrRange] {
         &self.ranges
+    }
+
+    /// Unmapped spans *between* the first and the last mapped address, as
+    /// inclusive `(start, end)` pairs. Addresses below the first window or
+    /// above the last are default-slave territory by design and are not
+    /// reported.
+    ///
+    /// Static analyzers use this to flag decoder maps with interior holes,
+    /// where a scripted address silently falls through to the default
+    /// slave.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ahbpower_ahb::{AddrRange, AddressMap, SlaveId};
+    ///
+    /// let map = AddressMap::new(vec![
+    ///     AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+    ///     AddrRange::new(0x2000, 0x1000, SlaveId(1)),
+    /// ])?;
+    /// assert_eq!(map.coverage_gaps(), vec![(0x1000, 0x1FFF)]);
+    /// # Ok::<(), ahbpower_ahb::BuildMapError>(())
+    /// ```
+    pub fn coverage_gaps(&self) -> Vec<(u32, u32)> {
+        let mut gaps = Vec::new();
+        for pair in self.ranges.windows(2) {
+            let hole_start = pair[0].end().saturating_add(1);
+            if hole_start < pair[1].start && hole_start > pair[0].end() {
+                gaps.push((hole_start, pair[1].start - 1));
+            }
+        }
+        gaps
     }
 
     /// The largest slave index that appears in the map, plus one.

@@ -56,7 +56,9 @@ mod vcd;
 pub use apb::{ApbBridge, ApbPeripheral, ApbSnapshot, ApbStats, ApbTimer, RegisterFile};
 pub use arbiter::{Arbiter, Arbitration};
 pub use bridge::{AhbToAhbBridge, PortHandle};
-pub use burst::{burst_addresses, crosses_1kb_boundary, is_aligned, next_beat_addr};
+pub use burst::{
+    burst_addresses, crosses_1kb_boundary, incr_crosses_1kb_boundary, is_aligned, next_beat_addr,
+};
 pub use bus::{AhbBus, AhbBusBuilder, BuildBusError, BusStats};
 pub use checker::{ProtocolChecker, Rule, Violation};
 pub use decoder::{AddrRange, AddressMap, BuildMapError};

@@ -117,6 +117,20 @@ impl Op {
             size: HSize::Word,
         }
     }
+
+    /// Visits this op and, recursively, every op nested inside a
+    /// [`Op::Locked`] sequence, outermost first.
+    ///
+    /// Static analyzers use this to walk a script without re-implementing
+    /// the locked-sequence nesting.
+    pub fn for_each<F: FnMut(&Op)>(&self, f: &mut F) {
+        f(self);
+        if let Op::Locked(inner) = self {
+            for op in inner {
+                op.for_each(f);
+            }
+        }
+    }
 }
 
 /// Flattened script element.
@@ -325,10 +339,14 @@ impl ScriptedMaster {
         self.reads.pop_front()
     }
 
-    fn beat(&self, slot: usize) -> &Beat {
-        match &self.script[slot] {
-            Slot::Beat(b) => b,
-            other => panic!("slot {slot} is not a beat: {other:?}"),
+    /// The beat stored at `slot`, or `None` if the slot index is out of
+    /// range or holds a gap/BUSY slot. Pipeline bookkeeping only ever
+    /// records beat slots, so `None` means the caller's phase tracking is
+    /// stale and the transfer is simply not booked.
+    fn beat(&self, slot: usize) -> Option<&Beat> {
+        match self.script.get(slot) {
+            Some(Slot::Beat(b)) => Some(b),
+            _ => None,
         }
     }
 
@@ -367,11 +385,12 @@ impl AhbMaster for ScriptedMaster {
             if let Some(dpi) = self.dp.take() {
                 match input.resp {
                     HResp::Okay => {
-                        let b = *self.beat(dpi);
-                        self.completed += 1;
-                        if !b.write {
-                            self.reads
-                                .push_back((b.addr, from_lanes(input.rdata, b.addr, b.size)));
+                        if let Some(b) = self.beat(dpi).copied() {
+                            self.completed += 1;
+                            if !b.write {
+                                self.reads
+                                    .push_back((b.addr, from_lanes(input.rdata, b.addr, b.size)));
+                            }
                         }
                     }
                     HResp::Error => {
@@ -473,8 +492,12 @@ impl AhbMaster for ScriptedMaster {
                         // The burst was interrupted earlier and restarted as
                         // an INCR burst: SEQ may only continue incrementing
                         // addresses; a wrap discontinuity re-breaks.
-                        let prev = self.beat(self.last_issued.expect("seq_ok implies issue"));
-                        seq_ok = b.addr == prev.addr.wrapping_add(prev.size.bytes());
+                        seq_ok =
+                            self.last_issued
+                                .and_then(|li| self.beat(li))
+                                .is_some_and(|prev| {
+                                    b.addr == prev.addr.wrapping_add(prev.size.bytes())
+                                });
                     }
                     out.trans = if seq_ok { HTrans::Seq } else { HTrans::NonSeq };
                     if out.trans == HTrans::NonSeq {
@@ -585,8 +608,7 @@ impl ScriptedMaster {
     }
 
     fn drive_wdata(&self, out: &mut MasterOut) {
-        if let Some(dpi) = self.dp {
-            let b = self.beat(dpi);
+        if let Some(b) = self.dp.and_then(|dpi| self.beat(dpi)) {
             if b.write {
                 out.wdata = to_lanes(b.wdata, b.addr, b.size);
             }

@@ -1,0 +1,119 @@
+//! # ahbpower-analyzer — static consistency analysis for the AHB power
+//! methodology
+//!
+//! The paper's instruction-based methodology only yields trustworthy
+//! energy numbers when the behavioural decomposition is *closed*: every
+//! permissible activity-mode transition has exactly one instruction with
+//! a well-formed macromodel, the decoder's address map selects at most
+//! one slave per address, and the workloads driving the testbench respect
+//! the protocol. This crate proves those properties *before* the kernel
+//! ever ticks, in two layers:
+//!
+//! - **Layer 1 — model-level** ([`model`], [`map`], [`script`]):
+//!   instruction-set transition-graph closure/determinism/reachability,
+//!   energy-macromodel domain validation, decoder address-map
+//!   overlap/gap detection, and static protocol lint of master op
+//!   scripts (1 KB burst boundaries, BUSY in SINGLE, handover rules);
+//! - **Layer 2 — source-level** ([`source_lint`]): a token-based lint of
+//!   the workspace's own Rust sources enforcing repo invariants (no
+//!   `unwrap()`/`panic!` in library crates outside `#[cfg(test)]`,
+//!   wall-clock instrumentation confined to the telemetry modules).
+//!
+//! Diagnostics are structured ([`Diagnostic`]: rule id, severity,
+//! subject/line, message), render human-readable ([`Report::render_text`])
+//! or as JSONL ([`Report::render_jsonl`]), and aggregate into the
+//! telemetry [`MetricsRegistry`](ahbpower::telemetry::MetricsRegistry)
+//! ([`Report::to_metrics`]) for export alongside run metrics.
+//!
+//! ```
+//! use ahbpower_analyzer::analyze_models_and_workloads;
+//!
+//! let report = analyze_models_and_workloads();
+//! assert!(report.is_clean(), "{}", report.render_text());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod map;
+pub mod model;
+pub mod script;
+pub mod source_lint;
+
+use std::path::Path;
+
+use ahbpower_workloads::{PaperTestbench, SocScenario};
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use model::{check_macromodels, check_model_domain, InstructionSetSpec};
+
+/// Largest master/slave counts [`analyze_models_and_workloads`] sweeps
+/// when validating macromodel domains.
+pub const MAX_SWEPT_PORTS: usize = 8;
+
+/// Runs every Layer-1 check over the shipped models and workloads: the
+/// classifier-derived instruction-set spec, the paper-form macromodels
+/// for all supported bus configurations, and the address maps + generated
+/// scripts of [`PaperTestbench`] and [`SocScenario`].
+pub fn analyze_models_and_workloads() -> Report {
+    let mut report = Report::new();
+    report.extend(InstructionSetSpec::from_classifier().check());
+    report.extend(check_model_domain(MAX_SWEPT_PORTS, MAX_SWEPT_PORTS));
+
+    let tb = PaperTestbench::default();
+    let tb_map = tb.address_map();
+    report.extend(map::check_map(&tb_map, PaperTestbench::LABEL));
+    match tb.scripts() {
+        Ok(scripts) => {
+            for (i, ops) in scripts.iter().enumerate() {
+                let label = format!("{}/master{i}", PaperTestbench::LABEL);
+                report.extend(script::check_script(ops, Some(&tb_map), &label));
+            }
+        }
+        Err(e) => report.extend(vec![Diagnostic::error(
+            "script/generate",
+            PaperTestbench::LABEL,
+            e.to_string(),
+        )]),
+    }
+
+    let soc = SocScenario::default();
+    let soc_map = soc.address_map();
+    report.extend(map::check_map(&soc_map, "soc_scenario"));
+    match soc.scripts() {
+        Ok(scripts) => {
+            for (i, ops) in scripts.iter().enumerate() {
+                let label = format!("soc_scenario/master{i}");
+                report.extend(script::check_script(ops, Some(&soc_map), &label));
+            }
+        }
+        Err(e) => report.extend(vec![Diagnostic::error(
+            "script/generate",
+            "soc_scenario",
+            e.to_string(),
+        )]),
+    }
+    report
+}
+
+/// Runs the Layer-2 source lint over the workspace at `root`, plus
+/// everything in [`analyze_models_and_workloads`]. This is what
+/// `repro analyze` executes.
+pub fn analyze_all(root: &Path) -> Report {
+    let mut report = analyze_models_and_workloads();
+    report.extend(source_lint::lint_workspace(root));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_models_and_workloads_are_clean() {
+        let report = analyze_models_and_workloads();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.warning_count(), 0, "{}", report.render_text());
+    }
+}

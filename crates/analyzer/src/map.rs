@@ -1,0 +1,108 @@
+//! Layer-1 decoder checks: address-map overlaps and coverage gaps.
+
+use ahbpower_ahb::{AddrRange, AddressMap};
+
+use crate::diag::Diagnostic;
+
+/// Checks a raw window list *before* it is turned into an [`AddressMap`]
+/// (whose constructor rejects overlaps outright, which is exactly why a
+/// static analyzer must look first and report all of them).
+///
+/// - `map/empty`: no windows at all — every access would fall through to
+///   the default slave (error);
+/// - `map/overlap`: two windows share addresses — the decoder would
+///   select two slaves at once (error);
+/// - `map/gap`: an unmapped hole between mapped windows — a scripted
+///   address can silently land on the default slave (warning).
+pub fn check_ranges(ranges: &[AddrRange], label: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if ranges.is_empty() {
+        diags.push(Diagnostic::error(
+            "map/empty",
+            label.to_string(),
+            "address map has no windows; all accesses hit the default slave",
+        ));
+        return diags;
+    }
+    let mut sorted: Vec<AddrRange> = ranges.to_vec();
+    sorted.sort_by_key(|r| r.start);
+    for (i, a) in sorted.iter().enumerate() {
+        for b in &sorted[i + 1..] {
+            if !a.overlaps(b) {
+                break; // sorted by start: no later window can reach back
+            }
+            diags.push(Diagnostic::error(
+                "map/overlap",
+                label.to_string(),
+                format!("windows {a} and {b} overlap"),
+            ));
+        }
+    }
+    for pair in sorted.windows(2) {
+        let hole_start = pair[0].end().saturating_add(1);
+        if hole_start < pair[1].start && hole_start > pair[0].end() {
+            diags.push(Diagnostic::warning(
+                "map/gap",
+                label.to_string(),
+                format!(
+                    "unmapped hole [{:#010x}..={:#010x}] between {} and {}",
+                    hole_start,
+                    pair[1].start - 1,
+                    pair[0],
+                    pair[1]
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks an already-built map (whose invariant excludes overlaps): only
+/// gap findings are possible.
+pub fn check_map(map: &AddressMap, label: &str) -> Vec<Diagnostic> {
+    check_ranges(map.ranges(), label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahbpower_ahb::SlaveId;
+
+    #[test]
+    fn evenly_spaced_map_is_clean() {
+        let map = AddressMap::evenly_spaced(3, 0x1000);
+        assert!(check_map(&map, "m").is_empty());
+    }
+
+    #[test]
+    fn overlap_is_flagged_per_pair() {
+        let ranges = vec![
+            AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+            AddrRange::new(0x0800, 0x1000, SlaveId(1)),
+            AddrRange::new(0x0C00, 0x0100, SlaveId(2)),
+        ];
+        let diags = check_ranges(&ranges, "m");
+        let overlaps = diags.iter().filter(|d| d.rule == "map/overlap").count();
+        assert_eq!(overlaps, 3, "{diags:?}"); // 0-1, 0-2, 1-2
+    }
+
+    #[test]
+    fn interior_gap_is_a_warning() {
+        let ranges = vec![
+            AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+            AddrRange::new(0x2000, 0x1000, SlaveId(1)),
+        ];
+        let diags = check_ranges(&ranges, "m");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "map/gap");
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert!(diags[0].message.contains("0x00001000"));
+    }
+
+    #[test]
+    fn empty_map_is_an_error() {
+        let diags = check_ranges(&[], "m");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "map/empty");
+    }
+}

@@ -1,0 +1,353 @@
+//! Layer-1 model checks: instruction-set transition graph and energy
+//! macromodel domain validation.
+//!
+//! The paper's methodology is only sound when its behavioural
+//! decomposition is *closed*: the four activity modes (IDLE, IDLE_HO,
+//! READ, WRITE) with all permissible transitions between them must form a
+//! total, deterministic FSM, and every instruction's macromodel must be
+//! defined (finite, non-negative) over its whole parameter domain.
+
+use ahbpower::{
+    classify_mode, ActivityMode, AhbPowerModel, Instruction, TechParams, ADDR_BITS,
+    INSTRUCTION_COUNT,
+};
+use ahbpower_ahb::{BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
+
+use crate::diag::Diagnostic;
+
+/// A declarative description of the instruction set: which mode
+/// transitions the decomposition permits, and the reset mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionSetSpec {
+    /// `allowed[from.index()][to.index()]` — is the transition permitted?
+    pub allowed: [[bool; 4]; 4],
+    /// The mode the power FSM starts in.
+    pub reset: ActivityMode,
+}
+
+impl InstructionSetSpec {
+    /// The paper's spec: every mode can follow every mode (classification
+    /// is per-cycle, so any two consecutive cycles may differ arbitrarily).
+    pub fn full() -> Self {
+        InstructionSetSpec {
+            allowed: [[true; 4]; 4],
+            reset: ActivityMode::default(),
+        }
+    }
+
+    /// Derives the spec from the repo's actual cycle classifier
+    /// ([`classify_mode`]) by feeding it one synthetic bus snapshot per
+    /// distinguishable input class. Every mode the classifier can emit is
+    /// enterable from any mode, so the derived transition matrix allows
+    /// exactly `emittable × emittable` plus transitions out of reset.
+    pub fn from_classifier() -> Self {
+        let snap = |htrans: HTrans, hwrite: bool, last: Option<MasterId>| {
+            let s = BusSnapshot {
+                cycle: 0,
+                haddr: 0,
+                htrans,
+                hwrite,
+                hsize: HSize::Word,
+                hburst: HBurst::Single,
+                hwdata: 0,
+                hrdata: 0,
+                hready: true,
+                hresp: HResp::Okay,
+                hmaster: MasterId(0),
+                hmastlock: false,
+                hbusreq: 0,
+                hgrant: 0,
+                hsel: 0,
+            };
+            classify_mode(&s, last)
+        };
+        let mut emittable = [false; 4];
+        emittable[snap(HTrans::NonSeq, true, None).index()] = true;
+        emittable[snap(HTrans::NonSeq, false, None).index()] = true;
+        emittable[snap(HTrans::Idle, false, Some(MasterId(1))).index()] = true;
+        emittable[snap(HTrans::Idle, false, None).index()] = true;
+        let reset = ActivityMode::default();
+        let mut allowed = [[false; 4]; 4];
+        for from in 0..4 {
+            for to in 0..4 {
+                // A mode is a legal source if the classifier can produce it
+                // or it is the reset mode (the FSM starts there without any
+                // classified cycle).
+                let src_ok = emittable[from] || from == reset.index();
+                allowed[from][to] = src_ok && emittable[to];
+            }
+        }
+        InstructionSetSpec { allowed, reset }
+    }
+
+    /// Checks closure, determinism and reachability of the transition
+    /// graph against the crate's instruction set.
+    ///
+    /// - `model/closure`: a reachable mode has no outgoing permitted
+    ///   transition — the FSM is not total and classification would get
+    ///   stuck (error);
+    /// - `model/determinism`: two permitted transitions map to the same
+    ///   instruction index — energy would be double-booked (error);
+    /// - `model/unreachable`: an instruction whose source mode can never
+    ///   be reached from reset — its macromodel is dead weight and its
+    ///   characterization untested (error).
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let reachable = self.reachable_modes();
+
+        // Closure: every reachable mode needs a successor.
+        for (fi, row) in self.allowed.iter().enumerate() {
+            if reachable[fi] && !row.iter().any(|&a| a) {
+                let mode = ActivityMode::from_index(fi).map_or("?", |m| m.name());
+                diags.push(Diagnostic::error(
+                    "model/closure",
+                    "instruction-set",
+                    format!(
+                        "mode {mode} is reachable but has no outgoing transition; \
+                         the decomposition is not closed"
+                    ),
+                ));
+            }
+        }
+
+        // Determinism: permitted transitions must map to distinct,
+        // in-range instruction indices.
+        let mut index_owner: [Option<Instruction>; INSTRUCTION_COUNT] = [None; INSTRUCTION_COUNT];
+        for i in Instruction::all() {
+            if !self.allowed[i.from.index()][i.to.index()] {
+                continue;
+            }
+            let idx = i.index();
+            if idx >= INSTRUCTION_COUNT {
+                diags.push(Diagnostic::error(
+                    "model/determinism",
+                    "instruction-set",
+                    format!("instruction {i} maps to out-of-range index {idx}"),
+                ));
+                continue;
+            }
+            if let Some(prev) = index_owner[idx] {
+                diags.push(Diagnostic::error(
+                    "model/determinism",
+                    "instruction-set",
+                    format!("instructions {prev} and {i} share index {idx}"),
+                ));
+            } else {
+                index_owner[idx] = Some(i);
+            }
+        }
+
+        // Reachability: flag instructions that can never execute.
+        for i in Instruction::all() {
+            if !self.allowed[i.from.index()][i.to.index()] {
+                continue;
+            }
+            if !reachable[i.from.index()] {
+                diags.push(Diagnostic::error(
+                    "model/unreachable",
+                    "instruction-set",
+                    format!(
+                        "instruction {i} can never execute: mode {} is unreachable from reset",
+                        i.from.name()
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+
+    /// Modes reachable from reset via permitted transitions (reset itself
+    /// included).
+    fn reachable_modes(&self) -> [bool; 4] {
+        let mut reach = [false; 4];
+        let mut stack = vec![self.reset.index()];
+        while let Some(m) = stack.pop() {
+            if reach[m] {
+                continue;
+            }
+            reach[m] = true;
+            for (to, &ok) in self.allowed[m].iter().enumerate() {
+                if ok && !reach[to] {
+                    stack.push(to);
+                }
+            }
+        }
+        reach
+    }
+}
+
+impl Default for InstructionSetSpec {
+    fn default() -> Self {
+        InstructionSetSpec::from_classifier()
+    }
+}
+
+/// Validates one macromodel set over its declared parameter domain.
+///
+/// - `model/coefficient-range`: a coefficient is NaN, infinite or
+///   negative — physically meaningless for an energy model (error);
+/// - `model/negative-energy`: `energy()` evaluates negative or non-finite
+///   somewhere on the supported Hamming-distance domain (error);
+/// - `model/non-monotone`: energy decreases as Hamming distance grows —
+///   legal for a fitted model but suspicious (warning).
+pub fn check_macromodels(model: &AhbPowerModel, label: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut coeff = |block: &str, name: &str, v: f64| {
+        if !v.is_finite() || v < 0.0 {
+            diags.push(Diagnostic::error(
+                "model/coefficient-range",
+                label.to_string(),
+                format!("{block} coefficient {name} = {v} is outside [0, ∞)"),
+            ));
+        }
+    };
+    for (name, v) in model.decoder.coefficients() {
+        coeff("decoder", name, v);
+    }
+    for (name, v) in model.m2s.coefficients() {
+        coeff("m2s mux", name, v);
+    }
+    for (name, v) in model.s2m.coefficients() {
+        coeff("s2m mux", name, v);
+    }
+    for (name, v) in model.arbiter.coefficients() {
+        coeff("arbiter", name, v);
+    }
+
+    let mut energy = |block: &str, domain: &str, e: f64, prev: &mut f64| {
+        if !e.is_finite() || e < 0.0 {
+            diags.push(Diagnostic::error(
+                "model/negative-energy",
+                label.to_string(),
+                format!("{block} energy at {domain} is {e}"),
+            ));
+        } else if e < *prev {
+            diags.push(Diagnostic::warning(
+                "model/non-monotone",
+                label.to_string(),
+                format!("{block} energy decreases at {domain} ({e} < {prev})"),
+            ));
+        }
+        *prev = e.max(*prev);
+    };
+
+    let mut prev = 0.0;
+    for hd in 0..=ADDR_BITS {
+        energy(
+            "decoder",
+            &format!("hd={hd}"),
+            model.decoder.energy(hd),
+            &mut prev,
+        );
+    }
+    for sel in [false, true] {
+        let mut prev = 0.0;
+        for hd in 0..=model.m2s.width {
+            energy(
+                "m2s mux",
+                &format!("hd={hd},sel={sel}"),
+                model.m2s.energy(hd, sel),
+                &mut prev,
+            );
+        }
+        let mut prev = 0.0;
+        for hd in 0..=model.s2m.width {
+            energy(
+                "s2m mux",
+                &format!("hd={hd},sel={sel}"),
+                model.s2m.energy(hd, sel),
+                &mut prev,
+            );
+        }
+    }
+    for handover in [false, true] {
+        let mut prev = 0.0;
+        for hd in 0..=model.arbiter.n_masters as u32 {
+            energy(
+                "arbiter",
+                &format!("hd_req={hd},handover={handover}"),
+                model.arbiter.energy(hd, handover),
+                &mut prev,
+            );
+        }
+    }
+    diags
+}
+
+/// Instantiates the paper-form macromodels for every master/slave count
+/// the repo supports (2..=`max_masters` × 2..=`max_slaves`) and validates
+/// each. A config whose construction would be rejected shows up as a
+/// `model/negative-energy` or `model/coefficient-range` finding on its
+/// label.
+pub fn check_model_domain(max_masters: usize, max_slaves: usize) -> Vec<Diagnostic> {
+    let tech = TechParams::default();
+    let mut diags = Vec::new();
+    for m in 2..=max_masters {
+        for s in 2..=max_slaves {
+            let model = AhbPowerModel::new(m, s, &tech);
+            diags.extend(check_macromodels(
+                &model,
+                &format!("paper_model[{m}m/{s}s]"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifier_spec_is_clean() {
+        let spec = InstructionSetSpec::from_classifier();
+        let diags = spec.check();
+        assert!(diags.is_empty(), "{diags:?}");
+        // The classifier can produce all four modes, so the derived spec
+        // permits all 16 paper instructions.
+        assert_eq!(spec.allowed, [[true; 4]; 4]);
+    }
+
+    #[test]
+    fn missing_outgoing_edges_break_closure() {
+        let mut spec = InstructionSetSpec::full();
+        spec.allowed[ActivityMode::Write.index()] = [false; 4];
+        let diags = spec.check();
+        assert!(diags.iter().any(|d| d.rule == "model/closure"), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_mode_flags_its_instructions() {
+        let mut spec = InstructionSetSpec::full();
+        // No edges *into* READ: all READ_* instructions become unreachable
+        // (their source mode is never entered)...
+        for from in 0..4 {
+            spec.allowed[from][ActivityMode::Read.index()] = false;
+        }
+        let diags = spec.check();
+        let unreachable: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == "model/unreachable")
+            .collect();
+        // READ_IDLE, READ_IDLE_HO, READ_WRITE (READ_READ's edge is
+        // already forbidden by the spec itself).
+        assert_eq!(unreachable.len(), 3, "{diags:?}");
+        assert!(unreachable.iter().all(|d| d.message.contains("READ")));
+    }
+
+    #[test]
+    fn paper_models_are_clean_across_domain() {
+        let diags = check_model_domain(8, 8);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn negative_coefficient_is_flagged() {
+        let tech = TechParams::default();
+        let mut model = AhbPowerModel::new(2, 4, &tech);
+        model.decoder = ahbpower::DecoderModel::from_fit(4, -1.0, 0.0);
+        let diags = check_macromodels(&model, "bad");
+        assert!(diags.iter().any(|d| d.rule == "model/coefficient-range"));
+        assert!(diags.iter().any(|d| d.rule == "model/negative-energy"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Layer-1 workload checks: static lint of master op scripts for protocol
+//! violations the dynamic [`ProtocolChecker`](ahbpower_ahb::ProtocolChecker)
+//! would only catch mid-run.
+
+use ahbpower_ahb::{
+    crosses_1kb_boundary, incr_crosses_1kb_boundary, is_aligned, parse_ops, AddressMap, HBurst, Op,
+};
+
+use crate::diag::Diagnostic;
+
+/// Statically lints one master's op script.
+///
+/// - `script/burst-1kb`: a fixed-length or scripted-INCR burst crosses a
+///   1 KB address boundary, which the AHB specification forbids (error);
+/// - `script/busy-in-single`: BUSY cycles requested inside a SINGLE
+///   transfer — BUSY is only defined within bursts (error);
+/// - `script/burst-arity`: a fixed-length burst scripted with the wrong
+///   number of beats, or an INCR burst with none (error);
+/// - `script/misaligned`: a transfer address not aligned to its size
+///   (error);
+/// - `script/idle-in-lock`: IDLE inside a locked sequence — handover may
+///   only happen in IDLE, but a locked master must not release the bus
+///   mid-sequence (error);
+/// - `script/nested-lock`: a locked sequence inside a locked sequence
+///   (warning);
+/// - `script/unmapped-address`: an address that decodes to no slave and
+///   would silently hit the default slave (warning, needs `map`).
+pub fn check_script(ops: &[Op], map: Option<&AddressMap>, label: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        check_op(op, i, 0, map, label, &mut diags);
+    }
+    diags
+}
+
+fn check_op(
+    op: &Op,
+    index: usize,
+    lock_depth: usize,
+    map: Option<&AddressMap>,
+    label: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let subject = label.to_string();
+    match op {
+        Op::Idle(_) => {
+            if lock_depth > 0 {
+                diags.push(Diagnostic::error(
+                    "script/idle-in-lock",
+                    subject,
+                    format!(
+                        "op {index}: IDLE inside a locked sequence — a locked master \
+                         must not release the bus mid-sequence (handover only in IDLE)"
+                    ),
+                ));
+            }
+        }
+        Op::Write { addr, size, .. } | Op::Read { addr, size } => {
+            if !is_aligned(*addr, *size) {
+                diags.push(Diagnostic::error(
+                    "script/misaligned",
+                    subject.clone(),
+                    format!(
+                        "op {index}: address {addr:#x} is not aligned to a {}-byte transfer",
+                        size.bytes()
+                    ),
+                ));
+            }
+            check_mapped(*addr, index, map, &subject, diags);
+        }
+        Op::Burst {
+            burst,
+            addr,
+            data,
+            size,
+            busy_between,
+            ..
+        } => {
+            if !is_aligned(*addr, *size) {
+                diags.push(Diagnostic::error(
+                    "script/misaligned",
+                    subject.clone(),
+                    format!(
+                        "op {index}: burst start {addr:#x} is not aligned to a {}-byte beat",
+                        size.bytes()
+                    ),
+                ));
+            }
+            if *burst == HBurst::Single {
+                if data.len() != 1 {
+                    diags.push(Diagnostic::error(
+                        "script/burst-arity",
+                        subject.clone(),
+                        format!(
+                            "op {index}: SINGLE transfer carries exactly one beat, \
+                             scripted with {}",
+                            data.len()
+                        ),
+                    ));
+                }
+                if *busy_between > 0 {
+                    diags.push(Diagnostic::error(
+                        "script/busy-in-single",
+                        subject.clone(),
+                        format!("op {index}: BUSY cycles are undefined inside a SINGLE transfer"),
+                    ));
+                }
+            }
+            match burst.beats() {
+                Some(beats) => {
+                    if data.len() != beats {
+                        diags.push(Diagnostic::error(
+                            "script/burst-arity",
+                            subject.clone(),
+                            format!(
+                                "op {index}: {burst:?} burst needs exactly {beats} beats, \
+                                 scripted with {}",
+                                data.len()
+                            ),
+                        ));
+                    }
+                    if crosses_1kb_boundary(*addr, *size, *burst) {
+                        diags.push(Diagnostic::error(
+                            "script/burst-1kb",
+                            subject.clone(),
+                            format!(
+                                "op {index}: {burst:?} burst at {addr:#x} crosses a 1 KB \
+                                 address boundary"
+                            ),
+                        ));
+                    }
+                }
+                None if *burst == HBurst::Single => {}
+                None => {
+                    // INCR: the architected length is open, but the script
+                    // pins it — so the boundary rule is statically checkable.
+                    if data.is_empty() {
+                        diags.push(Diagnostic::error(
+                            "script/burst-arity",
+                            subject.clone(),
+                            format!("op {index}: INCR burst scripted with zero beats"),
+                        ));
+                    } else if incr_crosses_1kb_boundary(*addr, *size, data.len()) {
+                        diags.push(Diagnostic::error(
+                            "script/burst-1kb",
+                            subject.clone(),
+                            format!(
+                                "op {index}: INCR burst of {} beats at {addr:#x} crosses \
+                                 a 1 KB address boundary",
+                                data.len()
+                            ),
+                        ));
+                    }
+                }
+            }
+            check_mapped(*addr, index, map, &subject, diags);
+        }
+        Op::Locked(inner) => {
+            if lock_depth > 0 {
+                diags.push(Diagnostic::warning(
+                    "script/nested-lock",
+                    subject,
+                    format!("op {index}: locked sequence nested inside a locked sequence"),
+                ));
+            }
+            for nested in inner {
+                check_op(nested, index, lock_depth + 1, map, label, diags);
+            }
+        }
+    }
+}
+
+fn check_mapped(
+    addr: u32,
+    index: usize,
+    map: Option<&AddressMap>,
+    subject: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if let Some(map) = map {
+        if map.decode(addr).is_none() {
+            diags.push(Diagnostic::warning(
+                "script/unmapped-address",
+                subject.to_string(),
+                format!(
+                    "op {index}: address {addr:#x} decodes to no slave (default-slave \
+                     territory)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Parses and lints a script in the
+/// [text format](ahbpower_ahb::parse_ops): a parse failure is reported as
+/// a `script/parse` error rather than an `Err`, so the analyzer always
+/// produces a report.
+pub fn check_script_text(text: &str, map: Option<&AddressMap>, label: &str) -> Vec<Diagnostic> {
+    match parse_ops(text) {
+        Ok(ops) => check_script(&ops, map, label),
+        Err(e) => vec![
+            Diagnostic::error("script/parse", label.to_string(), e.message.clone()).at_line(e.line),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahbpower_ahb::HSize;
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_script_produces_no_findings() {
+        let ops = vec![
+            Op::write(0x100, 1),
+            Op::read(0x100),
+            Op::Idle(3),
+            Op::Burst {
+                write: true,
+                burst: HBurst::Incr4,
+                addr: 0x200,
+                data: vec![1, 2, 3, 4],
+                size: HSize::Word,
+                busy_between: 1,
+            },
+            Op::Locked(vec![Op::write(0x300, 5), Op::read(0x300)]),
+        ];
+        let map = AddressMap::evenly_spaced(3, 0x1000);
+        assert!(check_script(&ops, Some(&map), "m").is_empty());
+    }
+
+    #[test]
+    fn fixed_burst_crossing_1kb_is_flagged() {
+        let ops = vec![Op::Burst {
+            write: false,
+            burst: HBurst::Incr4,
+            addr: 0x3F8,
+            data: vec![0; 4],
+            size: HSize::Word,
+            busy_between: 0,
+        }];
+        assert_eq!(rules(&check_script(&ops, None, "m")), ["script/burst-1kb"]);
+    }
+
+    #[test]
+    fn incr_burst_crossing_1kb_is_flagged() {
+        let ops = vec![Op::Burst {
+            write: true,
+            burst: HBurst::Incr,
+            addr: 0x3F8,
+            data: vec![0; 3],
+            size: HSize::Word,
+            busy_between: 0,
+        }];
+        assert_eq!(rules(&check_script(&ops, None, "m")), ["script/burst-1kb"]);
+    }
+
+    #[test]
+    fn busy_in_single_is_flagged() {
+        let ops = vec![Op::Burst {
+            write: true,
+            burst: HBurst::Single,
+            addr: 0x100,
+            data: vec![7],
+            size: HSize::Word,
+            busy_between: 2,
+        }];
+        assert_eq!(
+            rules(&check_script(&ops, None, "m")),
+            ["script/busy-in-single"]
+        );
+    }
+
+    #[test]
+    fn wrong_beat_count_is_flagged() {
+        let ops = vec![Op::Burst {
+            write: true,
+            burst: HBurst::Incr4,
+            addr: 0x100,
+            data: vec![1, 2, 3],
+            size: HSize::Word,
+            busy_between: 0,
+        }];
+        assert_eq!(
+            rules(&check_script(&ops, None, "m")),
+            ["script/burst-arity"]
+        );
+    }
+
+    #[test]
+    fn empty_incr_burst_is_flagged() {
+        let ops = vec![Op::Burst {
+            write: true,
+            burst: HBurst::Incr,
+            addr: 0x100,
+            data: vec![],
+            size: HSize::Word,
+            busy_between: 0,
+        }];
+        assert_eq!(
+            rules(&check_script(&ops, None, "m")),
+            ["script/burst-arity"]
+        );
+    }
+
+    #[test]
+    fn misaligned_access_is_flagged() {
+        let ops = vec![Op::Write {
+            addr: 0x102,
+            value: 1,
+            size: HSize::Word,
+        }];
+        assert_eq!(rules(&check_script(&ops, None, "m")), ["script/misaligned"]);
+    }
+
+    #[test]
+    fn idle_inside_lock_is_flagged() {
+        let ops = vec![Op::Locked(vec![
+            Op::write(0x100, 1),
+            Op::Idle(2),
+            Op::read(0x100),
+        ])];
+        assert_eq!(
+            rules(&check_script(&ops, None, "m")),
+            ["script/idle-in-lock"]
+        );
+    }
+
+    #[test]
+    fn nested_lock_is_a_warning() {
+        let ops = vec![Op::Locked(vec![Op::Locked(vec![Op::write(0x100, 1)])])];
+        let diags = check_script(&ops, None, "m");
+        assert_eq!(rules(&diags), ["script/nested-lock"]);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn unmapped_address_needs_a_map() {
+        let ops = vec![Op::read(0x9000_0000)];
+        assert!(check_script(&ops, None, "m").is_empty());
+        let map = AddressMap::evenly_spaced(3, 0x1000);
+        assert_eq!(
+            rules(&check_script(&ops, Some(&map), "m")),
+            ["script/unmapped-address"]
+        );
+    }
+
+    #[test]
+    fn text_scripts_parse_and_lint() {
+        let good = "write 0x100 1\nread 0x100\n";
+        assert!(check_script_text(good, None, "f").is_empty());
+
+        let crossing = "burst w incr4 0x3f8 1 2 3 4\n";
+        assert_eq!(
+            rules(&check_script_text(crossing, None, "f")),
+            ["script/burst-1kb"]
+        );
+
+        let bad = "frobnicate 1 2 3\n";
+        let diags = check_script_text(bad, None, "f");
+        assert_eq!(rules(&diags), ["script/parse"]);
+        assert_eq!(diags[0].line, Some(1));
+    }
+}

@@ -1,0 +1,435 @@
+//! Layer-2 source lint: a lightweight token-level pass over the
+//! workspace's own Rust sources enforcing repo invariants.
+//!
+//! The linter is deliberately not a parser: it strips comments and string
+//! literals (preserving line numbers), masks `#[cfg(test)]` regions by
+//! brace matching, and then pattern-matches the remaining tokens. That is
+//! enough for the invariants below and keeps the crate dependency-free.
+//!
+//! ## Rules
+//!
+//! - `lint/unwrap` — no `.unwrap()` in library code: recoverable
+//!   conditions must surface as `Result` (`GenError`-style), not abort a
+//!   simulation mid-run;
+//! - `lint/panic` — no `panic!`/`todo!`/`unimplemented!` in library code;
+//! - `lint/print` — no `println!`-family output in library code: results
+//!   flow through return values or the telemetry exporters, binaries own
+//!   the terminal;
+//! - `lint/instr-gate` — wall-clock instrumentation (`Instant::now`,
+//!   `SystemTime::now`) only inside the designated instrumentation
+//!   modules, mirroring the paper's POWERTEST discipline: the measurement
+//!   switch must not be able to alter functional behaviour.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+
+/// Modules allowed to read wall-clock time: the opt-in telemetry /
+/// profiling layer. Paths are workspace-relative with `/` separators.
+const INSTRUMENTATION_MODULES: &[&str] = &[
+    "crates/core/src/telemetry/",
+    "crates/core/src/session.rs",
+    "crates/sim/src/profile.rs",
+    "crates/sim/src/kernel.rs",
+];
+
+/// Lints every library source under `root` (`crates/*/src/**/*.rs`,
+/// excluding `src/bin/`). Returns findings sorted by path then line so
+/// output is deterministic across filesystems.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for c in crate_dirs {
+            collect_rs_files(&c.join("src"), &mut files);
+        }
+    }
+    files.sort();
+    let mut diags = Vec::new();
+    for path in files {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&src, &rel));
+    }
+    diags
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // src/bin targets own the terminal and the process exit; the
+            // library invariants do not apply there.
+            if p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lints one file's source text. `rel_path` decides the instrumentation
+/// allowlist and is stamped into the diagnostics.
+pub fn lint_source(src: &str, rel_path: &str) -> Vec<Diagnostic> {
+    let code = strip_comments_and_strings(src);
+    let masked = mask_test_regions(&code);
+    let instrumented = INSTRUMENTATION_MODULES
+        .iter()
+        .any(|m| rel_path.starts_with(m) || rel_path == m.trim_end_matches('/'));
+    let mut diags = Vec::new();
+    for (i, line) in masked.lines().enumerate() {
+        let lineno = i + 1;
+        if line.contains(".unwrap()") {
+            diags.push(
+                Diagnostic::error(
+                    "lint/unwrap",
+                    rel_path.to_string(),
+                    "`.unwrap()` in library code; return a Result (GenError-style) instead",
+                )
+                .at_line(lineno),
+            );
+        }
+        for mac in ["panic!(", "todo!(", "unimplemented!("] {
+            if contains_macro(line, mac) {
+                diags.push(
+                    Diagnostic::error(
+                        "lint/panic",
+                        rel_path.to_string(),
+                        format!(
+                            "`{}` in library code; return an error instead",
+                            &mac[..mac.len() - 1]
+                        ),
+                    )
+                    .at_line(lineno),
+                );
+            }
+        }
+        for mac in ["println!(", "print!(", "eprintln!(", "eprint!(", "dbg!("] {
+            if contains_macro(line, mac) {
+                diags.push(
+                    Diagnostic::error(
+                        "lint/print",
+                        rel_path.to_string(),
+                        format!(
+                            "`{}` in library code; emit through telemetry exporters or \
+                             return data to the caller",
+                            &mac[..mac.len() - 1]
+                        ),
+                    )
+                    .at_line(lineno),
+                );
+            }
+        }
+        if !instrumented && (line.contains("Instant::now") || line.contains("SystemTime::now")) {
+            diags.push(
+                Diagnostic::error(
+                    "lint/instr-gate",
+                    rel_path.to_string(),
+                    "wall-clock timing outside the instrumentation modules; keep \
+                     measurement code where disabling it cannot change behaviour",
+                )
+                .at_line(lineno),
+            );
+        }
+    }
+    diags
+}
+
+/// True if `line` invokes `mac` as a macro (not as a suffix of a longer
+/// identifier, e.g. `my_print!(`).
+fn contains_macro(line: &str, mac: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(mac) {
+        let at = start + pos;
+        let prev = line[..at].chars().next_back();
+        if !prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        start = at + mac.len();
+    }
+    false
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving every newline so line numbers survive.
+fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if is_raw_string_start(b, i) => {
+                out.push(b' ');
+                i += 1;
+                let mut hashes = 0;
+                while i < b.len() && b[i] == b'#' {
+                    hashes += 1;
+                    out.push(b' ');
+                    i += 1;
+                }
+                out.push(b' ');
+                i += 1; // opening quote
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == b'"' && closes_raw(b, i, hashes) {
+                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        i += hashes + 1;
+                        break;
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        out.push(b' ');
+                        i += 1;
+                        if i >= b.len() {
+                            break;
+                        }
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'\'' if is_char_literal(b, i) => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    if b[i] == b'\\' {
+                        out.push(b' ');
+                        i += 1;
+                        if i >= b.len() {
+                            break;
+                        }
+                    }
+                    out.push(b' ');
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// `r"`, `r#"` etc. — but not a plain identifier ending in `r`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn closes_raw(b: &[u8], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#')
+}
+
+/// Distinguishes a char literal from a lifetime: `'a'`/`'\n'` vs `'a`.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    i + 2 < b.len() && b[i + 2] == b'\''
+}
+
+/// Blanks out every `#[cfg(test)]`-attributed item (matched to its
+/// closing brace), so test-only code is exempt from the rules.
+fn mask_test_regions(code: &str) -> String {
+    let b = code.as_bytes();
+    let mut masked: Vec<u8> = b.to_vec();
+    let mut search = 0;
+    while let Some(pos) = find_subslice(b, b"#[cfg(test)]", search) {
+        // Find the opening brace of the attributed item.
+        let Some(open) = b[pos..].iter().position(|&c| c == b'{').map(|o| pos + o) else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = b.len();
+        for (j, &c) in b.iter().enumerate().skip(open) {
+            if c == b'{' {
+                depth += 1;
+            } else if c == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = j + 1;
+                    break;
+                }
+            }
+        }
+        for m in masked.iter_mut().take(end).skip(pos) {
+            if *m != b'\n' {
+                *m = b' ';
+            }
+        }
+        search = end;
+    }
+    String::from_utf8_lossy(&masked).into_owned()
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged_with_line() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["lint/unwrap"]);
+        assert_eq!(diags[0].line, Some(2));
+    }
+
+    #[test]
+    fn unwrap_variants_are_not_flagged() {
+        let src = "fn f() { g().unwrap_or_default(); h().unwrap_or_else(|| 1); }\n";
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn panic_family_is_flagged() {
+        let src = "fn f() { panic!(\"boom\"); }\nfn g() { todo!() }\n";
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["lint/panic", "lint/panic"]);
+    }
+
+    #[test]
+    fn assert_macros_are_allowed() {
+        let src = "fn f(x: u32) { assert!(x > 0); debug_assert_eq!(x, x); }\n";
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); panic!(); }\n}\n";
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_exempt() {
+        let src = concat!(
+            "//! println!(\"doc\"); .unwrap()\n",
+            "fn f() -> &'static str {\n",
+            "    // panic!(\"comment\")\n",
+            "    \"panic!(in-a-string).unwrap()\"\n",
+            "}\n",
+            "fn g() -> &'static str { r#\"println!(\"raw\")\"# }\n",
+        );
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn print_macros_are_flagged_but_custom_names_are_not() {
+        let src = "fn f() { println!(\"x\"); my_println!(\"y\"); }\n";
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["lint/print"]);
+    }
+
+    #[test]
+    fn wall_clock_outside_instrumentation_is_flagged() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let diags = lint_source(src, "crates/core/src/power_fsm.rs");
+        assert_eq!(rules(&diags), ["lint/instr-gate"]);
+        assert!(lint_source(src, "crates/core/src/telemetry/span.rs").is_empty());
+        assert!(lint_source(src, "crates/sim/src/profile.rs").is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive_stripping() {
+        let src =
+            "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; let _ = (x, n); c }\n";
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // The linter's home workspace must satisfy its own invariants.
+        // When the test runs from the crate dir, the workspace root is
+        // two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let diags = lint_workspace(&root);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

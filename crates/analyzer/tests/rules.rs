@@ -1,0 +1,199 @@
+//! One positive (fires) and one negative (clean) case per analyzer rule,
+//! through the crate's public API.
+
+use ahbpower::{AhbPowerModel, DecoderModel, MuxModel, TechParams};
+use ahbpower_ahb::{AddrRange, AddressMap, HBurst, HSize, Op, SlaveId};
+use ahbpower_analyzer::{
+    analyze_models_and_workloads, check_macromodels, map, script, source_lint, Diagnostic,
+    InstructionSetSpec, Report, Severity,
+};
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+fn fires(diags: &[Diagnostic], rule: &str) -> bool {
+    diags.iter().any(|d| d.rule == rule)
+}
+
+// --- model/* ---------------------------------------------------------
+
+#[test]
+fn model_closure_fires_on_dead_end_mode_and_not_on_default() {
+    assert!(InstructionSetSpec::from_classifier().check().is_empty());
+    let mut spec = InstructionSetSpec::full();
+    spec.allowed[ahbpower::ActivityMode::Idle.index()] = [false; 4];
+    assert!(fires(&spec.check(), "model/closure"));
+}
+
+#[test]
+fn model_unreachable_fires_when_read_cannot_be_entered() {
+    let mut spec = InstructionSetSpec::full();
+    for from in 0..4 {
+        spec.allowed[from][ahbpower::ActivityMode::Read.index()] = false;
+    }
+    let diags = spec.check();
+    assert!(fires(&diags, "model/unreachable"), "{diags:?}");
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn model_coefficient_range_fires_on_negative_fit() {
+    let tech = TechParams::default();
+    let clean = AhbPowerModel::new(3, 4, &tech);
+    assert!(check_macromodels(&clean, "clean").is_empty());
+
+    let mut bad = clean.clone();
+    bad.decoder = DecoderModel::from_fit(4, -1.0e-12, 0.0);
+    assert!(fires(
+        &check_macromodels(&bad, "bad"),
+        "model/coefficient-range"
+    ));
+}
+
+#[test]
+fn model_negative_energy_fires_on_malformed_domain() {
+    let tech = TechParams::default();
+    let mut bad = AhbPowerModel::new(3, 4, &tech);
+    // Positive slope but strongly negative offset: coefficients flag AND
+    // the sampled energy domain goes negative.
+    bad.m2s = MuxModel::from_fit(32, 3, 1.0e-12, 1.0e-12, -1.0);
+    let diags = check_macromodels(&bad, "bad");
+    assert!(fires(&diags, "model/coefficient-range"), "{diags:?}");
+    // b_sel only contributes when sel flips; with sel=true the total goes
+    // negative at low Hamming distance.
+    assert!(fires(&diags, "model/negative-energy"), "{diags:?}");
+}
+
+// --- map/* -----------------------------------------------------------
+
+#[test]
+fn map_overlap_fires_on_colliding_windows() {
+    let clean = AddressMap::evenly_spaced(3, 0x1000);
+    assert!(map::check_map(&clean, "clean").is_empty());
+
+    let bad = vec![
+        AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+        AddrRange::new(0x0800, 0x1000, SlaveId(1)),
+    ];
+    assert!(fires(&map::check_ranges(&bad, "bad"), "map/overlap"));
+}
+
+#[test]
+fn map_gap_fires_on_interior_hole() {
+    let holey = vec![
+        AddrRange::new(0x0000, 0x1000, SlaveId(0)),
+        AddrRange::new(0x3000, 0x1000, SlaveId(1)),
+    ];
+    let diags = map::check_ranges(&holey, "holey");
+    assert_eq!(rules(&diags), ["map/gap"]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn map_empty_fires_on_no_windows() {
+    assert!(fires(&map::check_ranges(&[], "none"), "map/empty"));
+}
+
+// --- script/* --------------------------------------------------------
+
+#[test]
+fn script_burst_1kb_fires_on_boundary_crossing() {
+    let clean = vec![Op::Burst {
+        write: true,
+        burst: HBurst::Incr4,
+        addr: 0x3F0,
+        data: vec![0; 4],
+        size: HSize::Word,
+        busy_between: 0,
+    }];
+    assert!(script::check_script(&clean, None, "clean").is_empty());
+
+    let crossing = vec![Op::Burst {
+        write: true,
+        burst: HBurst::Incr4,
+        addr: 0x3F4,
+        data: vec![0; 4],
+        size: HSize::Word,
+        busy_between: 0,
+    }];
+    assert_eq!(
+        rules(&script::check_script(&crossing, None, "x")),
+        ["script/burst-1kb"]
+    );
+}
+
+#[test]
+fn script_busy_in_single_fires() {
+    let bad = vec![Op::Burst {
+        write: true,
+        burst: HBurst::Single,
+        addr: 0x10,
+        data: vec![1],
+        size: HSize::Word,
+        busy_between: 1,
+    }];
+    assert_eq!(
+        rules(&script::check_script(&bad, None, "x")),
+        ["script/busy-in-single"]
+    );
+}
+
+#[test]
+fn script_idle_in_lock_fires() {
+    let clean = vec![Op::Locked(vec![Op::write(0x10, 1), Op::read(0x10)])];
+    assert!(script::check_script(&clean, None, "clean").is_empty());
+
+    let bad = vec![Op::Locked(vec![Op::write(0x10, 1), Op::Idle(4)])];
+    assert_eq!(
+        rules(&script::check_script(&bad, None, "x")),
+        ["script/idle-in-lock"]
+    );
+}
+
+#[test]
+fn script_text_round_trip_parses_and_fires() {
+    let clean = "write 0x100 2a\nburst w incr4 0x200 1 2 3 4\n";
+    assert!(script::check_script_text(clean, None, "f").is_empty());
+
+    let crossing = "burst w incr4 0x3fc 1 2 3 4\n";
+    assert!(fires(
+        &script::check_script_text(crossing, None, "f"),
+        "script/burst-1kb"
+    ));
+
+    let unparsable = "write\n";
+    assert!(fires(
+        &script::check_script_text(unparsable, None, "f"),
+        "script/parse"
+    ));
+}
+
+// --- lint/* ----------------------------------------------------------
+
+#[test]
+fn lint_rules_fire_on_bad_source_and_not_on_equivalent_good_source() {
+    let bad =
+        "fn f() { g().unwrap(); panic!(); println!(\"x\"); let _ = std::time::Instant::now(); }\n";
+    let diags = source_lint::lint_source(bad, "crates/x/src/lib.rs");
+    for rule in ["lint/unwrap", "lint/panic", "lint/print", "lint/instr-gate"] {
+        assert!(fires(&diags, rule), "{rule} missing in {diags:?}");
+    }
+
+    let good = "fn f() -> Result<(), E> { g()?; Ok(()) }\n";
+    assert!(source_lint::lint_source(good, "crates/x/src/lib.rs").is_empty());
+}
+
+// --- end to end ------------------------------------------------------
+
+#[test]
+fn shipped_workloads_are_clean_and_reports_aggregate() {
+    let report = analyze_models_and_workloads();
+    assert!(report.is_clean(), "{}", report.render_text());
+
+    let mut merged = Report::new();
+    merged.merge(report);
+    merged.extend(vec![Diagnostic::error("map/overlap", "x", "boom")]);
+    assert!(!merged.is_clean());
+    assert!(merged.render_jsonl().contains("\"rule\":\"map/overlap\""));
+}

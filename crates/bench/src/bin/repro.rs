@@ -4,7 +4,8 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- all
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
-//!              coding dpm sweep sweep-bench telemetry telemetry-overhead all
+//!              coding dpm sweep sweep-bench telemetry telemetry-overhead
+//!              analyze all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -19,6 +20,13 @@
 //! `--jobs 1` for serial). Results are byte-identical for any job count.
 //! `sweep-bench` times a serial vs parallel seed×style sweep and writes
 //! `BENCH_sweep.json`.
+//!
+//! `analyze` runs the static analyzer (`ahbpower-analyzer`): model-level
+//! checks over the shipped instruction set/macromodels/workloads plus the
+//! workspace source lint, printing human-readable findings and writing
+//! `results/analyze.jsonl`. Pass `--script FILE` to lint a text op script
+//! (see `ahbpower_ahb::parse_ops`) against the paper testbench's address
+//! map instead. Exits 1 if any error-severity finding is reported.
 
 use std::fs;
 use std::time::Instant;
@@ -49,6 +57,7 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut telemetry = false;
     let mut jobs = available_jobs();
+    let mut script: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,6 +81,13 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("--jobs needs a positive number"));
             }
+            "--script" => {
+                script = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--script needs a file path")),
+                );
+            }
             other if !other.starts_with('-') => cmd = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -92,6 +108,7 @@ fn main() {
         "sweep" => sweep(cycles.min(200_000), seed, jobs),
         "sweep-bench" => sweep_bench(cycles.min(200_000), seed, jobs),
         "telemetry" => telemetry_run(cycles.min(1_000_000), seed),
+        "analyze" => analyze(script.as_deref()),
         "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed),
         "all" => {
             let mut r = run(cycles, seed, telemetry);
@@ -115,9 +132,78 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|all] [--cycles N] [--seed S] [--jobs N] [--telemetry]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|analyze|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE]"
     );
     std::process::exit(2);
+}
+
+/// `repro analyze [--script FILE]`: static analysis before any simulation.
+///
+/// Without `--script`, runs the full two-layer analysis (instruction set,
+/// macromodel domains, shipped workload maps/scripts, workspace source
+/// lint). With `--script`, parses and lints the given text op script
+/// against the paper testbench's address map. Either way the findings are
+/// printed human-readable, exported to `results/analyze.jsonl` (telemetry
+/// JSONL metrics followed by one event per diagnostic), and error-severity
+/// findings make the process exit 1.
+fn analyze(script: Option<&str>) -> ! {
+    use ahbpower::telemetry::{to_jsonl, ExportMeta, MetricsRegistry};
+    use ahbpower_analyzer::{analyze_all, analyze_models_and_workloads, Report};
+
+    let report: Report = match script {
+        Some(path) => {
+            let text = match fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => usage(&format!("cannot read script {path}: {e}")),
+            };
+            let map = PaperTestbench::default().address_map();
+            println!("== Static analysis: script {path} ==");
+            Report::from_diagnostics(ahbpower_analyzer::script::check_script_text(
+                &text,
+                Some(&map),
+                path,
+            ))
+        }
+        None => {
+            println!("== Static analysis: models, workloads, sources ==");
+            match workspace_root() {
+                Some(root) => analyze_all(&root),
+                None => {
+                    println!("(no workspace root found: skipping the source lint layer)");
+                    analyze_models_and_workloads()
+                }
+            }
+        }
+    };
+
+    print!("{}", report.render_text());
+
+    let mut reg = MetricsRegistry::new();
+    report.to_metrics(&mut reg);
+    let meta = ExportMeta {
+        scenario: "analyze".to_string(),
+        cycles: 0,
+        seed: 0,
+    };
+    let jsonl = format!("{}{}", to_jsonl(&reg, &meta), report.render_jsonl());
+    fs::write("results/analyze.jsonl", jsonl).expect("write results/analyze.jsonl");
+    println!("wrote results/analyze.jsonl");
+
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+/// Walks up from the current directory to the first one that looks like
+/// the workspace root (has both `Cargo.toml` and `crates/`).
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 fn run(cycles: u64, seed: u64, telemetry: bool) -> PaperRun {
@@ -501,7 +587,14 @@ fn coding(cycles: u64, seed: u64, jobs: usize) {
     let dma_bus = || {
         ahbpower_ahb::AhbBusBuilder::new(ahbpower_ahb::AddressMap::evenly_spaced(2, 0x8000))
             .master(Box::new(ahbpower_ahb::ScriptedMaster::new(
-                ahbpower_workloads::dma_script(seed, 400, 0x0, 0x8000, ahbpower_ahb::HBurst::Incr8),
+                ahbpower_workloads::try_dma_script(
+                    seed,
+                    400,
+                    0x0,
+                    0x8000,
+                    ahbpower_ahb::HBurst::Incr8,
+                )
+                .expect("dma script params valid"),
             )))
             .slave(Box::new(ahbpower_ahb::MemorySlave::new(0x8000, 0, 0)))
             .slave(Box::new(ahbpower_ahb::MemorySlave::new(0x8000, 0, 0)))

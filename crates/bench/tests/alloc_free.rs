@@ -51,7 +51,7 @@ fn allocations() -> u64 {
 use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
 use ahbpower_ahb::{AddressMap, AhbBusBuilder, BusSnapshot, MemorySlave, ScriptedMaster};
 use ahbpower_bench::build_paper_bus;
-use ahbpower_workloads::stream_script;
+use ahbpower_workloads::try_stream_script;
 
 // One test body: the counter is process-global, so phases run sequentially
 // instead of racing with a parallel test-harness sibling.
@@ -94,7 +94,9 @@ fn hot_path_does_not_allocate_per_cycle() {
     // (Write bursts only: read completions would grow the master's
     // read-record queue, the one remaining amortized allocation site.)
     let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(2, 0x8000))
-        .master(Box::new(ScriptedMaster::new(stream_script(7, 800, 0x0, 2))))
+        .master(Box::new(ScriptedMaster::new(
+            try_stream_script(7, 800, 0x0, 2).expect("stream script params valid"),
+        )))
         .slave(Box::new(MemorySlave::new(0x8000, 0, 0)))
         .slave(Box::new(MemorySlave::new(0x8000, 0, 0)))
         .build()

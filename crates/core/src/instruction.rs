@@ -41,6 +41,12 @@ impl ActivityMode {
         }
     }
 
+    /// The mode with the given [`index`](Self::index), or `None` if `i`
+    /// is out of range.
+    pub fn from_index(i: usize) -> Option<ActivityMode> {
+        ActivityMode::ALL.get(i).copied()
+    }
+
     /// The paper's spelling of the mode.
     pub fn name(self) -> &'static str {
         match self {

@@ -119,6 +119,13 @@ impl DecoderModel {
         }
         self.alpha * f64::from(hd_in) + self.beta
     }
+
+    /// The model's named coefficients, for domain validation by static
+    /// analyzers (every coefficient of a physical energy model must be
+    /// finite and non-negative).
+    pub fn coefficients(&self) -> [(&'static str, f64); 2] {
+        [("alpha", self.alpha), ("beta", self.beta)]
+    }
 }
 
 /// The multiplexer macromodel `E_MUX = f(w, n, HD_IN, HD_SEL)`.
@@ -186,6 +193,16 @@ impl MuxModel {
         let sel = if sel_changed { self.b_sel } else { 0.0 };
         data + sel
     }
+
+    /// The model's named coefficients, for domain validation by static
+    /// analyzers.
+    pub fn coefficients(&self) -> [(&'static str, f64); 3] {
+        [
+            ("a_data", self.a_data),
+            ("a_out", self.a_out),
+            ("b_sel", self.b_sel),
+        ]
+    }
 }
 
 /// The arbiter macromodel — a small FSM whose energy follows request
@@ -247,6 +264,16 @@ impl ArbiterModel {
     /// (optionally) a handover. Includes the per-cycle clock term.
     pub fn energy(&self, hd_req: u32, handover: bool) -> f64 {
         self.e_clock + f64::from(hd_req) * self.a_req + if handover { self.b_grant } else { 0.0 }
+    }
+
+    /// The model's named coefficients, for domain validation by static
+    /// analyzers.
+    pub fn coefficients(&self) -> [(&'static str, f64); 3] {
+        [
+            ("a_req", self.a_req),
+            ("b_grant", self.b_grant),
+            ("e_clock", self.e_clock),
+        ]
     }
 }
 

@@ -125,6 +125,18 @@ impl PowerFsm {
     pub fn model(&self) -> &AhbPowerModel {
         &self.model
     }
+
+    /// Per-instruction observation flags, indexed by
+    /// [`Instruction::index`](crate::Instruction::index): `true` where the
+    /// FSM has booked at least one occurrence. Static analyzers compare
+    /// this against the instruction-set spec's reachable transitions.
+    pub fn instruction_coverage(&self) -> [bool; crate::INSTRUCTION_COUNT] {
+        let mut seen = [false; crate::INSTRUCTION_COUNT];
+        for i in crate::Instruction::all() {
+            seen[i.index()] = self.ledger.count(i) > 0;
+        }
+        seen
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,60 @@
+//! The crate's unified error type.
+
+use std::error::Error;
+use std::fmt;
+
+use ahbpower_ahb::BuildBusError;
+
+use crate::gen::GenError;
+
+/// Why a scenario could not be built: either its script parameters were
+/// rejected by a generator, or the assembled bus failed to build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A traffic generator rejected the scenario's parameters.
+    Gen(GenError),
+    /// The bus fabric rejected the assembled configuration.
+    Bus(BuildBusError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Gen(e) => write!(f, "workload generation: {e}"),
+            WorkloadError::Bus(e) => write!(f, "bus build: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Gen(e) => Some(e),
+            WorkloadError::Bus(e) => Some(e),
+        }
+    }
+}
+
+impl From<GenError> for WorkloadError {
+    fn from(e: GenError) -> Self {
+        WorkloadError::Gen(e)
+    }
+}
+
+impl From<BuildBusError> for WorkloadError {
+    fn from(e: BuildBusError) -> Self {
+        WorkloadError::Bus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let g = WorkloadError::from(GenError::EmptyCount("round"));
+        assert!(g.to_string().contains("round"));
+        assert!(Error::source(&g).is_some());
+    }
+}

@@ -1,9 +1,8 @@
 //! Op-script generators for the different traffic classes.
 //!
-//! Every generator comes in two flavours: a `try_*` form returning
-//! [`Result`] — so malformed scenario parameters surface as [`GenError`]s
-//! a caller can report — and a panicking convenience wrapper with the
-//! historical signature.
+//! Every generator returns [`Result`], so malformed scenario parameters
+//! surface as [`GenError`]s a caller can report (or convert into
+//! [`crate::WorkloadError`]) instead of aborting the process.
 
 use std::error::Error;
 use std::fmt;
@@ -114,27 +113,6 @@ pub fn try_write_read_script(
     Ok(ops)
 }
 
-/// Panicking convenience wrapper around [`try_write_read_script`].
-///
-/// # Panics
-///
-/// Panics with the [`GenError`] message on invalid parameters.
-#[allow(clippy::too_many_arguments)]
-pub fn write_read_script(
-    seed: u64,
-    rounds: u32,
-    max_repeat: u32,
-    addr_base: u32,
-    addr_span: u32,
-    idle_min: u32,
-    idle_max: u32,
-) -> Vec<Op> {
-    try_write_read_script(
-        seed, rounds, max_repeat, addr_base, addr_span, idle_min, idle_max,
-    )
-    .unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// A DMA-style script: block copies as INCR bursts (read burst from source,
 /// write burst to destination), separated by short idle gaps.
 ///
@@ -176,15 +154,6 @@ pub fn try_dma_script(
         ops.push(Op::Idle(rng.random_range(1..4)));
     }
     Ok(ops)
-}
-
-/// Panicking convenience wrapper around [`try_dma_script`].
-///
-/// # Panics
-///
-/// Panics with the [`GenError`] message on invalid parameters.
-pub fn dma_script(seed: u64, blocks: u32, src_base: u32, dst_base: u32, burst: HBurst) -> Vec<Op> {
-    try_dma_script(seed, blocks, src_base, dst_base, burst).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// A CPU-like script: mostly single reads with occasional writes, mixed
@@ -236,15 +205,6 @@ pub fn try_cpu_script(
     Ok(ops)
 }
 
-/// Panicking convenience wrapper around [`try_cpu_script`].
-///
-/// # Panics
-///
-/// Panics with the [`GenError`] message on invalid parameters.
-pub fn cpu_script(seed: u64, accesses: u32, addr_base: u32, addr_span: u32) -> Vec<Op> {
-    try_cpu_script(seed, accesses, addr_base, addr_span).unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// A streaming script: periodic fixed-length write bursts (a producer
 /// pushing frames), with BUSY pauses inside bursts to model source jitter.
 ///
@@ -277,31 +237,22 @@ pub fn try_stream_script(
     Ok(ops)
 }
 
-/// Panicking convenience wrapper around [`try_stream_script`].
-///
-/// # Panics
-///
-/// Panics with the [`GenError`] message on invalid parameters.
-pub fn stream_script(seed: u64, frames: u32, dst_base: u32, period_idle: u32) -> Vec<Op> {
-    try_stream_script(seed, frames, dst_base, period_idle).unwrap_or_else(|e| panic!("{e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn write_read_script_is_deterministic_per_seed() {
-        let a = write_read_script(7, 4, 3, 0, 0x1000, 1, 5);
-        let b = write_read_script(7, 4, 3, 0, 0x1000, 1, 5);
-        let c = write_read_script(8, 4, 3, 0, 0x1000, 1, 5);
+        let a = try_write_read_script(7, 4, 3, 0, 0x1000, 1, 5).unwrap();
+        let b = try_write_read_script(7, 4, 3, 0, 0x1000, 1, 5).unwrap();
+        let c = try_write_read_script(8, 4, 3, 0, 0x1000, 1, 5).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn write_read_script_shape() {
-        let ops = write_read_script(1, 3, 2, 0x100, 0x200, 2, 4);
+        let ops = try_write_read_script(1, 3, 2, 0x100, 0x200, 2, 4).unwrap();
         let mut shape_errors: Vec<GenError> = Vec::new();
         // Each round ends with an Idle; pairs are Locked.
         let idles = ops.iter().filter(|o| matches!(o, Op::Idle(_))).count();
@@ -328,7 +279,7 @@ mod tests {
 
     #[test]
     fn dma_script_alternates_read_write_bursts() {
-        let ops = dma_script(3, 2, 0x0, 0x1000, HBurst::Incr8);
+        let ops = try_dma_script(3, 2, 0x0, 0x1000, HBurst::Incr8).unwrap();
         assert!(matches!(
             ops[0],
             Op::Burst {
@@ -352,7 +303,7 @@ mod tests {
 
     #[test]
     fn cpu_script_addresses_are_aligned() {
-        let ops = cpu_script(11, 200, 0x2000, 0x800);
+        let ops = try_cpu_script(11, 200, 0x2000, 0x800).unwrap();
         let mut shape_errors: Vec<GenError> = Vec::new();
         for op in &ops {
             match op {
@@ -369,7 +320,7 @@ mod tests {
 
     #[test]
     fn stream_script_emits_bursts() {
-        let ops = stream_script(5, 4, 0x0, 10);
+        let ops = try_stream_script(5, 4, 0x0, 10).unwrap();
         let bursts = ops
             .iter()
             .filter(|o| matches!(o, Op::Burst { write: true, .. }))
@@ -378,9 +329,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "idle range")]
-    fn inverted_idle_range_panics() {
-        let _ = write_read_script(1, 1, 1, 0, 0x100, 5, 2);
+    fn inverted_idle_range_rejected() {
+        assert!(matches!(
+            try_write_read_script(1, 1, 1, 0, 0x100, 5, 2),
+            Err(GenError::InvertedIdleRange { min: 5, max: 2 })
+        ));
     }
 
     #[test]
@@ -408,10 +361,10 @@ mod tests {
             try_stream_script(1, 0, 0, 1),
             Err(GenError::EmptyCount("frame"))
         );
-        // Valid parameters produce the same script as the panicking form.
+        // Valid parameters succeed and are deterministic per seed.
         assert_eq!(
             try_write_read_script(7, 4, 3, 0, 0x1000, 1, 5).unwrap(),
-            write_read_script(7, 4, 3, 0, 0x1000, 1, 5)
+            try_write_read_script(7, 4, 3, 0, 0x1000, 1, 5).unwrap()
         );
     }
 }

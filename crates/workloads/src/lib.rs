@@ -5,8 +5,8 @@
 //!   default master, three memory slaves;
 //! - [`SocScenario`]: a CPU + DMA + streaming-producer mix for the
 //!   architecture-exploration extension experiments;
-//! - [`write_read_script`], [`dma_script`], [`cpu_script`],
-//!   [`stream_script`]: the underlying seedable op generators.
+//! - [`try_write_read_script`], [`try_dma_script`], [`try_cpu_script`],
+//!   [`try_stream_script`]: the underlying seedable op generators.
 //!
 //! ```
 //! use ahbpower_workloads::PaperTestbench;
@@ -14,19 +14,18 @@
 //! let mut bus = PaperTestbench::default().build()?;
 //! bus.run(1_000);
 //! assert!(bus.stats().transfers_ok > 0);
-//! # Ok::<(), ahbpower_ahb::BuildBusError>(())
+//! # Ok::<(), ahbpower_workloads::WorkloadError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod gen;
 mod paper;
 mod scenario;
 
-pub use gen::{
-    cpu_script, dma_script, stream_script, try_cpu_script, try_dma_script, try_stream_script,
-    try_write_read_script, write_read_script, GenError,
-};
+pub use error::WorkloadError;
+pub use gen::{try_cpu_script, try_dma_script, try_stream_script, try_write_read_script, GenError};
 pub use paper::PaperTestbench;
 pub use scenario::SocScenario;

@@ -2,11 +2,12 @@
 //! memory slaves on the AHB.
 
 use ahbpower_ahb::{
-    AddressMap, AhbBus, AhbBusBuilder, Arbitration, BuildBusError, IdleMaster, MasterId,
-    MemorySlave, ScriptedMaster,
+    AddressMap, AhbBus, AhbBusBuilder, Arbitration, IdleMaster, MasterId, MemorySlave, Op,
+    ScriptedMaster,
 };
 
-use crate::gen::write_read_script;
+use crate::error::WorkloadError;
+use crate::gen::try_write_read_script;
 
 /// Configuration of the paper's testbench.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,15 +53,24 @@ impl PaperTestbench {
     /// Scenario label stamped into telemetry exports of this testbench.
     pub const LABEL: &'static str = "paper_testbench";
 
-    /// Builds the bus: masters 0 and 1 run WRITE-READ/IDLE scripts over the
-    /// three slave windows; master 2 is the "simple default master".
+    /// The address map the testbench decodes against (three evenly spaced
+    /// slave windows).
+    pub fn address_map(&self) -> AddressMap {
+        AddressMap::evenly_spaced(Self::N_SLAVES, self.window)
+    }
+
+    /// The op scripts the traffic masters will run, in master order.
+    ///
+    /// Static analyzers use this to lint the workload without building (or
+    /// ticking) a bus.
     ///
     /// # Errors
     ///
-    /// Propagates [`BuildBusError`] (cannot occur for valid configs).
-    pub fn build(&self) -> Result<AhbBus, BuildBusError> {
+    /// Returns [`WorkloadError::Gen`] if the configured script parameters
+    /// are rejected by the generator.
+    pub fn scripts(&self) -> Result<Vec<Vec<Op>>, WorkloadError> {
         let span = self.window * Self::N_SLAVES as u32;
-        let m0 = ScriptedMaster::new(write_read_script(
+        let s0 = try_write_read_script(
             self.seed,
             self.rounds,
             self.max_repeat,
@@ -68,8 +78,8 @@ impl PaperTestbench {
             span,
             self.idle_min,
             self.idle_max,
-        ));
-        let m1 = ScriptedMaster::new(write_read_script(
+        )?;
+        let s1 = try_write_read_script(
             self.seed ^ 0x9E37_79B9_7F4A_7C15,
             self.rounds,
             self.max_repeat,
@@ -77,8 +87,22 @@ impl PaperTestbench {
             span,
             self.idle_min,
             self.idle_max,
-        ));
-        AhbBusBuilder::new(AddressMap::evenly_spaced(Self::N_SLAVES, self.window))
+        )?;
+        Ok(vec![s0, s1])
+    }
+
+    /// Builds the bus: masters 0 and 1 run WRITE-READ/IDLE scripts over the
+    /// three slave windows; master 2 is the "simple default master".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if script generation or the bus build
+    /// rejects the configuration (cannot occur for the default config).
+    pub fn build(&self) -> Result<AhbBus, WorkloadError> {
+        let mut scripts = self.scripts()?.into_iter();
+        let m0 = ScriptedMaster::new(scripts.next().unwrap_or_default());
+        let m1 = ScriptedMaster::new(scripts.next().unwrap_or_default());
+        let bus = AhbBusBuilder::new(self.address_map())
             .arbitration(self.arbitration)
             .default_master(MasterId(2))
             .master(Box::new(m0))
@@ -99,7 +123,8 @@ impl PaperTestbench {
                 self.wait_first,
                 0,
             )))
-            .build()
+            .build()?;
+        Ok(bus)
     }
 
     /// A variant whose masters loop long enough for `cycles`-cycle
@@ -173,7 +198,7 @@ mod tests {
         let m0 = bus.master_as::<ScriptedMaster>(0).unwrap();
         let reads0: Vec<(u32, u32)> = m0.reads().collect();
         assert!(!reads0.is_empty());
-        let script = crate::gen::write_read_script(2003, 8, 8, 0, 0x3000, 2, 10);
+        let script = crate::gen::try_write_read_script(2003, 8, 8, 0, 0x3000, 2, 10).unwrap();
         let mut expected = Vec::new();
         for op in script {
             if let ahbpower_ahb::Op::Locked(inner) = op {

@@ -1,11 +1,12 @@
 //! Composite scenarios for the extension experiments.
 
 use ahbpower_ahb::{
-    AddressMap, AhbBus, AhbBusBuilder, Arbitration, BuildBusError, HBurst, IdleMaster, MasterId,
-    MemorySlave, ScriptedMaster,
+    AddressMap, AhbBus, AhbBusBuilder, Arbitration, HBurst, IdleMaster, MasterId, MemorySlave, Op,
+    ScriptedMaster,
 };
 
-use crate::gen::{cpu_script, dma_script, stream_script};
+use crate::error::WorkloadError;
+use crate::gen::{try_cpu_script, try_dma_script, try_stream_script};
 
 /// An SoC-flavoured scenario: a CPU-like master, a DMA engine and a
 /// streaming producer contending for three memory slaves — the kind of
@@ -47,28 +48,45 @@ impl SocScenario {
     /// Bytes per slave window.
     pub const WINDOW: u32 = 0x4000;
 
-    /// Builds the bus.
+    /// The address map the scenario decodes against.
+    pub fn address_map(&self) -> AddressMap {
+        AddressMap::evenly_spaced(Self::N_SLAVES, Self::WINDOW)
+    }
+
+    /// The op scripts of the three traffic masters, in master order
+    /// (CPU, DMA, stream). Static analyzers lint these without a bus.
     ///
     /// # Errors
     ///
-    /// Propagates [`BuildBusError`] (cannot occur for valid configs).
-    pub fn build(&self) -> Result<AhbBus, BuildBusError> {
+    /// Returns [`WorkloadError::Gen`] if any generator rejects the
+    /// scenario's parameters.
+    pub fn scripts(&self) -> Result<Vec<Vec<Op>>, WorkloadError> {
         let w = Self::WINDOW;
-        let cpu = ScriptedMaster::new(cpu_script(self.seed, self.cpu_accesses, 0, w));
-        let dma = ScriptedMaster::new(dma_script(
+        let cpu = try_cpu_script(self.seed, self.cpu_accesses, 0, w)?;
+        let dma = try_dma_script(
             self.seed ^ 0xD0A,
             self.dma_blocks,
             w,     // source: slave 1
             2 * w, // destination: slave 2
             HBurst::Incr8,
-        ));
-        let stream = ScriptedMaster::new(stream_script(
-            self.seed ^ 0x57E,
-            self.stream_frames,
-            2 * w + 0x2000,
-            6,
-        ));
-        AhbBusBuilder::new(AddressMap::evenly_spaced(Self::N_SLAVES, w))
+        )?;
+        let stream = try_stream_script(self.seed ^ 0x57E, self.stream_frames, 2 * w + 0x2000, 6)?;
+        Ok(vec![cpu, dma, stream])
+    }
+
+    /// Builds the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if script generation or the bus build
+    /// rejects the configuration (cannot occur for the default config).
+    pub fn build(&self) -> Result<AhbBus, WorkloadError> {
+        let w = Self::WINDOW;
+        let mut scripts = self.scripts()?.into_iter();
+        let cpu = ScriptedMaster::new(scripts.next().unwrap_or_default());
+        let dma = ScriptedMaster::new(scripts.next().unwrap_or_default());
+        let stream = ScriptedMaster::new(scripts.next().unwrap_or_default());
+        let bus = AhbBusBuilder::new(self.address_map())
             .arbitration(self.arbitration)
             .default_master(MasterId(3))
             .master(Box::new(cpu))
@@ -78,7 +96,8 @@ impl SocScenario {
             .slave(Box::new(MemorySlave::new(w as usize, self.wait_states, 0)))
             .slave(Box::new(MemorySlave::new(w as usize, self.wait_states, 0)))
             .slave(Box::new(MemorySlave::new(w as usize, self.wait_states, 0)))
-            .build()
+            .build()?;
+        Ok(bus)
     }
 }
 

@@ -25,6 +25,19 @@ for e in quickstart instruction_energy design_space macromodel_validation \
     echo "  $e ok"
 done
 
+echo "== static analysis =="
+cargo run --release -p ahbpower-bench --bin repro -- analyze
+# The analyzer must also *fail* when fed a protocol violation: a 4-beat
+# word burst at 0x3fc crosses a 1 KB boundary.
+BAD_SCRIPT="$(mktemp)"
+trap 'rm -f "$BAD_SCRIPT"' EXIT
+printf 'burst w incr4 0x3fc 1 2 3 4\n' > "$BAD_SCRIPT"
+if cargo run --release -p ahbpower-bench --bin repro -- analyze --script "$BAD_SCRIPT" > /dev/null; then
+    echo "  ERROR: analyze accepted an illegal script" >&2
+    exit 1
+fi
+echo "  analyze ok (clean tree passes, seeded violation fails)"
+
 echo "== experiments (smoke, 100k cycles) =="
 cargo run --release -p ahbpower-bench --bin repro -- all --cycles 100000 > /dev/null
 echo "  repro ok (artifacts in results/)"

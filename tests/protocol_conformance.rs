@@ -49,6 +49,50 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(single, 1..24)
 }
 
+/// Shared body of `checker_never_fires_on_two_master_random_traffic`, so
+/// regression seeds promoted out of `*.proptest-regressions` exercise the
+/// exact same system deterministically.
+fn run_two_master_traffic(
+    ops0: Vec<Op>,
+    ops1: Vec<Op>,
+    round_robin: bool,
+    waits: u32,
+) -> Result<(), String> {
+    let policy = if round_robin {
+        Arbitration::RoundRobin
+    } else {
+        Arbitration::FixedPriority
+    };
+    let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(3, 0x1000))
+        .arbitration(policy)
+        .default_master(MasterId(2))
+        .master(Box::new(ScriptedMaster::new(ops0)))
+        .master(Box::new(ScriptedMaster::new(ops1)))
+        .master(Box::new(IdleMaster::new()))
+        .slave(Box::new(MemorySlave::new(0x1000, waits, 0)))
+        .slave(Box::new(MemorySlave::new(0x1000, 0, waits)))
+        .slave(Box::new(MemorySlave::new(0x1000, waits, waits)))
+        .build()
+        .expect("bus builds");
+    let mut checker = ProtocolChecker::new();
+    for _ in 0..6_000 {
+        checker.check(bus.step());
+        if bus.all_masters_done() {
+            break;
+        }
+    }
+    if !bus.all_masters_done() {
+        return Err("masters starved".to_string());
+    }
+    if !checker.violations().is_empty() {
+        return Err(format!(
+            "violations: {:?}",
+            &checker.violations()[..checker.violations().len().min(3)]
+        ));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -59,34 +103,8 @@ proptest! {
         round_robin in any::<bool>(),
         waits in 0u32..3,
     ) {
-        let policy = if round_robin {
-            Arbitration::RoundRobin
-        } else {
-            Arbitration::FixedPriority
-        };
-        let mut bus = AhbBusBuilder::new(AddressMap::evenly_spaced(3, 0x1000))
-            .arbitration(policy)
-            .default_master(MasterId(2))
-            .master(Box::new(ScriptedMaster::new(ops0)))
-            .master(Box::new(ScriptedMaster::new(ops1)))
-            .master(Box::new(IdleMaster::new()))
-            .slave(Box::new(MemorySlave::new(0x1000, waits, 0)))
-            .slave(Box::new(MemorySlave::new(0x1000, 0, waits)))
-            .slave(Box::new(MemorySlave::new(0x1000, waits, waits)))
-            .build()
-            .expect("bus builds");
-        let mut checker = ProtocolChecker::new();
-        for _ in 0..6_000 {
-            checker.check(bus.step());
-            if bus.all_masters_done() {
-                break;
-            }
-        }
-        prop_assert!(bus.all_masters_done(), "masters starved");
         prop_assert!(
-            checker.violations().is_empty(),
-            "violations: {:?}",
-            &checker.violations()[..checker.violations().len().min(3)]
+            run_two_master_traffic(ops0, ops1, round_robin, waits).is_ok()
         );
     }
 
@@ -231,5 +249,117 @@ proptest! {
             "violations: {:?}",
             &checker.violations()[..checker.violations().len().min(3)]
         );
+    }
+}
+
+/// Promoted from `protocol_conformance.proptest-regressions` (seed
+/// `e377d53c…`) so the case survives a proptest-cache wipe: round-robin
+/// arbitration with one wait state, where master 1 interleaves an INCR4
+/// burst with `busy_between = 1` between long idle runs — the bus hands
+/// over repeatedly around the BUSY beats, which once tripped the checker.
+#[test]
+fn regression_round_robin_busy_burst_handover_e377d53c() {
+    let ops0 = vec![
+        Op::write(0, 0),
+        Op::write(0, 0),
+        Op::write(516, 1250605863),
+        Op::read(1756),
+        Op::Burst {
+            write: true,
+            burst: HBurst::Incr4,
+            addr: 132,
+            data: vec![2147995955, 1048845209, 939945332, 712423257],
+            size: HSize::Word,
+            busy_between: 0,
+        },
+        Op::write(3028, 3037526180),
+        Op::Write {
+            addr: 488,
+            value: 3674,
+            size: HSize::Half,
+        },
+        Op::Write {
+            addr: 2990,
+            value: 23192,
+            size: HSize::Half,
+        },
+        Op::read(2792),
+        Op::read(2052),
+        Op::Read {
+            addr: 1199,
+            size: HSize::Byte,
+        },
+        Op::write(580, 838352373),
+        Op::Read {
+            addr: 2348,
+            size: HSize::Byte,
+        },
+        Op::write(1292, 3150842743),
+        Op::Burst {
+            write: false,
+            burst: HBurst::Wrap8,
+            addr: 180,
+            data: vec![0; 8],
+            size: HSize::Word,
+            busy_between: 0,
+        },
+    ];
+    let ops1 = vec![
+        Op::Idle(3),
+        Op::write(1984, 3891317351),
+        Op::Write {
+            addr: 2700,
+            value: 25965,
+            size: HSize::Half,
+        },
+        Op::Idle(2),
+        Op::Idle(4),
+        Op::Idle(4),
+        Op::Burst {
+            write: true,
+            burst: HBurst::Incr4,
+            addr: 280,
+            data: vec![3732614442, 1238746466, 2915965794, 1577455187],
+            size: HSize::Word,
+            busy_between: 1,
+        },
+        Op::Idle(2),
+        Op::read(1684),
+        Op::Write {
+            addr: 2318,
+            value: 33597,
+            size: HSize::Half,
+        },
+        Op::read(152),
+        Op::Idle(2),
+        Op::read(1568),
+        Op::Read {
+            addr: 1420,
+            size: HSize::Byte,
+        },
+        Op::Idle(3),
+        Op::read(2924),
+        Op::Read {
+            addr: 1277,
+            size: HSize::Byte,
+        },
+        Op::Idle(1),
+        Op::Idle(1),
+        Op::Burst {
+            write: false,
+            burst: HBurst::Wrap8,
+            addr: 24,
+            data: vec![0; 8],
+            size: HSize::Word,
+            busy_between: 0,
+        },
+        Op::Read {
+            addr: 2747,
+            size: HSize::Byte,
+        },
+        Op::Idle(5),
+    ];
+    if let Err(e) = run_two_master_traffic(ops0, ops1, true, 1) {
+        panic!("{e}");
     }
 }
