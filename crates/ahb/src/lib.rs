@@ -46,6 +46,7 @@ mod bus;
 mod checker;
 mod decoder;
 mod lane;
+mod lifecycle;
 mod master;
 mod perf;
 mod script;
@@ -63,6 +64,7 @@ pub use bus::{AhbBus, AhbBusBuilder, BuildBusError, BusStats};
 pub use checker::{ProtocolChecker, Rule, Violation};
 pub use decoder::{AddrRange, AddressMap, BuildMapError};
 pub use lane::{from_lanes, lane_mask, to_lanes};
+pub use lifecycle::{LifecycleTap, TxnEvent};
 pub use master::{AhbMaster, IdleMaster, Op, ScriptedMaster};
 pub use perf::{
     BusPerfAnalyzer, CycleHistogram, MasterPerf, ARBITRATION_LATENCY_BOUNDS, BURST_BEATS_BOUNDS,

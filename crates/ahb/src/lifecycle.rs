@@ -1,0 +1,372 @@
+//! Transaction-lifecycle tap: turns per-cycle wire snapshots into causal
+//! transfer events.
+//!
+//! [`LifecycleTap`] is a passive observer in the mould of
+//! [`crate::BusPerfAnalyzer`]: fed every [`BusSnapshot`], it reconstructs
+//! the life of each bus transaction — the HBUSREQ assertion, the arbiter's
+//! HGRANT edge, the NONSEQ address phase that opens a burst, HREADY
+//! stalls, per-beat data-phase completions and the final completion — and
+//! reports them as [`TxnEvent`]s through a caller-supplied sink. It keeps
+//! no per-transaction storage itself; the `ahbpower` crate's `TxnTracer`
+//! consumes the events and attaches energy, so this tap stays a pure
+//! protocol-layer concern.
+
+use crate::types::{BusSnapshot, HBurst, HResp, HTrans, MasterId, SlaveId};
+
+/// One observed transaction-lifecycle event. Every event belongs to the
+/// cycle of the snapshot that produced it (`BusSnapshot::cycle`).
+///
+/// Events for one transaction arrive in causal order: `Requested` →
+/// `Granted` → `Started` → (`Stalled` | `BeatDone`)* → `Completed`.
+/// Request/grant events are per *master*, not per transaction: a master
+/// holding HBUSREQ across several back-to-back bursts produces one
+/// `Requested` edge for the whole run of bursts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEvent {
+    /// A master newly asserted HBUSREQ (rising edge of its request line).
+    Requested {
+        /// The requesting master.
+        master: MasterId,
+    },
+    /// The arbiter's HGRANT reached a master (rising edge of its grant
+    /// line). `wait_cycles` counts cycles since the matching `Requested`
+    /// edge, or 0 for an unrequested (parked/default) grant.
+    Granted {
+        /// The granted master.
+        master: MasterId,
+        /// Cycles the master waited between request and grant.
+        wait_cycles: u64,
+    },
+    /// A NONSEQ address phase opened a transaction.
+    Started {
+        /// The address-phase owner.
+        master: MasterId,
+        /// The decoded slave, or `None` when no HSEL line is asserted
+        /// (the transfer goes to the default slave).
+        slave: Option<SlaveId>,
+        /// The first beat's address.
+        addr: u32,
+        /// `true` for a write transfer.
+        write: bool,
+        /// The burst kind announced with the address.
+        burst: HBurst,
+    },
+    /// The selected slave stretched the open data phase (HREADY low with
+    /// an OKAY response). Emitted once per wait-state cycle.
+    Stalled {
+        /// The master whose data phase is stalled.
+        master: MasterId,
+    },
+    /// One beat's data phase completed (HREADY high). `okay` is false for
+    /// beats ending in ERROR/RETRY/SPLIT.
+    BeatDone {
+        /// The master whose beat completed.
+        master: MasterId,
+        /// Whether the beat ended with an OKAY response.
+        okay: bool,
+    },
+    /// The open transaction's final beat completed (or the transaction
+    /// was abandoned — SPLIT/RETRY hand-back, or end of trace).
+    Completed {
+        /// The master whose transaction completed.
+        master: MasterId,
+    },
+}
+
+/// Derives [`TxnEvent`]s from the snapshot stream.
+///
+/// The address/data pipeline bookkeeping mirrors
+/// [`crate::BusPerfAnalyzer`]: the data-phase owner is latched on every
+/// `hready && htrans.is_transfer()` cycle and resolved on the next
+/// HREADY-high cycle; request-to-grant waits are measured per master from
+/// the HBUSREQ rising edge.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_ahb::{BusSnapshot, HBurst, HResp, HSize, HTrans, LifecycleTap, MasterId, TxnEvent};
+///
+/// let snap = BusSnapshot {
+///     cycle: 0, haddr: 0x10, htrans: HTrans::NonSeq, hwrite: true,
+///     hsize: HSize::Word, hburst: HBurst::Single, hwdata: 0, hrdata: 0,
+///     hready: true, hresp: HResp::Okay, hmaster: MasterId(0),
+///     hmastlock: false, hbusreq: 0b1, hgrant: 0b1, hsel: 0b1,
+/// };
+/// let mut tap = LifecycleTap::new(1);
+/// let mut events = Vec::new();
+/// tap.observe(&snap, |e| events.push(e));
+/// assert!(events.iter().any(|e| matches!(e, TxnEvent::Started { .. })));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LifecycleTap {
+    /// Cycle each master's HBUSREQ rose, `None` while deasserted.
+    request_since: Vec<Option<u64>>,
+    /// Previous cycle's packed HGRANT word (for edge detection).
+    prev_hgrant: u32,
+    /// Master whose transfer is in the data phase this cycle.
+    dp_master: Option<MasterId>,
+    /// Master owning the currently open burst (NONSEQ seen, last beat
+    /// not yet completed).
+    burst_owner: Option<MasterId>,
+}
+
+impl LifecycleTap {
+    /// Creates a tap for a bus with `n_masters` masters.
+    pub fn new(n_masters: usize) -> Self {
+        LifecycleTap {
+            request_since: vec![None; n_masters],
+            prev_hgrant: 0,
+            dp_master: None,
+            burst_owner: None,
+        }
+    }
+
+    /// Observes one cycle, emitting each derived event through `emit` in
+    /// causal order (grant edges before phase events).
+    pub fn observe(&mut self, snap: &BusSnapshot, mut emit: impl FnMut(TxnEvent)) {
+        for i in 0..self.request_since.len() {
+            let master = MasterId(i as u8);
+            let requested = snap.hbusreq_bit(i);
+            if requested && self.request_since[i].is_none() {
+                self.request_since[i] = Some(snap.cycle);
+                emit(TxnEvent::Requested { master });
+            }
+            let had_grant = (self.prev_hgrant >> i) & 1 == 1;
+            if snap.hgrant_bit(i) && !had_grant {
+                let wait_cycles =
+                    self.request_since[i].map_or(0, |since| snap.cycle.saturating_sub(since));
+                emit(TxnEvent::Granted {
+                    master,
+                    wait_cycles,
+                });
+            }
+            if !requested {
+                self.request_since[i] = None;
+            }
+        }
+        self.prev_hgrant = snap.hgrant_bits();
+
+        if snap.hready {
+            // The pending data phase resolves this cycle.
+            if let Some(master) = self.dp_master.take() {
+                emit(TxnEvent::BeatDone {
+                    master,
+                    okay: snap.hresp == HResp::Okay,
+                });
+                if self.burst_owner == Some(master) {
+                    // The burst continues iff the same master drives a
+                    // SEQ/BUSY address phase in this very cycle.
+                    let continues =
+                        snap.hmaster == master && matches!(snap.htrans, HTrans::Seq | HTrans::Busy);
+                    if !continues {
+                        self.burst_owner = None;
+                        emit(TxnEvent::Completed { master });
+                    }
+                }
+            }
+            if snap.htrans == HTrans::NonSeq {
+                // Safety net: a burst abandoned without its final beat
+                // (SPLIT/RETRY hand-back) is force-completed before the
+                // next one opens.
+                if let Some(abandoned) = self.burst_owner.take() {
+                    emit(TxnEvent::Completed { master: abandoned });
+                }
+                let slave = slave_of(snap.hsel_bits());
+                emit(TxnEvent::Started {
+                    master: snap.hmaster,
+                    slave,
+                    addr: snap.haddr,
+                    write: snap.hwrite,
+                    burst: snap.hburst,
+                });
+                self.burst_owner = Some(snap.hmaster);
+            }
+            if snap.htrans.is_transfer() {
+                self.dp_master = Some(snap.hmaster);
+            }
+        } else if snap.hresp == HResp::Okay {
+            // A wait state (first cycles of ERROR/RETRY/SPLIT also hold
+            // HREADY low, but those are response cycles, not stalls).
+            if let Some(master) = self.dp_master {
+                emit(TxnEvent::Stalled { master });
+            }
+        }
+    }
+
+    /// Flushes the transaction still in flight at end of trace, if any.
+    pub fn finish(&mut self, mut emit: impl FnMut(TxnEvent)) {
+        self.dp_master = None;
+        if let Some(master) = self.burst_owner.take() {
+            emit(TxnEvent::Completed { master });
+        }
+    }
+}
+
+/// The lowest asserted HSEL line, or `None` for the default slave.
+fn slave_of(hsel: u32) -> Option<SlaveId> {
+    (hsel != 0).then(|| SlaveId(hsel.trailing_zeros() as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::HSize;
+
+    fn snap(cycle: u64) -> BusSnapshot {
+        BusSnapshot {
+            cycle,
+            haddr: 0,
+            htrans: HTrans::Idle,
+            hwrite: false,
+            hsize: HSize::Word,
+            hburst: HBurst::Single,
+            hwdata: 0,
+            hrdata: 0,
+            hready: true,
+            hresp: HResp::Okay,
+            hmaster: MasterId(0),
+            hmastlock: false,
+            hbusreq: 0,
+            hgrant: 0b1,
+            hsel: 0,
+        }
+    }
+
+    fn collect(tap: &mut LifecycleTap, s: &BusSnapshot) -> Vec<TxnEvent> {
+        let mut events = Vec::new();
+        tap.observe(s, |e| events.push(e));
+        events
+    }
+
+    #[test]
+    fn single_write_produces_full_lifecycle() {
+        let mut tap = LifecycleTap::new(2);
+        let mut all = Vec::new();
+        // Cycle 0: master 1 requests; master 0 holds the parked grant.
+        let mut s = snap(0);
+        s.hbusreq = 0b10;
+        all.extend(collect(&mut tap, &s));
+        // Cycle 1: grant moves to master 1.
+        let mut s = snap(1);
+        s.hbusreq = 0b10;
+        s.hgrant = 0b10;
+        all.extend(collect(&mut tap, &s));
+        // Cycle 2: master 1 drives a NONSEQ write to slave 1.
+        let mut s = snap(2);
+        s.hgrant = 0b10;
+        s.hmaster = MasterId(1);
+        s.htrans = HTrans::NonSeq;
+        s.hwrite = true;
+        s.haddr = 0x44;
+        s.hsel = 0b10;
+        all.extend(collect(&mut tap, &s));
+        // Cycle 3: wait state on the data phase.
+        let mut s = snap(3);
+        s.hgrant = 0b10;
+        s.hmaster = MasterId(1);
+        s.hready = false;
+        all.extend(collect(&mut tap, &s));
+        // Cycle 4: data phase completes, bus idle.
+        let mut s = snap(4);
+        s.hgrant = 0b10;
+        s.hmaster = MasterId(1);
+        all.extend(collect(&mut tap, &s));
+
+        let m1 = MasterId(1);
+        assert_eq!(
+            all,
+            vec![
+                TxnEvent::Granted {
+                    master: MasterId(0),
+                    wait_cycles: 0
+                },
+                TxnEvent::Requested { master: m1 },
+                TxnEvent::Granted {
+                    master: m1,
+                    wait_cycles: 1
+                },
+                TxnEvent::Started {
+                    master: m1,
+                    slave: Some(SlaveId(1)),
+                    addr: 0x44,
+                    write: true,
+                    burst: HBurst::Single
+                },
+                TxnEvent::Stalled { master: m1 },
+                TxnEvent::BeatDone {
+                    master: m1,
+                    okay: true
+                },
+                TxnEvent::Completed { master: m1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn burst_beats_extend_one_transaction() {
+        let mut tap = LifecycleTap::new(1);
+        let mut all = Vec::new();
+        // NONSEQ opening an INCR4 burst, then three SEQ beats, then idle.
+        for (cycle, trans) in [
+            (0, HTrans::NonSeq),
+            (1, HTrans::Seq),
+            (2, HTrans::Seq),
+            (3, HTrans::Seq),
+            (4, HTrans::Idle),
+        ] {
+            let mut s = snap(cycle);
+            s.htrans = trans;
+            s.hburst = HBurst::Incr4;
+            s.haddr = 0x100 + 4 * cycle as u32;
+            s.hsel = 0b1;
+            all.extend(collect(&mut tap, &s));
+        }
+        let starts = all
+            .iter()
+            .filter(|e| matches!(e, TxnEvent::Started { .. }))
+            .count();
+        let beats = all
+            .iter()
+            .filter(|e| matches!(e, TxnEvent::BeatDone { .. }))
+            .count();
+        let completions = all
+            .iter()
+            .filter(|e| matches!(e, TxnEvent::Completed { .. }))
+            .count();
+        assert_eq!((starts, beats, completions), (1, 4, 1));
+        // The completion follows the final beat, on the idle cycle.
+        assert_eq!(
+            all.last(),
+            Some(&TxnEvent::Completed {
+                master: MasterId(0)
+            })
+        );
+    }
+
+    #[test]
+    fn unselected_address_decodes_to_default_slave() {
+        assert_eq!(slave_of(0), None);
+        assert_eq!(slave_of(0b100), Some(SlaveId(2)));
+    }
+
+    #[test]
+    fn finish_flushes_open_burst() {
+        let mut tap = LifecycleTap::new(1);
+        let mut s = snap(0);
+        s.htrans = HTrans::NonSeq;
+        s.hsel = 0b1;
+        let _ = collect(&mut tap, &s);
+        let mut flushed = Vec::new();
+        tap.finish(|e| flushed.push(e));
+        assert_eq!(
+            flushed,
+            vec![TxnEvent::Completed {
+                master: MasterId(0)
+            }]
+        );
+        // Idempotent: a second finish emits nothing.
+        let mut again = Vec::new();
+        tap.finish(|e| again.push(e));
+        assert!(again.is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 
 use ahbpower_sim::{SimTime, VcdTrace, VcdVarId};
 
-use crate::types::BusSnapshot;
+use crate::types::{BusSnapshot, HBurst, HResp, HSize, HTrans, MasterId};
 
 /// Records bus snapshots into a [`VcdTrace`].
 ///
@@ -59,6 +59,55 @@ fn bits(value: u64, width: usize) -> String {
         .collect()
 }
 
+/// The largest legal VCD timescale (1, 10 or 100 of ps/ns/us/ms) that
+/// divides `period`, so every cycle boundary lands on an integer tick.
+/// The paper's 10 ns bus clock maps to `$timescale 10ns`.
+fn derive_timescale(period: SimTime) -> SimTime {
+    const CANDIDATES_PS: [u64; 12] = [
+        100_000_000_000, // 100 ms
+        10_000_000_000,  // 10 ms
+        1_000_000_000,   // 1 ms
+        100_000_000,     // 100 us
+        10_000_000,      // 10 us
+        1_000_000,       // 1 us
+        100_000,         // 100 ns
+        10_000,          // 10 ns
+        1_000,           // 1 ns
+        100,             // 100 ps
+        10,              // 10 ps
+        1,               // 1 ps
+    ];
+    let ps = period.as_ps();
+    let tick = CANDIDATES_PS
+        .iter()
+        .copied()
+        .find(|&c| ps.is_multiple_of(c))
+        .unwrap_or(1);
+    SimTime::from_ps(tick)
+}
+
+/// The wire values declared as VCD initials in [`BusTracer::new`]; the
+/// first observed cycle only records fields that differ from these.
+fn initial_snapshot() -> BusSnapshot {
+    BusSnapshot {
+        cycle: 0,
+        haddr: 0,
+        htrans: HTrans::Idle,
+        hwrite: false,
+        hsize: HSize::Byte,
+        hburst: HBurst::Single,
+        hwdata: 0,
+        hrdata: 0,
+        hready: true,
+        hresp: HResp::Okay,
+        hmaster: MasterId(0),
+        hmastlock: false,
+        hbusreq: 0,
+        hgrant: 0,
+        hsel: 0,
+    }
+}
+
 impl BusTracer {
     /// Creates a tracer for a bus with the given master/slave counts; one
     /// snapshot is one `period` of simulated time.
@@ -68,7 +117,9 @@ impl BusTracer {
     /// Panics if `n_masters == 0` or `n_slaves == 0`.
     pub fn new(n_masters: usize, n_slaves: usize, period: SimTime) -> Self {
         assert!(n_masters > 0 && n_slaves > 0, "empty bus");
+        assert!(period.as_ps() > 0, "period must be positive");
         let mut t = VcdTrace::new();
+        t.set_timescale(derive_timescale(period));
         let z32 = "0".repeat(32);
         BusTracer {
             haddr: t.add_var("haddr", 32, &z32),
@@ -89,7 +140,10 @@ impl BusTracer {
             n_slaves,
             trace: t,
             period,
-            prev: None,
+            // Seeding `prev` with the declared initial values dedups the
+            // first cycle too: fields equal to their `$dumpvars` initials
+            // are not re-recorded at #0.
+            prev: Some(initial_snapshot()),
             cycles: 0,
         }
     }
@@ -216,6 +270,47 @@ mod tests {
         let after_first = tracer.trace.len();
         tracer.observe(&snap);
         assert_eq!(tracer.trace.len(), after_first, "no changes, no records");
+    }
+
+    #[test]
+    fn timescale_derives_from_period() {
+        for (period, tick) in [
+            (SimTime::from_ns(10), SimTime::from_ns(10)),
+            (SimTime::from_ns(7), SimTime::from_ns(1)),
+            (SimTime::from_ps(2_000_000), SimTime::from_ps(1_000_000)),
+            (SimTime::from_ps(33), SimTime::from_ps(1)),
+            (SimTime::from_ps(100_000), SimTime::from_ps(100_000)),
+        ] {
+            assert_eq!(derive_timescale(period), tick, "period {period:?}");
+        }
+        let tracer = BusTracer::new(1, 1, SimTime::from_ns(10));
+        assert!(tracer.render().contains("$timescale 10ns $end"));
+        // Cycle stamps count in 10 ns ticks, not picoseconds.
+        let mut tracer = BusTracer::new(1, 1, SimTime::from_ns(10));
+        let mut snap = super::initial_snapshot();
+        tracer.observe(&snap);
+        snap.haddr = 0x44;
+        tracer.observe(&snap);
+        let vcd = tracer.render();
+        assert!(vcd.contains("#1\n"), "{vcd}");
+        assert!(!vcd.contains("#10000"), "{vcd}");
+    }
+
+    #[test]
+    fn first_cycle_records_only_deviations_from_initials() {
+        let mut tracer = BusTracer::new(1, 1, SimTime::from_ns(10));
+        tracer.observe(&super::initial_snapshot());
+        assert_eq!(
+            tracer.trace.len(),
+            0,
+            "a first cycle equal to the declared initials records nothing"
+        );
+        let mut snap = super::initial_snapshot();
+        snap.hgrant = 0b1;
+        snap.hready = false;
+        let mut tracer = BusTracer::new(1, 1, SimTime::from_ns(10));
+        tracer.observe(&snap);
+        assert_eq!(tracer.trace.len(), 2, "only hgrant and hready changed");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Golden-file test for [`BusTracer::render`]: pins the derived
+//! `$timescale`, the initial-value dedup (including the first cycle) and
+//! the change stream byte-for-byte.
+//!
+//! Regenerate the golden after an intentional format change with:
+//! `cargo test -p ahbpower-ahb --test vcd_golden -- --ignored regenerate`
+
+use std::fs;
+use std::path::PathBuf;
+
+use ahbpower_ahb::{BusSnapshot, BusTracer, HBurst, HResp, HSize, HTrans, MasterId};
+use ahbpower_sim::SimTime;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bus_trace.vcd")
+}
+
+fn idle(cycle: u64) -> BusSnapshot {
+    BusSnapshot {
+        cycle,
+        haddr: 0,
+        htrans: HTrans::Idle,
+        hwrite: false,
+        hsize: HSize::Byte,
+        hburst: HBurst::Single,
+        hwdata: 0,
+        hrdata: 0,
+        hready: true,
+        hresp: HResp::Okay,
+        hmaster: MasterId(0),
+        hmastlock: false,
+        hbusreq: 0,
+        hgrant: 0b1,
+        hsel: 0,
+    }
+}
+
+/// A deterministic handcrafted sequence: parked grant, a request/handover
+/// to master 1, a two-beat INCR write with one wait state, then idle.
+fn render_reference_trace() -> String {
+    let mut tracer = BusTracer::new(2, 2, SimTime::from_ns(10));
+    // Cycle 0: bus parked with master 0 — only hgrant deviates from the
+    // declared initials.
+    tracer.observe(&idle(0));
+    // Cycle 1: master 1 requests.
+    let mut s = idle(1);
+    s.hbusreq = 0b10;
+    tracer.observe(&s);
+    // Cycle 2: grant moves to master 1.
+    let mut s = idle(2);
+    s.hbusreq = 0b10;
+    s.hgrant = 0b10;
+    tracer.observe(&s);
+    // Cycle 3: NONSEQ write, first beat to slave 0.
+    let mut s = idle(3);
+    s.hgrant = 0b10;
+    s.hmaster = MasterId(1);
+    s.htrans = HTrans::NonSeq;
+    s.hwrite = true;
+    s.hsize = HSize::Word;
+    s.hburst = HBurst::Incr;
+    s.haddr = 0x40;
+    s.hsel = 0b1;
+    tracer.observe(&s);
+    // Cycle 4: SEQ second beat, wait state, write data on the bus.
+    let mut s = idle(4);
+    s.hgrant = 0b10;
+    s.hmaster = MasterId(1);
+    s.htrans = HTrans::Seq;
+    s.hwrite = true;
+    s.hsize = HSize::Word;
+    s.hburst = HBurst::Incr;
+    s.haddr = 0x44;
+    s.hsel = 0b1;
+    s.hready = false;
+    s.hwdata = 0xCAFE_F00D;
+    tracer.observe(&s);
+    // Cycle 5: data phase completes, bus goes idle.
+    let mut s = idle(5);
+    s.hgrant = 0b10;
+    s.hmaster = MasterId(1);
+    s.hwdata = 0x0000_BEEF;
+    tracer.observe(&s);
+    assert_eq!(tracer.cycles(), 6);
+    tracer.render()
+}
+
+#[test]
+fn render_matches_golden_file() {
+    let golden = fs::read_to_string(golden_path()).expect("golden file exists");
+    let actual = render_reference_trace();
+    assert_eq!(
+        actual, golden,
+        "BusTracer::render drifted from tests/golden/bus_trace.vcd; if the \
+         change is intentional, regenerate with `cargo test -p ahbpower-ahb \
+         --test vcd_golden -- --ignored regenerate`"
+    );
+}
+
+#[test]
+#[ignore = "writes the golden file; run explicitly after intentional format changes"]
+fn regenerate() {
+    fs::write(golden_path(), render_reference_trace()).expect("write golden");
+}

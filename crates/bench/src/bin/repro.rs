@@ -5,7 +5,7 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
 //!              coding dpm sweep sweep-bench telemetry telemetry-overhead
-//!              analyze all
+//!              trace analyze all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -20,6 +20,16 @@
 //! `--jobs 1` for serial). Results are byte-identical for any job count.
 //! `sweep-bench` times a serial vs parallel seed×style sweep and writes
 //! `BENCH_sweep.json`.
+//!
+//! `trace` runs the paper testbench and the SoC scenario under the
+//! transaction-level energy tracer and writes Chrome trace-event JSON
+//! (`results/trace.json`, `results/trace_soc.json` — open in Perfetto or
+//! `chrome://tracing`) plus energy flamegraph folded stacks
+//! (`results/energy.folded`, `results/energy_soc.folded` — feed to
+//! inferno/flamegraph.pl). `--top N` sizes the printed attribution table,
+//! `--ring-capacity N` bounds the in-memory transaction ring. The command
+//! self-checks: the JSON must validate and the attributed energy must
+//! equal the instruction ledger's total within 1e-9 J, else it exits 1.
 //!
 //! `analyze` runs the static analyzer (`ahbpower-analyzer`): model-level
 //! checks over the shipped instruction set/macromodels/workloads plus the
@@ -39,8 +49,9 @@ use ahbpower::{
 };
 use ahbpower_bench::{
     available_jobs, build_paper_bus, compare_probe_styles_parallel, run_paper_experiment,
-    run_paper_experiment_telemetered, run_sweep, sweep_csv, sweep_grid, sweep_report, PaperRun,
-    ProbeStyle, SweepPoint, SweepRunner,
+    run_paper_experiment_telemetered, run_paper_experiment_traced, run_soc_experiment_traced,
+    run_sweep, sweep_csv, sweep_grid, sweep_report, validate_json, PaperRun, ProbeStyle,
+    SweepPoint, SweepRunner,
 };
 use ahbpower_sim::SimTime;
 use ahbpower_workloads::PaperTestbench;
@@ -58,6 +69,8 @@ fn main() {
     let mut telemetry = false;
     let mut jobs = available_jobs();
     let mut script: Option<String> = None;
+    let mut top = 10usize;
+    let mut ring = ahbpower::DEFAULT_RING_CAPACITY;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -88,6 +101,19 @@ fn main() {
                         .unwrap_or_else(|| usage("--script needs a file path")),
                 );
             }
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--top needs a number"));
+            }
+            "--ring-capacity" => {
+                ring = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--ring-capacity needs a positive number"));
+            }
             other if !other.starts_with('-') => cmd = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -107,9 +133,10 @@ fn main() {
         "dpm" => dpm(cycles.min(500_000), seed, jobs),
         "sweep" => sweep(cycles.min(200_000), seed, jobs),
         "sweep-bench" => sweep_bench(cycles.min(200_000), seed, jobs),
-        "telemetry" => telemetry_run(cycles.min(1_000_000), seed),
+        "telemetry" => telemetry_run(cycles.min(1_000_000), seed, jobs),
+        "trace" => trace_cmd(cycles.min(1_000_000), seed, top, ring),
         "analyze" => analyze(script.as_deref()),
-        "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed),
+        "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed, jobs),
         "all" => {
             let mut r = run(cycles, seed, telemetry);
             table1(&mut r);
@@ -132,7 +159,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|analyze|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|trace|analyze|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N]"
     );
     std::process::exit(2);
 }
@@ -237,10 +264,47 @@ fn export_telemetry(r: &mut PaperRun) {
     println!("-> results/telemetry.jsonl, results/telemetry.csv, results/telemetry.prom\n");
 }
 
+/// One seed's worth of the threaded telemetry sweep: the summary numbers
+/// a telemetered run boils down to, in a plain `Send` shape so
+/// [`SweepRunner`] threads can return it (the bus itself is not `Send`).
+struct SeedSummary {
+    seed: u64,
+    utilization: f64,
+    handovers: u64,
+    arb_latency_mean: f64,
+    total_energy: f64,
+}
+
+/// Runs telemetered paper-testbench experiments for `n_seeds` consecutive
+/// seeds starting at `base_seed`, sharded over `jobs` threads. Results are
+/// in seed order regardless of the job count.
+fn telemetry_seed_sweep(
+    cycles: u64,
+    base_seed: u64,
+    n_seeds: u64,
+    jobs: usize,
+) -> Vec<SeedSummary> {
+    let seeds: Vec<u64> = (0..n_seeds).map(|i| base_seed + i).collect();
+    SweepRunner::new(jobs).run(&seeds, |_, &seed| {
+        let mut r = run_paper_experiment_telemetered(cycles, seed);
+        let total_energy = r.session.total_energy();
+        let t = r.session.finish_telemetry().expect("telemetry enabled");
+        let perf = t.perf();
+        SeedSummary {
+            seed,
+            utilization: perf.utilization(),
+            handovers: perf.handovers(),
+            arb_latency_mean: perf.arbitration_latency().mean(),
+            total_energy,
+        }
+    })
+}
+
 /// The telemetry showcase: an enabled run (bus-performance analyzers +
 /// observer spans + power ledgers) plus a kernel-hosted profiling pass so
-/// the `sim_*` span metrics are populated too.
-fn telemetry_run(cycles: u64, seed: u64) {
+/// the `sim_*` span metrics are populated too, plus a `--jobs`-wide
+/// multi-seed sweep showing how the headline metrics move with the seed.
+fn telemetry_run(cycles: u64, seed: u64, jobs: usize) {
     println!("== Telemetry: metrics registry over {cycles} cycles ==");
     let mut r = run_paper_experiment_telemetered(cycles, seed);
     // A short kernel-hosted pass with wall-clock profiling enabled feeds
@@ -275,12 +339,27 @@ fn telemetry_run(cycles: u64, seed: u64) {
     fs::write("results/telemetry.jsonl", t.to_jsonl()).expect("write results/telemetry.jsonl");
     fs::write("results/telemetry.csv", t.to_csv()).expect("write results/telemetry.csv");
     fs::write("results/telemetry.prom", t.to_prometheus()).expect("write results/telemetry.prom");
-    println!("-> results/telemetry.jsonl, results/telemetry.csv, results/telemetry.prom\n");
+    println!("-> results/telemetry.jsonl, results/telemetry.csv, results/telemetry.prom");
+
+    let sweep_cycles = cycles.min(100_000);
+    println!("seed sweep ({sweep_cycles} cycles each, {jobs} jobs):");
+    for s in telemetry_seed_sweep(sweep_cycles, seed, SWEEP_SEEDS as u64, jobs) {
+        println!(
+            "  seed {:>6}: utilization {:>5.1}%, {:>5} handovers, arb latency {:.2} cycles, {:.3} uJ",
+            s.seed,
+            s.utilization * 100.0,
+            s.handovers,
+            s.arb_latency_mean,
+            s.total_energy * 1e6
+        );
+    }
+    println!();
 }
 
 /// Measures what telemetry costs: functional-only vs power session with
-/// telemetry disabled (the default) vs enabled. Writes `BENCH_telemetry.json`.
-fn telemetry_overhead(cycles: u64, seed: u64) {
+/// telemetry disabled (the default) vs enabled, and how the threaded
+/// seed sweep scales with `--jobs`. Writes `BENCH_telemetry.json`.
+fn telemetry_overhead(cycles: u64, seed: u64, jobs: usize) {
     println!("== Telemetry overhead over {cycles} cycles ==");
     let cfg = AnalysisConfig::paper_testbench();
     let mut bus = build_paper_bus(cycles, seed);
@@ -309,12 +388,150 @@ fn telemetry_overhead(cycles: u64, seed: u64) {
         disabled / functional
     );
     println!("power session (telemetry on):  {enabled:.4} s ({enabled_pct:+.1}% vs off)");
+
+    // The threaded seed sweep: serial baseline vs `--jobs` workers over
+    // the same four telemetered runs.
+    let sweep_cycles = cycles.min(200_000);
+    let t0 = Instant::now();
+    let serial = telemetry_seed_sweep(sweep_cycles, seed, SWEEP_SEEDS as u64, 1);
+    let sweep_serial = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let threaded = telemetry_seed_sweep(sweep_cycles, seed, SWEEP_SEEDS as u64, jobs);
+    let sweep_jobs = t0.elapsed().as_secs_f64();
+    for (s, p) in serial.iter().zip(&threaded) {
+        assert_eq!(
+            s.total_energy.to_bits(),
+            p.total_energy.to_bits(),
+            "seed {} diverged across job counts",
+            s.seed
+        );
+    }
+    println!(
+        "seed sweep ({} seeds x {sweep_cycles} cycles): {sweep_serial:.4} s serial, {sweep_jobs:.4} s with {jobs} jobs ({:.2}x)",
+        SWEEP_SEEDS,
+        sweep_serial / sweep_jobs
+    );
     let json = format!(
-        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"functional_s\": {functional:.6},\n  \"telemetry_disabled_s\": {disabled:.6},\n  \"telemetry_enabled_s\": {enabled:.6},\n  \"instrumentation_ratio\": {:.4},\n  \"enabled_overhead_pct\": {enabled_pct:.2}\n}}\n",
-        disabled / functional
+        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"functional_s\": {functional:.6},\n  \"telemetry_disabled_s\": {disabled:.6},\n  \"telemetry_enabled_s\": {enabled:.6},\n  \"instrumentation_ratio\": {:.4},\n  \"enabled_overhead_pct\": {enabled_pct:.2},\n  \"seed_sweep_seeds\": {},\n  \"seed_sweep_cycles\": {sweep_cycles},\n  \"seed_sweep_serial_s\": {sweep_serial:.6},\n  \"seed_sweep_jobs_s\": {sweep_jobs:.6},\n  \"seed_sweep_speedup\": {:.4}\n}}\n",
+        disabled / functional,
+        SWEEP_SEEDS,
+        sweep_serial / sweep_jobs
     );
     fs::write("BENCH_telemetry.json", json).expect("write BENCH_telemetry.json");
     println!("-> BENCH_telemetry.json\n");
+}
+
+/// `repro trace`: transaction-level energy attribution on the paper
+/// testbench and the SoC scenario. Writes Chrome trace-event JSON and
+/// energy-flamegraph folded stacks per workload, prints the per-master
+/// split and the `--top N` attribution cells, and self-checks both the
+/// JSON well-formedness and energy conservation (attributed total ==
+/// instruction-ledger total within 1e-9 J). Exits 1 on any failure.
+fn trace_cmd(cycles: u64, seed: u64, top: usize, ring_capacity: usize) {
+    use ahbpower::fmt_energy;
+    use ahbpower::telemetry::{to_folded, to_trace_events, TraceEventMeta};
+
+    println!("== Transaction-level energy attribution over {cycles} cycles ==");
+    let mut failures = 0u32;
+    type TracedRun = fn(u64, u64, usize) -> PaperRun;
+    let workloads: [(&str, &str, &str, TracedRun); 2] = [
+        (
+            "paper_testbench",
+            "results/trace.json",
+            "results/energy.folded",
+            run_paper_experiment_traced,
+        ),
+        (
+            "soc_scenario",
+            "results/trace_soc.json",
+            "results/energy_soc.folded",
+            run_soc_experiment_traced,
+        ),
+    ];
+    for (label, json_file, folded_file, run_traced) in workloads {
+        let t0 = Instant::now();
+        let mut r = run_traced(cycles, seed, ring_capacity);
+        r.session.finish_txn();
+        let tracer = r.session.txn_tracer().expect("trace runs carry a tracer");
+        let table = tracer.attribution();
+        println!(
+            "-- {label}: {} cycles in {:.2?} --",
+            table.cycles(),
+            t0.elapsed()
+        );
+        println!(
+            "transactions: {} completed, {} in ring (capacity {}), {} evicted",
+            tracer.completed(),
+            tracer.len(),
+            tracer.capacity(),
+            tracer.evicted()
+        );
+        let total = table.total_energy();
+        for (m, e) in table.per_master_energy().iter().enumerate() {
+            println!(
+                "  M{m}: {:>12} ({:>5.1}%)",
+                fmt_energy(*e),
+                if total > 0.0 { e / total * 100.0 } else { 0.0 }
+            );
+        }
+        println!("top {top} attribution cells (master, slave, instruction):");
+        for row in table.top_rows(top) {
+            let slave = row
+                .slave
+                .map(|s| format!("S{}", s.0))
+                .unwrap_or_else(|| "default".to_string());
+            println!(
+                "  M{} {:<8} {:<12} {:>12} (arb {:>5.1}%)",
+                row.master.0,
+                slave,
+                row.instruction.name(),
+                fmt_energy(row.energy.total()),
+                if row.energy.total() > 0.0 {
+                    row.energy.arb / row.energy.total() * 100.0
+                } else {
+                    0.0
+                }
+            );
+        }
+
+        let meta = TraceEventMeta {
+            scenario: label.to_string(),
+            n_masters: r.config.n_masters,
+            period_ps: r.config.period_ps(),
+            seed,
+        };
+        let json = to_trace_events(tracer.records(), r.session.trace_points(), &meta);
+        let folded = to_folded(table);
+        fs::write(json_file, &json).expect("write trace-event JSON");
+        fs::write(folded_file, &folded).expect("write folded stacks");
+
+        match validate_json(&json) {
+            Ok(()) => println!("{label}: valid json ({} trace-event bytes)", json.len()),
+            Err(e) => {
+                eprintln!("{label}: INVALID trace-event JSON: {e}");
+                failures += 1;
+            }
+        }
+        let ledger_total = r.session.ledger().total_energy();
+        let drift = (total - ledger_total).abs();
+        if drift <= 1e-9 {
+            println!(
+                "{label}: conservation ok (attributed {} == ledger {}, drift {drift:.3e} J)",
+                fmt_energy(total),
+                fmt_energy(ledger_total)
+            );
+        } else {
+            eprintln!(
+                "{label}: CONSERVATION VIOLATED: attributed {total} J vs ledger {ledger_total} J (drift {drift:.3e} J)"
+            );
+            failures += 1;
+        }
+        println!("-> {json_file}, {folded_file}\n");
+    }
+    if failures > 0 {
+        eprintln!("trace: {failures} check(s) failed");
+        std::process::exit(1);
+    }
 }
 
 fn table1(r: &mut PaperRun) {

@@ -1,0 +1,291 @@
+//! A minimal JSON *validator* (no parse tree) for self-checking the
+//! exporters' hand-rolled output — `repro trace` runs every trace-event
+//! document it writes through [`validate_json`] before declaring success.
+//!
+//! Recursive-descent over the RFC 8259 grammar with a fixed nesting-depth
+//! limit; rejects trailing garbage. It validates rather than parses: the
+//! exporters' documents can reach hundreds of megabytes, and the smoke
+//! checks only need well-formedness, not a DOM.
+
+use std::fmt;
+
+/// Maximum object/array nesting accepted by [`validate_json`].
+const MAX_DEPTH: usize = 64;
+
+/// Why a document failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", char::from(expected)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected literal '{lit}'"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting deeper than 64 levels");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.eat_literal("true"),
+            Some(b'f') => self.eat_literal("false"),
+            Some(b'n') => self.eat_literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("expected a value"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                                    return self.err("\\u needs four hex digits");
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("raw control character in string"),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), JsonError> {
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return self.err("expected a digit");
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a lone 0, or a nonzero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.digits()?,
+            _ => return self.err("expected a digit"),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `text` is exactly one well-formed JSON document (value plus
+/// optional surrounding whitespace, nothing else).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first violation.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_bench::validate_json;
+///
+/// assert!(validate_json(r#"{"traceEvents":[{"ph":"X","ts":0.5}]}"#).is_ok());
+/// assert!(validate_json("{\"unterminated\":").is_err());
+/// ```
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    let mut c = Cursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    c.value(0)?;
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing garbage after document");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            " false ",
+            "0",
+            "-12.5e-3",
+            "1E+10",
+            "\"\"",
+            r#""é\n""#,
+            "[]",
+            "[1, [2, [3]], {\"a\": null}]",
+            "{}",
+            r#"{"traceEvents":[{"name":"WRITE S0","ph":"X","ts":0.02,"dur":0.05,"args":{"id":1}}],"displayTimeUnit":"ms"}"#,
+        ] {
+            assert!(validate_json(doc).is_ok(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "01",
+            "1.",
+            "+1",
+            "nul",
+            "\"unterminated",
+            "\"bad \\x escape\"",
+            "{} {}",
+            "[1] trailing",
+            "{\"a\": \u{1}\"ctl\"}",
+        ] {
+            assert!(validate_json(doc).is_err(), "{doc} should be rejected");
+        }
+    }
+
+    #[test]
+    fn reports_offsets_and_caps_depth() {
+        let err = validate_json("[1, oops]").expect_err("bad literal");
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
+        let deep = format!("{}1{}", "[".repeat(80), "]".repeat(80));
+        let err = validate_json(&deep).expect_err("too deep");
+        assert!(err.message.contains("nesting"));
+        let ok = format!("{}1{}", "[".repeat(60), "]".repeat(60));
+        assert!(validate_json(&ok).is_ok());
+    }
+}

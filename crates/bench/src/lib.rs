@@ -8,17 +8,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod json;
 mod sweep;
 
+pub use json::{validate_json, JsonError};
 pub use sweep::{
     available_jobs, run_sweep, run_sweep_point, sweep_csv, sweep_grid, sweep_report, ProbeStyle,
     SweepOutcome, SweepPoint, SweepRunner,
 };
 
 use ahbpower::telemetry::TelemetryConfig;
-use ahbpower::{AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe, PowerSession};
+use ahbpower::{
+    AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe, PowerSession, TxnTracerConfig,
+};
 use ahbpower_ahb::AhbBus;
-use ahbpower_workloads::PaperTestbench;
+use ahbpower_workloads::{PaperTestbench, SocScenario};
 
 /// The outcome of the main paper experiment (E1-E5 share one run).
 pub struct PaperRun {
@@ -66,6 +70,67 @@ pub fn run_paper_experiment_telemetered(cycles: u64, seed: u64) -> PaperRun {
     let mut bus = tb.build().expect("paper testbench is statically valid");
     let tcfg = TelemetryConfig::enabled(PaperTestbench::LABEL).with_seed(seed);
     let mut session = PowerSession::with_telemetry(&config, tcfg);
+    session.run(&mut bus, cycles);
+    PaperRun {
+        config,
+        session,
+        bus,
+        cycles,
+    }
+}
+
+/// Like [`run_paper_experiment`], with the transaction tracer enabled:
+/// the session records causally-linked transactions in a ring of
+/// `ring_capacity` records and books per-cycle energy into an
+/// attribution table. Call [`PowerSession::finish_txn`] on the returned
+/// session before reading the records.
+///
+/// # Panics
+///
+/// Panics if the testbench fails to build (impossible for valid configs).
+pub fn run_paper_experiment_traced(cycles: u64, seed: u64, ring_capacity: usize) -> PaperRun {
+    let config = AnalysisConfig::paper_testbench();
+    let tb = PaperTestbench::sized_for(cycles, seed);
+    let mut bus = tb.build().expect("paper testbench is statically valid");
+    let mut session =
+        PowerSession::with_txn_tracer(&config, TxnTracerConfig::enabled(ring_capacity));
+    session.run(&mut bus, cycles);
+    PaperRun {
+        config,
+        session,
+        bus,
+        cycles,
+    }
+}
+
+/// Runs the [`SocScenario`] (CPU + DMA + stream contending for three
+/// slaves) under the transaction tracer, sized so the scripts roughly
+/// fill `cycles`. Same contract as [`run_paper_experiment_traced`].
+///
+/// # Panics
+///
+/// Panics if the scenario fails to build (impossible for valid configs).
+pub fn run_soc_experiment_traced(cycles: u64, seed: u64, ring_capacity: usize) -> PaperRun {
+    let config = AnalysisConfig {
+        n_masters: SocScenario::N_MASTERS,
+        n_slaves: SocScenario::N_SLAVES,
+        seed,
+        ..AnalysisConfig::paper_testbench()
+    };
+    // Scale the default traffic mix to the requested horizon: the default
+    // scenario covers roughly 6k cycles of activity.
+    let scale = (cycles / 4_000).clamp(1, 10_000) as u32;
+    let base = SocScenario::default();
+    let scenario = SocScenario {
+        seed,
+        cpu_accesses: base.cpu_accesses * scale,
+        dma_blocks: base.dma_blocks * scale,
+        stream_frames: base.stream_frames * scale,
+        ..base
+    };
+    let mut bus = scenario.build().expect("soc scenario is statically valid");
+    let mut session =
+        PowerSession::with_txn_tracer(&config, TxnTracerConfig::enabled(ring_capacity));
     session.run(&mut bus, cycles);
     PaperRun {
         config,

@@ -1,0 +1,87 @@
+//! The `repro trace` acceptance invariants, enforced in CI: on both
+//! shipped workloads the attributed energy equals the instruction
+//! ledger's total within 1e-9 J, and the trace-event export is valid
+//! JSON with one Perfetto track (thread_name metadata event) per master.
+
+use ahbpower::telemetry::{to_folded, to_trace_events, TraceEventMeta};
+use ahbpower_bench::{
+    run_paper_experiment_traced, run_soc_experiment_traced, validate_json, PaperRun,
+};
+
+const CYCLES: u64 = 20_000;
+const SEED: u64 = 2003;
+
+fn check_workload(label: &str, mut r: PaperRun) {
+    r.session.finish_txn();
+    let tracer = r.session.txn_tracer().expect("traced run carries a tracer");
+
+    // Conservation: the attribution table books every observed cycle's
+    // energy exactly once, so it must reproduce the ledger total.
+    let attributed = tracer.attribution().total_energy();
+    let ledger = r.session.ledger().total_energy();
+    assert!(ledger > 0.0, "{label}: the run must consume energy");
+    assert!(
+        (attributed - ledger).abs() <= 1e-9,
+        "{label}: attributed {attributed} J != ledger {ledger} J"
+    );
+    assert_eq!(
+        tracer.attribution().cycles(),
+        CYCLES,
+        "{label}: every cycle is attributed"
+    );
+    assert!(tracer.completed() > 0, "{label}: transactions completed");
+
+    // Export shape: valid JSON, one thread_name track per master.
+    let meta = TraceEventMeta {
+        scenario: label.to_string(),
+        n_masters: r.config.n_masters,
+        period_ps: r.config.period_ps(),
+        seed: SEED,
+    };
+    let json = to_trace_events(tracer.records(), r.session.trace_points(), &meta);
+    validate_json(&json).unwrap_or_else(|e| panic!("{label}: invalid trace-event JSON: {e}"));
+    assert_eq!(
+        json.matches("\"thread_name\"").count(),
+        r.config.n_masters,
+        "{label}: one Perfetto track per master"
+    );
+    for m in 0..r.config.n_masters {
+        assert!(
+            json.contains(&format!("\"name\":\"M{m}\"")),
+            "{label}: master {m} track is named"
+        );
+    }
+
+    // The folded stacks parse as `frames... <integer>` lines and their
+    // femtojoule counts sum back to the attributed total (up to the <1 fJ
+    // per-cell rounding the format drops).
+    let folded = to_folded(tracer.attribution());
+    let mut folded_fj = 0u64;
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("stack then count");
+        assert_eq!(stack.split(';').count(), 4, "master;slave;instr;block");
+        folded_fj += count.parse::<u64>().expect("integer femtojoules");
+    }
+    let attributed_fj = attributed * 1e15;
+    let slack = tracer.attribution().len() as f64 * 4.0 + 1.0;
+    assert!(
+        (folded_fj as f64 - attributed_fj).abs() <= slack,
+        "{label}: folded {folded_fj} fJ vs attributed {attributed_fj} fJ"
+    );
+}
+
+#[test]
+fn paper_testbench_conserves_energy_and_exports_cleanly() {
+    check_workload(
+        "paper_testbench",
+        run_paper_experiment_traced(CYCLES, SEED, 4096),
+    );
+}
+
+#[test]
+fn soc_scenario_conserves_energy_and_exports_cleanly() {
+    check_workload(
+        "soc_scenario",
+        run_soc_experiment_traced(CYCLES, SEED, 4096),
+    );
+}

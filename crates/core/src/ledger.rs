@@ -281,6 +281,53 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_disjoint_instruction_sets_unions_rows() {
+        let wr = Instruction::new(Write, Read);
+        let rw = Instruction::new(Read, Write);
+        let ii = Instruction::new(Idle, Idle);
+        let mut a = InstructionLedger::new();
+        a.record(wr, 10e-12);
+        a.record(wr, 20e-12);
+        let mut b = InstructionLedger::new();
+        b.record(rw, 5e-12);
+        b.record(ii, 1e-12);
+        a.merge(&b);
+        // Each side's rows survive untouched: disjoint sets simply union.
+        assert_eq!(a.count(wr), 2);
+        assert_eq!(a.count(rw), 1);
+        assert_eq!(a.count(ii), 1);
+        assert!((a.energy(wr) - 30e-12).abs() < 1e-24);
+        assert!((a.energy(rw) - 5e-12).abs() < 1e-24);
+        assert_eq!(a.total_count(), 4);
+        assert!((a.total_energy() - 36e-12).abs() < 1e-24);
+        assert_eq!(a.rows().len(), 3);
+        // `b` is unchanged by the merge.
+        assert_eq!(b.total_count(), 2);
+    }
+
+    #[test]
+    fn merge_with_overlapping_instruction_sets_sums_shared_rows() {
+        let wr = Instruction::new(Write, Read);
+        let rw = Instruction::new(Read, Write);
+        let mut a = InstructionLedger::new();
+        a.record(wr, 10e-12);
+        a.record(rw, 2e-12);
+        let mut b = InstructionLedger::new();
+        b.record(wr, 30e-12);
+        b.record(wr, 30e-12);
+        a.merge(&b);
+        // Shared instruction sums counts and energy across both ledgers...
+        assert_eq!(a.count(wr), 3);
+        assert!((a.energy(wr) - 70e-12).abs() < 1e-24);
+        // ...and the merged average reflects the combined population.
+        let row = a.rows().into_iter().find(|r| r.instruction == wr).unwrap();
+        assert!((row.average - 70e-12 / 3.0).abs() < 1e-24);
+        // The non-overlapping row is carried through unchanged.
+        assert_eq!(a.count(rw), 1);
+        assert!((a.total_energy() - 72e-12).abs() < 1e-24);
+    }
+
+    #[test]
     fn display_renders_table() {
         let mut l = InstructionLedger::new();
         l.record(Instruction::new(Write, Read), 14.7e-12);

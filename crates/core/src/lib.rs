@@ -28,7 +28,11 @@
 //!   hosted on the `ahbpower-sim` discrete-event kernel;
 //! - [`telemetry`] — opt-in (default-off) observability: a metrics
 //!   registry, hot-loop spans, bus-performance analyzers, and
-//!   JSONL/CSV/Prometheus exporters.
+//!   JSONL/CSV/Prometheus exporters;
+//! - [`TxnTracer`] / [`AttributionTable`] — opt-in transaction-level
+//!   energy attribution: causally-linked transaction records in a bounded
+//!   ring, exact (master, slave, instruction) energy split, and Chrome
+//!   trace-event / folded-flamegraph exporters in [`telemetry`].
 //!
 //! ## Quick start
 //!
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod activity;
+mod attribution;
 mod characterize;
 mod config;
 mod dpm;
@@ -74,8 +79,10 @@ mod session;
 mod sram;
 pub mod telemetry;
 mod trace;
+mod txn;
 
 pub use activity::{hamming, ActivityMonitor, ProbeId, SignalActivity};
+pub use attribution::{AttributionRow, AttributionTable};
 pub use characterize::{
     fit_ahb_power_model, fit_arbiter_model, fit_decoder_model, fit_mux_model, ModelValidation,
     ValidationPoint,
@@ -95,3 +102,4 @@ pub use sc::{run_on_kernel, run_on_kernel_profiled, KernelRun};
 pub use session::PowerSession;
 pub use sram::{SramLedger, SramMode, SramModel, SramProbe};
 pub use trace::{PowerTrace, TracePoint};
+pub use txn::{TxnRecord, TxnTracer, TxnTracerConfig, DEFAULT_RING_CAPACITY};

@@ -10,6 +10,7 @@ use crate::model::AhbPowerModel;
 use crate::power_fsm::PowerFsm;
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::trace::{PowerTrace, TracePoint};
+use crate::txn::{TxnTracer, TxnTracerConfig};
 
 /// Couples a [`PowerFsm`] with a [`PowerTrace`] so a single observer
 /// produces Table 1, Fig. 6 and Figs. 3-5 data in one pass.
@@ -38,6 +39,9 @@ pub struct PowerSession {
     /// `None` unless telemetry was enabled at construction; the disabled
     /// hot path tests one `Option` discriminant per run, not per cycle.
     telemetry: Option<Box<Telemetry>>,
+    /// `None` unless transaction tracing was enabled at construction;
+    /// same hot-path discipline as `telemetry`.
+    txn: Option<Box<TxnTracer>>,
 }
 
 impl PowerSession {
@@ -53,6 +57,7 @@ impl PowerSession {
             fsm: PowerFsm::new(model),
             trace: PowerTrace::new(window_cycles, f_clk_hz),
             telemetry: None,
+            txn: None,
         }
     }
 
@@ -66,17 +71,33 @@ impl PowerSession {
         session
     }
 
+    /// Creates a session with transaction tracing governed by `xcfg`. A
+    /// disabled config yields a session identical to [`PowerSession::new`].
+    pub fn with_txn_tracer(cfg: &AnalysisConfig, xcfg: TxnTracerConfig) -> Self {
+        let mut session = PowerSession::new(cfg);
+        if xcfg.enabled {
+            session.txn = Some(Box::new(TxnTracer::new(cfg.n_masters, xcfg.ring_capacity)));
+        }
+        session
+    }
+
     /// Observes one cycle.
     pub fn observe(&mut self, snap: &BusSnapshot) {
         match &mut self.telemetry {
             None => {
                 let rec = self.fsm.observe(snap);
                 self.trace.push(rec.energy);
+                if let Some(x) = &mut self.txn {
+                    x.observe(snap, &rec);
+                }
             }
             Some(t) => {
                 let t0 = Instant::now();
                 let rec = self.fsm.observe(snap);
                 self.trace.push(rec.energy);
+                if let Some(x) = &mut self.txn {
+                    x.observe(snap, &rec);
+                }
                 t.observe_bus(snap);
                 t.record_observe(t0.elapsed());
             }
@@ -85,9 +106,9 @@ impl PowerSession {
 
     /// Runs `cycles` bus cycles under observation.
     pub fn run(&mut self, bus: &mut AhbBus, cycles: u64) {
-        if self.telemetry.is_none() {
+        if self.telemetry.is_none() && self.txn.is_none() {
             // The pre-telemetry hot loop, untouched: sessions without
-            // telemetry pay one branch per run for the feature.
+            // instrumentation pay one branch per run for the features.
             for _ in 0..cycles {
                 let snap = bus.step();
                 let rec = self.fsm.observe(snap);
@@ -116,6 +137,21 @@ impl PowerSession {
     /// Live telemetry access (`None` when disabled).
     pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
         self.telemetry.as_deref_mut()
+    }
+
+    /// Finishes the run's transaction trace: flushes the still-open
+    /// transaction (if any) into the ring and returns the tracer for
+    /// export. `None` when tracing is disabled.
+    pub fn finish_txn(&mut self) -> Option<&TxnTracer> {
+        self.txn.as_mut().map(|x| {
+            x.finish();
+            &**x
+        })
+    }
+
+    /// The transaction tracer (`None` when disabled).
+    pub fn txn_tracer(&self) -> Option<&TxnTracer> {
+        self.txn.as_deref()
     }
 
     /// Per-instruction ledger (Table 1).
@@ -199,6 +235,38 @@ mod tests {
         session.run(&mut b, 20);
         assert!(session.finish_telemetry().is_none());
         assert!(session.telemetry_mut().is_none());
+    }
+
+    #[test]
+    fn txn_tracer_conserves_energy_and_records_transactions() {
+        let mut cfg = AnalysisConfig::paper_testbench();
+        cfg.n_masters = 2;
+        cfg.n_slaves = 2;
+        let mut plain = PowerSession::new(&cfg);
+        let mut b = bus();
+        plain.run(&mut b, 40);
+
+        let mut traced = PowerSession::with_txn_tracer(&cfg, TxnTracerConfig::enabled(128));
+        let mut b = bus();
+        traced.run(&mut b, 40);
+        assert_eq!(
+            traced.total_energy(),
+            plain.total_energy(),
+            "tracing must not perturb the analysis"
+        );
+        let total = traced.total_energy();
+        let tracer = traced.finish_txn().expect("tracer enabled");
+        assert!(tracer.completed() >= 3, "the script issues 3 transfers");
+        assert_eq!(tracer.evicted(), 0);
+        assert_eq!(tracer.attribution().cycles(), 40);
+        let attributed = tracer.attribution().total_energy();
+        assert!(
+            (attributed - total).abs() <= 1e-9,
+            "attribution must conserve the ledger total: {attributed} vs {total}"
+        );
+        // Disabled config attaches nothing.
+        let off = PowerSession::with_txn_tracer(&cfg, TxnTracerConfig::default());
+        assert!(off.txn_tracer().is_none());
     }
 
     #[test]

@@ -1,13 +1,19 @@
 //! Exporters: render a [`MetricsRegistry`] as JSONL, CSV or Prometheus
-//! text exposition.
+//! text exposition, a transaction trace as Chrome trace-event JSON, and
+//! an [`AttributionTable`] as folded flamegraph stacks.
 //!
-//! All three formats are produced by hand (the workspace's vendored
-//! `serde` is an offline no-op stub), which also keeps the output format
-//! under test here rather than behind a derive.
+//! All formats are produced by hand (the workspace's vendored `serde` is
+//! an offline no-op stub), which also keeps the output format under test
+//! here rather than behind a derive.
 
 use std::fmt::Write as _;
 
+use ahbpower_ahb::SlaveId;
+
+use crate::attribution::AttributionTable;
 use crate::telemetry::registry::{MetricMeta, MetricsRegistry};
+use crate::trace::TracePoint;
+use crate::txn::TxnRecord;
 
 /// Run-level metadata stamped into exports.
 #[derive(Debug, Clone, Default)]
@@ -260,6 +266,134 @@ pub fn to_prometheus(reg: &MetricsRegistry) -> String {
     out
 }
 
+/// Metadata for the Chrome trace-event exporter.
+#[derive(Debug, Clone)]
+pub struct TraceEventMeta {
+    /// Scenario label (e.g. `paper_testbench`).
+    pub scenario: String,
+    /// Masters on the bus (one Perfetto track each).
+    pub n_masters: usize,
+    /// Bus clock period in picoseconds (cycle stamps → microseconds).
+    pub period_ps: u64,
+    /// Seed the workload was generated from.
+    pub seed: u64,
+}
+
+/// The label a transaction's slave gets in exports: `S<n>`, or `default`
+/// for transfers no HSEL line claimed (and idle attribution cells).
+fn slave_label(slave: Option<SlaveId>) -> String {
+    match slave {
+        Some(s) => format!("{s}"),
+        None => "default".to_string(),
+    }
+}
+
+/// Renders completed transactions plus the windowed power trace as a
+/// Chrome trace-event JSON document (the format `chrome://tracing` and
+/// [Perfetto](https://ui.perfetto.dev) open directly).
+///
+/// Layout: process 1 carries one thread ("track") per master, named
+/// `M0..M<n>`, with one complete (`ph:"X"`) event per transaction —
+/// timestamped in microseconds from the cycle stamps and `meta.period_ps`
+/// — whose args carry slave, burst shape, wait/grant cycles and energy.
+/// Process 2 carries counter (`ph:"C"`) tracks with the windowed total
+/// and per-block power in milliwatts, reusing the session's
+/// [`TracePoint`]s.
+pub fn to_trace_events<'a>(
+    records: impl IntoIterator<Item = &'a TxnRecord>,
+    power: &[TracePoint],
+    meta: &TraceEventMeta,
+) -> String {
+    let us_per_cycle = meta.period_ps as f64 / 1e6;
+    let mut events: Vec<String> = Vec::new();
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{{\"name\":\"AHB transactions ({})\"}}}}",
+        json_escape(&meta.scenario)
+    ));
+    for m in 0..meta.n_masters {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{m},\"args\":{{\"name\":\"M{m}\"}}}}"
+        ));
+    }
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"args\":{\"name\":\"AHB windowed power\"}}"
+            .to_string(),
+    );
+    for r in records {
+        let name = format!(
+            "{} {}",
+            if r.write { "WRITE" } else { "READ" },
+            slave_label(r.slave)
+        );
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"txn\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"addr\":\"{:#010x}\",\"burst\":\"{:?}\",\"beats\":{},\"wait_cycles\":{},\"grant_wait_cycles\":{},\"energy_pj\":{}}}}}",
+            json_escape(&name),
+            r.master.index(),
+            json_num(r.start_cycle as f64 * us_per_cycle),
+            json_num(r.occupancy_cycles() as f64 * us_per_cycle),
+            r.id,
+            r.addr,
+            r.burst,
+            r.beats,
+            r.wait_cycles,
+            r.grant_wait_cycles,
+            json_num(r.energy.total() * 1e12)
+        ));
+    }
+    for p in power {
+        let ts = json_num(p.time_s * 1e6);
+        events.push(format!(
+            "{{\"name\":\"total_power_mW\",\"ph\":\"C\",\"pid\":2,\"ts\":{ts},\"args\":{{\"total\":{}}}}}",
+            json_num(p.total_w * 1e3)
+        ));
+        events.push(format!(
+            "{{\"name\":\"block_power_mW\",\"ph\":\"C\",\"pid\":2,\"ts\":{ts},\"args\":{{\"m2s\":{},\"s2m\":{},\"dec\":{},\"arb\":{}}}}}",
+            json_num(p.m2s_w * 1e3),
+            json_num(p.s2m_w * 1e3),
+            json_num(p.dec_w * 1e3),
+            json_num(p.arb_w * 1e3)
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"scenario\":\"{}\",\"seed\":{}}}}}\n",
+        events.join(","),
+        json_escape(&meta.scenario),
+        meta.seed
+    )
+}
+
+/// Renders an [`AttributionTable`] as folded stacks —
+/// `master;slave;instruction;block <femtojoules>`, one line per non-zero
+/// cell×block — the input format of standard flamegraph tooling
+/// (`inferno-flamegraph`, `flamegraph.pl`).
+///
+/// The sample count is the attributed energy in **femtojoules**, rounded
+/// to an integer (the tools require integer counts); cells rounding to
+/// zero are dropped.
+pub fn to_folded(table: &AttributionTable) -> String {
+    let mut out = String::new();
+    for row in table.rows() {
+        let stack = format!(
+            "{};{};{}",
+            row.master,
+            slave_label(row.slave),
+            row.instruction.name()
+        );
+        for (block, joules) in [
+            ("M2S", row.energy.m2s),
+            ("DEC", row.energy.dec),
+            ("ARB", row.energy.arb),
+            ("S2M", row.energy.s2m),
+        ] {
+            let fj = (joules * 1e15).round();
+            if fj >= 1.0 {
+                let _ = writeln!(out, "{stack};{block} {}", fj as u64);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +474,126 @@ mod tests {
         assert!(out.contains("ahb_arbitration_latency_cycles_bucket{le=\"+Inf\"} 3\n"));
         assert!(out.contains("ahb_arbitration_latency_cycles_sum 101\n"));
         assert!(out.contains("ahb_arbitration_latency_cycles_count 3\n"));
+    }
+
+    #[test]
+    fn trace_events_have_tracks_counters_and_valid_shape() {
+        use crate::instruction::{ActivityMode, Instruction};
+        use crate::macromodel::BlockEnergy;
+        use ahbpower_ahb::{HBurst, MasterId};
+
+        let mut table = AttributionTable::new();
+        table.record(
+            MasterId(1),
+            Some(SlaveId(0)),
+            Instruction::new(ActivityMode::Idle, ActivityMode::Write),
+            BlockEnergy {
+                dec: 1e-12,
+                m2s: 3e-12,
+                s2m: 0.0,
+                arb: 1e-12,
+            },
+        );
+        let txn = TxnRecord {
+            id: 0,
+            master: MasterId(1),
+            slave: Some(SlaveId(0)),
+            write: true,
+            addr: 0x40,
+            burst: HBurst::Incr4,
+            request_cycle: Some(0),
+            grant_cycle: Some(1),
+            grant_wait_cycles: 1,
+            start_cycle: 2,
+            complete_cycle: 6,
+            beats: 4,
+            ok_beats: 4,
+            wait_cycles: 1,
+            energy: BlockEnergy {
+                dec: 1e-12,
+                m2s: 3e-12,
+                s2m: 0.0,
+                arb: 1e-12,
+            },
+        };
+        let power = [TracePoint {
+            time_s: 0.0,
+            total_w: 0.002,
+            dec_w: 0.0005,
+            m2s_w: 0.001,
+            s2m_w: 0.0,
+            arb_w: 0.0005,
+        }];
+        let meta = TraceEventMeta {
+            scenario: "unit".to_string(),
+            n_masters: 2,
+            period_ps: 10_000,
+            seed: 7,
+        };
+        let out = to_trace_events([&txn], &power, &meta);
+        // One thread-name track per master.
+        assert!(out.contains("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"M0\"}}"));
+        assert!(out.contains("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"M1\"}}"));
+        // The transaction: 10 ns cycles → start 0.02 µs, 5 cycles → 0.05 µs.
+        assert!(out.contains("\"name\":\"WRITE S0\""), "{out}");
+        assert!(out.contains("\"ts\":0.02,\"dur\":0.05"), "{out}");
+        assert!(out.contains("\"burst\":\"Incr4\""));
+        assert!(out.contains("\"energy_pj\":"));
+        // Counter tracks in milliwatts.
+        assert!(out.contains(
+            "\"name\":\"total_power_mW\",\"ph\":\"C\",\"pid\":2,\"ts\":0,\"args\":{\"total\":2}"
+        ));
+        assert!(out.contains("\"name\":\"block_power_mW\""));
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.trim_end().ends_with("\"seed\":7}}"));
+    }
+
+    #[test]
+    fn folded_stacks_are_integer_femtojoules() {
+        use crate::instruction::{ActivityMode, Instruction};
+        use crate::macromodel::BlockEnergy;
+        use ahbpower_ahb::MasterId;
+
+        let mut table = AttributionTable::new();
+        table.record(
+            MasterId(0),
+            Some(SlaveId(2)),
+            Instruction::new(ActivityMode::Write, ActivityMode::Read),
+            BlockEnergy {
+                dec: 2e-15,
+                m2s: 7.4e-15,
+                s2m: 0.2e-15, // rounds to 0 fJ: dropped
+                arb: 1e-15,
+            },
+        );
+        table.record(
+            MasterId(1),
+            None,
+            Instruction::new(ActivityMode::Idle, ActivityMode::Idle),
+            BlockEnergy {
+                dec: 0.0,
+                m2s: 0.0,
+                s2m: 0.0,
+                arb: 3e-15,
+            },
+        );
+        let out = to_folded(&table);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "M0;S2;WRITE_READ;M2S 7",
+                "M0;S2;WRITE_READ;DEC 2",
+                "M0;S2;WRITE_READ;ARB 1",
+                "M1;default;IDLE_IDLE;ARB 3",
+            ]
+        );
+        // Every line: stack frames joined by ';', space, integer count.
+        for line in lines {
+            let (stack, count) = line.rsplit_once(' ').expect("space separator");
+            assert_eq!(stack.split(';').count(), 4);
+            assert!(count.parse::<u64>().is_ok(), "{count}");
+        }
     }
 
     #[test]

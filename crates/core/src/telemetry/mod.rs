@@ -38,7 +38,9 @@ mod registry;
 mod span;
 
 pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
-pub use export::{to_csv, to_jsonl, to_prometheus, ExportMeta};
+pub use export::{
+    to_csv, to_folded, to_jsonl, to_prometheus, to_trace_events, ExportMeta, TraceEventMeta,
+};
 pub use registry::{
     Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricMeta, MetricsRegistry,
 };

@@ -129,10 +129,14 @@ impl PowerTrace {
         self.points.iter().map(|p| p.total_w).sum::<f64>() / self.points.len() as f64
     }
 
-    /// Restricts the series to points with `time_s < t` (e.g. the paper's
-    /// "first 4 µs").
-    pub fn points_before(&self, t: f64) -> &[TracePoint] {
-        let end = self.points.partition_point(|p| p.time_s < t);
+    /// Restricts the series to points whose window **starts** strictly
+    /// before `t_s` **seconds** (e.g. the paper's "first 4 µs" is
+    /// `points_before(4e-6)` — not a window index, not cycles).
+    ///
+    /// The cut is strict: a window starting exactly at `t_s` is excluded,
+    /// so `points_before(window_secs())` returns exactly the first window.
+    pub fn points_before(&self, t_s: f64) -> &[TracePoint] {
+        let end = self.points.partition_point(|p| p.time_s < t_s);
         &self.points[..end]
     }
 }
@@ -201,6 +205,26 @@ mod tests {
         assert_eq!(t.points_before(4e-6).len(), 4);
         assert_eq!(t.points_before(100.0).len(), 10);
         assert_eq!(t.points_before(0.0).len(), 0);
+    }
+
+    #[test]
+    fn points_before_is_strict_at_exact_window_edges() {
+        // 5-cycle windows at 100 MHz start at 0 ns, 50 ns, 100 ns. A cut
+        // placed exactly on a window's start time excludes that window:
+        // the argument is seconds of elapsed time, and the comparison is
+        // a strict `<`.
+        let mut t = PowerTrace::new(5, 100e6);
+        for _ in 0..15 {
+            t.push(e(1.0));
+        }
+        assert_eq!(t.points().len(), 3);
+        let first = t.points_before(50e-9);
+        assert_eq!(first.len(), 1, "window starting at the cut is excluded");
+        assert!((first[0].time_s - 0.0).abs() < 1e-15);
+        assert_eq!(t.points_before(t.window_secs()).len(), 1);
+        assert_eq!(t.points_before(100e-9).len(), 2);
+        // Just past the edge the boundary window is included again.
+        assert_eq!(t.points_before(100e-9 + 1e-12).len(), 3);
     }
 
     #[test]

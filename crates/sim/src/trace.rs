@@ -23,11 +23,39 @@ pub struct VcdVarId(usize);
 /// t.record_var(SimTime::from_ns(5), clk, "1");
 /// assert!(t.render().contains("$var wire 1"));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct VcdTrace {
     vars: Vec<VcdVar>,
     /// (time, var, bits)
     changes: Vec<(SimTime, VcdVarId, String)>,
+    /// Picoseconds per VCD tick (the `$timescale`).
+    timescale_ps: u64,
+}
+
+impl Default for VcdTrace {
+    fn default() -> Self {
+        VcdTrace {
+            vars: Vec::new(),
+            changes: Vec::new(),
+            timescale_ps: 1,
+        }
+    }
+}
+
+/// The VCD `$timescale` label for a tick of `ps` picoseconds, or `None`
+/// when `ps` is not a legal magnitude (1, 10 or 100 of ps/ns/us/ms).
+fn timescale_label(ps: u64) -> Option<String> {
+    let (unit_ps, unit) = if ps.is_multiple_of(1_000_000_000) {
+        (1_000_000_000, "ms")
+    } else if ps.is_multiple_of(1_000_000) {
+        (1_000_000, "us")
+    } else if ps.is_multiple_of(1_000) {
+        (1_000, "ns")
+    } else {
+        (1, "ps")
+    };
+    let magnitude = ps / unit_ps;
+    matches!(magnitude, 1 | 10 | 100).then(|| format!("{magnitude}{unit}"))
 }
 
 #[derive(Debug)]
@@ -82,6 +110,27 @@ impl VcdTrace {
         self.changes.push((time, id, bits.to_string()));
     }
 
+    /// Sets the dump's `$timescale`: recorded change times render in
+    /// units of `timescale` (truncating division — callers should pick a
+    /// timescale that divides their sample period). The default is 1 ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `timescale` is a legal VCD magnitude: 1, 10 or 100
+    /// of ps/ns/us/ms.
+    pub fn set_timescale(&mut self, timescale: SimTime) {
+        assert!(
+            timescale_label(timescale.as_ps()).is_some(),
+            "VCD timescales must be 1, 10 or 100 of ps/ns/us/ms"
+        );
+        self.timescale_ps = timescale.as_ps();
+    }
+
+    /// The current `$timescale` as a tick duration.
+    pub fn timescale(&self) -> SimTime {
+        SimTime::from_ps(self.timescale_ps)
+    }
+
     /// Number of declared variables.
     pub fn var_count(&self) -> usize {
         self.vars.len()
@@ -97,10 +146,13 @@ impl VcdTrace {
         self.changes.is_empty()
     }
 
-    /// Renders the trace as a VCD document with a 1 ps timescale.
+    /// Renders the trace as a VCD document with the configured
+    /// [`timescale`](Self::set_timescale) (1 ps unless overridden).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str("$timescale 1ps $end\n");
+        let label =
+            timescale_label(self.timescale_ps).expect("set_timescale enforces a legal magnitude");
+        out.push_str(&format!("$timescale {label} $end\n"));
         out.push_str("$scope module top $end\n");
         for var in &self.vars {
             out.push_str(&format!(
@@ -117,7 +169,7 @@ impl VcdTrace {
         let mut last_time: Option<SimTime> = None;
         for (time, id, bits) in &self.changes {
             if last_time != Some(*time) {
-                out.push_str(&format!("#{}\n", time.as_ps()));
+                out.push_str(&format!("#{}\n", time.as_ps() / self.timescale_ps));
                 last_time = Some(*time);
             }
             let var = &self.vars[id.0];
@@ -170,6 +222,44 @@ mod tests {
         assert_eq!(t.len(), 3);
         assert_eq!(t.var_count(), 2);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn timescale_scales_and_labels_change_times() {
+        let mut t = VcdTrace::new();
+        let clk = t.add_var("clk", 1, "0");
+        t.record_var(SimTime::from_ns(10), clk, "1");
+        t.record_var(SimTime::from_ns(20), clk, "0");
+        assert_eq!(t.timescale(), SimTime::from_ps(1));
+        t.set_timescale(SimTime::from_ns(10));
+        assert_eq!(t.timescale(), SimTime::from_ns(10));
+        let vcd = t.render();
+        assert!(vcd.contains("$timescale 10ns $end"));
+        assert!(vcd.contains("#1\n1!\n#2\n0!"), "{vcd}");
+    }
+
+    #[test]
+    fn timescale_labels_cover_legal_magnitudes() {
+        for (ps, label) in [
+            (1, "1ps"),
+            (100, "100ps"),
+            (1_000, "1ns"),
+            (10_000, "10ns"),
+            (1_000_000, "1us"),
+            (100_000_000_000, "100ms"),
+        ] {
+            assert_eq!(timescale_label(ps).as_deref(), Some(label));
+        }
+        for ps in [0, 2, 5_000, 30_000, 1_000_000_000_000] {
+            assert_eq!(timescale_label(ps), None, "{ps} ps is not a legal tick");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1, 10 or 100")]
+    fn illegal_timescale_panics() {
+        let mut t = VcdTrace::new();
+        t.set_timescale(SimTime::from_ps(5_000));
     }
 
     #[test]

@@ -15,7 +15,7 @@ SEED="${2:-2003}"
 JOBS="${3:-$(nproc 2>/dev/null || echo 2)}"
 
 cargo run --release -p ahbpower-bench --bin repro -- telemetry-overhead \
-    --cycles "$CYCLES" --seed "$SEED"
+    --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
 cargo run --release -p ahbpower-bench --bin repro -- sweep-bench \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
 echo "snapshots written to BENCH_telemetry.json and BENCH_sweep.json"

@@ -50,4 +50,14 @@ echo "== parallel sweep (smoke, 2 threads, 20k cycles) =="
 cargo run --release -p ahbpower-bench --bin repro -- sweep --cycles 20000 --jobs 2 > /dev/null
 echo "  sweep ok (results/sweep.csv)"
 
+echo "== transaction trace (smoke, 100k cycles) =="
+# `trace` self-checks the trace-event JSON and that the attributed energy
+# equals the ledger total within 1e-9 J (exit 1 otherwise); grep for its
+# verdict lines so a silent format regression can't slip through.
+cargo run --release -p ahbpower-bench --bin repro -- trace --cycles 100000 --top 5 \
+    > results/trace_smoke.log
+grep -q "valid json" results/trace_smoke.log
+grep -q "conservation ok" results/trace_smoke.log
+echo "  trace ok (results/trace.json, results/energy.folded)"
+
 echo "ALL CHECKS PASSED"
