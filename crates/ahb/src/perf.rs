@@ -110,6 +110,43 @@ impl CycleHistogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation within the bucket containing the target rank, the
+    /// Prometheus `histogram_quantile` convention: bucket `i` spans
+    /// `(bounds[i-1], bounds[i]]` (the first spans `[0, bounds[0]]`).
+    /// Ranks that land in the overflow bucket return the last finite
+    /// bound — histograms cannot say more than their largest bound. An
+    /// empty histogram returns `0.0`; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev_cum = cum;
+            cum += c;
+            if (cum as f64) < rank || c == 0 {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // Overflow bucket: unbounded above, clamp to the last
+                // finite bound.
+                return self.bounds[self.bounds.len() - 1] as f64;
+            }
+            let lo = if i == 0 {
+                0.0
+            } else {
+                self.bounds[i - 1] as f64
+            };
+            let hi = self.bounds[i] as f64;
+            let into = (rank - prev_cum as f64) / c as f64;
+            return lo + (hi - lo) * into.clamp(0.0, 1.0);
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
 }
 
 /// Per-master service counters.
@@ -333,6 +370,58 @@ mod tests {
     use crate::master::{Op, ScriptedMaster};
     use crate::slave::MemorySlave;
     use crate::types::HBurst;
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = CycleHistogram::new(&[1, 2, 4]);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_bucket() {
+        let mut h = CycleHistogram::new(&[10]);
+        // 4 observations, all in [0, 10]: rank q*4 interpolates linearly.
+        for v in [1, 2, 3, 4] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), 5.0, "rank 2 of 4 → midpoint of [0,10]");
+        assert_eq!(h.quantile(1.0), 10.0, "top rank → bucket upper bound");
+        assert_eq!(h.quantile(0.0), 0.0, "bottom rank → bucket lower bound");
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        let mut h = CycleHistogram::new(&[1, 2, 4]);
+        // One observation per finite bucket.
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        // Ranks: q=1/3 exactly exhausts bucket 0 → its upper bound.
+        let q13 = h.quantile(1.0 / 3.0);
+        assert!((q13 - 1.0).abs() < 1e-9, "boundary rank hits le=1: {q13}");
+        let q23 = h.quantile(2.0 / 3.0);
+        assert!((q23 - 2.0).abs() < 1e-9, "boundary rank hits le=2: {q23}");
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_skips_empty_buckets() {
+        let mut h = CycleHistogram::new(&[1, 2, 4, 8]);
+        h.observe(1);
+        h.observe(8); // buckets le=2 and le=4 stay empty
+        assert_eq!(h.quantile(0.25), 0.5, "rank 0.5 interpolates in [0,1]");
+        let p75 = h.quantile(0.75);
+        assert!((p75 - 6.0).abs() < 1e-9, "rank 1.5 lands mid (4,8]: {p75}");
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_bound() {
+        let mut h = CycleHistogram::new(&[1, 2]);
+        h.observe(100);
+        h.observe(200);
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+    }
 
     #[test]
     fn histogram_buckets_and_cumulative() {

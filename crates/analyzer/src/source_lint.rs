@@ -32,6 +32,7 @@ const INSTRUMENTATION_MODULES: &[&str] = &[
     "crates/core/src/session.rs",
     "crates/sim/src/profile.rs",
     "crates/sim/src/kernel.rs",
+    "crates/bench/src/serve.rs",
 ];
 
 /// Lints every library source under `root` (`crates/*/src/**/*.rs`,

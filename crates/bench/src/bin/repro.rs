@@ -5,7 +5,7 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
 //!              coding dpm sweep sweep-bench telemetry telemetry-overhead
-//!              trace analyze all
+//!              trace analyze serve serve-probe baseline all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -30,6 +30,19 @@
 //! `--ring-capacity N` bounds the in-memory transaction ring. The command
 //! self-checks: the JSON must validate and the attributed energy must
 //! equal the instruction ledger's total within 1e-9 J, else it exits 1.
+//!
+//! `serve` starts the live monitoring service (std-only HTTP on `--addr`,
+//! default ephemeral): workload slices run continuously on a background
+//! thread while `/healthz`, `/metrics` (Prometheus) and `/status` (JSON)
+//! report on them; `GET /quit` shuts down gracefully, flushing
+//! `results/serve_final.jsonl` and `results/serve_status.json` atomically.
+//! `serve-probe --addr HOST:PORT` smoke-tests a running service without
+//! curl. `baseline record` snapshots per-instruction energy to
+//! `results/baseline.json`; `baseline compare --tolerance-pct N` re-runs
+//! at the snapshot's cycles/seed and exits 1 on drift — the regression
+//! gate `scripts/check.sh` and CI run. `--inject block:factor[@slice]`
+//! scales one sub-block's macromodel coefficients (serve: from the given
+//! slice; baseline: from the start) to prove the detectors trip.
 //!
 //! `analyze` runs the static analyzer (`ahbpower-analyzer`): model-level
 //! checks over the shipped instruction set/macromodels/workloads plus the
@@ -63,7 +76,7 @@ const SWEEP_SEEDS: usize = 4;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = "all".to_string();
+    let mut positionals: Vec<String> = Vec::new();
     let mut cycles = DEFAULT_CYCLES;
     let mut seed = DEFAULT_SEED;
     let mut telemetry = false;
@@ -71,10 +84,75 @@ fn main() {
     let mut script: Option<String> = None;
     let mut top = 10usize;
     let mut ring = ahbpower::DEFAULT_RING_CAPACITY;
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut tolerance_pct = 2.0f64;
+    let mut inject: Option<String> = None;
+    let mut slices: Option<u64> = None;
+    let mut slice_cycles = 20_000u64;
+    let mut mix = "mixed".to_string();
+    let mut quit = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--telemetry" => telemetry = true,
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--addr needs host:port")),
+                );
+            }
+            "--out" => {
+                out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a file path")),
+                );
+            }
+            "--file" => {
+                file = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--file needs a file path")),
+                );
+            }
+            "--tolerance-pct" => {
+                tolerance_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| usage("--tolerance-pct needs a non-negative number"));
+            }
+            "--inject" => {
+                inject = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--inject needs block:factor[@slice]")),
+                );
+            }
+            "--slices" => {
+                slices = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--slices needs a number")),
+                );
+            }
+            "--slice-cycles" => {
+                slice_cycles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--slice-cycles needs a positive number"));
+            }
+            "--mix" => {
+                mix = it
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(|| usage("--mix needs paper|soc|mixed"));
+            }
+            "--quit" => quit = true,
             "--cycles" => {
                 cycles = it
                     .next()
@@ -114,11 +192,48 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage("--ring-capacity needs a positive number"));
             }
-            other if !other.starts_with('-') => cmd = other.to_string(),
+            other if !other.starts_with('-') => positionals.push(other.to_string()),
             other => usage(&format!("unknown flag {other}")),
         }
     }
+    let cmd = positionals
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    let sub = positionals.get(1).map(String::as_str);
     fs::create_dir_all("results").expect("create results/");
+    match cmd.as_str() {
+        "serve" => {
+            return serve_cmd(
+                addr.as_deref().unwrap_or("127.0.0.1:0"),
+                &mix,
+                slice_cycles,
+                seed,
+                slices,
+                inject.as_deref(),
+            );
+        }
+        "serve-probe" => {
+            return serve_probe_cmd(
+                addr.as_deref()
+                    .unwrap_or_else(|| usage("serve-probe needs --addr host:port")),
+                quit,
+            );
+        }
+        "baseline" => {
+            return baseline_cmd(
+                sub.unwrap_or_else(|| usage("baseline needs record|compare")),
+                cycles.min(200_000),
+                seed,
+                out.as_deref(),
+                file.as_deref(),
+                tolerance_pct,
+                inject.as_deref(),
+            );
+        }
+        _ => {}
+    }
     match cmd.as_str() {
         "table1" => table1(&mut run(cycles, seed, telemetry)),
         "fig3" => fig(&mut run(cycles, seed, telemetry), 3),
@@ -159,9 +274,190 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|trace|analyze|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--out FILE] [--file FILE] [--tolerance-pct N]"
     );
     std::process::exit(2);
+}
+
+/// `repro serve`: the live monitoring service. Runs workload slices
+/// continuously on a background thread and serves `/healthz`,
+/// `/metrics`, `/status` and `/quit` until the slice budget drains and
+/// `/quit` arrives (or Ctrl-C kills the process). Prints the bound
+/// address — with `--addr 127.0.0.1:0` the OS picks the port.
+fn serve_cmd(
+    addr: &str,
+    mix: &str,
+    slice_cycles: u64,
+    seed: u64,
+    max_slices: Option<u64>,
+    inject: Option<&str>,
+) {
+    use ahbpower::telemetry::AnomalyConfig;
+    use ahbpower_bench::{serve, Injection, ScenarioMix, ServeConfig};
+    let mix = ScenarioMix::from_name(mix)
+        .unwrap_or_else(|| usage(&format!("unknown --mix {mix} (paper|soc|mixed)")));
+    let inject = inject.map(|spec| {
+        Injection::parse(spec)
+            .unwrap_or_else(|| usage(&format!("bad --inject {spec} (block:factor[@slice])")))
+    });
+    // Warm the detector across at least one slice of each scenario at
+    // the *requested* slice length, not the default's.
+    let anomaly = AnomalyConfig::default();
+    let warmup = 2 * slice_cycles / anomaly.window_cycles + 4;
+    let cfg = ServeConfig {
+        addr: addr.to_string(),
+        mix,
+        slice_cycles,
+        seed,
+        max_slices,
+        anomaly: anomaly.with_warmup_windows(warmup),
+        inject,
+        results_dir: Some("results".into()),
+    };
+    let handle = serve(cfg).expect("bind serve address");
+    println!("serving on http://{}", handle.addr());
+    println!("endpoints: /healthz /metrics /status /quit");
+    if let Some(n) = max_slices {
+        println!("slice budget: {n} x {slice_cycles} cycles (GET /quit to stop serving)");
+    } else {
+        println!("running until GET /quit");
+    }
+    let summary = handle.wait_for_quit().expect("serve shuts down cleanly");
+    println!(
+        "served {} slices ({} cycles, {:.3} uJ, {} anomalies)",
+        summary.slices,
+        summary.cycles,
+        summary.total_energy_j * 1e6,
+        summary.anomalies
+    );
+    for f in &summary.flushed {
+        println!("-> {}", f.display());
+    }
+}
+
+/// `repro serve-probe --addr HOST:PORT [--quit]`: std-only smoke client
+/// for a running service (no curl needed in CI). Fetches `/healthz`,
+/// `/metrics` and `/status`, validates each payload, optionally sends
+/// `GET /quit` afterwards, and exits 1 on any failure.
+fn serve_probe_cmd(addr: &str, quit: bool) {
+    use ahbpower_bench::http_get;
+    use std::time::Duration;
+    let timeout = Duration::from_secs(5);
+    let mut failures = 0u32;
+
+    match http_get(addr, "/healthz", timeout) {
+        Ok(r) if r.status == 200 && r.body == "ok\n" => println!("/healthz: ok"),
+        Ok(r) => {
+            eprintln!("/healthz: unexpected status {} body {:?}", r.status, r.body);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/healthz: {e}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/metrics", timeout) {
+        Ok(r) if r.status == 200 && r.body.contains("# TYPE") => {
+            println!("/metrics: ok ({} bytes)", r.body.len());
+        }
+        Ok(r) => {
+            eprintln!("/metrics: status {} without Prometheus content", r.status);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/metrics: {e}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/status", timeout) {
+        Ok(r) if r.status == 200 => match validate_json(&r.body) {
+            Ok(()) => println!("/status: valid JSON ({} bytes)", r.body.len()),
+            Err(e) => {
+                eprintln!("/status: invalid JSON: {e}");
+                failures += 1;
+            }
+        },
+        Ok(r) => {
+            eprintln!("/status: status {}", r.status);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/status: {e}");
+            failures += 1;
+        }
+    }
+    if quit {
+        match http_get(addr, "/quit", timeout) {
+            Ok(r) if r.status == 200 => println!("/quit: ok"),
+            Ok(r) => {
+                eprintln!("/quit: status {}", r.status);
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("/quit: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("serve-probe: {failures} endpoint(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// `repro baseline record|compare`: the energy regression gate.
+///
+/// `record` runs the paper testbench and snapshots the per-instruction
+/// energy distribution to `--out` (default `results/baseline.json`).
+/// `compare` re-runs at the cycles/seed stamped in `--file` (so the
+/// diff is always apples-to-apples) and exits 1 when any tracked
+/// quantity drifts beyond `--tolerance-pct`. `--inject block:factor`
+/// scales one sub-block's coefficients first — the self-test proving
+/// the gate trips.
+fn baseline_cmd(
+    sub: &str,
+    cycles: u64,
+    seed: u64,
+    out: Option<&str>,
+    file: Option<&str>,
+    tolerance_pct: f64,
+    inject: Option<&str>,
+) {
+    use ahbpower_bench::{compare_baselines, record_baseline, BaselineSnapshot, Injection};
+    let inject = inject.map(|spec| {
+        let inj = Injection::parse(spec)
+            .unwrap_or_else(|| usage(&format!("bad --inject {spec} (block:factor)")));
+        (inj.block, inj.factor)
+    });
+    match sub {
+        "record" => {
+            let path = out.unwrap_or("results/baseline.json");
+            let snap = record_baseline(cycles, seed, inject);
+            snap.save(std::path::Path::new(path))
+                .expect("write baseline snapshot");
+            println!(
+                "recorded baseline: {} cycles @ seed {}, {:.3} uJ, {} instructions -> {path}",
+                snap.cycles,
+                snap.seed,
+                snap.total_energy_j * 1e6,
+                snap.rows.len()
+            );
+        }
+        "compare" => {
+            let path = file.unwrap_or("results/baseline.json");
+            let base = BaselineSnapshot::load(std::path::Path::new(path))
+                .unwrap_or_else(|e| usage(&format!("cannot load baseline {path}: {e}")));
+            let fresh = record_baseline(base.cycles, base.seed, inject);
+            let cmp = compare_baselines(&base, &fresh, tolerance_pct);
+            print!("{}", cmp.render_text());
+            if !cmp.passed() {
+                std::process::exit(1);
+            }
+        }
+        other => usage(&format!(
+            "unknown baseline subcommand {other} (record|compare)"
+        )),
+    }
 }
 
 /// `repro analyze [--script FILE]`: static analysis before any simulation.

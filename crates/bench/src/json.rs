@@ -6,6 +6,11 @@
 //! limit; rejects trailing garbage. It validates rather than parses: the
 //! exporters' documents can reach hundreds of megabytes, and the smoke
 //! checks only need well-formedness, not a DOM.
+//!
+//! For the *small* documents the workspace must read back (the committed
+//! `results/baseline.json`), [`parse_json`] builds a [`JsonValue`] tree
+//! over the same grammar. The validator stays allocation-free for the
+//! huge exporter outputs; the parser is for kilobyte-scale inputs.
 
 use std::fmt;
 
@@ -167,6 +172,157 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    fn parse_value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting deeper than 64 levels");
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => self.parse_string().map(JsonValue::String),
+            Some(b't') => self.eat_literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.eat_literal("false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.eat_literal("null").map(|()| JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => self.err("expected a value"),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        let mut members = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return self.err("expected ',' or '}' in object"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']' in array"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        let start = self.pos;
+        self.string()?;
+        // The validator accepted bytes [start, pos): re-walk them
+        // decoding escapes, without re-checking well-formedness.
+        let inner = &self.bytes[start + 1..self.pos - 1];
+        let mut out = String::with_capacity(inner.len());
+        let mut i = 0;
+        while i < inner.len() {
+            let b = inner[i];
+            if b != b'\\' {
+                // Multi-byte UTF-8 passes through untouched (the input
+                // &str was valid UTF-8 and the validator never splits
+                // code points).
+                let s = core::str::from_utf8(&inner[i..])
+                    .map_err(|_| JsonError {
+                        offset: start + 1 + i,
+                        message: "invalid UTF-8 in string".to_string(),
+                    })?
+                    .chars()
+                    .next()
+                    .ok_or(JsonError {
+                        offset: start + 1 + i,
+                        message: "empty char in string".to_string(),
+                    })?;
+                out.push(s);
+                i += s.len_utf8();
+                continue;
+            }
+            i += 1;
+            match inner[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hex = hex4(&inner[i + 1..i + 5]);
+                    i += 4;
+                    let code = if (0xD800..0xDC00).contains(&hex)
+                        && inner.get(i + 1) == Some(&b'\\')
+                        && inner.get(i + 2) == Some(&b'u')
+                    {
+                        // Surrogate pair: combine high + low halves.
+                        let low = hex4(&inner[i + 3..i + 7]);
+                        i += 6;
+                        0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                    } else {
+                        hex
+                    };
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                _ => {
+                    // Unreachable: string() already rejected it.
+                    return Err(JsonError {
+                        offset: start + 1 + i,
+                        message: "invalid escape".to_string(),
+                    });
+                }
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        self.number()?;
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid UTF-8 in number".to_string(),
+        })?;
+        match text.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Number(n)),
+            Err(_) => Err(JsonError {
+                offset: start,
+                message: format!("unparseable number '{text}'"),
+            }),
+        }
+    }
+
     fn digits(&mut self) -> Result<(), JsonError> {
         if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
             return self.err("expected a digit");
@@ -202,6 +358,13 @@ impl<'a> Cursor<'a> {
     }
 }
 
+/// Decodes exactly four hex digits (already validated) into a code unit.
+fn hex4(bytes: &[u8]) -> u32 {
+    bytes.iter().fold(0u32, |acc, &b| {
+        acc * 16 + (b as char).to_digit(16).unwrap_or(0)
+    })
+}
+
 /// Checks that `text` is exactly one well-formed JSON document (value plus
 /// optional surrounding whitespace, nothing else).
 ///
@@ -228,6 +391,102 @@ pub fn validate_json(text: &str) -> Result<(), JsonError> {
         return c.err("trailing garbage after document");
     }
     Ok(())
+}
+
+/// A parsed JSON document. Object members keep their document order
+/// (duplicate keys keep the last occurrence on lookup, first wins on
+/// iteration order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string with escapes decoded.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (`None` for non-objects / missing keys).
+    /// With duplicate keys, the last occurrence wins, matching the
+    /// common "last value" JSON semantics.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric value (`None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements (`None` for non-arrays).
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `text` into a [`JsonValue`] tree. Same grammar, depth limit
+/// and trailing-garbage rule as [`validate_json`].
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first violation.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower_bench::parse_json;
+///
+/// let doc = parse_json(r#"{"cycles": 200000, "rows": [{"name": "READ_READ"}]}"#)?;
+/// assert_eq!(doc.get("cycles").and_then(|v| v.as_u64()), Some(200000));
+/// # Ok::<(), ahbpower_bench::JsonError>(())
+/// ```
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
+    let mut c = Cursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = c.parse_value(0)?;
+    c.skip_ws();
+    if c.pos != c.bytes.len() {
+        return c.err("trailing garbage after document");
+    }
+    Ok(value)
 }
 
 #[cfg(test)]
@@ -275,6 +534,60 @@ mod tests {
         ] {
             assert!(validate_json(doc).is_err(), "{doc} should be rejected");
         }
+    }
+
+    #[test]
+    fn parser_builds_trees_and_decodes_escapes() {
+        let doc = parse_json(
+            r#"{"name": "paper_testbench", "cycles": 200000, "mean": -1.5e-12,
+               "flags": [true, false, null], "nested": {"esc": "a\"b\\c\ndA"},
+               "dup": 1, "dup": 2}"#,
+        )
+        .expect("valid");
+        assert_eq!(
+            doc.get("name").and_then(JsonValue::as_str),
+            Some("paper_testbench")
+        );
+        assert_eq!(doc.get("cycles").and_then(JsonValue::as_u64), Some(200_000));
+        assert_eq!(doc.get("mean").and_then(JsonValue::as_f64), Some(-1.5e-12));
+        let flags = doc
+            .get("flags")
+            .and_then(JsonValue::as_array)
+            .expect("array");
+        assert_eq!(
+            flags,
+            &[
+                JsonValue::Bool(true),
+                JsonValue::Bool(false),
+                JsonValue::Null
+            ]
+        );
+        assert_eq!(
+            doc.get("nested")
+                .and_then(|n| n.get("esc"))
+                .and_then(JsonValue::as_str),
+            Some("a\"b\\c\nd\u{41}")
+        );
+        assert_eq!(doc.get("dup").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(doc.get("missing"), None);
+        // Raw multi-byte UTF-8 passes through; surrogate-pair escapes
+        // decode to the supplementary-plane character.
+        let emoji = parse_json(r#""😀""#).expect("valid");
+        assert_eq!(emoji.as_str(), Some("\u{1F600}"));
+        let escaped = parse_json(r#""\ud83d\ude00""#).expect("valid");
+        assert_eq!(escaped.as_str(), Some("\u{1F600}"));
+        // Non-integer and negative numbers refuse as_u64.
+        assert_eq!(parse_json("1.5").expect("ok").as_u64(), None);
+        assert_eq!(parse_json("-1").expect("ok").as_u64(), None);
+    }
+
+    #[test]
+    fn parser_rejects_what_the_validator_rejects() {
+        for doc in ["", "{", "[1,]", "{\"a\":}", "[1] trailing", "nul"] {
+            assert!(parse_json(doc).is_err(), "{doc} should be rejected");
+        }
+        let err = parse_json("[1, oops]").expect_err("bad literal");
+        assert_eq!(err.offset, 4);
     }
 
     #[test]

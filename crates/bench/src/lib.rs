@@ -8,10 +8,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod baseline;
 mod json;
+mod serve;
 mod sweep;
 
-pub use json::{validate_json, JsonError};
+pub use baseline::{
+    compare_baselines, record_baseline, write_atomic, BaselineComparison, BaselineError,
+    BaselineRow, BaselineSnapshot, BaselineViolation, WindowPowerSummary, BASELINE_VERSION,
+    WINDOW_POWER_BOUNDS_UW,
+};
+pub use json::{parse_json, validate_json, JsonError, JsonValue};
+pub use serve::{
+    http_get, serve, HttpResponse, Injection, ScenarioMix, ServeConfig, ServeError, ServeSummary,
+    ServerHandle,
+};
 pub use sweep::{
     available_jobs, run_sweep, run_sweep_point, sweep_csv, sweep_grid, sweep_report, ProbeStyle,
     SweepOutcome, SweepPoint, SweepRunner,

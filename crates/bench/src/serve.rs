@@ -1,0 +1,745 @@
+//! The live monitoring service behind `repro serve`: a worker thread
+//! simulates workload slices continuously (scenario mix, rotating
+//! seeds) while a std-only HTTP server exposes the run over
+//! `/healthz`, `/metrics` (Prometheus text), `/status` (JSON) and
+//! `/quit` — zero crates beyond `std::net`.
+//!
+//! Every slice, the worker republishes a fresh [`MetricsRegistry`]
+//! snapshot into the shared state; the HTTP thread renders it with the
+//! same exporters the offline `telemetry` subcommand uses. On shutdown
+//! the final registry and status document are flushed atomically to the
+//! results directory, so a `/quit` (or slice budget running out) always
+//! leaves complete, readable artifacts.
+
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::{self, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ahbpower::telemetry::{
+    to_prometheus, AnomalyConfig, AnomalyEvent, MetricsRegistry, TelemetryConfig,
+};
+use ahbpower::{AnalysisConfig, PowerSession, SubBlock};
+use ahbpower_ahb::CycleHistogram;
+use ahbpower_workloads::{PaperTestbench, SocScenario};
+
+use crate::baseline::{write_atomic, WINDOW_POWER_BOUNDS_UW};
+use crate::json::validate_json;
+
+/// Which workloads the worker rotates through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioMix {
+    /// Paper testbench only.
+    Paper,
+    /// SoC scenario only.
+    Soc,
+    /// Alternate paper and SoC slices.
+    Mixed,
+}
+
+impl ScenarioMix {
+    /// Parses `paper` / `soc` / `mixed`.
+    pub fn from_name(name: &str) -> Option<ScenarioMix> {
+        match name {
+            "paper" => Some(ScenarioMix::Paper),
+            "soc" => Some(ScenarioMix::Soc),
+            "mixed" => Some(ScenarioMix::Mixed),
+            _ => None,
+        }
+    }
+
+    /// The mix's CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioMix::Paper => "paper",
+            ScenarioMix::Soc => "soc",
+            ScenarioMix::Mixed => "mixed",
+        }
+    }
+
+    /// The scenario label for slice `i`.
+    fn slice_label(self, i: u64) -> &'static str {
+        match self {
+            ScenarioMix::Paper => PaperTestbench::LABEL,
+            ScenarioMix::Soc => "soc_scenario",
+            ScenarioMix::Mixed => {
+                if i.is_multiple_of(2) {
+                    PaperTestbench::LABEL
+                } else {
+                    "soc_scenario"
+                }
+            }
+        }
+    }
+}
+
+/// A seeded coefficient-scaling fault, applied once at the start of the
+/// given slice — the end-to-end test hook for the anomaly detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Injection {
+    /// Sub-block whose coefficients are scaled.
+    pub block: SubBlock,
+    /// Scale factor.
+    pub factor: f64,
+    /// Slice index at which the fault appears.
+    pub at_slice: u64,
+}
+
+impl Injection {
+    /// Parses `block:factor[@slice]`, e.g. `arb:2.0` or `dec:1.5@3`.
+    pub fn parse(spec: &str) -> Option<Injection> {
+        let (block_name, rest) = spec.split_once(':')?;
+        let block = SubBlock::from_name(block_name)?;
+        let (factor_str, at_slice) = match rest.split_once('@') {
+            Some((f, s)) => (f, s.parse().ok()?),
+            None => (rest, 2),
+        };
+        let factor = factor_str.parse().ok()?;
+        Some(Injection {
+            block,
+            factor,
+            at_slice,
+        })
+    }
+}
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Scenario rotation.
+    pub mix: ScenarioMix,
+    /// Cycles per worker slice.
+    pub slice_cycles: u64,
+    /// Base workload seed; slice `i` runs at `seed + i`.
+    pub seed: u64,
+    /// Stop after this many slices (`None`: run until `/quit`).
+    pub max_slices: Option<u64>,
+    /// Anomaly-detector tuning.
+    pub anomaly: AnomalyConfig,
+    /// Optional seeded fault.
+    pub inject: Option<Injection>,
+    /// Where shutdown flushes `serve_final.jsonl` + `serve_status.json`
+    /// (`None`: no flush).
+    pub results_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let slice_cycles = 20_000;
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mix: ScenarioMix::Mixed,
+            slice_cycles,
+            seed: 2003,
+            max_slices: None,
+            // Warm up across at least one slice of each scenario so the
+            // residual statistics absorb cross-scenario variation.
+            anomaly: AnomalyConfig::default()
+                .with_warmup_windows(2 * slice_cycles / AnomalyConfig::default().window_cycles + 4),
+            inject: None,
+            results_dir: None,
+        }
+    }
+}
+
+/// Why the service failed to start or run.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket trouble (bind, accept, read, write).
+    Io(io::Error),
+    /// A worker or HTTP thread panicked or vanished.
+    Thread(String),
+    /// A self-check failed (e.g. `/status` produced invalid JSON).
+    SelfCheck(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve I/O error: {e}"),
+            ServeError::Thread(msg) => write!(f, "serve thread error: {msg}"),
+            ServeError::SelfCheck(msg) => write!(f, "serve self-check failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Live state shared between the worker and the HTTP thread.
+#[derive(Debug)]
+struct LiveState {
+    started: Instant,
+    mix: ScenarioMix,
+    seed: u64,
+    slices: u64,
+    cycles: u64,
+    total_energy_j: f64,
+    /// `(name, count, total_j, mean_j)` per instruction.
+    rows: Vec<(String, u64, f64, f64)>,
+    window_power_uw: CycleHistogram,
+    anomaly_windows: u64,
+    anomaly_events: Vec<AnomalyEvent>,
+    registry: MetricsRegistry,
+    /// Latest full JSONL export (registry + anomaly event lines).
+    jsonl: String,
+}
+
+impl LiveState {
+    fn new(mix: ScenarioMix, seed: u64) -> Self {
+        LiveState {
+            started: Instant::now(),
+            mix,
+            seed,
+            slices: 0,
+            cycles: 0,
+            total_energy_j: 0.0,
+            rows: Vec::new(),
+            window_power_uw: CycleHistogram::new(&WINDOW_POWER_BOUNDS_UW),
+            anomaly_windows: 0,
+            anomaly_events: Vec::new(),
+            registry: MetricsRegistry::new(),
+            jsonl: String::new(),
+        }
+    }
+
+    fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Rebuilds the shared registry from the current fields; `/metrics`
+    /// renders exactly this through the standard Prometheus exporter.
+    fn republish(&mut self) {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("serve_slices_total", "Workload slices completed.", &[]);
+        reg.add(c, self.slices as f64);
+        let c = reg.counter("ahb_cycles_total", "Bus cycles simulated.", &[]);
+        reg.add(c, self.cycles as f64);
+        let c = reg.counter("power_total_energy_joules", "Total bus energy booked.", &[]);
+        reg.add(c, self.total_energy_j);
+        for (name, count, total, mean) in &self.rows {
+            let labels = [("instruction", name.as_str())];
+            let c = reg.counter(
+                "power_instruction_cycles_total",
+                "Cycles booked per instruction.",
+                &labels,
+            );
+            reg.add(c, *count as f64);
+            let c = reg.counter(
+                "power_instruction_energy_joules",
+                "Energy booked per instruction.",
+                &labels,
+            );
+            reg.add(c, *total);
+            let g = reg.gauge(
+                "power_instruction_mean_energy_joules",
+                "Mean energy per instruction occurrence.",
+                &labels,
+            );
+            reg.set(g, *mean);
+        }
+        let h = reg.histogram(
+            "serve_window_power_microwatts",
+            "Windowed bus power distribution.",
+            &[],
+            &WINDOW_POWER_BOUNDS_UW,
+        );
+        reg.set_histogram(h, &self.window_power_uw);
+        let c = reg.counter(
+            "energy_anomaly_windows_total",
+            "Detection windows judged.",
+            &[],
+        );
+        reg.add(c, self.anomaly_windows as f64);
+        let c = reg.counter(
+            "energy_anomaly_events_total",
+            "Windows flagged as energy anomalies.",
+            &[],
+        );
+        reg.add(c, self.anomaly_events.len() as f64);
+        let g = reg.gauge("serve_uptime_seconds", "Service uptime.", &[]);
+        reg.set(g, self.uptime_s());
+        self.registry = reg;
+
+        let mut jsonl = ahbpower::telemetry::to_jsonl(
+            &self.registry,
+            &ahbpower::telemetry::ExportMeta {
+                scenario: format!("serve_{}", self.mix.name()),
+                cycles: self.cycles,
+                seed: self.seed,
+            },
+        );
+        for e in &self.anomaly_events {
+            jsonl.push_str(&e.to_jsonl_line());
+            jsonl.push('\n');
+        }
+        self.jsonl = jsonl;
+    }
+
+    /// The `/status` document. Hand-built like every exporter in the
+    /// workspace; `serve` self-checks it with [`validate_json`].
+    fn status_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"status\":\"ok\",\"scenario_mix\":\"{}\",\"uptime_s\":{},\"slices\":{},\"cycles\":{},\"seed\":{},\"total_energy_j\":{}",
+            self.mix.name(),
+            jnum(self.uptime_s()),
+            self.slices,
+            self.cycles,
+            self.seed,
+            jnum(self.total_energy_j)
+        );
+        let _ = write!(
+            out,
+            ",\"window_power_uw\":{{\"windows\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            self.window_power_uw.count(),
+            jnum(self.window_power_uw.quantile(0.5)),
+            jnum(self.window_power_uw.quantile(0.95)),
+            jnum(self.window_power_uw.quantile(0.99))
+        );
+        let _ = write!(
+            out,
+            ",\"anomalies\":{{\"windows\":{},\"count\":{},\"last\":",
+            self.anomaly_windows,
+            self.anomaly_events.len()
+        );
+        match self.anomaly_events.last() {
+            Some(e) => {
+                let _ = write!(
+                    out,
+                    "{{\"window\":{},\"start_cycle\":{},\"deviation_pct\":{},\"z_score\":{}}}",
+                    e.window,
+                    e.start_cycle,
+                    jnum(e.deviation_pct),
+                    jnum(e.z_score)
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str("},\"instructions\":[");
+        for (i, (name, count, total, mean)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"count\":{count},\"total_j\":{},\"mean_j\":{}}}",
+                jnum(*total),
+                jnum(*mean)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A JSON-safe float.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// What the service did, reported by [`ServerHandle::wait`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Slices completed.
+    pub slices: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total energy booked, joules.
+    pub total_energy_j: f64,
+    /// Anomalies flagged.
+    pub anomalies: u64,
+    /// Files flushed on shutdown (empty without a results dir).
+    pub flushed: Vec<PathBuf>,
+}
+
+/// A running service: the bound address plus the worker and HTTP
+/// threads. Drop without [`ServerHandle::wait`] leaks the threads;
+/// always wait.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<Mutex<LiveState>>,
+    worker: thread::JoinHandle<()>,
+    http: thread::JoinHandle<()>,
+    results_dir: Option<PathBuf>,
+}
+
+impl ServerHandle {
+    /// The bound socket address (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (idempotent; `/quit` does the same).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the worker finishes (slice budget or shutdown),
+    /// stops the HTTP thread, flushes final snapshots, and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Thread`] if a thread panicked,
+    /// [`ServeError::Io`] if the final flush failed.
+    pub fn wait(self) -> Result<ServeSummary, ServeError> {
+        self.finish(false)
+    }
+
+    /// Like [`ServerHandle::wait`], but keeps serving after the slice
+    /// budget drains: returns only once `GET /quit` (or
+    /// [`ServerHandle::shutdown`] plus one more connection) stops the
+    /// HTTP thread. This is what `repro serve` blocks on.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServerHandle::wait`].
+    pub fn wait_for_quit(self) -> Result<ServeSummary, ServeError> {
+        self.finish(true)
+    }
+
+    fn finish(self, until_quit: bool) -> Result<ServeSummary, ServeError> {
+        if until_quit {
+            // /quit flips the stop flag and breaks the HTTP loop; the
+            // worker notices at its next slice boundary.
+            self.http
+                .join()
+                .map_err(|_| ServeError::Thread("http thread panicked".to_string()))?;
+            self.stop.store(true, Ordering::SeqCst);
+            self.worker
+                .join()
+                .map_err(|_| ServeError::Thread("worker thread panicked".to_string()))?;
+        } else {
+            self.worker
+                .join()
+                .map_err(|_| ServeError::Thread("worker thread panicked".to_string()))?;
+            // The worker is done; release the HTTP thread, which may be
+            // parked in accept(): set the flag and poke the socket.
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+            self.http
+                .join()
+                .map_err(|_| ServeError::Thread("http thread panicked".to_string()))?;
+        }
+
+        let state = self
+            .state
+            .lock()
+            .map_err(|_| ServeError::Thread("state mutex poisoned".to_string()))?;
+        let mut flushed = Vec::new();
+        if let Some(dir) = &self.results_dir {
+            std::fs::create_dir_all(dir)?;
+            let jsonl_path = dir.join("serve_final.jsonl");
+            write_atomic(&jsonl_path, &state.jsonl)?;
+            flushed.push(jsonl_path);
+            let status = state.status_json();
+            validate_json(&status)
+                .map_err(|e| ServeError::SelfCheck(format!("final status JSON invalid: {e}")))?;
+            let status_path = dir.join("serve_status.json");
+            write_atomic(&status_path, &status)?;
+            flushed.push(status_path);
+        }
+        Ok(ServeSummary {
+            slices: state.slices,
+            cycles: state.cycles,
+            total_energy_j: state.total_energy_j,
+            anomalies: state.anomaly_events.len() as u64,
+            flushed,
+        })
+    }
+}
+
+/// Builds a slice's bus for `label` at `seed`.
+fn build_slice_bus(label: &str, slice_cycles: u64, seed: u64) -> ahbpower_ahb::AhbBus {
+    if label == PaperTestbench::LABEL {
+        PaperTestbench::sized_for(slice_cycles, seed)
+            .build()
+            .expect("paper testbench is statically valid")
+    } else {
+        let scale = (slice_cycles / 4_000).clamp(1, 10_000) as u32;
+        let base = SocScenario::default();
+        SocScenario {
+            seed,
+            cpu_accesses: base.cpu_accesses * scale,
+            dma_blocks: base.dma_blocks * scale,
+            stream_frames: base.stream_frames * scale,
+            ..base
+        }
+        .build()
+        .expect("soc scenario is statically valid")
+    }
+}
+
+/// Starts the service: binds `cfg.addr`, spawns the simulation worker
+/// and the HTTP thread, and returns immediately.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the address cannot be bound.
+pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(cfg.addr.as_str())?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(Mutex::new(LiveState::new(cfg.mix, cfg.seed)));
+
+    let worker = {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        let cfg = cfg.clone();
+        thread::spawn(move || run_worker(&cfg, &stop, &state))
+    };
+    let http = {
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        thread::spawn(move || run_http(&listener, &stop, &state))
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        state,
+        worker,
+        http,
+        results_dir: cfg.results_dir,
+    })
+}
+
+/// The simulation loop: one session for the whole service lifetime
+/// (the anomaly detector's baseline survives across slices), a fresh
+/// bus per slice.
+fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
+    // Size the model for the widest scenario in the mix; narrower buses
+    // use a subset of the masters.
+    let (n_masters, n_slaves) = match cfg.mix {
+        ScenarioMix::Paper => (PaperTestbench::N_MASTERS, PaperTestbench::N_SLAVES),
+        _ => (
+            PaperTestbench::N_MASTERS.max(SocScenario::N_MASTERS),
+            PaperTestbench::N_SLAVES.max(SocScenario::N_SLAVES),
+        ),
+    };
+    let acfg = AnalysisConfig {
+        n_masters,
+        n_slaves,
+        seed: cfg.seed,
+        ..AnalysisConfig::paper_testbench()
+    };
+    let tcfg = TelemetryConfig::enabled(&format!("serve_{}", cfg.mix.name()))
+        .with_seed(cfg.seed)
+        .with_anomaly(cfg.anomaly.clone());
+    let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+    let mut consumed_points = 0usize;
+
+    let mut slice = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(max) = cfg.max_slices {
+            if slice >= max {
+                break;
+            }
+        }
+        if let Some(inj) = cfg.inject {
+            if inj.at_slice == slice {
+                session.scale_model_block(inj.block, inj.factor);
+            }
+        }
+        let label = cfg.mix.slice_label(slice);
+        let mut bus = build_slice_bus(label, cfg.slice_cycles, cfg.seed + slice);
+        session.run(&mut bus, cfg.slice_cycles);
+        slice += 1;
+
+        let rows: Vec<(String, u64, f64, f64)> = session
+            .ledger()
+            .rows()
+            .into_iter()
+            .map(|r| (r.instruction.name(), r.count, r.total, r.average))
+            .collect();
+        let total_energy = session.total_energy();
+        let points = session.trace_points().to_vec();
+        let (anomaly_windows, anomaly_events) =
+            match session.telemetry_mut().and_then(|t| t.anomaly()) {
+                Some(d) => (d.windows(), d.events().to_vec()),
+                None => (0, Vec::new()),
+            };
+
+        let Ok(mut s) = state.lock() else {
+            break;
+        };
+        s.slices = slice;
+        s.cycles = slice * cfg.slice_cycles;
+        s.total_energy_j = total_energy;
+        s.rows = rows;
+        for p in &points[consumed_points..] {
+            s.window_power_uw.observe((p.total_w * 1e6).round() as u64);
+        }
+        consumed_points = points.len();
+        s.anomaly_windows = anomaly_windows;
+        s.anomaly_events = anomaly_events;
+        s.republish();
+    }
+    // Draining the slice budget ends simulation but NOT serving: the
+    // HTTP thread keeps answering until /quit or ServerHandle::wait.
+}
+
+/// The HTTP loop: sequential accept, one request per connection.
+fn run_http(listener: &TcpListener, stop: &AtomicBool, state: &Mutex<LiveState>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let path = match read_request_path(&mut stream) {
+            Some(p) => p,
+            None => continue,
+        };
+        let quit = path == "/quit";
+        let (status, content_type, body) = route(&path, state);
+        let _ = write_response(&mut stream, status, content_type, &body);
+        if quit {
+            stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+}
+
+/// Parses the request line (`GET /path HTTP/1.1`) of one connection.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 1024];
+    let mut filled = 0usize;
+    loop {
+        let n = stream.read(&mut buf[filled..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(2).any(|w| w == b"\r\n") || filled == buf.len() {
+            break;
+        }
+    }
+    let text = core::str::from_utf8(&buf[..filled]).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_string())
+}
+
+/// Maps a path to `(status, content-type, body)`.
+fn route(path: &str, state: &Mutex<LiveState>) -> (u16, &'static str, String) {
+    match path {
+        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/quit" => (
+            200,
+            "text/plain; charset=utf-8",
+            "shutting down\n".to_string(),
+        ),
+        "/metrics" => match state.lock() {
+            Ok(mut s) => {
+                let uptime = s.uptime_s();
+                let g = s
+                    .registry
+                    .gauge("serve_uptime_seconds", "Service uptime.", &[]);
+                s.registry.set(g, uptime);
+                (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    to_prometheus(&s.registry),
+                )
+            }
+            Err(_) => (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            ),
+        },
+        "/status" => match state.lock() {
+            Ok(s) => (200, "application/json", s.status_json()),
+            Err(_) => (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            ),
+        },
+        _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A fetched HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body (after the blank line).
+    pub body: String,
+}
+
+/// Minimal std-only HTTP GET — the fetch helper `check.sh` and the
+/// integration tests use instead of curl.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on connect/read trouble,
+/// [`ServeError::SelfCheck`] on an unparseable response.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<HttpResponse, ServeError> {
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|e| ServeError::SelfCheck(format!("bad address '{addr}': {e}")))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| ServeError::SelfCheck(format!("unparseable response: {raw:.80}")))?;
+    let body = match raw.split_once("\r\n\r\n") {
+        Some((_, b)) => b.to_string(),
+        None => String::new(),
+    };
+    Ok(HttpResponse { status, body })
+}

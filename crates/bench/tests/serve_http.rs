@@ -1,0 +1,234 @@
+//! End-to-end tests for the live monitoring service: every endpoint
+//! answers over a real TCP socket, `/quit` shuts down gracefully, and
+//! the final flush leaves complete artifacts behind.
+
+use std::time::Duration;
+
+use ahbpower::telemetry::AnomalyConfig;
+use ahbpower::SubBlock;
+use ahbpower_bench::{
+    http_get, parse_json, serve, validate_json, Injection, JsonValue, ScenarioMix, ServeConfig,
+};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        mix: ScenarioMix::Paper,
+        slice_cycles: 5_000,
+        seed: 2003,
+        max_slices: Some(3),
+        anomaly: AnomalyConfig::default().with_warmup_windows(4),
+        ..ServeConfig::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ahb_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn endpoints_answer_with_valid_payloads() {
+    let handle = serve(test_config()).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let health = http_get(&addr, "/healthz", TIMEOUT).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    // Give the worker at least one slice before inspecting metrics:
+    // poll /status until slices > 0 (bounded retries, no sleeps needed
+    // beyond the poll interval).
+    let mut slices = 0u64;
+    for _ in 0..200 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        assert_eq!(status.status, 200);
+        validate_json(&status.body).expect("status JSON is valid");
+        let doc = parse_json(&status.body).expect("status JSON parses");
+        slices = doc
+            .get("slices")
+            .and_then(JsonValue::as_u64)
+            .expect("slices field");
+        if slices > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(slices > 0, "worker never completed a slice");
+
+    let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+    let doc = parse_json(&status.body).expect("status JSON parses");
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert_eq!(
+        doc.get("scenario_mix").and_then(JsonValue::as_str),
+        Some("paper")
+    );
+    let energy = doc
+        .get("total_energy_j")
+        .and_then(JsonValue::as_f64)
+        .expect("total_energy_j");
+    assert!(energy > 0.0, "a completed slice books energy");
+    let instructions = doc
+        .get("instructions")
+        .and_then(JsonValue::as_array)
+        .expect("instructions array");
+    assert!(!instructions.is_empty());
+
+    let metrics = http_get(&addr, "/metrics", TIMEOUT).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("# TYPE ahb_cycles_total counter"));
+    assert!(metrics.body.contains("power_instruction_energy_joules"));
+    assert!(metrics.body.contains("serve_uptime_seconds"));
+    assert!(metrics
+        .body
+        .contains("serve_window_power_microwatts_bucket"));
+
+    let missing = http_get(&addr, "/nope", TIMEOUT).expect("404 route");
+    assert_eq!(missing.status, 404);
+
+    let summary = handle.wait().expect("clean shutdown");
+    assert_eq!(summary.slices, 3);
+    assert_eq!(summary.cycles, 15_000);
+    assert!(summary.total_energy_j > 0.0);
+}
+
+#[test]
+fn quit_flushes_complete_artifacts() {
+    let dir = tmp_dir("quit");
+    let cfg = ServeConfig {
+        max_slices: None,
+        results_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // Wait for one slice so the flush has content.
+    for _ in 0..200 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) > Some(0) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let quit = http_get(&addr, "/quit", TIMEOUT).expect("quit");
+    assert_eq!(quit.status, 200);
+    let summary = handle.wait().expect("clean shutdown");
+    assert!(summary.slices > 0);
+    assert_eq!(summary.flushed.len(), 2);
+
+    // The flushed files are complete: the JSONL is line-by-line valid
+    // JSON, the status document parses whole, and no .tmp staging file
+    // survived the atomic rename.
+    let jsonl = std::fs::read_to_string(dir.join("serve_final.jsonl")).expect("jsonl flushed");
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        validate_json(line).expect("every JSONL line is valid JSON");
+    }
+    let status = std::fs::read_to_string(dir.join("serve_status.json")).expect("status flushed");
+    let doc = parse_json(&status).expect("final status parses");
+    assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("results dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "no partial .tmp files survive");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_fault_is_detected_and_reported() {
+    // Paper-only mix, deterministic seed: arbiter coefficients tripled
+    // from slice 3 onward (~+10% total energy, comfortably past the 5%
+    // deviation gate) must raise anomalies once warmup has passed, and
+    // they surface in /status and the Prometheus export.
+    let cfg = ServeConfig {
+        slice_cycles: 10_000,
+        max_slices: Some(6),
+        anomaly: AnomalyConfig::default().with_warmup_windows(6),
+        inject: Some(Injection {
+            block: SubBlock::Arb,
+            factor: 3.0,
+            at_slice: 3,
+        }),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // Wait until the slice budget drains.
+    for _ in 0..400 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) == Some(6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+    let doc = parse_json(&status.body).expect("status parses");
+    let anomalies = doc.get("anomalies").expect("anomalies object");
+    let count = anomalies
+        .get("count")
+        .and_then(JsonValue::as_u64)
+        .expect("count");
+    assert!(count > 0, "doubled arbiter coefficients must be flagged");
+    let last = anomalies.get("last").expect("last event");
+    let deviation = last
+        .get("deviation_pct")
+        .and_then(JsonValue::as_f64)
+        .expect("deviation");
+    assert!(deviation > 0.0, "injection raises energy above baseline");
+
+    let metrics = http_get(&addr, "/metrics", TIMEOUT).expect("metrics");
+    assert!(metrics.body.contains("energy_anomaly_events_total"));
+
+    let summary = handle.wait().expect("clean shutdown");
+    assert!(summary.anomalies > 0);
+}
+
+#[test]
+fn clean_paper_run_stays_silent() {
+    let cfg = ServeConfig {
+        slice_cycles: 10_000,
+        max_slices: Some(6),
+        anomaly: AnomalyConfig::default().with_warmup_windows(6),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    for _ in 0..400 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) == Some(6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let summary = handle.wait().expect("clean shutdown");
+    assert_eq!(summary.slices, 6);
+    assert_eq!(
+        summary.anomalies, 0,
+        "an uninjected paper run must not alarm"
+    );
+}
+
+#[test]
+fn injection_spec_parses() {
+    let inj = Injection::parse("arb:2.0@3").expect("full spec");
+    assert_eq!(inj.block, SubBlock::Arb);
+    assert_eq!(inj.factor, 2.0);
+    assert_eq!(inj.at_slice, 3);
+    let inj = Injection::parse("dec:1.5").expect("default slice");
+    assert_eq!(inj.block, SubBlock::Dec);
+    assert_eq!(inj.at_slice, 2);
+    assert!(Injection::parse("nope:2.0").is_none());
+    assert!(Injection::parse("arb").is_none());
+    assert!(Injection::parse("arb:x").is_none());
+}

@@ -95,7 +95,7 @@ pub use ledger::{fmt_energy, BlockLedger, InstructionLedger, InstructionRow, BLO
 pub use macromodel::{
     ceil_log2, fit_linear, ArbiterModel, BlockEnergy, DecoderModel, LinearFit, MuxModel, TechParams,
 };
-pub use model::{AhbPowerModel, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS, WDATA_BITS};
+pub use model::{AhbPowerModel, SubBlock, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS, WDATA_BITS};
 pub use power_fsm::{CycleRecord, PowerFsm};
 pub use probe::{FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
 pub use sc::{run_on_kernel, run_on_kernel_profiled, KernelRun};

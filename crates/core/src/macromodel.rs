@@ -126,6 +126,14 @@ impl DecoderModel {
     pub fn coefficients(&self) -> [(&'static str, f64); 2] {
         [("alpha", self.alpha), ("beta", self.beta)]
     }
+
+    /// Scales every energy coefficient by `factor` — the anomaly-injection
+    /// hook: a scaled block emulates a design drift (or a fault) whose
+    /// energy signature the on-line detector must notice.
+    pub fn scale(&mut self, factor: f64) {
+        self.alpha *= factor;
+        self.beta *= factor;
+    }
 }
 
 /// The multiplexer macromodel `E_MUX = f(w, n, HD_IN, HD_SEL)`.
@@ -203,6 +211,14 @@ impl MuxModel {
             ("b_sel", self.b_sel),
         ]
     }
+
+    /// Scales every energy coefficient by `factor` (anomaly-injection
+    /// hook; see [`DecoderModel::scale`]).
+    pub fn scale(&mut self, factor: f64) {
+        self.a_data *= factor;
+        self.a_out *= factor;
+        self.b_sel *= factor;
+    }
 }
 
 /// The arbiter macromodel — a small FSM whose energy follows request
@@ -274,6 +290,14 @@ impl ArbiterModel {
             ("b_grant", self.b_grant),
             ("e_clock", self.e_clock),
         ]
+    }
+
+    /// Scales every energy coefficient by `factor` (anomaly-injection
+    /// hook; see [`DecoderModel::scale`]).
+    pub fn scale(&mut self, factor: f64) {
+        self.a_req *= factor;
+        self.b_grant *= factor;
+        self.e_clock *= factor;
     }
 }
 

@@ -18,6 +18,52 @@ pub const RDATA_BITS: u32 = 32;
 /// Bit width of the response bundle (HRESP+HREADY).
 pub const RESP_BITS: u32 = 3;
 
+/// Names one of the four characterized AHB sub-blocks, for operations
+/// that address a single block (coefficient scaling, reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubBlock {
+    /// Address decoder.
+    Dec,
+    /// Masters-to-slaves multiplexer.
+    M2s,
+    /// Slaves-to-masters multiplexer.
+    S2m,
+    /// Arbiter FSM.
+    Arb,
+}
+
+impl SubBlock {
+    /// Every sub-block, in ledger order.
+    pub const ALL: [SubBlock; 4] = [SubBlock::Dec, SubBlock::M2s, SubBlock::S2m, SubBlock::Arb];
+
+    /// The short lowercase name used in CLIs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubBlock::Dec => "dec",
+            SubBlock::M2s => "m2s",
+            SubBlock::S2m => "s2m",
+            SubBlock::Arb => "arb",
+        }
+    }
+
+    /// Parses a short name produced by [`SubBlock::name`].
+    pub fn from_name(name: &str) -> Option<SubBlock> {
+        match name {
+            "dec" => Some(SubBlock::Dec),
+            "m2s" => Some(SubBlock::M2s),
+            "s2m" => Some(SubBlock::S2m),
+            "arb" => Some(SubBlock::Arb),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for SubBlock {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The four characterized sub-blocks of the AHB, with per-cycle energy
 /// evaluation from consecutive [`BusSnapshot`]s.
 ///
@@ -70,6 +116,18 @@ impl AhbPowerModel {
             m2s,
             s2m,
             arbiter,
+        }
+    }
+
+    /// Scales every coefficient of one sub-block's macromodel by
+    /// `factor`. This is the anomaly-injection hook: it emulates a
+    /// localized energy drift that the on-line detector should flag.
+    pub fn scale_block(&mut self, block: SubBlock, factor: f64) {
+        match block {
+            SubBlock::Dec => self.decoder.scale(factor),
+            SubBlock::M2s => self.m2s.scale(factor),
+            SubBlock::S2m => self.s2m.scale(factor),
+            SubBlock::Arb => self.arbiter.scale(factor),
         }
     }
 
@@ -209,6 +267,44 @@ mod tests {
         b.hsel = 0b010;
         let e = m.cycle_energy(&a, &b);
         assert!(e.s2m > 0.0);
+    }
+
+    #[test]
+    fn scale_block_touches_only_the_named_block() {
+        let base = AhbPowerModel::new(2, 3, &TechParams::default());
+        let a = snap();
+        let mut b = snap();
+        b.haddr = 0xFF;
+        b.hwdata = 0xF0;
+        b.hrdata = 0x0F;
+        b.hbusreq = 0b11;
+        let before = base.cycle_energy(&a, &b);
+        for block in SubBlock::ALL {
+            let mut m = base.clone();
+            m.scale_block(block, 2.0);
+            let after = m.cycle_energy(&a, &b);
+            let pairs = [
+                (SubBlock::Dec, before.dec, after.dec),
+                (SubBlock::M2s, before.m2s, after.m2s),
+                (SubBlock::S2m, before.s2m, after.s2m),
+                (SubBlock::Arb, before.arb, after.arb),
+            ];
+            for (which, was, now) in pairs {
+                if which == block {
+                    assert!((now - 2.0 * was).abs() < 1e-18, "{block} should double");
+                } else {
+                    assert_eq!(now, was, "{which} must not move when {block} scales");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sub_block_names_round_trip() {
+        for block in SubBlock::ALL {
+            assert_eq!(SubBlock::from_name(block.name()), Some(block));
+        }
+        assert_eq!(SubBlock::from_name("cpu"), None);
     }
 
     #[test]

@@ -126,6 +126,13 @@ impl PowerFsm {
         &self.model
     }
 
+    /// Scales one sub-block's macromodel coefficients by `factor` — the
+    /// anomaly-injection hook ([`AhbPowerModel::scale_block`]). Takes
+    /// effect from the next observed cycle.
+    pub fn scale_block(&mut self, block: crate::model::SubBlock, factor: f64) {
+        self.model.scale_block(block, factor);
+    }
+
     /// Per-instruction observation flags, indexed by
     /// [`Instruction::index`](crate::Instruction::index): `true` where the
     /// FSM has booked at least one occurrence. Static analyzers compare

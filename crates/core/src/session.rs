@@ -81,6 +81,13 @@ impl PowerSession {
         session
     }
 
+    /// Scales one sub-block's macromodel coefficients by `factor` — the
+    /// anomaly-injection hook. Calling it between two [`PowerSession::run`]
+    /// calls emulates a mid-stream energy drift for detector tests.
+    pub fn scale_model_block(&mut self, block: crate::model::SubBlock, factor: f64) {
+        self.fsm.scale_block(block, factor);
+    }
+
     /// Observes one cycle.
     pub fn observe(&mut self, snap: &BusSnapshot) {
         match &mut self.telemetry {
@@ -99,6 +106,7 @@ impl PowerSession {
                     x.observe(snap, &rec);
                 }
                 t.observe_bus(snap);
+                t.observe_power(rec.instruction, rec.energy.total());
                 t.record_observe(t0.elapsed());
             }
         }

@@ -1,0 +1,471 @@
+//! On-line energy anomaly detection: EWMA + windowed z-score over the
+//! residual between measured window energy and the macromodel-predicted
+//! baseline for the window's instruction mix.
+//!
+//! The detector learns per-instruction mean energies during a warmup
+//! phase, then predicts each window's energy as `Σ countᵢ × meanᵢ` and
+//! tracks the relative residual `(measured − predicted) / predicted`
+//! with an exponentially weighted mean and variance. A window whose
+//! residual z-score exceeds the threshold *and* whose deviation exceeds
+//! a minimum percentage is flagged as an [`AnomalyEvent`]; anomalous
+//! windows do not update the learned baseline or the residual
+//! statistics, so a sustained drift keeps firing instead of being
+//! absorbed.
+//!
+//! The injection hook that makes this testable end-to-end is
+//! [`crate::PowerSession::scale_model_block`]: scaling one sub-block's
+//! coefficients mid-run shifts measured energy away from the learned
+//! baseline without touching the instruction mix.
+
+use crate::instruction::{Instruction, INSTRUCTION_COUNT};
+
+/// Tuning knobs for the [`AnomalyDetector`]. The defaults flag a
+/// sustained ≥5% energy shift within a couple of windows while staying
+/// silent on the natural window-to-window variation of the paper
+/// testbench and SoC scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyConfig {
+    /// Cycles per detection window.
+    pub window_cycles: u64,
+    /// Windows spent learning the per-instruction baseline and priming
+    /// the residual statistics before any window can be flagged.
+    pub warmup_windows: u64,
+    /// EWMA smoothing factor for the residual mean/variance (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+    /// Flag when `|z| > z_threshold` (and the deviation gate passes).
+    pub z_threshold: f64,
+    /// Ignore windows deviating less than this percentage from the
+    /// prediction, whatever their z-score — guards against a tiny
+    /// variance making noise look significant.
+    pub min_deviation_pct: f64,
+    /// Lower bound on the residual standard deviation used in the
+    /// z-score denominator (relative units; 0.01 = 1%).
+    pub sigma_floor: f64,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            window_cycles: 1_000,
+            warmup_windows: 8,
+            ewma_alpha: 0.2,
+            z_threshold: 6.0,
+            min_deviation_pct: 5.0,
+            sigma_floor: 0.01,
+        }
+    }
+}
+
+impl AnomalyConfig {
+    /// Sets the detection window length in cycles (clamped to ≥ 1).
+    pub fn with_window_cycles(mut self, cycles: u64) -> Self {
+        self.window_cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the number of warmup windows (clamped to ≥ 1).
+    pub fn with_warmup_windows(mut self, windows: u64) -> Self {
+        self.warmup_windows = windows.max(1);
+        self
+    }
+
+    /// Sets the z-score threshold.
+    pub fn with_z_threshold(mut self, z: f64) -> Self {
+        self.z_threshold = z;
+        self
+    }
+
+    /// Sets the minimum deviation percentage gate.
+    pub fn with_min_deviation_pct(mut self, pct: f64) -> Self {
+        self.min_deviation_pct = pct;
+        self
+    }
+}
+
+/// One flagged window: the measurement, the prediction it violated, and
+/// the strength of the violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyEvent {
+    /// Zero-based index of the flagged window.
+    pub window: u64,
+    /// First cycle of the flagged window.
+    pub start_cycle: u64,
+    /// Measured window energy, joules.
+    pub measured_j: f64,
+    /// Predicted window energy from the learned baseline, joules.
+    pub predicted_j: f64,
+    /// Signed deviation, percent of the prediction.
+    pub deviation_pct: f64,
+    /// Residual z-score against the EWMA statistics.
+    pub z_score: f64,
+}
+
+impl AnomalyEvent {
+    /// Renders the event as one JSONL line (matching the telemetry
+    /// exporter's event-stream format).
+    pub fn to_jsonl_line(&self) -> String {
+        format!(
+            "{{\"event\":\"anomaly\",\"window\":{},\"start_cycle\":{},\
+             \"measured_j\":{},\"predicted_j\":{},\"deviation_pct\":{},\
+             \"z_score\":{}}}",
+            self.window,
+            self.start_cycle,
+            num(self.measured_j),
+            num(self.predicted_j),
+            num(self.deviation_pct),
+            num(self.z_score),
+        )
+    }
+}
+
+/// A JSON-safe float (non-finite values become `null`).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Streaming detector fed one `(instruction, energy)` pair per cycle by
+/// the telemetry layer.
+///
+/// # Examples
+///
+/// ```
+/// use ahbpower::telemetry::{AnomalyConfig, AnomalyDetector};
+/// use ahbpower::{ActivityMode, Instruction};
+///
+/// let cfg = AnomalyConfig::default().with_window_cycles(10).with_warmup_windows(2);
+/// let mut det = AnomalyDetector::new(cfg);
+/// let insn = Instruction::new(ActivityMode::Read, ActivityMode::Read);
+/// // A steady stream never alarms.
+/// for _ in 0..100 {
+///     assert!(det.observe(insn, 1.0e-12).is_none());
+/// }
+/// assert!(det.events().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnomalyDetector {
+    cfg: AnomalyConfig,
+    // Learned baseline: cumulative clean-window energy and count per
+    // instruction.
+    base_energy: [f64; INSTRUCTION_COUNT],
+    base_count: [u64; INSTRUCTION_COUNT],
+    // Current window accumulators.
+    win_count: [u64; INSTRUCTION_COUNT],
+    win_energy: [f64; INSTRUCTION_COUNT],
+    cycle_in_window: u64,
+    window_index: u64,
+    cycles_total: u64,
+    // EWMA of the relative residual.
+    resid_mean: f64,
+    resid_var: f64,
+    resid_primed: bool,
+    events: Vec<AnomalyEvent>,
+}
+
+impl AnomalyDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(cfg: AnomalyConfig) -> Self {
+        AnomalyDetector {
+            cfg,
+            base_energy: [0.0; INSTRUCTION_COUNT],
+            base_count: [0; INSTRUCTION_COUNT],
+            win_count: [0; INSTRUCTION_COUNT],
+            win_energy: [0.0; INSTRUCTION_COUNT],
+            cycle_in_window: 0,
+            window_index: 0,
+            cycles_total: 0,
+            resid_mean: 0.0,
+            resid_var: 0.0,
+            resid_primed: false,
+            events: Vec::new(),
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &AnomalyConfig {
+        &self.cfg
+    }
+
+    /// Feeds one cycle. Returns the anomaly event if this cycle closed a
+    /// window that was flagged.
+    #[inline]
+    pub fn observe(&mut self, instruction: Instruction, joules: f64) -> Option<AnomalyEvent> {
+        let i = instruction.index();
+        self.win_count[i] += 1;
+        self.win_energy[i] += joules;
+        self.cycle_in_window += 1;
+        self.cycles_total += 1;
+        if self.cycle_in_window >= self.cfg.window_cycles {
+            return self.close_window();
+        }
+        None
+    }
+
+    /// Closed (complete) windows so far.
+    pub fn windows(&self) -> u64 {
+        self.window_index
+    }
+
+    /// Total cycles fed, including any partial trailing window.
+    pub fn cycles(&self) -> u64 {
+        self.cycles_total
+    }
+
+    /// Every flagged window, in order.
+    pub fn events(&self) -> &[AnomalyEvent] {
+        &self.events
+    }
+
+    /// The most recent flagged window, if any.
+    pub fn last_event(&self) -> Option<&AnomalyEvent> {
+        self.events.last()
+    }
+
+    /// Drops a partial trailing window (a fraction of a window has too
+    /// little signal to judge). Call once at the end of a run.
+    pub fn finish(&mut self) {
+        self.win_count = [0; INSTRUCTION_COUNT];
+        self.win_energy = [0.0; INSTRUCTION_COUNT];
+        self.cycle_in_window = 0;
+    }
+
+    /// Predicted energy for the accumulated window. Instructions absent
+    /// from the learned baseline contribute their measured energy, so a
+    /// never-seen mix cannot alarm by itself.
+    fn predict(&self) -> f64 {
+        let mut predicted = 0.0;
+        for i in 0..INSTRUCTION_COUNT {
+            if self.win_count[i] == 0 {
+                continue;
+            }
+            if self.base_count[i] > 0 {
+                let mean = self.base_energy[i] / self.base_count[i] as f64;
+                predicted += self.win_count[i] as f64 * mean;
+            } else {
+                predicted += self.win_energy[i];
+            }
+        }
+        predicted
+    }
+
+    fn close_window(&mut self) -> Option<AnomalyEvent> {
+        let window = self.window_index;
+        let start_cycle = self.cycles_total - self.cycle_in_window;
+        let measured: f64 = self.win_energy.iter().sum();
+        let predicted = self.predict();
+        self.window_index += 1;
+
+        let rel = if predicted > 0.0 {
+            (measured - predicted) / predicted
+        } else {
+            0.0
+        };
+        let in_warmup = window < self.cfg.warmup_windows;
+        let mut flagged = None;
+        if !in_warmup && self.resid_primed {
+            let sigma = self.resid_var.max(0.0).sqrt().max(self.cfg.sigma_floor);
+            let z = (rel - self.resid_mean) / sigma;
+            let deviation_pct = rel * 100.0;
+            if z.abs() > self.cfg.z_threshold && deviation_pct.abs() >= self.cfg.min_deviation_pct {
+                let event = AnomalyEvent {
+                    window,
+                    start_cycle,
+                    measured_j: measured,
+                    predicted_j: predicted,
+                    deviation_pct,
+                    z_score: z,
+                };
+                self.events.push(event.clone());
+                flagged = Some(event);
+            }
+        }
+
+        if flagged.is_none() {
+            // Clean window: absorb it into the baseline and the residual
+            // statistics. Flagged windows are deliberately excluded so a
+            // sustained drift keeps alarming.
+            for i in 0..INSTRUCTION_COUNT {
+                self.base_energy[i] += self.win_energy[i];
+                self.base_count[i] += self.win_count[i];
+            }
+            let a = self.cfg.ewma_alpha;
+            if self.resid_primed {
+                let diff = rel - self.resid_mean;
+                let incr = a * diff;
+                self.resid_mean += incr;
+                self.resid_var = (1.0 - a) * (self.resid_var + diff * incr);
+            } else {
+                self.resid_mean = rel;
+                self.resid_var = 0.0;
+                self.resid_primed = true;
+            }
+        }
+
+        self.win_count = [0; INSTRUCTION_COUNT];
+        self.win_energy = [0.0; INSTRUCTION_COUNT];
+        self.cycle_in_window = 0;
+        flagged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::ActivityMode;
+
+    fn insn(from: ActivityMode, to: ActivityMode) -> Instruction {
+        Instruction::new(from, to)
+    }
+
+    fn cfg() -> AnomalyConfig {
+        AnomalyConfig::default()
+            .with_window_cycles(100)
+            .with_warmup_windows(3)
+    }
+
+    #[test]
+    fn steady_stream_never_alarms() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Read, ActivityMode::Read);
+        let b = insn(ActivityMode::Read, ActivityMode::Write);
+        for c in 0..5_000u64 {
+            let (i, e) = if c % 3 == 0 {
+                (a, 2.0e-12)
+            } else {
+                (b, 3.0e-12)
+            };
+            assert!(det.observe(i, e).is_none());
+        }
+        det.finish();
+        assert!(det.events().is_empty());
+        assert_eq!(det.windows(), 50);
+    }
+
+    #[test]
+    fn small_noise_stays_silent() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Write, ActivityMode::Write);
+        for c in 0..10_000u64 {
+            // ±2% deterministic ripple: below the 5% deviation gate.
+            let ripple = 1.0 + 0.02 * ((c % 7) as f64 - 3.0) / 3.0;
+            det.observe(a, 2.0e-12 * ripple);
+        }
+        det.finish();
+        assert!(det.events().is_empty(), "{:?}", det.events());
+    }
+
+    #[test]
+    fn step_change_is_flagged_within_one_window() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Read, ActivityMode::Read);
+        for _ in 0..1_000u64 {
+            assert!(det.observe(a, 2.0e-12).is_none());
+        }
+        // Double the per-cycle energy: the very next closed window must fire.
+        let mut first = None;
+        for _ in 0..200u64 {
+            if let Some(e) = det.observe(a, 4.0e-12) {
+                first = Some(e);
+                break;
+            }
+        }
+        let e = first.expect("doubling energy must alarm");
+        assert_eq!(e.window, 10, "first full window after the step");
+        assert!(
+            e.deviation_pct > 90.0,
+            "deviation ~100%: {}",
+            e.deviation_pct
+        );
+        assert!(e.z_score > 6.0);
+        assert_eq!(det.last_event(), Some(&e));
+    }
+
+    #[test]
+    fn sustained_drift_keeps_alarming() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Read, ActivityMode::Read);
+        for _ in 0..1_000u64 {
+            det.observe(a, 2.0e-12);
+        }
+        for _ in 0..1_000u64 {
+            det.observe(a, 3.0e-12);
+        }
+        det.finish();
+        assert_eq!(
+            det.events().len(),
+            10,
+            "anomalous windows must not be absorbed into the baseline"
+        );
+    }
+
+    #[test]
+    fn unseen_instruction_mix_does_not_alarm() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Idle, ActivityMode::Idle);
+        for _ in 0..1_000u64 {
+            det.observe(a, 1.0e-12);
+        }
+        // A brand-new instruction dominates the next windows; with no
+        // baseline for it, its energy is taken at face value.
+        let b = insn(ActivityMode::Write, ActivityMode::Read);
+        for _ in 0..500u64 {
+            assert!(det.observe(b, 9.0e-12).is_none());
+        }
+        det.finish();
+        assert!(det.events().is_empty());
+    }
+
+    #[test]
+    fn partial_trailing_window_is_dropped() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Read, ActivityMode::Read);
+        for _ in 0..1_000u64 {
+            det.observe(a, 2.0e-12);
+        }
+        // 50 cycles of doubled energy: only half a window, never judged.
+        for _ in 0..50u64 {
+            assert!(det.observe(a, 4.0e-12).is_none());
+        }
+        det.finish();
+        assert!(det.events().is_empty());
+        assert_eq!(det.windows(), 10);
+        assert_eq!(det.cycles(), 1_050);
+    }
+
+    #[test]
+    fn event_jsonl_line_is_valid_shape() {
+        let e = AnomalyEvent {
+            window: 12,
+            start_cycle: 1_200,
+            measured_j: 4.0e-9,
+            predicted_j: 2.0e-9,
+            deviation_pct: 100.0,
+            z_score: 25.0,
+        };
+        let line = e.to_jsonl_line();
+        assert!(line.starts_with("{\"event\":\"anomaly\",\"window\":12,"));
+        assert!(line.contains("\"start_cycle\":1200"));
+        assert!(line.ends_with('}'));
+        let nan = AnomalyEvent {
+            z_score: f64::NAN,
+            ..e
+        };
+        assert!(nan.to_jsonl_line().contains("\"z_score\":null"));
+    }
+
+    #[test]
+    fn config_builders_clamp() {
+        let c = AnomalyConfig::default()
+            .with_window_cycles(0)
+            .with_warmup_windows(0)
+            .with_z_threshold(4.0)
+            .with_min_deviation_pct(2.5);
+        assert_eq!(c.window_cycles, 1);
+        assert_eq!(c.warmup_windows, 1);
+        assert_eq!(c.z_threshold, 4.0);
+        assert_eq!(c.min_deviation_pct, 2.5);
+    }
+}

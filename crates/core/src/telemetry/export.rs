@@ -135,8 +135,9 @@ fn csv_labels(meta: &MetricMeta) -> String {
 
 /// Renders the registry as CSV with columns `kind,name,labels,field,value`.
 /// Scalars emit one `value` row; histograms emit one row per bucket
-/// (`field` = `le=<bound>` / `le=+Inf`, cumulative counts) plus `sum` and
-/// `count` rows.
+/// (`field` = `le=<bound>` / `le=+Inf`, cumulative counts) plus `sum`,
+/// `count`, and interpolated `p50`/`p95`/`p99` rows (see
+/// [`ahbpower_ahb::CycleHistogram::quantile`]).
 pub fn to_csv(reg: &MetricsRegistry) -> String {
     let mut out = String::from("kind,name,labels,field,value\n");
     for c in reg.counters() {
@@ -170,14 +171,49 @@ pub fn to_csv(reg: &MetricsRegistry) -> String {
         }
         let _ = writeln!(out, "histogram,{name},{labels},sum,{}", h.hist.sum());
         let _ = writeln!(out, "histogram,{name},{labels},count,{}", h.hist.count());
+        for (field, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "histogram,{name},{labels},{field},{}",
+                h.hist.quantile(q)
+            );
+        }
     }
     out
 }
 
-fn prom_escape_label(v: &str) -> String {
+/// Escapes a label value for the Prometheus text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+/// [`prom_unescape_label`] inverts it exactly.
+pub fn prom_escape_label(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Inverts [`prom_escape_label`]. Unknown escape sequences and a
+/// trailing lone backslash are preserved literally (the exposition
+/// format defines only the three escapes).
+pub fn prom_unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 fn prom_labels(meta: &MetricMeta, extra: Option<(&str, &str)>) -> String {
@@ -453,6 +489,38 @@ mod tests {
         assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,le=1,1"));
         assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,le=+Inf,3"));
         assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,sum,101"));
+    }
+
+    #[test]
+    fn csv_emits_interpolated_percentiles() {
+        let out = to_csv(&sample_registry());
+        let lines: Vec<&str> = out.lines().collect();
+        // Buckets: le=1 holds {0}, le=4 holds {2}, +Inf holds {99}.
+        // p50: rank 1.5 of 3 → interpolates within (1,4].
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,p50,2.5"));
+        // p95/p99: rank lands in the overflow bucket → clamped to le=4.
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,p95,4"));
+        assert!(lines.contains(&"histogram,ahb_arbitration_latency_cycles,,p99,4"));
+    }
+
+    #[test]
+    fn prom_label_escape_round_trips_known_cases() {
+        for raw in [
+            "plain",
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "\\\"\n",
+            "trailing\\",
+            "\\n literal",
+        ] {
+            let escaped = prom_escape_label(raw);
+            assert!(!escaped.contains('\n'), "escaped form is single-line");
+            assert_eq!(prom_unescape_label(&escaped), raw, "escaped: {escaped:?}");
+        }
+        // Unknown escapes and lone trailing backslashes survive unescape.
+        assert_eq!(prom_unescape_label("\\x"), "\\x");
+        assert_eq!(prom_unescape_label("end\\"), "end\\");
     }
 
     #[test]

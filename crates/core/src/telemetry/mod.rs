@@ -33,16 +33,20 @@
 //! [`BusSnapshot`]: ahbpower_ahb::BusSnapshot
 
 mod analyzers;
+mod anomaly;
 mod export;
 mod registry;
 mod span;
 
 pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent};
 pub use export::{
-    to_csv, to_folded, to_jsonl, to_prometheus, to_trace_events, ExportMeta, TraceEventMeta,
+    prom_escape_label, prom_unescape_label, to_csv, to_folded, to_jsonl, to_prometheus,
+    to_trace_events, ExportMeta, TraceEventMeta,
 };
 pub use registry::{
-    Counter, CounterId, Gauge, GaugeId, Histogram, HistogramId, MetricMeta, MetricsRegistry,
+    is_valid_metric_name, sanitize_metric_name, Counter, CounterId, Gauge, GaugeId, Histogram,
+    HistogramId, MetricMeta, MetricsRegistry,
 };
 pub use span::{SpanId, SpanSet};
 
@@ -51,6 +55,7 @@ use std::time::Duration;
 use ahbpower_ahb::{BusPerfAnalyzer, BusSnapshot};
 use ahbpower_sim::{KernelProfile, KernelStats};
 
+use crate::instruction::Instruction;
 use crate::power_fsm::PowerFsm;
 
 /// Runtime switchboard for the telemetry subsystem. Default: disabled.
@@ -63,6 +68,8 @@ pub struct TelemetryConfig {
     pub scenario: String,
     /// Workload seed stamped into exports.
     pub seed: u64,
+    /// On-line anomaly detection; `None` (the default) runs none.
+    pub anomaly: Option<AnomalyConfig>,
 }
 
 impl Default for TelemetryConfig {
@@ -71,6 +78,7 @@ impl Default for TelemetryConfig {
             enabled: false,
             scenario: "default".to_string(),
             seed: 0,
+            anomaly: None,
         }
     }
 }
@@ -82,12 +90,19 @@ impl TelemetryConfig {
             enabled: true,
             scenario: scenario.to_string(),
             seed: 0,
+            anomaly: None,
         }
     }
 
     /// Sets the workload seed stamped into exports.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables on-line anomaly detection with the given configuration.
+    pub fn with_anomaly(mut self, cfg: AnomalyConfig) -> Self {
+        self.anomaly = Some(cfg);
         self
     }
 }
@@ -102,6 +117,7 @@ pub struct Telemetry {
     perf: BusPerfAnalyzer,
     spans: SpanSet,
     observe_span: SpanId,
+    anomaly: Option<AnomalyDetector>,
     finalized: bool,
 }
 
@@ -110,12 +126,14 @@ impl Telemetry {
     pub fn new(config: TelemetryConfig, n_masters: usize) -> Self {
         let mut spans = SpanSet::new();
         let observe_span = spans.register("session_observe");
+        let anomaly = config.anomaly.clone().map(AnomalyDetector::new);
         Telemetry {
             config,
             registry: MetricsRegistry::new(),
             perf: BusPerfAnalyzer::new(n_masters),
             spans,
             observe_span,
+            anomaly,
             finalized: false,
         }
     }
@@ -135,6 +153,20 @@ impl Telemetry {
     #[inline]
     pub fn record_observe(&mut self, elapsed: Duration) {
         self.spans.record(self.observe_span, elapsed);
+    }
+
+    /// Feeds one cycle's instruction and energy to the anomaly detector
+    /// (a no-op when anomaly detection is not configured).
+    #[inline]
+    pub fn observe_power(&mut self, instruction: Instruction, joules: f64) {
+        if let Some(d) = &mut self.anomaly {
+            d.observe(instruction, joules);
+        }
+    }
+
+    /// The anomaly detector (`None` when not configured).
+    pub fn anomaly(&self) -> Option<&AnomalyDetector> {
+        self.anomaly.as_ref()
     }
 
     /// The bus-performance analyzer.
@@ -179,6 +211,35 @@ impl Telemetry {
         publish_bus_perf(&mut self.registry, &self.perf);
         publish_power(&mut self.registry, fsm);
         publish_spans(&mut self.registry, &self.spans);
+        if let Some(d) = &mut self.anomaly {
+            d.finish();
+            let windows = self.registry.counter(
+                "energy_anomaly_windows_total",
+                "Detection windows judged by the anomaly detector.",
+                &[],
+            );
+            self.registry.add(windows, d.windows() as f64);
+            let events = self.registry.counter(
+                "energy_anomaly_events_total",
+                "Windows flagged as energy anomalies.",
+                &[],
+            );
+            self.registry.add(events, d.events().len() as f64);
+            if let Some(last) = d.last_event() {
+                let g = self.registry.gauge(
+                    "energy_anomaly_last_deviation_pct",
+                    "Deviation of the most recent flagged window, percent.",
+                    &[],
+                );
+                self.registry.set(g, last.deviation_pct);
+                let g = self.registry.gauge(
+                    "energy_anomaly_last_window",
+                    "Index of the most recent flagged window.",
+                    &[],
+                );
+                self.registry.set(g, last.window as f64);
+            }
+        }
     }
 
     fn export_meta(&self) -> ExportMeta {
@@ -189,9 +250,17 @@ impl Telemetry {
         }
     }
 
-    /// Renders the registry as a JSONL event stream.
+    /// Renders the registry as a JSONL event stream. Flagged anomaly
+    /// windows are appended as `{"event":"anomaly",...}` lines.
     pub fn to_jsonl(&self) -> String {
-        to_jsonl(&self.registry, &self.export_meta())
+        let mut out = to_jsonl(&self.registry, &self.export_meta());
+        if let Some(d) = &self.anomaly {
+            for event in d.events() {
+                out.push_str(&event.to_jsonl_line());
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Renders the registry as CSV.

@@ -76,6 +76,48 @@ fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
         .collect()
 }
 
+/// Whether `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Rewrites an arbitrary string into a valid metric name: every invalid
+/// character becomes `_`, and a leading digit gains a `_` prefix. An
+/// empty input becomes `"_"`. Use this for names built from untrusted
+/// input (scenario labels, file names) before registering them.
+pub fn sanitize_metric_name(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Rejects an invalid metric name with an error naming the offender.
+fn check_metric_name(name: &str) {
+    assert!(
+        is_valid_metric_name(name),
+        "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]* \
+         (sanitize_metric_name() rewrites arbitrary strings)"
+    );
+}
+
 /// The registry: flat stores per metric kind, addressed by typed handles.
 ///
 /// # Examples
@@ -105,7 +147,14 @@ impl MetricsRegistry {
     }
 
     /// Registers (or finds) a counter for `name` + `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid Prometheus metric name
+    /// ([`is_valid_metric_name`]); pass untrusted names through
+    /// [`sanitize_metric_name`] first.
     pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> CounterId {
+        check_metric_name(name);
         if let Some(i) = self
             .counters
             .iter()
@@ -125,7 +174,12 @@ impl MetricsRegistry {
     }
 
     /// Registers (or finds) a gauge for `name` + `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid (see [`MetricsRegistry::counter`]).
     pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) -> GaugeId {
+        check_metric_name(name);
         if let Some(i) = self
             .gauges
             .iter()
@@ -145,6 +199,11 @@ impl MetricsRegistry {
     }
 
     /// Registers (or finds) a histogram with the given bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid (see [`MetricsRegistry::counter`])
+    /// or `bounds` is empty / not strictly increasing.
     pub fn histogram(
         &mut self,
         name: &str,
@@ -152,6 +211,7 @@ impl MetricsRegistry {
         labels: &[(&str, &str)],
         bounds: &[u64],
     ) -> HistogramId {
+        check_metric_name(name);
         if let Some(i) = self
             .histograms
             .iter()
@@ -257,6 +317,38 @@ impl MetricsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(is_valid_metric_name("ahb_cycles_total"));
+        assert!(is_valid_metric_name("_private:scoped"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("9lives"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(!is_valid_metric_name("unicode_µ"));
+    }
+
+    #[test]
+    fn sanitize_rewrites_into_valid_names() {
+        for raw in ["", "9lives", "paper testbench", "a-b.c/d", "µW", "ok_name"] {
+            let cleaned = sanitize_metric_name(raw);
+            assert!(
+                is_valid_metric_name(&cleaned),
+                "{raw:?} -> {cleaned:?} must be valid"
+            );
+        }
+        assert_eq!(sanitize_metric_name("a-b.c/d"), "a_b_c_d");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name"), "ok_name");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn registering_an_invalid_name_is_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("has space", "nope", &[]);
+    }
 
     #[test]
     fn counters_register_idempotently() {

@@ -1,0 +1,43 @@
+//! Property tests for the Prometheus exporter's label escaping.
+
+use ahbpower::telemetry::{prom_escape_label, prom_unescape_label};
+use proptest::prelude::*;
+
+/// Palette biased toward the three escaped characters plus the letters
+/// that make `\n`-lookalike sequences (`n` after a literal backslash).
+fn palette(idx: u8) -> char {
+    match idx {
+        0 => '\\',
+        1 => '"',
+        2 => '\n',
+        3 => 'n',
+        4 => 'a',
+        _ => ' ',
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escape_then_unescape_is_identity(
+        raw in prop::collection::vec(0u8..6, 0..32)
+    ) {
+        let raw: String = raw.into_iter().map(palette).collect();
+        let escaped = prom_escape_label(&raw);
+        prop_assert!(!escaped.contains('\n'), "escaped label must be single-line");
+        prop_assert_eq!(prom_unescape_label(&escaped), raw);
+    }
+
+    #[test]
+    fn escaping_is_injective(
+        a in prop::collection::vec(0u8..6, 0..16),
+        b in prop::collection::vec(0u8..6, 0..16)
+    ) {
+        let a: String = a.into_iter().map(palette).collect();
+        let b: String = b.into_iter().map(palette).collect();
+        if a != b {
+            prop_assert_ne!(prom_escape_label(&a), prom_escape_label(&b));
+        }
+    }
+}

@@ -60,4 +60,53 @@ grep -q "valid json" results/trace_smoke.log
 grep -q "conservation ok" results/trace_smoke.log
 echo "  trace ok (results/trace.json, results/energy.folded)"
 
+echo "== live service (smoke, ephemeral port) =="
+# Start `repro serve` on an OS-assigned port, probe every endpoint with
+# the std-TcpStream client (no curl), and shut down via GET /quit. The
+# serve process must exit 0 after flushing its final snapshots.
+SERVE_LOG="$(mktemp)"
+cargo run --release -p ahbpower-bench --bin repro -- serve \
+    --mix mixed --slice-cycles 10000 --slices 4 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR="$(grep -o 'http://[0-9.:]*' "$SERVE_LOG" | sed 's|http://||' || true)"
+    [ -n "$ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "  ERROR: serve never printed its address" >&2
+    kill "$SERVE_PID" 2> /dev/null || true
+    rm -f "$SERVE_LOG"
+    exit 1
+fi
+cargo run --release -p ahbpower-bench --bin repro -- serve-probe --addr "$ADDR" --quit
+wait "$SERVE_PID"
+grep -q "served" "$SERVE_LOG"
+rm -f "$SERVE_LOG"
+echo "  serve ok (/healthz /metrics /status /quit on $ADDR)"
+
+echo "== baseline regression gate (200k cycles) =="
+# A fresh snapshot must compare clean against itself at zero tolerance,
+# the committed results/baseline.json must hold within 2%, and a seeded
+# coefficient fault (arbiter x2) must trip the gate.
+BASE_TMP="$(mktemp)"
+cargo run --release -p ahbpower-bench --bin repro -- baseline record \
+    --cycles 200000 --out "$BASE_TMP" > /dev/null
+cargo run --release -p ahbpower-bench --bin repro -- baseline compare \
+    --file "$BASE_TMP" --tolerance-pct 0 > /dev/null
+if [ -f results/baseline.json ]; then
+    cargo run --release -p ahbpower-bench --bin repro -- baseline compare \
+        --file results/baseline.json --tolerance-pct 2 > /dev/null
+    echo "  committed baseline holds within 2%"
+fi
+if cargo run --release -p ahbpower-bench --bin repro -- baseline compare \
+    --file "$BASE_TMP" --tolerance-pct 2 --inject arb:2.0 > /dev/null 2>&1; then
+    echo "  ERROR: baseline gate missed an injected arbiter fault" >&2
+    rm -f "$BASE_TMP"
+    exit 1
+fi
+rm -f "$BASE_TMP"
+echo "  baseline ok (self-compare clean, injected fault trips the gate)"
+
 echo "ALL CHECKS PASSED"
