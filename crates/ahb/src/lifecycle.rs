@@ -73,6 +73,35 @@ pub enum TxnEvent {
     },
 }
 
+impl TxnEvent {
+    /// The master this event belongs to — every lifecycle event is
+    /// attributed to exactly one master, whatever its kind. Event
+    /// consumers (the power tracer, the structured event bus) use this
+    /// to index per-master accumulators without matching every variant.
+    pub fn master(&self) -> MasterId {
+        match *self {
+            TxnEvent::Requested { master }
+            | TxnEvent::Granted { master, .. }
+            | TxnEvent::Started { master, .. }
+            | TxnEvent::Stalled { master }
+            | TxnEvent::BeatDone { master, .. }
+            | TxnEvent::Completed { master } => master,
+        }
+    }
+
+    /// The event's stable kind name (what structured exports key on).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TxnEvent::Requested { .. } => "Requested",
+            TxnEvent::Granted { .. } => "Granted",
+            TxnEvent::Started { .. } => "Started",
+            TxnEvent::Stalled { .. } => "Stalled",
+            TxnEvent::BeatDone { .. } => "BeatDone",
+            TxnEvent::Completed { .. } => "Completed",
+        }
+    }
+}
+
 /// Derives [`TxnEvent`]s from the snapshot stream.
 ///
 /// The address/data pipeline bookkeeping mirrors
@@ -145,7 +174,19 @@ impl LifecycleTap {
             }
         }
         self.prev_hgrant = snap.hgrant_bits();
+        self.observe_transfers(snap, emit);
+    }
 
+    /// Transfer-phase subset of [`LifecycleTap::observe`]: emits only
+    /// `Started`/`BeatDone`/`Stalled`/`Completed`, skipping the
+    /// per-master request/grant scan. For hot-path consumers that ignore
+    /// arbitration events (the telemetry event tap publishes only
+    /// completions); a tap driven exclusively through this method simply
+    /// leaves its request-tracking state idle. Do not interleave with
+    /// [`LifecycleTap::observe`] on the same tap — skipped cycles would
+    /// misreport `Granted::wait_cycles`.
+    #[inline]
+    pub fn observe_transfers(&mut self, snap: &BusSnapshot, mut emit: impl FnMut(TxnEvent)) {
         if snap.hready {
             // The pending data phase resolves this cycle.
             if let Some(master) = self.dp_master.take() {
@@ -300,6 +341,44 @@ mod tests {
                 TxnEvent::Completed { master: m1 },
             ]
         );
+    }
+
+    #[test]
+    fn every_event_exposes_its_master_and_kind() {
+        let m = MasterId(3);
+        let cases = [
+            (TxnEvent::Requested { master: m }, "Requested"),
+            (
+                TxnEvent::Granted {
+                    master: m,
+                    wait_cycles: 7,
+                },
+                "Granted",
+            ),
+            (
+                TxnEvent::Started {
+                    master: m,
+                    slave: None,
+                    addr: 0x10,
+                    write: false,
+                    burst: HBurst::Incr4,
+                },
+                "Started",
+            ),
+            (TxnEvent::Stalled { master: m }, "Stalled"),
+            (
+                TxnEvent::BeatDone {
+                    master: m,
+                    okay: false,
+                },
+                "BeatDone",
+            ),
+            (TxnEvent::Completed { master: m }, "Completed"),
+        ];
+        for (event, kind) in cases {
+            assert_eq!(event.master(), m, "{kind} must carry its master");
+            assert_eq!(event.kind_name(), kind);
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@ use crate::diag::Diagnostic;
 /// profiling layer. Paths are workspace-relative with `/` separators.
 const INSTRUMENTATION_MODULES: &[&str] = &[
     "crates/core/src/telemetry/",
+    // The structured event ring (covered by the prefix above, named so
+    // the grant is explicit): it stamps a creation Instant to derive
+    // events/sec. Simulation results must never depend on it.
+    "crates/core/src/telemetry/events.rs",
     "crates/core/src/session.rs",
     "crates/sim/src/profile.rs",
     "crates/sim/src/kernel.rs",
@@ -415,6 +419,30 @@ mod tests {
         assert_eq!(rules(&diags), ["lint/instr-gate"]);
         assert!(lint_source(src, "crates/core/src/telemetry/span.rs").is_empty());
         assert!(lint_source(src, "crates/sim/src/profile.rs").is_empty());
+    }
+
+    #[test]
+    fn event_bus_may_read_the_clock_but_the_gate_still_fires_elsewhere() {
+        // The same seeded violation, moved around the workspace: allowed
+        // in the event ring (it derives events/sec from a creation
+        // Instant), still flagged anywhere outside the allowlist — the
+        // grant is a path, not a rule exemption.
+        let src = "fn rate() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }\n";
+        assert!(
+            lint_source(src, "crates/core/src/telemetry/events.rs").is_empty(),
+            "the event ring is designated instrumentation"
+        );
+        for path in [
+            "crates/bench/src/dashboard.rs",
+            "crates/ahb/src/lifecycle.rs",
+            "crates/core/src/model.rs",
+        ] {
+            assert_eq!(
+                rules(&lint_source(src, path)),
+                ["lint/instr-gate"],
+                "clock read at {path} must still be flagged"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
 //!              coding dpm sweep sweep-bench telemetry telemetry-overhead
-//!              trace analyze serve serve-probe baseline all
+//!              events events-overhead trace analyze serve serve-probe
+//!              baseline all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -33,9 +34,21 @@
 //!
 //! `serve` starts the live monitoring service (std-only HTTP on `--addr`,
 //! default ephemeral): workload slices run continuously on a background
-//! thread while `/healthz`, `/metrics` (Prometheus) and `/status` (JSON)
-//! report on them; `GET /quit` shuts down gracefully, flushing
-//! `results/serve_final.jsonl` and `results/serve_status.json` atomically.
+//! thread while `/healthz`, `/metrics` (Prometheus), `/status` (JSON),
+//! `/events` (structured event ring, `?since=N` cursor + optional
+//! `timeout_ms` long-poll) and the self-hosted dashboard at `/` report
+//! on them; `GET /quit` shuts down gracefully, flushing
+//! `results/serve_final.jsonl`, `results/serve_status.json` and
+//! `results/events.jsonl` atomically.
+//!
+//! `events` runs a sliced offline workload with the structured event bus
+//! enabled, writes `results/events.jsonl`, and self-checks the causal
+//! chain (every `AnomalyFlagged` window links to an `EnergyBooked`
+//! verdict and to `TxnComplete` transactions of the same slice). A fault
+//! is injected mid-run by default so the chain is never vacuous; override
+//! with `--inject block:factor[@slice]`. `events-overhead` measures what
+//! the ring costs (no tap vs attached-but-disabled vs enabled) and
+//! writes `BENCH_events.json`.
 //! `serve-probe --addr HOST:PORT` smoke-tests a running service without
 //! curl. `baseline record` snapshots per-instruction energy to
 //! `results/baseline.json`; `baseline compare --tolerance-pct N` re-runs
@@ -252,6 +265,8 @@ fn main() {
         "trace" => trace_cmd(cycles.min(1_000_000), seed, top, ring),
         "analyze" => analyze(script.as_deref()),
         "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed, jobs),
+        "events" => events_cmd(cycles.min(500_000), seed, slice_cycles, inject.as_deref()),
+        "events-overhead" => events_overhead(cycles.min(1_000_000), seed),
         "all" => {
             let mut r = run(cycles, seed, telemetry);
             table1(&mut r);
@@ -274,7 +289,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--out FILE] [--file FILE] [--tolerance-pct N]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--out FILE] [--file FILE] [--tolerance-pct N]"
     );
     std::process::exit(2);
 }
@@ -313,10 +328,11 @@ fn serve_cmd(
         anomaly: anomaly.with_warmup_windows(warmup),
         inject,
         results_dir: Some("results".into()),
+        ..ServeConfig::default()
     };
     let handle = serve(cfg).expect("bind serve address");
     println!("serving on http://{}", handle.addr());
-    println!("endpoints: /healthz /metrics /status /quit");
+    println!("endpoints: / /healthz /metrics /status /events /quit");
     if let Some(n) = max_slices {
         println!("slice budget: {n} x {slice_cycles} cycles (GET /quit to stop serving)");
     } else {
@@ -337,12 +353,14 @@ fn serve_cmd(
 
 /// `repro serve-probe --addr HOST:PORT [--quit]`: std-only smoke client
 /// for a running service (no curl needed in CI). Fetches `/healthz`,
-/// `/metrics` and `/status`, validates each payload, optionally sends
+/// `/metrics`, `/status`, the dashboard at `/` and `/events`
+/// (long-polling up to 5 s and requiring at least one `TxnComplete`
+/// when the ring is enabled), validates each payload, optionally sends
 /// `GET /quit` afterwards, and exits 1 on any failure.
 fn serve_probe_cmd(addr: &str, quit: bool) {
     use ahbpower_bench::http_get;
     use std::time::Duration;
-    let timeout = Duration::from_secs(5);
+    let timeout = Duration::from_secs(10);
     let mut failures = 0u32;
 
     match http_get(addr, "/healthz", timeout) {
@@ -383,6 +401,51 @@ fn serve_probe_cmd(addr: &str, quit: bool) {
         }
         Err(e) => {
             eprintln!("/status: {e}");
+            failures += 1;
+        }
+    }
+    match http_get(addr, "/", timeout) {
+        Ok(r) if r.status == 200 && r.body.contains("<canvas") && r.body.contains("/events") => {
+            println!("/: dashboard ok ({} bytes)", r.body.len());
+        }
+        Ok(r) => {
+            eprintln!("/: status {} without a dashboard page", r.status);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/: {e}");
+            failures += 1;
+        }
+    }
+    // Long-poll the event ring: a live worker publishes a TxnComplete
+    // well within the 5 s window (a 20k-cycle slice takes milliseconds).
+    match http_get(addr, "/events?since=0&max=4096&timeout_ms=5000", timeout) {
+        Ok(r) if r.status == 200 => match validate_json(&r.body) {
+            Ok(()) => {
+                let enabled = !r.body.contains("\"enabled\":false");
+                if !enabled {
+                    println!("/events: valid JSON (ring disabled)");
+                } else if r.body.contains("\"event\":\"TxnComplete\"") {
+                    println!(
+                        "/events: valid JSON with TxnComplete ({} bytes)",
+                        r.body.len()
+                    );
+                } else {
+                    eprintln!("/events: enabled ring served no TxnComplete within the poll window");
+                    failures += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("/events: invalid JSON: {e}");
+                failures += 1;
+            }
+        },
+        Ok(r) => {
+            eprintln!("/events: status {}", r.status);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/events: {e}");
             failures += 1;
         }
     }
@@ -715,6 +778,252 @@ fn telemetry_overhead(cycles: u64, seed: u64, jobs: usize) {
     );
     fs::write("BENCH_telemetry.json", json).expect("write BENCH_telemetry.json");
     println!("-> BENCH_telemetry.json\n");
+}
+
+/// `repro events`: a sliced offline run with the structured event bus
+/// enabled. Writes `results/events.jsonl` and self-checks it: every
+/// line must be valid JSON, and every `AnomalyFlagged` must link
+/// through an `EnergyBooked` verdict of the same window to at least one
+/// `TxnComplete` of the same window and slice — the causal chain the
+/// dashboard's drill-down renders. Exits 1 on any failure.
+fn events_cmd(cycles: u64, seed: u64, slice_cycles: u64, inject: Option<&str>) {
+    use ahbpower::telemetry::{
+        events_to_jsonl, AnomalyConfig, EventBus, EventKind, ExportMeta, DEFAULT_EVENT_CAPACITY,
+    };
+    use ahbpower_bench::Injection;
+    use std::sync::Arc;
+
+    let n_slices = (cycles / slice_cycles).max(4);
+    // Default to a mid-run fault so the causal self-check is never
+    // vacuous; `--inject` overrides block/factor/slice.
+    let inject = match inject {
+        Some(spec) => Injection::parse(spec)
+            .unwrap_or_else(|| usage(&format!("bad --inject {spec} (block:factor[@slice])"))),
+        None => Injection {
+            block: ahbpower::SubBlock::Arb,
+            factor: 3.0,
+            at_slice: n_slices / 2,
+        },
+    };
+    println!(
+        "== Structured events: {n_slices} slices x {slice_cycles} cycles, inject {:?} x{} @ slice {} ==",
+        inject.block, inject.factor, inject.at_slice
+    );
+
+    let anomaly = AnomalyConfig::default();
+    let warmup = slice_cycles / anomaly.window_cycles + 4;
+    // The drain runs once per slice, so the ring must hold a whole
+    // slice's events (bounded by one TxnComplete per cycle plus the
+    // per-window verdict train) regardless of --slice-cycles.
+    let bus_events = EventBus::shared(DEFAULT_EVENT_CAPACITY.max(2 * slice_cycles as usize));
+    let acfg = AnalysisConfig::paper_testbench();
+    let tcfg = TelemetryConfig::enabled("events")
+        .with_seed(seed)
+        .with_anomaly(anomaly.with_warmup_windows(warmup))
+        .with_events(Arc::clone(&bus_events));
+    let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+    let mut log = Vec::new();
+    let mut cursor = 0u64;
+    let mut dropped = 0u64;
+    for slice in 0..n_slices {
+        if inject.at_slice == slice {
+            session.scale_model_block(inject.block, inject.factor);
+        }
+        let mut bus = build_paper_bus(slice_cycles, seed + slice);
+        session.begin_slice(slice);
+        session.run(&mut bus, slice_cycles);
+        session.end_slice();
+        loop {
+            let batch = bus_events.read_since(cursor, 4096);
+            cursor = batch.next;
+            dropped += batch.dropped;
+            if batch.events.is_empty() {
+                break;
+            }
+            log.extend(batch.events);
+        }
+    }
+
+    let mut counts = [0u64; EventKind::ALL.len()];
+    for e in &log {
+        counts[e.kind as usize] += 1;
+    }
+    for kind in EventKind::ALL {
+        println!("  {:<16} {:>8}", kind.name(), counts[kind as usize]);
+    }
+    if dropped > 0 {
+        println!("  (ring dropped {dropped} events before the drain)");
+    }
+
+    let mut failures = 0u32;
+    let flagged: Vec<_> = log
+        .iter()
+        .filter(|e| e.kind == EventKind::AnomalyFlagged)
+        .collect();
+    if flagged.is_empty() {
+        eprintln!("causal check: no AnomalyFlagged events despite the injected fault");
+        failures += 1;
+    }
+    for f in &flagged {
+        let booked = log
+            .iter()
+            .any(|e| e.kind == EventKind::EnergyBooked && e.window == f.window);
+        let txn = log.iter().any(|e| {
+            e.kind == EventKind::TxnComplete && e.window == f.window && e.slice == f.slice
+        });
+        if !booked {
+            eprintln!(
+                "causal check: window {} flagged without EnergyBooked",
+                f.window
+            );
+            failures += 1;
+        }
+        if !txn {
+            eprintln!(
+                "causal check: window {} (slice {}) flagged without a TxnComplete",
+                f.window, f.slice
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 && !flagged.is_empty() {
+        println!(
+            "causal check: {} flagged window(s) each link to EnergyBooked + TxnComplete",
+            flagged.len()
+        );
+    }
+
+    let jsonl = events_to_jsonl(
+        &log,
+        &ExportMeta {
+            scenario: "events".to_string(),
+            cycles: n_slices * slice_cycles,
+            seed,
+        },
+    );
+    for (i, line) in jsonl.lines().enumerate() {
+        if let Err(e) = validate_json(line) {
+            eprintln!("events.jsonl line {}: invalid JSON: {e}", i + 1);
+            failures += 1;
+            break;
+        }
+    }
+    fs::write("results/events.jsonl", &jsonl).expect("write results/events.jsonl");
+    println!(
+        "-> results/events.jsonl ({} events, {} bytes)\n",
+        log.len(),
+        jsonl.len()
+    );
+    if failures > 0 {
+        eprintln!("events: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Timing repetitions per variant in `events-overhead` (fastest wins).
+const OVERHEAD_REPS: usize = 25;
+
+/// Median of a non-empty sample, sorting in place.
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("timing ratios are finite"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
+}
+
+/// `repro events-overhead`: what the structured event ring costs. Runs
+/// the same telemetered workload three ways — no tap attached, tap
+/// attached with the ring disabled (the cold-atomic path), and fully
+/// enabled — then reports ns/cycle, the deltas, and the enabled ring's
+/// publish rate. Each variant runs [`OVERHEAD_REPS`] times round-robin;
+/// ns/cycle figures keep the fastest pass (the standard noise-robust
+/// estimator for deterministic workloads), while the overhead
+/// percentages are the median of per-round ratios: the three variants
+/// of one round run back-to-back inside the same stretch of machine
+/// time, so slow-host noise cancels in the ratio instead of biasing
+/// whichever variant's minimum landed in a quiet window. Writes
+/// `BENCH_events.json`.
+fn events_overhead(cycles: u64, seed: u64) {
+    use ahbpower::telemetry::{AnomalyConfig, EventBus, DEFAULT_EVENT_CAPACITY};
+    use std::sync::Arc;
+
+    println!(
+        "== Event-bus overhead over {cycles} cycles ({OVERHEAD_REPS} reps; ns/cycle = min, % = median per-round ratio) =="
+    );
+    let acfg = AnalysisConfig::paper_testbench();
+    let label = PaperTestbench::LABEL;
+
+    // All three variants carry the anomaly detector, like every real
+    // event-ring deployment (serve, `repro events`): without it the tap
+    // falls back to its own per-cycle window accounting and the bench
+    // would charge the ring for work the product config never does.
+    let anomaly = || AnomalyConfig::default().with_warmup_windows(4);
+    let run_no_tap = || {
+        let mut bus = build_paper_bus(cycles, seed);
+        let tcfg = TelemetryConfig::enabled(label)
+            .with_seed(seed)
+            .with_anomaly(anomaly());
+        let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+        let t0 = Instant::now();
+        session.run(&mut bus, cycles);
+        t0.elapsed().as_secs_f64()
+    };
+    let run_with_ring = |enabled: bool| {
+        let ring = EventBus::shared(DEFAULT_EVENT_CAPACITY);
+        ring.set_enabled(enabled);
+        let mut bus = build_paper_bus(cycles, seed);
+        let tcfg = TelemetryConfig::enabled(label)
+            .with_seed(seed)
+            .with_anomaly(anomaly())
+            .with_events(Arc::clone(&ring));
+        let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+        let t0 = Instant::now();
+        session.begin_slice(0);
+        session.run(&mut bus, cycles);
+        session.end_slice();
+        (t0.elapsed().as_secs_f64(), ring.published())
+    };
+
+    // Round-robin the variants so a slow stretch of machine time hits
+    // all three roughly equally instead of biasing one delta.
+    let mut no_tap = f64::INFINITY;
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut disabled_ratios = Vec::with_capacity(OVERHEAD_REPS);
+    let mut enabled_ratios = Vec::with_capacity(OVERHEAD_REPS);
+    let mut published = 0u64;
+    for _ in 0..OVERHEAD_REPS {
+        let t_no = run_no_tap();
+        let (t_dis, _) = run_with_ring(false);
+        let (t_en, p) = run_with_ring(true);
+        no_tap = no_tap.min(t_no);
+        disabled = disabled.min(t_dis);
+        enabled = enabled.min(t_en);
+        disabled_ratios.push(t_dis / t_no);
+        enabled_ratios.push(t_en / t_no);
+        published = p;
+    }
+
+    let no_tap_ns = no_tap * 1e9 / cycles as f64;
+    let disabled_ns = disabled * 1e9 / cycles as f64;
+    let enabled_ns = enabled * 1e9 / cycles as f64;
+    let disabled_pct = (median(&mut disabled_ratios) - 1.0) * 100.0;
+    let enabled_pct = (median(&mut enabled_ratios) - 1.0) * 100.0;
+    let events_per_sec = published as f64 / enabled;
+    println!("no event tap:        {no_tap_ns:>7.2} ns/cycle");
+    println!("tap, ring disabled:  {disabled_ns:>7.2} ns/cycle ({disabled_pct:+.2}%)");
+    println!(
+        "tap, ring enabled:   {enabled_ns:>7.2} ns/cycle ({enabled_pct:+.2}%), {published} events ({:.2} Mevents/s)",
+        events_per_sec / 1e6
+    );
+    let json = format!(
+        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"reps\": {OVERHEAD_REPS},\n  \"no_tap_ns_per_cycle\": {no_tap_ns:.4},\n  \"disabled_ns_per_cycle\": {disabled_ns:.4},\n  \"enabled_ns_per_cycle\": {enabled_ns:.4},\n  \"disabled_overhead_pct\": {disabled_pct:.3},\n  \"enabled_overhead_pct\": {enabled_pct:.3},\n  \"events_published\": {published},\n  \"events_per_sec\": {events_per_sec:.0}\n}}\n",
+    );
+    fs::write("BENCH_events.json", json).expect("write BENCH_events.json");
+    println!("-> BENCH_events.json\n");
 }
 
 /// `repro trace`: transaction-level energy attribution on the paper

@@ -1,0 +1,241 @@
+//! The self-hosted monitoring dashboard served at `GET /` by
+//! `repro serve`: one static HTML page, zero external assets, whose
+//! inline script polls `/status` and `/events` and renders a window
+//! energy sparkline, per-master attribution bars, stage latencies, and
+//! an anomaly log with causal drill-down (anomaly window → booked
+//! energy → the transactions inside that window).
+//!
+//! Everything is vanilla DOM + one `<canvas>`; the page works from the
+//! same std-only HTTP server as `/metrics` with no build step.
+
+/// The dashboard page, served verbatim.
+pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ahbpower live</title>
+<style>
+  body { font: 13px/1.5 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+         margin: 0; background: #11151c; color: #d8dee9; }
+  header { padding: 10px 16px; background: #181d26; border-bottom: 1px solid #2a3140; }
+  header h1 { font-size: 15px; margin: 0 0 4px; color: #88c0d0; }
+  #summary span { margin-right: 18px; color: #9aa5b5; }
+  #summary b { color: #eceff4; font-weight: 600; }
+  main { display: grid; grid-template-columns: 1fr 1fr; gap: 14px; padding: 14px 16px; }
+  section { background: #181d26; border: 1px solid #2a3140; border-radius: 6px; padding: 10px 12px; }
+  section h2 { font-size: 12px; margin: 0 0 8px; color: #81a1c1; text-transform: uppercase;
+               letter-spacing: 0.08em; }
+  canvas { width: 100%; height: 120px; display: block; }
+  .bar-row { display: flex; align-items: center; margin: 3px 0; }
+  .bar-label { width: 90px; color: #9aa5b5; }
+  .bar-track { flex: 1; background: #11151c; border-radius: 3px; height: 14px; }
+  .bar-fill { background: #5e81ac; height: 14px; border-radius: 3px; min-width: 2px; }
+  .bar-val { width: 110px; text-align: right; color: #9aa5b5; padding-left: 8px; }
+  table { width: 100%; border-collapse: collapse; }
+  th, td { text-align: right; padding: 2px 8px; border-bottom: 1px solid #222836; }
+  th:first-child, td:first-child { text-align: left; }
+  th { color: #81a1c1; font-weight: 600; }
+  #anomalies tr.flag { color: #bf616a; cursor: pointer; }
+  #anomalies tr.flag:hover { background: #232a38; }
+  #drill { white-space: pre; color: #a3be8c; max-height: 200px; overflow: auto;
+           background: #11151c; border-radius: 4px; padding: 8px; margin-top: 8px; }
+  #err { color: #bf616a; padding: 4px 16px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>ahbpower &mdash; AMBA AHB power model, live</h1>
+  <div id="summary">connecting&hellip;</div>
+</header>
+<div id="err"></div>
+<main>
+  <section>
+    <h2>Window energy (J) &mdash; measured vs predicted</h2>
+    <canvas id="spark" width="560" height="120"></canvas>
+  </section>
+  <section>
+    <h2>Per-master energy attribution</h2>
+    <div id="masters"></div>
+    <h2 style="margin-top:12px">Stage latency (&micro;s)</h2>
+    <table id="stages"><thead><tr><th>stage</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr></thead><tbody></tbody></table>
+  </section>
+  <section style="grid-column: 1 / -1">
+    <h2>Anomaly log (click a row for the causal trace)</h2>
+    <table id="anomalies"><thead><tr><th>window</th><th>slice</th><th>start cycle</th><th>deviation %</th><th>z</th></tr></thead><tbody></tbody></table>
+    <div id="drill">no anomaly selected</div>
+  </section>
+</main>
+<script>
+"use strict";
+var cursor = 0;
+var buffer = [];           // retained events, oldest first
+var BUFFER_CAP = 20000;
+var masterNames = ["cpu", "dma", "stream", "m3", "m4", "m5", "m6", "m7"];
+
+function byId(id) { return document.getElementById(id); }
+function fmt(x, d) { return (x == null) ? "-" : Number(x).toFixed(d == null ? 2 : d); }
+function esc(s) { return String(s).replace(/[&<>]/g, function (c) {
+  return { "&": "&amp;", "<": "&lt;", ">": "&gt;" }[c]; }); }
+
+function renderSummary(s) {
+  byId("summary").innerHTML =
+    "<span>mix <b>" + esc(s.scenario_mix) + "</b></span>" +
+    "<span>slices <b>" + s.slices + "</b></span>" +
+    "<span>cycles <b>" + s.cycles + "</b></span>" +
+    "<span>txns <b>" + (s.transactions || 0) + "</b></span>" +
+    "<span>energy <b>" + fmt(s.total_energy_j, 6) + " J</b></span>" +
+    "<span>anomalies <b>" + s.anomalies.count + "/" + s.anomalies.windows + "</b></span>" +
+    "<span>events <b>" + (s.events ? s.events.published : 0) +
+      (s.events && s.events.dropped ? " (-" + s.events.dropped + ")" : "") + "</b></span>" +
+    "<span>up <b>" + fmt(s.uptime_s, 0) + "s</b></span>";
+}
+
+function renderMasters(s) {
+  var per = s.per_master_j || [];
+  var max = Math.max.apply(null, per.concat([1e-12]));
+  var html = "";
+  for (var i = 0; i < per.length; i++) {
+    var pct = Math.max(0.5, 100 * per[i] / max);
+    html += '<div class="bar-row"><div class="bar-label">' +
+      esc(masterNames[i] || ("m" + i)) + '</div>' +
+      '<div class="bar-track"><div class="bar-fill" style="width:' + pct + '%"></div></div>' +
+      '<div class="bar-val">' + fmt(per[i], 6) + ' J</div></div>';
+  }
+  byId("masters").innerHTML = html || "no data yet";
+}
+
+function renderStages(s) {
+  var rows = "";
+  var st = s.stages || {};
+  ["sim_us", "publish_us", "render_us"].forEach(function (k) {
+    var h = st[k] || {};
+    rows += "<tr><td>" + k.replace("_us", "") + "</td><td>" + (h.count || 0) +
+      "</td><td>" + fmt(h.p50, 0) + "</td><td>" + fmt(h.p95, 0) +
+      "</td><td>" + fmt(h.p99, 0) + "</td></tr>";
+  });
+  byId("stages").tBodies[0].innerHTML = rows;
+}
+
+function renderSpark() {
+  var booked = buffer.filter(function (e) { return e.event === "EnergyBooked"; }).slice(-120);
+  var c = byId("spark");
+  var g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  if (!booked.length) { return; }
+  var max = 1e-15;
+  booked.forEach(function (e) { max = Math.max(max, e.a || 0, e.b || 0); });
+  function plot(key, color) {
+    g.strokeStyle = color;
+    g.lineWidth = key === "a" ? 1.6 : 1;
+    g.beginPath();
+    booked.forEach(function (e, i) {
+      var x = i * (c.width - 4) / Math.max(1, booked.length - 1) + 2;
+      var y = c.height - 4 - (e[key] || 0) / max * (c.height - 10);
+      if (i === 0) { g.moveTo(x, y); } else { g.lineTo(x, y); }
+    });
+    g.stroke();
+  }
+  plot("b", "#4c566a");   // predicted, dim
+  plot("a", "#88c0d0");   // measured, bright
+  // flag anomalous windows in red
+  var flagged = {};
+  buffer.forEach(function (e) { if (e.event === "AnomalyFlagged") { flagged[e.window] = true; } });
+  g.fillStyle = "#bf616a";
+  booked.forEach(function (e, i) {
+    if (flagged[e.window]) {
+      var x = i * (c.width - 4) / Math.max(1, booked.length - 1) + 2;
+      var y = c.height - 4 - (e.a || 0) / max * (c.height - 10);
+      g.fillRect(x - 2, y - 2, 4, 4);
+    }
+  });
+}
+
+function drill(win) {
+  var lines = [];
+  buffer.forEach(function (e) {
+    if (e.window !== win) { return; }
+    if (e.event === "AnomalyFlagged") {
+      lines.unshift("AnomalyFlagged  window=" + e.window + " slice=" + e.slice +
+        " deviation=" + fmt(e.a, 1) + "% z=" + fmt(e.b, 2));
+    } else if (e.event === "EnergyBooked") {
+      lines.push("EnergyBooked    window=" + e.window + " measured=" + fmt(e.a, 9) +
+        "J predicted=" + fmt(e.b, 9) + "J");
+    } else if (e.event === "TxnComplete") {
+      lines.push("TxnComplete     txn=" + e.txn + " master=" +
+        (masterNames[e.tag] || ("m" + e.tag)) + " beats=" + fmt(e.a, 0) +
+        " waits=" + fmt(e.b, 0) + " cycle=" + e.cycle);
+    }
+  });
+  byId("drill").textContent = lines.length
+    ? lines.join("\n")
+    : "window " + win + ": transactions already evicted from the client buffer";
+}
+
+function renderAnomalies() {
+  var flags = buffer.filter(function (e) { return e.event === "AnomalyFlagged"; }).slice(-50);
+  var rows = "";
+  flags.reverse().forEach(function (e) {
+    rows += '<tr class="flag" data-w="' + e.window + '"><td>' + e.window + "</td><td>" +
+      e.slice + "</td><td>" + e.cycle + "</td><td>" + fmt(e.a, 1) + "</td><td>" +
+      fmt(e.b, 2) + "</td></tr>";
+  });
+  byId("anomalies").tBodies[0].innerHTML =
+    rows || '<tr><td colspan="5">none flagged</td></tr>';
+}
+
+byId("anomalies").addEventListener("click", function (ev) {
+  var tr = ev.target.closest("tr.flag");
+  if (tr) { drill(Number(tr.getAttribute("data-w"))); }
+});
+
+function poll() {
+  fetch("/status").then(function (r) { return r.json(); }).then(function (s) {
+    byId("err").textContent = "";
+    renderSummary(s); renderMasters(s); renderStages(s);
+  }).catch(function (e) { byId("err").textContent = "status: " + e; });
+  fetch("/events?since=" + cursor + "&max=4096").then(function (r) { return r.json(); })
+    .then(function (b) {
+      cursor = b.next;
+      if (b.events.length) {
+        buffer = buffer.concat(b.events);
+        if (buffer.length > BUFFER_CAP) { buffer = buffer.slice(buffer.length - BUFFER_CAP); }
+        renderSpark(); renderAnomalies();
+      }
+    }).catch(function (e) { byId("err").textContent = "events: " + e; });
+}
+poll();
+setInterval(poll, 1000);
+</script>
+</body>
+</html>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        // No external fetches beyond the service's own endpoints: every
+        // src/href/fetch target must be a local absolute path.
+        assert!(!DASHBOARD_HTML.contains("http://"));
+        assert!(!DASHBOARD_HTML.contains("https://"));
+        assert!(!DASHBOARD_HTML.contains("<script src"));
+        assert!(!DASHBOARD_HTML.contains("<link"));
+        for endpoint in ["/status", "/events?since="] {
+            assert!(
+                DASHBOARD_HTML.contains(endpoint),
+                "dashboard must poll {endpoint}"
+            );
+        }
+    }
+
+    #[test]
+    fn dashboard_renders_the_causal_chain() {
+        // The drill-down names the three event kinds of the causal
+        // chain the acceptance test checks in events.jsonl.
+        for kind in ["AnomalyFlagged", "EnergyBooked", "TxnComplete"] {
+            assert!(DASHBOARD_HTML.contains(kind), "drill-down must show {kind}");
+        }
+    }
+}

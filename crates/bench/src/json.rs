@@ -443,6 +443,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean value (`None` for non-booleans).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The string value (`None` for non-strings).
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 mod baseline;
+mod dashboard;
 mod json;
 mod serve;
 mod sweep;
@@ -18,10 +19,11 @@ pub use baseline::{
     BaselineRow, BaselineSnapshot, BaselineViolation, WindowPowerSummary, BASELINE_VERSION,
     WINDOW_POWER_BOUNDS_UW,
 };
+pub use dashboard::DASHBOARD_HTML;
 pub use json::{parse_json, validate_json, JsonError, JsonValue};
 pub use serve::{
     http_get, serve, HttpResponse, Injection, ScenarioMix, ServeConfig, ServeError, ServeSummary,
-    ServerHandle,
+    ServerHandle, STAGE_US_BOUNDS,
 };
 pub use sweep::{
     available_jobs, run_sweep, run_sweep_point, sweep_csv, sweep_grid, sweep_report, ProbeStyle,

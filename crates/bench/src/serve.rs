@@ -22,14 +22,31 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ahbpower::telemetry::{
-    to_prometheus, AnomalyConfig, AnomalyEvent, MetricsRegistry, TelemetryConfig,
+    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, Event, EventBus, ExportMeta,
+    MetricsRegistry, TelemetryConfig, DEFAULT_EVENT_CAPACITY,
 };
 use ahbpower::{AnalysisConfig, PowerSession, SubBlock};
 use ahbpower_ahb::CycleHistogram;
 use ahbpower_workloads::{PaperTestbench, SocScenario};
 
 use crate::baseline::{write_atomic, WINDOW_POWER_BOUNDS_UW};
+use crate::dashboard::DASHBOARD_HTML;
 use crate::json::validate_json;
+
+/// Inclusive upper bounds (µs) for the per-stage wall-clock histograms
+/// (`sim`, `publish`, `render`); an implicit overflow bucket catches
+/// anything beyond a second.
+pub const STAGE_US_BOUNDS: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// Ceiling on the worker's retained event log (oldest entries are
+/// trimmed beyond this); bounds `events.jsonl` and server memory.
+const EVENTS_LOG_CAP: usize = 200_000;
+
+/// Longest `/events` long-poll the server will honor. The HTTP loop is
+/// sequential, so a parked poll delays other clients — keep it short.
+const EVENTS_POLL_CAP_MS: u64 = 5_000;
 
 /// Which workloads the worker rotates through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +145,12 @@ pub struct ServeConfig {
     /// Where shutdown flushes `serve_final.jsonl` + `serve_status.json`
     /// (`None`: no flush).
     pub results_dir: Option<PathBuf>,
+    /// Whether the structured event ring records events. Disabled, the
+    /// ring still exists but every publish is a single cold-atomic
+    /// branch and `/events` serves empty batches.
+    pub events: bool,
+    /// Event ring capacity (rounded up to a power of two).
+    pub events_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +168,11 @@ impl Default for ServeConfig {
                 .with_warmup_windows(2 * slice_cycles / AnomalyConfig::default().window_cycles + 4),
             inject: None,
             results_dir: None,
+            events: true,
+            // 4x the library default: the serve loop drains the ring
+            // once per slice, so the ring must hold a full slice's
+            // events (~0.7/cycle) even for generous --slice-cycles.
+            events_capacity: 4 * DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -192,13 +220,31 @@ struct LiveState {
     window_power_uw: CycleHistogram,
     anomaly_windows: u64,
     anomaly_events: Vec<AnomalyEvent>,
+    baseline_updates: u64,
+    /// Per-master energy attribution, joules.
+    per_master_j: Vec<f64>,
+    /// Completed bus transactions (from the event tap).
+    transactions: u64,
+    events_enabled: bool,
+    events_published: u64,
+    /// Events lost to ring wraparound before the worker drained them.
+    events_dropped: u64,
+    /// Worker-drained event log, trimmed to [`EVENTS_LOG_CAP`]; the
+    /// shutdown flush renders it into `events.jsonl`.
+    events_log: Vec<Event>,
+    /// Wall-clock per slice simulated (worker-measured).
+    sim_us: CycleHistogram,
+    /// Wall-clock per state republish (worker-measured).
+    publish_us: CycleHistogram,
+    /// Wall-clock per `/status` render (HTTP-thread-measured).
+    render_us: CycleHistogram,
     registry: MetricsRegistry,
     /// Latest full JSONL export (registry + anomaly event lines).
     jsonl: String,
 }
 
 impl LiveState {
-    fn new(mix: ScenarioMix, seed: u64) -> Self {
+    fn new(mix: ScenarioMix, seed: u64, events_enabled: bool) -> Self {
         LiveState {
             started: Instant::now(),
             mix,
@@ -210,6 +256,16 @@ impl LiveState {
             window_power_uw: CycleHistogram::new(&WINDOW_POWER_BOUNDS_UW),
             anomaly_windows: 0,
             anomaly_events: Vec::new(),
+            baseline_updates: 0,
+            per_master_j: Vec::new(),
+            transactions: 0,
+            events_enabled,
+            events_published: 0,
+            events_dropped: 0,
+            events_log: Vec::new(),
+            sim_us: CycleHistogram::new(&STAGE_US_BOUNDS),
+            publish_us: CycleHistogram::new(&STAGE_US_BOUNDS),
+            render_us: CycleHistogram::new(&STAGE_US_BOUNDS),
             registry: MetricsRegistry::new(),
             jsonl: String::new(),
         }
@@ -269,6 +325,54 @@ impl LiveState {
             &[],
         );
         reg.add(c, self.anomaly_events.len() as f64);
+        let c = reg.counter(
+            "energy_anomaly_baseline_updates_total",
+            "Clean windows absorbed into the rolling baseline.",
+            &[],
+        );
+        reg.add(c, self.baseline_updates as f64);
+        for (i, joules) in self.per_master_j.iter().enumerate() {
+            let master = format!("{i}");
+            let labels = [("master", master.as_str())];
+            let c = reg.counter(
+                "power_master_energy_joules",
+                "Energy attributed per bus master.",
+                &labels,
+            );
+            reg.add(c, *joules);
+        }
+        let c = reg.counter(
+            "serve_transactions_total",
+            "Bus transactions completed.",
+            &[],
+        );
+        reg.add(c, self.transactions as f64);
+        let c = reg.counter(
+            "serve_events_published_total",
+            "Structured events published to the ring.",
+            &[],
+        );
+        reg.add(c, self.events_published as f64);
+        let c = reg.counter(
+            "serve_events_dropped_total",
+            "Structured events lost to ring wraparound.",
+            &[],
+        );
+        reg.add(c, self.events_dropped as f64);
+        for (stage, hist) in [
+            ("sim", &self.sim_us),
+            ("publish", &self.publish_us),
+            ("render", &self.render_us),
+        ] {
+            let labels = [("stage", stage)];
+            let h = reg.histogram(
+                "serve_stage_duration_microseconds",
+                "Wall-clock per pipeline stage.",
+                &labels,
+                &STAGE_US_BOUNDS,
+            );
+            reg.set_histogram(h, hist);
+        }
         let g = reg.gauge("serve_uptime_seconds", "Service uptime.", &[]);
         reg.set(g, self.uptime_s());
         self.registry = reg;
@@ -312,9 +416,10 @@ impl LiveState {
         );
         let _ = write!(
             out,
-            ",\"anomalies\":{{\"windows\":{},\"count\":{},\"last\":",
+            ",\"anomalies\":{{\"windows\":{},\"count\":{},\"baseline_updates\":{},\"last\":",
             self.anomaly_windows,
-            self.anomaly_events.len()
+            self.anomaly_events.len(),
+            self.baseline_updates
         );
         match self.anomaly_events.last() {
             Some(e) => {
@@ -328,6 +433,46 @@ impl LiveState {
                 );
             }
             None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            "}},\"transactions\":{},\"per_master_j\":[",
+            self.transactions
+        );
+        for (i, j) in self.per_master_j.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&jnum(*j));
+        }
+        let _ = write!(
+            out,
+            "],\"events\":{{\"enabled\":{},\"published\":{},\"dropped\":{},\"logged\":{}}}",
+            self.events_enabled,
+            self.events_published,
+            self.events_dropped,
+            self.events_log.len()
+        );
+        out.push_str(",\"stages\":{");
+        for (i, (stage, hist)) in [
+            ("sim_us", &self.sim_us),
+            ("publish_us", &self.publish_us),
+            ("render_us", &self.render_us),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{stage}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                hist.count(),
+                jnum(hist.quantile(0.5)),
+                jnum(hist.quantile(0.95)),
+                jnum(hist.quantile(0.99))
+            );
         }
         out.push_str("},\"instructions\":[");
         for (i, (name, count, total, mean)) in self.rows.iter().enumerate() {
@@ -377,6 +522,7 @@ pub struct ServerHandle {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     state: Arc<Mutex<LiveState>>,
+    events: Arc<EventBus>,
     worker: thread::JoinHandle<()>,
     http: thread::JoinHandle<()>,
     results_dir: Option<PathBuf>,
@@ -386,6 +532,11 @@ impl ServerHandle {
     /// The bound socket address (resolves port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.addr
+    }
+
+    /// The service's structured event ring (what `/events` reads).
+    pub fn events_bus(&self) -> &Arc<EventBus> {
+        &self.events
     }
 
     /// Requests shutdown (idempotent; `/quit` does the same).
@@ -456,6 +607,19 @@ impl ServerHandle {
             let status_path = dir.join("serve_status.json");
             write_atomic(&status_path, &status)?;
             flushed.push(status_path);
+            if state.events_enabled {
+                let events = events_to_jsonl(
+                    &state.events_log,
+                    &ExportMeta {
+                        scenario: format!("serve_{}", state.mix.name()),
+                        cycles: state.cycles,
+                        seed: state.seed,
+                    },
+                );
+                let events_path = dir.join("events.jsonl");
+                write_atomic(&events_path, &events)?;
+                flushed.push(events_path);
+            }
         }
         Ok(ServeSummary {
             slices: state.slices,
@@ -498,23 +662,28 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(cfg.addr.as_str())?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let state = Arc::new(Mutex::new(LiveState::new(cfg.mix, cfg.seed)));
+    let state = Arc::new(Mutex::new(LiveState::new(cfg.mix, cfg.seed, cfg.events)));
+    let events = EventBus::shared(cfg.events_capacity);
+    events.set_enabled(cfg.events);
 
     let worker = {
         let stop = Arc::clone(&stop);
         let state = Arc::clone(&state);
+        let events = Arc::clone(&events);
         let cfg = cfg.clone();
-        thread::spawn(move || run_worker(&cfg, &stop, &state))
+        thread::spawn(move || run_worker(&cfg, &events, &stop, &state))
     };
     let http = {
         let stop = Arc::clone(&stop);
         let state = Arc::clone(&state);
-        thread::spawn(move || run_http(&listener, &stop, &state))
+        let events = Arc::clone(&events);
+        thread::spawn(move || run_http(&listener, &events, &stop, &state))
     };
     Ok(ServerHandle {
         addr,
         stop,
         state,
+        events,
         worker,
         http,
         results_dir: cfg.results_dir,
@@ -524,7 +693,12 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
 /// The simulation loop: one session for the whole service lifetime
 /// (the anomaly detector's baseline survives across slices), a fresh
 /// bus per slice.
-fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
+fn run_worker(
+    cfg: &ServeConfig,
+    events: &Arc<EventBus>,
+    stop: &AtomicBool,
+    state: &Mutex<LiveState>,
+) {
     // Size the model for the widest scenario in the mix; narrower buses
     // use a subset of the masters.
     let (n_masters, n_slaves) = match cfg.mix {
@@ -542,9 +716,12 @@ fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
     };
     let tcfg = TelemetryConfig::enabled(&format!("serve_{}", cfg.mix.name()))
         .with_seed(cfg.seed)
-        .with_anomaly(cfg.anomaly.clone());
+        .with_anomaly(cfg.anomaly.clone())
+        .with_events(Arc::clone(events));
     let mut session = PowerSession::with_telemetry(&acfg, tcfg);
     let mut consumed_points = 0usize;
+    let mut events_cursor = 0u64;
+    let mut last_publish_us: Option<u64> = None;
 
     let mut slice = 0u64;
     while !stop.load(Ordering::SeqCst) {
@@ -560,7 +737,11 @@ fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
         }
         let label = cfg.mix.slice_label(slice);
         let mut bus = build_slice_bus(label, cfg.slice_cycles, cfg.seed + slice);
+        let sim_started = Instant::now();
+        session.begin_slice(slice);
         session.run(&mut bus, cfg.slice_cycles);
+        session.end_slice();
+        let sim_us = sim_started.elapsed().as_micros() as u64;
         slice += 1;
 
         let rows: Vec<(String, u64, f64, f64)> = session
@@ -570,11 +751,16 @@ fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
             .map(|r| (r.instruction.name(), r.count, r.total, r.average))
             .collect();
         let total_energy = session.total_energy();
+        let per_master_j = session.per_master_energy().to_vec();
         let points = session.trace_points().to_vec();
-        let (anomaly_windows, anomaly_events) =
+        let transactions = session
+            .telemetry()
+            .and_then(|t| t.events())
+            .map_or(0, |t| t.transactions());
+        let (anomaly_windows, anomaly_events, baseline_updates) =
             match session.telemetry_mut().and_then(|t| t.anomaly()) {
-                Some(d) => (d.windows(), d.events().to_vec()),
-                None => (0, Vec::new()),
+                Some(d) => (d.windows(), d.events().to_vec(), d.baseline_updates()),
+                None => (0, Vec::new(), 0),
             };
 
         let Ok(mut s) = state.lock() else {
@@ -584,20 +770,50 @@ fn run_worker(cfg: &ServeConfig, stop: &AtomicBool, state: &Mutex<LiveState>) {
         s.cycles = slice * cfg.slice_cycles;
         s.total_energy_j = total_energy;
         s.rows = rows;
+        s.per_master_j = per_master_j;
+        s.transactions = transactions;
         for p in &points[consumed_points..] {
             s.window_power_uw.observe((p.total_w * 1e6).round() as u64);
         }
         consumed_points = points.len();
         s.anomaly_windows = anomaly_windows;
         s.anomaly_events = anomaly_events;
+        s.baseline_updates = baseline_updates;
+        // Drain the ring into the retained log; the ring is quiescent
+        // between slices (this thread is its only writer).
+        loop {
+            let batch = events.read_since(events_cursor, 4096);
+            events_cursor = batch.next;
+            s.events_dropped += batch.dropped;
+            if batch.events.is_empty() {
+                break;
+            }
+            s.events_log.extend(batch.events);
+        }
+        if s.events_log.len() > EVENTS_LOG_CAP {
+            let overflow = s.events_log.len() - EVENTS_LOG_CAP;
+            s.events_log.drain(..overflow);
+        }
+        s.events_published = events.published();
+        s.sim_us.observe(sim_us);
+        if let Some(us) = last_publish_us {
+            s.publish_us.observe(us);
+        }
+        let publish_started = Instant::now();
         s.republish();
+        last_publish_us = Some(publish_started.elapsed().as_micros() as u64);
     }
     // Draining the slice budget ends simulation but NOT serving: the
     // HTTP thread keeps answering until /quit or ServerHandle::wait.
 }
 
 /// The HTTP loop: sequential accept, one request per connection.
-fn run_http(listener: &TcpListener, stop: &AtomicBool, state: &Mutex<LiveState>) {
+fn run_http(
+    listener: &TcpListener,
+    events: &Arc<EventBus>,
+    stop: &AtomicBool,
+    state: &Mutex<LiveState>,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -610,7 +826,7 @@ fn run_http(listener: &TcpListener, stop: &AtomicBool, state: &Mutex<LiveState>)
             None => continue,
         };
         let quit = path == "/quit";
-        let (status, content_type, body) = route(&path, state);
+        let (status, content_type, body) = route(&path, events, stop, state);
         let _ = write_response(&mut stream, status, content_type, &body);
         if quit {
             stop.store(true, Ordering::SeqCst);
@@ -644,9 +860,65 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
     Some(path.to_string())
 }
 
-/// Maps a path to `(status, content-type, body)`.
-fn route(path: &str, state: &Mutex<LiveState>) -> (u16, &'static str, String) {
+/// Reads `key=value` from a query string; `None` on absent or
+/// unparseable values.
+fn query_u64(query: &str, key: &str) -> Option<u64> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The `/events?since=N[&max=N][&timeout_ms=T]` endpoint: a lock-free
+/// ring read, optionally long-polling until at least one event lands or
+/// the (capped) timeout expires. The response carries `next`, the
+/// cursor to resume from.
+fn events_json(query: &str, events: &EventBus, stop: &AtomicBool) -> String {
+    let since = query_u64(query, "since").unwrap_or(0);
+    let max = query_u64(query, "max").unwrap_or(1_000).min(4_096) as usize;
+    let timeout_ms = query_u64(query, "timeout_ms")
+        .unwrap_or(0)
+        .min(EVENTS_POLL_CAP_MS);
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let mut batch = events.read_since(since, max);
+    while batch.events.is_empty() && Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
+        thread::sleep(Duration::from_millis(25));
+        batch = events.read_since(since, max);
+    }
+    let mut out = String::with_capacity(64 + 96 * batch.events.len());
+    let _ = write!(
+        out,
+        "{{\"since\":{since},\"next\":{},\"dropped\":{},\"published\":{},\"enabled\":{},\"events\":[",
+        batch.next,
+        batch.dropped,
+        batch.published,
+        events.is_enabled()
+    );
+    for (i, e) in batch.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&e.to_json_obj());
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Maps a path (plus optional query string) to
+/// `(status, content-type, body)`.
+fn route(
+    path: &str,
+    events: &Arc<EventBus>,
+    stop: &AtomicBool,
+    state: &Mutex<LiveState>,
+) -> (u16, &'static str, String) {
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
+        "/" | "/dashboard" => (200, "text/html; charset=utf-8", DASHBOARD_HTML.to_string()),
+        "/events" => (200, "application/json", events_json(query, events, stop)),
         "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
         "/quit" => (
             200,
@@ -673,7 +945,14 @@ fn route(path: &str, state: &Mutex<LiveState>) -> (u16, &'static str, String) {
             ),
         },
         "/status" => match state.lock() {
-            Ok(s) => (200, "application/json", s.status_json()),
+            Ok(mut s) => {
+                let started = Instant::now();
+                let body = s.status_json();
+                // Self-measured with one-render lag: this observation
+                // shows up in the next render's stages block.
+                s.render_us.observe(started.elapsed().as_micros() as u64);
+                (200, "application/json", body)
+            }
             Err(_) => (
                 500,
                 "text/plain; charset=utf-8",

@@ -15,9 +15,10 @@
 //! bounds or reference counting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
+use ahbpower::telemetry::{Event, EventBus, EventKind};
 use ahbpower::{AhbPowerModel, AnalysisConfig, FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
 
 use crate::build_paper_bus;
@@ -32,15 +33,19 @@ use crate::build_paper_bus;
 /// let squares = SweepRunner::new(4).run(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16, 25]); // order preserved
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     jobs: usize,
+    events: Option<Arc<EventBus>>,
 }
 
 impl SweepRunner {
     /// Creates a runner using `jobs` worker threads (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        SweepRunner { jobs: jobs.max(1) }
+        SweepRunner {
+            jobs: jobs.max(1),
+            events: None,
+        }
     }
 
     /// Creates a runner sized to the machine's available parallelism.
@@ -48,9 +53,34 @@ impl SweepRunner {
         SweepRunner::new(available_jobs())
     }
 
+    /// Attaches a structured event ring: each completed point publishes
+    /// a [`EventKind::SweepPointDone`] event from whatever worker thread
+    /// ran it (the ring's multi-producer path).
+    pub fn with_events(mut self, bus: Arc<EventBus>) -> Self {
+        self.events = Some(bus);
+        self
+    }
+
     /// Worker threads this runner uses.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Publishes one point's completion to the attached ring, if any.
+    fn point_done(&self, index: usize, total: usize) {
+        if let Some(bus) = &self.events {
+            bus.publish(Event {
+                seq: 0,
+                kind: EventKind::SweepPointDone,
+                slice: 0,
+                txn: index as u64,
+                window: 0,
+                cycle: 0,
+                tag: index.min(u32::MAX as usize) as u32,
+                a: (index + 1) as f64,
+                b: total as f64,
+            });
+        }
     }
 
     /// Runs `f(index, &point)` for every point and returns the results in
@@ -67,7 +97,15 @@ impl SweepRunner {
         let n = points.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return points.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+            return points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let out = f(i, p);
+                    self.point_done(i, n);
+                    out
+                })
+                .collect();
         }
         let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
@@ -81,6 +119,7 @@ impl SweepRunner {
                         break;
                     }
                     let out = f(i, &points[i]);
+                    self.point_done(i, n);
                     slots.lock().expect("sweep slot store poisoned")[i] = Some(out);
                 });
             }
@@ -295,6 +334,35 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.total_energy.to_bits(), p.total_energy.to_bits());
         }
+    }
+
+    #[test]
+    fn runner_publishes_one_event_per_point_from_worker_threads() {
+        let bus = EventBus::shared(256);
+        let points: Vec<usize> = (0..40).collect();
+        let runner = SweepRunner::new(8).with_events(Arc::clone(&bus));
+        let out = runner.run(&points, |_, &p| p * 2);
+        assert_eq!(out.len(), 40);
+        let batch = bus.read_since(0, 256);
+        assert_eq!(batch.events.len(), 40);
+        let mut indices: Vec<u64> = batch
+            .events
+            .iter()
+            .map(|e| {
+                assert_eq!(e.kind, EventKind::SweepPointDone);
+                assert_eq!(e.b as usize, 40);
+                e.txn
+            })
+            .collect();
+        indices.sort_unstable();
+        let expected: Vec<u64> = (0..40).collect();
+        assert_eq!(indices, expected, "every point reported exactly once");
+        // Serial path publishes too.
+        let serial_bus = EventBus::shared(64);
+        SweepRunner::new(1)
+            .with_events(Arc::clone(&serial_bus))
+            .run(&points[..5], |_, &p| p);
+        assert_eq!(serial_bus.read_since(0, 64).events.len(), 5);
     }
 
     #[test]

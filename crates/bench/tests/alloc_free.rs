@@ -133,4 +133,42 @@ fn hot_path_does_not_allocate_per_cycle() {
         during < 100,
         "paper bus allocated {during} times over 40k cycles — per-cycle garbage is back"
     );
+
+    // --- 4. Structured event ring: the publish path never allocates. ------
+    // The ring's slots are pre-allocated atomics; publishing a
+    // TxnComplete/EnergyBooked is pure stores. Replays the pre-recorded
+    // trace so bus-side allocations cannot leak into the count.
+    use ahbpower::telemetry::{EventBus, EventsTap};
+    let ring = EventBus::shared(4_096);
+    let mut tap = EventsTap::new(std::sync::Arc::clone(&ring), cfg.n_masters, 1_000);
+    tap.slice_start(0);
+    for s in &trace[..2_000] {
+        tap.observe_bus(s);
+        tap.observe_energy(1e-9);
+    }
+    let before = allocations();
+    for s in &trace[2_000..] {
+        tap.observe_bus(s);
+        tap.observe_energy(1e-9);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "enabled event publish path must not allocate"
+    );
+    assert!(ring.published() > 0, "the replay published events");
+
+    // Disabled ring: the tap reduces to a cycle-counter bump plus one
+    // cold atomic load — still zero allocations.
+    ring.set_enabled(false);
+    let before = allocations();
+    for s in &trace {
+        tap.observe_bus(s);
+        tap.observe_energy(1e-9);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "disabled event path must not allocate"
+    );
 }

@@ -1,0 +1,111 @@
+//! Property tests pitting the workspace's two hand-rolled JSON halves
+//! against each other: core's writer (`json_escape`, `Event::to_json_obj`)
+//! must produce documents the bench crate's validator accepts and its
+//! parser decodes back to the original values — quotes, backslashes,
+//! control characters, multi-byte UTF-8 and all.
+
+use ahbpower::telemetry::{json_escape, Event, EventKind};
+use ahbpower_bench::{parse_json, validate_json, JsonValue};
+use proptest::prelude::*;
+
+/// Palette biased toward the characters the escaper must handle: the
+/// two-character escapes, raw control characters (low and high end of
+/// the `\u00XX` range), escape-lookalike letters, and multi-byte UTF-8.
+fn palette(idx: u8) -> char {
+    match idx {
+        0 => '"',
+        1 => '\\',
+        2 => '\n',
+        3 => '\u{0}',
+        4 => '\u{1f}',
+        5 => '\t',
+        6 => '\r',
+        7 => 'u',
+        8 => 'n',
+        9 => '\u{e9}',     // two UTF-8 bytes
+        10 => '\u{4e16}',  // three UTF-8 bytes
+        11 => '\u{1f980}', // four UTF-8 bytes
+        _ => 'a',
+    }
+}
+
+/// Pulls `key` out of a parsed top-level object.
+fn field<'v>(doc: &'v JsonValue, key: &str) -> &'v JsonValue {
+    match doc {
+        JsonValue::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing key {key}")),
+        other => panic!("expected object, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn escaped_payloads_round_trip_through_the_parser(
+        raw in prop::collection::vec(0u8..13, 0..48)
+    ) {
+        let raw: String = raw.into_iter().map(palette).collect();
+        let doc = format!("{{\"payload\":\"{}\"}}", json_escape(&raw));
+        prop_assert!(
+            validate_json(&doc).is_ok(),
+            "escaped document must validate: {doc}"
+        );
+        let parsed = parse_json(&doc).expect("validated document parses");
+        match field(&parsed, "payload") {
+            JsonValue::String(s) => prop_assert_eq!(s, &raw),
+            other => prop_assert!(false, "payload must decode to a string, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn event_json_objects_parse_back_to_their_fields(
+        kind_idx in 0usize..EventKind::ALL.len(),
+        seq in any::<u64>(),
+        slice in any::<u64>(),
+        txn in any::<u64>(),
+        window in any::<u64>(),
+        cycle in any::<u64>(),
+        tag in any::<u32>(),
+        a_bits in any::<u64>(),
+        b in -1e12f64..1e12,
+    ) {
+        let a = f64::from_bits(a_bits);
+        let e = Event {
+            seq,
+            kind: EventKind::ALL[kind_idx],
+            slice,
+            txn,
+            window,
+            cycle,
+            tag,
+            a,
+            b,
+        };
+        let doc = e.to_json_obj();
+        prop_assert!(validate_json(&doc).is_ok(), "event JSON must validate: {doc}");
+        let parsed = parse_json(&doc).expect("validated document parses");
+        match field(&parsed, "event") {
+            JsonValue::String(s) => prop_assert_eq!(s.as_str(), e.kind.name()),
+            other => prop_assert!(false, "event kind must be a string, got {:?}", other),
+        }
+        // u64 fields survive only within f64's exact-integer range, so
+        // compare through the same lossy lens the reader uses.
+        match field(&parsed, "txn") {
+            JsonValue::Number(n) => prop_assert_eq!(*n, txn as f64),
+            other => prop_assert!(false, "txn must be a number, got {:?}", other),
+        }
+        match field(&parsed, "a") {
+            JsonValue::Number(n) if a.is_finite() => prop_assert_eq!(n.to_bits(), a.to_bits()),
+            JsonValue::Null if !a.is_finite() => {}
+            other => prop_assert!(false, "a must mirror finiteness, got {:?}", other),
+        }
+        match field(&parsed, "b") {
+            JsonValue::Number(n) => prop_assert_eq!(n.to_bits(), b.to_bits()),
+            other => prop_assert!(false, "b must be a number, got {:?}", other),
+        }
+    }
+}

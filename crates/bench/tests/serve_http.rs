@@ -119,7 +119,7 @@ fn quit_flushes_complete_artifacts() {
     assert_eq!(quit.status, 200);
     let summary = handle.wait().expect("clean shutdown");
     assert!(summary.slices > 0);
-    assert_eq!(summary.flushed.len(), 2);
+    assert_eq!(summary.flushed.len(), 3, "jsonl + status + events.jsonl");
 
     // The flushed files are complete: the JSONL is line-by-line valid
     // JSON, the status document parses whole, and no .tmp staging file
@@ -132,6 +132,11 @@ fn quit_flushes_complete_artifacts() {
     let status = std::fs::read_to_string(dir.join("serve_status.json")).expect("status flushed");
     let doc = parse_json(&status).expect("final status parses");
     assert_eq!(doc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    let events = std::fs::read_to_string(dir.join("events.jsonl")).expect("events flushed");
+    assert!(!events.is_empty(), "at least the export header is written");
+    for line in events.lines() {
+        validate_json(line).expect("every event line is valid JSON");
+    }
     let leftovers: Vec<_> = std::fs::read_dir(&dir)
         .expect("results dir")
         .filter_map(Result::ok)
@@ -217,6 +222,139 @@ fn clean_paper_run_stays_silent() {
         summary.anomalies, 0,
         "an uninjected paper run must not alarm"
     );
+}
+
+/// Pulls a `u64` field out of a parsed event object.
+fn event_u64(doc: &JsonValue, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(JsonValue::as_u64)
+        .unwrap_or_else(|| panic!("event field {key} missing"))
+}
+
+#[test]
+fn dashboard_events_stream_and_causal_trace() {
+    // One injected run exercises the whole observability surface: the
+    // self-hosted dashboard, the long-poll /events stream, the stage
+    // histograms, and — after shutdown — the flushed events.jsonl whose
+    // every AnomalyFlagged must chain through an EnergyBooked to a
+    // TxnComplete of the same window and slice.
+    let dir = tmp_dir("events");
+    let cfg = ServeConfig {
+        slice_cycles: 10_000,
+        max_slices: Some(6),
+        anomaly: AnomalyConfig::default().with_warmup_windows(6),
+        inject: Some(Injection {
+            block: SubBlock::Arb,
+            factor: 3.0,
+            at_slice: 3,
+        }),
+        results_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // The dashboard answers before the first slice lands: one
+    // self-contained HTML document that polls the JSON endpoints.
+    let dash = http_get(&addr, "/", TIMEOUT).expect("dashboard");
+    assert_eq!(dash.status, 200);
+    assert!(dash.body.contains("<canvas"), "dashboard draws a sparkline");
+    assert!(
+        dash.body.contains("/events?since="),
+        "dashboard polls the event stream"
+    );
+
+    // Long-poll /events until completed transactions stream out.
+    let mut saw_txn = false;
+    for _ in 0..200 {
+        let resp =
+            http_get(&addr, "/events?since=0&max=4096&timeout_ms=2000", TIMEOUT).expect("events");
+        assert_eq!(resp.status, 200);
+        validate_json(&resp.body).expect("events payload is valid JSON");
+        if resp.body.contains("\"event\":\"TxnComplete\"") {
+            saw_txn = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(saw_txn, "the live stream must carry TxnComplete events");
+    assert!(
+        handle.events_bus().published() > 0,
+        "the shared ring records publishes"
+    );
+
+    // Wait until the slice budget drains, then inspect the new fields.
+    for _ in 0..400 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) == Some(6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+    let doc = parse_json(&status.body).expect("status parses");
+    let events_obj = doc.get("events").expect("events object");
+    assert_eq!(
+        events_obj.get("enabled").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert!(events_obj.get("published").and_then(JsonValue::as_u64) > Some(0));
+    let per_master = doc
+        .get("per_master_j")
+        .and_then(JsonValue::as_array)
+        .expect("per-master energy array");
+    assert!(!per_master.is_empty());
+    let stages = doc.get("stages").expect("stages object");
+    let sim = stages.get("sim_us").expect("sim stage");
+    assert!(sim.get("count").and_then(JsonValue::as_u64) > Some(0));
+    assert!(sim.get("p95").and_then(JsonValue::as_f64).is_some());
+
+    let metrics = http_get(&addr, "/metrics", TIMEOUT).expect("metrics");
+    assert!(metrics
+        .body
+        .contains("energy_anomaly_baseline_updates_total"));
+    assert!(metrics.body.contains("serve_stage_duration_microseconds"));
+    assert!(metrics.body.contains("serve_events_published_total"));
+    assert!(metrics.body.contains("power_master_energy_joules"));
+
+    let summary = handle.wait().expect("clean shutdown");
+    assert!(summary.anomalies > 0, "injection must flag anomalies");
+
+    // Causal-chain check on the flushed log: every flagged window links
+    // through an energy booking to a completed transaction of the same
+    // slice — the drill-down path the dashboard walks.
+    let jsonl = std::fs::read_to_string(dir.join("events.jsonl")).expect("events flushed");
+    let mut flagged = Vec::new();
+    let mut booked_windows = std::collections::HashSet::new();
+    let mut txn_keys = std::collections::HashSet::new();
+    for line in jsonl.lines() {
+        let doc = parse_json(line).expect("event line parses");
+        match doc.get("event").and_then(JsonValue::as_str) {
+            Some("AnomalyFlagged") => {
+                flagged.push((event_u64(&doc, "window"), event_u64(&doc, "slice")));
+            }
+            Some("EnergyBooked") => {
+                booked_windows.insert(event_u64(&doc, "window"));
+            }
+            Some("TxnComplete") => {
+                txn_keys.insert((event_u64(&doc, "window"), event_u64(&doc, "slice")));
+            }
+            _ => {}
+        }
+    }
+    assert!(!flagged.is_empty(), "the log records the flagged windows");
+    for (window, slice) in flagged {
+        assert!(
+            booked_windows.contains(&window),
+            "window {window} flagged without an EnergyBooked"
+        );
+        assert!(
+            txn_keys.contains(&(window, slice)),
+            "window {window} (slice {slice}) has no TxnComplete to drill into"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -131,6 +131,26 @@ impl PowerSession {
         self.trace.finish();
     }
 
+    /// Marks the start of workload slice `slice` in the structured event
+    /// stream (no-op unless telemetry carries an event ring). Serve
+    /// loops and slice-based runners call this before each
+    /// [`PowerSession::run`] so every event carries the right slice id.
+    pub fn begin_slice(&mut self, slice: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.begin_slice(slice);
+        }
+    }
+
+    /// Marks the end of the current slice, stamping the session's
+    /// cumulative energy into a `SliceEnd` event (no-op without an event
+    /// ring).
+    pub fn end_slice(&mut self) {
+        let energy = self.fsm.total_energy();
+        if let Some(t) = &mut self.telemetry {
+            t.end_slice(energy);
+        }
+    }
+
     /// Finishes the run's telemetry: closes the analyzers, publishes the
     /// power ledgers and spans into the registry, and returns the
     /// telemetry for export. `None` when telemetry is disabled.
@@ -145,6 +165,11 @@ impl PowerSession {
     /// Live telemetry access (`None` when disabled).
     pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
         self.telemetry.as_deref_mut()
+    }
+
+    /// Shared telemetry access (`None` when disabled).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
     }
 
     /// Finishes the run's transaction trace: flushes the still-open

@@ -127,6 +127,27 @@ fn num(v: f64) -> String {
     }
 }
 
+/// The detector's full judgement of one closed window — what the event
+/// bus publishes as `EnergyBooked` (always), `AnomalyFlagged` (when
+/// [`WindowVerdict::flagged`] is set) and `BaselineUpdated` (when
+/// [`WindowVerdict::absorbed`] is true).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowVerdict {
+    /// Zero-based index of the closed window.
+    pub window: u64,
+    /// First cycle of the closed window.
+    pub start_cycle: u64,
+    /// Measured window energy, joules.
+    pub measured_j: f64,
+    /// Predicted window energy from the learned baseline, joules.
+    pub predicted_j: f64,
+    /// The anomaly event, when the window was flagged.
+    pub flagged: Option<AnomalyEvent>,
+    /// Whether the window was absorbed into the learned baseline
+    /// (clean windows are; flagged windows never are).
+    pub absorbed: bool,
+}
+
 /// Streaming detector fed one `(instruction, energy)` pair per cycle by
 /// the telemetry layer.
 ///
@@ -162,6 +183,7 @@ pub struct AnomalyDetector {
     resid_mean: f64,
     resid_var: f64,
     resid_primed: bool,
+    baseline_updates: u64,
     events: Vec<AnomalyEvent>,
 }
 
@@ -180,6 +202,7 @@ impl AnomalyDetector {
             resid_mean: 0.0,
             resid_var: 0.0,
             resid_primed: false,
+            baseline_updates: 0,
             events: Vec::new(),
         }
     }
@@ -193,13 +216,26 @@ impl AnomalyDetector {
     /// window that was flagged.
     #[inline]
     pub fn observe(&mut self, instruction: Instruction, joules: f64) -> Option<AnomalyEvent> {
+        self.observe_verdict(instruction, joules)
+            .and_then(|v| v.flagged)
+    }
+
+    /// Feeds one cycle. Returns the full [`WindowVerdict`] if this cycle
+    /// closed a window — flagged or not — which is what the structured
+    /// event bus consumes.
+    #[inline]
+    pub fn observe_verdict(
+        &mut self,
+        instruction: Instruction,
+        joules: f64,
+    ) -> Option<WindowVerdict> {
         let i = instruction.index();
         self.win_count[i] += 1;
         self.win_energy[i] += joules;
         self.cycle_in_window += 1;
         self.cycles_total += 1;
         if self.cycle_in_window >= self.cfg.window_cycles {
-            return self.close_window();
+            return Some(self.close_window());
         }
         None
     }
@@ -217,6 +253,12 @@ impl AnomalyDetector {
     /// Every flagged window, in order.
     pub fn events(&self) -> &[AnomalyEvent] {
         &self.events
+    }
+
+    /// Clean windows absorbed into the learned baseline so far (flagged
+    /// windows never update it).
+    pub fn baseline_updates(&self) -> u64 {
+        self.baseline_updates
     }
 
     /// The most recent flagged window, if any.
@@ -251,7 +293,7 @@ impl AnomalyDetector {
         predicted
     }
 
-    fn close_window(&mut self) -> Option<AnomalyEvent> {
+    fn close_window(&mut self) -> WindowVerdict {
         let window = self.window_index;
         let start_cycle = self.cycles_total - self.cycle_in_window;
         let measured: f64 = self.win_energy.iter().sum();
@@ -283,7 +325,8 @@ impl AnomalyDetector {
             }
         }
 
-        if flagged.is_none() {
+        let absorbed = flagged.is_none();
+        if absorbed {
             // Clean window: absorb it into the baseline and the residual
             // statistics. Flagged windows are deliberately excluded so a
             // sustained drift keeps alarming.
@@ -291,6 +334,7 @@ impl AnomalyDetector {
                 self.base_energy[i] += self.win_energy[i];
                 self.base_count[i] += self.win_count[i];
             }
+            self.baseline_updates += 1;
             let a = self.cfg.ewma_alpha;
             if self.resid_primed {
                 let diff = rel - self.resid_mean;
@@ -307,7 +351,14 @@ impl AnomalyDetector {
         self.win_count = [0; INSTRUCTION_COUNT];
         self.win_energy = [0.0; INSTRUCTION_COUNT];
         self.cycle_in_window = 0;
-        flagged
+        WindowVerdict {
+            window,
+            start_cycle,
+            measured_j: measured,
+            predicted_j: predicted,
+            flagged,
+            absorbed,
+        }
     }
 }
 
@@ -454,6 +505,35 @@ mod tests {
             ..e
         };
         assert!(nan.to_jsonl_line().contains("\"z_score\":null"));
+    }
+
+    #[test]
+    fn verdicts_report_absorption_and_count_baseline_updates() {
+        let mut det = AnomalyDetector::new(cfg());
+        let a = insn(ActivityMode::Read, ActivityMode::Read);
+        let mut verdicts = Vec::new();
+        for _ in 0..1_000u64 {
+            if let Some(v) = det.observe_verdict(a, 2.0e-12) {
+                verdicts.push(v);
+            }
+        }
+        assert_eq!(verdicts.len(), 10, "one verdict per closed window");
+        assert!(verdicts.iter().all(|v| v.absorbed && v.flagged.is_none()));
+        assert_eq!(verdicts[3].window, 3);
+        assert_eq!(verdicts[3].start_cycle, 300);
+        assert_eq!(det.baseline_updates(), 10);
+        // A flagged window is reported but NOT absorbed.
+        let mut flagged = None;
+        for _ in 0..100u64 {
+            if let Some(v) = det.observe_verdict(a, 4.0e-12) {
+                flagged = Some(v);
+            }
+        }
+        let v = flagged.expect("window closed");
+        assert!(v.flagged.is_some());
+        assert!(!v.absorbed);
+        assert!(v.measured_j > v.predicted_j);
+        assert_eq!(det.baseline_updates(), 10);
     }
 
     #[test]

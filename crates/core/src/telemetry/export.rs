@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 use ahbpower_ahb::SlaveId;
 
 use crate::attribution::AttributionTable;
+use crate::telemetry::events::Event;
 use crate::telemetry::registry::{MetricMeta, MetricsRegistry};
 use crate::trace::TracePoint;
 use crate::txn::TxnRecord;
@@ -26,7 +27,12 @@ pub struct ExportMeta {
     pub seed: u64,
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal: `"`, `\`
+/// and `\n` get their two-character escapes, every other control
+/// character becomes a `\u00XX` escape. The output parses back to the
+/// input under any RFC 8259 reader (property-tested against the bench
+/// crate's hand-rolled parser).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -112,6 +118,26 @@ pub fn to_jsonl(reg: &MetricsRegistry, meta: &ExportMeta) -> String {
             h.hist.sum(),
             h.hist.count()
         );
+    }
+    out
+}
+
+/// Renders a batch of structured [`Event`]s as a JSONL document: the
+/// standard `meta` line (scenario, cycles, seed — same shape as
+/// [`to_jsonl`]) followed by one event object per line, oldest first.
+/// This is what `repro serve` flushes to `results/events.jsonl`.
+pub fn events_to_jsonl(events: &[Event], meta: &ExportMeta) -> String {
+    let mut out = String::with_capacity(64 + 96 * events.len());
+    let _ = writeln!(
+        out,
+        "{{\"event\":\"meta\",\"scenario\":\"{}\",\"cycles\":{},\"seed\":{}}}",
+        json_escape(&meta.scenario),
+        meta.cycles,
+        meta.seed
+    );
+    for e in events {
+        out.push_str(&e.to_json_obj());
+        out.push('\n');
     }
     out
 }

@@ -34,15 +34,17 @@
 
 mod analyzers;
 mod anomaly;
+mod events;
 mod export;
 mod registry;
 mod span;
 
 pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
-pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent};
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent, WindowVerdict};
+pub use events::{Event, EventBatch, EventBus, EventKind, EventsTap, DEFAULT_EVENT_CAPACITY};
 pub use export::{
-    prom_escape_label, prom_unescape_label, to_csv, to_folded, to_jsonl, to_prometheus,
-    to_trace_events, ExportMeta, TraceEventMeta,
+    events_to_jsonl, json_escape, prom_escape_label, prom_unescape_label, to_csv, to_folded,
+    to_jsonl, to_prometheus, to_trace_events, ExportMeta, TraceEventMeta,
 };
 pub use registry::{
     is_valid_metric_name, sanitize_metric_name, Counter, CounterId, Gauge, GaugeId, Histogram,
@@ -50,6 +52,7 @@ pub use registry::{
 };
 pub use span::{SpanId, SpanSet};
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use ahbpower_ahb::{BusPerfAnalyzer, BusSnapshot};
@@ -70,6 +73,9 @@ pub struct TelemetryConfig {
     pub seed: u64,
     /// On-line anomaly detection; `None` (the default) runs none.
     pub anomaly: Option<AnomalyConfig>,
+    /// Structured event ring this session publishes into; `None` (the
+    /// default) attaches no event tap at all.
+    pub events: Option<Arc<EventBus>>,
 }
 
 impl Default for TelemetryConfig {
@@ -79,6 +85,7 @@ impl Default for TelemetryConfig {
             scenario: "default".to_string(),
             seed: 0,
             anomaly: None,
+            events: None,
         }
     }
 }
@@ -91,6 +98,7 @@ impl TelemetryConfig {
             scenario: scenario.to_string(),
             seed: 0,
             anomaly: None,
+            events: None,
         }
     }
 
@@ -103,6 +111,14 @@ impl TelemetryConfig {
     /// Enables on-line anomaly detection with the given configuration.
     pub fn with_anomaly(mut self, cfg: AnomalyConfig) -> Self {
         self.anomaly = Some(cfg);
+        self
+    }
+
+    /// Attaches a shared structured-event ring; the session's cycles,
+    /// transactions, windows and anomalies are published into it as
+    /// causally-linked [`Event`]s.
+    pub fn with_events(mut self, bus: Arc<EventBus>) -> Self {
+        self.events = Some(bus);
         self
     }
 }
@@ -118,6 +134,7 @@ pub struct Telemetry {
     spans: SpanSet,
     observe_span: SpanId,
     anomaly: Option<AnomalyDetector>,
+    events: Option<EventsTap>,
     finalized: bool,
 }
 
@@ -127,6 +144,16 @@ impl Telemetry {
         let mut spans = SpanSet::new();
         let observe_span = spans.register("session_observe");
         let anomaly = config.anomaly.clone().map(AnomalyDetector::new);
+        // Window ids in events must line up with the detector's windows;
+        // without a detector, the tap falls back to the default window.
+        let window_cycles = config.anomaly.as_ref().map_or_else(
+            || AnomalyConfig::default().window_cycles,
+            |a| a.window_cycles,
+        );
+        let events = config
+            .events
+            .clone()
+            .map(|bus| EventsTap::new(bus, n_masters, window_cycles));
         Telemetry {
             config,
             registry: MetricsRegistry::new(),
@@ -134,6 +161,7 @@ impl Telemetry {
             spans,
             observe_span,
             anomaly,
+            events,
             finalized: false,
         }
     }
@@ -143,10 +171,14 @@ impl Telemetry {
         &self.config
     }
 
-    /// Feeds one cycle's wires to the bus-performance analyzer.
+    /// Feeds one cycle's wires to the bus-performance analyzer and, when
+    /// an event ring is attached, the transaction-lifecycle event tap.
     #[inline]
     pub fn observe_bus(&mut self, snap: &BusSnapshot) {
         self.perf.observe(snap);
+        if let Some(t) = &mut self.events {
+            t.observe_bus(snap);
+        }
     }
 
     /// Books one timed pass of the session's observer hot loop.
@@ -156,17 +188,56 @@ impl Telemetry {
     }
 
     /// Feeds one cycle's instruction and energy to the anomaly detector
-    /// (a no-op when anomaly detection is not configured).
+    /// (a no-op when anomaly detection is not configured) and publishes
+    /// any closed window's verdict into the event ring.
     #[inline]
     pub fn observe_power(&mut self, instruction: Instruction, joules: f64) {
-        if let Some(d) = &mut self.anomaly {
-            d.observe(instruction, joules);
+        match &mut self.anomaly {
+            Some(d) => {
+                if let Some(v) = d.observe_verdict(instruction, joules) {
+                    if let Some(t) = &mut self.events {
+                        t.publish_window(&v);
+                    }
+                }
+            }
+            None => {
+                if let Some(t) = &mut self.events {
+                    t.observe_energy(joules);
+                }
+            }
         }
     }
 
     /// The anomaly detector (`None` when not configured).
     pub fn anomaly(&self) -> Option<&AnomalyDetector> {
         self.anomaly.as_ref()
+    }
+
+    /// The structured-event tap (`None` when no ring is attached).
+    pub fn events(&self) -> Option<&EventsTap> {
+        self.events.as_ref()
+    }
+
+    /// Mutable event-tap access (e.g. to change the slice id).
+    pub fn events_mut(&mut self) -> Option<&mut EventsTap> {
+        self.events.as_mut()
+    }
+
+    /// Marks the start of workload slice `slice`: subsequent events
+    /// carry its id and a `SliceStart` event is published. No-op without
+    /// an event ring.
+    pub fn begin_slice(&mut self, slice: u64) {
+        if let Some(t) = &mut self.events {
+            t.slice_start(slice);
+        }
+    }
+
+    /// Marks the end of the current slice, stamping `energy_j` into a
+    /// `SliceEnd` event. No-op without an event ring.
+    pub fn end_slice(&mut self, energy_j: f64) {
+        if let Some(t) = &mut self.events {
+            t.slice_end(energy_j);
+        }
     }
 
     /// The bus-performance analyzer.
@@ -198,6 +269,9 @@ impl Telemetry {
         process_names: &[&str],
     ) {
         publish_kernel(&mut self.registry, stats, profile, process_names);
+        if let Some(t) = &mut self.events {
+            t.publish_kernel(stats);
+        }
     }
 
     /// Closes the analyzers and publishes everything into the registry.
@@ -225,6 +299,12 @@ impl Telemetry {
                 &[],
             );
             self.registry.add(events, d.events().len() as f64);
+            let updates = self.registry.counter(
+                "energy_anomaly_baseline_updates_total",
+                "Clean windows absorbed into the anomaly baseline.",
+                &[],
+            );
+            self.registry.add(updates, d.baseline_updates() as f64);
             if let Some(last) = d.last_event() {
                 let g = self.registry.gauge(
                     "energy_anomaly_last_deviation_pct",
@@ -239,6 +319,21 @@ impl Telemetry {
                 );
                 self.registry.set(g, last.window as f64);
             }
+        }
+        if let Some(t) = &self.events {
+            let bus = t.bus();
+            let c = self.registry.counter(
+                "events_published_total",
+                "Structured events published into the shared ring.",
+                &[],
+            );
+            self.registry.add(c, bus.published() as f64);
+            let c = self.registry.counter(
+                "events_transactions_total",
+                "Transactions assigned causal ids by the event tap.",
+                &[],
+            );
+            self.registry.add(c, t.transactions() as f64);
         }
     }
 

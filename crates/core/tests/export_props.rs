@@ -1,6 +1,7 @@
-//! Property tests for the Prometheus exporter's label escaping.
+//! Property tests for the exporters' escaping: Prometheus label escapes
+//! and the JSON string escaper the JSONL/event writers share.
 
-use ahbpower::telemetry::{prom_escape_label, prom_unescape_label};
+use ahbpower::telemetry::{json_escape, prom_escape_label, prom_unescape_label};
 use proptest::prelude::*;
 
 /// Palette biased toward the three escaped characters plus the letters
@@ -39,5 +40,57 @@ proptest! {
         if a != b {
             prop_assert_ne!(prom_escape_label(&a), prom_escape_label(&b));
         }
+    }
+
+    #[test]
+    fn json_escape_emits_no_raw_specials(
+        raw in prop::collection::vec(0u8..6, 0..48)
+    ) {
+        let raw: String = raw.into_iter().map(json_palette).collect();
+        let escaped = json_escape(&raw);
+        prop_assert!(
+            !escaped.chars().any(|c| (c as u32) < 0x20),
+            "no raw control characters may survive: {escaped:?}"
+        );
+        // Every quote and backslash must be escape syntax: strip valid
+        // two-character escapes and nothing special may remain.
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(
+                    matches!(next, Some('"' | '\\' | 'n' | 'u')),
+                    "dangling escape in {escaped:?}"
+                );
+            } else {
+                prop_assert_ne!(c, '"', "unescaped quote in {:?}", &escaped);
+            }
+        }
+    }
+
+    #[test]
+    fn json_escape_is_injective(
+        a in prop::collection::vec(0u8..6, 0..24),
+        b in prop::collection::vec(0u8..6, 0..24)
+    ) {
+        let a: String = a.into_iter().map(json_palette).collect();
+        let b: String = b.into_iter().map(json_palette).collect();
+        if a != b {
+            prop_assert_ne!(json_escape(&a), json_escape(&b));
+        }
+    }
+}
+
+/// Palette for the JSON escaper: its three named escapes, another
+/// control character (tab goes through the `\u00XX` path), and the
+/// letters that build escape lookalikes.
+fn json_palette(idx: u8) -> char {
+    match idx {
+        0 => '"',
+        1 => '\\',
+        2 => '\n',
+        3 => '\t',
+        4 => 'n',
+        _ => 'u',
     }
 }

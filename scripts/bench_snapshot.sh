@@ -3,8 +3,11 @@
 #   BENCH_telemetry.json — functional-only vs power session with telemetry
 #                          disabled (default) vs enabled;
 #   BENCH_sweep.json     — serial vs parallel seed×style sweep (wall time,
-#                          speedup, ns/cycle, byte-identity check).
-# Both over the paper testbench.
+#                          speedup, ns/cycle, byte-identity check);
+#   BENCH_events.json    — structured event ring: no tap vs disabled ring
+#                          (cold-atomic branch) vs enabled ring, plus the
+#                          publish rate.
+# All over the paper testbench.
 #
 # usage: scripts/bench_snapshot.sh [cycles] [seed] [jobs]
 set -euo pipefail
@@ -18,4 +21,6 @@ cargo run --release -p ahbpower-bench --bin repro -- telemetry-overhead \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
 cargo run --release -p ahbpower-bench --bin repro -- sweep-bench \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
-echo "snapshots written to BENCH_telemetry.json and BENCH_sweep.json"
+cargo run --release -p ahbpower-bench --bin repro -- events-overhead \
+    --cycles "$CYCLES" --seed "$SEED"
+echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json and BENCH_events.json"

@@ -80,11 +80,24 @@ if [ -z "$ADDR" ]; then
     rm -f "$SERVE_LOG"
     exit 1
 fi
+# serve-probe hits every endpoint including the dashboard (/) and the
+# /events long-poll, and fails unless the stream carries >=1 TxnComplete.
 cargo run --release -p ahbpower-bench --bin repro -- serve-probe --addr "$ADDR" --quit
 wait "$SERVE_PID"
 grep -q "served" "$SERVE_LOG"
 rm -f "$SERVE_LOG"
-echo "  serve ok (/healthz /metrics /status /quit on $ADDR)"
+echo "  serve ok (/ /healthz /metrics /status /events /quit on $ADDR)"
+
+echo "== structured events (smoke, 100k cycles) =="
+# `events` replays the paper testbench with a mid-run injected fault and
+# self-checks the causal chain (AnomalyFlagged -> EnergyBooked ->
+# TxnComplete, same window/slice) plus line-by-line JSON validity; it
+# exits 1 on any failure. Grep its verdict so a silent regression in the
+# self-check itself can't slip through.
+cargo run --release -p ahbpower-bench --bin repro -- events --cycles 100000 \
+    > results/events_smoke.log
+grep -q "causal check:.*link to EnergyBooked" results/events_smoke.log
+echo "  events ok (results/events.jsonl, causal chain verified)"
 
 echo "== baseline regression gate (200k cycles) =="
 # A fresh snapshot must compare clean against itself at zero tolerance,
