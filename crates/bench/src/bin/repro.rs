@@ -4,9 +4,9 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- all
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
-//!              coding dpm sweep sweep-bench telemetry telemetry-overhead
-//!              events events-overhead trace analyze serve serve-probe
-//!              baseline all
+//!              coding dpm sweep sweep-bench record replay replay-bench
+//!              telemetry telemetry-overhead events events-overhead trace
+//!              analyze serve serve-probe baseline all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -19,8 +19,18 @@
 //! `dpm`, `sweep`) shard their independent points across OS threads; pass
 //! `--jobs N` to control the worker count (default: all available cores,
 //! `--jobs 1` for serial). Results are byte-identical for any job count.
-//! `sweep-bench` times a serial vs parallel seed×style sweep and writes
-//! `BENCH_sweep.json`.
+//! `sweep-bench` times the seed×style sweep at every power-of-two job
+//! count up to the machine's parallelism and writes `BENCH_sweep.json`.
+//!
+//! The power-emulation pipeline records once and estimates many times:
+//! `record` captures a compact activity trace of the paper testbench
+//! (`results/replay_trace.bin`), `replay` re-estimates energy for N
+//! model variants from that trace without touching the simulator
+//! (golden-checked against the recorded run's ledger total, variant
+//! results to `results/replay.jsonl`; `--inject block:factor` plus
+//! `--expect-mismatch` prove the golden check trips), and
+//! `replay-bench` measures record overhead and the replay speedup over
+//! re-simulating, writing `BENCH_replay.json`.
 //!
 //! `trace` runs the paper testbench and the SoC scenario under the
 //! transaction-level energy tracer and writes Chrome trace-event JSON
@@ -74,10 +84,11 @@ use ahbpower::{
     ModelValidation, PowerSession, TracePoint, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS,
 };
 use ahbpower_bench::{
-    available_jobs, build_paper_bus, compare_probe_styles_parallel, run_paper_experiment,
-    run_paper_experiment_telemetered, run_paper_experiment_traced, run_soc_experiment_traced,
-    run_sweep, sweep_csv, sweep_grid, sweep_report, validate_json, PaperRun, ProbeStyle,
-    SweepPoint, SweepRunner,
+    available_jobs, build_paper_bus, compare_probe_styles_parallel, replay_sweep,
+    replay_variant_model, replay_variant_spec, resimulate_variant, run_paper_experiment,
+    run_paper_experiment_recorded, run_paper_experiment_telemetered, run_paper_experiment_traced,
+    run_soc_experiment_traced, run_sweep, sweep_csv, sweep_grid, sweep_report, validate_json,
+    PaperRun, ProbeStyle, SweepPoint, SweepRunner,
 };
 use ahbpower_sim::SimTime;
 use ahbpower_workloads::PaperTestbench;
@@ -106,6 +117,8 @@ fn main() {
     let mut slice_cycles = 20_000u64;
     let mut mix = "mixed".to_string();
     let mut quit = false;
+    let mut variants = 16usize;
+    let mut expect_mismatch = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -166,6 +179,14 @@ fn main() {
                     .unwrap_or_else(|| usage("--mix needs paper|soc|mixed"));
             }
             "--quit" => quit = true,
+            "--variants" => {
+                variants = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--variants needs a positive number"));
+            }
+            "--expect-mismatch" => expect_mismatch = true,
             "--cycles" => {
                 cycles = it
                     .next()
@@ -261,6 +282,16 @@ fn main() {
         "dpm" => dpm(cycles.min(500_000), seed, jobs),
         "sweep" => sweep(cycles.min(200_000), seed, jobs),
         "sweep-bench" => sweep_bench(cycles.min(200_000), seed, jobs),
+        "record" => record_cmd(cycles.min(1_000_000), seed, out.as_deref()),
+        "replay" => replay_cmd(
+            file.as_deref().unwrap_or("results/replay_trace.bin"),
+            variants,
+            jobs,
+            out.as_deref().unwrap_or("results/replay.jsonl"),
+            inject.as_deref(),
+            expect_mismatch,
+        ),
+        "replay-bench" => replay_bench(cycles.min(200_000), seed, variants, jobs),
         "telemetry" => telemetry_run(cycles.min(1_000_000), seed, jobs),
         "trace" => trace_cmd(cycles.min(1_000_000), seed, top, ring),
         "analyze" => analyze(script.as_deref()),
@@ -289,7 +320,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--out FILE] [--file FILE] [--tolerance-pct N]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--out FILE] [--file FILE] [--tolerance-pct N]"
     );
     std::process::exit(2);
 }
@@ -1312,36 +1343,322 @@ fn sweep(cycles: u64, seed: u64, jobs: usize) {
     println!("-> results/sweep.csv\n");
 }
 
-/// Times the same sweep serial (one job) vs parallel, checks the outputs
-/// are byte-identical, and writes `BENCH_sweep.json`.
+/// Times the same sweep at every power-of-two job count up to
+/// `max(jobs, available_jobs())`, checks every output is byte-identical
+/// to the serial run, and writes `BENCH_sweep.json`. Timing each job
+/// count separately (instead of one serial-vs-parallel pair) makes a
+/// core-starved box self-evident: on a 1-core runner the ladder is just
+/// `[1]` and any serial-vs-parallel delta is pure noise (see
+/// EXPERIMENTS.md E13).
 fn sweep_bench(cycles: u64, seed: u64, jobs: usize) {
     let points = sweep_grid(cycles, seed, SWEEP_SEEDS);
     let total_cycles = simulated_cycles(&points);
+    let max_jobs = jobs.max(available_jobs());
+    let mut ladder = vec![1usize];
+    let mut j = 2;
+    while j < max_jobs {
+        ladder.push(j);
+        j *= 2;
+    }
+    if max_jobs > 1 {
+        ladder.push(max_jobs);
+    }
     println!(
-        "== Sweep bench: {} points x {cycles} cycles, serial vs {jobs} jobs ==",
+        "== Sweep bench: {} points x {cycles} cycles, job counts {ladder:?} ==",
         points.len()
     );
     let t0 = Instant::now();
     let serial = run_sweep(&points, 1);
     let serial_s = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let parallel = run_sweep(&points, jobs);
-    let parallel_s = t0.elapsed().as_secs_f64();
-    let identical = sweep_csv(&serial) == sweep_csv(&parallel);
-    assert!(identical, "parallel sweep diverged from serial");
+    let serial_csv = sweep_csv(&serial);
+    let mut rows = vec![(1usize, serial_s)];
+    for &j in &ladder[1..] {
+        let t0 = Instant::now();
+        let outcomes = run_sweep(&points, j);
+        let elapsed = t0.elapsed().as_secs_f64();
+        assert!(
+            sweep_csv(&outcomes) == serial_csv,
+            "{j}-job sweep diverged from serial"
+        );
+        rows.push((j, elapsed));
+    }
+    let mut per_jobs = String::new();
+    for (i, &(j, s)) in rows.iter().enumerate() {
+        let ns = s * 1e9 / total_cycles as f64;
+        let speedup = serial_s / s;
+        println!("{j:>3} job(s): {s:.3} s  ({ns:.1} ns/cycle, {speedup:.2}x vs serial)");
+        if i > 0 {
+            per_jobs.push_str(",\n");
+        }
+        per_jobs.push_str(&format!(
+            "    {{\"jobs\": {j}, \"seconds\": {s:.6}, \"ns_per_cycle\": {ns:.2}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    let &(best_jobs, parallel_s) = rows.last().expect("ladder is non-empty");
     let speedup = serial_s / parallel_s;
     let serial_ns = serial_s * 1e9 / total_cycles as f64;
     let parallel_ns = parallel_s * 1e9 / total_cycles as f64;
-    println!("serial   (1 job):   {serial_s:.3} s  ({serial_ns:.1} ns/cycle)");
-    println!("parallel ({jobs} jobs): {parallel_s:.3} s  ({parallel_ns:.1} ns/cycle)");
-    println!("speedup: {speedup:.2}x, outputs byte-identical: {identical}");
+    println!("outputs byte-identical across all job counts: true");
     let json = format!(
-        "{{\n  \"cycles_per_point\": {cycles},\n  \"points\": {},\n  \"simulated_cycles\": {total_cycles},\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \"available_cores\": {},\n  \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \"speedup\": {speedup:.4},\n  \"serial_ns_per_cycle\": {serial_ns:.2},\n  \"parallel_ns_per_cycle\": {parallel_ns:.2},\n  \"outputs_identical\": {identical}\n}}\n",
+        "{{\n  \"cycles_per_point\": {cycles},\n  \"points\": {},\n  \"simulated_cycles\": {total_cycles},\n  \"seed\": {seed},\n  \"jobs\": {best_jobs},\n  \"available_cores\": {},\n  \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \"speedup\": {speedup:.4},\n  \"serial_ns_per_cycle\": {serial_ns:.2},\n  \"parallel_ns_per_cycle\": {parallel_ns:.2},\n  \"outputs_identical\": true,\n  \"per_job_count\": [\n{per_jobs}\n  ]\n}}\n",
         points.len(),
         available_jobs()
     );
     fs::write("BENCH_sweep.json", json).expect("write BENCH_sweep.json");
     println!("-> BENCH_sweep.json\n");
+}
+
+/// `repro record`: runs the paper testbench once with the activity
+/// recorder attached and writes the compact trace to `--out` (default
+/// `results/replay_trace.bin`). Self-checks the round trip: the written
+/// file is re-read and a same-model replay must reproduce the live
+/// ledger total bit for bit, else the process exits 1.
+fn record_cmd(cycles: u64, seed: u64, out: Option<&str>) {
+    use ahbpower::{ActivityTrace, ReplayEngine};
+    let path = out.unwrap_or("results/replay_trace.bin");
+    println!("== Record: activity trace over {cycles} cycles ==");
+    let t0 = Instant::now();
+    let (run, trace) = run_paper_experiment_recorded(cycles, seed);
+    let elapsed = t0.elapsed();
+    let bytes = trace.to_bytes();
+    fs::write(path, &bytes).expect("write activity trace");
+    println!(
+        "recorded {} cycles in {elapsed:.2?} ({:.1} Mcycles/s), {} bytes ({:.2} B/cycle)",
+        trace.cycles(),
+        cycles as f64 / 1e6 / elapsed.as_secs_f64(),
+        bytes.len(),
+        bytes.len() as f64 / cycles as f64
+    );
+    let reread = fs::read(path).expect("re-read activity trace");
+    let trace = match ActivityTrace::from_bytes(&reread) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("record: written trace failed to re-parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let engine = ReplayEngine::new(&replay_variant_model(&run.config, 0));
+    let outcome = engine.replay(&trace);
+    let live = run.session.total_energy();
+    if outcome.total_energy().to_bits() == live.to_bits() {
+        println!(
+            "golden check: replay reproduces the live ledger bit for bit ({:.6e} J)",
+            live
+        );
+    } else {
+        eprintln!(
+            "record: GOLDEN CHECK FAILED: replay {:.17e} J != live {:.17e} J",
+            outcome.total_energy(),
+            live
+        );
+        std::process::exit(1);
+    }
+    println!("-> {path}\n");
+}
+
+/// `repro replay`: loads a recorded trace and re-estimates energy for
+/// `--variants` coefficient variants (variant 0 is the unmodified
+/// model) across `--jobs` threads, writing one JSON line per variant to
+/// `--out` (default `results/replay.jsonl`). The identity variant must
+/// reproduce the trace's stamped live total within 1e-9 J, else exit 1;
+/// `--inject block:factor` perturbs the identity model and
+/// `--expect-mismatch` inverts the verdict — the negative self-test
+/// proving the golden check actually trips.
+fn replay_cmd(
+    file: &str,
+    variants: usize,
+    jobs: usize,
+    out: &str,
+    inject: Option<&str>,
+    expect_mismatch: bool,
+) {
+    use ahbpower::{ActivityTrace, AhbPowerModel};
+    use ahbpower_bench::Injection;
+    let bytes = match fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("replay: cannot read {file}: {e} (run `repro record` first)");
+            std::process::exit(1);
+        }
+    };
+    let trace = match ActivityTrace::from_bytes(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: {file} is not a valid activity trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "== Replay: {} recorded cycles x {variants} variants, {jobs} jobs ==",
+        trace.cycles()
+    );
+    let cfg = AnalysisConfig::paper_testbench();
+    let mut models: Vec<AhbPowerModel> = (0..variants)
+        .map(|k| replay_variant_model(&cfg, k))
+        .collect();
+    if let Some(spec) = inject {
+        let inj = Injection::parse(spec)
+            .unwrap_or_else(|| usage(&format!("bad --inject {spec} (block:factor)")));
+        models[0].scale_block(inj.block, inj.factor);
+        println!(
+            "(injected {:?} x{} into the identity variant)",
+            inj.block, inj.factor
+        );
+    }
+    let t0 = Instant::now();
+    let outcomes = replay_sweep(&trace, &models, jobs);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let replayed = trace.cycles() * variants as u64;
+    println!(
+        "replayed {replayed} cycle-evaluations in {:.2?} ({:.1} Mcycles/s)",
+        t0.elapsed(),
+        replayed as f64 / 1e6 / elapsed
+    );
+    let mut jsonl = String::new();
+    for (k, o) in outcomes.iter().enumerate() {
+        let (block, factor) = match replay_variant_spec(k) {
+            Some((b, f)) => (b.name(), f),
+            None => ("none", 1.0),
+        };
+        let b = o.blocks().totals();
+        println!(
+            "variant {k:>2} ({block:<4} x{factor:<4}): {:>12.6e} J",
+            o.total_energy()
+        );
+        jsonl.push_str(&format!(
+            "{{\"variant\":{k},\"block\":\"{block}\",\"factor\":{factor},\"total_j\":{:e},\"energy_bits\":{},\"dec_j\":{:e},\"m2s_j\":{:e},\"s2m_j\":{:e},\"arb_j\":{:e},\"cycles\":{}}}\n",
+            o.total_energy(),
+            o.total_energy().to_bits(),
+            b.dec,
+            b.m2s,
+            b.s2m,
+            b.arb,
+            o.cycles()
+        ));
+    }
+    for (i, line) in jsonl.lines().enumerate() {
+        validate_json(line)
+            .unwrap_or_else(|e| panic!("replay.jsonl line {}: invalid JSON: {e}", i + 1));
+    }
+    fs::write(out, &jsonl).expect("write replay results");
+    println!("-> {out}");
+    let golden = outcomes[0].total_energy();
+    let drift = (golden - trace.live_total_j).abs();
+    let ok = drift <= 1e-9;
+    match (ok, expect_mismatch) {
+        (true, false) => {
+            println!(
+                "golden check: identity replay matches the recorded run (drift {drift:.3e} J)\n"
+            );
+        }
+        (false, true) => {
+            println!("golden check: mismatch detected as expected (drift {drift:.3e} J)\n");
+        }
+        (true, true) => {
+            eprintln!("replay: expected a golden mismatch but the identity replay matched");
+            std::process::exit(1);
+        }
+        (false, false) => {
+            eprintln!(
+                "replay: GOLDEN CHECK FAILED: identity replay {golden:.17e} J vs recorded {:.17e} J (drift {drift:.3e} J)",
+                trace.live_total_j
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro replay-bench`: the trace-once / estimate-many numbers. Times
+/// the plain instrumented simulation, the same run with the recorder
+/// attached (record overhead), the branchless replay hot loop
+/// (throughput), and a full `--variants`-wide coefficient sweep done
+/// both ways — re-simulating vs replaying — then writes
+/// `BENCH_replay.json`.
+fn replay_bench(cycles: u64, seed: u64, variants: usize, jobs: usize) {
+    use ahbpower::{ReplayEngine, ReplayOutcome};
+    println!("== Replay bench: {cycles} cycles, {variants} variants, {jobs} jobs ==");
+    let cfg = AnalysisConfig::paper_testbench();
+
+    // Plain instrumented simulation (the baseline everything compares to).
+    let mut bus = build_paper_bus(cycles, seed);
+    let mut session = PowerSession::new(&cfg);
+    let t0 = Instant::now();
+    session.run(&mut bus, cycles);
+    let sim_s = t0.elapsed().as_secs_f64();
+    let live_total = session.total_energy();
+
+    // Same run with the recorder tap attached (bus built outside the
+    // timed region, symmetric with the baseline leg).
+    let mut bus = build_paper_bus(cycles, seed);
+    let mut recording = PowerSession::with_recorder(&cfg);
+    let t0 = Instant::now();
+    recording.run(&mut bus, cycles);
+    let record_s = t0.elapsed().as_secs_f64();
+    let record_pct = (record_s / sim_s - 1.0) * 100.0;
+    let trace = recording.finish_recorder().expect("recorder attached");
+    let trace_bytes = trace.to_bytes().len();
+
+    // Replay hot-loop throughput: windows-off outcome reused across
+    // reps, fastest pass wins (deterministic workload).
+    let engine = ReplayEngine::new(&replay_variant_model(&cfg, 0));
+    let mut out = ReplayOutcome::new();
+    engine.replay_into(&trace, &mut out); // warm-up fills the buffers
+    let mut replay_s = f64::INFINITY;
+    for _ in 0..7 {
+        let t0 = Instant::now();
+        engine.replay_into(&trace, &mut out);
+        replay_s = replay_s.min(t0.elapsed().as_secs_f64());
+    }
+    let golden_ok = out.total_energy().to_bits() == recording.total_energy().to_bits()
+        && (out.total_energy() - live_total).abs() <= 1e-9;
+    assert!(golden_ok, "replay diverged from the live ledger");
+    let replay_cps = cycles as f64 / replay_s;
+
+    // The sweep both ways: N fresh cycle-accurate simulations vs N
+    // replays of the one recorded trace, same job count for both legs.
+    let ks: Vec<usize> = (0..variants).collect();
+    let runner = SweepRunner::new(jobs);
+    let t0 = Instant::now();
+    let resim: Vec<f64> = runner.run(&ks, |_, &k| {
+        resimulate_variant(cycles, seed, k).total_energy()
+    });
+    let resim_s = t0.elapsed().as_secs_f64();
+    let models: Vec<_> = ks.iter().map(|&k| replay_variant_model(&cfg, k)).collect();
+    let t0 = Instant::now();
+    let replayed = replay_sweep(&trace, &models, jobs);
+    let sweep_replay_s = t0.elapsed().as_secs_f64();
+    for (k, (sim_e, rep)) in resim.iter().zip(&replayed).enumerate() {
+        assert_eq!(
+            sim_e.to_bits(),
+            rep.total_energy().to_bits(),
+            "variant {k}: replay != fresh simulation"
+        );
+    }
+    let speedup = resim_s / sweep_replay_s;
+
+    let sim_ns = sim_s * 1e9 / cycles as f64;
+    let record_ns = record_s * 1e9 / cycles as f64;
+    let replay_ns = replay_s * 1e9 / cycles as f64;
+    println!("simulate (instrumented): {sim_s:.4} s  ({sim_ns:.1} ns/cycle)");
+    println!(
+        "simulate + record:       {record_s:.4} s  ({record_ns:.1} ns/cycle, {record_pct:+.1}%)"
+    );
+    println!(
+        "replay (1 variant):      {replay_s:.6} s  ({replay_ns:.2} ns/cycle, {:.1} Mcycles/s)",
+        replay_cps / 1e6
+    );
+    println!(
+        "trace: {trace_bytes} bytes ({:.2} B/cycle)",
+        trace_bytes as f64 / cycles as f64
+    );
+    println!("{variants}-variant sweep: re-simulate {resim_s:.3} s vs replay {sweep_replay_s:.4} s -> {speedup:.1}x (all variants bit-identical)");
+    let json = format!(
+        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"variants\": {variants},\n  \"jobs\": {jobs},\n  \"available_cores\": {},\n  \"sim_ns_per_cycle\": {sim_ns:.2},\n  \"record_ns_per_cycle\": {record_ns:.2},\n  \"record_overhead_pct\": {record_pct:.2},\n  \"replay_ns_per_cycle\": {replay_ns:.4},\n  \"replay_cycles_per_sec\": {replay_cps:.0},\n  \"trace_bytes\": {trace_bytes},\n  \"trace_bytes_per_cycle\": {:.3},\n  \"resim_sweep_s\": {resim_s:.6},\n  \"replay_sweep_s\": {sweep_replay_s:.6},\n  \"sweep_speedup\": {speedup:.2},\n  \"golden_ok\": {golden_ok}\n}}\n",
+        available_jobs(),
+        trace_bytes as f64 / cycles as f64
+    );
+    fs::write("BENCH_replay.json", json).expect("write BENCH_replay.json");
+    println!("-> BENCH_replay.json\n");
 }
 
 /// Dynamic power management study: clock-gating the arbiter FSM after N

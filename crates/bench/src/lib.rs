@@ -11,6 +11,7 @@
 mod baseline;
 mod dashboard;
 mod json;
+mod replay;
 mod serve;
 mod sweep;
 
@@ -21,6 +22,10 @@ pub use baseline::{
 };
 pub use dashboard::DASHBOARD_HTML;
 pub use json::{parse_json, validate_json, JsonError, JsonValue};
+pub use replay::{
+    replay_sweep, replay_variant_model, replay_variant_spec, resimulate_variant,
+    run_paper_experiment_recorded, REPLAY_VARIANT_FACTORS,
+};
 pub use serve::{
     http_get, serve, HttpResponse, Injection, ScenarioMix, ServeConfig, ServeError, ServeSummary,
     ServerHandle, STAGE_US_BOUNDS,

@@ -22,8 +22,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ahbpower::telemetry::{
-    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, Event, EventBus, ExportMeta,
-    MetricsRegistry, TelemetryConfig, DEFAULT_EVENT_CAPACITY,
+    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, Event, EventBus, EventKind,
+    ExportMeta, MetricsRegistry, TelemetryConfig, DEFAULT_EVENT_CAPACITY,
 };
 use ahbpower::{AnalysisConfig, PowerSession, SubBlock};
 use ahbpower_ahb::CycleHistogram;
@@ -232,6 +232,13 @@ struct LiveState {
     /// Worker-drained event log, trimmed to [`EVENTS_LOG_CAP`]; the
     /// shutdown flush renders it into `events.jsonl`.
     events_log: Vec<Event>,
+    /// Recorded cycles of the startup replay self-calibration (0 until
+    /// it completes).
+    replay_trace_cycles: u64,
+    /// Model variants the calibration replayed.
+    replay_variants: u64,
+    /// Replay throughput the calibration measured, cycles/second.
+    replay_cycles_per_sec: f64,
     /// Wall-clock per slice simulated (worker-measured).
     sim_us: CycleHistogram,
     /// Wall-clock per state republish (worker-measured).
@@ -263,6 +270,9 @@ impl LiveState {
             events_published: 0,
             events_dropped: 0,
             events_log: Vec::new(),
+            replay_trace_cycles: 0,
+            replay_variants: 0,
+            replay_cycles_per_sec: 0.0,
             sim_us: CycleHistogram::new(&STAGE_US_BOUNDS),
             publish_us: CycleHistogram::new(&STAGE_US_BOUNDS),
             render_us: CycleHistogram::new(&STAGE_US_BOUNDS),
@@ -373,6 +383,12 @@ impl LiveState {
             );
             reg.set_histogram(h, hist);
         }
+        let g = reg.gauge(
+            "serve_replay_cycles_per_second",
+            "Replay throughput from the startup record/replay self-calibration.",
+            &[],
+        );
+        reg.set(g, self.replay_cycles_per_sec);
         let g = reg.gauge("serve_uptime_seconds", "Service uptime.", &[]);
         reg.set(g, self.uptime_s());
         self.registry = reg;
@@ -452,6 +468,13 @@ impl LiveState {
             self.events_published,
             self.events_dropped,
             self.events_log.len()
+        );
+        let _ = write!(
+            out,
+            ",\"replay\":{{\"trace_cycles\":{},\"variants\":{},\"cycles_per_sec\":{}}}",
+            self.replay_trace_cycles,
+            self.replay_variants,
+            jnum(self.replay_cycles_per_sec)
         );
         out.push_str(",\"stages\":{");
         for (i, (stage, hist)) in [
@@ -693,6 +716,67 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
 /// The simulation loop: one session for the whole service lifetime
 /// (the anomaly detector's baseline survives across slices), a fresh
 /// bus per slice.
+/// Outcome of the worker's startup record/replay self-calibration.
+struct ReplayCalibration {
+    trace_cycles: u64,
+    variants: u64,
+    cycles_per_sec: f64,
+}
+
+/// Records a short paper-testbench trace, replays the first few
+/// coefficient variants of the deterministic grid, and measures replay
+/// throughput. Publishes `ReplayStart`/`ReplayDone` on `events` (the
+/// trace id in `txn` is the workload seed).
+fn replay_calibration(seed: u64, events: &Arc<EventBus>) -> ReplayCalibration {
+    const CALIB_CYCLES: u64 = 20_000;
+    const CALIB_VARIANTS: usize = 4;
+    let (run, trace) = crate::run_paper_experiment_recorded(CALIB_CYCLES, seed);
+    events.publish(Event {
+        seq: 0,
+        kind: EventKind::ReplayStart,
+        slice: 0,
+        txn: seed,
+        window: 0,
+        cycle: 0,
+        tag: CALIB_VARIANTS as u32,
+        a: trace.cycles() as f64,
+        b: 0.0,
+    });
+    let models: Vec<_> = (0..CALIB_VARIANTS)
+        .map(|k| crate::replay_variant_model(&run.config, k))
+        .collect();
+    let started = Instant::now();
+    let outcomes = crate::replay_sweep(&trace, &models, 1);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(
+        outcomes[0].total_energy().to_bits(),
+        run.session.total_energy().to_bits(),
+        "calibration replay must reproduce the live run bit for bit"
+    );
+    let replayed = trace.cycles() * CALIB_VARIANTS as u64;
+    let cycles_per_sec = if elapsed > 0.0 {
+        replayed as f64 / elapsed
+    } else {
+        0.0
+    };
+    events.publish(Event {
+        seq: 0,
+        kind: EventKind::ReplayDone,
+        slice: 0,
+        txn: seed,
+        window: 0,
+        cycle: 0,
+        tag: CALIB_VARIANTS as u32,
+        a: cycles_per_sec,
+        b: replayed as f64,
+    });
+    ReplayCalibration {
+        trace_cycles: trace.cycles(),
+        variants: CALIB_VARIANTS as u64,
+        cycles_per_sec,
+    }
+}
+
 fn run_worker(
     cfg: &ServeConfig,
     events: &Arc<EventBus>,
@@ -722,6 +806,20 @@ fn run_worker(
     let mut consumed_points = 0usize;
     let mut events_cursor = 0u64;
     let mut last_publish_us: Option<u64> = None;
+
+    // Startup self-calibration of the record/replay pipeline: record one
+    // short paper trace, replay a handful of coefficient variants, and
+    // surface the measured throughput in /status and /metrics. The pass
+    // is bracketed by ReplayStart/ReplayDone on the structured ring, so
+    // it lands in /events and the flushed events.jsonl like any other
+    // cross-layer activity.
+    let calib = replay_calibration(cfg.seed, events);
+    if let Ok(mut s) = state.lock() {
+        s.replay_trace_cycles = calib.trace_cycles;
+        s.replay_variants = calib.variants;
+        s.replay_cycles_per_sec = calib.cycles_per_sec;
+        s.republish();
+    }
 
     let mut slice = 0u64;
     while !stop.load(Ordering::SeqCst) {

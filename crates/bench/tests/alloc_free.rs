@@ -171,4 +171,28 @@ fn hot_path_does_not_allocate_per_cycle() {
         0,
         "disabled event path must not allocate"
     );
+
+    // --- 5. Replay hot loop: zero allocations on a reused outcome. --------
+    // The engine's LUTs are built once in `ReplayEngine::new`; the kernel
+    // itself is table lookups and adds. With windowed tracing off and the
+    // `ReplayOutcome` reused, a second replay of the same trace must not
+    // touch the allocator at all.
+    use ahbpower::{ReplayEngine, ReplayOutcome};
+    use ahbpower_bench::{replay_variant_model, run_paper_experiment_recorded};
+    let (run, activity) = run_paper_experiment_recorded(10_000, 2003);
+    let engine = ReplayEngine::new(&replay_variant_model(&run.config, 0));
+    let mut out = ReplayOutcome::new();
+    engine.replay_into(&activity, &mut out); // warm-up (ledger rows etc.)
+    let before = allocations();
+    engine.replay_into(&activity, &mut out);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "replay hot loop must not allocate per cycle"
+    );
+    assert_eq!(
+        out.total_energy().to_bits(),
+        run.session.total_energy().to_bits(),
+        "the allocation-free replay still reproduces the live total"
+    );
 }

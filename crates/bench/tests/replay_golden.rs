@@ -1,0 +1,104 @@
+//! Golden fidelity contract of the record/replay pipeline (ISSUE 7):
+//! a recorded run must replay to the live ledger totals bit for bit,
+//! variant replays must match fresh cycle-accurate simulations, and the
+//! on-disk trace format must round-trip losslessly.
+
+use ahbpower::{ActivityTrace, ReplayEngine, ReplayOutcome};
+use ahbpower_bench::{
+    replay_sweep, replay_variant_model, replay_variant_spec, resimulate_variant,
+    run_paper_experiment_recorded,
+};
+
+const CYCLES: u64 = 20_000;
+const SEED: u64 = 2003;
+
+#[test]
+fn replay_reproduces_live_run_within_1e9_and_bit_for_bit() {
+    let (run, trace) = run_paper_experiment_recorded(CYCLES, SEED);
+    assert_eq!(trace.cycles(), CYCLES, "every cycle is recorded");
+    let live = run.session.total_energy();
+    assert_eq!(
+        trace.live_total_j.to_bits(),
+        live.to_bits(),
+        "the trace is stamped with the live ledger total"
+    );
+
+    let mut out = ReplayOutcome::with_windows();
+    ReplayEngine::new(&replay_variant_model(&run.config, 0)).replay_into(&trace, &mut out);
+    let replayed = out.total_energy();
+    assert!(
+        (replayed - live).abs() <= 1e-9,
+        "golden tolerance: replay {replayed} vs live {live}"
+    );
+    assert_eq!(
+        replayed.to_bits(),
+        live.to_bits(),
+        "identity replay is bit-exact, not merely within tolerance"
+    );
+
+    // The per-instruction ledger and per-block split survive the replay,
+    // not just the grand total.
+    let live_rows = run.session.ledger().rows();
+    let replay_rows = out.ledger().rows();
+    assert_eq!(live_rows.len(), replay_rows.len(), "instruction mix");
+    for (l, r) in live_rows.iter().zip(&replay_rows) {
+        let name = l.instruction.name();
+        assert_eq!(name, r.instruction.name());
+        assert_eq!(l.count, r.count, "{name} count");
+        assert_eq!(l.total.to_bits(), r.total.to_bits(), "{name} energy");
+    }
+    let live_blocks = run.session.blocks().totals();
+    let replay_blocks = out.blocks().totals();
+    for (name, l, r) in [
+        ("dec", live_blocks.dec, replay_blocks.dec),
+        ("m2s", live_blocks.m2s, replay_blocks.m2s),
+        ("s2m", live_blocks.s2m, replay_blocks.s2m),
+        ("arb", live_blocks.arb, replay_blocks.arb),
+    ] {
+        assert_eq!(l.to_bits(), r.to_bits(), "per-block split diverged: {name}");
+    }
+}
+
+#[test]
+fn variant_replays_match_fresh_cycle_accurate_runs() {
+    let (run, trace) = run_paper_experiment_recorded(CYCLES, SEED);
+    // One variant per sub-block plus a second-factor pick: the grid's
+    // first five non-identity points cover all four blocks.
+    for k in 1..=5usize {
+        let (block, factor) = replay_variant_spec(k).expect("non-identity variant");
+        let replayed = replay_sweep(&trace, &[replay_variant_model(&run.config, k)], 1);
+        let fresh = resimulate_variant(CYCLES, SEED, k);
+        assert_eq!(
+            replayed[0].total_energy().to_bits(),
+            fresh.total_energy().to_bits(),
+            "variant {k} ({} x{factor}) replay != fresh simulation",
+            block.name()
+        );
+    }
+}
+
+#[test]
+fn trace_bytes_round_trip_losslessly() {
+    let (run, trace) = run_paper_experiment_recorded(CYCLES, SEED);
+    let bytes = trace.to_bytes();
+    assert!(
+        (bytes.len() as f64) / (CYCLES as f64) < 8.0,
+        "compact encoding: {} bytes for {CYCLES} cycles",
+        bytes.len()
+    );
+    let decoded = ActivityTrace::from_bytes(&bytes).expect("round trip decodes");
+    assert_eq!(decoded.cycles(), trace.cycles());
+    assert_eq!(decoded.n_masters, trace.n_masters);
+    assert_eq!(decoded.n_slaves, trace.n_slaves);
+    assert_eq!(decoded.window_cycles, trace.window_cycles);
+    assert_eq!(decoded.f_clk_hz.to_bits(), trace.f_clk_hz.to_bits());
+    assert_eq!(decoded.live_total_j.to_bits(), trace.live_total_j.to_bits());
+
+    // The decoded trace replays to the same golden total as the original.
+    let replayed = replay_sweep(&decoded, &[replay_variant_model(&run.config, 0)], 1);
+    assert_eq!(
+        replayed[0].total_energy().to_bits(),
+        run.session.total_energy().to_bits(),
+        "decoded trace lost information"
+    );
+}

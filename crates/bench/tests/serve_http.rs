@@ -76,10 +76,25 @@ fn endpoints_answer_with_valid_payloads() {
         .expect("instructions array");
     assert!(!instructions.is_empty());
 
+    // The startup replay self-calibration ran before the first slice,
+    // so its numbers are already live in the status document.
+    let replay = doc.get("replay").expect("replay object");
+    assert!(replay.get("trace_cycles").and_then(JsonValue::as_u64) > Some(0));
+    assert!(replay.get("variants").and_then(JsonValue::as_u64) > Some(0));
+    assert!(
+        replay
+            .get("cycles_per_sec")
+            .and_then(JsonValue::as_f64)
+            .expect("cycles_per_sec")
+            > 0.0,
+        "calibration measured a positive replay throughput"
+    );
+
     let metrics = http_get(&addr, "/metrics", TIMEOUT).expect("metrics");
     assert_eq!(metrics.status, 200);
     assert!(metrics.body.contains("# TYPE ahb_cycles_total counter"));
     assert!(metrics.body.contains("power_instruction_energy_joules"));
+    assert!(metrics.body.contains("serve_replay_cycles_per_second"));
     assert!(metrics.body.contains("serve_uptime_seconds"));
     assert!(metrics
         .body
@@ -328,6 +343,8 @@ fn dashboard_events_stream_and_causal_trace() {
     let mut flagged = Vec::new();
     let mut booked_windows = std::collections::HashSet::new();
     let mut txn_keys = std::collections::HashSet::new();
+    let mut saw_replay_start = false;
+    let mut saw_replay_done = false;
     for line in jsonl.lines() {
         let doc = parse_json(line).expect("event line parses");
         match doc.get("event").and_then(JsonValue::as_str) {
@@ -340,10 +357,22 @@ fn dashboard_events_stream_and_causal_trace() {
             Some("TxnComplete") => {
                 txn_keys.insert((event_u64(&doc, "window"), event_u64(&doc, "slice")));
             }
+            Some("ReplayStart") => saw_replay_start = true,
+            Some("ReplayDone") => {
+                saw_replay_done = true;
+                assert!(
+                    doc.get("a").and_then(JsonValue::as_f64).expect("a field") > 0.0,
+                    "ReplayDone carries the measured cycles/s"
+                );
+            }
             _ => {}
         }
     }
     assert!(!flagged.is_empty(), "the log records the flagged windows");
+    assert!(
+        saw_replay_start && saw_replay_done,
+        "the startup calibration brackets itself with ReplayStart/ReplayDone"
+    );
     for (window, slice) in flagged {
         assert!(
             booked_windows.contains(&window),

@@ -72,6 +72,14 @@ impl InstructionLedger {
         InstructionLedger::default()
     }
 
+    /// Reconstitutes a ledger from raw per-instruction `counts` and
+    /// `energy` arrays (indexed by [`Instruction::index`]). The replay
+    /// engine accumulates into plain arrays in its hot loop and builds the
+    /// ledger once at the end, preserving the exact accumulated bits.
+    pub fn from_parts(counts: [u64; INSTRUCTION_COUNT], energy: [f64; INSTRUCTION_COUNT]) -> Self {
+        InstructionLedger { counts, energy }
+    }
+
     /// Records one execution of `instruction` costing `joules`.
     pub fn record(&mut self, instruction: Instruction, joules: f64) {
         let i = instruction.index();
@@ -178,6 +186,13 @@ impl BlockLedger {
     /// Creates an empty ledger.
     pub fn new() -> Self {
         BlockLedger::default()
+    }
+
+    /// Reconstitutes a ledger from accumulated `total` energies over
+    /// `cycles` cycles (the replay-engine counterpart of
+    /// [`InstructionLedger::from_parts`]).
+    pub fn from_parts(total: BlockEnergy, cycles: u64) -> Self {
+        BlockLedger { total, cycles }
     }
 
     /// Adds one cycle's block energies.

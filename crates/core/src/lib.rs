@@ -32,7 +32,11 @@
 //! - [`TxnTracer`] / [`AttributionTable`] — opt-in transaction-level
 //!   energy attribution: causally-linked transaction records in a bounded
 //!   ring, exact (master, slave, instruction) energy split, and Chrome
-//!   trace-event / folded-flamegraph exporters in [`telemetry`].
+//!   trace-event / folded-flamegraph exporters in [`telemetry`];
+//! - [`ActivityRecorder`] / [`ReplayEngine`] — trace-once / estimate-many
+//!   power emulation: record a workload's switching activity once, then
+//!   re-estimate energy for any model variant from the recording at a
+//!   small fraction of simulation cost (see [`replay`]).
 //!
 //! ## Quick start
 //!
@@ -73,6 +77,7 @@ mod macromodel;
 mod model;
 mod power_fsm;
 mod probe;
+pub mod replay;
 pub mod report;
 mod sc;
 mod session;
@@ -98,6 +103,9 @@ pub use macromodel::{
 pub use model::{AhbPowerModel, SubBlock, ADDR_BITS, CTRL_BITS, RDATA_BITS, RESP_BITS, WDATA_BITS};
 pub use power_fsm::{CycleRecord, PowerFsm};
 pub use probe::{FsmProbe, GlobalProbe, InlineProbe, PowerProbe};
+pub use replay::{
+    ActivityRecorder, ActivityTrace, ReplayEngine, ReplayOutcome, TraceError, REPLAY_TRACE_VERSION,
+};
 pub use sc::{run_on_kernel, run_on_kernel_profiled, KernelRun};
 pub use session::PowerSession;
 pub use sram::{SramLedger, SramMode, SramModel, SramProbe};

@@ -156,7 +156,8 @@ impl AhbPowerModel {
 }
 
 /// Packs HRESP and HREADY into a small integer for Hamming distances.
-fn resp_bits(s: &BusSnapshot) -> u32 {
+/// Crate-visible so the activity recorder observes the identical bundle.
+pub(crate) fn resp_bits(s: &BusSnapshot) -> u32 {
     u32::from(s.hresp.bits()) | (u32::from(s.hready) << 2)
 }
 

@@ -8,6 +8,7 @@ use crate::config::AnalysisConfig;
 use crate::ledger::{BlockLedger, InstructionLedger};
 use crate::model::AhbPowerModel;
 use crate::power_fsm::PowerFsm;
+use crate::replay::{ActivityRecorder, ActivityTrace};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::trace::{PowerTrace, TracePoint};
 use crate::txn::{TxnTracer, TxnTracerConfig};
@@ -42,6 +43,9 @@ pub struct PowerSession {
     /// `None` unless transaction tracing was enabled at construction;
     /// same hot-path discipline as `telemetry`.
     txn: Option<Box<TxnTracer>>,
+    /// `None` unless activity recording was enabled at construction;
+    /// same hot-path discipline as `telemetry`.
+    recorder: Option<Box<ActivityRecorder>>,
 }
 
 impl PowerSession {
@@ -58,6 +62,7 @@ impl PowerSession {
             trace: PowerTrace::new(window_cycles, f_clk_hz),
             telemetry: None,
             txn: None,
+            recorder: None,
         }
     }
 
@@ -81,6 +86,29 @@ impl PowerSession {
         session
     }
 
+    /// Creates a session that additionally records every observed cycle
+    /// into a compact activity trace for later replay (the
+    /// trace-once / estimate-many pipeline; see [`crate::replay`]).
+    /// Collect the recording with [`PowerSession::finish_recorder`].
+    pub fn with_recorder(cfg: &AnalysisConfig) -> Self {
+        let mut session = PowerSession::new(cfg);
+        session.recorder = Some(Box::new(ActivityRecorder::new(cfg)));
+        session
+    }
+
+    /// Detaches the activity recorder and returns the finished trace.
+    /// `None` when recording was not enabled (or was already collected).
+    /// The returned trace's `live_total_j` stamp is filled in with the
+    /// session's booked total so replays can self-check fidelity.
+    pub fn finish_recorder(&mut self) -> Option<ActivityTrace> {
+        let total = self.fsm.total_energy();
+        self.recorder.take().map(|r| {
+            let mut trace = r.finish();
+            trace.live_total_j = total;
+            trace
+        })
+    }
+
     /// Scales one sub-block's macromodel coefficients by `factor` — the
     /// anomaly-injection hook. Calling it between two [`PowerSession::run`]
     /// calls emulates a mid-stream energy drift for detector tests.
@@ -97,6 +125,9 @@ impl PowerSession {
                 if let Some(x) = &mut self.txn {
                     x.observe(snap, &rec);
                 }
+                if let Some(r) = &mut self.recorder {
+                    r.record(snap, rec.instruction);
+                }
             }
             Some(t) => {
                 let t0 = Instant::now();
@@ -104,6 +135,9 @@ impl PowerSession {
                 self.trace.push(rec.energy);
                 if let Some(x) = &mut self.txn {
                     x.observe(snap, &rec);
+                }
+                if let Some(r) = &mut self.recorder {
+                    r.record(snap, rec.instruction);
                 }
                 t.observe_bus(snap);
                 t.observe_power(rec.instruction, rec.energy.total());
@@ -114,7 +148,7 @@ impl PowerSession {
 
     /// Runs `cycles` bus cycles under observation.
     pub fn run(&mut self, bus: &mut AhbBus, cycles: u64) {
-        if self.telemetry.is_none() && self.txn.is_none() {
+        if self.telemetry.is_none() && self.txn.is_none() && self.recorder.is_none() {
             // The pre-telemetry hot loop, untouched: sessions without
             // instrumentation pay one branch per run for the features.
             for _ in 0..cycles {
@@ -300,6 +334,29 @@ mod tests {
         // Disabled config attaches nothing.
         let off = PowerSession::with_txn_tracer(&cfg, TxnTracerConfig::default());
         assert!(off.txn_tracer().is_none());
+    }
+
+    #[test]
+    fn recorder_replay_reproduces_session_bit_for_bit() {
+        let mut cfg = AnalysisConfig::paper_testbench();
+        cfg.n_masters = 2;
+        cfg.n_slaves = 2;
+        cfg.window_cycles = 5;
+        let mut session = PowerSession::with_recorder(&cfg);
+        let mut b = bus();
+        session.run(&mut b, 40);
+        let trace = session.finish_recorder().expect("recorder attached");
+        assert_eq!(trace.cycles(), 40);
+        assert_eq!(trace.live_total_j, session.total_energy());
+        let model = AhbPowerModel::new(cfg.n_masters, cfg.n_slaves, &cfg.tech());
+        let out = crate::ReplayEngine::new(&model).replay(&trace);
+        assert_eq!(out.total_energy(), session.total_energy());
+        assert_eq!(out.trace_points(), session.trace_points());
+        assert_eq!(out.per_master_energy(), session.per_master_energy());
+        assert!(
+            session.finish_recorder().is_none(),
+            "recorder can only be collected once"
+        );
     }
 
     #[test]

@@ -88,11 +88,18 @@ pub enum EventKind {
     /// A hosted kernel run was profiled (`a` = deltas, `b` = signal
     /// changes, `tag` = activations, saturating).
     KernelRun = 7,
+    /// A record/replay pass began (`txn` = trace id, `tag` = model
+    /// variant count, `a` = recorded cycles).
+    ReplayStart = 8,
+    /// A record/replay pass finished (`txn` = trace id, `tag` = model
+    /// variant count, `a` = replay throughput in cycles/s, `b` = total
+    /// replayed cycles across all variants).
+    ReplayDone = 9,
 }
 
 impl EventKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::SliceStart,
         EventKind::SliceEnd,
         EventKind::TxnComplete,
@@ -101,6 +108,8 @@ impl EventKind {
         EventKind::BaselineUpdated,
         EventKind::SweepPointDone,
         EventKind::KernelRun,
+        EventKind::ReplayStart,
+        EventKind::ReplayDone,
     ];
 
     /// The kind's stable wire name (the `"event"` field of the JSON form).
@@ -114,6 +123,8 @@ impl EventKind {
             EventKind::BaselineUpdated => "BaselineUpdated",
             EventKind::SweepPointDone => "SweepPointDone",
             EventKind::KernelRun => "KernelRun",
+            EventKind::ReplayStart => "ReplayStart",
+            EventKind::ReplayDone => "ReplayDone",
         }
     }
 

@@ -7,6 +7,9 @@
 #   BENCH_events.json    — structured event ring: no tap vs disabled ring
 #                          (cold-atomic branch) vs enabled ring, plus the
 #                          publish rate.
+#   BENCH_replay.json    — record/replay power emulation: record overhead,
+#                          replay throughput, trace size, and the N-variant
+#                          sweep speedup vs re-simulation (golden-checked).
 # All over the paper testbench.
 #
 # usage: scripts/bench_snapshot.sh [cycles] [seed] [jobs]
@@ -15,7 +18,11 @@ cd "$(dirname "$0")/.."
 
 CYCLES="${1:-1000000}"
 SEED="${2:-2003}"
-JOBS="${3:-$(nproc 2>/dev/null || echo 2)}"
+# Floor jobs at 2 so BENCH_sweep.json's per_job_count ladder always has a
+# parallel rung, even on single-core boxes (where it documents the thread
+# overhead instead of masquerading as a regression — see EXPERIMENTS.md E13).
+CORES="$(nproc 2>/dev/null || echo 2)"
+JOBS="${3:-$(( CORES < 2 ? 2 : CORES ))}"
 
 cargo run --release -p ahbpower-bench --bin repro -- telemetry-overhead \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
@@ -23,4 +30,6 @@ cargo run --release -p ahbpower-bench --bin repro -- sweep-bench \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
 cargo run --release -p ahbpower-bench --bin repro -- events-overhead \
     --cycles "$CYCLES" --seed "$SEED"
-echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json and BENCH_events.json"
+cargo run --release -p ahbpower-bench --bin repro -- replay-bench \
+    --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
+echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json, BENCH_events.json and BENCH_replay.json"

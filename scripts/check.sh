@@ -99,6 +99,33 @@ cargo run --release -p ahbpower-bench --bin repro -- events --cycles 100000 \
 grep -q "causal check:.*link to EnergyBooked" results/events_smoke.log
 echo "  events ok (results/events.jsonl, causal chain verified)"
 
+echo "== power-emulation replay (smoke, 50k cycles) =="
+# `record` writes the activity trace and self-checks that an identity
+# replay reproduces the live ledger bit for bit; `replay` re-reads it,
+# sweeps model variants and enforces the 1e-9 golden tolerance. Both
+# exit 1 on any fidelity miss.
+cargo run --release -p ahbpower-bench --bin repro -- record --cycles 50000 \
+    --out results/replay_smoke.bin > /dev/null
+cargo run --release -p ahbpower-bench --bin repro -- replay \
+    --file results/replay_smoke.bin --variants 8 --jobs 2 \
+    --out results/replay_smoke.jsonl > /dev/null
+# Negative direction 1: a perturbed model must be *detected* as drifting
+# from the recorded golden total (--expect-mismatch inverts the exit code).
+cargo run --release -p ahbpower-bench --bin repro -- replay \
+    --file results/replay_smoke.bin --inject arb:1.5 --expect-mismatch \
+    > /dev/null
+# Negative direction 2: a truncated trace file must fail cleanly (exit 1
+# with a decode error, not a panic or a silently-shorter replay).
+head -c 1000 results/replay_smoke.bin > results/replay_smoke_truncated.bin
+if cargo run --release -p ahbpower-bench --bin repro -- replay \
+    --file results/replay_smoke_truncated.bin > /dev/null 2>&1; then
+    echo "  ERROR: replay accepted a truncated trace" >&2
+    exit 1
+fi
+rm -f results/replay_smoke.bin results/replay_smoke_truncated.bin \
+    results/replay_smoke.jsonl
+echo "  replay ok (golden holds, injected drift and truncation both caught)"
+
 echo "== baseline regression gate (200k cycles) =="
 # A fresh snapshot must compare clean against itself at zero tolerance,
 # the committed results/baseline.json must hold within 2%, and a seeded
