@@ -160,6 +160,39 @@ impl Arbiter {
     pub fn grant_counts(&self) -> &[u64] {
         &self.grants
     }
+
+    /// The packed SPLIT mask word (bit `i` = master `i` is masked).
+    pub fn split_mask(&self) -> u32 {
+        self.split_mask
+    }
+
+    /// Forces the SPLIT mask word, for exhaustive state-space
+    /// enumeration by the analyzer's `verify` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit at or above the master count is set.
+    pub fn set_split_mask(&mut self, mask: u32) {
+        assert_eq!(mask & !width_mask(self.n_masters), 0, "split mask width");
+        self.split_mask = mask;
+    }
+
+    /// The round-robin scan start: the next `decide` call under
+    /// [`Arbitration::RoundRobin`] scans from this index upward.
+    pub fn rr_next(&self) -> usize {
+        self.rr_next
+    }
+
+    /// Forces the round-robin scan start, for exhaustive state-space
+    /// enumeration by the analyzer's `verify` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rr_next` is at or above the master count.
+    pub fn set_rr_next(&mut self, rr_next: usize) {
+        assert!(rr_next < self.n_masters, "rr_next out of range");
+        self.rr_next = rr_next;
+    }
 }
 
 /// All-ones over the low `n` bits (`n <= 32`).
@@ -257,6 +290,34 @@ mod tests {
         assert_eq!(a.policy(), Arbitration::RoundRobin);
         assert_eq!(Arbitration::RoundRobin.to_string(), "round-robin");
         assert_eq!(Arbitration::FixedPriority.to_string(), "fixed-priority");
+    }
+
+    #[test]
+    fn state_hooks_round_trip() {
+        let mut a = Arbiter::new(4, Arbitration::RoundRobin, MasterId(0));
+        a.set_split_mask(0b1010);
+        assert_eq!(a.split_mask(), 0b1010);
+        assert!(a.is_masked(MasterId(1)));
+        a.set_rr_next(3);
+        assert_eq!(a.rr_next(), 3);
+        // The forced state drives the next decision exactly as if it had
+        // been reached through mask_split/decide history.
+        assert_eq!(a.decide(0b1111, MasterId(0), false), MasterId(0));
+        assert_eq!(a.rr_next(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "split mask width")]
+    fn wide_split_mask_panics() {
+        let mut a = Arbiter::new(2, Arbitration::FixedPriority, MasterId(0));
+        a.set_split_mask(0b100);
+    }
+
+    #[test]
+    #[should_panic(expected = "rr_next out of range")]
+    fn rr_next_out_of_range_panics() {
+        let mut a = Arbiter::new(2, Arbitration::RoundRobin, MasterId(0));
+        a.set_rr_next(2);
     }
 
     #[test]

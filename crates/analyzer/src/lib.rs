@@ -40,6 +40,7 @@ pub mod map;
 pub mod model;
 pub mod script;
 pub mod source_lint;
+pub mod verify;
 
 use std::path::Path;
 

@@ -18,7 +18,22 @@
 //! - `lint/instr-gate` — wall-clock instrumentation (`Instant::now`,
 //!   `SystemTime::now`) only inside the designated instrumentation
 //!   modules, mirroring the paper's POWERTEST discipline: the measurement
-//!   switch must not be able to alter functional behaviour.
+//!   switch must not be able to alter functional behaviour;
+//! - `atomics/relaxed` — every `Ordering::Relaxed` on a shared atomic in
+//!   library code must carry a `relaxed:` invariant comment on the same
+//!   raw line or the line above, stating why the weakest ordering is
+//!   sound at that site (the model checker in [`crate::verify`] proves
+//!   the event ring's claims; the comment makes every other site's
+//!   justification reviewable);
+//! - `atomics/audited` — in the designated concurrency-audited files,
+//!   *every* atomic ordering site (not just `Relaxed`) must carry a
+//!   `relaxed:` or `ordering:` invariant comment;
+//! - `atomics/fence-pair` — a `fence(Ordering::Release)` must be
+//!   followed, within the same function, by a release-or-stronger store
+//!   or RMW (the fence is meaningless without the store it orders), and
+//!   a `fence(Ordering::Acquire)` must be preceded by an
+//!   acquire-or-stronger load or RMW — the seqlock entry/exit shape the
+//!   event ring relies on.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -37,12 +52,39 @@ const INSTRUMENTATION_MODULES: &[&str] = &[
     "crates/sim/src/profile.rs",
     "crates/sim/src/kernel.rs",
     "crates/bench/src/serve.rs",
+    // The deep verification pass times its own wall-clock budget; the
+    // model checker's stall watchdog also reads the monotonic clock.
+    "crates/analyzer/src/verify/",
 ];
+
+/// Files whose cross-thread atomics have been audited end to end: every
+/// ordering site in them must carry an invariant comment the audit can
+/// be checked against (`atomics/audited`).
+const CONCURRENCY_AUDITED: &[&str] = &[
+    "crates/core/src/telemetry/events.rs",
+    "crates/bench/src/sweep.rs",
+    "crates/bench/src/serve.rs",
+];
+
+/// The five memory-ordering variants of `std::sync::atomic::Ordering`.
+/// Matching `Ordering::<variant>` (rather than bare `Ordering::`) keeps
+/// `cmp::Ordering::{Less, Equal, Greater}` out of scope.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Lints every library source under `root` (`crates/*/src/**/*.rs`,
 /// excluding `src/bin/`). Returns findings sorted by path then line so
 /// output is deterministic across filesystems.
 pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (rel, src) in workspace_lib_sources(root) {
+        diags.extend(lint_source(&src, &rel));
+    }
+    diags
+}
+
+/// Reads every library source under `root`, in deterministic order,
+/// as `(workspace-relative path, contents)` pairs.
+fn workspace_lib_sources(root: &Path) -> Vec<(String, String)> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     if let Ok(entries) = fs::read_dir(&crates_dir) {
@@ -56,7 +98,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
         }
     }
     files.sort();
-    let mut diags = Vec::new();
+    let mut out = Vec::new();
     for path in files {
         let Ok(src) = fs::read_to_string(&path) else {
             continue;
@@ -66,9 +108,67 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_source(&src, &rel));
+        out.push((rel, src));
     }
-    diags
+    out
+}
+
+/// Per-variant counts of atomic ordering sites across the workspace's
+/// library code (test regions excluded), reported by the deep pass so
+/// the audit surface is visible in the findings stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderingCensus {
+    /// `Ordering::Relaxed` mentions.
+    pub relaxed: u64,
+    /// `Ordering::Acquire` mentions.
+    pub acquire: u64,
+    /// `Ordering::Release` mentions.
+    pub release: u64,
+    /// `Ordering::AcqRel` mentions.
+    pub acq_rel: u64,
+    /// `Ordering::SeqCst` mentions.
+    pub seq_cst: u64,
+    /// Lines invoking an atomic fence with an explicit ordering.
+    pub fences: u64,
+    /// Library files containing at least one atomic ordering site.
+    pub files_with_atomics: u64,
+}
+
+impl OrderingCensus {
+    /// Total ordering mentions across all variants.
+    pub fn total(&self) -> u64 {
+        self.relaxed + self.acquire + self.release + self.acq_rel + self.seq_cst
+    }
+}
+
+/// Counts every atomic ordering site in the workspace's library code.
+pub fn classify_orderings(root: &Path) -> OrderingCensus {
+    let mut census = OrderingCensus::default();
+    for (_, src) in workspace_lib_sources(root) {
+        let masked = mask_test_regions(&strip_comments_and_strings(&src));
+        let mut any = false;
+        for line in masked.lines() {
+            for (variant, slot) in [
+                ("Relaxed", &mut census.relaxed),
+                ("Acquire", &mut census.acquire),
+                ("Release", &mut census.release),
+                ("AcqRel", &mut census.acq_rel),
+                ("SeqCst", &mut census.seq_cst),
+            ] {
+                if contains_ordering(line, variant) {
+                    *slot += 1;
+                    any = true;
+                    if line.contains("fence(") {
+                        census.fences += 1;
+                    }
+                }
+            }
+        }
+        if any {
+            census.files_with_atomics += 1;
+        }
+    }
+    census
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -99,6 +199,10 @@ pub fn lint_source(src: &str, rel_path: &str) -> Vec<Diagnostic> {
     let instrumented = INSTRUMENTATION_MODULES
         .iter()
         .any(|m| rel_path.starts_with(m) || rel_path == m.trim_end_matches('/'));
+    let audited = CONCURRENCY_AUDITED.contains(&rel_path);
+    // Invariant-comment markers live in comments, which stripping blanks
+    // out — marker checks read the raw text.
+    let raw_lines: Vec<&str> = src.lines().collect();
     let mut diags = Vec::new();
     for (i, line) in masked.lines().enumerate() {
         let lineno = i + 1;
@@ -154,8 +258,227 @@ pub fn lint_source(src: &str, rel_path: &str) -> Vec<Diagnostic> {
                 .at_line(lineno),
             );
         }
+        if line.contains("Ordering::Relaxed") && !has_marker(&raw_lines, lineno, &["relaxed:"]) {
+            diags.push(
+                Diagnostic::error(
+                    "atomics/relaxed",
+                    rel_path.to_string(),
+                    "`Ordering::Relaxed` without a `relaxed:` invariant comment on this \
+                     line or the line above; state why the weakest ordering is sound \
+                     here, or strengthen it",
+                )
+                .at_line(lineno),
+            );
+        }
+        if audited
+            && ATOMIC_ORDERINGS[1..]
+                .iter()
+                .any(|v| contains_ordering(line, v))
+            && !has_marker(&raw_lines, lineno, &["relaxed:", "ordering:"])
+        {
+            diags.push(
+                Diagnostic::error(
+                    "atomics/audited",
+                    rel_path.to_string(),
+                    "atomic ordering site in a concurrency-audited file without a \
+                     `relaxed:`/`ordering:` invariant comment on this line or the \
+                     line above",
+                )
+                .at_line(lineno),
+            );
+        }
+    }
+    diags.extend(check_fence_pairing(&masked, rel_path));
+    diags
+}
+
+/// True if any of the raw source lines `lineno` or `lineno - 1`
+/// (1-based) mentions one of the marker needles. Markers live in
+/// comments, so this looks at the *unstripped* text.
+fn has_marker(raw_lines: &[&str], lineno: usize, needles: &[&str]) -> bool {
+    let mut candidates = vec![lineno];
+    if lineno > 1 {
+        candidates.push(lineno - 1);
+    }
+    candidates.into_iter().any(|n| {
+        raw_lines
+            .get(n - 1)
+            .is_some_and(|l| needles.iter().any(|m| l.contains(m)))
+    })
+}
+
+/// True if `line` mentions `Ordering::<variant>` for the given variant.
+fn contains_ordering(line: &str, variant: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find("Ordering::") {
+        let at = start + pos + "Ordering::".len();
+        if line[at..].starts_with(variant) {
+            // Reject a longer identifier (e.g. `RelaxedFoo`).
+            let after = line[at + variant.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                return true;
+            }
+        }
+        start = at;
+    }
+    false
+}
+
+/// Classification of one atomic-operation line for the fence-pair rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AtomKind {
+    Load,
+    Store,
+    Rmw,
+    Fence,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AtomSite {
+    line: usize,
+    kind: AtomKind,
+    /// Ordering is acquire-or-stronger (Acquire, AcqRel, SeqCst).
+    acquire: bool,
+    /// Ordering is release-or-stronger (Release, AcqRel, SeqCst).
+    release: bool,
+}
+
+/// `atomics/fence-pair`: inside each function, a release fence must be
+/// followed by a release store/RMW and an acquire fence preceded by an
+/// acquire load/RMW. Operates line-by-line on the masked text, which is
+/// exact enough for this workspace's one-op-per-line atomics style.
+fn check_fence_pairing(masked: &str, rel_path: &str) -> Vec<Diagnostic> {
+    let mut sites = Vec::new();
+    for (i, line) in masked.lines().enumerate() {
+        let orderings: Vec<&str> = ATOMIC_ORDERINGS
+            .iter()
+            .copied()
+            .filter(|v| contains_ordering(line, v))
+            .collect();
+        if orderings.is_empty() {
+            continue;
+        }
+        let kind = if line.contains("fence(") {
+            AtomKind::Fence
+        } else if line.contains(".fetch_") || line.contains(".swap(") || line.contains(".compare_")
+        {
+            AtomKind::Rmw
+        } else if line.contains(".store(") {
+            AtomKind::Store
+        } else if line.contains(".load(") {
+            AtomKind::Load
+        } else {
+            continue; // e.g. an ordering passed through as a parameter
+        };
+        let acquire = orderings
+            .iter()
+            .any(|v| ["Acquire", "AcqRel", "SeqCst"].contains(v));
+        let release = orderings
+            .iter()
+            .any(|v| ["Release", "AcqRel", "SeqCst"].contains(v));
+        sites.push(AtomSite {
+            line: i + 1,
+            kind,
+            acquire,
+            release,
+        });
+    }
+    let regions = fn_regions(masked);
+    let mut diags = Vec::new();
+    for fence in sites.iter().filter(|s| s.kind == AtomKind::Fence) {
+        // Innermost enclosing function: the largest start line at or
+        // before the fence whose region still covers it.
+        let Some(&(start, end)) = regions
+            .iter()
+            .filter(|&&(s, e)| s <= fence.line && fence.line <= e)
+            .max_by_key(|&&(s, _)| s)
+        else {
+            continue;
+        };
+        let within = |s: &&AtomSite| start <= s.line && s.line <= end;
+        if fence.release {
+            let paired = sites.iter().filter(within).any(|s| {
+                s.line > fence.line
+                    && matches!(s.kind, AtomKind::Store | AtomKind::Rmw)
+                    && s.release
+            });
+            if !paired {
+                diags.push(
+                    Diagnostic::error(
+                        "atomics/fence-pair",
+                        rel_path.to_string(),
+                        "release fence with no subsequent release store/RMW in the same \
+                         function; nothing publishes what the fence ordered",
+                    )
+                    .at_line(fence.line),
+                );
+            }
+        }
+        if fence.acquire {
+            let paired = sites.iter().filter(within).any(|s| {
+                s.line < fence.line && matches!(s.kind, AtomKind::Load | AtomKind::Rmw) && s.acquire
+            });
+            if !paired {
+                diags.push(
+                    Diagnostic::error(
+                        "atomics/fence-pair",
+                        rel_path.to_string(),
+                        "acquire fence with no preceding acquire load/RMW in the same \
+                         function; the fence has nothing to synchronize with",
+                    )
+                    .at_line(fence.line),
+                );
+            }
+        }
     }
     diags
+}
+
+/// Brace-matched `(start_line, end_line)` (1-based, inclusive) of every
+/// function body in the masked text. Declarations without bodies are
+/// skipped; nested functions yield nested regions.
+fn fn_regions(masked: &str) -> Vec<(usize, usize)> {
+    let b = masked.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = find_subslice(b, b"fn ", search) {
+        search = pos + 3;
+        // Require a token boundary before `fn`.
+        if pos > 0 && (b[pos - 1].is_ascii_alphanumeric() || b[pos - 1] == b'_') {
+            continue;
+        }
+        // Find the body's opening brace; a `;` first means a bodyless
+        // declaration (trait method, extern).
+        let mut j = pos + 3;
+        let mut open = None;
+        while j < b.len() {
+            match b[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut end = b.len().saturating_sub(1);
+        for (k, &c) in b.iter().enumerate().skip(open) {
+            if c == b'{' {
+                depth += 1;
+            } else if c == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        let line_of = |idx: usize| masked[..idx].bytes().filter(|&c| c == b'\n').count() + 1;
+        regions.push((line_of(pos), line_of(end)));
+    }
+    regions
 }
 
 /// True if `line` invokes `mac` as a macro (not as a suffix of a longer
@@ -450,6 +773,138 @@ mod tests {
         let src =
             "fn f<'a>(x: &'a str) -> char { let c = 'x'; let n = '\\n'; let _ = (x, n); c }\n";
         assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn unmarked_relaxed_is_flagged_and_marker_silences() {
+        let bare =
+            "fn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n    x.load(Ordering::Relaxed)\n}\n";
+        let diags = lint_source(bare, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["atomics/relaxed"]);
+        assert_eq!(diags[0].line, Some(2));
+
+        let above = "fn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n    // relaxed: monotonic counter, no data guarded by it\n    x.load(Ordering::Relaxed)\n}\n";
+        assert!(lint_source(above, "crates/x/src/lib.rs").is_empty());
+
+        let inline = "fn f(x: &std::sync::atomic::AtomicU64) -> u64 {\n    x.load(Ordering::Relaxed) // relaxed: monotonic counter\n}\n";
+        assert!(lint_source(inline, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn audited_files_require_markers_on_every_ordering() {
+        let src =
+            "fn f(x: &std::sync::atomic::AtomicBool) {\n    x.store(true, Ordering::SeqCst);\n}\n";
+        // The same SeqCst site: clean in an ordinary file, flagged in an
+        // audited one.
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+        let diags = lint_source(src, "crates/bench/src/sweep.rs");
+        assert_eq!(rules(&diags), ["atomics/audited"]);
+        let marked = "fn f(x: &std::sync::atomic::AtomicBool) {\n    // ordering: cold shutdown flag\n    x.store(true, Ordering::SeqCst);\n}\n";
+        assert!(lint_source(marked, "crates/bench/src/sweep.rs").is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_out_of_scope() {
+        let src = "fn f(a: u32, b: u32) -> std::cmp::Ordering {\n    if a < b { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }\n}\n";
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn unpaired_release_fence_is_flagged() {
+        let src = concat!(
+            "use std::sync::atomic::{fence, AtomicU64, Ordering};\n",
+            "fn publish(stamp: &AtomicU64) {\n",
+            "    // ordering: orders earlier payload stores\n",
+            "    fence(Ordering::Release);\n",
+            "    // relaxed: WRONG — the publishing store must be release\n",
+            "    stamp.store(2, Ordering::Relaxed);\n",
+            "}\n",
+        );
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["atomics/fence-pair"]);
+        assert_eq!(diags[0].line, Some(4));
+    }
+
+    #[test]
+    fn unpaired_acquire_fence_is_flagged() {
+        let src = concat!(
+            "use std::sync::atomic::{fence, AtomicU64, Ordering};\n",
+            "fn observe(stamp: &AtomicU64) -> u64 {\n",
+            "    // relaxed: WRONG — the first stamp read must be acquire\n",
+            "    let s = stamp.load(Ordering::Relaxed);\n",
+            "    // ordering: orders payload loads before the re-check\n",
+            "    fence(Ordering::Acquire);\n",
+            "    s\n",
+            "}\n",
+        );
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["atomics/fence-pair"]);
+        assert_eq!(diags[0].line, Some(6));
+    }
+
+    #[test]
+    fn seqlock_shaped_fences_are_clean() {
+        // The event ring's writer and reader shapes, reduced.
+        let src = concat!(
+            "use std::sync::atomic::{fence, AtomicU64, Ordering};\n",
+            "fn write(stamp: &AtomicU64, word: &AtomicU64) {\n",
+            "    // relaxed: ordered before the payload by the fence below\n",
+            "    stamp.store(1, Ordering::Relaxed);\n",
+            "    // ordering: release fence before the payload\n",
+            "    fence(Ordering::Release);\n",
+            "    // relaxed: stamp-guarded payload\n",
+            "    word.store(7, Ordering::Relaxed);\n",
+            "    // ordering: publishes the payload\n",
+            "    stamp.store(2, Ordering::Release);\n",
+            "}\n",
+            "fn read(stamp: &AtomicU64, word: &AtomicU64) -> u64 {\n",
+            "    // ordering: pairs with the writer's release store\n",
+            "    let _s1 = stamp.load(Ordering::Acquire);\n",
+            "    // relaxed: stamp-validated read\n",
+            "    let w = word.load(Ordering::Relaxed);\n",
+            "    // ordering: orders the payload loads before the re-check\n",
+            "    fence(Ordering::Acquire);\n",
+            "    // relaxed: the fence above orders this re-check\n",
+            "    let _s2 = stamp.load(Ordering::Relaxed);\n",
+            "    w\n",
+            "}\n",
+        );
+        assert!(lint_source(src, "crates/x/src/lib.rs").is_empty());
+    }
+
+    #[test]
+    fn fence_pairing_respects_function_boundaries() {
+        // A release store in a *different* function must not satisfy the
+        // fence: the pairing is per-function.
+        let src = concat!(
+            "use std::sync::atomic::{fence, AtomicU64, Ordering};\n",
+            "fn a(stamp: &AtomicU64) {\n",
+            "    // ordering: fence with no local release store\n",
+            "    fence(Ordering::Release);\n",
+            "}\n",
+            "fn b(stamp: &AtomicU64) {\n",
+            "    // ordering: unrelated publishing store\n",
+            "    stamp.store(2, Ordering::Release);\n",
+            "}\n",
+        );
+        let diags = lint_source(src, "crates/x/src/lib.rs");
+        assert_eq!(rules(&diags), ["atomics/fence-pair"]);
+    }
+
+    #[test]
+    fn ordering_census_counts_sites() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let census = classify_orderings(&root);
+        // The event ring alone guarantees these floors.
+        assert!(census.relaxed >= 10, "{census:?}");
+        assert!(census.acquire >= 2, "{census:?}");
+        assert!(census.release >= 2, "{census:?}");
+        assert!(census.fences >= 2, "{census:?}");
+        assert!(census.files_with_atomics >= 3, "{census:?}");
+        assert_eq!(
+            census.total(),
+            census.relaxed + census.acquire + census.release + census.acq_rel + census.seq_cst
+        );
     }
 
     #[test]

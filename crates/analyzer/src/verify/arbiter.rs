@@ -1,0 +1,647 @@
+//! Exhaustive AHB arbiter/decoder verification.
+//!
+//! Three layers, all over the *real* `ahbpower-ahb` structs rather than
+//! a re-model:
+//!
+//! 1. **Decide-space walk** — for every master count in `2..=max`, both
+//!    arbitration policies, every owner, lock state, round-robin cursor,
+//!    SPLIT mask and request word, force the arbiter into that exact
+//!    state (via [`Arbiter::set_split_mask`]/[`Arbiter::set_rr_next`])
+//!    and check the single-step contract of [`Arbiter::decide`]: the
+//!    grant word is one-hot, a locked unmasked owner always keeps the
+//!    bus, a winner is always drawn from `requests & !split_mask` when
+//!    that set is non-empty (lowest index for fixed priority, first hit
+//!    scanning from the cursor for round-robin), the default master is
+//!    granted when it is empty, and the cursor advances exactly when a
+//!    round-robin grant was made. The grant word travels through
+//!    `GrantSource` so a seeded [`ArbiterMutation::DoubleGrant`] can
+//!    prove the one-hot check actually fires.
+//! 2. **Starvation bound** — under round-robin, any continuously
+//!    requesting master is granted within `n` decisions from *any*
+//!    reachable cursor against *any* constant competing request
+//!    pattern; under fixed priority the highest-priority unmasked
+//!    requester is granted immediately (lower ones may legally starve —
+//!    that is the policy's documented contract, not a bug).
+//! 3. **Bus-level runs** — scripted multi-master traffic (bursts
+//!    straddling interesting addresses, locked sequences, idle gaps) on
+//!    the real [`ahbpower_ahb::AhbBus`], every cycle fed to the crate's
+//!    [`ProtocolChecker`] plus walk-specific invariants: an HMASTER
+//!    edge must have been granted on the previous cycle, the handover
+//!    statistic must agree with observed edges, accepted incrementing
+//!    burst beats never leave the 1 KB block of their NONSEQ beat, and
+//!    HSEL matches the address decoder. The static boundary predicates
+//!    (`crosses_1kb_boundary`, `incr_crosses_1kb_boundary`) are also
+//!    cross-checked against brute-force beat enumeration.
+
+use ahbpower_ahb::{
+    burst_addresses, crosses_1kb_boundary, incr_crosses_1kb_boundary, parse_ops, AddressMap,
+    AhbBusBuilder, Arbiter, Arbitration, HBurst, HSize, HTrans, MasterId, MemorySlave,
+    ProtocolChecker, ScriptedMaster,
+};
+
+use crate::diag::Diagnostic;
+
+/// Rule id carried by every diagnostic this pass emits.
+pub const RULE: &str = "verify/arbiter";
+
+/// Seeded fault for the negative direction of the walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArbiterMutation {
+    /// Faithful grant wiring.
+    #[default]
+    None,
+    /// The grant word asserts a second HGRANT line alongside the
+    /// winner's — the classic "two masters own the bus" fabric bug the
+    /// one-hot invariant exists to catch.
+    DoubleGrant,
+}
+
+/// Turns a `decide()` winner into the packed HGRANT word, mirroring the
+/// fabric's `1 << winner` wiring. The mutation hook lives here (in the
+/// analyzer, not the shipped crate) so the seeded-fault direction never
+/// risks leaking into production code paths.
+#[derive(Debug, Clone, Copy)]
+struct GrantSource {
+    mutation: ArbiterMutation,
+}
+
+impl GrantSource {
+    fn grant_word(&self, winner: MasterId, n_masters: usize) -> u32 {
+        let word = 1u32 << winner.index();
+        match self.mutation {
+            ArbiterMutation::None => word,
+            ArbiterMutation::DoubleGrant => word | 1 << ((winner.index() + 1) % n_masters),
+        }
+    }
+}
+
+/// Counters describing how much state the pass covered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterVerifyStats {
+    /// Arbiter states exhaustively enumerated through `decide()`.
+    pub decide_states: u64,
+    /// Decisions made while probing the starvation bound.
+    pub starvation_probes: u64,
+    /// Bus cycles simulated across the scripted scenarios.
+    pub bus_cycles: u64,
+    /// Burst boundary predicates cross-checked against enumeration.
+    pub burst_checks: u64,
+}
+
+/// Runs all three layers; `max_masters` bounds the decide-space walk
+/// (the deep pass uses 8, matching the paper's largest configuration).
+pub fn verify_arbiter(
+    max_masters: usize,
+    mutation: ArbiterMutation,
+) -> (Vec<Diagnostic>, ArbiterVerifyStats) {
+    let mut diags = Vec::new();
+    let mut stats = ArbiterVerifyStats::default();
+    walk_decide_space(max_masters, mutation, &mut diags, &mut stats);
+    probe_starvation_bound(&mut diags, &mut stats);
+    run_bus_scenarios(&mut diags, &mut stats);
+    cross_check_boundary_predicates(&mut diags, &mut stats);
+    (diags, stats)
+}
+
+/// Caps the number of diagnostics recorded per layer: an exhaustive walk
+/// over a genuinely broken arbiter would otherwise emit millions of
+/// identical findings.
+const MAX_FINDINGS: usize = 16;
+
+fn push(diags: &mut Vec<Diagnostic>, subject: &str, message: String) {
+    if diags.len() < MAX_FINDINGS {
+        diags.push(Diagnostic::error(RULE, subject, message));
+    }
+}
+
+fn width_mask(n: usize) -> u32 {
+    (1u32 << n) - 1
+}
+
+fn walk_decide_space(
+    max_masters: usize,
+    mutation: ArbiterMutation,
+    diags: &mut Vec<Diagnostic>,
+    stats: &mut ArbiterVerifyStats,
+) {
+    let grant_source = GrantSource { mutation };
+    for n in 2..=max_masters.min(8) {
+        for policy in [Arbitration::FixedPriority, Arbitration::RoundRobin] {
+            // The cursor only matters for round-robin; pinning it to 0
+            // under fixed priority halves the walk without losing
+            // coverage.
+            let cursors = match policy {
+                Arbitration::FixedPriority => 1,
+                Arbitration::RoundRobin => n,
+            };
+            let mut arb = Arbiter::new(n, policy, MasterId(0));
+            for owner in 0..n {
+                for lock in [false, true] {
+                    for rr_next in 0..cursors {
+                        for split in 0..=width_mask(n) {
+                            for requests in 0..=width_mask(n) {
+                                stats.decide_states += 1;
+                                check_one_decision(
+                                    &mut arb,
+                                    &grant_source,
+                                    n,
+                                    policy,
+                                    MasterId(owner as u8),
+                                    lock,
+                                    rr_next,
+                                    split,
+                                    requests,
+                                    diags,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_one_decision(
+    arb: &mut Arbiter,
+    grant_source: &GrantSource,
+    n: usize,
+    policy: Arbitration,
+    owner: MasterId,
+    lock: bool,
+    rr_next: usize,
+    split: u32,
+    requests: u32,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let state = || {
+        format!(
+            "n={n} policy={policy} owner={} lock={lock} rr_next={rr_next} \
+             split={split:#b} req={requests:#b}",
+            owner.index()
+        )
+    };
+    arb.set_split_mask(split);
+    arb.set_rr_next(if rr_next < arb.n_masters() {
+        rr_next
+    } else {
+        0
+    });
+    let owner_masked = arb.is_masked(owner);
+    let winner = arb.decide(requests, owner, lock);
+    let grantable = requests & !split;
+
+    if winner.index() >= n {
+        push(
+            diags,
+            "decide",
+            format!("{}: winner {} out of range", state(), winner.index()),
+        );
+        return;
+    }
+    let grant = grant_source.grant_word(winner, n);
+    if grant.count_ones() != 1 {
+        push(
+            diags,
+            "decide",
+            format!("{}: HGRANT {grant:#b} is not one-hot", state()),
+        );
+    }
+
+    if lock && !owner_masked {
+        // A locked, unmasked owner must keep the bus and must not
+        // disturb the round-robin cursor.
+        if winner != owner {
+            push(
+                diags,
+                "decide",
+                format!(
+                    "{}: locked owner lost the bus to {}",
+                    state(),
+                    winner.index()
+                ),
+            );
+        }
+        if arb.rr_next() != rr_next {
+            push(
+                diags,
+                "decide",
+                format!(
+                    "{}: lock grant moved rr cursor to {}",
+                    state(),
+                    arb.rr_next()
+                ),
+            );
+        }
+        return;
+    }
+
+    if grantable != 0 {
+        if (grantable >> winner.index()) & 1 != 1 {
+            push(
+                diags,
+                "decide",
+                format!("{}: winner {} not grantable", state(), winner.index()),
+            );
+            return;
+        }
+        let expect = match policy {
+            Arbitration::FixedPriority => grantable.trailing_zeros() as usize,
+            Arbitration::RoundRobin => {
+                // First grantable index scanning rr_next, rr_next+1, … mod n.
+                let mut found = rr_next;
+                for k in 0..n {
+                    let i = (rr_next + k) % n;
+                    if (grantable >> i) & 1 == 1 {
+                        found = i;
+                        break;
+                    }
+                }
+                found
+            }
+        };
+        if winner.index() != expect {
+            push(
+                diags,
+                "decide",
+                format!(
+                    "{}: granted {} but priority says {expect}",
+                    state(),
+                    winner.index()
+                ),
+            );
+        }
+        let want_cursor = match policy {
+            Arbitration::FixedPriority => rr_next,
+            Arbitration::RoundRobin => (winner.index() + 1) % n,
+        };
+        if arb.rr_next() != want_cursor {
+            push(
+                diags,
+                "decide",
+                format!(
+                    "{}: cursor {} != expected {want_cursor}",
+                    state(),
+                    arb.rr_next()
+                ),
+            );
+        }
+    } else {
+        // Nobody grantable: the default master drives IDLE and the
+        // cursor must not move.
+        if winner != arb.default_master() {
+            push(
+                diags,
+                "decide",
+                format!("{}: idle grant went to {}", state(), winner.index()),
+            );
+        }
+        if arb.rr_next() != rr_next {
+            push(
+                diags,
+                "decide",
+                format!("{}: idle decision moved rr cursor", state()),
+            );
+        }
+    }
+}
+
+fn probe_starvation_bound(diags: &mut Vec<Diagnostic>, stats: &mut ArbiterVerifyStats) {
+    // Round-robin: from any cursor, against any constant competing
+    // pattern, a requesting master waits at most n decisions.
+    for n in 2..=4usize {
+        for victim in 0..n {
+            for others in 0..=width_mask(n) {
+                let requests = others | 1 << victim;
+                for start in 0..n {
+                    let mut arb = Arbiter::new(n, Arbitration::RoundRobin, MasterId(0));
+                    arb.set_rr_next(start);
+                    let mut owner = MasterId(0);
+                    let mut served_at = None;
+                    for round in 0..n {
+                        stats.starvation_probes += 1;
+                        owner = arb.decide(requests, owner, false);
+                        if owner.index() == victim {
+                            served_at = Some(round + 1);
+                            break;
+                        }
+                    }
+                    if served_at.is_none() {
+                        push(
+                            diags,
+                            "starvation",
+                            format!(
+                                "round-robin starved master {victim} past {n} decisions \
+                                 (n={n} req={requests:#b} start={start})"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Fixed priority: the highest-priority unmasked requester wins the
+    // very next decision.
+    for n in 2..=4usize {
+        for requests in 1..=width_mask(n) {
+            for split in 0..=width_mask(n) {
+                let grantable = requests & !split;
+                if grantable == 0 {
+                    continue;
+                }
+                let mut arb = Arbiter::new(n, Arbitration::FixedPriority, MasterId(0));
+                arb.set_split_mask(split);
+                stats.starvation_probes += 1;
+                let winner = arb.decide(requests, MasterId((n - 1) as u8), false);
+                if winner.index() != grantable.trailing_zeros() as usize {
+                    push(
+                        diags,
+                        "starvation",
+                        format!(
+                            "fixed-priority delayed top requester \
+                             (n={n} req={requests:#b} split={split:#b} got {})",
+                            winner.index()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One scripted bus scenario: masters' op scripts in the text format,
+/// run on a real fabric until done.
+struct BusScenario {
+    name: &'static str,
+    policy: Arbitration,
+    scripts: &'static [&'static str],
+}
+
+fn bus_scenarios() -> Vec<BusScenario> {
+    vec![
+        BusScenario {
+            name: "fp2_bursts_near_1kb",
+            policy: Arbitration::FixedPriority,
+            scripts: &[
+                // INCR4 ending exactly at the 1 KB boundary (legal),
+                // then singles in the next block.
+                "burst w incr4 0x3f0 11 22 33 44\nread 0x400\nwrite 0x404 aa\n",
+                // INCR8 safely inside a block, wrap burst, idle gaps.
+                "idle 2\nburst w incr8 0x2c0 1 2 3 4 5 6 7 8\nburst r wrap8 0x240\n",
+            ],
+        },
+        BusScenario {
+            name: "rr3_contention_and_lock",
+            policy: Arbitration::RoundRobin,
+            scripts: &[
+                "write 0x100 1\nlock\nwrite 0x104 2\nread 0x104\nendlock\nread 0x100\n",
+                "burst w incr4 0x200 a b c d\nread 0x208\n",
+                "read 0x300\nwrite 0x300 ff\nburst r wrap4 0x310\n",
+            ],
+        },
+        BusScenario {
+            name: "rr4_mixed_sizes",
+            policy: Arbitration::RoundRobin,
+            scripts: &[
+                "write 0x10 1 b\nwrite 0x12 2 h\nread 0x10 b\n",
+                "burst w incr8 0x7c0 1 2 3 4 5 6 7 8\n",
+                "idle 3\nread 0x500\nwrite 0x504 5\n",
+                "lock\nwrite 0x600 6\nread 0x600\nendlock\n",
+            ],
+        },
+    ]
+}
+
+fn run_bus_scenarios(diags: &mut Vec<Diagnostic>, stats: &mut ArbiterVerifyStats) {
+    for sc in bus_scenarios() {
+        run_one_bus_scenario(&sc, diags, stats);
+    }
+}
+
+fn run_one_bus_scenario(
+    sc: &BusScenario,
+    diags: &mut Vec<Diagnostic>,
+    stats: &mut ArbiterVerifyStats,
+) {
+    let map = AddressMap::evenly_spaced(2, 0x800);
+    let mut builder = AhbBusBuilder::new(map.clone()).arbitration(sc.policy);
+    for text in sc.scripts {
+        let ops = match parse_ops(text) {
+            Ok(ops) => ops,
+            Err(e) => {
+                push(diags, sc.name, format!("script failed to parse: {e}"));
+                return;
+            }
+        };
+        builder = builder.master(Box::new(ScriptedMaster::new(ops)));
+    }
+    builder = builder
+        .slave(Box::new(MemorySlave::new(0x800, 0, 0)))
+        .slave(Box::new(MemorySlave::new(0x800, 1, 0)));
+    let mut bus = match builder.build() {
+        Ok(bus) => bus,
+        Err(e) => {
+            push(diags, sc.name, format!("bus build failed: {e}"));
+            return;
+        }
+    };
+
+    let mut checker = ProtocolChecker::new();
+    let mut prev: Option<ahbpower_ahb::BusSnapshot> = None;
+    let mut hmaster_edges: u64 = 0;
+    let mut burst_start: Option<(u32, HBurst)> = None;
+    const MAX_CYCLES: u64 = 4_096;
+    for _ in 0..MAX_CYCLES {
+        let snap = *bus.step();
+        stats.bus_cycles += 1;
+        checker.check(&snap);
+
+        if let Some(p) = prev {
+            if snap.hmaster != p.hmaster {
+                hmaster_edges += 1;
+                // The incoming owner must have held the grant on the
+                // previous cycle — owners change only through HGRANT.
+                if (p.hgrant >> snap.hmaster.index()) & 1 != 1 {
+                    push(
+                        diags,
+                        sc.name,
+                        format!(
+                            "cycle {}: HMASTER became {} without a prior grant \
+                             (HGRANT was {:#b})",
+                            snap.cycle,
+                            snap.hmaster.index(),
+                            p.hgrant
+                        ),
+                    );
+                }
+            }
+        }
+
+        // 1 KB rule, observed dynamically: every accepted SEQ beat of a
+        // non-wrapping burst stays in its NONSEQ beat's 1 KB block.
+        if snap.hready {
+            match snap.htrans {
+                HTrans::NonSeq => burst_start = Some((snap.haddr, snap.hburst)),
+                HTrans::Seq => {
+                    if let Some((start, burst)) = burst_start {
+                        if !burst.is_wrapping() && (snap.haddr >> 10) != (start >> 10) {
+                            push(
+                                diags,
+                                sc.name,
+                                format!(
+                                    "cycle {}: {} beat at {:#x} left the 1 KB block of {:#x}",
+                                    snap.cycle, burst, snap.haddr, start
+                                ),
+                            );
+                        }
+                    }
+                }
+                HTrans::Idle => burst_start = None,
+                HTrans::Busy => {}
+            }
+        }
+
+        // Decoder cross-check: the fabric's HSEL must match a fresh
+        // decode of the address-phase address.
+        if snap.htrans.is_transfer() {
+            let want = match map.decode(snap.haddr) {
+                Some(slave) => 1u32 << slave.index(),
+                None => 0,
+            };
+            if snap.hsel != want {
+                push(
+                    diags,
+                    sc.name,
+                    format!(
+                        "cycle {}: HSEL {:#b} disagrees with decode({:#x}) = {want:#b}",
+                        snap.cycle, snap.hsel, snap.haddr
+                    ),
+                );
+            }
+        }
+
+        prev = Some(snap);
+        if bus.all_masters_done() && snap.htrans == HTrans::Idle {
+            break;
+        }
+    }
+
+    if !bus.all_masters_done() {
+        push(
+            diags,
+            sc.name,
+            format!("masters not done after {MAX_CYCLES} cycles"),
+        );
+    }
+    for v in checker.violations() {
+        push(diags, sc.name, format!("protocol: {v}"));
+    }
+    // Handover accounting: the fabric counts a handover when the next
+    // owner differs from the current address-phase owner; the observed
+    // HMASTER edge count can trail by at most the one decision still in
+    // flight when the run stopped.
+    let handovers = bus.stats().handovers;
+    if handovers < hmaster_edges || handovers > hmaster_edges + 1 {
+        push(
+            diags,
+            sc.name,
+            format!("{handovers} recorded handovers vs {hmaster_edges} observed HMASTER edges"),
+        );
+    }
+}
+
+fn cross_check_boundary_predicates(diags: &mut Vec<Diagnostic>, stats: &mut ArbiterVerifyStats) {
+    let sizes = [HSize::Byte, HSize::Half, HSize::Word];
+    let bursts = [
+        HBurst::Single,
+        HBurst::Incr4,
+        HBurst::Incr8,
+        HBurst::Incr16,
+        HBurst::Wrap4,
+        HBurst::Wrap8,
+        HBurst::Wrap16,
+    ];
+    let blocks_differ = |addrs: &[u32]| {
+        let first = addrs[0] >> 10;
+        addrs.iter().any(|a| (a >> 10) != first)
+    };
+    for size in sizes {
+        for burst in bursts {
+            let mut start = 0u32;
+            while start < 0x1000 {
+                stats.burst_checks += 1;
+                let enumerated = blocks_differ(&burst_addresses(start, size, burst, 4));
+                let predicted = crosses_1kb_boundary(start, size, burst);
+                // The predicate only claims fixed-length incrementing
+                // bursts; wrapping windows (≤ 64 B) and SINGLE cannot
+                // cross, and enumeration must agree.
+                if predicted != enumerated && burst.beats().is_some() && !burst.is_wrapping() {
+                    push(
+                        diags,
+                        "burst-boundary",
+                        format!("crosses_1kb_boundary({start:#x}, {size}, {burst}) = {predicted}, enumeration says {enumerated}"),
+                    );
+                }
+                if burst.is_wrapping() && enumerated {
+                    push(
+                        diags,
+                        "burst-boundary",
+                        format!("wrapping {burst} at {start:#x} crossed a 1 KB boundary"),
+                    );
+                }
+                start += size.bytes();
+            }
+        }
+        for beats in 1..=20usize {
+            let mut start = 0u32;
+            while start < 0x800 {
+                stats.burst_checks += 1;
+                let enumerated = blocks_differ(&burst_addresses(start, size, HBurst::Incr, beats));
+                let predicted = incr_crosses_1kb_boundary(start, size, beats);
+                if predicted != enumerated {
+                    push(
+                        diags,
+                        "burst-boundary",
+                        format!(
+                            "incr_crosses_1kb_boundary({start:#x}, {size}, {beats}) = \
+                             {predicted}, enumeration says {enumerated}"
+                        ),
+                    );
+                }
+                start += size.bytes() * 7; // coprime stride samples misaligned starts too
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_walk_is_clean() {
+        let (diags, stats) = verify_arbiter(5, ArbiterMutation::None);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(stats.decide_states > 50_000, "{stats:?}");
+        assert!(stats.bus_cycles > 0);
+        assert!(stats.burst_checks > 0);
+    }
+
+    #[test]
+    fn double_grant_mutant_is_caught() {
+        let (diags, _) = verify_arbiter(2, ArbiterMutation::DoubleGrant);
+        assert!(!diags.is_empty());
+        assert!(diags.iter().all(|d| d.rule == RULE));
+        assert!(
+            diags.iter().any(|d| d.message.contains("one-hot")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn findings_are_capped() {
+        let (diags, _) = verify_arbiter(8, ArbiterMutation::DoubleGrant);
+        assert!(diags.len() <= MAX_FINDINGS);
+    }
+}

@@ -1,0 +1,305 @@
+//! Deep concurrency verification (`repro analyze --deep`).
+//!
+//! Three passes over the workspace's concurrency surface, each proving a
+//! different layer:
+//!
+//! 1. [`ring`] — a deterministic-interleaving model checker (built on
+//!    [`sched`]) exhaustively explores publisher/consumer interleavings
+//!    of the event ring's seqlock protocol under a bounded-preemption
+//!    cap, proving no torn reads, no lost events beyond the declared
+//!    `dropped` count, and monotone cursors;
+//! 2. the atomic-ordering lint (in [`crate::source_lint`], rules
+//!    `atomics/*`) — token-level classification of every
+//!    `Ordering::` site, with invariant-comment obligations and
+//!    fence-pairing checks; the deep pass contributes the workspace
+//!    ordering census and a seeded self-check;
+//! 3. [`arbiter`] — an exhaustive walk of the real AHB arbiter's
+//!    decision space (2..=8 masters), starvation-bound probes, scripted
+//!    bus runs under the protocol checker, and burst-boundary
+//!    cross-checks.
+//!
+//! A clean deep run additionally *verifies the verifiers*: each seeded
+//! mutant (torn-read ring, missing writing stamp, unmarked relaxed
+//! ordering, double grant) is run against its pass and must be caught —
+//! a tool that stops catching its own seeded faults fails the run with
+//! a `verify/selfcheck` error. The `--mutate` CLI directions invert
+//! this: they run *only* the seeded fault and expect findings, giving
+//! CI an end-to-end proof that a real regression would flip the exit
+//! code.
+
+pub mod arbiter;
+pub mod ring;
+pub mod sched;
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ahbpower::telemetry::RingMutation;
+
+use crate::diag::{Diagnostic, Report};
+use crate::source_lint::{self, OrderingCensus};
+
+pub use arbiter::{verify_arbiter, ArbiterMutation, ArbiterVerifyStats};
+pub use ring::{verify_ring, RingVerifyStats};
+
+/// Which seeded fault a deep run injects (`--mutate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeepMutation {
+    /// No fault: verify the real code and self-check the tooling.
+    #[default]
+    None,
+    /// Ring writer publishes the final stamp before the payload lands.
+    RingTorn,
+    /// Source with unmarked/misordered atomics fed to the lint.
+    OrderingRelaxed,
+    /// Grant decoder asserts two HGRANT lines at once.
+    ArbiterDoubleGrant,
+}
+
+impl DeepMutation {
+    /// Parses the CLI spelling (`ring-torn`, `ordering-relaxed`,
+    /// `arbiter-double-grant`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring-torn" => Some(DeepMutation::RingTorn),
+            "ordering-relaxed" => Some(DeepMutation::OrderingRelaxed),
+            "arbiter-double-grant" => Some(DeepMutation::ArbiterDoubleGrant),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the deep pass.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepConfig {
+    /// Preemption bound for the clean ring scenarios. The seeded
+    /// no-writing-stamp self-check always runs at bound 3 — that race
+    /// inherently needs three context switches to observe.
+    pub preemption_bound: usize,
+    /// Per-scenario cap on explored interleavings (safety net; every
+    /// shipped scenario explores to completion far below it).
+    pub max_executions: u64,
+    /// Largest master count for the arbiter decide-space walk.
+    pub max_masters: usize,
+    /// Seeded fault to inject, if any.
+    pub mutation: DeepMutation,
+}
+
+impl Default for DeepConfig {
+    fn default() -> Self {
+        DeepConfig {
+            preemption_bound: 2,
+            max_executions: 500_000,
+            max_masters: 8,
+            mutation: DeepMutation::None,
+        }
+    }
+}
+
+/// Coverage counters from one deep run, exported as JSONL gauges.
+#[derive(Debug, Clone, Default)]
+pub struct DeepStats {
+    /// Ring model-checker coverage.
+    pub ring: RingVerifyStats,
+    /// Arbiter walk coverage.
+    pub arbiter: ArbiterVerifyStats,
+    /// Workspace atomic-ordering census.
+    pub census: OrderingCensus,
+    /// Wall-clock spent in the deep pass.
+    pub wall: Duration,
+}
+
+/// Seeded source for the ordering-lint directions: an unmarked relaxed
+/// load, an unmarked SeqCst store (in an audited file), and an unpaired
+/// release fence — one violation per `atomics/*` rule.
+const SEEDED_ORDERING_SRC: &str = "\
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+fn publish(stop: &AtomicBool, stamp: &AtomicU64) -> u64 {
+    stop.store(true, Ordering::SeqCst);
+    fence(Ordering::Release);
+    stamp.load(Ordering::Relaxed)
+}
+";
+
+/// Virtual path the seeded source is linted under: must be in the
+/// concurrency-audited set so all three rules are in force.
+const SEEDED_ORDERING_PATH: &str = "crates/core/src/telemetry/events.rs";
+
+/// The three `atomics/*` rules the seeded source must trip.
+const SEEDED_ORDERING_RULES: [&str; 3] =
+    ["atomics/relaxed", "atomics/audited", "atomics/fence-pair"];
+
+/// Runs the deep verification pass. With [`DeepMutation::None`] this
+/// verifies the real code (and self-checks the tooling on every seeded
+/// fault); with a specific mutation it runs only that seeded fault and
+/// reports its findings — the caller treats findings as the *expected*
+/// outcome and a clean report as the regression.
+pub fn verify_deep(root: &Path, cfg: DeepConfig) -> (Report, DeepStats) {
+    let started = Instant::now();
+    let mut report = Report::new();
+    let mut stats = DeepStats::default();
+
+    match cfg.mutation {
+        DeepMutation::None => {
+            let (diags, ring_stats) =
+                verify_ring(cfg.preemption_bound, cfg.max_executions, RingMutation::None);
+            report.extend(diags);
+            stats.ring = ring_stats;
+
+            let (diags, arb_stats) = verify_arbiter(cfg.max_masters, ArbiterMutation::None);
+            report.extend(diags);
+            stats.arbiter = arb_stats;
+
+            stats.census = source_lint::classify_orderings(root);
+            report.extend(self_check(cfg));
+        }
+        DeepMutation::RingTorn => {
+            let (diags, ring_stats) = verify_ring(
+                cfg.preemption_bound.max(1),
+                cfg.max_executions,
+                RingMutation::PublishBeforePayload,
+            );
+            report.extend(diags);
+            stats.ring = ring_stats;
+        }
+        DeepMutation::OrderingRelaxed => {
+            report.extend(
+                source_lint::lint_source(SEEDED_ORDERING_SRC, SEEDED_ORDERING_PATH)
+                    .into_iter()
+                    .map(|d| {
+                        // Re-subject so nobody mistakes the seeded text
+                        // for the (clean) real file.
+                        let line = d.line;
+                        let d2 =
+                            Diagnostic::error(d.rule, format!("seeded:{}", d.subject), d.message);
+                        match line {
+                            Some(l) => d2.at_line(l),
+                            None => d2,
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        DeepMutation::ArbiterDoubleGrant => {
+            let (diags, arb_stats) =
+                verify_arbiter(cfg.max_masters.min(4), ArbiterMutation::DoubleGrant);
+            report.extend(diags);
+            stats.arbiter = arb_stats;
+        }
+    }
+
+    stats.wall = started.elapsed();
+    (report, stats)
+}
+
+/// Verifies the verifiers: every seeded fault must still be caught by
+/// its pass. Returns one `verify/selfcheck` error per silent checker.
+fn self_check(cfg: DeepConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Torn-read mutant: a single preemption exposes it.
+    let (found, _) = verify_ring(1, cfg.max_executions, RingMutation::PublishBeforePayload);
+    if found.is_empty() {
+        diags.push(Diagnostic::error(
+            "verify/selfcheck",
+            "ring",
+            "model checker missed the seeded publish-before-payload mutant",
+        ));
+    }
+    // Missing writing stamp: the reader must get preempted mid-copy and
+    // the writer must lap it — three context switches, so bound 3.
+    let (found, _) = verify_ring(3, cfg.max_executions, RingMutation::NoWritingStamp);
+    if found.is_empty() {
+        diags.push(Diagnostic::error(
+            "verify/selfcheck",
+            "ring",
+            "model checker missed the seeded no-writing-stamp mutant at bound 3",
+        ));
+    }
+
+    let seeded = source_lint::lint_source(SEEDED_ORDERING_SRC, SEEDED_ORDERING_PATH);
+    for rule in SEEDED_ORDERING_RULES {
+        if !seeded.iter().any(|d| d.rule == rule) {
+            diags.push(Diagnostic::error(
+                "verify/selfcheck",
+                "ordering-lint",
+                format!("lint missed the seeded `{rule}` violation"),
+            ));
+        }
+    }
+
+    let (found, _) = verify_arbiter(2, ArbiterMutation::DoubleGrant);
+    if found.is_empty() {
+        diags.push(Diagnostic::error(
+            "verify/selfcheck",
+            "arbiter",
+            "state-space walk missed the seeded double-grant mutant",
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn clean_deep_run_is_clean() {
+        let cfg = DeepConfig {
+            // Bound 1 and 5 masters keep the dev-profile test quick; the
+            // shipped CLI uses the stronger defaults.
+            preemption_bound: 1,
+            max_masters: 5,
+            ..DeepConfig::default()
+        };
+        let (report, stats) = verify_deep(&repo_root(), cfg);
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(stats.ring.scenarios, 5);
+        assert!(stats.arbiter.decide_states > 0);
+        assert!(stats.census.total() > 0);
+        assert!(stats.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn every_mutation_direction_produces_findings() {
+        for (mutation, expect_rule) in [
+            (DeepMutation::RingTorn, "verify/ring"),
+            (DeepMutation::OrderingRelaxed, "atomics/relaxed"),
+            (DeepMutation::ArbiterDoubleGrant, "verify/arbiter"),
+        ] {
+            let cfg = DeepConfig {
+                preemption_bound: 1,
+                mutation,
+                ..DeepConfig::default()
+            };
+            let (report, _) = verify_deep(&repo_root(), cfg);
+            assert!(
+                report.diagnostics().iter().any(|d| d.rule == expect_rule),
+                "{mutation:?} produced no `{expect_rule}`: {}",
+                report.render_text()
+            );
+            assert!(report.error_count() > 0, "{mutation:?} must exit nonzero");
+        }
+    }
+
+    #[test]
+    fn mutation_spellings_parse() {
+        assert_eq!(
+            DeepMutation::parse("ring-torn"),
+            Some(DeepMutation::RingTorn)
+        );
+        assert_eq!(
+            DeepMutation::parse("ordering-relaxed"),
+            Some(DeepMutation::OrderingRelaxed)
+        );
+        assert_eq!(
+            DeepMutation::parse("arbiter-double-grant"),
+            Some(DeepMutation::ArbiterDoubleGrant)
+        );
+        assert_eq!(DeepMutation::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,415 @@
+//! Model-checked verification of the event ring's seqlock protocol:
+//! small publisher/consumer scenarios run over the scheduler's model
+//! atomics ([`super::sched`]) with every bounded-preemption
+//! interleaving explored, proving three invariants on the *real*
+//! [`GenericEventBus`] code:
+//!
+//! 1. **No torn reads** — every event a reader returns is byte-for-byte
+//!    one that some publisher actually published at that sequence.
+//! 2. **No lost events beyond the declared count** — for every batch,
+//!    `next - since == events.len() + dropped`, and a final drain
+//!    accounts for every claimed sequence number exactly once.
+//! 3. **Monotone cursors** — `next` never moves backwards, batch
+//!    windows are disjoint, and in-batch sequence numbers are strictly
+//!    increasing inside `[since, next)`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ahbpower::telemetry::{Event, EventBatch, EventKind, GenericEventBus, RingMutation};
+
+use super::sched::{explore, Exploration, ModelAtomics, RunResult, Sched};
+use crate::diag::Diagnostic;
+
+/// A model bus: the production ring code over scheduled model cells.
+type ModelBus = GenericEventBus<ModelAtomics>;
+
+/// One publisher/consumer scenario for the interleaving explorer.
+#[derive(Debug, Clone)]
+pub struct RingScenario {
+    /// Scenario name (used in diagnostics and stats).
+    pub name: &'static str,
+    /// Ring capacity (tiny, to make wraparound reachable).
+    pub capacity: usize,
+    /// Concurrent publisher threads.
+    pub publishers: usize,
+    /// Events published per publisher.
+    pub events_each: usize,
+    /// Publish via one `publish_batch` call instead of singles.
+    pub use_batch: bool,
+    /// Concurrent consumer polls (the final drain happens after join).
+    pub polls: usize,
+    /// `max` passed to each concurrent poll.
+    pub poll_max: usize,
+    /// Branch to every enabled thread at every decision (sound up to
+    /// the preemption bound) instead of conflict-filtering.
+    pub exhaustive: bool,
+    /// Seeded write-protocol fault (None for the clean direction).
+    pub mutation: RingMutation,
+}
+
+/// The clean scenarios `--deep` must prove hold under every bounded
+/// interleaving.
+pub fn clean_scenarios() -> Vec<RingScenario> {
+    vec![
+        RingScenario {
+            name: "pub1_cons1_cap4",
+            capacity: 4,
+            publishers: 1,
+            events_each: 3,
+            use_batch: false,
+            polls: 2,
+            poll_max: 8,
+            exhaustive: true,
+            mutation: RingMutation::None,
+        },
+        RingScenario {
+            name: "wraparound_cap2",
+            capacity: 2,
+            publishers: 1,
+            events_each: 4,
+            use_batch: false,
+            polls: 2,
+            poll_max: 8,
+            exhaustive: true,
+            mutation: RingMutation::None,
+        },
+        RingScenario {
+            name: "two_publishers_cap4",
+            capacity: 4,
+            publishers: 2,
+            events_each: 2,
+            use_batch: false,
+            polls: 2,
+            poll_max: 8,
+            exhaustive: true,
+            mutation: RingMutation::None,
+        },
+        RingScenario {
+            name: "batch_publish_cap4",
+            capacity: 4,
+            publishers: 1,
+            events_each: 3,
+            use_batch: true,
+            polls: 2,
+            poll_max: 8,
+            exhaustive: true,
+            mutation: RingMutation::None,
+        },
+        // Three producers racing a consumer: exhaustive branching is
+        // intractable here, so this one leans on the DPOR-style
+        // conflict filter (branch only to threads whose pending op
+        // conflicts with the one about to run).
+        RingScenario {
+            name: "three_publishers_filtered",
+            capacity: 4,
+            publishers: 3,
+            events_each: 2,
+            use_batch: false,
+            polls: 2,
+            poll_max: 16,
+            exhaustive: false,
+            mutation: RingMutation::None,
+        },
+    ]
+}
+
+/// The seeded torn-read direction: the `PublishBeforePayload` mutant
+/// must be caught (stamp published before the payload lands, so a
+/// preempted writer exposes stale payload words as consistent).
+pub fn torn_scenario() -> RingScenario {
+    RingScenario {
+        name: "mutant_publish_before_payload",
+        mutation: RingMutation::PublishBeforePayload,
+        ..clean_scenarios().remove(0)
+    }
+}
+
+/// The seeded missing-writing-stamp direction: without the pre-payload
+/// stamp, a reader lapped mid-overwrite validates an old stamp around
+/// new payload words. The racing shape (reader validates, writer laps,
+/// reader copies and re-validates) inherently needs three context
+/// switches between live threads, so this direction is explored at
+/// preemption bound 3 over a deliberately small scenario.
+pub fn no_stamp_scenario() -> RingScenario {
+    RingScenario {
+        name: "mutant_no_writing_stamp",
+        capacity: 2,
+        publishers: 1,
+        events_each: 3,
+        use_batch: false,
+        polls: 1,
+        poll_max: 4,
+        exhaustive: true,
+        mutation: RingMutation::NoWritingStamp,
+    }
+}
+
+/// The event publisher `p` publishes as its `i`-th event: every field
+/// derives from a nonzero unique id, so a torn read (zeroed or mixed
+/// words) can never collide with a legitimate payload.
+fn expected_event(p: usize, i: usize) -> Event {
+    let uid = (p * 1000 + i + 1) as u64;
+    Event {
+        seq: 0,
+        kind: EventKind::TxnComplete,
+        slice: p as u64,
+        txn: uid,
+        window: uid,
+        cycle: uid,
+        tag: p as u32,
+        a: uid as f64,
+        b: 1.0,
+    }
+}
+
+/// Runs one execution of `scenario` under a forced schedule prefix,
+/// checking the ring invariants after the workers join. This is the
+/// replay primitive: feeding a counterexample's schedule back in
+/// reproduces its violation deterministically.
+pub fn run_ring_once(scenario: &RingScenario, forced: &[usize], bound: usize) -> RunResult {
+    let n_threads = scenario.publishers + 1;
+    let sched = Sched::new(n_threads, forced, bound, scenario.exhaustive);
+    sched.enter_main();
+    let bus: Arc<ModelBus> = Arc::new(ModelBus::for_verification(
+        scenario.capacity,
+        scenario.mutation,
+    ));
+    bus.set_enabled(true);
+    let log: Arc<Mutex<Vec<Event>>> = Arc::new(Mutex::new(Vec::new()));
+    let batches: Arc<Mutex<Vec<(u64, EventBatch)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    for p in 0..scenario.publishers {
+        let bus = Arc::clone(&bus);
+        let log = Arc::clone(&log);
+        let events_each = scenario.events_each;
+        let use_batch = scenario.use_batch;
+        bodies.push(Box::new(move || {
+            if use_batch {
+                let evs: Vec<Event> = (0..events_each).map(|i| expected_event(p, i)).collect();
+                if let Some(start) = bus.publish_batch(&evs) {
+                    let mut g = log.lock().expect("publish log");
+                    for (i, e) in evs.iter().enumerate() {
+                        g.push(Event {
+                            seq: start + i as u64,
+                            ..*e
+                        });
+                    }
+                }
+            } else {
+                for i in 0..events_each {
+                    let e = expected_event(p, i);
+                    if let Some(seq) = bus.publish(e) {
+                        log.lock().expect("publish log").push(Event { seq, ..e });
+                    }
+                }
+            }
+        }));
+    }
+    {
+        let bus = Arc::clone(&bus);
+        let batches = Arc::clone(&batches);
+        let polls = scenario.polls;
+        let poll_max = scenario.poll_max;
+        bodies.push(Box::new(move || {
+            let mut cursor = 0u64;
+            for _ in 0..polls {
+                let b = bus.read_since(cursor, poll_max);
+                let next = b.next;
+                batches.lock().expect("batch log").push((cursor, b));
+                cursor = next;
+            }
+        }));
+    }
+
+    let spawn_err = sched.run_workers(bodies).err();
+
+    // Final drain on the main thread (direct, unscheduled ops): with
+    // all writers joined every claimed slot carries its final stamp, so
+    // the cursor must reach the head in bounded steps.
+    let mut drained = batches.lock().expect("batch log").clone();
+    let mut cursor = drained.last().map_or(0, |(_, b)| b.next);
+    let mut drain_rounds = 0;
+    loop {
+        let b = bus.read_since(cursor, 64);
+        let next = b.next;
+        let done = b.events.is_empty() && b.dropped == 0 && next >= b.published;
+        drained.push((cursor, b));
+        cursor = next;
+        drain_rounds += 1;
+        if done || drain_rounds > 1000 {
+            break;
+        }
+    }
+    let head = bus.published();
+    Sched::exit_main();
+    let (trace, steps, aborted) = sched.take_trace();
+
+    let mut violation = if drain_rounds > 1000 {
+        Some("final drain did not converge to the head".to_string())
+    } else {
+        check_invariants(&log.lock().expect("publish log"), &drained, head)
+    };
+    if let Some(e) = spawn_err {
+        violation = Some(e);
+    }
+    RunResult {
+        trace,
+        steps,
+        violation,
+        aborted,
+    }
+}
+
+/// Checks the three ring invariants over everything the consumer (and
+/// the final drain) observed. Returns the first violation.
+fn check_invariants(
+    published: &[Event],
+    batches: &[(u64, EventBatch)],
+    head: u64,
+) -> Option<String> {
+    let mut by_seq: HashMap<u64, Event> = HashMap::new();
+    for e in published {
+        if by_seq.insert(e.seq, *e).is_some() {
+            return Some(format!("sequence {} claimed twice by publishers", e.seq));
+        }
+    }
+    let mut expected_since = 0u64;
+    let mut last_published = 0u64;
+    for (since, b) in batches {
+        let since = *since;
+        if since != expected_since {
+            return Some(format!(
+                "cursor chain broken: batch started at {since}, expected {expected_since}"
+            ));
+        }
+        if b.next < since {
+            return Some(format!("cursor moved backwards: {} < {since}", b.next));
+        }
+        if b.published < last_published {
+            return Some(format!(
+                "published count regressed: {} < {last_published}",
+                b.published
+            ));
+        }
+        if b.next > b.published {
+            return Some(format!(
+                "cursor {} beyond published head {}",
+                b.next, b.published
+            ));
+        }
+        let declared = (b.events.len() as u64) + b.dropped;
+        if b.next - since != declared {
+            return Some(format!(
+                "lost events: window [{since}, {}) covers {} sequences but batch \
+                 declares {} ({} events + {} dropped)",
+                b.next,
+                b.next - since,
+                declared,
+                b.events.len(),
+                b.dropped
+            ));
+        }
+        let mut prev: Option<u64> = None;
+        for e in &b.events {
+            if e.seq < since || e.seq >= b.next {
+                return Some(format!(
+                    "event seq {} outside its batch window [{since}, {})",
+                    e.seq, b.next
+                ));
+            }
+            if prev.is_some_and(|p| e.seq <= p) {
+                return Some(format!("non-monotone in-batch sequence at {}", e.seq));
+            }
+            prev = Some(e.seq);
+            match by_seq.get(&e.seq) {
+                Some(exp) if e == exp => {}
+                Some(exp) => {
+                    return Some(format!(
+                        "torn read at seq {}: got {e:?}, published {exp:?}",
+                        e.seq
+                    ));
+                }
+                None => {
+                    return Some(format!("reader returned unclaimed sequence {}", e.seq));
+                }
+            }
+        }
+        expected_since = b.next;
+        last_published = b.published;
+    }
+    if expected_since != head {
+        return Some(format!(
+            "final cursor {expected_since} never reached the head {head}"
+        ));
+    }
+    None
+}
+
+/// Explores every bounded-preemption schedule of `scenario`.
+pub fn explore_ring(scenario: &RingScenario, bound: usize, max_executions: u64) -> Exploration {
+    explore(max_executions, |forced| {
+        run_ring_once(scenario, forced, bound)
+    })
+}
+
+/// Aggregate statistics from the ring pass (for E18 and the JSONL
+/// findings).
+#[derive(Debug, Clone, Default)]
+pub struct RingVerifyStats {
+    /// Scenarios explored.
+    pub scenarios: usize,
+    /// Total executions (complete schedules) across all scenarios.
+    pub executions: u64,
+    /// Longest execution, in scheduled atomic steps.
+    pub max_steps: usize,
+}
+
+/// Runs the ring model-checking pass: the clean scenarios when
+/// `mutation` is `None`, or the corresponding seeded-mutant scenario
+/// otherwise (which must produce a counterexample).
+pub fn verify_ring(
+    bound: usize,
+    max_executions: u64,
+    mutation: RingMutation,
+) -> (Vec<Diagnostic>, RingVerifyStats) {
+    let scenarios = match mutation {
+        RingMutation::None => clean_scenarios(),
+        RingMutation::PublishBeforePayload => vec![torn_scenario()],
+        RingMutation::NoWritingStamp => vec![no_stamp_scenario()],
+    };
+    let mut diags = Vec::new();
+    let mut stats = RingVerifyStats {
+        scenarios: scenarios.len(),
+        ..RingVerifyStats::default()
+    };
+    for s in &scenarios {
+        let ex = explore_ring(s, bound, max_executions);
+        stats.executions += ex.executions;
+        stats.max_steps = stats.max_steps.max(ex.max_steps);
+        if let Some(cx) = ex.counterexample {
+            let schedule: Vec<String> = cx.schedule.iter().map(|t| t.to_string()).collect();
+            diags.push(Diagnostic::error(
+                "verify/ring",
+                s.name,
+                format!(
+                    "{} after {} executions; schedule [{}]",
+                    cx.message,
+                    ex.executions,
+                    schedule.join(",")
+                ),
+            ));
+        } else if ex.capped {
+            diags.push(Diagnostic::warning(
+                "verify/ring",
+                s.name,
+                format!(
+                    "schedule space not exhausted: stopped at the {}-execution cap",
+                    ex.executions
+                ),
+            ));
+        }
+    }
+    (diags, stats)
+}

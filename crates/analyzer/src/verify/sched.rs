@@ -1,0 +1,527 @@
+//! Deterministic-interleaving scheduler ("mini-loom"): runs real OS
+//! threads one at a time, treating every shim atomic operation as a
+//! yield point, and enumerates schedules by depth-first search over
+//! forced decision prefixes with a bounded-preemption cap.
+//!
+//! # Model
+//!
+//! The model is sequentially consistent: each atomic operation executes
+//! atomically under one global lock, in the order the scheduler grants
+//! turns. Memory-ordering arguments are ignored (fences are no-ops), so
+//! this checker proves *protocol* properties — what can happen under
+//! any interleaving of whole operations — while the companion
+//! atomic-ordering lint covers the weak-memory annotations the model
+//! abstracts away.
+//!
+//! # Exploration
+//!
+//! Every decision point records the set of enabled alternatives. A
+//! switch away from a still-enabled thread costs one preemption;
+//! schedules are explored exhaustively up to the preemption bound
+//! (CHESS-style iterative context bounding). In `exhaustive` mode all
+//! enabled threads are branch candidates at every decision; otherwise
+//! only threads whose pending operation *conflicts* with the chosen one
+//! (same cell, at least one write) are branched to — a DPOR-style
+//! under-approximation that keeps multi-producer scenarios tractable.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use ahbpower::telemetry::{AtomicBoolCell, AtomicU64Cell, Atomics};
+
+/// How long one blocked worker waits per condvar round before counting
+/// a stall; enough consecutive stalls abort the execution as a
+/// scheduler deadlock (a checker bug, surfaced as a diagnostic rather
+/// than a hang).
+const STALL_WAIT: Duration = Duration::from_millis(200);
+const MAX_STALLS: u32 = 25;
+
+/// Hard per-execution step cap: no modeled scenario is within orders of
+/// magnitude of this; hitting it means a runaway loop.
+const MAX_STEPS: usize = 200_000;
+
+/// The kind of one pending shim operation (for conflict detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    cell: usize,
+    kind: OpKind,
+}
+
+impl PendingOp {
+    fn conflicts(&self, other: &PendingOp) -> bool {
+        self.cell == other.cell && (self.kind != OpKind::Load || other.kind != OpKind::Load)
+    }
+}
+
+/// One scheduling decision: which thread ran, and which enabled
+/// alternatives were admissible under the preemption budget.
+#[derive(Debug, Clone)]
+pub struct Choice {
+    /// The thread granted this step.
+    pub chosen: usize,
+    /// Other threads that could have been granted instead (within the
+    /// preemption budget, after conflict filtering).
+    pub alts: Vec<usize>,
+}
+
+struct Inner {
+    /// Model memory: one word per shim cell, allocated at cell creation.
+    cells: Vec<u64>,
+    /// Per-thread pending operation, registered at each yield point.
+    pending: Vec<Option<PendingOp>>,
+    arrived: Vec<bool>,
+    finished: Vec<bool>,
+    /// The thread currently granted one operation, if any.
+    turn: Option<usize>,
+    last_ran: Option<usize>,
+    preemptions: usize,
+    steps: usize,
+    decisions: usize,
+    trace: Vec<Choice>,
+    aborted: Option<String>,
+}
+
+/// The deterministic scheduler for one execution. Worker threads route
+/// every shim atomic operation through `Sched::op`; the main thread's
+/// operations (setup and post-join draining) apply directly.
+pub struct Sched {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    n_threads: usize,
+    forced: Vec<usize>,
+    preemption_bound: usize,
+    exhaustive: bool,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Sched>, Option<usize>)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(Arc<Sched>, Option<usize>)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Sched {
+    /// Creates a scheduler for `n_threads` workers replaying `forced`
+    /// decisions before falling back to run-to-completion with the
+    /// given preemption budget.
+    pub fn new(
+        n_threads: usize,
+        forced: &[usize],
+        preemption_bound: usize,
+        exhaustive: bool,
+    ) -> Arc<Sched> {
+        Arc::new(Sched {
+            inner: Mutex::new(Inner {
+                cells: Vec::new(),
+                pending: vec![None; n_threads],
+                arrived: vec![false; n_threads],
+                finished: vec![false; n_threads],
+                turn: None,
+                last_ran: None,
+                preemptions: 0,
+                steps: 0,
+                decisions: 0,
+                trace: Vec::new(),
+                aborted: None,
+            }),
+            cv: Condvar::new(),
+            n_threads,
+            forced: forced.to_vec(),
+            preemption_bound,
+            exhaustive,
+        })
+    }
+
+    /// Marks the calling (main) thread as the scheduler's unscheduled
+    /// context: shim cells created here register with this scheduler and
+    /// operations apply directly, outside the schedule.
+    pub fn enter_main(self: &Arc<Self>) {
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(self), None)));
+    }
+
+    /// Clears the calling thread's scheduler context.
+    pub fn exit_main() {
+        CTX.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// Spawns the worker bodies, one scheduled thread each, and joins
+    /// them. Returns `Err` with a description if a worker panicked.
+    pub fn run_workers(
+        self: &Arc<Self>,
+        bodies: Vec<Box<dyn FnOnce() + Send>>,
+    ) -> Result<(), String> {
+        let mut handles = Vec::new();
+        for (tid, body) in bodies.into_iter().enumerate() {
+            let sched = Arc::clone(self);
+            let handle = thread::Builder::new()
+                .name(format!("verify-worker-{tid}"))
+                .stack_size(128 * 1024)
+                .spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), Some(tid))));
+                    body();
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    sched.thread_done(tid);
+                })
+                .map_err(|e| format!("spawn failed: {e}"))?;
+            handles.push(handle);
+        }
+        let mut err = None;
+        for (tid, h) in handles.into_iter().enumerate() {
+            if h.join().is_err() {
+                // Unblock any workers still waiting on the panicked one.
+                self.abort(format!("worker {tid} panicked"));
+                err = Some(format!("worker {tid} panicked"));
+            }
+        }
+        match err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The recorded decision trace (call after the workers joined).
+    pub fn take_trace(&self) -> (Vec<Choice>, usize, Option<String>) {
+        let g = self.inner.lock().expect("scheduler lock");
+        (g.trace.clone(), g.steps, g.aborted.clone())
+    }
+
+    fn abort(&self, why: String) {
+        let mut g = self.inner.lock().expect("scheduler lock");
+        if g.aborted.is_none() {
+            g.aborted = Some(why);
+        }
+        self.cv.notify_all();
+    }
+
+    fn thread_done(&self, tid: usize) {
+        let mut g = self.inner.lock().expect("scheduler lock");
+        g.finished[tid] = true;
+        g.arrived[tid] = true;
+        g.pending[tid] = None;
+        self.maybe_decide(&mut g);
+        self.cv.notify_all();
+    }
+
+    fn alloc_cell(&self, v: u64) -> usize {
+        let mut g = self.inner.lock().expect("scheduler lock");
+        g.cells.push(v);
+        g.cells.len() - 1
+    }
+
+    fn apply(g: &mut Inner, cell: usize, kind: OpKind, arg: u64) -> u64 {
+        match kind {
+            OpKind::Load => g.cells[cell],
+            OpKind::Store => {
+                g.cells[cell] = arg;
+                arg
+            }
+            OpKind::Rmw => {
+                let old = g.cells[cell];
+                g.cells[cell] = old.wrapping_add(arg);
+                old
+            }
+        }
+    }
+
+    /// If every live worker has arrived and registered a pending
+    /// operation (and no turn is outstanding), pick the next thread.
+    fn maybe_decide(&self, g: &mut Inner) {
+        if g.aborted.is_some() || g.turn.is_some() {
+            return;
+        }
+        if !g.arrived.iter().all(|&a| a) {
+            return;
+        }
+        let enabled: Vec<usize> = (0..self.n_threads)
+            .filter(|&t| g.pending[t].is_some())
+            .collect();
+        if enabled.is_empty() {
+            return;
+        }
+        if (0..self.n_threads).any(|t| !g.finished[t] && g.pending[t].is_none()) {
+            return;
+        }
+        let d = g.decisions;
+        g.decisions += 1;
+        let live_last = g.last_ran.filter(|&l| g.pending[l].is_some());
+        let chosen = if let Some(&f) = self.forced.get(d) {
+            if g.pending.get(f).map(Option::is_some) != Some(true) {
+                g.aborted = Some(format!("forced schedule diverged at step {d}"));
+                self.cv.notify_all();
+                return;
+            }
+            f
+        } else {
+            // Default: keep running the last thread; otherwise the
+            // lowest-numbered enabled one.
+            live_last.unwrap_or(enabled[0])
+        };
+        let pre = g.preemptions;
+        let cost = |t: usize| usize::from(live_last.is_some_and(|l| l != t));
+        g.preemptions = pre + cost(chosen);
+        let chosen_op = g.pending[chosen];
+        let alts: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&t| t != chosen && pre + cost(t) <= self.preemption_bound)
+            .filter(|&t| {
+                self.exhaustive
+                    || match (g.pending[t], chosen_op) {
+                        (Some(a), Some(b)) => a.conflicts(&b),
+                        _ => true,
+                    }
+            })
+            .collect();
+        g.trace.push(Choice { chosen, alts });
+        g.turn = Some(chosen);
+        g.last_ran = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// One shim operation from a scheduled worker (or, with `tid`
+    /// `None`, a direct unscheduled apply from the main thread).
+    fn op(&self, tid: Option<usize>, cell: usize, kind: OpKind, arg: u64) -> u64 {
+        let mut g = self.inner.lock().expect("scheduler lock");
+        let Some(tid) = tid else {
+            return Self::apply(&mut g, cell, kind, arg);
+        };
+        if g.aborted.is_some() {
+            return Self::apply(&mut g, cell, kind, arg);
+        }
+        g.arrived[tid] = true;
+        g.pending[tid] = Some(PendingOp { cell, kind });
+        self.maybe_decide(&mut g);
+        let mut stalls = 0u32;
+        loop {
+            if g.aborted.is_some() {
+                return Self::apply(&mut g, cell, kind, arg);
+            }
+            if g.turn == Some(tid) {
+                g.turn = None;
+                g.pending[tid] = None;
+                g.steps += 1;
+                if g.steps > MAX_STEPS {
+                    g.aborted = Some("step limit exceeded (runaway execution)".to_string());
+                    self.cv.notify_all();
+                }
+                return Self::apply(&mut g, cell, kind, arg);
+            }
+            let (g2, timeout) = self
+                .cv
+                .wait_timeout(g, STALL_WAIT)
+                .expect("scheduler condvar");
+            g = g2;
+            if timeout.timed_out() {
+                stalls += 1;
+                if stalls > MAX_STALLS {
+                    g.aborted = Some(format!("worker {tid} stalled: scheduler deadlock"));
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// The model [`Atomics`] family: cells route every operation through
+/// the thread-local scheduler context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelAtomics;
+
+/// A scheduled 64-bit model cell.
+pub struct ModelU64 {
+    sched: Arc<Sched>,
+    cell: usize,
+}
+
+/// A scheduled boolean model cell (stored as 0/1 in a word cell).
+pub struct ModelBool(ModelU64);
+
+fn new_cell(v: u64) -> ModelU64 {
+    let (sched, _) = current_ctx()
+        .expect("model atomics cells must be created inside a scheduler context (enter_main)");
+    let cell = sched.alloc_cell(v);
+    ModelU64 { sched, cell }
+}
+
+impl ModelU64 {
+    fn run(&self, kind: OpKind, arg: u64) -> u64 {
+        // Ops from the owning scheduler's threads are scheduled; a
+        // foreign or missing context applies directly (main-thread
+        // setup and draining).
+        let tid = match current_ctx() {
+            Some((sched, tid)) if Arc::ptr_eq(&sched, &self.sched) => tid,
+            _ => None,
+        };
+        self.sched.op(tid, self.cell, kind, arg)
+    }
+}
+
+impl AtomicU64Cell for ModelU64 {
+    fn new(v: u64) -> Self {
+        new_cell(v)
+    }
+
+    fn load(&self, _order: Ordering) -> u64 {
+        self.run(OpKind::Load, 0)
+    }
+
+    fn store(&self, v: u64, _order: Ordering) {
+        self.run(OpKind::Store, v);
+    }
+
+    fn fetch_add(&self, v: u64, _order: Ordering) -> u64 {
+        self.run(OpKind::Rmw, v)
+    }
+}
+
+impl AtomicBoolCell for ModelBool {
+    fn new(v: bool) -> Self {
+        ModelBool(new_cell(u64::from(v)))
+    }
+
+    fn load(&self, _order: Ordering) -> bool {
+        self.0.run(OpKind::Load, 0) != 0
+    }
+
+    fn store(&self, v: bool, _order: Ordering) {
+        self.0.run(OpKind::Store, u64::from(v));
+    }
+}
+
+impl Atomics for ModelAtomics {
+    type U64 = ModelU64;
+    type Bool = ModelBool;
+
+    /// No-op: the model is sequentially consistent, so fences cannot
+    /// change which states are reachable; the ordering lint, not the
+    /// model checker, audits the fence annotations themselves.
+    fn fence(_order: Ordering) {}
+}
+
+/// One execution's outcome, as consumed by [`explore`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The decision trace (chosen thread + admissible alternatives).
+    pub trace: Vec<Choice>,
+    /// Total scheduled steps.
+    pub steps: usize,
+    /// Scenario-level invariant violation, if the harness found one.
+    pub violation: Option<String>,
+    /// Scheduler-level abort (deadlock, runaway, diverged replay).
+    pub aborted: Option<String>,
+}
+
+/// A schedule that falsifies an invariant, plus the message.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The thread ids granted at each decision, in order; replaying
+    /// this schedule reproduces the violation deterministically.
+    pub schedule: Vec<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// The outcome of exploring one scenario's schedule space.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Executions (complete schedules) run.
+    pub executions: u64,
+    /// Longest execution, in scheduled steps.
+    pub max_steps: usize,
+    /// The first counterexample found, if any.
+    pub counterexample: Option<Counterexample>,
+    /// True if the execution cap stopped the search before the bounded
+    /// schedule space was exhausted.
+    pub capped: bool,
+}
+
+struct Frame {
+    chosen: usize,
+    alts: Vec<usize>,
+}
+
+/// Depth-first search over forced schedule prefixes: `run` executes the
+/// scenario once under a forced prefix and reports the decision trace;
+/// the explorer enumerates every admissible alternative at every depth
+/// (deepest-first) until the space is exhausted, a counterexample is
+/// found, or `max_executions` is hit.
+pub fn explore<F>(max_executions: u64, mut run: F) -> Exploration
+where
+    F: FnMut(&[usize]) -> RunResult,
+{
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut executions = 0u64;
+    let mut max_steps = 0usize;
+    loop {
+        let prefix: Vec<usize> = stack.iter().map(|f| f.chosen).collect();
+        let res = run(&prefix);
+        executions += 1;
+        max_steps = max_steps.max(res.steps);
+        if let Some(why) = res.aborted {
+            return Exploration {
+                executions,
+                max_steps,
+                counterexample: Some(Counterexample {
+                    schedule: res.trace.iter().map(|c| c.chosen).collect(),
+                    message: format!("scheduler abort: {why}"),
+                }),
+                capped: false,
+            };
+        }
+        if let Some(message) = res.violation {
+            return Exploration {
+                executions,
+                max_steps,
+                counterexample: Some(Counterexample {
+                    schedule: res.trace.iter().map(|c| c.chosen).collect(),
+                    message,
+                }),
+                capped: false,
+            };
+        }
+        for c in res.trace.iter().skip(stack.len()) {
+            stack.push(Frame {
+                chosen: c.chosen,
+                alts: c.alts.clone(),
+            });
+        }
+        loop {
+            match stack.last_mut() {
+                None => {
+                    return Exploration {
+                        executions,
+                        max_steps,
+                        counterexample: None,
+                        capped: false,
+                    }
+                }
+                Some(f) => {
+                    if let Some(next) = f.alts.pop() {
+                        f.chosen = next;
+                        break;
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        if executions >= max_executions {
+            return Exploration {
+                executions,
+                max_steps,
+                counterexample: None,
+                capped: true,
+            };
+        }
+    }
+}

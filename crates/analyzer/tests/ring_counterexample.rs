@@ -1,0 +1,45 @@
+//! A model-checker counterexample promoted to a named regression test.
+//!
+//! The schedule below is the first counterexample the DFS finds for the
+//! `PublishBeforePayload` ring mutant (scenario
+//! `mutant_publish_before_payload`, preemption bound 1): the publisher
+//! (thread 0) claims sequence 2 and — because the mutant publishes the
+//! final stamp before the payload — gets preempted mid-slot with the
+//! stamp already announcing "ready"; the consumer (thread 1) then runs
+//! its whole poll, reads the half-written slot, and observes event
+//! `b: 0.0` where `b: 1.0` was published. Replaying the recorded
+//! schedule must reproduce that torn read forever — if this test fails,
+//! either the scheduler's decision order or the ring's memory protocol
+//! changed semantics.
+
+use ahbpower_analyzer::verify::ring::{run_ring_once, torn_scenario};
+
+/// Recorded by `explore_ring(&torn_scenario(), 1, _)` — 29 publisher
+/// steps (three publishes, the third preempted between its stamp and
+/// payload stores), 29 consumer steps (a full poll over the torn slot),
+/// and the publisher's final step.
+const TORN_READ_SCHEDULE: [usize; 59] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, //
+    1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, //
+    0,
+];
+
+#[test]
+fn recorded_torn_read_schedule_still_reproduces() {
+    let scenario = torn_scenario();
+    for attempt in 0..3 {
+        let result = run_ring_once(&scenario, &TORN_READ_SCHEDULE, 1);
+        assert!(
+            result.aborted.is_none(),
+            "attempt {attempt}: schedule no longer replays: {:?}",
+            result.aborted
+        );
+        let violation = result
+            .violation
+            .unwrap_or_else(|| panic!("attempt {attempt}: recorded schedule lost its violation"));
+        assert!(
+            violation.contains("torn read at seq 2"),
+            "attempt {attempt}: unexpected violation: {violation}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Model-checker integration tests: the clean ring scenarios hold
+//! under every bounded-preemption interleaving, the seeded mutants are
+//! caught, and a recorded counterexample schedule replays
+//! deterministically.
+
+use ahbpower::telemetry::RingMutation;
+use ahbpower_analyzer::verify::ring::{
+    clean_scenarios, explore_ring, no_stamp_scenario, run_ring_once, torn_scenario, verify_ring,
+};
+
+#[test]
+fn clean_scenarios_hold_at_bounds_1_and_2() {
+    for bound in [1, 2] {
+        for s in clean_scenarios() {
+            let ex = explore_ring(&s, bound, 500_000);
+            eprintln!(
+                "bound {bound}, scenario {}: {} executions, max {} steps, capped={}",
+                s.name, ex.executions, ex.max_steps, ex.capped
+            );
+            assert!(
+                ex.counterexample.is_none(),
+                "{} at bound {bound}: {:?}",
+                s.name,
+                ex.counterexample
+            );
+            assert!(
+                !ex.capped,
+                "{} at bound {bound}: exploration capped",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_mutant_is_caught() {
+    let ex = explore_ring(&torn_scenario(), 1, 500_000);
+    eprintln!(
+        "torn mutant: {} executions, max {} steps",
+        ex.executions, ex.max_steps
+    );
+    let cx = ex.counterexample.expect("torn-read mutant must be caught");
+    eprintln!("counterexample: {:?} — {}", cx.schedule, cx.message);
+    assert!(cx.message.contains("torn read"), "{}", cx.message);
+}
+
+#[test]
+fn no_stamp_mutant_is_caught_at_bound_3() {
+    let ex = explore_ring(&no_stamp_scenario(), 3, 500_000);
+    eprintln!(
+        "no-stamp mutant: {} executions, max {} steps",
+        ex.executions, ex.max_steps
+    );
+    let cx = ex
+        .counterexample
+        .expect("no-writing-stamp mutant must be caught");
+    eprintln!("counterexample: {:?} — {}", cx.schedule, cx.message);
+}
+
+#[test]
+fn verify_ring_pass_shapes() {
+    let (diags, stats) = verify_ring(1, 500_000, RingMutation::None);
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(stats.scenarios, 5);
+    let (diags, _) = verify_ring(1, 500_000, RingMutation::PublishBeforePayload);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "verify/ring");
+}
+
+#[test]
+fn replaying_a_counterexample_schedule_is_deterministic() {
+    let s = torn_scenario();
+    let cx = explore_ring(&s, 1, 500_000)
+        .counterexample
+        .expect("mutant produces a counterexample");
+    for _ in 0..3 {
+        let replay = run_ring_once(&s, &cx.schedule, 1);
+        let v = replay.violation.expect("replay reproduces the violation");
+        assert_eq!(v, cx.message, "replay diverged");
+    }
+}

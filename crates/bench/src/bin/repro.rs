@@ -73,6 +73,13 @@
 //! `results/analyze.jsonl`. Pass `--script FILE` to lint a text op script
 //! (see `ahbpower_ahb::parse_ops`) against the paper testbench's address
 //! map instead. Exits 1 if any error-severity finding is reported.
+//! `analyze --deep` adds the concurrency verification pass — event-ring
+//! interleaving model checker, atomic-ordering lint census, exhaustive
+//! arbiter state-space walk, plus a seeded-mutant self-check —
+//! exporting coverage gauges alongside the findings. `analyze --mutate
+//! ring-torn|ordering-relaxed|arbiter-double-grant` runs exactly one
+//! seeded fault and must exit 1 (the fault being caught); check.sh and
+//! CI drive all three directions.
 
 use std::fs;
 use std::time::Instant;
@@ -119,6 +126,8 @@ fn main() {
     let mut quit = false;
     let mut variants = 16usize;
     let mut expect_mismatch = false;
+    let mut deep = false;
+    let mut mutate: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -187,6 +196,12 @@ fn main() {
                     .unwrap_or_else(|| usage("--variants needs a positive number"));
             }
             "--expect-mismatch" => expect_mismatch = true,
+            "--deep" => deep = true,
+            "--mutate" => {
+                mutate = Some(it.next().cloned().unwrap_or_else(|| {
+                    usage("--mutate needs ring-torn|ordering-relaxed|arbiter-double-grant")
+                }));
+            }
             "--cycles" => {
                 cycles = it
                     .next()
@@ -294,7 +309,7 @@ fn main() {
         "replay-bench" => replay_bench(cycles.min(200_000), seed, variants, jobs),
         "telemetry" => telemetry_run(cycles.min(1_000_000), seed, jobs),
         "trace" => trace_cmd(cycles.min(1_000_000), seed, top, ring),
-        "analyze" => analyze(script.as_deref()),
+        "analyze" => analyze(script.as_deref(), deep, mutate.as_deref()),
         "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed, jobs),
         "events" => events_cmd(cycles.min(500_000), seed, slice_cycles, inject.as_deref()),
         "events-overhead" => events_overhead(cycles.min(1_000_000), seed),
@@ -320,7 +335,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--out FILE] [--file FILE] [--tolerance-pct N]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--deep] [--mutate ring-torn|ordering-relaxed|arbiter-double-grant] [--out FILE] [--file FILE] [--tolerance-pct N]"
     );
     std::process::exit(2);
 }
@@ -554,20 +569,38 @@ fn baseline_cmd(
     }
 }
 
-/// `repro analyze [--script FILE]`: static analysis before any simulation.
+/// `repro analyze [--script FILE] [--deep] [--mutate M]`: static
+/// analysis before any simulation.
 ///
 /// Without `--script`, runs the full two-layer analysis (instruction set,
 /// macromodel domains, shipped workload maps/scripts, workspace source
 /// lint). With `--script`, parses and lints the given text op script
-/// against the paper testbench's address map. Either way the findings are
-/// printed human-readable, exported to `results/analyze.jsonl` (telemetry
-/// JSONL metrics followed by one event per diagnostic), and error-severity
-/// findings make the process exit 1.
-fn analyze(script: Option<&str>) -> ! {
+/// against the paper testbench's address map.
+///
+/// `--deep` adds the concurrency verification pass: the event-ring
+/// interleaving model checker, the workspace atomic-ordering census, and
+/// the exhaustive AHB arbiter state-space walk, plus a self-check that
+/// every seeded mutant is still caught. `--mutate M` (implies `--deep`)
+/// runs only the seeded fault `M` — findings (exit 1) are then the
+/// expected outcome, a clean exit the regression.
+///
+/// Either way the findings are printed human-readable, exported to
+/// `results/analyze.jsonl` (telemetry JSONL metrics followed by one event
+/// per diagnostic), and error-severity findings make the process exit 1.
+fn analyze(script: Option<&str>, deep: bool, mutate: Option<&str>) -> ! {
     use ahbpower::telemetry::{to_jsonl, ExportMeta, MetricsRegistry};
+    use ahbpower_analyzer::verify::{verify_deep, DeepConfig, DeepMutation, DeepStats};
     use ahbpower_analyzer::{analyze_all, analyze_models_and_workloads, Report};
 
-    let report: Report = match script {
+    let mutation = match mutate {
+        Some(m) => DeepMutation::parse(m).unwrap_or_else(|| {
+            usage("--mutate needs ring-torn|ordering-relaxed|arbiter-double-grant")
+        }),
+        None => DeepMutation::None,
+    };
+    let deep = deep || mutate.is_some();
+
+    let mut report: Report = match script {
         Some(path) => {
             let text = match fs::read_to_string(path) {
                 Ok(t) => t,
@@ -581,6 +614,15 @@ fn analyze(script: Option<&str>) -> ! {
                 path,
             ))
         }
+        None if mutation != DeepMutation::None => {
+            // A mutant direction verifies the tooling, not the shipped
+            // models; the base layers would only dilute its exit code.
+            println!(
+                "== Static analysis: seeded mutant {} ==",
+                mutate.unwrap_or("")
+            );
+            Report::new()
+        }
         None => {
             println!("== Static analysis: models, workloads, sources ==");
             match workspace_root() {
@@ -593,12 +635,87 @@ fn analyze(script: Option<&str>) -> ! {
         }
     };
 
+    let mut deep_stats: Option<DeepStats> = None;
+    if deep && script.is_none() {
+        let root = workspace_root().unwrap_or_else(|| std::path::PathBuf::from("."));
+        let cfg = DeepConfig {
+            mutation,
+            ..DeepConfig::default()
+        };
+        println!("== Deep verification: ring model checker, ordering census, arbiter walk ==");
+        let (deep_report, stats) = verify_deep(&root, cfg);
+        println!(
+            "   ring: {} scenarios, {} interleavings (max {} steps); \
+             arbiter: {} states, {} bus cycles, {} burst checks; \
+             atomics: {} sites in {} files; wall {:.2?}",
+            stats.ring.scenarios,
+            stats.ring.executions,
+            stats.ring.max_steps,
+            stats.arbiter.decide_states,
+            stats.arbiter.bus_cycles,
+            stats.arbiter.burst_checks,
+            stats.census.total(),
+            stats.census.files_with_atomics,
+            stats.wall,
+        );
+        report.merge(deep_report);
+        deep_stats = Some(stats);
+    }
+
     print!("{}", report.render_text());
 
     let mut reg = MetricsRegistry::new();
     report.to_metrics(&mut reg);
+    if let Some(stats) = &deep_stats {
+        let gauges: [(&str, &str, f64); 8] = [
+            (
+                "verify_ring_executions",
+                "Interleavings explored by the ring model checker",
+                stats.ring.executions as f64,
+            ),
+            (
+                "verify_ring_scenarios",
+                "Ring scenarios model-checked",
+                stats.ring.scenarios as f64,
+            ),
+            (
+                "verify_arbiter_decide_states",
+                "Arbiter decide() states exhaustively enumerated",
+                stats.arbiter.decide_states as f64,
+            ),
+            (
+                "verify_arbiter_bus_cycles",
+                "Bus cycles simulated under the protocol checker",
+                stats.arbiter.bus_cycles as f64,
+            ),
+            (
+                "verify_burst_checks",
+                "Burst boundary predicates cross-checked",
+                stats.arbiter.burst_checks as f64,
+            ),
+            (
+                "verify_atomic_ordering_sites",
+                "Atomic ordering sites in workspace library code",
+                stats.census.total() as f64,
+            ),
+            (
+                "verify_atomic_relaxed_sites",
+                "Ordering::Relaxed sites in workspace library code",
+                stats.census.relaxed as f64,
+            ),
+            (
+                "verify_deep_wall_seconds",
+                "Wall-clock seconds spent in the deep pass",
+                stats.wall.as_secs_f64(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let id = reg.gauge(name, help, &[]);
+            reg.set(id, value);
+        }
+    }
     let meta = ExportMeta {
-        scenario: "analyze".to_string(),
+        scenario: if deep { "analyze-deep" } else { "analyze" }.to_string(),
         cycles: 0,
         seed: 0,
     };

@@ -564,6 +564,7 @@ impl ServerHandle {
 
     /// Requests shutdown (idempotent; `/quit` does the same).
     pub fn shutdown(&self) {
+        // ordering: cold control-plane flag; seqcst for simplicity.
         self.stop.store(true, Ordering::SeqCst);
     }
 
@@ -597,6 +598,7 @@ impl ServerHandle {
             self.http
                 .join()
                 .map_err(|_| ServeError::Thread("http thread panicked".to_string()))?;
+            // ordering: cold control-plane flag; seqcst for simplicity.
             self.stop.store(true, Ordering::SeqCst);
             self.worker
                 .join()
@@ -607,6 +609,7 @@ impl ServerHandle {
                 .map_err(|_| ServeError::Thread("worker thread panicked".to_string()))?;
             // The worker is done; release the HTTP thread, which may be
             // parked in accept(): set the flag and poke the socket.
+            // ordering: cold control-plane flag; seqcst for simplicity.
             self.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
             self.http
@@ -822,6 +825,7 @@ fn run_worker(
     }
 
     let mut slice = 0u64;
+    // ordering: cold shutdown poll at slice granularity; seqcst for simplicity.
     while !stop.load(Ordering::SeqCst) {
         if let Some(max) = cfg.max_slices {
             if slice >= max {
@@ -913,6 +917,7 @@ fn run_http(
     state: &Mutex<LiveState>,
 ) {
     for conn in listener.incoming() {
+        // ordering: cold shutdown poll per connection; seqcst for simplicity.
         if stop.load(Ordering::SeqCst) {
             break;
         }
@@ -927,6 +932,7 @@ fn run_http(
         let (status, content_type, body) = route(&path, events, stop, state);
         let _ = write_response(&mut stream, status, content_type, &body);
         if quit {
+            // ordering: cold control-plane flag; seqcst for simplicity.
             stop.store(true, Ordering::SeqCst);
             break;
         }
@@ -979,6 +985,7 @@ fn events_json(query: &str, events: &EventBus, stop: &AtomicBool) -> String {
         .min(EVENTS_POLL_CAP_MS);
     let deadline = Instant::now() + Duration::from_millis(timeout_ms);
     let mut batch = events.read_since(since, max);
+    // ordering: cold shutdown poll in the long-poll loop; seqcst for simplicity.
     while batch.events.is_empty() && Instant::now() < deadline && !stop.load(Ordering::SeqCst) {
         thread::sleep(Duration::from_millis(25));
         batch = events.read_since(since, max);

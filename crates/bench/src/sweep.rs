@@ -114,6 +114,9 @@ impl SweepRunner {
         thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
+                    // Results travel through the mutexed slots, so no
+                    // data is published via this counter.
+                    // relaxed: the RMW itself claims each index exactly once.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;

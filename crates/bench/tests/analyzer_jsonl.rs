@@ -1,0 +1,122 @@
+//! Property tests for the analyzer findings stream: every `Report`,
+//! whatever its subjects and messages contain, must render to JSONL that
+//! the bench crate's validator accepts and its parser decodes back to
+//! the original diagnostic fields — `repro analyze` pipes this exact
+//! stream into `results/analyze.jsonl` for CI to archive.
+
+use ahbpower_analyzer::{Diagnostic, Report};
+use ahbpower_bench::{parse_json, validate_json, JsonValue};
+use proptest::prelude::*;
+
+/// The rule ids the verification passes actually emit.
+const RULES: &[&str] = &[
+    "verify/ring",
+    "verify/arbiter",
+    "verify/selfcheck",
+    "atomics/relaxed",
+    "atomics/audited",
+    "atomics/fence-pair",
+    "lint/unwrap",
+];
+
+/// Characters that stress the JSON escaper: escapes, control chars,
+/// multi-byte UTF-8 — the kind of content a counterexample message
+/// (with its `Debug`-formatted events) can carry.
+fn palette(idx: u8) -> char {
+    match idx {
+        0 => '"',
+        1 => '\\',
+        2 => '\n',
+        3 => '\u{1}',
+        4 => '\t',
+        5 => '{',
+        6 => '}',
+        7 => ':',
+        8 => ',',
+        9 => '\u{e9}',
+        10 => '\u{1f980}',
+        _ => 'x',
+    }
+}
+
+fn field<'v>(doc: &'v JsonValue, key: &str) -> Option<&'v JsonValue> {
+    match doc {
+        JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn text(doc: &JsonValue, key: &str) -> String {
+    match field(doc, key) {
+        Some(JsonValue::String(s)) => s.clone(),
+        other => panic!("{key} must be a string, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn findings_jsonl_round_trips_through_the_bench_parser(
+        entries in prop::collection::vec(
+            (
+                0usize..RULES.len(),
+                prop::collection::vec(0u8..12, 0..24), // subject
+                prop::collection::vec(0u8..12, 1..48), // message
+                0usize..10_001, // line; the top value means "no line"
+                any::<bool>(),  // error?
+            ),
+            1..12,
+        )
+    ) {
+        let diagnostics: Vec<Diagnostic> = entries
+            .iter()
+            .map(|(rule, subject, message, line, is_error)| {
+                let rule = RULES[*rule];
+                let subject: String = subject.iter().map(|&c| palette(c)).collect();
+                let message: String = message.iter().map(|&c| palette(c)).collect();
+                let d = if *is_error {
+                    Diagnostic::error(rule, subject, message)
+                } else {
+                    Diagnostic::warning(rule, subject, message)
+                };
+                if *line < 10_000 {
+                    d.at_line(*line)
+                } else {
+                    d
+                }
+            })
+            .collect();
+        let report = Report::from_diagnostics(diagnostics.clone());
+        let jsonl = report.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        prop_assert_eq!(lines.len(), diagnostics.len(), "one JSONL line per finding");
+
+        for (line_text, d) in lines.iter().zip(&diagnostics) {
+            prop_assert!(
+                validate_json(line_text).is_ok(),
+                "findings line must validate: {}",
+                line_text
+            );
+            let doc = parse_json(line_text).expect("validated line parses");
+            prop_assert_eq!(text(&doc, "event"), "diagnostic");
+            prop_assert_eq!(text(&doc, "rule"), d.rule);
+            prop_assert_eq!(
+                text(&doc, "message"),
+                d.message.clone(),
+                "message survives escaping"
+            );
+            // An empty subject is omitted from the object entirely.
+            match field(&doc, "subject") {
+                Some(JsonValue::String(s)) => prop_assert_eq!(s, &d.subject),
+                Some(other) => prop_assert!(false, "subject must be a string: {:?}", other),
+                None => prop_assert!(d.subject.is_empty(), "only empty subjects are omitted"),
+            }
+            match (field(&doc, "line"), d.line) {
+                (Some(v), Some(l)) => prop_assert_eq!(v.as_u64(), Some(l as u64)),
+                (None, None) => {}
+                (got, want) => prop_assert!(false, "line mismatch: {:?} vs {:?}", got, want),
+            }
+        }
+    }
+}

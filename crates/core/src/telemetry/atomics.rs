@@ -1,0 +1,125 @@
+//! Atomics shim: the small trait surface the structured event ring's
+//! seqlock protocol is written against, so the *same* protocol code can
+//! run over real `std::sync::atomic` words in production and over the
+//! analyzer's model-checked cells (`repro analyze --deep`) during
+//! verification.
+//!
+//! The shim is deliberately minimal — exactly the operations the ring
+//! uses (`load`, `store`, `fetch_add`, fences, and a bool flag) and
+//! nothing more, so a model implementation has a small, closed set of
+//! yield points to schedule around. [`StdAtomics`] is the production
+//! implementation: every method is an `#[inline]` delegation to the
+//! corresponding `std` intrinsic wrapper, so the generic ring
+//! monomorphizes to exactly the code it replaced (pinned by the
+//! allocation-free and bit-identity tests in `crates/bench`).
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+
+/// One 64-bit atomic word, as used by the ring's stamp/payload slots and
+/// head cursor. Implementations must be shareable across threads.
+pub trait AtomicU64Cell: Send + Sync {
+    /// Creates a cell holding `v`.
+    fn new(v: u64) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: u64, order: Ordering);
+    /// Atomic fetch-and-add with the given ordering, returning the
+    /// previous value.
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64;
+}
+
+/// One boolean atomic flag, as used by the ring's cold `enabled` gate.
+pub trait AtomicBoolCell: Send + Sync {
+    /// Creates a flag holding `v`.
+    fn new(v: bool) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: bool, order: Ordering);
+}
+
+/// The atomics family a [`crate::telemetry::GenericEventBus`] is generic
+/// over: a 64-bit word type, a boolean flag type, and a memory fence.
+pub trait Atomics: 'static {
+    /// The 64-bit atomic word type.
+    type U64: AtomicU64Cell;
+    /// The boolean atomic flag type.
+    type Bool: AtomicBoolCell;
+    /// A memory fence with the given ordering.
+    fn fence(order: Ordering);
+}
+
+/// The production [`Atomics`] implementation: plain `std::sync::atomic`
+/// types, zero-cost by monomorphization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdAtomics;
+
+impl AtomicU64Cell for AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        AtomicU64::new(v)
+    }
+
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        AtomicU64::store(self, v, order)
+    }
+
+    #[inline]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, v, order)
+    }
+}
+
+impl AtomicBoolCell for AtomicBool {
+    #[inline]
+    fn new(v: bool) -> Self {
+        AtomicBool::new(v)
+    }
+
+    #[inline]
+    fn load(&self, order: Ordering) -> bool {
+        AtomicBool::load(self, order)
+    }
+
+    #[inline]
+    fn store(&self, v: bool, order: Ordering) {
+        AtomicBool::store(self, v, order)
+    }
+}
+
+impl Atomics for StdAtomics {
+    type U64 = AtomicU64;
+    type Bool = AtomicBool;
+
+    #[inline]
+    fn fence(order: Ordering) {
+        fence(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_cells_behave_like_their_std_types() {
+        let w = <AtomicU64 as AtomicU64Cell>::new(5);
+        assert_eq!(AtomicU64Cell::load(&w, Ordering::SeqCst), 5);
+        AtomicU64Cell::store(&w, 9, Ordering::SeqCst);
+        assert_eq!(AtomicU64Cell::fetch_add(&w, 2, Ordering::SeqCst), 9);
+        assert_eq!(AtomicU64Cell::load(&w, Ordering::SeqCst), 11);
+
+        let f = <AtomicBool as AtomicBoolCell>::new(false);
+        assert!(!AtomicBoolCell::load(&f, Ordering::SeqCst));
+        AtomicBoolCell::store(&f, true, Ordering::SeqCst);
+        assert!(AtomicBoolCell::load(&f, Ordering::SeqCst));
+        StdAtomics::fence(Ordering::SeqCst);
+    }
+}

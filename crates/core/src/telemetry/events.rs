@@ -35,7 +35,7 @@
 
 use std::fmt;
 use std::fmt::Write as _;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -43,6 +43,7 @@ use ahbpower_ahb::{BusSnapshot, LifecycleTap, TxnEvent};
 use ahbpower_sim::KernelStats;
 
 use super::anomaly::WindowVerdict;
+use super::atomics::{AtomicBoolCell, AtomicU64Cell, Atomics, StdAtomics};
 
 /// Default ring capacity (rounded up to a power of two by the bus).
 /// 16 Ki slots × 64 B = 1 MiB, small enough to stay resident in a
@@ -56,12 +57,34 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 16_384;
 /// Words per ring slot: one stamp word plus the packed event payload.
 const SLOT_WORDS: usize = 8;
 
-/// One ring slot, aligned to its own cache line: the eight words are
-/// exactly 64 bytes, and the alignment keeps every publish inside a
-/// single line instead of straddling two (a measurable share of the
-/// per-event cost at transaction rates of ~0.7 events/cycle).
+/// One ring slot, aligned to its own cache line: with the production
+/// [`StdAtomics`] words the eight words are exactly 64 bytes, and the
+/// alignment keeps every publish inside a single line instead of
+/// straddling two (a measurable share of the per-event cost at
+/// transaction rates of ~0.7 events/cycle).
 #[repr(align(64))]
-struct Slot([AtomicU64; SLOT_WORDS]);
+struct Slot<A: Atomics>([A::U64; SLOT_WORDS]);
+
+/// A seeded fault in the ring's seqlock write protocol, used by the
+/// static analyzer's deep verification pass (`repro analyze --deep`) to
+/// prove its interleaving model checker actually catches protocol bugs.
+/// Production code always uses [`RingMutation::None`]; the other
+/// variants deliberately break the write path in ways the checker's
+/// torn-read and lost-event invariants must flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingMutation {
+    /// The correct protocol (the only variant production code uses).
+    #[default]
+    None,
+    /// Stamp the slot *published* before storing the payload words: a
+    /// reader scheduled between the stamp and the payload stores can
+    /// return a torn (stale or mixed) event as if it were consistent.
+    PublishBeforePayload,
+    /// Omit the pre-payload *writing* stamp: a reader lapped mid-
+    /// overwrite can validate an old stamp around new payload words and
+    /// return a mixed event instead of counting the slot as dropped.
+    NoWritingStamp,
+}
 
 /// The type of a structured event. Discriminants are stable: they are
 /// what the ring stores and what `events.jsonl` readers key on.
@@ -213,7 +236,11 @@ enum SlotRead {
     Overwritten,
 }
 
-/// The lock-free, bounded, multi-producer structured event ring.
+/// The lock-free, bounded, multi-producer structured event ring,
+/// generic over its [`Atomics`] implementation so the analyzer's model
+/// checker can drive the *same* seqlock protocol over scheduled model
+/// cells. Production code uses the [`EventBus`] alias (real
+/// `std::sync::atomic` words via [`StdAtomics`]).
 ///
 /// Shared as an `Arc<EventBus>` between the simulation session, the
 /// serve worker, the sweep runner's threads and any HTTP reader; see the
@@ -235,15 +262,19 @@ enum SlotRead {
 /// assert_eq!(batch.events[0].slice, 3);
 /// assert_eq!(batch.next, 1);
 /// ```
-pub struct EventBus {
-    enabled: AtomicBool,
-    head: AtomicU64,
+pub struct GenericEventBus<A: Atomics = StdAtomics> {
+    enabled: A::Bool,
+    head: A::U64,
     mask: u64,
-    slots: Vec<Slot>,
+    slots: Vec<Slot<A>>,
+    mutation: RingMutation,
     created: Instant,
 }
 
-impl fmt::Debug for EventBus {
+/// The production event ring: [`GenericEventBus`] over [`StdAtomics`].
+pub type EventBus = GenericEventBus<StdAtomics>;
+
+impl<A: Atomics> fmt::Debug for GenericEventBus<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventBus")
             .field("enabled", &self.is_enabled())
@@ -253,34 +284,47 @@ impl fmt::Debug for EventBus {
     }
 }
 
-impl Default for EventBus {
+impl<A: Atomics> Default for GenericEventBus<A> {
     fn default() -> Self {
-        EventBus::with_capacity(DEFAULT_EVENT_CAPACITY)
+        GenericEventBus::with_capacity(DEFAULT_EVENT_CAPACITY)
     }
 }
 
-impl EventBus {
+impl<A: Atomics> GenericEventBus<A> {
     /// Creates a disabled bus whose ring holds `capacity` events
     /// (rounded up to a power of two, clamped to `[8, 2^20]`).
     pub fn with_capacity(capacity: usize) -> Self {
-        let cap = capacity.clamp(8, 1 << 20).next_power_of_two();
+        GenericEventBus::build(capacity.clamp(8, 1 << 20), RingMutation::None)
+    }
+
+    /// Verification constructor: like [`GenericEventBus::with_capacity`]
+    /// but with the minimum capacity relaxed to 2 (tiny rings keep
+    /// wraparound interleavings model-checkable) and an optional seeded
+    /// write-protocol fault for the analyzer's mutant directions.
+    pub fn for_verification(capacity: usize, mutation: RingMutation) -> Self {
+        GenericEventBus::build(capacity.clamp(2, 1 << 20), mutation)
+    }
+
+    fn build(capacity: usize, mutation: RingMutation) -> Self {
+        let cap = capacity.next_power_of_two();
         let mut slots = Vec::with_capacity(cap);
         for _ in 0..cap {
-            slots.push(Slot([0u64; SLOT_WORDS].map(AtomicU64::new)));
+            slots.push(Slot([0u64; SLOT_WORDS].map(<A::U64 as AtomicU64Cell>::new)));
         }
-        EventBus {
-            enabled: AtomicBool::new(false),
-            head: AtomicU64::new(0),
+        GenericEventBus {
+            enabled: <A::Bool as AtomicBoolCell>::new(false),
+            head: <A::U64 as AtomicU64Cell>::new(0),
             mask: (cap - 1) as u64,
             slots,
+            mutation,
             created: Instant::now(),
         }
     }
 
     /// Creates an enabled bus with the given capacity, already wrapped
     /// for sharing.
-    pub fn shared(capacity: usize) -> Arc<EventBus> {
-        let bus = EventBus::with_capacity(capacity);
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        let bus = GenericEventBus::with_capacity(capacity);
         bus.set_enabled(true);
         Arc::new(bus)
     }
@@ -294,17 +338,20 @@ impl EventBus {
     /// [`EventBus::publish`] is exactly this one relaxed load.
     #[inline]
     pub fn is_enabled(&self) -> bool {
+        // relaxed: on/off gate only; event data never flows through it.
         self.enabled.load(Ordering::Relaxed)
     }
 
     /// Switches publishing on or off. Readers keep working either way.
     pub fn set_enabled(&self, enabled: bool) {
+        // ordering: cold control-plane flip; seqcst for simplicity over speed.
         self.enabled.store(enabled, Ordering::SeqCst);
     }
 
     /// Events claimed by publishers so far (monotonic; includes events
     /// already overwritten by ring wraparound).
     pub fn published(&self) -> u64 {
+        // ordering: acquire keeps later slot reads from hoisting above this count.
         self.head.load(Ordering::Acquire)
     }
 
@@ -324,9 +371,11 @@ impl EventBus {
     /// when the bus is disabled. Never blocks, never allocates.
     #[inline]
     pub fn publish(&self, e: Event) -> Option<u64> {
+        // relaxed: on/off gate only; event data never flows through it.
         if !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
+        // relaxed: RMW claims each seq exactly once; stamps publish the payload.
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         self.write_slot(seq, &e);
         Some(seq)
@@ -343,9 +392,11 @@ impl EventBus {
     /// exactly as the same events published one at a time would.
     #[inline]
     pub fn publish_batch(&self, events: &[Event]) -> Option<u64> {
+        // relaxed: on/off gate only; event data never flows through it.
         if events.is_empty() || !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
+        // relaxed: RMW claims each seq exactly once; stamps publish the payload.
         let start = self.head.fetch_add(events.len() as u64, Ordering::Relaxed);
         for (i, e) in events.iter().enumerate() {
             self.write_slot(start + i as u64, e);
@@ -354,23 +405,49 @@ impl EventBus {
     }
 
     /// Seqlock write of one slot: stamp writing, fence, payload, stamp
-    /// published.
+    /// published. The mutated arms exist only for the analyzer's seeded
+    /// model-checker directions (see [`RingMutation`]); production buses
+    /// always take the first arm.
     #[inline]
     fn write_slot(&self, seq: u64, e: &Event) {
         let slot = &self.slots[(seq & self.mask) as usize].0;
-        slot[0].store(2 * seq + 1, Ordering::Relaxed);
-        fence(Ordering::Release);
-        slot[1].store(
-            u64::from(e.kind as u8) | (u64::from(e.tag) << 8),
-            Ordering::Relaxed,
-        );
-        slot[2].store(e.slice, Ordering::Relaxed);
-        slot[3].store(e.txn, Ordering::Relaxed);
-        slot[4].store(e.window, Ordering::Relaxed);
-        slot[5].store(e.cycle, Ordering::Relaxed);
-        slot[6].store(e.a.to_bits(), Ordering::Relaxed);
-        slot[7].store(e.b.to_bits(), Ordering::Relaxed);
-        slot[0].store(2 * seq + 2, Ordering::Release);
+        match self.mutation {
+            RingMutation::None => {
+                // relaxed: ordered before the payload by the release fence below.
+                slot[0].store(2 * seq + 1, Ordering::Relaxed);
+                // ordering: release fence orders the writing stamp before the payload.
+                A::fence(Ordering::Release);
+                self.store_payload(slot, e);
+                // ordering: release publishes the payload to the reader's acquire load.
+                slot[0].store(2 * seq + 2, Ordering::Release);
+            }
+            RingMutation::PublishBeforePayload => {
+                // ordering: seeded fault — stamps published before the payload lands.
+                slot[0].store(2 * seq + 2, Ordering::Release);
+                self.store_payload(slot, e);
+            }
+            RingMutation::NoWritingStamp => {
+                // ordering: seeded fault — no writing stamp guards the payload stores.
+                A::fence(Ordering::Release);
+                self.store_payload(slot, e);
+                // ordering: release publishes the payload to the reader's acquire load.
+                slot[0].store(2 * seq + 2, Ordering::Release);
+            }
+        }
+    }
+
+    /// The seven payload stores shared by every [`Self::write_slot`] arm.
+    #[inline]
+    fn store_payload(&self, slot: &[A::U64; SLOT_WORDS], e: &Event) {
+        let packed = u64::from(e.kind as u8) | (u64::from(e.tag) << 8);
+        // relaxed: payload words are guarded by the stamp word on both sides.
+        slot[1].store(packed, Ordering::Relaxed);
+        slot[2].store(e.slice, Ordering::Relaxed); // relaxed: stamp-guarded payload
+        slot[3].store(e.txn, Ordering::Relaxed); // relaxed: stamp-guarded payload
+        slot[4].store(e.window, Ordering::Relaxed); // relaxed: stamp-guarded payload
+        slot[5].store(e.cycle, Ordering::Relaxed); // relaxed: stamp-guarded payload
+        slot[6].store(e.a.to_bits(), Ordering::Relaxed); // relaxed: stamp-guarded payload
+        slot[7].store(e.b.to_bits(), Ordering::Relaxed); // relaxed: stamp-guarded payload
     }
 
     /// Reads up to `max` events with sequence numbers `>= since`, in
@@ -378,6 +455,7 @@ impl EventBus {
     /// [`EventBatch::dropped`]; an event still being written ends the
     /// batch early (poll again with [`EventBatch::next`]).
     pub fn read_since(&self, since: u64, max: usize) -> EventBatch {
+        // ordering: acquire keeps the slot reads below from hoisting above head.
         let head = self.head.load(Ordering::Acquire);
         let oldest = head.saturating_sub(self.mask + 1);
         let start = since.max(oldest);
@@ -410,6 +488,7 @@ impl EventBus {
     fn read_slot(&self, seq: u64) -> SlotRead {
         let slot = &self.slots[(seq & self.mask) as usize].0;
         let want = 2 * seq + 2;
+        // ordering: acquire pairs with the writer's release stamp store.
         let s1 = slot[0].load(Ordering::Acquire);
         if s1 < want {
             return SlotRead::NotYet;
@@ -417,14 +496,17 @@ impl EventBus {
         if s1 > want {
             return SlotRead::Overwritten;
         }
+        // relaxed: validated by the stamp re-check behind the acquire fence below.
         let packed = slot[1].load(Ordering::Relaxed);
-        let slice = slot[2].load(Ordering::Relaxed);
-        let txn = slot[3].load(Ordering::Relaxed);
-        let window = slot[4].load(Ordering::Relaxed);
-        let cycle = slot[5].load(Ordering::Relaxed);
-        let a = slot[6].load(Ordering::Relaxed);
-        let b = slot[7].load(Ordering::Relaxed);
-        fence(Ordering::Acquire);
+        let slice = slot[2].load(Ordering::Relaxed); // relaxed: stamp-validated read
+        let txn = slot[3].load(Ordering::Relaxed); // relaxed: stamp-validated read
+        let window = slot[4].load(Ordering::Relaxed); // relaxed: stamp-validated read
+        let cycle = slot[5].load(Ordering::Relaxed); // relaxed: stamp-validated read
+        let a = slot[6].load(Ordering::Relaxed); // relaxed: stamp-validated read
+        let b = slot[7].load(Ordering::Relaxed); // relaxed: stamp-validated read
+                                                 // ordering: acquire fence orders the payload loads before the re-check.
+        A::fence(Ordering::Acquire);
+        // relaxed: the fence above already orders this re-check after the loads.
         if slot[0].load(Ordering::Relaxed) != want {
             return SlotRead::Overwritten;
         }
@@ -923,6 +1005,52 @@ mod tests {
         assert_eq!(EventBus::with_capacity(0).capacity(), 8);
         assert_eq!(EventBus::with_capacity(100).capacity(), 128);
         assert_eq!(EventBus::with_capacity(1 << 16).capacity(), 1 << 16);
+        // The verification constructor relaxes only the lower clamp.
+        let tiny = EventBus::for_verification(0, RingMutation::None);
+        assert_eq!(tiny.capacity(), 2);
+        assert_eq!(tiny.mutation, RingMutation::None);
+    }
+
+    #[test]
+    fn payload_floats_round_trip_bit_exactly() {
+        // The ring stores f64 payloads as raw bits; NaN payloads (and any
+        // other bit pattern) must come back bit-identical, which also
+        // pins that the genericization kept the store/load paths exact.
+        let bus = EventBus::with_capacity(8);
+        bus.set_enabled(true);
+        let quiet_nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        let neg_zero = -0.0_f64;
+        bus.publish(Event {
+            a: quiet_nan,
+            b: neg_zero,
+            ..ev(EventKind::KernelRun, 1)
+        });
+        let got = bus.read_since(0, 4).events;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].a.to_bits(), 0x7ff8_0000_dead_beef);
+        assert_eq!(got[0].b.to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn seeded_mutations_are_invisible_without_concurrency() {
+        // The mutated write paths break the protocol only under an
+        // adversarial schedule; single-threaded use still round-trips,
+        // which keeps the mutant directions honest (the model checker,
+        // not a broken serial path, is what flags them).
+        for mutation in [
+            RingMutation::PublishBeforePayload,
+            RingMutation::NoWritingStamp,
+        ] {
+            let bus = EventBus::for_verification(4, mutation);
+            bus.set_enabled(true);
+            for i in 0..6 {
+                bus.publish(ev(EventKind::SliceStart, i));
+            }
+            let batch = bus.read_since(0, 16);
+            assert_eq!(batch.events.len(), 4, "{mutation:?}");
+            assert_eq!(batch.dropped, 2, "{mutation:?}");
+            assert_eq!(batch.events[0].slice, 2, "{mutation:?}");
+        }
     }
 
     #[test]

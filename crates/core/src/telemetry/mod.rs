@@ -34,6 +34,7 @@
 
 mod analyzers;
 mod anomaly;
+mod atomics;
 mod events;
 mod export;
 mod registry;
@@ -41,7 +42,11 @@ mod span;
 
 pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
 pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent, WindowVerdict};
-pub use events::{Event, EventBatch, EventBus, EventKind, EventsTap, DEFAULT_EVENT_CAPACITY};
+pub use atomics::{AtomicBoolCell, AtomicU64Cell, Atomics, StdAtomics};
+pub use events::{
+    Event, EventBatch, EventBus, EventKind, EventsTap, GenericEventBus, RingMutation,
+    DEFAULT_EVENT_CAPACITY,
+};
 pub use export::{
     events_to_jsonl, json_escape, prom_escape_label, prom_unescape_label, to_csv, to_folded,
     to_jsonl, to_prometheus, to_trace_events, ExportMeta, TraceEventMeta,

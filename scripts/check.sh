@@ -38,6 +38,31 @@ if cargo run --release -p ahbpower-bench --bin repro -- analyze --script "$BAD_S
 fi
 echo "  analyze ok (clean tree passes, seeded violation fails)"
 
+echo "== deep concurrency verification =="
+# Inverted directions first: each seeded fault must be *caught* (exit
+# 1). A checker that lets its mutant through is a regression, same as a
+# checker that flags the clean tree.
+for MUTANT in ring-torn ordering-relaxed arbiter-double-grant; do
+    if cargo run --release -p ahbpower-bench --bin repro -- analyze \
+        --mutate "$MUTANT" > /dev/null; then
+        echo "  ERROR: analyze --mutate $MUTANT went undetected" >&2
+        exit 1
+    fi
+done
+# Then the full clean pass (ring model checker + ordering lint census +
+# arbiter state-space walk + tool self-check) — last, so
+# results/analyze.jsonl holds the clean deep run for CI to archive. It
+# must come back clean, and fast: EXPERIMENTS.md E18 budgets 60 s wall
+# for the release binary.
+DEEP_START="$(date +%s)"
+cargo run --release -p ahbpower-bench --bin repro -- analyze --deep
+DEEP_WALL="$(( $(date +%s) - DEEP_START ))"
+if [ "$DEEP_WALL" -gt 60 ]; then
+    echo "  ERROR: analyze --deep took ${DEEP_WALL}s (budget 60s)" >&2
+    exit 1
+fi
+echo "  deep ok (all 3 seeded mutants caught; clean in ${DEEP_WALL}s <= 60s)"
+
 echo "== experiments (smoke, 100k cycles) =="
 cargo run --release -p ahbpower-bench --bin repro -- all --cycles 100000 > /dev/null
 echo "  repro ok (artifacts in results/)"
