@@ -48,6 +48,10 @@ const INSTRUMENTATION_MODULES: &[&str] = &[
     // the grant is explicit): it stamps a creation Instant to derive
     // events/sec. Simulation results must never depend on it.
     "crates/core/src/telemetry/events.rs",
+    // The multi-resolution retention store (also covered by the prefix,
+    // named so the grant is explicit): pure bookkeeping fed by the
+    // telemetry layer. Simulation results must never depend on it.
+    "crates/core/src/telemetry/observatory.rs",
     "crates/core/src/session.rs",
     "crates/sim/src/profile.rs",
     "crates/sim/src/kernel.rs",
@@ -759,6 +763,29 @@ mod tests {
             "crates/bench/src/dashboard.rs",
             "crates/ahb/src/lifecycle.rs",
             "crates/core/src/model.rs",
+        ] {
+            assert_eq!(
+                rules(&lint_source(src, path)),
+                ["lint/instr-gate"],
+                "clock read at {path} must still be flagged"
+            );
+        }
+    }
+
+    #[test]
+    fn observatory_is_instrumentation_but_the_gate_holds_around_it() {
+        // The retention store's explicit allowlist entry grants the
+        // path, not the pattern: the same clock read is still flagged
+        // in neighbouring non-instrumentation modules.
+        let src = "fn rate() -> f64 { std::time::Instant::now().elapsed().as_secs_f64() }\n";
+        assert!(
+            lint_source(src, "crates/core/src/telemetry/observatory.rs").is_empty(),
+            "the observatory is designated instrumentation"
+        );
+        for path in [
+            "crates/bench/src/obsquery.rs",
+            "crates/bench/src/flightrec.rs",
+            "crates/core/src/macromodel.rs",
         ] {
             assert_eq!(
                 rules(&lint_source(src, path)),

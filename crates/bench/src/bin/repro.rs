@@ -5,8 +5,9 @@
 //! cargo run --release -p ahbpower-bench --bin repro -- table1 [--cycles N] [--seed S]
 //! subcommands: table1 fig3 fig4 fig5 fig6 validation styles overhead ablation
 //!              coding dpm sweep sweep-bench record replay replay-bench
-//!              telemetry telemetry-overhead events events-overhead trace
-//!              analyze serve serve-probe baseline all
+//!              telemetry telemetry-overhead events events-overhead
+//!              observatory-overhead query trace analyze serve serve-probe
+//!              baseline all
 //! ```
 //!
 //! Text goes to stdout; CSV artifacts go to `results/`. Pass `--telemetry`
@@ -46,10 +47,18 @@
 //! default ephemeral): workload slices run continuously on a background
 //! thread while `/healthz`, `/metrics` (Prometheus), `/status` (JSON),
 //! `/events` (structured event ring, `?since=N` cursor + optional
-//! `timeout_ms` long-poll) and the self-hosted dashboard at `/` report
-//! on them; `GET /quit` shuts down gracefully, flushing
-//! `results/serve_final.jsonl`, `results/serve_status.json` and
-//! `results/events.jsonl` atomically.
+//! `timeout_ms` long-poll), `/query` (the power observatory's
+//! multi-resolution range queries) and the self-hosted dashboard at `/`
+//! report on them; `GET /quit` shuts down gracefully, flushing
+//! `results/serve_final.jsonl`, `results/serve_status.json`,
+//! `results/events.jsonl` and `results/observatory.jsonl` atomically,
+//! plus a flight-recorder shutdown bundle under `results/flightrec/`.
+//!
+//! `query` answers the same range queries offline from a flushed
+//! `results/observatory.jsonl` (`--series energy --from 0 --to 500
+//! --step 10`), printing byte-identical JSON to the live `/query`
+//! endpoint. `observatory-overhead` measures what the multi-resolution
+//! store costs per cycle and writes `BENCH_observatory.json`.
 //!
 //! `events` runs a sliced offline workload with the structured event bus
 //! enabled, writes `results/events.jsonl`, and self-checks the causal
@@ -128,6 +137,11 @@ fn main() {
     let mut expect_mismatch = false;
     let mut deep = false;
     let mut mutate: Option<String> = None;
+    let mut series: Option<String> = None;
+    let mut from = 0u64;
+    let mut to = u64::MAX;
+    let mut step = 1u64;
+    let mut flightrec: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -197,6 +211,39 @@ fn main() {
             }
             "--expect-mismatch" => expect_mismatch = true,
             "--deep" => deep = true,
+            "--series" => {
+                series = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--series needs a series name")),
+                );
+            }
+            "--from" => {
+                from = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--from needs a window index"));
+            }
+            "--to" => {
+                to = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--to needs a window index"));
+            }
+            "--step" => {
+                step = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--step needs a positive number"));
+            }
+            "--flightrec" => {
+                flightrec = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--flightrec needs a directory")),
+                );
+            }
             "--mutate" => {
                 mutate = Some(it.next().cloned().unwrap_or_else(|| {
                     usage("--mutate needs ring-torn|ordering-relaxed|arbiter-double-grant")
@@ -268,6 +315,18 @@ fn main() {
                 addr.as_deref()
                     .unwrap_or_else(|| usage("serve-probe needs --addr host:port")),
                 quit,
+                flightrec.as_deref(),
+            );
+        }
+        "query" => {
+            return query_cmd(
+                file.as_deref().unwrap_or("results/observatory.jsonl"),
+                series
+                    .as_deref()
+                    .unwrap_or_else(|| usage("query needs --series NAME")),
+                from,
+                to,
+                step,
             );
         }
         "baseline" => {
@@ -313,6 +372,7 @@ fn main() {
         "telemetry-overhead" => telemetry_overhead(cycles.min(1_000_000), seed, jobs),
         "events" => events_cmd(cycles.min(500_000), seed, slice_cycles, inject.as_deref()),
         "events-overhead" => events_overhead(cycles.min(1_000_000), seed),
+        "observatory-overhead" => observatory_overhead(cycles.min(1_000_000), seed),
         "all" => {
             let mut r = run(cycles, seed, telemetry);
             table1(&mut r);
@@ -335,7 +395,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--deep] [--mutate ring-torn|ordering-relaxed|arbiter-double-grant] [--out FILE] [--file FILE] [--tolerance-pct N]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|observatory-overhead|query|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--deep] [--mutate ring-torn|ordering-relaxed|arbiter-double-grant] [--out FILE] [--file FILE] [--tolerance-pct N] [--series NAME] [--from N] [--to N] [--step N] [--flightrec DIR]"
     );
     std::process::exit(2);
 }
@@ -378,7 +438,7 @@ fn serve_cmd(
     };
     let handle = serve(cfg).expect("bind serve address");
     println!("serving on http://{}", handle.addr());
-    println!("endpoints: / /healthz /metrics /status /events /quit");
+    println!("endpoints: / /healthz /metrics /status /events /query /quit");
     if let Some(n) = max_slices {
         println!("slice budget: {n} x {slice_cycles} cycles (GET /quit to stop serving)");
     } else {
@@ -397,20 +457,32 @@ fn serve_cmd(
     }
 }
 
-/// `repro serve-probe --addr HOST:PORT [--quit]`: std-only smoke client
-/// for a running service (no curl needed in CI). Fetches `/healthz`,
-/// `/metrics`, `/status`, the dashboard at `/` and `/events`
-/// (long-polling up to 5 s and requiring at least one `TxnComplete`
-/// when the ring is enabled), validates each payload, optionally sends
-/// `GET /quit` afterwards, and exits 1 on any failure.
-fn serve_probe_cmd(addr: &str, quit: bool) {
+/// `repro serve-probe --addr HOST:PORT [--quit] [--flightrec DIR]`:
+/// std-only smoke client for a running service (no curl needed in CI).
+/// Fetches `/healthz`, `/metrics`, `/status`, the dashboard at `/`,
+/// `/events` (long-polling up to 5 s and requiring at least one
+/// `TxnComplete` when the ring is enabled) and `/query` (the power
+/// observatory, checking the step→resolution contract), validates each
+/// payload, optionally sends `GET /quit` afterwards, and exits 1 on any
+/// failure. With `--flightrec DIR`, waits for at least one JSON-valid
+/// flight-recorder bundle whose causal chain reaches `TxnComplete` —
+/// the end-to-end assertion behind the injected-fault smoke test.
+fn serve_probe_cmd(addr: &str, quit: bool, flightrec: Option<&str>) {
     use ahbpower_bench::http_get;
     use std::time::Duration;
     let timeout = Duration::from_secs(10);
     let mut failures = 0u32;
 
     match http_get(addr, "/healthz", timeout) {
-        Ok(r) if r.status == 200 && r.body == "ok\n" => println!("/healthz: ok"),
+        Ok(r) if r.status == 200 && r.body.contains("\"status\":\"ok\"") => {
+            match validate_json(&r.body) {
+                Ok(()) => println!("/healthz: ok"),
+                Err(e) => {
+                    eprintln!("/healthz: invalid JSON: {e}");
+                    failures += 1;
+                }
+            }
+        }
         Ok(r) => {
             eprintln!("/healthz: unexpected status {} body {:?}", r.status, r.body);
             failures += 1;
@@ -495,6 +567,36 @@ fn serve_probe_cmd(addr: &str, quit: bool) {
             failures += 1;
         }
     }
+    // The observatory range query: step=10 must answer from the 10x
+    // level (or serve an empty placeholder before the first slice).
+    match http_get(addr, "/query?series=energy&step=10", timeout) {
+        Ok(r) if r.status == 200 => match validate_json(&r.body) {
+            Ok(()) if r.body.contains("\"series\":\"energy\"") => {
+                println!("/query: valid JSON ({} bytes)", r.body.len());
+            }
+            Ok(()) => {
+                eprintln!("/query: JSON without the requested series: {:.120}", r.body);
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("/query: invalid JSON: {e}");
+                failures += 1;
+            }
+        },
+        Ok(r) => {
+            eprintln!("/query: status {}", r.status);
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("/query: {e}");
+            failures += 1;
+        }
+    }
+    if let Some(dir) = flightrec {
+        if !probe_flightrec(dir) {
+            failures += 1;
+        }
+    }
     if quit {
         match http_get(addr, "/quit", timeout) {
             Ok(r) if r.status == 200 => println!("/quit: ok"),
@@ -511,6 +613,95 @@ fn serve_probe_cmd(addr: &str, quit: bool) {
     if failures > 0 {
         eprintln!("serve-probe: {failures} endpoint(s) failed");
         std::process::exit(1);
+    }
+}
+
+/// Waits (up to 10 s) for a flight-recorder bundle under `dir` whose
+/// causal chain reaches at least one `TxnComplete`, validating every
+/// bundle it reads through the workspace JSON checker. Returns false on
+/// timeout or any invalid bundle.
+fn probe_flightrec(dir: &str) -> bool {
+    use ahbpower_bench::{parse_json, JsonValue};
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let mut bundles = 0usize;
+        let mut causal_ok = false;
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let Ok(body) = fs::read_to_string(&path) else {
+                    continue;
+                };
+                if let Err(e) = validate_json(&body) {
+                    eprintln!("flightrec: {} is invalid JSON: {e}", path.display());
+                    return false;
+                }
+                bundles += 1;
+                if let Ok(doc) = parse_json(&body) {
+                    let txns = doc
+                        .get("causal")
+                        .and_then(|c| c.get("txn_complete"))
+                        .and_then(JsonValue::as_array)
+                        .map_or(0, <[JsonValue]>::len);
+                    if txns > 0 {
+                        causal_ok = true;
+                    }
+                }
+            }
+        }
+        if bundles > 0 && causal_ok {
+            println!("flightrec: {bundles} valid bundle(s), causal chain reaches TxnComplete");
+            return true;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "flightrec: no bundle with a TxnComplete causal chain in {dir} ({bundles} bundle(s) seen)"
+            );
+            return false;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+/// `repro query --series S [--from A] [--to B] [--step N] [--file F]`:
+/// offline observatory range queries over a flushed
+/// `results/observatory.jsonl` snapshot. Prints the same JSON document
+/// the live `GET /query` endpoint serves — the renderer is shared, so
+/// the bytes cannot drift. `--step` picks the resolution (1 = raw
+/// windows, 10 and 100 the downsampled rings). Exits 1 when the
+/// snapshot is missing/corrupt or the series is unknown.
+fn query_cmd(file: &str, series: &str, from: u64, to: u64, step: u64) {
+    use ahbpower_bench::{parse_observatory_snapshot, query_result_json};
+    let text = match fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("query: cannot read {file}: {e} (run `repro serve` first; the snapshot is flushed on shutdown)");
+            std::process::exit(1);
+        }
+    };
+    let snap = match parse_observatory_snapshot(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("query: {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match snap.query(series, from, to, step) {
+        Some(q) => {
+            let json = query_result_json(&q);
+            validate_json(&json).expect("query JSON validates");
+            println!("{json}");
+        }
+        None => {
+            eprintln!(
+                "query: unknown series '{series}' (available: {})",
+                snap.series.join(", ")
+            );
+            std::process::exit(1);
+        }
     }
 }
 
@@ -1172,6 +1363,89 @@ fn events_overhead(cycles: u64, seed: u64) {
     );
     fs::write("BENCH_events.json", json).expect("write BENCH_events.json");
     println!("-> BENCH_events.json\n");
+}
+
+/// What `observatory-overhead` allows the store to cost before the
+/// command exits 1 — the budget stamped into `BENCH_observatory.json`.
+const OBSERVATORY_CEILING_PCT: f64 = 5.0;
+
+/// `repro observatory-overhead`: what the multi-resolution power
+/// observatory costs. Runs the same telemetered workload (anomaly
+/// detector attached, like every serve deployment) two ways — without
+/// and with the observatory ingesting every window into its three
+/// retention levels — then reports ns/cycle and the overhead against
+/// the [`OBSERVATORY_CEILING_PCT`] budget. Same noise protocol as
+/// `events-overhead`: [`OVERHEAD_REPS`] reps round-robin, minima for
+/// ns/cycle, median per-round ratio for the percentage. Writes
+/// `BENCH_observatory.json`; exits 1 when the ceiling is blown.
+fn observatory_overhead(cycles: u64, seed: u64) {
+    use ahbpower::telemetry::{AnomalyConfig, ObservatoryConfig};
+
+    println!(
+        "== Observatory overhead over {cycles} cycles ({OVERHEAD_REPS} reps; ns/cycle = min, % = median per-round ratio) =="
+    );
+    let acfg = AnalysisConfig::paper_testbench();
+    let label = PaperTestbench::LABEL;
+    let anomaly = || AnomalyConfig::default().with_warmup_windows(4);
+    let run_base = || {
+        let mut bus = build_paper_bus(cycles, seed);
+        let tcfg = TelemetryConfig::enabled(label)
+            .with_seed(seed)
+            .with_anomaly(anomaly());
+        let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+        let t0 = Instant::now();
+        session.run(&mut bus, cycles);
+        t0.elapsed().as_secs_f64()
+    };
+    let run_obs = || {
+        let mut bus = build_paper_bus(cycles, seed);
+        let tcfg = TelemetryConfig::enabled(label)
+            .with_seed(seed)
+            .with_anomaly(anomaly())
+            .with_observatory(ObservatoryConfig::default());
+        let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+        let t0 = Instant::now();
+        session.run(&mut bus, cycles);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let windows = session
+            .telemetry()
+            .and_then(|t| t.observatory())
+            .map_or(0, |o| o.windows_ingested());
+        (elapsed, windows)
+    };
+
+    let mut base = f64::INFINITY;
+    let mut obs = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(OVERHEAD_REPS);
+    let mut windows = 0u64;
+    for _ in 0..OVERHEAD_REPS {
+        let t_base = run_base();
+        let (t_obs, w) = run_obs();
+        base = base.min(t_base);
+        obs = obs.min(t_obs);
+        ratios.push(t_obs / t_base);
+        windows = w;
+    }
+    let base_ns = base * 1e9 / cycles as f64;
+    let obs_ns = obs * 1e9 / cycles as f64;
+    let overhead_pct = (median(&mut ratios) - 1.0) * 100.0;
+    let within = overhead_pct <= OBSERVATORY_CEILING_PCT;
+    println!("anomaly only:          {base_ns:>7.2} ns/cycle");
+    println!(
+        "anomaly + observatory: {obs_ns:>7.2} ns/cycle ({overhead_pct:+.2}%), {windows} windows ingested"
+    );
+    println!(
+        "ceiling: {OBSERVATORY_CEILING_PCT:.1}% -> {}",
+        if within { "within budget" } else { "EXCEEDED" }
+    );
+    let json = format!(
+        "{{\n  \"cycles\": {cycles},\n  \"seed\": {seed},\n  \"reps\": {OVERHEAD_REPS},\n  \"baseline_ns_per_cycle\": {base_ns:.4},\n  \"observatory_ns_per_cycle\": {obs_ns:.4},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"ceiling_pct\": {OBSERVATORY_CEILING_PCT:.1},\n  \"within_ceiling\": {within},\n  \"windows_ingested\": {windows}\n}}\n"
+    );
+    fs::write("BENCH_observatory.json", json).expect("write BENCH_observatory.json");
+    println!("-> BENCH_observatory.json\n");
+    if !within {
+        std::process::exit(1);
+    }
 }
 
 /// `repro trace`: transaction-level energy attribution on the paper

@@ -1,9 +1,12 @@
 //! The self-hosted monitoring dashboard served at `GET /` by
 //! `repro serve`: one static HTML page, zero external assets, whose
-//! inline script polls `/status` and `/events` and renders a window
-//! energy sparkline, per-master attribution bars, stage latencies, and
-//! an anomaly log with causal drill-down (anomaly window → booked
-//! energy → the transactions inside that window).
+//! inline script polls `/status`, `/events` and `/query` and renders a
+//! window energy sparkline, a zoomable historical chart backed by the
+//! power observatory (raw → 10× → 100× retention levels with min/max
+//! bands and an anomaly timeline), per-master attribution bars, stage
+//! latencies, an event-ring health badge (drops + drain lag), and an
+//! anomaly log with causal drill-down (anomaly window → booked energy
+//! → the transactions inside that window).
 //!
 //! Everything is vanilla DOM + one `<canvas>`; the page works from the
 //! same std-only HTTP server as `/metrics` with no build step.
@@ -40,6 +43,12 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
   #drill { white-space: pre; color: #a3be8c; max-height: 200px; overflow: auto;
            background: #11151c; border-radius: 4px; padding: 8px; margin-top: 8px; }
   #err { color: #bf616a; padding: 4px 16px; }
+  .badge { background: #bf616a; color: #eceff4; border-radius: 3px;
+           padding: 0 6px; margin-right: 18px; font-weight: 600; }
+  .zoom button { font: inherit; background: #232a38; color: #9aa5b5; border: 1px solid #2a3140;
+                 border-radius: 3px; padding: 1px 8px; margin-left: 6px; cursor: pointer; }
+  .zoom button.on { background: #5e81ac; color: #eceff4; }
+  #histmeta { color: #9aa5b5; margin-top: 4px; }
 </style>
 </head>
 <body>
@@ -60,6 +69,15 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
     <table id="stages"><thead><tr><th>stage</th><th>count</th><th>p50</th><th>p95</th><th>p99</th></tr></thead><tbody></tbody></table>
   </section>
   <section style="grid-column: 1 / -1">
+    <h2 class="zoom">Power history &mdash; observatory
+      <button id="z1" data-step="1">raw</button>
+      <button id="z10" data-step="10" class="on">10&times;</button>
+      <button id="z100" data-step="100">100&times;</button>
+    </h2>
+    <canvas id="hist" width="1140" height="140"></canvas>
+    <div id="histmeta">loading history&hellip;</div>
+  </section>
+  <section style="grid-column: 1 / -1">
     <h2>Anomaly log (click a row for the causal trace)</h2>
     <table id="anomalies"><thead><tr><th>window</th><th>slice</th><th>start cycle</th><th>deviation %</th><th>z</th></tr></thead><tbody></tbody></table>
     <div id="drill">no anomaly selected</div>
@@ -78,6 +96,15 @@ function esc(s) { return String(s).replace(/[&<>]/g, function (c) {
   return { "&": "&amp;", "<": "&lt;", ">": "&gt;" }[c]; }); }
 
 function renderSummary(s) {
+  // Ring health: a red badge whenever events were lost to wraparound or
+  // the worker's drain cursor is lagging the publish counter.
+  var drops = s.events ? (s.events.dropped || 0) : 0;
+  var lag = s.events ? (s.events.lag || 0) : 0;
+  var badges = "";
+  if (drops > 0 || lag > 0) {
+    badges += '<span class="badge">ring: ' + drops + " dropped / lag " + lag + "</span>";
+  }
+  if (s.degraded) { badges += '<span class="badge">degraded</span>'; }
   byId("summary").innerHTML =
     "<span>mix <b>" + esc(s.scenario_mix) + "</b></span>" +
     "<span>slices <b>" + s.slices + "</b></span>" +
@@ -87,7 +114,7 @@ function renderSummary(s) {
     "<span>anomalies <b>" + s.anomalies.count + "/" + s.anomalies.windows + "</b></span>" +
     "<span>events <b>" + (s.events ? s.events.published : 0) +
       (s.events && s.events.dropped ? " (-" + s.events.dropped + ")" : "") + "</b></span>" +
-    "<span>up <b>" + fmt(s.uptime_s, 0) + "s</b></span>";
+    "<span>up <b>" + fmt(s.uptime_s, 0) + "s</b></span>" + badges;
 }
 
 function renderMasters(s) {
@@ -188,6 +215,83 @@ byId("anomalies").addEventListener("click", function (ev) {
   if (tr) { drill(Number(tr.getAttribute("data-w"))); }
 });
 
+// --- Historical chart: the power observatory behind GET /query. The
+// step parameter picks the retention level (1 = raw windows, 10 and
+// 100 the downsampled rings), so zooming out never loses the run's
+// history — it just answers from a coarser ring.
+var histStep = 10;
+
+function setZoom(step) {
+  histStep = step;
+  ["z1", "z10", "z100"].forEach(function (id) {
+    var b = byId(id);
+    b.className = Number(b.getAttribute("data-step")) === step ? "on" : "";
+  });
+  pollHistory();
+}
+["z1", "z10", "z100"].forEach(function (id) {
+  byId(id).addEventListener("click", function () {
+    setZoom(Number(byId(id).getAttribute("data-step")));
+  });
+});
+
+function renderHistory(energy, anomalies) {
+  var c = byId("hist");
+  var g = c.getContext("2d");
+  g.clearRect(0, 0, c.width, c.height);
+  var pts = energy.points || [];
+  if (!pts.length) { byId("histmeta").textContent = "no history yet"; return; }
+  var max = 1e-15;
+  pts.forEach(function (p) { max = Math.max(max, p.max || 0); });
+  function x(i) { return i * (c.width - 4) / Math.max(1, pts.length - 1) + 2; }
+  function y(v) { return c.height - 14 - (v || 0) / max * (c.height - 24); }
+  // min/max band across each bucket's raw windows
+  g.fillStyle = "rgba(136,192,208,0.18)";
+  g.beginPath();
+  pts.forEach(function (p, i) {
+    if (i === 0) { g.moveTo(x(i), y(p.max)); } else { g.lineTo(x(i), y(p.max)); }
+  });
+  for (var i = pts.length - 1; i >= 0; i--) { g.lineTo(x(i), y(pts[i].min)); }
+  g.closePath();
+  g.fill();
+  // per-window mean energy line
+  g.strokeStyle = "#88c0d0";
+  g.lineWidth = 1.6;
+  g.beginPath();
+  pts.forEach(function (p, i) {
+    var mean = p.sum / Math.max(1, p.windows || 1);
+    if (i === 0) { g.moveTo(x(i), y(mean)); } else { g.lineTo(x(i), y(mean)); }
+  });
+  g.stroke();
+  // anomaly timeline strip along the bottom (red tick = flagged windows
+  // inside that bucket)
+  var flagged = {};
+  (anomalies.points || []).forEach(function (p) {
+    if (p.sum > 0) { flagged[p.bucket] = p.sum; }
+  });
+  g.fillStyle = "#bf616a";
+  pts.forEach(function (p, i) {
+    if (flagged[p.bucket]) { g.fillRect(x(i) - 1, c.height - 8, 3, 6); }
+  });
+  var first = pts[0];
+  var last = pts[pts.length - 1];
+  byId("histmeta").textContent =
+    "level " + energy.level + " (" + energy.factor + " window(s)/bucket), " +
+    pts.length + " buckets, windows " + first.start_window + "–" +
+    (last.start_window + Math.max(1, last.windows || 1) - 1) +
+    ", peak " + Number(max).toExponential(3) + " J";
+}
+
+function pollHistory() {
+  var step = histStep;
+  Promise.all([
+    fetch("/query?series=energy&step=" + step).then(function (r) { return r.json(); }),
+    fetch("/query?series=anomalies&step=" + step).then(function (r) { return r.json(); })
+  ]).then(function (rs) {
+    if (histStep === step) { byId("err").textContent = ""; renderHistory(rs[0], rs[1]); }
+  }).catch(function (e) { byId("err").textContent = "query: " + e; });
+}
+
 function poll() {
   fetch("/status").then(function (r) { return r.json(); }).then(function (s) {
     byId("err").textContent = "";
@@ -204,7 +308,9 @@ function poll() {
     }).catch(function (e) { byId("err").textContent = "events: " + e; });
 }
 poll();
+pollHistory();
 setInterval(poll, 1000);
+setInterval(pollHistory, 2000);
 </script>
 </body>
 </html>
@@ -222,12 +328,24 @@ mod tests {
         assert!(!DASHBOARD_HTML.contains("https://"));
         assert!(!DASHBOARD_HTML.contains("<script src"));
         assert!(!DASHBOARD_HTML.contains("<link"));
-        for endpoint in ["/status", "/events?since="] {
+        for endpoint in ["/status", "/events?since=", "/query?series="] {
             assert!(
                 DASHBOARD_HTML.contains(endpoint),
                 "dashboard must poll {endpoint}"
             );
         }
+    }
+
+    #[test]
+    fn dashboard_zooms_across_retention_levels_and_badges_ring_health() {
+        // The history chart must offer all three observatory resolutions
+        // and the header must be able to flag ring drops/lag in red.
+        for step in ["data-step=\"1\"", "data-step=\"10\"", "data-step=\"100\""] {
+            assert!(DASHBOARD_HTML.contains(step), "zoom button {step}");
+        }
+        assert!(DASHBOARD_HTML.contains("series=anomalies"));
+        assert!(DASHBOARD_HTML.contains("class=\"badge\""));
+        assert!(DASHBOARD_HTML.contains("dropped"));
     }
 
     #[test]

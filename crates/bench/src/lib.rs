@@ -10,7 +10,9 @@
 
 mod baseline;
 mod dashboard;
+mod flightrec;
 mod json;
+mod obsquery;
 mod replay;
 mod serve;
 mod sweep;
@@ -21,7 +23,12 @@ pub use baseline::{
     WINDOW_POWER_BOUNDS_UW,
 };
 pub use dashboard::DASHBOARD_HTML;
+pub use flightrec::{
+    FlightRecorder, FLIGHTREC_CAUSAL_CAP, FLIGHTREC_EVENT_CONTEXT, FLIGHTREC_MAX_BUNDLES,
+    FLIGHTREC_WINDOW_CONTEXT,
+};
 pub use json::{parse_json, validate_json, JsonError, JsonValue};
+pub use obsquery::{parse_observatory_snapshot, query_result_json, ObservatorySnapshot};
 pub use replay::{
     replay_sweep, replay_variant_model, replay_variant_spec, resimulate_variant,
     run_paper_experiment_recorded, REPLAY_VARIANT_FACTORS,

@@ -15,6 +15,7 @@ use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -22,8 +23,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use ahbpower::telemetry::{
-    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, Event, EventBus, EventKind,
-    ExportMeta, MetricsRegistry, TelemetryConfig, DEFAULT_EVENT_CAPACITY,
+    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, DetectorState, Event, EventBus,
+    EventKind, ExportMeta, MetricsRegistry, Observatory, ObservatoryConfig, TelemetryConfig,
+    DEFAULT_EVENT_CAPACITY, OBSERVATORY_LEVEL_FACTORS,
 };
 use ahbpower::{AnalysisConfig, PowerSession, SubBlock};
 use ahbpower_ahb::CycleHistogram;
@@ -31,7 +33,9 @@ use ahbpower_workloads::{PaperTestbench, SocScenario};
 
 use crate::baseline::{write_atomic, WINDOW_POWER_BOUNDS_UW};
 use crate::dashboard::DASHBOARD_HTML;
+use crate::flightrec::FlightRecorder;
 use crate::json::validate_json;
+use crate::obsquery::query_result_json;
 
 /// Inclusive upper bounds (µs) for the per-stage wall-clock histograms
 /// (`sim`, `publish`, `render`); an implicit overflow bucket catches
@@ -151,6 +155,10 @@ pub struct ServeConfig {
     pub events: bool,
     /// Event ring capacity (rounded up to a power of two).
     pub events_capacity: usize,
+    /// Test hook: panic inside this slice's simulation, exercising the
+    /// flight recorder's panic-in-slice capture. Never set in
+    /// production.
+    pub panic_at_slice: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -173,6 +181,7 @@ impl Default for ServeConfig {
             // once per slice, so the ring must hold a full slice's
             // events (~0.7/cycle) even for generous --slice-cycles.
             events_capacity: 4 * DEFAULT_EVENT_CAPACITY,
+            panic_at_slice: None,
         }
     }
 }
@@ -232,6 +241,17 @@ struct LiveState {
     /// Worker-drained event log, trimmed to [`EVENTS_LOG_CAP`]; the
     /// shutdown flush renders it into `events.jsonl`.
     events_log: Vec<Event>,
+    /// The worker's ring-drain cursor; `published - cursor` is the
+    /// drain lag surfaced in `/status` and `/metrics`.
+    events_cursor: u64,
+    /// Per-slice snapshot of the session's power observatory (what
+    /// `/query` answers from).
+    observatory: Option<Observatory>,
+    /// Per-slice snapshot of the anomaly detector's statistics (what
+    /// flight-recorder bundles embed).
+    detector: Option<DetectorState>,
+    /// Flight-recorder bundles written so far.
+    flightrec_bundles: u64,
     /// Recorded cycles of the startup replay self-calibration (0 until
     /// it completes).
     replay_trace_cycles: u64,
@@ -270,6 +290,10 @@ impl LiveState {
             events_published: 0,
             events_dropped: 0,
             events_log: Vec::new(),
+            events_cursor: 0,
+            observatory: None,
+            detector: None,
+            flightrec_bundles: 0,
             replay_trace_cycles: 0,
             replay_variants: 0,
             replay_cycles_per_sec: 0.0,
@@ -283,6 +307,19 @@ impl LiveState {
 
     fn uptime_s(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
+    }
+
+    /// Whether the service is in a degraded state: the most recently
+    /// judged detection window was flagged anomalous.
+    fn degraded(&self) -> bool {
+        self.anomaly_events
+            .last()
+            .is_some_and(|e| e.window + 1 == self.anomaly_windows)
+    }
+
+    /// Events published to the ring but not yet drained by the worker.
+    fn events_lag(&self) -> u64 {
+        self.events_published.saturating_sub(self.events_cursor)
     }
 
     /// Rebuilds the shared registry from the current fields; `/metrics`
@@ -369,6 +406,48 @@ impl LiveState {
             &[],
         );
         reg.add(c, self.events_dropped as f64);
+        let g = reg.gauge(
+            "serve_events_cursor_lag",
+            "Events published but not yet drained by the worker.",
+            &[],
+        );
+        reg.set(g, self.events_lag() as f64);
+        let g = reg.gauge(
+            "serve_degraded",
+            "1 while the most recently judged detection window was flagged.",
+            &[],
+        );
+        reg.set(g, if self.degraded() { 1.0 } else { 0.0 });
+        if let Some(obs) = &self.observatory {
+            let c = reg.counter(
+                "serve_observatory_windows_total",
+                "Raw windows ingested by the power observatory.",
+                &[],
+            );
+            reg.add(c, obs.windows_ingested() as f64);
+            for level in 0..OBSERVATORY_LEVEL_FACTORS.len() {
+                let label = format!("{level}");
+                let labels = [("level", label.as_str())];
+                let g = reg.gauge(
+                    "serve_observatory_ring_occupancy",
+                    "Occupied observatory ring buckets per level.",
+                    &labels,
+                );
+                reg.set(g, obs.occupancy(level) as f64);
+                let c = reg.counter(
+                    "serve_observatory_cascade_buckets_total",
+                    "Buckets opened per observatory level (downsample cascades).",
+                    &labels,
+                );
+                reg.add(c, obs.cascades(level) as f64);
+            }
+        }
+        let c = reg.counter(
+            "serve_flightrec_bundles_total",
+            "Flight-recorder bundles written.",
+            &[],
+        );
+        reg.add(c, self.flightrec_bundles as f64);
         for (stage, hist) in [
             ("sim", &self.sim_us),
             ("publish", &self.publish_us),
@@ -463,11 +542,44 @@ impl LiveState {
         }
         let _ = write!(
             out,
-            "],\"events\":{{\"enabled\":{},\"published\":{},\"dropped\":{},\"logged\":{}}}",
+            "],\"events\":{{\"enabled\":{},\"published\":{},\"dropped\":{},\"logged\":{},\"cursor\":{},\"lag\":{}}}",
             self.events_enabled,
             self.events_published,
             self.events_dropped,
-            self.events_log.len()
+            self.events_log.len(),
+            self.events_cursor,
+            self.events_lag()
+        );
+        let _ = write!(
+            out,
+            ",\"degraded\":{},\"high_water\":{{\"slice\":{},\"window\":{}}}",
+            self.degraded(),
+            self.slices,
+            self.anomaly_windows
+        );
+        out.push_str(",\"observatory\":");
+        match &self.observatory {
+            Some(obs) => {
+                let _ = write!(out, "{{\"windows\":{},\"levels\":[", obs.windows_ingested());
+                for (level, factor) in OBSERVATORY_LEVEL_FACTORS.iter().enumerate() {
+                    if level > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"factor\":{factor},\"occupancy\":{},\"opened\":{}}}",
+                        obs.occupancy(level),
+                        obs.cascades(level)
+                    );
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"flightrec\":{{\"bundles\":{}}}",
+            self.flightrec_bundles
         );
         let _ = write!(
             out,
@@ -646,6 +758,24 @@ impl ServerHandle {
                 write_atomic(&events_path, &events)?;
                 flushed.push(events_path);
             }
+            if let Some(obs) = &state.observatory {
+                let obs_path = dir.join("observatory.jsonl");
+                write_atomic(&obs_path, &obs.to_jsonl())?;
+                flushed.push(obs_path);
+                // Shutdown post-mortem: the same bundle shape an anomaly
+                // dump produces, anchored at the last judged window, so
+                // every run ends with an inspectable record.
+                let mut rec = FlightRecorder::new(dir);
+                let _ = rec.record(
+                    "quit",
+                    state.anomaly_windows,
+                    state.slices,
+                    None,
+                    state.detector.as_ref(),
+                    state.observatory.as_ref(),
+                    &state.events_log,
+                );
+            }
         }
         Ok(ServeSummary {
             slices: state.slices,
@@ -780,6 +910,37 @@ fn replay_calibration(seed: u64, events: &Arc<EventBus>) -> ReplayCalibration {
     }
 }
 
+/// Drains the event ring into the retained log (the ring is quiescent
+/// between slices — the worker is its only writer), updating the drop
+/// counter, cursor and published count. Returns the `AnomalyFlagged`
+/// events drained, which trigger flight-recorder bundles.
+fn drain_events(events: &EventBus, cursor: &mut u64, s: &mut LiveState) -> Vec<Event> {
+    let mut flagged = Vec::new();
+    loop {
+        let batch = events.read_since(*cursor, 4096);
+        *cursor = batch.next;
+        s.events_dropped += batch.dropped;
+        if batch.events.is_empty() {
+            break;
+        }
+        flagged.extend(
+            batch
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::AnomalyFlagged)
+                .cloned(),
+        );
+        s.events_log.extend(batch.events);
+    }
+    if s.events_log.len() > EVENTS_LOG_CAP {
+        let overflow = s.events_log.len() - EVENTS_LOG_CAP;
+        s.events_log.drain(..overflow);
+    }
+    s.events_cursor = *cursor;
+    s.events_published = events.published();
+    flagged
+}
+
 fn run_worker(
     cfg: &ServeConfig,
     events: &Arc<EventBus>,
@@ -804,8 +965,10 @@ fn run_worker(
     let tcfg = TelemetryConfig::enabled(&format!("serve_{}", cfg.mix.name()))
         .with_seed(cfg.seed)
         .with_anomaly(cfg.anomaly.clone())
+        .with_observatory(ObservatoryConfig::default())
         .with_events(Arc::clone(events));
     let mut session = PowerSession::with_telemetry(&acfg, tcfg);
+    let mut flightrec = cfg.results_dir.as_deref().map(FlightRecorder::new);
     let mut consumed_points = 0usize;
     let mut events_cursor = 0u64;
     let mut last_publish_us: Option<u64> = None;
@@ -840,9 +1003,39 @@ fn run_worker(
         let label = cfg.mix.slice_label(slice);
         let mut bus = build_slice_bus(label, cfg.slice_cycles, cfg.seed + slice);
         let sim_started = Instant::now();
-        session.begin_slice(slice);
-        session.run(&mut bus, cfg.slice_cycles);
-        session.end_slice();
+        // A panic inside the slice (the seeded test hook, or a real
+        // defect) must not lose the run's history: catch it, dump a
+        // flight-recorder bundle from the last published state, and
+        // stop simulating. The HTTP thread keeps serving what we have.
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            assert!(
+                cfg.panic_at_slice != Some(slice),
+                "seeded panic in slice {slice}"
+            );
+            session.begin_slice(slice);
+            session.run(&mut bus, cfg.slice_cycles);
+            session.end_slice();
+        }));
+        if sim.is_err() {
+            if let Ok(mut s) = state.lock() {
+                drain_events(events, &mut events_cursor, &mut s);
+                let window = s.anomaly_windows;
+                if let Some(rec) = &mut flightrec {
+                    let _ = rec.record(
+                        "panic",
+                        window,
+                        slice,
+                        None,
+                        s.detector.as_ref(),
+                        s.observatory.as_ref(),
+                        &s.events_log,
+                    );
+                    s.flightrec_bundles = rec.bundles() as u64;
+                }
+                s.republish();
+            }
+            break;
+        }
         let sim_us = sim_started.elapsed().as_micros() as u64;
         slice += 1;
 
@@ -864,6 +1057,11 @@ fn run_worker(
                 Some(d) => (d.windows(), d.events().to_vec(), d.baseline_updates()),
                 None => (0, Vec::new(), 0),
             };
+        let observatory = session.telemetry().and_then(|t| t.observatory()).cloned();
+        let detector = session
+            .telemetry()
+            .and_then(|t| t.anomaly())
+            .map(|d| d.state());
 
         let Ok(mut s) = state.lock() else {
             break;
@@ -881,22 +1079,24 @@ fn run_worker(
         s.anomaly_windows = anomaly_windows;
         s.anomaly_events = anomaly_events;
         s.baseline_updates = baseline_updates;
-        // Drain the ring into the retained log; the ring is quiescent
-        // between slices (this thread is its only writer).
-        loop {
-            let batch = events.read_since(events_cursor, 4096);
-            events_cursor = batch.next;
-            s.events_dropped += batch.dropped;
-            if batch.events.is_empty() {
-                break;
+        s.observatory = observatory;
+        s.detector = detector;
+        let flagged = drain_events(events, &mut events_cursor, &mut s);
+        if let Some(rec) = &mut flightrec {
+            for fe in &flagged {
+                let anomaly = s.anomaly_events.iter().find(|a| a.window == fe.window);
+                let _ = rec.record(
+                    "anomaly",
+                    fe.window,
+                    fe.slice,
+                    anomaly,
+                    s.detector.as_ref(),
+                    s.observatory.as_ref(),
+                    &s.events_log,
+                );
             }
-            s.events_log.extend(batch.events);
+            s.flightrec_bundles = rec.bundles() as u64;
         }
-        if s.events_log.len() > EVENTS_LOG_CAP {
-            let overflow = s.events_log.len() - EVENTS_LOG_CAP;
-            s.events_log.drain(..overflow);
-        }
-        s.events_published = events.published();
         s.sim_us.observe(sim_us);
         if let Some(us) = last_publish_us {
             s.publish_us.observe(us);
@@ -973,6 +1173,49 @@ fn query_u64(query: &str, key: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Reads a raw `key=value` string from a query string.
+fn query_str<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// The `GET /query?series=S[&from=A][&to=B][&step=N]` endpoint: a range
+/// query over the observatory's retained history. `from`/`to` are raw
+/// window indexes (inclusive, defaulting to everything) and `step`
+/// picks the resolution: the coarsest level whose factor is ≤ `step`
+/// answers, so `step=1` reads raw buckets, `step=10` the 10× ring and
+/// `step=100` the 100× ring.
+fn observatory_query_response(query: &str, s: &LiveState) -> (u16, &'static str, String) {
+    let Some(series) = query_str(query, "series") else {
+        return (
+            400,
+            "text/plain; charset=utf-8",
+            "missing series parameter\n".to_string(),
+        );
+    };
+    let Some(obs) = &s.observatory else {
+        return (
+            200,
+            "application/json",
+            format!(
+                "{{\"series\":\"{series}\",\"level\":0,\"factor\":1,\"from\":0,\"to\":0,\"step\":1,\"points\":[]}}"
+            ),
+        );
+    };
+    let from = query_u64(query, "from").unwrap_or(0);
+    let to = query_u64(query, "to").unwrap_or(u64::MAX);
+    let step = query_u64(query, "step").unwrap_or(1);
+    match obs.query(series, from, to, step) {
+        Some(q) => (200, "application/json", query_result_json(&q)),
+        None => (
+            400,
+            "text/plain; charset=utf-8",
+            format!("unknown series '{series}'\n"),
+        ),
+    }
+}
+
 /// The `/events?since=N[&max=N][&timeout_ms=T]` endpoint: a lock-free
 /// ring read, optionally long-polling until at least one event lands or
 /// the (capped) timeout expires. The response carries `next`, the
@@ -1024,7 +1267,31 @@ fn route(
     match path {
         "/" | "/dashboard" => (200, "text/html; charset=utf-8", DASHBOARD_HTML.to_string()),
         "/events" => (200, "application/json", events_json(query, events, stop)),
-        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/healthz" => match state.lock() {
+            Ok(s) => {
+                let body = format!(
+                    "{{\"status\":\"ok\",\"uptime_s\":{},\"degraded\":{},\"high_water\":{{\"slice\":{},\"window\":{}}}}}",
+                    jnum(s.uptime_s()),
+                    s.degraded(),
+                    s.slices,
+                    s.anomaly_windows
+                );
+                (200, "application/json", body)
+            }
+            Err(_) => (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            ),
+        },
+        "/query" => match state.lock() {
+            Ok(s) => observatory_query_response(query, &s),
+            Err(_) => (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            ),
+        },
         "/quit" => (
             200,
             "text/plain; charset=utf-8",
@@ -1076,6 +1343,7 @@ fn write_response(
 ) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         _ => "Internal Server Error",
     };

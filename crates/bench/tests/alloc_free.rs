@@ -195,4 +195,43 @@ fn hot_path_does_not_allocate_per_cycle() {
         run.session.total_energy().to_bits(),
         "the allocation-free replay still reproduces the live total"
     );
+
+    // --- 6. Observatory ingest: zero allocations in steady state. ---------
+    // All three retention levels are flat arrays sized at construction;
+    // observe_cycle is pure adds and window close folds the sample into
+    // pre-allocated slots — including when buckets are evicted (the ring
+    // wraps, nothing is freed or grown). Capacity 16 with 1000 windows
+    // wraps every level's raw ring many times over.
+    use ahbpower::telemetry::{Observatory, ObservatoryConfig};
+    use ahbpower::BlockEnergy;
+    let mut obs = Observatory::new(
+        ObservatoryConfig::default().with_capacity(16),
+        cfg.n_masters,
+        10,
+    );
+    let sample = BlockEnergy {
+        dec: 1e-12,
+        m2s: 2e-12,
+        s2m: 3e-12,
+        arb: 4e-12,
+    };
+    let mut txns = 0u64;
+    // Warm-up past the first window closes on every level.
+    for c in 0..2_000u64 {
+        obs.observe_cycle((c % cfg.n_masters as u64) as usize, &sample);
+        txns += u64::from(c % 3 == 0);
+        obs.close_window_if_due(txns);
+    }
+    let before = allocations();
+    for c in 0..10_000u64 {
+        obs.observe_cycle((c % cfg.n_masters as u64) as usize, &sample);
+        txns += u64::from(c % 3 == 0);
+        obs.close_window_if_due(txns);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "observatory ingest must not allocate in steady state"
+    );
+    assert_eq!(obs.windows_ingested(), 1_200, "every window closed");
 }

@@ -36,7 +36,17 @@ fn endpoints_answer_with_valid_payloads() {
 
     let health = http_get(&addr, "/healthz", TIMEOUT).expect("healthz");
     assert_eq!(health.status, 200);
-    assert_eq!(health.body, "ok\n");
+    validate_json(&health.body).expect("healthz JSON is valid");
+    let hdoc = parse_json(&health.body).expect("healthz parses");
+    assert_eq!(hdoc.get("status").and_then(JsonValue::as_str), Some("ok"));
+    assert!(
+        hdoc.get("degraded").and_then(JsonValue::as_bool).is_some(),
+        "healthz reports the degraded flag"
+    );
+    assert!(
+        hdoc.get("high_water").is_some(),
+        "healthz carries the slice/window high-water marks"
+    );
 
     // Give the worker at least one slice before inspecting metrics:
     // poll /status until slices > 0 (bounded retries, no sleeps needed
@@ -134,7 +144,11 @@ fn quit_flushes_complete_artifacts() {
     assert_eq!(quit.status, 200);
     let summary = handle.wait().expect("clean shutdown");
     assert!(summary.slices > 0);
-    assert_eq!(summary.flushed.len(), 3, "jsonl + status + events.jsonl");
+    assert_eq!(
+        summary.flushed.len(),
+        4,
+        "jsonl + status + events.jsonl + observatory.jsonl"
+    );
 
     // The flushed files are complete: the JSONL is line-by-line valid
     // JSON, the status document parses whole, and no .tmp staging file
@@ -151,6 +165,25 @@ fn quit_flushes_complete_artifacts() {
     assert!(!events.is_empty(), "at least the export header is written");
     for line in events.lines() {
         validate_json(line).expect("every event line is valid JSON");
+    }
+    let obs = std::fs::read_to_string(dir.join("observatory.jsonl")).expect("observatory flushed");
+    assert!(!obs.is_empty(), "the retention snapshot is written");
+    for line in obs.lines() {
+        validate_json(line).expect("every observatory line is valid JSON");
+    }
+    // /quit also leaves a post-mortem bundle behind.
+    let flightrec: Vec<_> = std::fs::read_dir(dir.join("flightrec"))
+        .expect("flightrec dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert!(
+        !flightrec.is_empty(),
+        "quit writes a flight-recorder bundle"
+    );
+    for entry in &flightrec {
+        let body = std::fs::read_to_string(entry.path()).expect("bundle reads");
+        validate_json(&body).expect("bundle is valid JSON");
     }
     let leftovers: Vec<_> = std::fs::read_dir(&dir)
         .expect("results dir")
@@ -383,6 +416,210 @@ fn dashboard_events_stream_and_causal_trace() {
             "window {window} (slice {slice}) has no TxnComplete to drill into"
         );
     }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_endpoint_conserves_energy_across_levels() {
+    // One run, three zoom levels: the energy sum reported by /query must
+    // be identical (to 1e-9 relative) at raw, 10x and 100x resolution,
+    // and the step parameter must select the documented level.
+    let cfg = ServeConfig {
+        slice_cycles: 10_000,
+        max_slices: Some(6),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    for _ in 0..400 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) == Some(6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    let mut sums = Vec::new();
+    for (step, want_factor) in [(1u64, 1u64), (10, 10), (100, 100)] {
+        let path = format!("/query?series=energy&step={step}");
+        let resp = http_get(&addr, &path, TIMEOUT).expect("query");
+        assert_eq!(resp.status, 200, "step {step}");
+        validate_json(&resp.body).expect("query payload is valid JSON");
+        let doc = parse_json(&resp.body).expect("query parses");
+        assert_eq!(
+            doc.get("series").and_then(JsonValue::as_str),
+            Some("energy")
+        );
+        assert_eq!(
+            doc.get("factor").and_then(JsonValue::as_u64),
+            Some(want_factor),
+            "step {step} selects the {want_factor}x level"
+        );
+        let points = doc
+            .get("points")
+            .and_then(JsonValue::as_array)
+            .expect("points array");
+        assert!(!points.is_empty(), "step {step} returns data");
+        let total: f64 = points
+            .iter()
+            .map(|p| p.get("sum").and_then(JsonValue::as_f64).expect("sum"))
+            .sum();
+        let windows: u64 = points
+            .iter()
+            .map(|p| {
+                p.get("windows")
+                    .and_then(JsonValue::as_u64)
+                    .expect("windows")
+            })
+            .sum();
+        sums.push((step, total, windows));
+    }
+    let (_, raw_sum, raw_windows) = sums[0];
+    assert!(raw_sum > 0.0, "six slices book energy");
+    for &(step, total, windows) in &sums[1..] {
+        assert!(
+            (total - raw_sum).abs() <= 1e-9 * raw_sum.abs(),
+            "step {step}: {total} vs raw {raw_sum} — cascade lost energy"
+        );
+        assert_eq!(windows, raw_windows, "step {step} covers every raw window");
+    }
+
+    // Parameter validation: both failure modes answer 400, not 500.
+    let missing = http_get(&addr, "/query", TIMEOUT).expect("missing series");
+    assert_eq!(missing.status, 400);
+    let unknown = http_get(&addr, "/query?series=nope", TIMEOUT).expect("unknown series");
+    assert_eq!(unknown.status, 400);
+    assert!(unknown.body.contains("nope"));
+
+    let summary = handle.wait().expect("clean shutdown");
+    assert_eq!(summary.slices, 6);
+}
+
+#[test]
+fn anomaly_writes_flight_recorder_bundle_with_causal_chain() {
+    // An injected fault must leave post-mortem bundles behind while the
+    // server is still running: JSON-valid, carrying the detector state,
+    // the surrounding raw windows, and a causal chain that reaches a
+    // TxnComplete of the flagged window.
+    let dir = tmp_dir("flightrec");
+    let cfg = ServeConfig {
+        slice_cycles: 10_000,
+        max_slices: Some(6),
+        anomaly: AnomalyConfig::default().with_warmup_windows(6),
+        inject: Some(Injection {
+            block: SubBlock::Arb,
+            factor: 3.0,
+            at_slice: 3,
+        }),
+        results_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    for _ in 0..400 {
+        let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+        let doc = parse_json(&status.body).expect("status parses");
+        if doc.get("slices").and_then(JsonValue::as_u64) == Some(6) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Status reports the bundle count before shutdown.
+    let status = http_get(&addr, "/status", TIMEOUT).expect("status");
+    let doc = parse_json(&status.body).expect("status parses");
+    let bundles = doc
+        .get("flightrec")
+        .and_then(|f| f.get("bundles"))
+        .and_then(JsonValue::as_u64)
+        .expect("flightrec.bundles");
+    assert!(bundles > 0, "anomalies must dump bundles while live");
+
+    let rec_dir = dir.join("flightrec");
+    let mut saw_causal_txn = false;
+    let entries: Vec<_> = std::fs::read_dir(&rec_dir)
+        .expect("flightrec dir exists before shutdown")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .collect();
+    assert!(!entries.is_empty(), "at least one anomaly bundle on disk");
+    for entry in &entries {
+        let body = std::fs::read_to_string(entry.path()).expect("bundle reads");
+        validate_json(&body).expect("bundle is valid JSON");
+        let bundle = parse_json(&body).expect("bundle parses");
+        assert_eq!(
+            bundle.get("reason").and_then(JsonValue::as_str),
+            Some("anomaly")
+        );
+        assert!(bundle.get("detector").is_some(), "detector state captured");
+        let raw = bundle
+            .get("raw_windows")
+            .and_then(JsonValue::as_array)
+            .expect("raw window context");
+        assert!(!raw.is_empty(), "surrounding raw windows captured");
+        let causal = bundle.get("causal").expect("causal section");
+        let txns = causal
+            .get("txn_complete")
+            .and_then(JsonValue::as_array)
+            .expect("txn_complete array");
+        if !txns.is_empty() {
+            saw_causal_txn = true;
+        }
+    }
+    assert!(
+        saw_causal_txn,
+        "at least one bundle's causal chain reaches a TxnComplete"
+    );
+
+    let summary = handle.wait().expect("clean shutdown");
+    assert!(summary.anomalies > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panic_in_slice_dumps_post_mortem_and_server_survives() {
+    // A seeded panic inside the simulation slice must not take the HTTP
+    // server down: the worker catches it, dumps a "panic" bundle, and
+    // the endpoints keep answering until /quit.
+    let dir = tmp_dir("panic");
+    let cfg = ServeConfig {
+        max_slices: None,
+        panic_at_slice: Some(2),
+        results_dir: Some(dir.clone()),
+        ..test_config()
+    };
+    let handle = serve(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // Wait for the panic bundle to land.
+    let rec_dir = dir.join("flightrec");
+    let mut bundle = None;
+    for _ in 0..400 {
+        if let Ok(entries) = std::fs::read_dir(&rec_dir) {
+            bundle = entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .find(|p| p.extension().is_some_and(|x| x == "json"));
+            if bundle.is_some() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let bundle = bundle.expect("panic bundle written");
+    let body = std::fs::read_to_string(&bundle).expect("bundle reads");
+    validate_json(&body).expect("bundle is valid JSON");
+    let doc = parse_json(&body).expect("bundle parses");
+    assert_eq!(doc.get("reason").and_then(JsonValue::as_str), Some("panic"));
+
+    // The server is still serving after the worker died.
+    let health = http_get(&addr, "/healthz", TIMEOUT).expect("healthz after panic");
+    assert_eq!(health.status, 200);
+    let quit = http_get(&addr, "/quit", TIMEOUT).expect("quit");
+    assert_eq!(quit.status, 200);
+    let summary = handle.wait().expect("clean shutdown");
+    assert!(summary.slices < 3, "the panic cut the run short");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -140,7 +140,7 @@ impl PowerSession {
                     r.record(snap, rec.instruction);
                 }
                 t.observe_bus(snap);
-                t.observe_power(rec.instruction, rec.energy.total());
+                t.observe_power(rec.instruction, &rec.energy, snap.hmaster.index());
                 t.record_observe(t0.elapsed());
             }
         }

@@ -127,6 +127,25 @@ fn num(v: f64) -> String {
     }
 }
 
+/// A copyable snapshot of the detector's internal statistics, for
+/// post-mortem bundles (the flight recorder) and live status surfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorState {
+    /// Closed (complete) windows so far.
+    pub windows: u64,
+    /// Clean windows absorbed into the learned baseline.
+    pub baseline_updates: u64,
+    /// Windows flagged so far.
+    pub flagged: u64,
+    /// EWMA mean of the relative residual.
+    pub resid_mean: f64,
+    /// EWMA variance of the relative residual.
+    pub resid_var: f64,
+    /// Whether the residual statistics have been primed by at least one
+    /// clean window.
+    pub resid_primed: bool,
+}
+
 /// The detector's full judgement of one closed window — what the event
 /// bus publishes as `EnergyBooked` (always), `AnomalyFlagged` (when
 /// [`WindowVerdict::flagged`] is set) and `BaselineUpdated` (when
@@ -264,6 +283,19 @@ impl AnomalyDetector {
     /// The most recent flagged window, if any.
     pub fn last_event(&self) -> Option<&AnomalyEvent> {
         self.events.last()
+    }
+
+    /// A snapshot of the residual statistics and window counters, for
+    /// post-mortem bundles and live status surfaces.
+    pub fn state(&self) -> DetectorState {
+        DetectorState {
+            windows: self.window_index,
+            baseline_updates: self.baseline_updates,
+            flagged: self.events.len() as u64,
+            resid_mean: self.resid_mean,
+            resid_var: self.resid_var,
+            resid_primed: self.resid_primed,
+        }
     }
 
     /// Drops a partial trailing window (a fraction of a window has too

@@ -37,11 +37,12 @@ mod anomaly;
 mod atomics;
 mod events;
 mod export;
+mod observatory;
 mod registry;
 mod span;
 
 pub use analyzers::{publish_bus_perf, publish_kernel, publish_power, publish_spans};
-pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent, WindowVerdict};
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyEvent, DetectorState, WindowVerdict};
 pub use atomics::{AtomicBoolCell, AtomicU64Cell, Atomics, StdAtomics};
 pub use events::{
     Event, EventBatch, EventBus, EventKind, EventsTap, GenericEventBus, RingMutation,
@@ -50,6 +51,10 @@ pub use events::{
 pub use export::{
     events_to_jsonl, json_escape, prom_escape_label, prom_unescape_label, to_csv, to_folded,
     to_jsonl, to_prometheus, to_trace_events, ExportMeta, TraceEventMeta,
+};
+pub use observatory::{
+    Observatory, ObservatoryConfig, QueryResult, SeriesPoint, DEFAULT_OBSERVATORY_CAPACITY,
+    OBSERVATORY_LEVEL_FACTORS,
 };
 pub use registry::{
     is_valid_metric_name, sanitize_metric_name, Counter, CounterId, Gauge, GaugeId, Histogram,
@@ -64,6 +69,7 @@ use ahbpower_ahb::{BusPerfAnalyzer, BusSnapshot};
 use ahbpower_sim::{KernelProfile, KernelStats};
 
 use crate::instruction::Instruction;
+use crate::macromodel::BlockEnergy;
 use crate::power_fsm::PowerFsm;
 
 /// Runtime switchboard for the telemetry subsystem. Default: disabled.
@@ -81,6 +87,9 @@ pub struct TelemetryConfig {
     /// Structured event ring this session publishes into; `None` (the
     /// default) attaches no event tap at all.
     pub events: Option<Arc<EventBus>>,
+    /// Multi-resolution power-history retention; `None` (the default)
+    /// retains nothing.
+    pub observatory: Option<ObservatoryConfig>,
 }
 
 impl Default for TelemetryConfig {
@@ -91,6 +100,7 @@ impl Default for TelemetryConfig {
             seed: 0,
             anomaly: None,
             events: None,
+            observatory: None,
         }
     }
 }
@@ -104,6 +114,7 @@ impl TelemetryConfig {
             seed: 0,
             anomaly: None,
             events: None,
+            observatory: None,
         }
     }
 
@@ -126,6 +137,14 @@ impl TelemetryConfig {
         self.events = Some(bus);
         self
     }
+
+    /// Enables the multi-resolution power observatory. Its raw window
+    /// length is inherited from the anomaly detector's window (or the
+    /// default) so window ids line up across subsystems.
+    pub fn with_observatory(mut self, cfg: ObservatoryConfig) -> Self {
+        self.observatory = Some(cfg);
+        self
+    }
 }
 
 /// Live telemetry state for one analysis run: the bus-performance
@@ -140,6 +159,7 @@ pub struct Telemetry {
     observe_span: SpanId,
     anomaly: Option<AnomalyDetector>,
     events: Option<EventsTap>,
+    observatory: Option<Box<Observatory>>,
     finalized: bool,
 }
 
@@ -159,6 +179,10 @@ impl Telemetry {
             .events
             .clone()
             .map(|bus| EventsTap::new(bus, n_masters, window_cycles));
+        let observatory = config
+            .observatory
+            .clone()
+            .map(|o| Box::new(Observatory::new(o, n_masters, window_cycles)));
         Telemetry {
             config,
             registry: MetricsRegistry::new(),
@@ -167,6 +191,7 @@ impl Telemetry {
             observe_span,
             anomaly,
             events,
+            observatory,
             finalized: false,
         }
     }
@@ -192,20 +217,32 @@ impl Telemetry {
         self.spans.record(self.observe_span, elapsed);
     }
 
-    /// Feeds one cycle's instruction and energy to the anomaly detector
-    /// (a no-op when anomaly detection is not configured) and publishes
-    /// any closed window's verdict into the event ring.
+    /// Feeds one cycle's instruction and per-block energy (attributed
+    /// to `master`) to the anomaly detector and the observatory (each a
+    /// no-op when not configured) and publishes any closed window's
+    /// verdict into the event ring.
     #[inline]
-    pub fn observe_power(&mut self, instruction: Instruction, joules: f64) {
+    pub fn observe_power(&mut self, instruction: Instruction, energy: &BlockEnergy, master: usize) {
+        let joules = energy.total();
+        if let Some(o) = &mut self.observatory {
+            o.observe_cycle(master, energy);
+        }
+        let txn_total = self.events.as_ref().map_or(0, EventsTap::transactions);
         match &mut self.anomaly {
             Some(d) => {
                 if let Some(v) = d.observe_verdict(instruction, joules) {
+                    if let Some(o) = &mut self.observatory {
+                        o.close_window(&v, txn_total);
+                    }
                     if let Some(t) = &mut self.events {
                         t.publish_window(&v);
                     }
                 }
             }
             None => {
+                if let Some(o) = &mut self.observatory {
+                    o.close_window_if_due(txn_total);
+                }
                 if let Some(t) = &mut self.events {
                     t.observe_energy(joules);
                 }
@@ -216,6 +253,11 @@ impl Telemetry {
     /// The anomaly detector (`None` when not configured).
     pub fn anomaly(&self) -> Option<&AnomalyDetector> {
         self.anomaly.as_ref()
+    }
+
+    /// The power observatory (`None` when not configured).
+    pub fn observatory(&self) -> Option<&Observatory> {
+        self.observatory.as_deref()
     }
 
     /// The structured-event tap (`None` when no ring is attached).
@@ -323,6 +365,30 @@ impl Telemetry {
                     &[],
                 );
                 self.registry.set(g, last.window as f64);
+            }
+        }
+        if let Some(o) = &self.observatory {
+            let c = self.registry.counter(
+                "observatory_windows_total",
+                "Raw windows ingested by the power observatory.",
+                &[],
+            );
+            self.registry.add(c, o.windows_ingested() as f64);
+            for level in 0..OBSERVATORY_LEVEL_FACTORS.len() {
+                let label = format!("{level}");
+                let labels = [("level", label.as_str())];
+                let g = self.registry.gauge(
+                    "observatory_ring_occupancy",
+                    "Occupied observatory ring buckets per level.",
+                    &labels,
+                );
+                self.registry.set(g, o.occupancy(level) as f64);
+                let c = self.registry.counter(
+                    "observatory_cascade_buckets_total",
+                    "Buckets opened per observatory level (downsample cascades).",
+                    &labels,
+                );
+                self.registry.add(c, o.cascades(level) as f64);
             }
         }
         if let Some(t) = &self.events {

@@ -10,6 +10,9 @@
 #   BENCH_replay.json    — record/replay power emulation: record overhead,
 #                          replay throughput, trace size, and the N-variant
 #                          sweep speedup vs re-simulation (golden-checked).
+#   BENCH_observatory.json — multi-resolution retention: anomaly-only vs
+#                          anomaly+observatory ingest, with the 5% overhead
+#                          ceiling enforced (the run exits 1 past it).
 # All over the paper testbench.
 #
 # usage: scripts/bench_snapshot.sh [cycles] [seed] [jobs]
@@ -32,4 +35,6 @@ cargo run --release -p ahbpower-bench --bin repro -- events-overhead \
     --cycles "$CYCLES" --seed "$SEED"
 cargo run --release -p ahbpower-bench --bin repro -- replay-bench \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
-echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json, BENCH_events.json and BENCH_replay.json"
+cargo run --release -p ahbpower-bench --bin repro -- observatory-overhead \
+    --cycles "$CYCLES" --seed "$SEED"
+echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json, BENCH_events.json, BENCH_replay.json and BENCH_observatory.json"

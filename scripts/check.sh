@@ -88,10 +88,14 @@ echo "  trace ok (results/trace.json, results/energy.folded)"
 echo "== live service (smoke, ephemeral port) =="
 # Start `repro serve` on an OS-assigned port, probe every endpoint with
 # the std-TcpStream client (no curl), and shut down via GET /quit. The
-# serve process must exit 0 after flushing its final snapshots.
+# serve process must exit 0 after flushing its final snapshots. The
+# paper mix with a tripled arbiter from slice 3 flags deterministically
+# (warmup 24 windows < first injected window 30), so the probe can
+# demand a flight-recorder bundle with a complete causal chain.
 SERVE_LOG="$(mktemp)"
+rm -rf results/flightrec
 cargo run --release -p ahbpower-bench --bin repro -- serve \
-    --mix mixed --slice-cycles 10000 --slices 4 > "$SERVE_LOG" 2>&1 &
+    --mix paper --slice-cycles 10000 --slices 6 --inject arb:3.0@3 > "$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 ADDR=""
 for _ in $(seq 1 50); do
@@ -105,13 +109,20 @@ if [ -z "$ADDR" ]; then
     rm -f "$SERVE_LOG"
     exit 1
 fi
-# serve-probe hits every endpoint including the dashboard (/) and the
-# /events long-poll, and fails unless the stream carries >=1 TxnComplete.
-cargo run --release -p ahbpower-bench --bin repro -- serve-probe --addr "$ADDR" --quit
+# serve-probe hits every endpoint including the dashboard (/), the
+# /events long-poll and the /query retention API, fails unless the
+# stream carries >=1 TxnComplete, and — via --flightrec — unless the
+# injected fault dumped a JSON-valid post-mortem bundle whose causal
+# chain reaches a TxnComplete.
+cargo run --release -p ahbpower-bench --bin repro -- serve-probe \
+    --addr "$ADDR" --flightrec results/flightrec --quit
 wait "$SERVE_PID"
 grep -q "served" "$SERVE_LOG"
 rm -f "$SERVE_LOG"
-echo "  serve ok (/ /healthz /metrics /status /events /quit on $ADDR)"
+test -s results/observatory.jsonl
+cargo run --release -p ahbpower-bench --bin repro -- query \
+    --series energy --step 10 > /dev/null
+echo "  serve ok (/ /healthz /metrics /status /events /query /quit on $ADDR; flight recorder + offline query)"
 
 echo "== structured events (smoke, 100k cycles) =="
 # `events` replays the paper testbench with a mid-run injected fault and
