@@ -111,6 +111,30 @@ impl CycleHistogram {
         }
     }
 
+    /// Folds another histogram into this one: per-bucket counts
+    /// (including the overflow bucket), the value sum and the
+    /// observation count all add. Merging is exactly equivalent to
+    /// having observed the union of both sample streams, so quantiles
+    /// and means of the merged histogram describe the combined
+    /// population — this is what lets per-shard latency/power
+    /// histograms aggregate into one serving-plane view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ; merging histograms with
+    /// different layouts has no meaningful result.
+    pub fn merge(&mut self, other: &CycleHistogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
     /// interpolation within the bucket containing the target rank, the
     /// Prometheus `histogram_quantile` convention: bucket `i` spans
@@ -441,6 +465,70 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = CycleHistogram::new(&[2, 1]);
+    }
+
+    #[test]
+    fn merge_equals_union_of_observations() {
+        let bounds = [1, 2, 4, 8];
+        let left = [0, 1, 3, 100];
+        let right = [2, 2, 5, 9, 7];
+        let mut a = CycleHistogram::new(&bounds);
+        let mut b = CycleHistogram::new(&bounds);
+        let mut union = CycleHistogram::new(&bounds);
+        for v in left {
+            a.observe(v);
+            union.observe(v);
+        }
+        for v in right {
+            b.observe(v);
+            union.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), union.bucket_counts());
+        assert_eq!(a.cumulative_counts(), union.cumulative_counts());
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.sum(), union.sum());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "q={q} diverged");
+        }
+        assert!((a.mean() - union.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_boundary_and_overflow_buckets() {
+        let mut a = CycleHistogram::new(&[1, 2]);
+        let mut b = CycleHistogram::new(&[1, 2]);
+        a.observe(1); // exactly on le=1
+        a.observe(3); // overflow
+        b.observe(1);
+        b.observe(2); // exactly on le=2
+        b.observe(100); // overflow
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[2, 1, 2]);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 107);
+        // Overflow ranks still clamp to the last finite bound.
+        assert_eq!(a.quantile(1.0), 2.0);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut a = CycleHistogram::new(&[10]);
+        a.observe(4);
+        let before = (a.bucket_counts().to_vec(), a.sum(), a.count());
+        a.merge(&CycleHistogram::new(&[10]));
+        assert_eq!(
+            (a.bucket_counts().to_vec(), a.sum(), a.count()),
+            before,
+            "merging an empty histogram must change nothing"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = CycleHistogram::new(&[1, 2]);
+        a.merge(&CycleHistogram::new(&[1, 3]));
     }
 
     fn run_analyzed(ops0: Vec<Op>, ops1: Vec<Op>, cycles: u64) -> BusPerfAnalyzer {

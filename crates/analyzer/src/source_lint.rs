@@ -56,6 +56,9 @@ const INSTRUMENTATION_MODULES: &[&str] = &[
     "crates/sim/src/profile.rs",
     "crates/sim/src/kernel.rs",
     "crates/bench/src/serve.rs",
+    // The load generator exists to measure request wall-clock; it never
+    // touches the simulation path.
+    "crates/bench/src/loadgen.rs",
     // The deep verification pass times its own wall-clock budget; the
     // model checker's stall watchdog also reads the monotonic clock.
     "crates/analyzer/src/verify/",

@@ -142,6 +142,12 @@ fn main() {
     let mut to = u64::MAX;
     let mut step = 1u64;
     let mut flightrec: Option<String> = None;
+    let mut shards = 1usize;
+    let mut http_threads = 4usize;
+    let mut max_connections = 64usize;
+    let mut concurrency = 4usize;
+    let mut duration_s = 5.0f64;
+    let mut min_rps = 0.0f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -244,6 +250,48 @@ fn main() {
                         .unwrap_or_else(|| usage("--flightrec needs a directory")),
                 );
             }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--shards needs a positive number"));
+            }
+            "--http-threads" => {
+                http_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--http-threads needs a positive number"));
+            }
+            "--max-connections" => {
+                max_connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--max-connections needs a positive number"));
+            }
+            "--concurrency" => {
+                concurrency = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--concurrency needs a positive number"));
+            }
+            "--duration-s" => {
+                duration_s = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t > 0.0)
+                    .unwrap_or_else(|| usage("--duration-s needs a positive number"));
+            }
+            "--min-rps" => {
+                min_rps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .unwrap_or_else(|| usage("--min-rps needs a non-negative number"));
+            }
             "--mutate" => {
                 mutate = Some(it.next().cloned().unwrap_or_else(|| {
                     usage("--mutate needs ring-torn|ordering-relaxed|arbiter-double-grant")
@@ -308,6 +356,9 @@ fn main() {
                 seed,
                 slices,
                 inject.as_deref(),
+                shards,
+                http_threads,
+                max_connections,
             );
         }
         "serve-probe" => {
@@ -316,6 +367,17 @@ fn main() {
                     .unwrap_or_else(|| usage("serve-probe needs --addr host:port")),
                 quit,
                 flightrec.as_deref(),
+                shards,
+            );
+        }
+        "loadgen" => {
+            return loadgen_cmd(
+                addr.as_deref(),
+                shards,
+                concurrency,
+                duration_s,
+                out.as_deref().unwrap_or("BENCH_serve.json"),
+                min_rps,
             );
         }
         "query" => {
@@ -395,16 +457,20 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|observatory-overhead|query|trace|analyze|serve|serve-probe|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--inject block:factor[@slice]] [--expect-mismatch] [--deep] [--mutate ring-torn|ordering-relaxed|arbiter-double-grant] [--out FILE] [--file FILE] [--tolerance-pct N] [--series NAME] [--from N] [--to N] [--step N] [--flightrec DIR]"
+        "usage: repro [table1|fig3|fig4|fig5|fig6|validation|styles|overhead|ablation|coding|dpm|sweep|sweep-bench|record|replay|replay-bench|telemetry|telemetry-overhead|events|events-overhead|observatory-overhead|query|trace|analyze|serve|serve-probe|loadgen|baseline record|baseline compare|all] [--cycles N] [--seed S] [--jobs N] [--variants N] [--telemetry] [--script FILE] [--top N] [--ring-capacity N] [--addr HOST:PORT] [--mix paper|soc|mixed] [--slices N] [--slice-cycles N] [--shards N] [--http-threads N] [--max-connections N] [--concurrency N] [--duration-s S] [--min-rps N] [--inject block:factor[@slice]] [--expect-mismatch] [--deep] [--mutate ring-torn|ordering-relaxed|arbiter-double-grant] [--out FILE] [--file FILE] [--tolerance-pct N] [--series NAME] [--from N] [--to N] [--step N] [--flightrec DIR]"
     );
     std::process::exit(2);
 }
 
 /// `repro serve`: the live monitoring service. Runs workload slices
-/// continuously on a background thread and serves `/healthz`,
-/// `/metrics`, `/status` and `/quit` until the slice budget drains and
-/// `/quit` arrives (or Ctrl-C kills the process). Prints the bound
-/// address — with `--addr 127.0.0.1:0` the OS picks the port.
+/// continuously on `--shards` background worker sessions (each with its
+/// own seed lane, event ring, anomaly detector and observatory) and
+/// serves the merged plane — `/healthz`, `/metrics`, `/status`,
+/// `/events`, `/query` (all with `?shard=` drill-down) and `/quit` —
+/// from an HTTP thread pool until the slice budget drains and `/quit`
+/// arrives (or Ctrl-C kills the process). Prints the bound address —
+/// with `--addr 127.0.0.1:0` the OS picks the port.
+#[allow(clippy::too_many_arguments)]
 fn serve_cmd(
     addr: &str,
     mix: &str,
@@ -412,6 +478,9 @@ fn serve_cmd(
     seed: u64,
     max_slices: Option<u64>,
     inject: Option<&str>,
+    shards: usize,
+    http_threads: usize,
+    max_connections: usize,
 ) {
     use ahbpower::telemetry::AnomalyConfig;
     use ahbpower_bench::{serve, Injection, ScenarioMix, ServeConfig};
@@ -434,13 +503,22 @@ fn serve_cmd(
         anomaly: anomaly.with_warmup_windows(warmup),
         inject,
         results_dir: Some("results".into()),
+        shards,
+        http_threads,
+        max_connections,
         ..ServeConfig::default()
     };
     let handle = serve(cfg).expect("bind serve address");
-    println!("serving on http://{}", handle.addr());
-    println!("endpoints: / /healthz /metrics /status /events /query /quit");
+    println!(
+        "serving on http://{} ({} shard(s), {} http thread(s), {} connection slot(s))",
+        handle.addr(),
+        shards,
+        http_threads,
+        max_connections
+    );
+    println!("endpoints: / /healthz /metrics /status /events /query /quit (?shard=K drills down)");
     if let Some(n) = max_slices {
-        println!("slice budget: {n} x {slice_cycles} cycles (GET /quit to stop serving)");
+        println!("slice budget: {n} x {slice_cycles} cycles per shard (GET /quit to stop serving)");
     } else {
         println!("running until GET /quit");
     }
@@ -467,7 +545,11 @@ fn serve_cmd(
 /// failure. With `--flightrec DIR`, waits for at least one JSON-valid
 /// flight-recorder bundle whose causal chain reaches `TxnComplete` —
 /// the end-to-end assertion behind the injected-fault smoke test.
-fn serve_probe_cmd(addr: &str, quit: bool, flightrec: Option<&str>) {
+/// With `--shards N` (N ≥ 2), additionally queries every shard's
+/// `energy` series individually and asserts the merged `/query` total
+/// equals the per-shard sum to 1e-9 relative — the merged-plane
+/// conservation check the multi-shard smoke test runs.
+fn serve_probe_cmd(addr: &str, quit: bool, flightrec: Option<&str>, shards: usize) {
     use ahbpower_bench::http_get;
     use std::time::Duration;
     let timeout = Duration::from_secs(10);
@@ -592,6 +674,9 @@ fn serve_probe_cmd(addr: &str, quit: bool, flightrec: Option<&str>) {
             failures += 1;
         }
     }
+    if shards >= 2 && !probe_merged_query(addr, shards, timeout) {
+        failures += 1;
+    }
     if let Some(dir) = flightrec {
         if !probe_flightrec(dir) {
             failures += 1;
@@ -616,39 +701,109 @@ fn serve_probe_cmd(addr: &str, quit: bool, flightrec: Option<&str>) {
     }
 }
 
-/// Waits (up to 10 s) for a flight-recorder bundle under `dir` whose
-/// causal chain reaches at least one `TxnComplete`, validating every
-/// bundle it reads through the workspace JSON checker. Returns false on
-/// timeout or any invalid bundle.
+/// Sums a `/query` response's `sum` fields; `None` on any failure
+/// (which is reported to stderr).
+fn query_energy_total(addr: &str, path: &str, timeout: std::time::Duration) -> Option<f64> {
+    use ahbpower_bench::{http_get, parse_json, JsonValue};
+    let resp = match http_get(addr, path, timeout) {
+        Ok(r) if r.status == 200 => r,
+        Ok(r) => {
+            eprintln!("{path}: status {}", r.status);
+            return None;
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return None;
+        }
+    };
+    let doc = match parse_json(&resp.body) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            return None;
+        }
+    };
+    let points = doc.get("points").and_then(JsonValue::as_array)?;
+    Some(
+        points
+            .iter()
+            .filter_map(|p| p.get("sum").and_then(JsonValue::as_f64))
+            .sum(),
+    )
+}
+
+/// The merged-plane conservation probe: merged `/query` energy must
+/// equal the sum over `?shard=K` queries to 1e-9 relative. Queries the
+/// full retained range at raw resolution so the comparison covers
+/// every bucket.
+fn probe_merged_query(addr: &str, shards: usize, timeout: std::time::Duration) -> bool {
+    let Some(merged) = query_energy_total(addr, "/query?series=energy&step=1", timeout) else {
+        return false;
+    };
+    let mut per_shard = 0.0f64;
+    for k in 0..shards {
+        let path = format!("/query?series=energy&step=1&shard={k}");
+        let Some(total) = query_energy_total(addr, &path, timeout) else {
+            return false;
+        };
+        per_shard += total;
+    }
+    let tolerance = 1e-9 * merged.abs().max(1e-30);
+    if (merged - per_shard).abs() > tolerance {
+        eprintln!(
+            "/query shard merge: merged energy {merged} != per-shard sum {per_shard} ({shards} shards)"
+        );
+        return false;
+    }
+    println!("/query shard merge: merged energy {merged} == per-shard sum across {shards} shards");
+    true
+}
+
+/// Waits (up to 10 s) for a flight-recorder bundle under `dir` — or its
+/// per-shard `shard-<N>` subdirectories — whose causal chain reaches at
+/// least one `TxnComplete`, validating every bundle it reads through
+/// the workspace JSON checker. Returns false on timeout or any invalid
+/// bundle.
 fn probe_flightrec(dir: &str) -> bool {
     use ahbpower_bench::{parse_json, JsonValue};
     let deadline = Instant::now() + std::time::Duration::from_secs(10);
     loop {
         let mut bundles = 0usize;
         let mut causal_ok = false;
+        let mut files: Vec<std::path::PathBuf> = Vec::new();
         if let Ok(entries) = fs::read_dir(dir) {
             for entry in entries.flatten() {
                 let path = entry.path();
-                if path.extension().and_then(|e| e.to_str()) != Some("json") {
-                    continue;
-                }
-                let Ok(body) = fs::read_to_string(&path) else {
-                    continue;
-                };
-                if let Err(e) = validate_json(&body) {
-                    eprintln!("flightrec: {} is invalid JSON: {e}", path.display());
-                    return false;
-                }
-                bundles += 1;
-                if let Ok(doc) = parse_json(&body) {
-                    let txns = doc
-                        .get("causal")
-                        .and_then(|c| c.get("txn_complete"))
-                        .and_then(JsonValue::as_array)
-                        .map_or(0, <[JsonValue]>::len);
-                    if txns > 0 {
-                        causal_ok = true;
+                if path.is_dir() {
+                    // Per-shard subdirectory: one level of recursion.
+                    if let Ok(sub) = fs::read_dir(&path) {
+                        files.extend(sub.flatten().map(|e| e.path()));
                     }
+                } else {
+                    files.push(path);
+                }
+            }
+        }
+        for path in files {
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(body) = fs::read_to_string(&path) else {
+                continue;
+            };
+            if let Err(e) = validate_json(&body) {
+                eprintln!("flightrec: {} is invalid JSON: {e}", path.display());
+                return false;
+            }
+            bundles += 1;
+            if let Ok(doc) = parse_json(&body) {
+                let txns = doc
+                    .get("causal")
+                    .and_then(|c| c.get("txn_complete"))
+                    .and_then(JsonValue::as_array)
+                    .map_or(0, <[JsonValue]>::len);
+                if txns > 0 {
+                    causal_ok = true;
                 }
             }
         }
@@ -672,9 +827,14 @@ fn probe_flightrec(dir: &str) -> bool {
 /// the live `GET /query` endpoint serves — the renderer is shared, so
 /// the bytes cannot drift. `--step` picks the resolution (1 = raw
 /// windows, 10 and 100 the downsampled rings). Exits 1 when the
-/// snapshot is missing/corrupt or the series is unknown.
+/// snapshot is missing/corrupt, the range is empty (`--from` past
+/// `--to`) or the series is unknown.
 fn query_cmd(file: &str, series: &str, from: u64, to: u64, step: u64) {
     use ahbpower_bench::{parse_observatory_snapshot, query_result_json};
+    if from > to {
+        eprintln!("query: empty range: --from {from} > --to {to}");
+        std::process::exit(1);
+    }
     let text = match fs::read_to_string(file) {
         Ok(t) => t,
         Err(e) => {
@@ -702,6 +862,105 @@ fn query_cmd(file: &str, series: &str, from: u64, to: u64, step: u64) {
             );
             std::process::exit(1);
         }
+    }
+}
+
+/// `repro loadgen [--addr HOST:PORT] [--shards N] [--concurrency N]
+/// [--duration-s S] [--out FILE] [--min-rps N]`: the std-only HTTP
+/// load generator. Without `--addr` it self-hosts a multi-shard server
+/// (default 2 shards, a small slice budget so the workers go quiet and
+/// the measurement isolates the serving plane), drives every endpoint
+/// from `--concurrency` client threads for `--duration-s`, and writes
+/// the throughput/latency/shed report to `--out` (default
+/// `BENCH_serve.json`, the document `bench_snapshot.sh`
+/// collects). Exits 1 when the error rate exceeds 1% or the measured
+/// throughput falls below `--min-rps`.
+fn loadgen_cmd(
+    addr: Option<&str>,
+    shards: usize,
+    concurrency: usize,
+    duration_s: f64,
+    out: &str,
+    min_rps: f64,
+) {
+    use ahbpower_bench::{
+        loadgen_report_json, run_loadgen, serve, write_atomic, LoadgenConfig, ScenarioMix,
+        ServeConfig,
+    };
+    use std::time::Duration;
+    let self_hosted = addr.is_none();
+    let shards = if self_hosted { shards.max(2) } else { shards };
+    let handle = if self_hosted {
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            mix: ScenarioMix::Paper,
+            slice_cycles: 5_000,
+            max_slices: Some(2),
+            shards,
+            ..ServeConfig::default()
+        };
+        let handle = serve(cfg).expect("bind loadgen server");
+        println!(
+            "loadgen: self-hosted {shards}-shard server on http://{}",
+            handle.addr()
+        );
+        // Let the slice budget drain so worker CPU does not distort the
+        // serving-plane measurement (2 x 5k cycles per shard is quick).
+        std::thread::sleep(Duration::from_millis(300));
+        Some(handle)
+    } else {
+        None
+    };
+    let target = match (&handle, addr) {
+        (Some(h), _) => h.addr().to_string(),
+        (None, Some(a)) => a.to_string(),
+        (None, None) => unreachable!(),
+    };
+    let cfg = LoadgenConfig {
+        addr: target.clone(),
+        concurrency,
+        duration: Duration::from_secs_f64(duration_s),
+        ..LoadgenConfig::default()
+    };
+    println!("loadgen: driving http://{target} from {concurrency} thread(s) for {duration_s:.1} s");
+    let report = run_loadgen(&cfg);
+    if let Some(handle) = handle {
+        let _ = ahbpower_bench::http_get(&target, "/quit", Duration::from_secs(10));
+        let _ = handle.wait_for_quit();
+    }
+    let json = loadgen_report_json(&report, shards);
+    validate_json(&json).expect("loadgen report JSON validates");
+    write_atomic(std::path::Path::new(out), &json).expect("write loadgen report");
+    println!(
+        "loadgen: {} requests in {:.2} s = {:.0} req/s ({} ok, {} shed, {} errors) -> {out}",
+        report.requests(),
+        report.duration_s,
+        report.throughput_rps(),
+        report.ok(),
+        report.shed(),
+        report.errors()
+    );
+    for e in &report.endpoints {
+        println!(
+            "  {:<40} {:>7} reqs  p50 {:>8.0} us  p95 {:>8.0} us  p99 {:>8.0} us",
+            e.path,
+            e.requests(),
+            e.latency_us.quantile(0.5),
+            e.latency_us.quantile(0.95),
+            e.latency_us.quantile(0.99)
+        );
+    }
+    let error_rate = report.errors() as f64 / report.requests().max(1) as f64;
+    if error_rate > 0.01 {
+        eprintln!("loadgen: error rate {:.2}% exceeds 1%", error_rate * 100.0);
+        std::process::exit(1);
+    }
+    if min_rps > 0.0 && report.throughput_rps() < min_rps {
+        eprintln!(
+            "loadgen: {:.0} req/s is below the required {min_rps:.0}",
+            report.throughput_rps()
+        );
+        std::process::exit(1);
     }
 }
 

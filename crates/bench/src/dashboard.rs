@@ -8,6 +8,13 @@
 //! anomaly log with causal drill-down (anomaly window → booked energy
 //! → the transactions inside that window).
 //!
+//! On a multi-shard plane the header grows a shard selector: the "all"
+//! view renders the merged endpoints plus a per-shard overview table
+//! (from `/status`'s `shard_detail`), while picking a shard appends
+//! `shard=K` to every poll for single-shard drill-down. The `/events`
+//! cursor is treated as opaque — numeric on one shard, dot-joined on
+//! the merged plane — so the same polling loop serves both.
+//!
 //! Everything is vanilla DOM + one `<canvas>`; the page works from the
 //! same std-only HTTP server as `/metrics` with no build step.
 
@@ -53,7 +60,10 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
 </head>
 <body>
 <header>
-  <h1>ahbpower &mdash; AMBA AHB power model, live</h1>
+  <h1>ahbpower &mdash; AMBA AHB power model, live
+    <select id="shardsel" style="display:none; float:right; font:inherit;
+      background:#232a38; color:#d8dee9; border:1px solid #2a3140;"></select>
+  </h1>
   <div id="summary">connecting&hellip;</div>
 </header>
 <div id="err"></div>
@@ -77,6 +87,10 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
     <canvas id="hist" width="1140" height="140"></canvas>
     <div id="histmeta">loading history&hellip;</div>
   </section>
+  <section id="shardview" style="grid-column: 1 / -1; display: none">
+    <h2>Shards &mdash; merged plane overview</h2>
+    <table id="shardtable"><thead><tr><th>shard</th><th>mix</th><th>seed</th><th>slices</th><th>cycles</th><th>energy J</th><th>txns</th><th>anomalies</th><th>ring drop/lag</th><th>bundles</th></tr></thead><tbody></tbody></table>
+  </section>
   <section style="grid-column: 1 / -1">
     <h2>Anomaly log (click a row for the causal trace)</h2>
     <table id="anomalies"><thead><tr><th>window</th><th>slice</th><th>start cycle</th><th>deviation %</th><th>z</th></tr></thead><tbody></tbody></table>
@@ -85,10 +99,60 @@ pub const DASHBOARD_HTML: &str = r##"<!DOCTYPE html>
 </main>
 <script>
 "use strict";
-var cursor = 0;
+var cursor = 0;            // opaque: numeric on one shard, dot-joined merged
 var buffer = [];           // retained events, oldest first
 var BUFFER_CAP = 20000;
 var masterNames = ["cpu", "dma", "stream", "m3", "m4", "m5", "m6", "m7"];
+var shard = "";            // "" = merged plane, "K" = drill into shard K
+var shardCount = 1;
+
+// Appends the shard drill-down parameter; sep is "?" or "&" depending
+// on whether the path already has a query string.
+function shardQ(sep) { return shard === "" ? "" : sep + "shard=" + shard; }
+
+function setShard(value) {
+  shard = value;
+  cursor = 0; buffer = [];   // each shard (and the merged plane) has its own cursor space
+  renderSpark(); renderAnomalies(); poll(); pollHistory();
+}
+
+function renderShardSelector(s) {
+  // Single-shard /status (drill-down) omits the plane-level "shards"
+  // field — remember the largest count seen so the selector survives
+  // switching into a shard and back.
+  var n = s.shards || 1;
+  var sel = byId("shardsel");
+  if (n > shardCount) {
+    shardCount = n;
+    var opts = '<option value="">all shards</option>';
+    for (var i = 0; i < n; i++) { opts += '<option value="' + i + '">shard ' + i + "</option>"; }
+    sel.innerHTML = opts;
+    sel.value = shard;
+  }
+  sel.style.display = shardCount < 2 ? "none" : "";
+}
+
+function renderShardTable(s) {
+  var detail = s.shard_detail || [];
+  var view = byId("shardview");
+  if (shard !== "" || detail.length < 2) { view.style.display = "none"; return; }
+  view.style.display = "";
+  var rows = "";
+  detail.forEach(function (d) {
+    var ev = d.events || {};
+    rows += "<tr><td>" + d.shard + (d.degraded ? ' <span class="badge">degraded</span>' : "") +
+      "</td><td>" + esc(d.scenario_mix) + "</td><td>" + d.seed + "</td><td>" + d.slices +
+      "</td><td>" + d.cycles + "</td><td>" + fmt(d.total_energy_j, 9) +
+      "</td><td>" + (d.transactions || 0) + "</td><td>" + (d.anomalies || 0) +
+      "</td><td>" + (ev.dropped || 0) + "/" + (ev.lag || 0) +
+      "</td><td>" + (d.flightrec_bundles || 0) + "</td></tr>";
+  });
+  byId("shardtable").tBodies[0].innerHTML = rows;
+}
+
+byId("shardsel").addEventListener("change", function () {
+  setShard(byId("shardsel").value);
+});
 
 function byId(id) { return document.getElementById(id); }
 function fmt(x, d) { return (x == null) ? "-" : Number(x).toFixed(d == null ? 2 : d); }
@@ -285,19 +349,20 @@ function renderHistory(energy, anomalies) {
 function pollHistory() {
   var step = histStep;
   Promise.all([
-    fetch("/query?series=energy&step=" + step).then(function (r) { return r.json(); }),
-    fetch("/query?series=anomalies&step=" + step).then(function (r) { return r.json(); })
+    fetch("/query?series=energy&step=" + step + shardQ("&")).then(function (r) { return r.json(); }),
+    fetch("/query?series=anomalies&step=" + step + shardQ("&")).then(function (r) { return r.json(); })
   ]).then(function (rs) {
     if (histStep === step) { byId("err").textContent = ""; renderHistory(rs[0], rs[1]); }
   }).catch(function (e) { byId("err").textContent = "query: " + e; });
 }
 
 function poll() {
-  fetch("/status").then(function (r) { return r.json(); }).then(function (s) {
+  fetch("/status" + shardQ("?")).then(function (r) { return r.json(); }).then(function (s) {
     byId("err").textContent = "";
     renderSummary(s); renderMasters(s); renderStages(s);
+    renderShardSelector(s); renderShardTable(s);
   }).catch(function (e) { byId("err").textContent = "status: " + e; });
-  fetch("/events?since=" + cursor + "&max=4096").then(function (r) { return r.json(); })
+  fetch("/events?since=" + cursor + "&max=4096" + shardQ("&")).then(function (r) { return r.json(); })
     .then(function (b) {
       cursor = b.next;
       if (b.events.length) {
@@ -346,6 +411,23 @@ mod tests {
         assert!(DASHBOARD_HTML.contains("series=anomalies"));
         assert!(DASHBOARD_HTML.contains("class=\"badge\""));
         assert!(DASHBOARD_HTML.contains("dropped"));
+    }
+
+    #[test]
+    fn dashboard_has_shard_selector_and_merged_overview() {
+        // The shard selector drives ?shard= drill-down on every poll,
+        // the merged view renders the per-shard overview table, and the
+        // events cursor is passed through opaquely (never parsed), so
+        // the dot-joined merged cursor works unchanged.
+        assert!(DASHBOARD_HTML.contains("id=\"shardsel\""));
+        assert!(DASHBOARD_HTML.contains("shardQ"));
+        assert!(DASHBOARD_HTML.contains("id=\"shardtable\""));
+        assert!(DASHBOARD_HTML.contains("shard_detail"));
+        assert!(DASHBOARD_HTML.contains("cursor = b.next"));
+        assert!(
+            !DASHBOARD_HTML.contains("Number(b.next)"),
+            "the cursor must stay opaque"
+        );
     }
 
     #[test]

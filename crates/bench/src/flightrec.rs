@@ -34,21 +34,32 @@ pub const FLIGHTREC_MAX_BUNDLES: usize = 32;
 /// Ceiling on events per causal-chain section of a bundle (newest kept).
 pub const FLIGHTREC_CAUSAL_CAP: usize = 64;
 
-/// Writes post-mortem bundles into `<results>/flightrec/`, one JSON
-/// document per trigger, deduplicated by file name.
+/// Writes post-mortem bundles into
+/// `<results>/flightrec/shard-<N>/`, one JSON document per trigger,
+/// deduplicated by `(shard, window, reason)`.
 #[derive(Debug)]
 pub struct FlightRecorder {
     dir: PathBuf,
-    written: HashSet<String>,
+    shard: u64,
+    written: HashSet<(u64, String)>,
     suppressed: u64,
 }
 
 impl FlightRecorder {
-    /// Creates a recorder whose bundles land in `results_dir/flightrec`
-    /// (created lazily on the first write).
+    /// Creates a shard-0 recorder (the single-shard spelling of
+    /// [`FlightRecorder::for_shard`]).
     pub fn new(results_dir: &Path) -> Self {
+        FlightRecorder::for_shard(results_dir, 0)
+    }
+
+    /// Creates a recorder for one serve shard. Bundles land in
+    /// `results_dir/flightrec/shard-<shard>` (created lazily on the
+    /// first write) and carry a `shard` field, so a multi-shard plane's
+    /// recorders never collide on disk or in the dedup key.
+    pub fn for_shard(results_dir: &Path, shard: u64) -> Self {
         FlightRecorder {
-            dir: results_dir.join("flightrec"),
+            dir: results_dir.join("flightrec").join(format!("shard-{shard}")),
+            shard,
             written: HashSet::new(),
             suppressed: 0,
         }
@@ -57,6 +68,11 @@ impl FlightRecorder {
     /// The bundle directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The shard whose bundles this recorder writes.
+    pub fn shard(&self) -> u64 {
+        self.shard
     }
 
     /// Bundles written so far.
@@ -95,7 +111,8 @@ impl FlightRecorder {
         } else {
             format!("{window}-{reason}.json")
         };
-        if self.written.contains(&file) {
+        let key = (self.shard, file.clone());
+        if self.written.contains(&key) {
             return Ok(None);
         }
         if self.written.len() >= FLIGHTREC_MAX_BUNDLES {
@@ -104,6 +121,7 @@ impl FlightRecorder {
         }
         let body = render_bundle(
             reason,
+            self.shard,
             window,
             slice,
             anomaly,
@@ -120,14 +138,16 @@ impl FlightRecorder {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.dir.join(&file);
         write_atomic(&path, &body)?;
-        self.written.insert(file);
+        self.written.insert(key);
         Ok(Some(path))
     }
 }
 
 /// Renders the bundle document; see the module docs for the layout.
+#[allow(clippy::too_many_arguments)]
 fn render_bundle(
     reason: &str,
+    shard: u64,
     window: u64,
     slice: u64,
     anomaly: Option<&AnomalyEvent>,
@@ -138,7 +158,7 @@ fn render_bundle(
     let mut out = String::with_capacity(4096);
     let _ = write!(
         out,
-        "{{\"reason\":\"{reason}\",\"window\":{window},\"slice\":{slice}"
+        "{{\"reason\":\"{reason}\",\"shard\":{shard},\"window\":{window},\"slice\":{slice}"
     );
 
     out.push_str(",\"anomaly\":");
@@ -344,7 +364,7 @@ mod tests {
             )
             .expect("bundle writes")
             .expect("bundle not deduped");
-        assert!(path.ends_with("flightrec/9.json"));
+        assert!(path.ends_with("flightrec/shard-0/9.json"));
         let body = std::fs::read_to_string(&path).expect("bundle readable");
         validate_json(&body).expect("bundle is valid JSON");
         let doc = parse_json(&body).expect("bundle parses");
@@ -352,6 +372,7 @@ mod tests {
             doc.get("reason").and_then(JsonValue::as_str),
             Some("anomaly")
         );
+        assert_eq!(doc.get("shard").and_then(JsonValue::as_u64), Some(0));
         assert_eq!(doc.get("window").and_then(JsonValue::as_u64), Some(9));
         let causal = doc.get("causal").expect("causal section");
         let txns = causal
@@ -395,12 +416,48 @@ mod tests {
             .record("quit", 3, 0, None, None, None, &events)
             .expect("writes")
             .expect("distinct file");
-        assert!(quit.ends_with("flightrec/3-quit.json"));
+        assert!(quit.ends_with("flightrec/shard-0/3-quit.json"));
         for w in 100..(100 + FLIGHTREC_MAX_BUNDLES as u64) {
             let _ = rec.record("anomaly", w, 0, None, None, None, &events);
         }
         assert_eq!(rec.bundles(), FLIGHTREC_MAX_BUNDLES);
         assert!(rec.suppressed() > 0, "cap suppresses the overflow");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn shards_keep_separate_directories_and_dedup_keys() {
+        let tmp = std::env::temp_dir().join(format!("flightrec_shard_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        let mut rec0 = FlightRecorder::for_shard(&tmp, 0);
+        let mut rec1 = FlightRecorder::for_shard(&tmp, 1);
+        assert_eq!(rec0.shard(), 0);
+        assert_eq!(rec1.shard(), 1);
+        let events = events_around(7);
+        // The same window on different shards is NOT a duplicate: the
+        // dedup key is (shard, window) and the files live in per-shard
+        // subdirectories.
+        let p0 = rec0
+            .record("anomaly", 7, 0, None, None, None, &events)
+            .expect("writes")
+            .expect("shard 0 bundle");
+        let p1 = rec1
+            .record("anomaly", 7, 0, None, None, None, &events)
+            .expect("writes")
+            .expect("shard 1 bundle at the same window");
+        assert!(p0.ends_with("flightrec/shard-0/7.json"));
+        assert!(p1.ends_with("flightrec/shard-1/7.json"));
+        // Bundles carry their shard so offline tooling can tell the
+        // origins apart even out of the directory tree.
+        let doc1 = parse_json(&std::fs::read_to_string(&p1).expect("readable")).expect("parses");
+        assert_eq!(doc1.get("shard").and_then(JsonValue::as_u64), Some(1));
+        // Within a shard, the same (window, reason) still dedupes.
+        assert!(rec1
+            .record("anomaly", 7, 0, None, None, None, &events)
+            .expect("writes")
+            .is_none());
+        // FlightRecorder::new is the shard-0 spelling.
+        assert_eq!(FlightRecorder::new(&tmp).dir(), rec0.dir());
         let _ = std::fs::remove_dir_all(&tmp);
     }
 }

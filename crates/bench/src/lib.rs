@@ -12,6 +12,7 @@ mod baseline;
 mod dashboard;
 mod flightrec;
 mod json;
+mod loadgen;
 mod obsquery;
 mod replay;
 mod serve;
@@ -28,14 +29,21 @@ pub use flightrec::{
     FLIGHTREC_WINDOW_CONTEXT,
 };
 pub use json::{parse_json, validate_json, JsonError, JsonValue};
-pub use obsquery::{parse_observatory_snapshot, query_result_json, ObservatorySnapshot};
+pub use loadgen::{
+    loadgen_report_json, run_loadgen, EndpointStats, LoadgenConfig, LoadgenReport,
+    LOADGEN_LATENCY_BOUNDS_US,
+};
+pub use obsquery::{
+    merge_query_results, parse_observatory_snapshot, query_result_json, ObservatorySnapshot,
+};
 pub use replay::{
     replay_sweep, replay_variant_model, replay_variant_spec, resimulate_variant,
     run_paper_experiment_recorded, REPLAY_VARIANT_FACTORS,
 };
 pub use serve::{
-    http_get, serve, HttpResponse, Injection, ScenarioMix, ServeConfig, ServeError, ServeSummary,
-    ServerHandle, STAGE_US_BOUNDS,
+    format_multi_cursor, http_get, merged_read_since, parse_multi_cursor, serve, HttpResponse,
+    Injection, ScenarioMix, ServeConfig, ServeError, ServeSummary, ServerHandle, SHARD_SEED_STRIDE,
+    STAGE_US_BOUNDS,
 };
 pub use sweep::{
     available_jobs, run_sweep, run_sweep_point, sweep_csv, sweep_grid, sweep_report, ProbeStyle,

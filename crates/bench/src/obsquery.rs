@@ -159,6 +159,67 @@ impl ObservatorySnapshot {
     }
 }
 
+/// Merges per-shard answers to one range query into a fleet-aggregate
+/// result: buckets are matched by index, sums (`sum`, `windows`,
+/// `last`) add, extrema (`min`, `max`) compose, and bucket provenance
+/// (`start_window`, `start_cycle`) keeps the earliest shard's origin.
+/// This is the composition the cascade itself uses when folding raw
+/// windows into coarser rings, so a merged `energy` total is exactly
+/// the sum of the per-shard totals. `None` when no shard recognized
+/// the series.
+pub fn merge_query_results(results: Vec<QueryResult>) -> Option<QueryResult> {
+    use std::collections::BTreeMap;
+    let mut iter = results.into_iter();
+    let first = iter.next()?;
+    let mut merged: BTreeMap<u64, SeriesPoint> = BTreeMap::new();
+    let meta = QueryResult {
+        points: Vec::new(),
+        ..first.clone()
+    };
+    for q in std::iter::once(first).chain(iter) {
+        debug_assert_eq!(q.level, meta.level, "shards answered at different levels");
+        for p in q.points {
+            match merged.entry(p.bucket) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(p);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let m = e.get_mut();
+                    m.start_window = m.start_window.min(p.start_window);
+                    m.start_cycle = m.start_cycle.min(p.start_cycle);
+                    m.windows += p.windows;
+                    m.min = nan_min(m.min, p.min);
+                    m.max = nan_max(m.max, p.max);
+                    m.sum += p.sum;
+                    m.last += p.last;
+                }
+            }
+        }
+    }
+    Some(QueryResult {
+        points: merged.into_values().collect(),
+        ..meta
+    })
+}
+
+/// `min` that ignores NaN operands (NaN encodes "no data" here).
+fn nan_min(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, _) => b,
+        (_, true) => a,
+        _ => a.min(b),
+    }
+}
+
+/// `max` that ignores NaN operands (NaN encodes "no data" here).
+fn nan_max(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, _) => b,
+        (_, true) => a,
+        _ => a.max(b),
+    }
+}
+
 /// Renders a query answer as the `/query` endpoint's JSON document —
 /// the one renderer both the live route and `repro query` use.
 pub fn query_result_json(q: &QueryResult) -> String {
@@ -283,6 +344,49 @@ mod tests {
             points[0].get("windows").and_then(JsonValue::as_u64),
             Some(10)
         );
+    }
+
+    #[test]
+    fn merge_sums_and_composes_extrema() {
+        let a = live(15);
+        let b = live(25);
+        let qa = a.query("energy", 0, 40, 1).expect("shard a");
+        let qb = b.query("energy", 0, 40, 1).expect("shard b");
+        let total_a: f64 = qa.points.iter().map(|p| p.sum).sum();
+        let total_b: f64 = qb.points.iter().map(|p| p.sum).sum();
+        let merged = merge_query_results(vec![qa.clone(), qb.clone()]).expect("merge");
+        let total_m: f64 = merged.points.iter().map(|p| p.sum).sum();
+        assert!(
+            (total_m - (total_a + total_b)).abs() <= 1e-9 * total_m.abs().max(1.0),
+            "merged energy {total_m} != {total_a} + {total_b}"
+        );
+        // Buckets both shards answered compose pointwise; shard b's
+        // extra buckets pass through unchanged.
+        for p in &merged.points {
+            let pa = qa.points.iter().find(|q| q.bucket == p.bucket);
+            let pb = qb.points.iter().find(|q| q.bucket == p.bucket);
+            match (pa, pb) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(p.windows, x.windows + y.windows);
+                    assert_eq!(p.min, x.min.min(y.min));
+                    assert_eq!(p.max, x.max.max(y.max));
+                    assert_eq!(p.last, x.last + y.last);
+                }
+                (Some(x), None) | (None, Some(x)) => assert_eq!(p, x),
+                (None, None) => panic!("bucket {} from nowhere", p.bucket),
+            }
+        }
+        // Bucket order stays sorted and the metadata survives.
+        assert!(merged.points.windows(2).all(|w| w[0].bucket < w[1].bucket));
+        assert_eq!(merged.series, "energy");
+        assert_eq!(merged.level, qa.level);
+    }
+
+    #[test]
+    fn merge_of_single_result_is_identity_and_empty_is_none() {
+        let q = live(8).query("txns", 0, 10, 1).expect("query");
+        assert_eq!(merge_query_results(vec![q.clone()]), Some(q));
+        assert_eq!(merge_query_results(Vec::new()), None);
     }
 
     #[test]

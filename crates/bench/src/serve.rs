@@ -1,31 +1,44 @@
-//! The live monitoring service behind `repro serve`: a worker thread
-//! simulates workload slices continuously (scenario mix, rotating
-//! seeds) while a std-only HTTP server exposes the run over
-//! `/healthz`, `/metrics` (Prometheus text), `/status` (JSON) and
-//! `/quit` — zero crates beyond `std::net`.
+//! The live monitoring service behind `repro serve`: N shard worker
+//! threads (one persistent [`PowerSession`] each, with its own seed
+//! rotation, scenario-mix phase, event ring, anomaly detector and
+//! observatory) simulate workload slices continuously behind a
+//! thread-pool HTTP server with a connection limit and 503
+//! load-shedding — zero crates beyond `std::net`.
 //!
-//! Every slice, the worker republishes a fresh [`MetricsRegistry`]
-//! snapshot into the shared state; the HTTP thread renders it with the
-//! same exporters the offline `telemetry` subcommand uses. On shutdown
-//! the final registry and status document are flushed atomically to the
-//! results directory, so a `/quit` (or slice budget running out) always
+//! The HTTP plane is *merged*: `/status`, `/healthz` and `/metrics`
+//! aggregate all shards (counters add, histograms bucket-merge via
+//! [`MetricsRegistry::merge_sum`], degraded flags OR together) while
+//! `?shard=N` drills into one shard; `/query` fans out to every shard
+//! observatory and composes sum/min/max per bucket (so the merged
+//! energy total equals the sum of the per-shard totals exactly); and
+//! `/events` exposes an aggregated cursor space — one absolute
+//! sequence per shard, dot-joined (`since=12.34`), with per-shard
+//! `dropped` accounting and shard-tagged events.
+//!
+//! Every slice, each shard republishes a fresh [`MetricsRegistry`]
+//! snapshot into its shared state; the HTTP pool renders merged views
+//! with the same exporters the offline `telemetry` subcommand uses. On
+//! shutdown the merged registry and status document plus per-shard
+//! events/observatory snapshots are flushed atomically to the results
+//! directory, so a `/quit` (or slice budgets running out) always
 //! leaves complete, readable artifacts.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Read as _, Write as _};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use ahbpower::telemetry::{
-    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, DetectorState, Event, EventBus,
-    EventKind, ExportMeta, MetricsRegistry, Observatory, ObservatoryConfig, TelemetryConfig,
-    DEFAULT_EVENT_CAPACITY, OBSERVATORY_LEVEL_FACTORS,
+    events_to_jsonl, to_prometheus, AnomalyConfig, AnomalyEvent, DetectorState, Event, EventBatch,
+    EventBus, EventKind, ExportMeta, MetricsRegistry, Observatory, ObservatoryConfig, QueryResult,
+    TelemetryConfig, DEFAULT_EVENT_CAPACITY, OBSERVATORY_LEVEL_FACTORS,
 };
 use ahbpower::{AnalysisConfig, PowerSession, SubBlock};
 use ahbpower_ahb::CycleHistogram;
@@ -35,7 +48,7 @@ use crate::baseline::{write_atomic, WINDOW_POWER_BOUNDS_UW};
 use crate::dashboard::DASHBOARD_HTML;
 use crate::flightrec::FlightRecorder;
 use crate::json::validate_json;
-use crate::obsquery::query_result_json;
+use crate::obsquery::{merge_query_results, query_result_json};
 
 /// Inclusive upper bounds (µs) for the per-stage wall-clock histograms
 /// (`sim`, `publish`, `render`); an implicit overflow bucket catches
@@ -48,9 +61,14 @@ pub const STAGE_US_BOUNDS: [u64; 12] = [
 /// trimmed beyond this); bounds `events.jsonl` and server memory.
 const EVENTS_LOG_CAP: usize = 200_000;
 
-/// Longest `/events` long-poll the server will honor. The HTTP loop is
-/// sequential, so a parked poll delays other clients — keep it short.
+/// Longest `/events` long-poll the server will honor. A parked poll
+/// occupies one pool worker and one connection slot — keep it short.
 const EVENTS_POLL_CAP_MS: u64 = 5_000;
+
+/// Seed distance between adjacent shards. Shard `k` runs slice `i` at
+/// `seed + k * SHARD_SEED_STRIDE + i`, so shards never replay each
+/// other's workloads for any realistic slice budget.
+pub const SHARD_SEED_STRIDE: u64 = 1_000_000;
 
 /// Which workloads the worker rotates through.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,10 +173,19 @@ pub struct ServeConfig {
     pub events: bool,
     /// Event ring capacity (rounded up to a power of two).
     pub events_capacity: usize,
-    /// Test hook: panic inside this slice's simulation, exercising the
-    /// flight recorder's panic-in-slice capture. Never set in
-    /// production.
+    /// Test hook: panic inside this slice's simulation (shard 0 only),
+    /// exercising the flight recorder's panic-in-slice capture. Never
+    /// set in production.
     pub panic_at_slice: Option<u64>,
+    /// Concurrent worker sessions. Each shard gets its own thread,
+    /// persistent session, event ring, detector and observatory;
+    /// values below 1 are treated as 1.
+    pub shards: usize,
+    /// HTTP pool size: how many requests are serviced concurrently.
+    pub http_threads: usize,
+    /// Admission limit: connections admitted (queued + in service)
+    /// beyond this are shed with a fast `503`.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -182,6 +209,9 @@ impl Default for ServeConfig {
             // events (~0.7/cycle) even for generous --slice-cycles.
             events_capacity: 4 * DEFAULT_EVENT_CAPACITY,
             panic_at_slice: None,
+            shards: 1,
+            http_threads: 4,
+            max_connections: 64,
         }
     }
 }
@@ -215,10 +245,11 @@ impl From<io::Error> for ServeError {
     }
 }
 
-/// Live state shared between the worker and the HTTP thread.
+/// Live state shared between one shard's worker and the HTTP pool.
 #[derive(Debug)]
 struct LiveState {
     started: Instant,
+    shard: usize,
     mix: ScenarioMix,
     seed: u64,
     slices: u64,
@@ -271,9 +302,10 @@ struct LiveState {
 }
 
 impl LiveState {
-    fn new(mix: ScenarioMix, seed: u64, events_enabled: bool) -> Self {
+    fn new(shard: usize, mix: ScenarioMix, seed: u64, events_enabled: bool) -> Self {
         LiveState {
             started: Instant::now(),
+            shard,
             mix,
             seed,
             slices: 0,
@@ -493,7 +525,8 @@ impl LiveState {
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"status\":\"ok\",\"scenario_mix\":\"{}\",\"uptime_s\":{},\"slices\":{},\"cycles\":{},\"seed\":{},\"total_energy_j\":{}",
+            "{{\"status\":\"ok\",\"shard\":{},\"scenario_mix\":\"{}\",\"uptime_s\":{},\"slices\":{},\"cycles\":{},\"seed\":{},\"total_energy_j\":{}",
+            self.shard,
             self.mix.name(),
             jnum(self.uptime_s()),
             self.slices,
@@ -635,31 +668,74 @@ fn jnum(v: f64) -> String {
     }
 }
 
-/// What the service did, reported by [`ServerHandle::wait`].
+/// What the service did, reported by [`ServerHandle::wait`]. Numeric
+/// fields aggregate every shard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeSummary {
-    /// Slices completed.
+    /// Slices completed (all shards).
     pub slices: u64,
-    /// Cycles simulated.
+    /// Cycles simulated (all shards).
     pub cycles: u64,
-    /// Total energy booked, joules.
+    /// Total energy booked, joules (all shards).
     pub total_energy_j: f64,
-    /// Anomalies flagged.
+    /// Anomalies flagged (all shards).
     pub anomalies: u64,
+    /// Worker shards that ran.
+    pub shards: usize,
+    /// Requests shed with 503 by the admission limit.
+    pub shed: u64,
     /// Files flushed on shutdown (empty without a results dir).
     pub flushed: Vec<PathBuf>,
 }
 
-/// A running service: the bound address plus the worker and HTTP
-/// threads. Drop without [`ServerHandle::wait`] leaks the threads;
-/// always wait.
-pub struct ServerHandle {
-    addr: std::net::SocketAddr,
-    stop: Arc<AtomicBool>,
+/// One shard as the HTTP plane sees it: its shared state plus its
+/// event ring (the ring is read lock-free, so `/events` never touches
+/// the state mutex).
+struct ShardRef {
     state: Arc<Mutex<LiveState>>,
     events: Arc<EventBus>,
-    worker: thread::JoinHandle<()>,
-    http: thread::JoinHandle<()>,
+}
+
+/// Pending connections handed from the accept loop to the HTTP pool.
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// Everything a pool worker needs to answer any request: all shards,
+/// the control flags, and the admission/shed accounting.
+struct Plane {
+    shards: Vec<ShardRef>,
+    stop: Arc<AtomicBool>,
+    queue: ConnQueue,
+    /// Connections admitted and not yet answered (queued + in service).
+    active: AtomicU64,
+    /// Connections shed with 503 at the admission gate.
+    shed: AtomicU64,
+    started: Instant,
+    addr: SocketAddr,
+    mix: ScenarioMix,
+    seed: u64,
+    http_threads: usize,
+    max_connections: usize,
+}
+
+impl Plane {
+    fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// A running service: the bound address plus the shard workers and the
+/// HTTP pool. Drop without [`ServerHandle::wait`] leaks the threads;
+/// always wait.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    plane: Arc<Plane>,
+    workers: Vec<thread::JoinHandle<()>>,
+    accept: thread::JoinHandle<()>,
+    pool: Vec<thread::JoinHandle<()>>,
     results_dir: Option<PathBuf>,
 }
 
@@ -669,9 +745,20 @@ impl ServerHandle {
         self.addr
     }
 
-    /// The service's structured event ring (what `/events` reads).
+    /// Shard 0's structured event ring (what single-shard `/events`
+    /// reads); see [`ServerHandle::shard_events_bus`] for the rest.
     pub fn events_bus(&self) -> &Arc<EventBus> {
-        &self.events
+        &self.plane.shards[0].events
+    }
+
+    /// A shard's structured event ring, or `None` past the last shard.
+    pub fn shard_events_bus(&self, shard: usize) -> Option<&Arc<EventBus>> {
+        self.plane.shards.get(shard).map(|s| &s.events)
+    }
+
+    /// How many worker shards are running.
+    pub fn shards(&self) -> usize {
+        self.plane.shards.len()
     }
 
     /// Requests shutdown (idempotent; `/quit` does the same).
@@ -680,8 +767,9 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Blocks until the worker finishes (slice budget or shutdown),
-    /// stops the HTTP thread, flushes final snapshots, and reports.
+    /// Blocks until every shard worker finishes (slice budget or
+    /// shutdown), stops the HTTP pool, flushes final snapshots, and
+    /// reports.
     ///
     /// # Errors
     ///
@@ -692,9 +780,9 @@ impl ServerHandle {
     }
 
     /// Like [`ServerHandle::wait`], but keeps serving after the slice
-    /// budget drains: returns only once `GET /quit` (or
+    /// budgets drain: returns only once `GET /quit` (or
     /// [`ServerHandle::shutdown`] plus one more connection) stops the
-    /// HTTP thread. This is what `repro serve` blocks on.
+    /// HTTP plane. This is what `repro serve` blocks on.
     ///
     /// # Errors
     ///
@@ -704,86 +792,150 @@ impl ServerHandle {
     }
 
     fn finish(self, until_quit: bool) -> Result<ServeSummary, ServeError> {
+        let ServerHandle {
+            addr,
+            stop,
+            plane,
+            workers,
+            accept,
+            pool,
+            results_dir,
+        } = self;
+        fn join_all(handles: Vec<thread::JoinHandle<()>>, what: &str) -> Result<(), ServeError> {
+            for h in handles {
+                h.join()
+                    .map_err(|_| ServeError::Thread(format!("{what} thread panicked")))?;
+            }
+            Ok(())
+        }
         if until_quit {
-            // /quit flips the stop flag and breaks the HTTP loop; the
-            // worker notices at its next slice boundary.
-            self.http
+            // /quit flips the stop flag and pokes the listener; the
+            // accept loop breaks, then the workers notice at their next
+            // slice boundary.
+            accept
                 .join()
-                .map_err(|_| ServeError::Thread("http thread panicked".to_string()))?;
+                .map_err(|_| ServeError::Thread("accept thread panicked".to_string()))?;
             // ordering: cold control-plane flag; seqcst for simplicity.
-            self.stop.store(true, Ordering::SeqCst);
-            self.worker
-                .join()
-                .map_err(|_| ServeError::Thread("worker thread panicked".to_string()))?;
+            stop.store(true, Ordering::SeqCst);
+            // Wake idle pool workers so they can observe the stop flag.
+            plane.queue.ready.notify_all();
+            join_all(pool, "http pool")?;
+            join_all(workers, "worker")?;
         } else {
-            self.worker
-                .join()
-                .map_err(|_| ServeError::Thread("worker thread panicked".to_string()))?;
-            // The worker is done; release the HTTP thread, which may be
-            // parked in accept(): set the flag and poke the socket.
+            join_all(workers, "worker")?;
+            // The workers are done; release the accept thread, which
+            // may be parked in accept(): set the flag and poke the
+            // socket.
             // ordering: cold control-plane flag; seqcst for simplicity.
-            self.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-            self.http
+            stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+            accept
                 .join()
-                .map_err(|_| ServeError::Thread("http thread panicked".to_string()))?;
+                .map_err(|_| ServeError::Thread("accept thread panicked".to_string()))?;
+            plane.queue.ready.notify_all();
+            join_all(pool, "http pool")?;
         }
 
-        let state = self
-            .state
-            .lock()
-            .map_err(|_| ServeError::Thread("state mutex poisoned".to_string()))?;
         let mut flushed = Vec::new();
-        if let Some(dir) = &self.results_dir {
+        if let Some(dir) = &results_dir {
             std::fs::create_dir_all(dir)?;
+            // Merged registry (same composition /metrics serves) plus
+            // every shard's anomaly event lines.
+            let mut jsonl = ahbpower::telemetry::to_jsonl(
+                &merged_registry(&plane),
+                &ExportMeta {
+                    scenario: format!("serve_{}", plane.mix.name()),
+                    cycles: 0,
+                    seed: plane.seed,
+                },
+            );
+            for shard in &plane.shards {
+                let s = shard
+                    .state
+                    .lock()
+                    .map_err(|_| ServeError::Thread("state mutex poisoned".to_string()))?;
+                for e in &s.anomaly_events {
+                    jsonl.push_str(&e.to_jsonl_line());
+                    jsonl.push('\n');
+                }
+            }
             let jsonl_path = dir.join("serve_final.jsonl");
-            write_atomic(&jsonl_path, &state.jsonl)?;
+            write_atomic(&jsonl_path, &jsonl)?;
             flushed.push(jsonl_path);
-            let status = state.status_json();
+            let status = merged_status_json(&plane);
             validate_json(&status)
                 .map_err(|e| ServeError::SelfCheck(format!("final status JSON invalid: {e}")))?;
             let status_path = dir.join("serve_status.json");
             write_atomic(&status_path, &status)?;
             flushed.push(status_path);
-            if state.events_enabled {
-                let events = events_to_jsonl(
-                    &state.events_log,
-                    &ExportMeta {
-                        scenario: format!("serve_{}", state.mix.name()),
-                        cycles: state.cycles,
-                        seed: state.seed,
-                    },
-                );
-                let events_path = dir.join("events.jsonl");
-                write_atomic(&events_path, &events)?;
-                flushed.push(events_path);
-            }
-            if let Some(obs) = &state.observatory {
-                let obs_path = dir.join("observatory.jsonl");
-                write_atomic(&obs_path, &obs.to_jsonl())?;
-                flushed.push(obs_path);
-                // Shutdown post-mortem: the same bundle shape an anomaly
-                // dump produces, anchored at the last judged window, so
-                // every run ends with an inspectable record.
-                let mut rec = FlightRecorder::new(dir);
-                let _ = rec.record(
-                    "quit",
-                    state.anomaly_windows,
-                    state.slices,
-                    None,
-                    state.detector.as_ref(),
-                    state.observatory.as_ref(),
-                    &state.events_log,
-                );
+            for (i, shard) in plane.shards.iter().enumerate() {
+                let state = shard
+                    .state
+                    .lock()
+                    .map_err(|_| ServeError::Thread("state mutex poisoned".to_string()))?;
+                if state.events_enabled {
+                    let events = events_to_jsonl(
+                        &state.events_log,
+                        &ExportMeta {
+                            scenario: format!("serve_{}", state.mix.name()),
+                            cycles: state.cycles,
+                            seed: state.seed,
+                        },
+                    );
+                    let events_path = if i == 0 {
+                        dir.join("events.jsonl")
+                    } else {
+                        dir.join(format!("events-shard{i}.jsonl"))
+                    };
+                    write_atomic(&events_path, &events)?;
+                    flushed.push(events_path);
+                }
+                if let Some(obs) = &state.observatory {
+                    let obs_path = if i == 0 {
+                        dir.join("observatory.jsonl")
+                    } else {
+                        dir.join(format!("observatory-shard{i}.jsonl"))
+                    };
+                    write_atomic(&obs_path, &obs.to_jsonl())?;
+                    flushed.push(obs_path);
+                    // Shutdown post-mortem: the same bundle shape an
+                    // anomaly dump produces, anchored at the shard's
+                    // last judged window, so every run ends with an
+                    // inspectable record per shard.
+                    let mut rec = FlightRecorder::for_shard(dir, i as u64);
+                    let _ = rec.record(
+                        "quit",
+                        state.anomaly_windows,
+                        state.slices,
+                        None,
+                        state.detector.as_ref(),
+                        state.observatory.as_ref(),
+                        &state.events_log,
+                    );
+                }
             }
         }
-        Ok(ServeSummary {
-            slices: state.slices,
-            cycles: state.cycles,
-            total_energy_j: state.total_energy_j,
-            anomalies: state.anomaly_events.len() as u64,
+        let mut summary = ServeSummary {
+            slices: 0,
+            cycles: 0,
+            total_energy_j: 0.0,
+            anomalies: 0,
+            shards: plane.shards.len(),
+            // ordering: cold post-shutdown read of the shed tally; seqcst for simplicity.
+            shed: plane.shed.load(Ordering::SeqCst),
             flushed,
-        })
+        };
+        for shard in &plane.shards {
+            let s = shard
+                .state
+                .lock()
+                .map_err(|_| ServeError::Thread("state mutex poisoned".to_string()))?;
+            summary.slices += s.slices;
+            summary.cycles += s.cycles;
+            summary.total_energy_j += s.total_energy_j;
+            summary.anomalies += s.anomaly_events.len() as u64;
+        }
+        Ok(summary)
     }
 }
 
@@ -808,8 +960,9 @@ fn build_slice_bus(label: &str, slice_cycles: u64, seed: u64) -> ahbpower_ahb::A
     }
 }
 
-/// Starts the service: binds `cfg.addr`, spawns the simulation worker
-/// and the HTTP thread, and returns immediately.
+/// Starts the service: binds `cfg.addr`, spawns one simulation worker
+/// per shard plus the HTTP accept thread and pool, and returns
+/// immediately.
 ///
 /// # Errors
 ///
@@ -818,30 +971,63 @@ pub fn serve(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(cfg.addr.as_str())?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
-    let state = Arc::new(Mutex::new(LiveState::new(cfg.mix, cfg.seed, cfg.events)));
-    let events = EventBus::shared(cfg.events_capacity);
-    events.set_enabled(cfg.events);
+    let n_shards = cfg.shards.max(1);
+    let http_threads = cfg.http_threads.max(1);
+    let max_connections = cfg.max_connections.max(1);
 
-    let worker = {
-        let stop = Arc::clone(&stop);
-        let state = Arc::clone(&state);
-        let events = Arc::clone(&events);
-        let cfg = cfg.clone();
-        thread::spawn(move || run_worker(&cfg, &events, &stop, &state))
-    };
-    let http = {
-        let stop = Arc::clone(&stop);
-        let state = Arc::clone(&state);
-        let events = Arc::clone(&events);
-        thread::spawn(move || run_http(&listener, &events, &stop, &state))
+    let mut shards = Vec::with_capacity(n_shards);
+    for shard in 0..n_shards {
+        let shard_seed = cfg.seed + shard as u64 * SHARD_SEED_STRIDE;
+        let events = EventBus::shared(cfg.events_capacity);
+        events.set_enabled(cfg.events);
+        let state = Arc::new(Mutex::new(LiveState::new(
+            shard, cfg.mix, shard_seed, cfg.events,
+        )));
+        shards.push(ShardRef { state, events });
+    }
+    let plane = Arc::new(Plane {
+        shards,
+        stop: Arc::clone(&stop),
+        queue: ConnQueue {
+            pending: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        active: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        started: Instant::now(),
+        addr,
+        mix: cfg.mix,
+        seed: cfg.seed,
+        http_threads,
+        max_connections,
+    });
+
+    let workers = (0..n_shards)
+        .map(|shard| {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&plane.shards[shard].state);
+            let events = Arc::clone(&plane.shards[shard].events);
+            let cfg = cfg.clone();
+            thread::spawn(move || run_worker(&cfg, shard, &events, &stop, &state))
+        })
+        .collect();
+    let pool = (0..http_threads)
+        .map(|_| {
+            let plane = Arc::clone(&plane);
+            thread::spawn(move || run_pool_worker(&plane))
+        })
+        .collect();
+    let accept = {
+        let plane = Arc::clone(&plane);
+        thread::spawn(move || run_accept(&listener, &plane))
     };
     Ok(ServerHandle {
         addr,
         stop,
-        state,
-        events,
-        worker,
-        http,
+        plane,
+        workers,
+        accept,
+        pool,
         results_dir: cfg.results_dir,
     })
 }
@@ -943,10 +1129,14 @@ fn drain_events(events: &EventBus, cursor: &mut u64, s: &mut LiveState) -> Vec<E
 
 fn run_worker(
     cfg: &ServeConfig,
+    shard: usize,
     events: &Arc<EventBus>,
     stop: &AtomicBool,
     state: &Mutex<LiveState>,
 ) {
+    // Per-shard seed rotation: shards occupy disjoint seed ranges so no
+    // two shards ever simulate the same workload.
+    let shard_seed = cfg.seed + shard as u64 * SHARD_SEED_STRIDE;
     // Size the model for the widest scenario in the mix; narrower buses
     // use a subset of the masters.
     let (n_masters, n_slaves) = match cfg.mix {
@@ -959,32 +1149,38 @@ fn run_worker(
     let acfg = AnalysisConfig {
         n_masters,
         n_slaves,
-        seed: cfg.seed,
+        seed: shard_seed,
         ..AnalysisConfig::paper_testbench()
     };
     let tcfg = TelemetryConfig::enabled(&format!("serve_{}", cfg.mix.name()))
-        .with_seed(cfg.seed)
+        .with_seed(shard_seed)
         .with_anomaly(cfg.anomaly.clone())
         .with_observatory(ObservatoryConfig::default())
         .with_events(Arc::clone(events));
     let mut session = PowerSession::with_telemetry(&acfg, tcfg);
-    let mut flightrec = cfg.results_dir.as_deref().map(FlightRecorder::new);
+    let mut flightrec = cfg
+        .results_dir
+        .as_deref()
+        .map(|dir| FlightRecorder::for_shard(dir, shard as u64));
     let mut consumed_points = 0usize;
     let mut events_cursor = 0u64;
     let mut last_publish_us: Option<u64> = None;
 
-    // Startup self-calibration of the record/replay pipeline: record one
-    // short paper trace, replay a handful of coefficient variants, and
-    // surface the measured throughput in /status and /metrics. The pass
-    // is bracketed by ReplayStart/ReplayDone on the structured ring, so
-    // it lands in /events and the flushed events.jsonl like any other
-    // cross-layer activity.
-    let calib = replay_calibration(cfg.seed, events);
-    if let Ok(mut s) = state.lock() {
-        s.replay_trace_cycles = calib.trace_cycles;
-        s.replay_variants = calib.variants;
-        s.replay_cycles_per_sec = calib.cycles_per_sec;
-        s.republish();
+    // Startup self-calibration of the record/replay pipeline (shard 0
+    // only — the measurement is machine-wide, not per-shard): record
+    // one short paper trace, replay a handful of coefficient variants,
+    // and surface the measured throughput in /status and /metrics. The
+    // pass is bracketed by ReplayStart/ReplayDone on the structured
+    // ring, so it lands in /events and the flushed events.jsonl like
+    // any other cross-layer activity.
+    if shard == 0 {
+        let calib = replay_calibration(cfg.seed, events);
+        if let Ok(mut s) = state.lock() {
+            s.replay_trace_cycles = calib.trace_cycles;
+            s.replay_variants = calib.variants;
+            s.replay_cycles_per_sec = calib.cycles_per_sec;
+            s.republish();
+        }
     }
 
     let mut slice = 0u64;
@@ -995,21 +1191,27 @@ fn run_worker(
                 break;
             }
         }
+        // Fault injection and the seeded panic are shard-0 hooks: the
+        // tests that use them want exactly one deterministic failing
+        // session while the other shards stay healthy.
         if let Some(inj) = cfg.inject {
-            if inj.at_slice == slice {
+            if shard == 0 && inj.at_slice == slice {
                 session.scale_model_block(inj.block, inj.factor);
             }
         }
-        let label = cfg.mix.slice_label(slice);
-        let mut bus = build_slice_bus(label, cfg.slice_cycles, cfg.seed + slice);
+        // Each shard starts the mix rotation at its own phase, so a
+        // mixed fleet interleaves scenarios instead of running them in
+        // lock-step.
+        let label = cfg.mix.slice_label(slice + shard as u64);
+        let mut bus = build_slice_bus(label, cfg.slice_cycles, shard_seed + slice);
         let sim_started = Instant::now();
         // A panic inside the slice (the seeded test hook, or a real
         // defect) must not lose the run's history: catch it, dump a
         // flight-recorder bundle from the last published state, and
-        // stop simulating. The HTTP thread keeps serving what we have.
+        // stop simulating. The HTTP plane keeps serving what we have.
         let sim = catch_unwind(AssertUnwindSafe(|| {
             assert!(
-                cfg.panic_at_slice != Some(slice),
+                shard != 0 || cfg.panic_at_slice != Some(slice),
                 "seeded panic in slice {slice}"
             );
             session.begin_slice(slice);
@@ -1109,33 +1311,93 @@ fn run_worker(
     // HTTP thread keeps answering until /quit or ServerHandle::wait.
 }
 
-/// The HTTP loop: sequential accept, one request per connection.
-fn run_http(
-    listener: &TcpListener,
-    events: &Arc<EventBus>,
-    stop: &AtomicBool,
-    state: &Mutex<LiveState>,
-) {
+/// The accept loop: admission control only. Connections under the
+/// limit are queued for the pool; connections over it are shed with a
+/// fast `503` (after a best-effort, short-timeout read of the request
+/// line, so the client reliably sees the status instead of a reset).
+fn run_accept(listener: &TcpListener, plane: &Arc<Plane>) {
     for conn in listener.incoming() {
         // ordering: cold shutdown poll per connection; seqcst for simplicity.
-        if stop.load(Ordering::SeqCst) {
+        if plane.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(mut stream) = conn else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-        let path = match read_request_path(&mut stream) {
-            Some(p) => p,
-            None => continue,
-        };
-        let quit = path == "/quit";
-        let (status, content_type, body) = route(&path, events, stop, state);
-        let _ = write_response(&mut stream, status, content_type, &body);
-        if quit {
-            // ordering: cold control-plane flag; seqcst for simplicity.
-            stop.store(true, Ordering::SeqCst);
-            break;
+        // ordering: admission gate vs pool decrements; seqcst for simplicity.
+        if plane.active.load(Ordering::SeqCst) >= plane.max_connections as u64 {
+            // ordering: statistics-only shed tally; seqcst for simplicity.
+            plane.shed.fetch_add(1, Ordering::SeqCst);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+            let _ = read_request_path(&mut stream);
+            let _ = write_response(
+                &mut stream,
+                503,
+                "text/plain; charset=utf-8",
+                "overloaded: connection limit reached, request shed\n",
+            );
+            continue;
         }
+        // ordering: admission claim, paired with the pool's decrement; seqcst for simplicity.
+        plane.active.fetch_add(1, Ordering::SeqCst);
+        let mut q = plane
+            .queue
+            .pending
+            .lock()
+            .expect("connection queue poisoned");
+        q.push_back(stream);
+        drop(q);
+        plane.queue.ready.notify_one();
+    }
+}
+
+/// One HTTP pool worker: pops admitted connections and answers them
+/// until the stop flag is set and the queue is drained.
+fn run_pool_worker(plane: &Arc<Plane>) {
+    loop {
+        let stream = {
+            let mut q = plane
+                .queue
+                .pending
+                .lock()
+                .expect("connection queue poisoned");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                // ordering: cold shutdown poll while idle; seqcst for simplicity.
+                if plane.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = plane
+                    .queue
+                    .ready
+                    .wait(q)
+                    .expect("connection queue poisoned");
+            }
+        };
+        let Some(mut stream) = stream else { break };
+        handle_connection(&mut stream, plane);
+        // ordering: releases the admission slot claimed by the accept loop; seqcst for simplicity.
+        plane.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Answers one admitted connection; `/quit` additionally stops the
+/// plane and pokes the listener so the accept loop exits.
+fn handle_connection(stream: &mut TcpStream, plane: &Arc<Plane>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let Some(path) = read_request_path(stream) else {
+        return;
+    };
+    let quit = path == "/quit" || path.starts_with("/quit?");
+    let (status, content_type, body) = route(&path, plane);
+    let _ = write_response(stream, status, content_type, &body);
+    if quit {
+        // ordering: cold control-plane flag; seqcst for simplicity.
+        plane.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&plane.addr, Duration::from_secs(1));
+        plane.queue.ready.notify_all();
     }
 }
 
@@ -1180,46 +1442,159 @@ fn query_str<'q>(query: &'q str, key: &str) -> Option<&'q str> {
         .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='))
 }
 
-/// The `GET /query?series=S[&from=A][&to=B][&step=N]` endpoint: a range
-/// query over the observatory's retained history. `from`/`to` are raw
-/// window indexes (inclusive, defaulting to everything) and `step`
-/// picks the resolution: the coarsest level whose factor is ≤ `step`
-/// answers, so `step=1` reads raw buckets, `step=10` the 10× ring and
-/// `step=100` the 100× ring.
-fn observatory_query_response(query: &str, s: &LiveState) -> (u16, &'static str, String) {
-    let Some(series) = query_str(query, "series") else {
-        return (
-            400,
-            "text/plain; charset=utf-8",
-            "missing series parameter\n".to_string(),
-        );
+/// Strictly validates the `/query` range parameters. Absent keys get
+/// the documented defaults; present-but-malformed values, `step=0` and
+/// inverted ranges are errors (clean 400s, never silent fallbacks).
+fn parse_range(query: &str) -> Result<(u64, u64, u64), String> {
+    let parse = |key: &str, default: u64| -> Result<u64, String> {
+        match query_str(query, key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad {key} '{v}': not a non-negative integer")),
+        }
     };
-    let Some(obs) = &s.observatory else {
-        return (
+    let from = parse("from", 0)?;
+    let to = parse("to", u64::MAX)?;
+    let step = parse("step", 1)?;
+    if step == 0 {
+        return Err("step must be >= 1".to_string());
+    }
+    if from > to {
+        return Err(format!("empty range: from {from} > to {to}"));
+    }
+    Ok((from, to, step))
+}
+
+/// Parses the optional `shard=` drill-down parameter. `None` means the
+/// merged plane; out-of-range or malformed values are errors.
+fn parse_shard(query: &str, shards: usize) -> Result<Option<usize>, String> {
+    match query_str(query, "shard") {
+        None => Ok(None),
+        Some(v) => {
+            let i: usize = v
+                .parse()
+                .map_err(|_| format!("bad shard '{v}': not an index"))?;
+            if i >= shards {
+                return Err(format!("shard {i} out of range ({shards} shards)"));
+            }
+            Ok(Some(i))
+        }
+    }
+}
+
+fn bad_request(msg: String) -> (u16, &'static str, String) {
+    (400, "text/plain; charset=utf-8", format!("{msg}\n"))
+}
+
+/// The `GET /query?series=S[&from=A][&to=B][&step=N][&shard=K]`
+/// endpoint: a range query over retained observatory history.
+/// `from`/`to` are raw window indexes (inclusive, defaulting to
+/// everything) and `step` picks the resolution: the coarsest level
+/// whose factor is ≤ `step` answers, so `step=1` reads raw buckets,
+/// `step=10` the 10× ring and `step=100` the 100× ring. Without
+/// `shard=`, the query fans out to every shard observatory and merges
+/// buckets (sums add, minima/maxima compose), so the merged energy
+/// total is exactly the sum of the per-shard totals.
+fn query_response(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    let Some(series) = query_str(query, "series") else {
+        return bad_request("missing series parameter".to_string());
+    };
+    let (from, to, step) = match parse_range(query) {
+        Ok(r) => r,
+        Err(msg) => return bad_request(msg),
+    };
+    let shard = match parse_shard(query, plane.shards.len()) {
+        Ok(s) => s,
+        Err(msg) => return bad_request(msg),
+    };
+    let placeholder = || {
+        (
             200,
             "application/json",
             format!(
                 "{{\"series\":\"{series}\",\"level\":0,\"factor\":1,\"from\":0,\"to\":0,\"step\":1,\"points\":[]}}"
             ),
-        );
+        )
     };
-    let from = query_u64(query, "from").unwrap_or(0);
-    let to = query_u64(query, "to").unwrap_or(u64::MAX);
-    let step = query_u64(query, "step").unwrap_or(1);
-    match obs.query(series, from, to, step) {
-        Some(q) => (200, "application/json", query_result_json(&q)),
-        None => (
-            400,
-            "text/plain; charset=utf-8",
-            format!("unknown series '{series}'\n"),
-        ),
+    let selected: Vec<&ShardRef> = match shard {
+        Some(i) => vec![&plane.shards[i]],
+        None => plane.shards.iter().collect(),
+    };
+    let mut results: Vec<QueryResult> = Vec::new();
+    let mut have_observatory = false;
+    for sh in selected {
+        let Ok(s) = sh.state.lock() else {
+            return (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            );
+        };
+        if let Some(obs) = &s.observatory {
+            have_observatory = true;
+            if let Some(q) = obs.query(series, from, to, step) {
+                results.push(q);
+            }
+        }
+    }
+    if !have_observatory {
+        return placeholder();
+    }
+    match merge_query_results(results) {
+        Some(merged) => (200, "application/json", query_result_json(&merged)),
+        None => bad_request(format!("unknown series '{series}'")),
     }
 }
 
-/// The `/events?since=N[&max=N][&timeout_ms=T]` endpoint: a lock-free
-/// ring read, optionally long-polling until at least one event lands or
-/// the (capped) timeout expires. The response carries `next`, the
-/// cursor to resume from.
+/// Formats a merged-plane cursor: one absolute per-shard sequence,
+/// dot-joined (`"12.34"` = shard 0 at 12, shard 1 at 34).
+pub fn format_multi_cursor(cursors: &[u64]) -> String {
+    let mut out = String::with_capacity(4 * cursors.len());
+    for (i, c) in cursors.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        let _ = write!(out, "{c}");
+    }
+    out
+}
+
+/// Parses a merged-plane cursor back into per-shard sequences. Short
+/// cursors zero-pad (so `"0"` — or an absent parameter — starts every
+/// shard from its oldest retained event); overlong or non-numeric
+/// cursors are `None`.
+pub fn parse_multi_cursor(s: &str, shards: usize) -> Option<Vec<u64>> {
+    let mut cursors = vec![0u64; shards];
+    if s.is_empty() {
+        return Some(cursors);
+    }
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() > shards {
+        return None;
+    }
+    for (i, p) in parts.iter().enumerate() {
+        cursors[i] = p.parse().ok()?;
+    }
+    Some(cursors)
+}
+
+/// Reads every shard ring once from its cursor: the merged `/events`
+/// read. Each [`EventBatch`] keeps its shard's absolute sequence space
+/// (`next` is monotone per shard; `dropped` counts that shard's losses
+/// in `[since, next)`), which is what the cursor-space property tests
+/// pin down.
+pub fn merged_read_since(buses: &[Arc<EventBus>], since: &[u64], max: usize) -> Vec<EventBatch> {
+    buses
+        .iter()
+        .zip(since)
+        .map(|(bus, &s)| bus.read_since(s, max))
+        .collect()
+}
+
+/// The single-shard `/events` body — numeric cursors, exactly the
+/// pre-sharding wire format (what the dashboard and curl examples use
+/// against a 1-shard serve or with `shard=`).
 fn events_json(query: &str, events: &EventBus, stop: &AtomicBool) -> String {
     let since = query_u64(query, "since").unwrap_or(0);
     let max = query_u64(query, "max").unwrap_or(1_000).min(4_096) as usize;
@@ -1252,22 +1627,466 @@ fn events_json(query: &str, events: &EventBus, stop: &AtomicBool) -> String {
     out
 }
 
-/// Maps a path (plus optional query string) to
-/// `(status, content-type, body)`.
-fn route(
-    path: &str,
-    events: &Arc<EventBus>,
-    stop: &AtomicBool,
-    state: &Mutex<LiveState>,
-) -> (u16, &'static str, String) {
-    let (path, query) = match path.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (path, ""),
+/// The merged `/events` body: string cursors over the aggregated
+/// per-shard sequence space, per-shard `dropped`/`published` arrays,
+/// and every event tagged with its shard.
+fn merged_events_json(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    let n = plane.shards.len();
+    let since = match query_str(query, "since") {
+        None => vec![0u64; n],
+        Some(v) => match parse_multi_cursor(v, n) {
+            Some(c) => c,
+            None => return bad_request(format!("bad since '{v}': want up to {n} dot-joined u64s")),
+        },
     };
-    match path {
-        "/" | "/dashboard" => (200, "text/html; charset=utf-8", DASHBOARD_HTML.to_string()),
-        "/events" => (200, "application/json", events_json(query, events, stop)),
-        "/healthz" => match state.lock() {
+    let max = query_u64(query, "max").unwrap_or(1_000).min(4_096) as usize;
+    let timeout_ms = query_u64(query, "timeout_ms")
+        .unwrap_or(0)
+        .min(EVENTS_POLL_CAP_MS);
+    let buses: Vec<Arc<EventBus>> = plane.shards.iter().map(|s| Arc::clone(&s.events)).collect();
+    let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+    let mut batches = merged_read_since(&buses, &since, max);
+    while batches.iter().all(|b| b.events.is_empty())
+        && Instant::now() < deadline
+        // ordering: cold shutdown poll in the long-poll loop; seqcst for simplicity.
+        && !plane.stop.load(Ordering::SeqCst)
+    {
+        thread::sleep(Duration::from_millis(25));
+        batches = merged_read_since(&buses, &since, max);
+    }
+    let total: usize = batches.iter().map(|b| b.events.len()).sum();
+    let next: Vec<u64> = batches.iter().map(|b| b.next).collect();
+    let mut out = String::with_capacity(128 + 104 * total);
+    let _ = write!(
+        out,
+        "{{\"since\":\"{}\",\"next\":\"{}\",\"shards\":{n},\"dropped\":[",
+        format_multi_cursor(&since),
+        format_multi_cursor(&next)
+    );
+    for (i, b) in batches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", b.dropped);
+    }
+    out.push_str("],\"published\":[");
+    for (i, b) in batches.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", b.published);
+    }
+    let enabled = plane.shards.iter().any(|s| s.events.is_enabled());
+    let _ = write!(out, "],\"enabled\":{enabled},\"events\":[");
+    let mut first = true;
+    for (shard, b) in batches.iter().enumerate() {
+        for e in &b.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            // Splice the shard tag into the event object.
+            let obj = e.to_json_obj();
+            let _ = write!(out, "{{\"shard\":{shard},{}", &obj[1..]);
+        }
+    }
+    out.push_str("]}");
+    (200, "application/json", out)
+}
+
+fn events_response(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    match parse_shard(query, plane.shards.len()) {
+        Err(msg) => bad_request(msg),
+        Ok(Some(i)) => (
+            200,
+            "application/json",
+            events_json(query, &plane.shards[i].events, &plane.stop),
+        ),
+        // One shard keeps the numeric pre-sharding wire format.
+        Ok(None) if plane.shards.len() == 1 => (
+            200,
+            "application/json",
+            events_json(query, &plane.shards[0].events, &plane.stop),
+        ),
+        Ok(None) => merged_events_json(query, plane),
+    }
+}
+
+/// Builds the merged `/metrics` registry: per-shard registries sum
+/// (counters add, histograms bucket-merge), non-extensive gauges are
+/// overwritten with their plane-level composition, the serving plane's
+/// own admission metrics are added, and — for a multi-shard plane —
+/// every shard's registry rides along under a `shard=` label.
+fn merged_registry(plane: &Plane) -> MetricsRegistry {
+    let snaps: Vec<(MetricsRegistry, bool)> = plane
+        .shards
+        .iter()
+        .filter_map(|sh| {
+            sh.state
+                .lock()
+                .ok()
+                .map(|s| (s.registry.clone(), s.degraded()))
+        })
+        .collect();
+    let mut agg = MetricsRegistry::new();
+    for (reg, _) in &snaps {
+        agg.merge_sum(reg);
+    }
+    // Summing uptime/degraded/replay-throughput across shards is
+    // meaningless; recompose them at plane level.
+    let g = agg.gauge("serve_uptime_seconds", "Service uptime.", &[]);
+    agg.set(g, plane.uptime_s());
+    let degraded = snaps.iter().any(|(_, d)| *d);
+    let g = agg.gauge(
+        "serve_degraded",
+        "1 while any shard's most recently judged detection window was flagged.",
+        &[],
+    );
+    agg.set(g, if degraded { 1.0 } else { 0.0 });
+    let replay = snaps
+        .iter()
+        .filter_map(|(r, _)| r.gauge_value("serve_replay_cycles_per_second", &[]))
+        .fold(0.0f64, f64::max);
+    let g = agg.gauge(
+        "serve_replay_cycles_per_second",
+        "Replay throughput from the startup record/replay self-calibration.",
+        &[],
+    );
+    agg.set(g, replay);
+    let g = agg.gauge("serve_shards", "Worker shards running.", &[]);
+    agg.set(g, plane.shards.len() as f64);
+    let g = agg.gauge("serve_http_threads", "HTTP pool size.", &[]);
+    agg.set(g, plane.http_threads as f64);
+    let g = agg.gauge(
+        "serve_http_max_connections",
+        "Admission limit: connections admitted beyond this are shed.",
+        &[],
+    );
+    agg.set(g, plane.max_connections as f64);
+    let g = agg.gauge(
+        "serve_http_active_connections",
+        "Connections admitted and not yet answered.",
+        &[],
+    );
+    // ordering: monitoring reads of hot admission counters; seqcst for simplicity.
+    agg.set(g, plane.active.load(Ordering::SeqCst) as f64);
+    let c = agg.counter(
+        "serve_http_shed_total",
+        "Connections shed with 503 by the admission limit.",
+        &[],
+    );
+    // ordering: monitoring read of the shed tally; seqcst for simplicity.
+    agg.add(c, plane.shed.load(Ordering::SeqCst) as f64);
+    if snaps.len() > 1 {
+        for (i, (reg, _)) in snaps.iter().enumerate() {
+            agg.merge_labeled(reg, "shard", &i.to_string());
+        }
+    }
+    agg
+}
+
+fn metrics_response(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    match parse_shard(query, plane.shards.len()) {
+        Err(msg) => bad_request(msg),
+        Ok(Some(i)) => match plane.shards[i].state.lock() {
+            Ok(mut s) => {
+                let uptime = s.uptime_s();
+                let g = s
+                    .registry
+                    .gauge("serve_uptime_seconds", "Service uptime.", &[]);
+                s.registry.set(g, uptime);
+                (200, PROM, to_prometheus(&s.registry))
+            }
+            Err(_) => (
+                500,
+                "text/plain; charset=utf-8",
+                "state poisoned\n".to_string(),
+            ),
+        },
+        Ok(None) => (200, PROM, to_prometheus(&merged_registry(plane))),
+    }
+}
+
+/// The merged `/status` document: the same shape a single shard
+/// publishes (every pre-sharding key keeps its meaning, now
+/// aggregated) plus `shards`, an `http` admission block and a
+/// `shard_detail` array for per-shard drill-down without extra
+/// requests.
+fn merged_status_json(plane: &Plane) -> String {
+    let n = plane.shards.len();
+    let mut slices = 0u64;
+    let mut cycles = 0u64;
+    let mut total_energy = 0.0f64;
+    let mut transactions = 0u64;
+    let mut window_power = CycleHistogram::new(&WINDOW_POWER_BOUNDS_UW);
+    let mut anomaly_windows = 0u64;
+    let mut anomaly_count = 0u64;
+    let mut baseline_updates = 0u64;
+    let mut last_anomaly: Option<AnomalyEvent> = None;
+    let mut per_master: Vec<f64> = Vec::new();
+    let mut ev_enabled = false;
+    let mut ev_published = 0u64;
+    let mut ev_dropped = 0u64;
+    let mut ev_logged = 0u64;
+    let mut ev_cursor = 0u64;
+    let mut ev_lag = 0u64;
+    let mut degraded = false;
+    let mut hw_slice = 0u64;
+    let mut hw_window = 0u64;
+    let mut obs_any = false;
+    let mut obs_windows = 0u64;
+    let mut obs_occupancy = [0u64; OBSERVATORY_LEVEL_FACTORS.len()];
+    let mut obs_opened = [0u64; OBSERVATORY_LEVEL_FACTORS.len()];
+    let mut flightrec = 0u64;
+    let mut replay = (0u64, 0u64, 0.0f64);
+    let mut sim_us = CycleHistogram::new(&STAGE_US_BOUNDS);
+    let mut publish_us = CycleHistogram::new(&STAGE_US_BOUNDS);
+    let mut render_us = CycleHistogram::new(&STAGE_US_BOUNDS);
+    let mut rows: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut detail = String::new();
+
+    for (i, sh) in plane.shards.iter().enumerate() {
+        let Ok(s) = sh.state.lock() else { continue };
+        slices += s.slices;
+        cycles += s.cycles;
+        total_energy += s.total_energy_j;
+        transactions += s.transactions;
+        window_power.merge(&s.window_power_uw);
+        anomaly_windows += s.anomaly_windows;
+        anomaly_count += s.anomaly_events.len() as u64;
+        baseline_updates += s.baseline_updates;
+        if let Some(e) = s.anomaly_events.last() {
+            if last_anomaly
+                .as_ref()
+                .is_none_or(|prev| e.window >= prev.window)
+            {
+                last_anomaly = Some(e.clone());
+            }
+        }
+        if per_master.len() < s.per_master_j.len() {
+            per_master.resize(s.per_master_j.len(), 0.0);
+        }
+        for (m, j) in s.per_master_j.iter().enumerate() {
+            per_master[m] += j;
+        }
+        ev_enabled |= s.events_enabled;
+        ev_published += s.events_published;
+        ev_dropped += s.events_dropped;
+        ev_logged += s.events_log.len() as u64;
+        ev_cursor += s.events_cursor;
+        ev_lag += s.events_lag();
+        degraded |= s.degraded();
+        hw_slice = hw_slice.max(s.slices);
+        hw_window = hw_window.max(s.anomaly_windows);
+        if let Some(obs) = &s.observatory {
+            obs_any = true;
+            obs_windows += obs.windows_ingested();
+            for level in 0..OBSERVATORY_LEVEL_FACTORS.len() {
+                obs_occupancy[level] += obs.occupancy(level) as u64;
+                obs_opened[level] += obs.cascades(level);
+            }
+        }
+        flightrec += s.flightrec_bundles;
+        if s.replay_trace_cycles > replay.0 {
+            replay = (
+                s.replay_trace_cycles,
+                s.replay_variants,
+                s.replay_cycles_per_sec,
+            );
+        }
+        sim_us.merge(&s.sim_us);
+        publish_us.merge(&s.publish_us);
+        render_us.merge(&s.render_us);
+        for (name, count, total, _) in &s.rows {
+            let e = rows.entry(name.clone()).or_insert((0, 0.0));
+            e.0 += count;
+            e.1 += total;
+        }
+        if i > 0 {
+            detail.push(',');
+        }
+        let _ = write!(
+            detail,
+            "{{\"shard\":{i},\"scenario_mix\":\"{}\",\"seed\":{},\"slices\":{},\"cycles\":{},\"total_energy_j\":{},\"transactions\":{},\"anomalies\":{},\"degraded\":{},\"events\":{{\"published\":{},\"dropped\":{},\"lag\":{}}},\"observatory_windows\":{},\"flightrec_bundles\":{}}}",
+            s.mix.name(),
+            s.seed,
+            s.slices,
+            s.cycles,
+            jnum(s.total_energy_j),
+            s.transactions,
+            s.anomaly_events.len(),
+            s.degraded(),
+            s.events_published,
+            s.events_dropped,
+            s.events_lag(),
+            s.observatory.as_ref().map_or(0, |o| o.windows_ingested()),
+            s.flightrec_bundles
+        );
+    }
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"status\":\"ok\",\"shards\":{n},\"scenario_mix\":\"{}\",\"uptime_s\":{},\"slices\":{},\"cycles\":{},\"seed\":{},\"total_energy_j\":{}",
+        plane.mix.name(),
+        jnum(plane.uptime_s()),
+        slices,
+        cycles,
+        plane.seed,
+        jnum(total_energy)
+    );
+    let _ = write!(
+        out,
+        ",\"window_power_uw\":{{\"windows\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        window_power.count(),
+        jnum(window_power.quantile(0.5)),
+        jnum(window_power.quantile(0.95)),
+        jnum(window_power.quantile(0.99))
+    );
+    let _ = write!(
+        out,
+        ",\"anomalies\":{{\"windows\":{anomaly_windows},\"count\":{anomaly_count},\"baseline_updates\":{baseline_updates},\"last\":"
+    );
+    match &last_anomaly {
+        Some(e) => {
+            let _ = write!(
+                out,
+                "{{\"window\":{},\"start_cycle\":{},\"deviation_pct\":{},\"z_score\":{}}}",
+                e.window,
+                e.start_cycle,
+                jnum(e.deviation_pct),
+                jnum(e.z_score)
+            );
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, "}},\"transactions\":{transactions},\"per_master_j\":[");
+    for (i, j) in per_master.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&jnum(*j));
+    }
+    let _ = write!(
+        out,
+        "],\"events\":{{\"enabled\":{ev_enabled},\"published\":{ev_published},\"dropped\":{ev_dropped},\"logged\":{ev_logged},\"cursor\":{ev_cursor},\"lag\":{ev_lag}}}"
+    );
+    let _ = write!(
+        out,
+        ",\"degraded\":{degraded},\"high_water\":{{\"slice\":{hw_slice},\"window\":{hw_window}}}"
+    );
+    out.push_str(",\"observatory\":");
+    if obs_any {
+        let _ = write!(out, "{{\"windows\":{obs_windows},\"levels\":[");
+        for (level, factor) in OBSERVATORY_LEVEL_FACTORS.iter().enumerate() {
+            if level > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"factor\":{factor},\"occupancy\":{},\"opened\":{}}}",
+                obs_occupancy[level], obs_opened[level]
+            );
+        }
+        out.push_str("]}");
+    } else {
+        out.push_str("null");
+    }
+    let _ = write!(out, ",\"flightrec\":{{\"bundles\":{flightrec}}}");
+    let _ = write!(
+        out,
+        ",\"replay\":{{\"trace_cycles\":{},\"variants\":{},\"cycles_per_sec\":{}}}",
+        replay.0,
+        replay.1,
+        jnum(replay.2)
+    );
+    let _ = write!(
+        out,
+        ",\"http\":{{\"threads\":{},\"max_connections\":{},\"active\":{},\"shed\":{}}}",
+        plane.http_threads,
+        plane.max_connections,
+        // ordering: monitoring reads of hot admission counters; seqcst for simplicity.
+        plane.active.load(Ordering::SeqCst),
+        // ordering: monitoring read of the shed tally; seqcst for simplicity.
+        plane.shed.load(Ordering::SeqCst)
+    );
+    out.push_str(",\"stages\":{");
+    for (i, (stage, hist)) in [
+        ("sim_us", &sim_us),
+        ("publish_us", &publish_us),
+        ("render_us", &render_us),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{stage}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            hist.count(),
+            jnum(hist.quantile(0.5)),
+            jnum(hist.quantile(0.95)),
+            jnum(hist.quantile(0.99))
+        );
+    }
+    out.push_str("},\"instructions\":[");
+    for (i, (name, (count, total))) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mean = if *count > 0 {
+            total / *count as f64
+        } else {
+            0.0
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{name}\",\"count\":{count},\"total_j\":{},\"mean_j\":{}}}",
+            jnum(*total),
+            jnum(mean)
+        );
+    }
+    let _ = write!(out, "],\"shard_detail\":[{detail}]}}");
+    out
+}
+
+fn status_response(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    match parse_shard(query, plane.shards.len()) {
+        Err(msg) => bad_request(msg),
+        Ok(shard) => {
+            let started = Instant::now();
+            let body = match shard {
+                Some(i) => match plane.shards[i].state.lock() {
+                    Ok(s) => s.status_json(),
+                    Err(_) => {
+                        return (
+                            500,
+                            "text/plain; charset=utf-8",
+                            "state poisoned\n".to_string(),
+                        )
+                    }
+                },
+                None => merged_status_json(plane),
+            };
+            // Self-measured with one-render lag, booked to the shard
+            // that answered (shard 0 for the merged view): this
+            // observation shows up in the next render's stages block.
+            let book = shard.unwrap_or(0);
+            if let Ok(mut s) = plane.shards[book].state.lock() {
+                s.render_us.observe(started.elapsed().as_micros() as u64);
+            }
+            (200, "application/json", body)
+        }
+    }
+}
+
+fn healthz_response(query: &str, plane: &Plane) -> (u16, &'static str, String) {
+    match parse_shard(query, plane.shards.len()) {
+        Err(msg) => bad_request(msg),
+        Ok(Some(i)) => match plane.shards[i].state.lock() {
             Ok(s) => {
                 let body = format!(
                     "{{\"status\":\"ok\",\"uptime_s\":{},\"degraded\":{},\"high_water\":{{\"slice\":{},\"window\":{}}}}}",
@@ -1284,53 +2103,48 @@ fn route(
                 "state poisoned\n".to_string(),
             ),
         },
-        "/query" => match state.lock() {
-            Ok(s) => observatory_query_response(query, &s),
-            Err(_) => (
-                500,
-                "text/plain; charset=utf-8",
-                "state poisoned\n".to_string(),
-            ),
-        },
+        Ok(None) => {
+            let mut degraded = false;
+            let mut hw_slice = 0u64;
+            let mut hw_window = 0u64;
+            for sh in &plane.shards {
+                if let Ok(s) = sh.state.lock() {
+                    degraded |= s.degraded();
+                    hw_slice = hw_slice.max(s.slices);
+                    hw_window = hw_window.max(s.anomaly_windows);
+                }
+            }
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_s\":{},\"degraded\":{degraded},\"shards\":{},\"shed\":{},\"high_water\":{{\"slice\":{hw_slice},\"window\":{hw_window}}}}}",
+                jnum(plane.uptime_s()),
+                plane.shards.len(),
+                // ordering: monitoring read of the shed tally; seqcst for simplicity.
+                plane.shed.load(Ordering::SeqCst)
+            );
+            (200, "application/json", body)
+        }
+    }
+}
+
+/// Maps a path (plus optional query string) to
+/// `(status, content-type, body)`.
+fn route(path: &str, plane: &Plane) -> (u16, &'static str, String) {
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
+    match path {
+        "/" | "/dashboard" => (200, "text/html; charset=utf-8", DASHBOARD_HTML.to_string()),
+        "/events" => events_response(query, plane),
+        "/healthz" => healthz_response(query, plane),
+        "/query" => query_response(query, plane),
         "/quit" => (
             200,
             "text/plain; charset=utf-8",
             "shutting down\n".to_string(),
         ),
-        "/metrics" => match state.lock() {
-            Ok(mut s) => {
-                let uptime = s.uptime_s();
-                let g = s
-                    .registry
-                    .gauge("serve_uptime_seconds", "Service uptime.", &[]);
-                s.registry.set(g, uptime);
-                (
-                    200,
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    to_prometheus(&s.registry),
-                )
-            }
-            Err(_) => (
-                500,
-                "text/plain; charset=utf-8",
-                "state poisoned\n".to_string(),
-            ),
-        },
-        "/status" => match state.lock() {
-            Ok(mut s) => {
-                let started = Instant::now();
-                let body = s.status_json();
-                // Self-measured with one-render lag: this observation
-                // shows up in the next render's stages block.
-                s.render_us.observe(started.elapsed().as_micros() as u64);
-                (200, "application/json", body)
-            }
-            Err(_) => (
-                500,
-                "text/plain; charset=utf-8",
-                "state poisoned\n".to_string(),
-            ),
-        },
+        "/metrics" => metrics_response(query, plane),
+        "/status" => status_response(query, plane),
         _ => (404, "text/plain; charset=utf-8", "not found\n".to_string()),
     }
 }
@@ -1345,6 +2159,7 @@ fn write_response(
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let head = format!(

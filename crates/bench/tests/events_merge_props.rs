@@ -1,0 +1,156 @@
+//! Property tests for the merged `/events` cursor space: under any
+//! interleaving of per-shard publishes (including ring wraparound) and
+//! any sequence of bounded reads, the dot-joined multi-shard cursor
+//! must round-trip through its wire encoding, every per-shard
+//! component must advance monotonically, each batch must account for
+//! exactly the events it skipped (`next == since + dropped + len`),
+//! and a reader that keeps polling from the returned cursor must end
+//! with `received + dropped == published` on every shard — loss is
+//! counted, never silent.
+
+use std::sync::Arc;
+
+use ahbpower::telemetry::{Event, EventBus, EventKind};
+use ahbpower_bench::{format_multi_cursor, merged_read_since, parse_multi_cursor};
+use proptest::prelude::*;
+
+/// One step of the interleaved schedule.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Publish `count` events on shard `shard % n`.
+    Publish { shard: usize, count: usize },
+    /// Read up to `max` events per shard from the running cursor.
+    Read { max: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..4, 1usize..40).prop_map(|(shard, count)| Step::Publish { shard, count }),
+        (1usize..32).prop_map(|max| Step::Read { max }),
+    ]
+}
+
+fn test_event(i: usize) -> Event {
+    Event {
+        seq: 0, // the bus assigns it
+        kind: EventKind::ALL[i % EventKind::ALL.len()],
+        slice: i as u64,
+        txn: 0,
+        window: i as u64 / 4,
+        cycle: i as u64 * 100,
+        tag: (i % 7) as u32,
+        a: i as f64 * 0.5,
+        b: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire encoding is lossless for any cursor vector, and short
+    /// cursors zero-pad while overlong or garbage cursors are rejected.
+    #[test]
+    fn multi_cursor_roundtrips(cursors in proptest::collection::vec(any::<u64>(), 1..6)) {
+        let wire = format_multi_cursor(&cursors);
+        prop_assert_eq!(wire.split('.').count(), cursors.len());
+        prop_assert_eq!(parse_multi_cursor(&wire, cursors.len()), Some(cursors.clone()));
+        // A shorter prefix parses into a zero-padded vector...
+        let mut padded = cursors.clone();
+        padded.push(0);
+        prop_assert_eq!(parse_multi_cursor(&wire, cursors.len() + 1), Some(padded));
+        // ...but a cursor with more components than shards is refused.
+        prop_assert_eq!(parse_multi_cursor(&format!("{wire}.1"), cursors.len()), None);
+        prop_assert_eq!(parse_multi_cursor("1.x", 2), None);
+    }
+
+    /// Any interleaving of publishes and bounded reads keeps every
+    /// shard's cursor monotone and loss-accounted, and a final drain
+    /// reconciles exactly: received + dropped == published per shard.
+    #[test]
+    fn merged_cursor_space_is_monotone_and_loss_accounted(
+        shards in 1usize..4,
+        capacity in 2usize..5, // ring of 2^capacity slots: tiny, wraps often
+        steps in proptest::collection::vec(step_strategy(), 1..60),
+    ) {
+        let buses: Vec<Arc<EventBus>> =
+            (0..shards).map(|_| EventBus::shared(1 << capacity)).collect();
+        let mut cursor = vec![0u64; shards];
+        let mut received = vec![0u64; shards];
+        let mut dropped = vec![0u64; shards];
+        let mut published = 0usize;
+        let read = |cursor: &mut Vec<u64>,
+                        received: &mut Vec<u64>,
+                        dropped: &mut Vec<u64>,
+                        max: usize|
+         -> Result<(), TestCaseError> {
+            let batches = merged_read_since(&buses, cursor, max);
+            prop_assert_eq!(batches.len(), shards);
+            for (k, b) in batches.iter().enumerate() {
+                // Monotone: the cursor never moves backwards.
+                prop_assert!(b.next >= cursor[k], "shard {} cursor regressed", k);
+                // Loss-accounted: everything between since and next is
+                // either delivered or counted as dropped.
+                prop_assert_eq!(
+                    b.next,
+                    cursor[k] + b.dropped + b.events.len() as u64,
+                    "shard {} batch does not account for its span",
+                    k
+                );
+                prop_assert!(b.events.len() <= max);
+                // Delivered events carry consecutive sequence numbers
+                // ending at the new cursor.
+                for (j, e) in b.events.iter().enumerate() {
+                    prop_assert_eq!(
+                        e.seq,
+                        b.next - b.events.len() as u64 + j as u64,
+                        "shard {} event out of order",
+                        k
+                    );
+                }
+                received[k] += b.events.len() as u64;
+                dropped[k] += b.dropped;
+                cursor[k] = b.next;
+            }
+            // The merged wire cursor round-trips.
+            let wire = format_multi_cursor(cursor);
+            prop_assert_eq!(parse_multi_cursor(&wire, shards), Some(cursor.clone()));
+            Ok(())
+        };
+        for step in &steps {
+            match *step {
+                Step::Publish { shard, count } => {
+                    let bus = &buses[shard % shards];
+                    for _ in 0..count {
+                        bus.publish(test_event(published));
+                        published += 1;
+                    }
+                }
+                Step::Read { max } => {
+                    read(&mut cursor, &mut received, &mut dropped, max)?;
+                }
+            }
+        }
+        // Drain to quiescence: with no concurrent publisher this must
+        // terminate, and afterwards every shard reconciles exactly.
+        loop {
+            let before = cursor.clone();
+            read(&mut cursor, &mut received, &mut dropped, 4_096)?;
+            if cursor == before {
+                break;
+            }
+        }
+        for (k, bus) in buses.iter().enumerate() {
+            prop_assert_eq!(
+                received[k] + dropped[k],
+                bus.published(),
+                "shard {} lost events silently",
+                k
+            );
+            prop_assert_eq!(cursor[k], bus.published());
+            // No shard can have dropped more than what fell out of its
+            // ring window.
+            let window = bus.capacity() as u64;
+            prop_assert!(dropped[k] <= bus.published().saturating_sub(window.min(bus.published())) + window, "shard {k} dropped impossible count");
+        }
+    }
+}

@@ -171,8 +171,9 @@ fn quit_flushes_complete_artifacts() {
     for line in obs.lines() {
         validate_json(line).expect("every observatory line is valid JSON");
     }
-    // /quit also leaves a post-mortem bundle behind.
-    let flightrec: Vec<_> = std::fs::read_dir(dir.join("flightrec"))
+    // /quit also leaves a post-mortem bundle behind (shard 0 is the
+    // only shard, so its subdirectory holds everything).
+    let flightrec: Vec<_> = std::fs::read_dir(dir.join("flightrec").join("shard-0"))
         .expect("flightrec dir")
         .filter_map(Result::ok)
         .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
@@ -485,12 +486,36 @@ fn query_endpoint_conserves_energy_across_levels() {
         assert_eq!(windows, raw_windows, "step {step} covers every raw window");
     }
 
-    // Parameter validation: both failure modes answer 400, not 500.
+    // Parameter validation: every failure mode answers a clean 400
+    // with a message naming the problem, never a 500 or a silent
+    // fallback to defaults.
     let missing = http_get(&addr, "/query", TIMEOUT).expect("missing series");
     assert_eq!(missing.status, 400);
     let unknown = http_get(&addr, "/query?series=nope", TIMEOUT).expect("unknown series");
     assert_eq!(unknown.status, 400);
     assert!(unknown.body.contains("nope"));
+    let zero_step = http_get(&addr, "/query?series=energy&step=0", TIMEOUT).expect("step=0");
+    assert_eq!(zero_step.status, 400);
+    assert!(zero_step.body.contains("step"), "{}", zero_step.body);
+    let inverted = http_get(&addr, "/query?series=energy&from=9&to=3", TIMEOUT).expect("from > to");
+    assert_eq!(inverted.status, 400);
+    assert!(inverted.body.contains("empty range"), "{}", inverted.body);
+    for bad in [
+        "/query?series=energy&from=abc",
+        "/query?series=energy&to=1.5",
+        "/query?series=energy&step=-2",
+    ] {
+        let resp = http_get(&addr, bad, TIMEOUT).expect("non-numeric parameter");
+        assert_eq!(resp.status, 400, "{bad} must answer 400");
+        assert!(resp.body.contains("bad"), "{bad}: {}", resp.body);
+    }
+    let bad_shard = http_get(&addr, "/query?series=energy&shard=9", TIMEOUT).expect("bad shard");
+    assert_eq!(bad_shard.status, 400);
+    assert!(
+        bad_shard.body.contains("out of range"),
+        "{}",
+        bad_shard.body
+    );
 
     let summary = handle.wait().expect("clean shutdown");
     assert_eq!(summary.slices, 6);
@@ -536,7 +561,7 @@ fn anomaly_writes_flight_recorder_bundle_with_causal_chain() {
         .expect("flightrec.bundles");
     assert!(bundles > 0, "anomalies must dump bundles while live");
 
-    let rec_dir = dir.join("flightrec");
+    let rec_dir = dir.join("flightrec").join("shard-0");
     let mut saw_causal_txn = false;
     let entries: Vec<_> = std::fs::read_dir(&rec_dir)
         .expect("flightrec dir exists before shutdown")
@@ -593,7 +618,7 @@ fn panic_in_slice_dumps_post_mortem_and_server_survives() {
     let addr = handle.addr().to_string();
 
     // Wait for the panic bundle to land.
-    let rec_dir = dir.join("flightrec");
+    let rec_dir = dir.join("flightrec").join("shard-0");
     let mut bundle = None;
     for _ in 0..400 {
         if let Ok(entries) = std::fs::read_dir(&rec_dir) {

@@ -13,6 +13,10 @@
 #   BENCH_observatory.json — multi-resolution retention: anomaly-only vs
 #                          anomaly+observatory ingest, with the 5% overhead
 #                          ceiling enforced (the run exits 1 past it).
+#   BENCH_serve.json     — sharded serving plane under load: `repro loadgen`
+#                          self-hosts a 2-shard server and reports
+#                          throughput, per-endpoint p50/p95/p99 latency and
+#                          shed/error rates (exit 1 below 1000 req/s).
 # All over the paper testbench.
 #
 # usage: scripts/bench_snapshot.sh [cycles] [seed] [jobs]
@@ -37,4 +41,6 @@ cargo run --release -p ahbpower-bench --bin repro -- replay-bench \
     --cycles "$CYCLES" --seed "$SEED" --jobs "$JOBS"
 cargo run --release -p ahbpower-bench --bin repro -- observatory-overhead \
     --cycles "$CYCLES" --seed "$SEED"
-echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json, BENCH_events.json, BENCH_replay.json and BENCH_observatory.json"
+cargo run --release -p ahbpower-bench --bin repro -- loadgen \
+    --duration-s 5 --min-rps 1000 --out BENCH_serve.json
+echo "snapshots written to BENCH_telemetry.json, BENCH_sweep.json, BENCH_events.json, BENCH_replay.json, BENCH_observatory.json and BENCH_serve.json"

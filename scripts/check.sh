@@ -124,6 +124,45 @@ cargo run --release -p ahbpower-bench --bin repro -- query \
     --series energy --step 10 > /dev/null
 echo "  serve ok (/ /healthz /metrics /status /events /query /quit on $ADDR; flight recorder + offline query)"
 
+echo "== sharded serving + load generation (smoke) =="
+# A 2-shard plane: serve-probe --shards 2 walks every merged endpoint
+# plus the ?shard=K drill-downs and additionally demands that the
+# merged /query energy equals the per-shard sum to 1e-9 over HTTP.
+SHARD_LOG="$(mktemp)"
+cargo run --release -p ahbpower-bench --bin repro -- serve \
+    --mix paper --slice-cycles 10000 --slices 3 --shards 2 > "$SHARD_LOG" 2>&1 &
+SHARD_PID=$!
+SHARD_ADDR=""
+for _ in $(seq 1 50); do
+    SHARD_ADDR="$(grep -o 'http://[0-9.:]*' "$SHARD_LOG" | sed 's|http://||' || true)"
+    [ -n "$SHARD_ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$SHARD_ADDR" ]; then
+    echo "  ERROR: sharded serve never printed its address" >&2
+    kill "$SHARD_PID" 2> /dev/null || true
+    rm -f "$SHARD_LOG"
+    exit 1
+fi
+cargo run --release -p ahbpower-bench --bin repro -- serve-probe \
+    --addr "$SHARD_ADDR" --shards 2 --quit
+wait "$SHARD_PID"
+grep -q "served" "$SHARD_LOG"
+rm -f "$SHARD_LOG"
+# `repro loadgen` self-hosts its own 2-shard server, drives every
+# endpoint from 4 client threads, and exits 1 below the 1000 req/s
+# floor (EXPERIMENTS.md E20) or past a 1% error rate.
+cargo run --release -p ahbpower-bench --bin repro -- loadgen \
+    --duration-s 3 --min-rps 1000 --out BENCH_serve.json
+test -s BENCH_serve.json
+# /query input validation: an empty range must fail cleanly, not panic.
+if cargo run --release -p ahbpower-bench --bin repro -- query \
+    --series energy --from 5 --to 1 > /dev/null 2>&1; then
+    echo "  ERROR: query accepted an empty range (--from 5 --to 1)" >&2
+    exit 1
+fi
+echo "  sharded ok (merged plane probed on $SHARD_ADDR; loadgen >= 1000 req/s -> BENCH_serve.json; empty-range query rejected)"
+
 echo "== structured events (smoke, 100k cycles) =="
 # `events` replays the paper testbench with a mid-run injected fault and
 # self-checks the causal chain (AnomalyFlagged -> EnergyBooked ->
